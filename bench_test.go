@@ -1,0 +1,352 @@
+package lcn3d
+
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation section, plus ablation benches for the design
+// choices called out in DESIGN.md. Benchmarks run at a reduced scale by
+// default so `go test -bench=.` finishes in minutes; set LCN_SCALE=101
+// and LCN_FULL=1 for paper-scale runs (cmd/lcn-bench is the friendlier
+// front end for those).
+
+import (
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"lcn3d/internal/core"
+	"lcn3d/internal/experiments"
+	"lcn3d/internal/grid"
+	"lcn3d/internal/iccad"
+	"lcn3d/internal/network"
+	"lcn3d/internal/rm2"
+	"lcn3d/internal/rm4"
+	"lcn3d/internal/thermal"
+)
+
+func benchScale() int {
+	if s := os.Getenv("LCN_SCALE"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 10 {
+			return v
+		}
+	}
+	return 31
+}
+
+func benchCfg() experiments.Config {
+	return experiments.Config{
+		Scale: benchScale(),
+		Full:  os.Getenv("LCN_FULL") == "1",
+		Seed:  1,
+		Out:   io.Discard,
+	}
+}
+
+// BenchmarkTable2Load regenerates the benchmark-statistics table.
+func BenchmarkTable2Load(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5PressureSweep regenerates the temperature-vs-pressure
+// turning point curves.
+func BenchmarkFig5PressureSweep(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6DeltaTProfile regenerates the ΔT = f(P_sys) profiles.
+func BenchmarkFig6DeltaTProfile(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig6(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Accuracy regenerates the 2RM-vs-4RM accuracy/speed-up
+// sweep (both panels of Fig. 9 come from the same sweep).
+func BenchmarkFig9Accuracy(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Problem1 regenerates the pumping-power-minimization
+// comparison across all five cases.
+func BenchmarkTable3Problem1(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Problem2 regenerates the thermal-gradient-minimization
+// comparison across all five cases.
+func BenchmarkTable4Problem2(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10TemperatureMaps regenerates the case-1 temperature maps
+// for both problem formulations.
+func BenchmarkFig10TemperatureMaps(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig10(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Raw simulator benches backing Fig. 9(b)'s speed-up numbers. ---
+
+func benchModels(b *testing.B) (*iccad.Benchmark, []*network.Network) {
+	b.Helper()
+	bench, err := iccad.LoadScaled(1, grid.Dims{NX: benchScale(), NY: benchScale()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := network.Straight(bench.Stk.Dims, grid.SideWest, 1)
+	nets := make([]*network.Network, len(bench.Stk.ChannelLayers()))
+	for i := range nets {
+		nets[i] = n
+	}
+	return bench, nets
+}
+
+// BenchmarkRM4Simulate times one accurate 4RM steady simulation.
+func BenchmarkRM4Simulate(b *testing.B) {
+	bench, nets := benchModels(b)
+	m, err := rm4.New(bench.Stk, nets, thermal.Central)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Simulate(10e3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRM2Simulate times one 2RM steady simulation per cell size.
+func BenchmarkRM2Simulate(b *testing.B) {
+	bench, nets := benchModels(b)
+	for _, m := range []int{1, 2, 4, 6} {
+		mod, err := rm2.New(bench.Stk, nets, m, thermal.Central)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("m="+strconv.Itoa(m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mod.Simulate(10e3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNetworkEvaluation times Algorithm 2 (the inner loop of the SA
+// search) with the 2RM simulator.
+func BenchmarkNetworkEvaluation(b *testing.B) {
+	bench, _ := benchModels(b)
+	n := network.Straight(bench.Stk.Dims, grid.SideWest, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim, err := bench.Sim2RM(n, 4, thermal.Central)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.EvaluatePumpMin(sim, bench.DeltaTStar, bench.TmaxStar, core.SearchOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md Section 6). ---
+
+// BenchmarkAblationConvectionScheme contrasts the paper's central
+// differencing (Eq. (6)) with the upwind variant: runtime and the
+// resulting peak temperature are reported as metrics.
+func BenchmarkAblationConvectionScheme(b *testing.B) {
+	bench, nets := benchModels(b)
+	for _, sc := range []thermal.Scheme{thermal.Central, thermal.Upwind} {
+		m, err := rm4.New(bench.Stk, nets, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(sc.String(), func(b *testing.B) {
+			var tmax float64
+			for i := 0; i < b.N; i++ {
+				out, err := m.Simulate(10e3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tmax = out.Tmax
+			}
+			b.ReportMetric(tmax-300, "Krise")
+		})
+	}
+}
+
+// BenchmarkAblationSAStages contrasts the paper's multi-stage SA schedule
+// with a single-stage schedule of the same total evaluation budget,
+// reporting the achieved pumping power as a metric.
+func BenchmarkAblationSAStages(b *testing.B) {
+	bench, _ := benchModels(b)
+	schedules := map[string][]core.Stage{
+		"multi-stage": {
+			{Iterations: 6, Rounds: 2, Step: 8, FixedPsys: true},
+			{Iterations: 6, Rounds: 1, Step: 2},
+		},
+		"single-stage": {
+			{Iterations: 12, Rounds: 1, Step: 4},
+		},
+	}
+	for name, stages := range schedules {
+		b.Run(name, func(b *testing.B) {
+			var wp float64
+			for i := 0; i < b.N; i++ {
+				sol, err := bench.SolveProblem1(core.Options{Seed: int64(i + 1), Stages: stages})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sol.Eval.Feasible {
+					wp = sol.Eval.Wpump * 1e3
+				} else {
+					wp = math.Inf(1)
+				}
+			}
+			b.ReportMetric(wp, "mW")
+		})
+	}
+}
+
+// BenchmarkAblationStage1Cost contrasts the two candidate-evaluation
+// metrics of the SA stages: stage 1's single simulation at a fixed
+// pressure vs the full lowest-feasible-pumping-power evaluation
+// (Algorithm 2). The runtime gap is why the paper's schedule runs its
+// cheap stage first.
+func BenchmarkAblationStage1Cost(b *testing.B) {
+	bench, _ := benchModels(b)
+	n := network.Straight(bench.Stk.Dims, grid.SideWest, 1)
+	b.Run("fixed-psys", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim, err := bench.Sim2RM(n, 4, thermal.Central)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim(10e3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-eval", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim, err := bench.Sim2RM(n, 4, thermal.Central)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.EvaluatePumpMin(sim, bench.DeltaTStar, bench.TmaxStar, core.SearchOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationGroupedEval measures the Problem 2 grouped-iteration
+// re-evaluation trick (Section 5 technique 2): grouped vs ungrouped
+// candidate evaluation cost.
+func BenchmarkAblationGroupedEval(b *testing.B) {
+	bench, _ := benchModels(b)
+	for name, group := range map[string]int{"grouped": 4, "ungrouped": 0} {
+		stages := []core.Stage{{Iterations: 6, Rounds: 1, Step: 4, GroupSize: group}}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.SolveProblem2(core.Options{Seed: 1, Stages: stages}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRM2Variant contrasts the paper's 2RM side-wall
+// folding (Eq. (8)) against the LateralSL extension on a tree network,
+// reporting the mean relative error vs 4RM as a metric.
+func BenchmarkAblationRM2Variant(b *testing.B) {
+	bench, _ := benchModels(b)
+	d := bench.Stk.Dims
+	tr, err := network.Tree(d, network.UniformTreeSpec(d, max(1, d.NY/8), network.Branch2, 0.35, 0.65))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nets := make([]*network.Network, len(bench.Stk.ChannelLayers()))
+	for i := range nets {
+		nets[i] = tr
+	}
+	m4, err := rm4.New(bench.Stk, nets, thermal.Central)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o4, err := m4.Simulate(10e3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, variant := range []rm2.Variant{rm2.Paper2RM, rm2.LateralSL} {
+		b.Run(variant.String(), func(b *testing.B) {
+			var meanErr float64
+			for i := 0; i < b.N; i++ {
+				mod, err := rm2.New(bench.Stk, nets, 4, thermal.Central)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mod.Variant = variant
+				o2, err := mod.Simulate(10e3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var sum float64
+				for k := range o4.FineTemps[0] {
+					sum += math.Abs(o2.FineTemps[0][k]-o4.FineTemps[0][k]) / o4.FineTemps[0][k]
+				}
+				meanErr = sum / float64(len(o4.FineTemps[0]))
+			}
+			b.ReportMetric(100*meanErr, "%err")
+		})
+	}
+}
+
+// BenchmarkFlowSolve times the pressure/flow solve alone (Eq. (3)).
+func BenchmarkFlowSolve(b *testing.B) {
+	bench, _ := benchModels(b)
+	n := network.Straight(bench.Stk.Dims, grid.SideWest, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rm4.New(bench.Stk, []*network.Network{n}, thermal.Central); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

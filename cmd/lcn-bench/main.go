@@ -1,0 +1,80 @@
+// Command lcn-bench regenerates the tables and figures of the paper's
+// evaluation section (Section 6).
+//
+// Examples:
+//
+//	lcn-bench -exp table2
+//	lcn-bench -exp fig9 -scale 51
+//	lcn-bench -exp table3 -scale 51 -v
+//	lcn-bench -exp all -scale 31 -dir /tmp/lcn-figs
+//	lcn-bench -exp table3 -scale 101 -full       # paper-scale run (hours)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"lcn3d/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lcn-bench: ")
+
+	exp := flag.String("exp", "all", "experiment: table2 | fig5 | fig6 | fig9 | table3 | table4 | fig10 | extras | all")
+	scale := flag.Int("scale", 51, "grid size (101 = full contest scale)")
+	full := flag.Bool("full", false, "paper-scale sweeps and SA schedules (slow)")
+	seed := flag.Int64("seed", 1, "SA seed")
+	dir := flag.String("dir", "", "directory for PPM image artifacts")
+	verbose := flag.Bool("v", false, "log progress")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Full: *full, Seed: *seed, Out: os.Stdout, Dir: *dir}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+
+	run := func(name string, fn func(experiments.Config) error) {
+		t0 := time.Now()
+		fmt.Printf("\n=== %s (scale %d, full=%v) ===\n", name, *scale, *full)
+		if err := fn(cfg); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("--- %s done in %v ---\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	all := map[string]func(experiments.Config) error{
+		"table2": experiments.Table2,
+		"fig5":   experiments.Fig5,
+		"fig6":   experiments.Fig6,
+		"fig9": func(c experiments.Config) error {
+			_, err := experiments.Fig9(c)
+			return err
+		},
+		"table3": func(c experiments.Config) error {
+			_, err := experiments.Table3(c)
+			return err
+		},
+		"table4": func(c experiments.Config) error {
+			_, err := experiments.Table4(c)
+			return err
+		},
+		"fig10":  experiments.Fig10,
+		"extras": experiments.Extras,
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table2", "fig5", "fig6", "fig9", "table3", "table4", "fig10"} {
+			run(name, all[name])
+		}
+		return
+	}
+	fn, ok := all[*exp]
+	if !ok {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+	run(*exp, fn)
+}

@@ -1,0 +1,115 @@
+// Command lcn-netgen generates cooling networks, checks them against the
+// design rules, and prints layout art plus flow statistics.
+//
+// Examples:
+//
+//	lcn-netgen -grid 51 -net tree -trees 2 -type 4 -b1 0.3 -b2 0.6
+//	lcn-netgen -grid 101 -net straight -stats -psys 12980 -hc 200e-6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"lcn3d/internal/flow"
+	"lcn3d/internal/grid"
+	"lcn3d/internal/network"
+	"lcn3d/internal/report"
+	"lcn3d/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lcn-netgen: ")
+
+	size := flag.Int("grid", 51, "grid size n (n x n basic cells)")
+	kind := flag.String("net", "tree", "network: straight | tree | mesh | serpentine | comb")
+	trees := flag.Int("trees", 2, "tree count")
+	typ := flag.Int("type", 4, "branch type: 2, 4 or 8 leaves")
+	b1 := flag.Float64("b1", 0.35, "first branch fraction")
+	b2 := flag.Float64("b2", 0.65, "second branch fraction")
+	rot := flag.Int("rot", 0, "quarter turns counter-clockwise (0-3)")
+	mirror := flag.Bool("mirror", false, "mirror in x before rotating")
+	stats := flag.Bool("stats", false, "solve the flow field and print statistics")
+	psys := flag.Float64("psys", 10e3, "pressure for -stats, Pa")
+	hc := flag.Float64("hc", 200e-6, "channel height for -stats, m")
+	quiet := flag.Bool("q", false, "suppress layout art")
+	flowMap := flag.String("flowmap", "", "with -stats, write a coolant speed map PPM to this path")
+	flag.Parse()
+
+	d := grid.Dims{NX: *size, NY: *size}
+	var net *network.Network
+	var err error
+	switch *kind {
+	case "straight":
+		net = network.Straight(d, grid.SideWest, 1)
+	case "mesh":
+		net = network.Mesh(d, 1, 4)
+	case "serpentine":
+		net = network.Serpentine(d)
+	case "comb":
+		net = network.Comb(d, 1)
+	case "tree":
+		var bt network.BranchType
+		switch *typ {
+		case 2:
+			bt = network.Branch2
+		case 4:
+			bt = network.Branch4
+		case 8:
+			bt = network.Branch8
+		default:
+			log.Fatalf("branch type %d not in {2,4,8}", *typ)
+		}
+		spec := network.UniformTreeSpec(d, *trees, bt, *b1, *b2)
+		net, err = network.Tree(d, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown network kind %q", *kind)
+	}
+	net = network.Orientation{Rotations: *rot, Mirror: *mirror}.Apply(net)
+
+	if !*quiet {
+		fmt.Print(net.String())
+	}
+	fmt.Printf("grid %v, liquid cells %d (%.1f%% of chip)\n",
+		net.Dims, net.NumLiquid(), 100*float64(net.NumLiquid())/float64(net.Dims.N()))
+	if errs := net.Check(); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Printf("DRC violation: %v\n", e)
+		}
+	} else {
+		fmt.Println("DRC clean")
+	}
+	if st := net.StagnantCells(); len(st) > 0 {
+		fmt.Printf("warning: %d stagnant liquid cells\n", len(st))
+	}
+
+	if *stats {
+		g := flow.Geometry{Pitch: 100e-6, ChannelWidth: 100e-6, ChannelHeight: *hc, Coolant: units.Water}
+		s, err := flow.Solve(net, g, *psys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("P_sys %.2f kPa: Q_sys %.4f mL/s, R_sys %.3g Pa·s/m³, W_pump %.4f mW, max Re %.0f\n",
+			*psys/1e3, s.Qsys*1e6, s.Rsys, s.Wpump*1e3, s.MaxReynolds(998))
+		if *flowMap != "" {
+			hm := &report.Heatmap{Dims: net.Dims, V: s.SpeedField()}
+			f, err := os.Create(*flowMap)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := hm.WritePPM(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote coolant speed map to %s\n", *flowMap)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Command lcn-opt runs the full optimization flow (Algorithm 1) on an
+// ICCAD benchmark case: Problem 1 (pumping power minimization) or
+// Problem 2 (thermal gradient minimization), and compares the result
+// against the straight-channel baseline.
+//
+// Examples:
+//
+//	lcn-opt -case 1 -problem 1 -scale 51
+//	lcn-opt -case 2 -problem 2 -scale 101 -full      # paper-scale SA schedule
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"lcn3d"
+	"lcn3d/internal/core"
+	"lcn3d/internal/network"
+	"lcn3d/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lcn-opt: ")
+
+	caseID := flag.Int("case", 1, "ICCAD 2015 benchmark case (1-5)")
+	problem := flag.Int("problem", 1, "1 = pumping power min, 2 = thermal gradient min")
+	scale := flag.Int("scale", 51, "grid size (101 = full contest scale)")
+	full := flag.Bool("full", false, "use the paper's full SA schedule (slow)")
+	seed := flag.Int64("seed", 1, "SA random seed")
+	trees := flag.Int("trees", 0, "tree count (0 = auto)")
+	verbose := flag.Bool("v", false, "log SA progress")
+	save := flag.String("save", "", "write the optimized network to this file (lcn network format)")
+	flag.Parse()
+
+	bench, err := lcn3d.LoadBenchmarkScaled(*caseID, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := lcn3d.Options{Seed: *seed, NumTrees: *trees}
+	if *verbose {
+		opt.Logf = log.Printf
+	}
+	if *full {
+		if *problem == 1 {
+			opt.Stages = []lcn3d.Stage{
+				{Iterations: 60, Rounds: 8, Step: 8, FixedPsys: true},
+				{Iterations: 40, Rounds: 4, Step: 8},
+				{Iterations: 40, Rounds: 2, Step: 2},
+				{Iterations: 30, Rounds: 1, Step: 2, Use4RM: true},
+			}
+		} else {
+			opt.Stages = []lcn3d.Stage{
+				{Iterations: 80, Rounds: 8, Step: 8, GroupSize: 5},
+				{Iterations: 20, Rounds: 2, Step: 2, GroupSize: 5},
+				{Iterations: 20, Rounds: 1, Step: 2, Use4RM: true, GroupSize: 5},
+			}
+		}
+	}
+
+	fmt.Printf("case %d, problem %d, grid %dx%d, power %.3f W\n",
+		*caseID, *problem, *scale, *scale, bench.Stk.TotalPower())
+	fmt.Printf("constraints: ΔT* = %.2f K, T*max = %.2f K", bench.DeltaTStar, bench.TmaxStar)
+	if *problem == 2 {
+		fmt.Printf(", W*pump = %.3f mW", bench.WpumpStar*1e3)
+	}
+	fmt.Println()
+
+	t0 := time.Now()
+	base, err := lcn3d.BestStraightBaseline(bench, *problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline (straight, best of 4 directions) in %v\n", time.Since(t0).Round(time.Millisecond))
+
+	t0 = time.Now()
+	var sol *lcn3d.Solution
+	if *problem == 1 {
+		sol, err = lcn3d.OptimizePumpingPower(bench, opt)
+	} else {
+		sol, err = lcn3d.OptimizeThermalGradient(bench, opt)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SA finished in %v (%d evaluations, orientation %v)\n",
+		time.Since(t0).Round(time.Millisecond), sol.Evals, sol.Orient)
+
+	tb := &report.Table{
+		Header: []string{"design", "Psys (kPa)", "Tmax (K)", "ΔT (K)", "Wpump (mW)", "feasible"},
+	}
+	row := func(name string, ev core.EvalResult) {
+		tb.AddRow(name,
+			report.F(ev.Psys/1e3, 2),
+			report.F(evalTmax(ev), 1),
+			report.F(ev.DeltaT, 2),
+			report.F(ev.Wpump*1e3, 3),
+			fmt.Sprintf("%v", ev.Feasible))
+	}
+	row("straight baseline", base.Eval)
+	row("tree network (ours)", sol.Eval)
+	if err := tb.Write(log.Writer()); err != nil {
+		log.Fatal(err)
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := network.Write(f, sol.Net); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote optimized network to %s\n", *save)
+	}
+
+	if base.Eval.Feasible && sol.Eval.Feasible {
+		if *problem == 1 {
+			fmt.Printf("pumping power saving vs baseline: %.2f%%\n",
+				100*(1-sol.Eval.Wpump/base.Eval.Wpump))
+		} else {
+			fmt.Printf("thermal gradient reduction vs baseline: %.2f%%\n",
+				100*(1-sol.Eval.DeltaT/base.Eval.DeltaT))
+		}
+	}
+}
+
+func evalTmax(ev core.EvalResult) float64 {
+	if ev.Out == nil {
+		return 0
+	}
+	return ev.Out.Tmax
+}

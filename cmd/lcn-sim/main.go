@@ -1,0 +1,155 @@
+// Command lcn-sim runs one steady (or transient) cooling simulation on an
+// ICCAD benchmark case and prints the thermal metrics, optionally dumping
+// the bottom-source-layer temperature map.
+//
+// Examples:
+//
+//	lcn-sim -case 1 -net straight -psys 12980
+//	lcn-sim -case 2 -scale 51 -net tree -trees 3 -psys 8000 -model 2rm -m 4
+//	lcn-sim -case 1 -net tree -psys 9000 -heatmap /tmp/case1.ppm -art
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"lcn3d"
+	"lcn3d/internal/network"
+	"lcn3d/internal/report"
+	"lcn3d/internal/stack"
+)
+
+// buildNet constructs one of the named network styles.
+func buildNet(kind string, d lcn3d.Dims, trees int, b1, b2 float64) *lcn3d.Network {
+	switch kind {
+	case "straight":
+		return lcn3d.StraightNetwork(d)
+	case "tree":
+		if trees <= 0 {
+			trees = max(1, d.NY/8)
+		}
+		net, err := lcn3d.TreeNetwork(d, trees, lcn3d.Branch2, b1, b2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return net
+	case "mesh":
+		return lcn3d.MeshNetwork(d, 1, 4)
+	case "serpentine":
+		return lcn3d.SerpentineNetwork(d)
+	default:
+		log.Fatalf("unknown network kind %q", kind)
+		return nil
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lcn-sim: ")
+
+	caseID := flag.Int("case", 1, "ICCAD 2015 benchmark case (1-5)")
+	scale := flag.Int("scale", 101, "grid size n (n x n basic cells; 101 = full contest scale)")
+	netKind := flag.String("net", "straight", "network: straight | tree | mesh | serpentine")
+	netFile := flag.String("netfile", "", "load the network from this file instead of -net (e.g. one saved by lcn-opt -save)")
+	trees := flag.Int("trees", 0, "tree count for -net tree (0 = auto)")
+	b1 := flag.Float64("b1", 0.35, "first branch fraction for -net tree")
+	b2 := flag.Float64("b2", 0.65, "second branch fraction for -net tree")
+	psys := flag.Float64("psys", 10e3, "system pressure drop, Pa")
+	model := flag.String("model", "4rm", "thermal model: 4rm | 2rm")
+	mFactor := flag.Int("m", 4, "2RM coarsening factor (basic cells per thermal cell)")
+	upwind := flag.Bool("upwind", false, "use the upwind convection scheme")
+	heatmap := flag.String("heatmap", "", "write bottom source layer as PPM to this path")
+	art := flag.Bool("art", false, "print the temperature map as ASCII art")
+	netArt := flag.Bool("netart", false, "print the network layout")
+	dumpStack := flag.String("dumpstack", "", "write the benchmark's stack description + floorplan file to this path")
+	flag.Parse()
+
+	bench, err := lcn3d.LoadBenchmarkScaled(*caseID, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := bench.Stk.Dims
+
+	if *dumpStack != "" {
+		f, err := os.Create(*dumpStack)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := stack.Format(f, bench.Stk); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote stack description to %s\n", *dumpStack)
+	}
+
+	var net *lcn3d.Network
+	if *netFile != "" {
+		f, err := os.Open(*netFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		net, err = network.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if net.Dims != d {
+			log.Fatalf("network file grid %v does not match benchmark grid %v (use -scale)", net.Dims, d)
+		}
+		*netKind = "file:" + *netFile
+	} else {
+		net = buildNet(*netKind, d, *trees, *b1, *b2)
+	}
+	bench.ApplyKeepout(net)
+	if errs := net.Check(); len(errs) > 0 {
+		log.Fatalf("network violates design rules: %v", errs[0])
+	}
+	if *netArt {
+		fmt.Print(net.String())
+	}
+
+	cfg := lcn3d.SimConfig{Psys: *psys, Upwind: *upwind}
+	if *model == "2rm" {
+		cfg.Use2RM = true
+		cfg.CoarseM = *mFactor
+	}
+	out, err := lcn3d.Simulate(bench, net, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("case %d (%s)  grid %v  net %s  model %s\n",
+		*caseID, bench.Spec.Other, d, *netKind, *model)
+	fmt.Printf("P_sys   = %10.2f kPa\n", out.Psys/1e3)
+	fmt.Printf("Q_sys   = %10.4f mL/s\n", out.Qsys*1e6)
+	fmt.Printf("W_pump  = %10.4f mW\n", out.Wpump*1e3)
+	fmt.Printf("T_max   = %10.2f K   (constraint %.2f K)\n", out.Tmax, bench.TmaxStar)
+	fmt.Printf("DeltaT  = %10.2f K   (constraint %.2f K)\n", out.DeltaT, bench.DeltaTStar)
+	for i, st := range out.PerLayer {
+		fmt.Printf("  source layer %d: min %.2f  max %.2f  mean %.2f  range %.2f K\n",
+			i+1, st.Min, st.Max, st.Mean, st.Range())
+	}
+
+	hm := &report.Heatmap{Dims: out.FineDims, V: out.FineTemps[0]}
+	if *art {
+		fmt.Println("bottom source layer (north up):")
+		fmt.Print(hm.ASCII(64))
+	}
+	if *heatmap != "" {
+		f, err := os.Create(*heatmap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := hm.WritePPM(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *heatmap)
+	}
+}

@@ -1,0 +1,52 @@
+package lcn3d_test
+
+import (
+	"fmt"
+	"log"
+
+	"lcn3d"
+)
+
+// The examples below run on tiny grids so `go test` stays fast; real
+// studies use scale 51-101 (see the examples/ directory).
+
+func ExampleSimulate() {
+	bench, err := lcn3d.LoadBenchmarkScaled(1, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := lcn3d.StraightNetwork(bench.Stk.Dims)
+	out, err := lcn3d.Simulate(bench, net, lcn3d.SimConfig{Psys: 10e3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("feasible ΔT: %v\n", out.DeltaT < bench.DeltaTStar)
+	// Output:
+	// feasible ΔT: true
+}
+
+func ExampleTreeNetwork() {
+	d := lcn3d.Dims{NX: 31, NY: 31}
+	net, err := lcn3d.TreeNetwork(d, 2, lcn3d.Branch4, 0.3, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	errs := net.Check()
+	fmt.Printf("legal: %v, trees feed %d liquid cells\n", len(errs) == 0, net.NumLiquid())
+	// Output:
+	// legal: true, trees feed 184 liquid cells
+}
+
+func ExampleEvaluatePumpingPower() {
+	bench, err := lcn3d.LoadBenchmarkScaled(2, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := lcn3d.EvaluatePumpingPower(bench, lcn3d.StraightNetwork(bench.Stk.Dims))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("feasible: %v at positive pressure: %v\n", ev.Feasible, ev.Psys > 0)
+	// Output:
+	// feasible: true at positive pressure: true
+}

@@ -1,0 +1,63 @@
+// Powermin runs the paper's Problem 1 (pumping power minimization) on
+// ICCAD case 2: it searches tree-like cooling networks with multi-stage
+// simulated annealing and compares the result against the best
+// straight-channel baseline, printing the layouts and the saving.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"lcn3d"
+)
+
+func main() {
+	bench, err := lcn3d.LoadBenchmarkScaled(2, 51)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %.2f W, ΔT* = %.0f K, T*max = %.2f K\n",
+		bench.Name, bench.Stk.TotalPower(), bench.DeltaTStar, bench.TmaxStar)
+
+	// Baseline: best straight-channel direction, evaluated by the paper's
+	// Algorithm 2 (lowest feasible pumping power).
+	t0 := time.Now()
+	base, err := lcn3d.BestStraightBaseline(bench, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbaseline (straight, inlet %v) in %v:\n", base.Side, time.Since(t0).Round(time.Second))
+	printEval(base.Eval)
+
+	// Ours: orientation sweep + multi-stage SA over tree parameters
+	// (Algorithm 1). The stage schedule here is a scaled-down version of
+	// the paper's 60/40/40/30 iterations; see cmd/lcn-opt -full for the
+	// real one.
+	t0 = time.Now()
+	sol, err := lcn3d.OptimizePumpingPower(bench, lcn3d.Options{
+		Seed: 7,
+		Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntree network (orientation %v, %d evaluations) in %v:\n",
+		sol.Orient, sol.Evals, time.Since(t0).Round(time.Second))
+	printEval(sol.Eval)
+
+	if base.Eval.Feasible && sol.Eval.Feasible {
+		fmt.Printf("\npumping power saving: %.1f%%\n", 100*(1-sol.Eval.Wpump/base.Eval.Wpump))
+	}
+	fmt.Println("\noptimized network layout ('#' = microchannel, 'T' = TSV):")
+	fmt.Print(sol.Net.String())
+}
+
+func printEval(ev lcn3d.EvalResult) {
+	if !ev.Feasible {
+		fmt.Println("  infeasible under the constraints")
+		return
+	}
+	fmt.Printf("  P_sys = %.2f kPa, W_pump = %.4f mW, ΔT = %.2f K, T_max = %.2f K\n",
+		ev.Psys/1e3, ev.Wpump*1e3, ev.DeltaT, ev.Out.Tmax)
+}

@@ -1,0 +1,63 @@
+// Runtimecontrol demonstrates the paper's future-work direction:
+// combining a cooling network with run-time thermal management via
+// adjustable flow rates. A workload alternates between a low-power and a
+// high-power phase; a bang-bang pump controller and a PI controller are
+// compared against fixed low/high pumping on peak temperature and
+// pumping energy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lcn3d"
+	"lcn3d/internal/dtm"
+)
+
+func main() {
+	bench, err := lcn3d.LoadBenchmarkScaled(1, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := lcn3d.StraightNetwork(bench.Stk.Dims)
+	model, err := lcn3d.RM4Model(bench, net)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Workload: 100 ms phases alternating between 30% and 120% of the
+	// nominal die power.
+	trace := dtm.StepTrace(0.3, 1.2, 0.2)
+	base := dtm.Config{
+		Model: model, Trace: trace,
+		Dt: 2e-3, CtrlEvery: 5, Duration: 0.8,
+	}
+	const limit = 318.0 // K, run-time thermal limit for this example
+
+	controllers := []struct {
+		name string
+		ctrl dtm.Controller
+	}{
+		{"fixed low (3 kPa)", dtm.Fixed(3e3)},
+		{"fixed high (40 kPa)", dtm.Fixed(40e3)},
+		{"bang-bang", &dtm.BangBang{TLow: limit - 6, THigh: limit - 2, PLow: 3e3, PHigh: 40e3}},
+		{"PI", &dtm.PI{Target: limit - 3, Kp: 4e3, Ki: 300, PMin: 3e3, PMax: 40e3}},
+	}
+
+	fmt.Printf("workload: 30%%/120%% power steps, limit %.1f K, %.1f s simulated\n\n", limit, base.Duration)
+	fmt.Println("controller            peak Tmax (K)   pump energy (mJ)   mean Psys (kPa)   over-limit periods")
+	for _, c := range controllers {
+		cfg := base
+		cfg.Controller = c.ctrl
+		res, err := dtm.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.CountOvershoots(limit)
+		fmt.Printf("%-20s  %12.2f   %16.3f   %15.2f   %18d\n",
+			c.name, res.PeakTmax, res.PumpEnergy*1e3, res.MeanPsys/1e3, res.Overshoots)
+	}
+	fmt.Println("\nAdaptive pumping holds the thermal limit at a fraction of the")
+	fmt.Println("fixed-high pumping energy — the trade the paper's future-work")
+	fmt.Println("section anticipates.")
+}

@@ -1,0 +1,59 @@
+// Transient exercises the transient extension the paper mentions for its
+// thermal models: a power-step response. The chip starts at the coolant
+// inlet temperature, full power switches on at t=0, and the peak
+// temperature is tracked as it approaches the steady-state value.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lcn3d"
+)
+
+func main() {
+	bench, err := lcn3d.LoadBenchmarkScaled(1, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := lcn3d.StraightNetwork(bench.Stk.Dims)
+	const psys = 10e3
+
+	// Steady-state target for reference.
+	steady, err := lcn3d.Simulate(bench, net, lcn3d.SimConfig{Psys: psys})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("steady-state T_max = %.2f K\n\n", steady.Tmax)
+
+	// Backward-Euler stepping at 1 ms resolution.
+	ts, field, err := lcn3d.Transient(bench, net, psys, 1e-3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("t (ms)    T_max (K)   of steady rise")
+	report := map[int]bool{1: true, 2: true, 5: true, 10: true, 20: true, 50: true, 100: true, 200: true}
+	maxOf := func(v []float64) float64 {
+		m := v[0]
+		for _, x := range v {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	err = ts.Run(field, 200, func(elapsed float64, f []float64) {
+		ms := int(elapsed*1e3 + 0.5)
+		if report[ms] {
+			tm := maxOf(f)
+			frac := (tm - 300) / (steady.Tmax - 300)
+			fmt.Printf("%6d    %8.2f    %5.1f%%\n", ms, tm, 100*frac)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	final := maxOf(field)
+	fmt.Printf("\nafter 200 ms the transient peak is within %.2f K of steady state\n",
+		steady.Tmax-final)
+}

@@ -1,0 +1,3 @@
+module lcn3d
+
+go 1.22

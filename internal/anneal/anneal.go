@@ -1,0 +1,178 @@
+// Package anneal provides the simulated-annealing engine behind the
+// paper's network topology search (Algorithm 1). Each iteration generates
+// a batch of neighbor candidates, evaluates them concurrently (the paper
+// evaluates 64 neighboring solutions simultaneously on an 80-core
+// server), picks the best, and accepts or rejects it with the Metropolis
+// criterion.
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Config tunes one SA run.
+type Config struct {
+	Iterations int     // outer iterations
+	Neighbors  int     // candidates per iteration (default 8)
+	InitTemp   float64 // initial Metropolis temperature, in cost units
+	CoolRate   float64 // geometric cooling per iteration (default 0.92)
+	Seed       int64
+	// Converge stops the run early after this many consecutive
+	// non-improving iterations (0 disables).
+	Converge int
+	// Parallelism bounds concurrent cost evaluations (default NumCPU).
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Iterations <= 0 {
+		c.Iterations = 50
+	}
+	if c.Neighbors <= 0 {
+		c.Neighbors = 8
+	}
+	if c.CoolRate <= 0 || c.CoolRate >= 1 {
+		c.CoolRate = 0.92
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	return c
+}
+
+// Stats reports what a run did.
+type Stats struct {
+	Iterations  int
+	Evaluations int
+	Accepted    int
+	Improved    int
+}
+
+// Run anneals from the initial state. move must return a fresh candidate
+// (never mutate its argument); cost returns +Inf for infeasible states.
+// It returns the best state seen, its cost, and run statistics.
+func Run[S any](cfg Config, initial S, move func(*rand.Rand, S) S, cost func(S) float64) (S, float64, Stats) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cur := initial
+	curCost := cost(cur)
+	best := cur
+	bestCost := curCost
+	stats := Stats{Evaluations: 1}
+
+	temp := cfg.InitTemp
+	if temp <= 0 {
+		// Auto-scale: a tenth of the initial cost, or 1 when infeasible.
+		temp = math.Abs(curCost) / 10
+		if temp == 0 || math.IsInf(temp, 0) || math.IsNaN(temp) {
+			temp = 1
+		}
+	}
+
+	type cand struct {
+		s S
+		c float64
+	}
+	sinceImprove := 0
+	for it := 0; it < cfg.Iterations; it++ {
+		stats.Iterations++
+		// Generate candidates sequentially (cheap, keeps determinism),
+		// evaluate them in parallel (expensive).
+		cands := make([]cand, cfg.Neighbors)
+		for i := range cands {
+			cands[i].s = move(rng, cur)
+		}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.Parallelism)
+		for i := range cands {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				cands[i].c = cost(cands[i].s)
+				<-sem
+			}(i)
+		}
+		wg.Wait()
+		stats.Evaluations += len(cands)
+
+		bi := 0
+		for i := 1; i < len(cands); i++ {
+			if cands[i].c < cands[bi].c {
+				bi = i
+			}
+		}
+		next, nextCost := cands[bi].s, cands[bi].c
+
+		accept := false
+		switch {
+		case math.IsInf(nextCost, 1):
+			accept = false
+		case nextCost <= curCost:
+			accept = true
+		default:
+			accept = rng.Float64() < math.Exp((curCost-nextCost)/math.Max(temp, 1e-300))
+		}
+		if accept {
+			cur, curCost = next, nextCost
+			stats.Accepted++
+		}
+		if nextCost < bestCost {
+			best, bestCost = next, nextCost
+			stats.Improved++
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+			if cfg.Converge > 0 && sinceImprove >= cfg.Converge {
+				return best, bestCost, stats
+			}
+		}
+		temp *= cfg.CoolRate
+	}
+	return best, bestCost, stats
+}
+
+// MultiRound runs several independent SA rounds (different seeds) and
+// returns the best result, mirroring the paper's per-stage rounds where
+// "in different rounds of a stage, all settings are the same except the
+// random seed". Rounds execute concurrently.
+func MultiRound[S any](cfg Config, rounds int, initial S, move func(*rand.Rand, S) S, cost func(S) float64) (S, float64, Stats) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	type result struct {
+		s     S
+		c     float64
+		stats Stats
+	}
+	results := make([]result, rounds)
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := cfg
+			c.Seed = cfg.Seed + int64(r)*7919
+			// Share the parallelism budget across rounds.
+			c.Parallelism = max(1, cfg.withDefaults().Parallelism/rounds)
+			s, cost2, st := Run(c, initial, move, cost)
+			results[r] = result{s, cost2, st}
+		}(r)
+	}
+	wg.Wait()
+	best := results[0]
+	for _, r := range results[1:] {
+		best.stats.Evaluations += r.stats.Evaluations
+		best.stats.Iterations += r.stats.Iterations
+		best.stats.Accepted += r.stats.Accepted
+		best.stats.Improved += r.stats.Improved
+		if r.c < best.c {
+			best.s, best.c = r.s, r.c
+		}
+	}
+	return best.s, best.c, best.stats
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/network"
+	"lcn3d/internal/thermal"
+)
+
+// EvaluateNetworkPumpMin evaluates an arbitrary network for Problem 1
+// with the accurate 4RM simulator.
+func (in *Instance) EvaluateNetworkPumpMin(n *network.Network, scheme thermal.Scheme, opt SearchOptions) (EvalResult, error) {
+	sim, err := in.Sim4RM(n, scheme)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	return EvaluatePumpMin(sim, in.DeltaTStar, in.TmaxStar, opt)
+}
+
+// EvaluateNetworkGradMin evaluates an arbitrary network for Problem 2
+// with the accurate 4RM simulator.
+func (in *Instance) EvaluateNetworkGradMin(n *network.Network, scheme thermal.Scheme, opt SearchOptions) (EvalResult, error) {
+	sim, err := in.Sim4RM(n, scheme)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	out, err := sim(opt.withDefaults().PInit)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	budget := PressureBudget(in.WpumpStar, out.Rsys)
+	return EvaluateGradMin(sim, in.TmaxStar, budget, opt)
+}
+
+// BaselineResult reports the best straight-channel baseline.
+type BaselineResult struct {
+	Net  *network.Network
+	Side grid.Side
+	Eval EvalResult
+}
+
+// BestStraightBaseline evaluates maximum-density straight-channel
+// networks over all four global directions (the paper's baseline:
+// "straight channels of diverse global directions are evaluated by the
+// network evaluation process and the best is the baseline") and returns
+// the best one. problem selects the evaluation metric (1 or 2). The
+// result's Eval.Feasible is false when no direction is feasible (e.g.
+// case 5 under Problem 1).
+func (in *Instance) BestStraightBaseline(problem int, scheme thermal.Scheme, opt SearchOptions) (*BaselineResult, error) {
+	var best *BaselineResult
+	for _, side := range []grid.Side{grid.SideWest, grid.SideEast, grid.SideSouth, grid.SideNorth} {
+		n := network.Straight(in.Stk.Dims, side, 1)
+		in.ApplyKeepout(n)
+		if errs := n.Check(); len(errs) > 0 {
+			continue
+		}
+		var ev EvalResult
+		var err error
+		if problem == 1 {
+			ev, err = in.EvaluateNetworkPumpMin(n, scheme, opt)
+		} else {
+			ev, err = in.EvaluateNetworkGradMin(n, scheme, opt)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: baseline %v: %w", side, err)
+		}
+		cand := &BaselineResult{Net: n, Side: side, Eval: ev}
+		if best == nil || betterEval(problem, cand.Eval, best.Eval) {
+			best = cand
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: no legal straight baseline exists")
+	}
+	return best, nil
+}
+
+func betterEval(problem int, a, b EvalResult) bool {
+	if a.Feasible != b.Feasible {
+		return a.Feasible
+	}
+	if problem == 1 {
+		return less(a.Wpump, b.Wpump)
+	}
+	return less(a.DeltaT, b.DeltaT)
+}
+
+func less(a, b float64) bool {
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return false
+	}
+	return a < b
+}

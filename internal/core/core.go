@@ -1,0 +1,168 @@
+// Package core implements the paper's design-optimization contribution:
+// the pressure–temperature analysis of Section 4.1, the network
+// evaluation procedures of Section 4.2 (Algorithms 2 and 3), the
+// golden-section variant for thermal-gradient minimization (Section 5),
+// and the multi-stage simulated-annealing search over hierarchical
+// tree-like networks (Sections 4.3–4.4, Algorithm 1).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"lcn3d/internal/network"
+	"lcn3d/internal/rm2"
+	"lcn3d/internal/rm4"
+	"lcn3d/internal/stack"
+	"lcn3d/internal/thermal"
+)
+
+// SimFunc runs one steady cooling-system simulation at a system pressure
+// drop and returns the outcome. Implementations are obtained by binding a
+// thermal model to a network (see Instance.Sim2RM / Sim4RM).
+type SimFunc func(psys float64) (*thermal.Outcome, error)
+
+// Memo wraps a SimFunc with a concurrency-safe cache keyed on pressure.
+// Algorithm 3 probes f(P_sys) repeatedly at recurring points (bisection
+// endpoints, re-evaluations); the cache makes those free.
+func Memo(sim SimFunc) SimFunc {
+	var mu sync.Mutex
+	cache := make(map[float64]*thermal.Outcome)
+	errs := make(map[float64]error)
+	return func(psys float64) (*thermal.Outcome, error) {
+		mu.Lock()
+		if out, ok := cache[psys]; ok {
+			mu.Unlock()
+			return out, nil
+		}
+		if err, ok := errs[psys]; ok {
+			mu.Unlock()
+			return nil, err
+		}
+		mu.Unlock()
+		out, err := sim(psys)
+		mu.Lock()
+		if err != nil {
+			errs[psys] = err
+		} else {
+			cache[psys] = out
+		}
+		mu.Unlock()
+		return out, err
+	}
+}
+
+// Instance is one benchmark problem: a stack plus the constraints of
+// Problem 1 / Problem 2.
+type Instance struct {
+	Name string
+	Stk  *stack.Stack
+
+	DeltaTStar float64 // ΔT* constraint, K
+	TmaxStar   float64 // T*_max constraint, K
+	WpumpStar  float64 // W*_pump constraint, W (Problem 2)
+
+	// Keepout, when non-nil, forbids channels in the half-open rectangle
+	// [x0, x1) x [y0, y1) of every channel layer (benchmark case 3).
+	Keepout *[4]int
+}
+
+// nets replicates one channel-layer network across every channel layer of
+// the stack (this also realizes the case-4 "matched inlets and outlets
+// across layers" rule in the strongest form).
+func (in *Instance) nets(n *network.Network) []*network.Network {
+	out := make([]*network.Network, len(in.Stk.ChannelLayers()))
+	for i := range out {
+		out[i] = n
+	}
+	return out
+}
+
+// ApplyKeepout carves the instance's keepout region (if any) into the
+// network, adding the detour ring.
+func (in *Instance) ApplyKeepout(n *network.Network) {
+	if in.Keepout != nil {
+		k := *in.Keepout
+		network.CarveKeepout(n, k[0], k[1], k[2], k[3])
+	}
+}
+
+// Sim2RM binds a 2RM model (coarsening m, scheme) to the network and
+// returns a memoized SimFunc.
+func (in *Instance) Sim2RM(n *network.Network, m int, scheme thermal.Scheme) (SimFunc, error) {
+	mod, err := rm2.New(in.Stk, in.nets(n), m, scheme)
+	if err != nil {
+		return nil, err
+	}
+	return Memo(mod.Simulate), nil
+}
+
+// Sim4RM binds a 4RM model to the network and returns a memoized SimFunc.
+func (in *Instance) Sim4RM(n *network.Network, scheme thermal.Scheme) (SimFunc, error) {
+	mod, err := rm4.New(in.Stk, in.nets(n), scheme)
+	if err != nil {
+		return nil, err
+	}
+	return Memo(mod.Simulate), nil
+}
+
+// ProfilePoint is one sample of the pressure sweep behind Figs. 5 and 6.
+type ProfilePoint struct {
+	Psys   float64
+	DeltaT float64
+	Tmax   float64
+	Wpump  float64
+	// CellTemps holds the temperatures of the requested sample cells in
+	// the bottom source layer (Fig. 5 plots individual cells).
+	CellTemps []float64
+}
+
+// PressureProfile sweeps the simulator over the given pressures,
+// reporting ΔT = f(P_sys), T_max = h(P_sys), W_pump, and optionally the
+// temperatures of chosen bottom-source-layer cells.
+func PressureProfile(sim SimFunc, pressures []float64, sampleCells []int) ([]ProfilePoint, error) {
+	pts := make([]ProfilePoint, 0, len(pressures))
+	sorted := append([]float64(nil), pressures...)
+	sort.Float64s(sorted)
+	for _, p := range sorted {
+		out, err := sim(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: profile at %g Pa: %w", p, err)
+		}
+		pt := ProfilePoint{Psys: p, DeltaT: out.DeltaT, Tmax: out.Tmax, Wpump: out.Wpump}
+		for _, c := range sampleCells {
+			pt.CellTemps = append(pt.CellTemps, out.FineTemps[0][c])
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// ClassifyProfile reports whether a ΔT profile is "unimodal" (falls then
+// rises, Fig. 6(a)) or "decreasing" (Fig. 6(b)), with a small relative
+// tolerance for solver noise.
+func ClassifyProfile(pts []ProfilePoint) string {
+	const tol = 1e-3
+	minIdx := 0
+	for i, p := range pts {
+		if p.DeltaT < pts[minIdx].DeltaT {
+			minIdx = i
+		}
+	}
+	if minIdx == len(pts)-1 {
+		return "decreasing"
+	}
+	rise := pts[len(pts)-1].DeltaT - pts[minIdx].DeltaT
+	if rise > tol*pts[minIdx].DeltaT {
+		return "unimodal"
+	}
+	return "decreasing"
+}
+
+// infeasible constructs the +Inf evaluation used by Algorithm 2 when no
+// pressure satisfies the constraints.
+func infeasible(psys float64, out *thermal.Outcome, probes int) EvalResult {
+	return EvalResult{Feasible: false, Psys: psys, Wpump: math.Inf(1), Out: out, Probes: probes}
+}

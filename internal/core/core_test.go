@@ -1,0 +1,390 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/network"
+	"lcn3d/internal/power"
+	"lcn3d/internal/stack"
+	"lcn3d/internal/thermal"
+)
+
+var d21 = grid.Dims{NX: 21, NY: 21}
+
+func testInstance(t *testing.T, total float64, seed int64) *Instance {
+	t.Helper()
+	s, err := stack.NewDieStack(stack.Config{Dims: d21, ChannelHeight: 200e-6},
+		[]*power.Map{
+			power.Hotspots(d21, seed, 2, 0.6, total/2),
+			power.Hotspots(d21, seed+1, 2, 0.6, total/2),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Instance{
+		Name: "test", Stk: s,
+		DeltaTStar: 10, TmaxStar: 358.15, WpumpStar: total / 1000,
+	}
+}
+
+// syntheticSim builds a SimFunc from closed-form f and h curves, letting
+// the searches be verified against brute force without a full simulator.
+func syntheticSim(f, h func(p float64) float64) SimFunc {
+	return func(p float64) (*thermal.Outcome, error) {
+		return &thermal.Outcome{
+			Metrics: thermal.Metrics{DeltaT: f(p), Tmax: h(p)},
+			Psys:    p,
+			Qsys:    p * 1e-10, // R_sys = 1e10
+			Rsys:    1e10,
+			Wpump:   p * p * 1e-10,
+		}, nil
+	}
+}
+
+func bruteForceMinFeasible(f func(float64) float64, target float64) float64 {
+	best := math.Inf(1)
+	for p := 10.0; p < 1e6; p *= 1.002 {
+		if f(p) <= target {
+			best = p
+			break
+		}
+	}
+	return best
+}
+
+func TestAlg3UnimodalFeasible(t *testing.T) {
+	// f falls to 4 at p=50e3 then rises (Fig. 6(a)).
+	f := func(p float64) float64 { return 4 + math.Abs(p-50e3)/10e3 }
+	sim := Memo(syntheticSim(f, func(p float64) float64 { return 320 }))
+	r, err := MinPressureForDeltaT(sim, 6, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Fatal("ΔT*=6 is feasible (minimum is 4)")
+	}
+	want := bruteForceMinFeasible(f, 6)
+	if math.Abs(r.Psys-want)/want > 0.03 {
+		t.Fatalf("Psys = %g, brute force %g", r.Psys, want)
+	}
+}
+
+func TestAlg3UnimodalInfeasible(t *testing.T) {
+	f := func(p float64) float64 { return 4 + math.Abs(p-50e3)/10e3 }
+	sim := Memo(syntheticSim(f, func(p float64) float64 { return 320 }))
+	r, err := MinPressureForDeltaT(sim, 3, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Feasible {
+		t.Fatal("ΔT*=3 is infeasible (minimum is 4)")
+	}
+	// The search should land near the minimizer 50 kPa.
+	if math.Abs(r.Psys-50e3)/50e3 > 0.1 {
+		t.Fatalf("infeasible return %g should approximate the minimizer 50e3", r.Psys)
+	}
+}
+
+func TestAlg3MonotoneDecreasingFeasible(t *testing.T) {
+	// f decreasing toward asymptote 2 (Fig. 6(b)).
+	f := func(p float64) float64 { return 2 + 1e5/p }
+	sim := Memo(syntheticSim(f, func(p float64) float64 { return 320 }))
+	r, err := MinPressureForDeltaT(sim, 4, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Fatal("should be feasible")
+	}
+	want := bruteForceMinFeasible(f, 4) // crossing at p=5e4
+	if math.Abs(r.Psys-want)/want > 0.03 {
+		t.Fatalf("Psys = %g, want ~%g", r.Psys, want)
+	}
+}
+
+func TestAlg3MonotonePlateauInfeasible(t *testing.T) {
+	f := func(p float64) float64 { return 5 + 1e4/p }
+	sim := Memo(syntheticSim(f, func(p float64) float64 { return 320 }))
+	r, err := MinPressureForDeltaT(sim, 4.9, SearchOptions{PMax: 1e7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Feasible {
+		t.Fatal("asymptote 5 > 4.9: infeasible")
+	}
+}
+
+func TestAlg3FeasibleAtFloor(t *testing.T) {
+	f := func(p float64) float64 { return 1.0 } // always tiny
+	sim := Memo(syntheticSim(f, func(p float64) float64 { return 310 }))
+	r, err := MinPressureForDeltaT(sim, 5, SearchOptions{PMin: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible || r.Psys > 200 {
+		t.Fatalf("should be feasible near the floor, got %g", r.Psys)
+	}
+}
+
+func TestEvaluatePumpMinTmaxBinds(t *testing.T) {
+	f := func(p float64) float64 { return 2 + 1e4/p }   // feasible from p=5e3 (ΔT*=4)
+	h := func(p float64) float64 { return 300 + 6e5/p } // h<=340 needs p>=15e3
+	sim := Memo(syntheticSim(f, h))
+	r, err := EvaluatePumpMin(sim, 4, 340, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Fatal("should be feasible")
+	}
+	if r.Psys < 15e3*0.97 || r.Psys > 15e3*1.1 {
+		t.Fatalf("Psys = %g, want ~15e3 (Tmax-bound)", r.Psys)
+	}
+	if r.Out.Tmax > 340*(1+1e-6) {
+		t.Fatalf("Tmax %g violates 340", r.Out.Tmax)
+	}
+}
+
+func TestEvaluatePumpMinInfeasible(t *testing.T) {
+	f := func(p float64) float64 { return 20.0 }
+	sim := Memo(syntheticSim(f, func(p float64) float64 { return 320 }))
+	r, err := EvaluatePumpMin(sim, 10, 358, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Feasible || !math.IsInf(r.Wpump, 1) {
+		t.Fatalf("expected +Inf, got %+v", r)
+	}
+}
+
+func TestEvaluateGradMinBoundaryOptimal(t *testing.T) {
+	// f strictly decreasing: optimum is the pressure budget itself.
+	f := func(p float64) float64 { return 2 + 1e5/p }
+	sim := Memo(syntheticSim(f, func(p float64) float64 { return 320 }))
+	r, err := EvaluateGradMin(sim, 358, 80e3, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Fatal("should be feasible")
+	}
+	if math.Abs(r.Psys-80e3)/80e3 > 0.05 {
+		t.Fatalf("boundary should be optimal: got %g, want 80e3", r.Psys)
+	}
+}
+
+func TestEvaluateGradMinInteriorOptimal(t *testing.T) {
+	// f uni-modal with minimum at 30e3, budget at 100e3: golden section
+	// must find the interior minimum.
+	f := func(p float64) float64 { return 4 + math.Abs(p-30e3)/10e3 }
+	sim := Memo(syntheticSim(f, func(p float64) float64 { return 320 }))
+	r, err := EvaluateGradMin(sim, 358, 100e3, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Fatal("should be feasible")
+	}
+	if math.Abs(r.DeltaT-4) > 0.2 {
+		t.Fatalf("ΔT = %g, want ~4 (interior minimum)", r.DeltaT)
+	}
+}
+
+func TestEvaluateGradMinTmaxInfeasible(t *testing.T) {
+	h := func(p float64) float64 { return 400.0 } // always too hot
+	sim := Memo(syntheticSim(func(p float64) float64 { return 3 }, h))
+	r, err := EvaluateGradMin(sim, 358, 50e3, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Feasible {
+		t.Fatal("Tmax can never be met; must be infeasible")
+	}
+}
+
+func TestPressureBudget(t *testing.T) {
+	// W = P^2/R: budget 1 mW with R=1e10 -> P = sqrt(1e-3*1e10) ~ 3162 Pa.
+	p := PressureBudget(1e-3, 1e10)
+	if math.Abs(p-math.Sqrt(1e7)) > 1 {
+		t.Fatalf("budget %g", p)
+	}
+	if PressureBudget(1e-3, math.Inf(1)) != 0 {
+		t.Fatal("infinite resistance should yield zero budget")
+	}
+}
+
+func TestMemoCachesSimulations(t *testing.T) {
+	calls := 0
+	sim := Memo(func(p float64) (*thermal.Outcome, error) {
+		calls++
+		return &thermal.Outcome{Psys: p}, nil
+	})
+	sim(1e3)
+	sim(1e3)
+	sim(2e3)
+	if calls != 2 {
+		t.Fatalf("memo should dedupe: %d calls", calls)
+	}
+}
+
+func TestClassifyProfile(t *testing.T) {
+	uni := []ProfilePoint{{DeltaT: 10}, {DeltaT: 5}, {DeltaT: 4}, {DeltaT: 6}}
+	dec := []ProfilePoint{{DeltaT: 10}, {DeltaT: 7}, {DeltaT: 5}, {DeltaT: 4.5}}
+	if ClassifyProfile(uni) != "unimodal" {
+		t.Fatal("uni-modal misclassified")
+	}
+	if ClassifyProfile(dec) != "decreasing" {
+		t.Fatal("decreasing misclassified")
+	}
+}
+
+func TestPressureProfileOnRealModel(t *testing.T) {
+	in := testInstance(t, 2.0, 1)
+	n := network.Straight(d21, grid.SideWest, 1)
+	sim, err := in.Sim2RM(n, 3, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pressures := []float64{2e3, 5e3, 10e3, 20e3, 40e3}
+	pts, err := PressureProfile(sim, pressures, []int{d21.Index(1, 10), d21.Index(19, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h must decrease monotonically (Section 4.1).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Tmax >= pts[i-1].Tmax {
+			t.Fatalf("Tmax not decreasing: %v", pts)
+		}
+	}
+	// Every cell temperature must also decrease with pressure.
+	for i := 1; i < len(pts); i++ {
+		for c := range pts[i].CellTemps {
+			if pts[i].CellTemps[c] >= pts[i-1].CellTemps[c] {
+				t.Fatalf("cell %d temp not decreasing", c)
+			}
+		}
+	}
+}
+
+func TestAlg3OnRealModelMatchesScan(t *testing.T) {
+	in := testInstance(t, 2.0, 3)
+	n := network.Straight(d21, grid.SideWest, 1)
+	sim, err := in.Sim2RM(n, 3, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := MinPressureForDeltaT(sim, 6.0, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		// Fine: verify the scan agrees that it is infeasible near r.Psys.
+		out, _ := sim(r.Psys * 4)
+		if out != nil && out.DeltaT <= 6.0 {
+			t.Fatalf("declared infeasible but ΔT(4*P)=%g <= 6", out.DeltaT)
+		}
+		return
+	}
+	// Scan: no pressure 20% below should be feasible.
+	below, err := sim(r.Psys * 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below.DeltaT <= 6.0*(1-0.02) {
+		t.Fatalf("found P=%g but 0.8P also feasible (ΔT=%g)", r.Psys, below.DeltaT)
+	}
+	if r.Out.DeltaT > 6.0*1.01 {
+		t.Fatalf("returned pressure violates ΔT*: %g", r.Out.DeltaT)
+	}
+}
+
+func TestSolveProblem1EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SA run")
+	}
+	in := testInstance(t, 2.0, 5)
+	// The hotspot layout of this small chip has an asymptotic ΔT near
+	// 9 K (conduction-dominated); 12 K is feasible at moderate pressure.
+	in.DeltaTStar = 12
+	sol, err := in.SolveProblem1(Options{
+		Seed:     1,
+		NumTrees: 1,
+		CoarseM:  3,
+		Stages: []Stage{
+			{Iterations: 3, Rounds: 1, Step: 4, FixedPsys: true},
+			{Iterations: 3, Rounds: 1, Step: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Eval.Feasible {
+		t.Fatalf("solution infeasible: %+v", sol.Eval)
+	}
+	if sol.Eval.Out.DeltaT > in.DeltaTStar*1.01 || sol.Eval.Out.Tmax > in.TmaxStar*1.001 {
+		t.Fatalf("constraints violated: ΔT=%g Tmax=%g", sol.Eval.Out.DeltaT, sol.Eval.Out.Tmax)
+	}
+	if sol.Eval.Wpump <= 0 {
+		t.Fatalf("Wpump = %g", sol.Eval.Wpump)
+	}
+}
+
+func TestSolveProblem2EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SA run")
+	}
+	in := testInstance(t, 2.0, 6)
+	in.WpumpStar = 2e-3
+	sol, err := in.SolveProblem2(Options{
+		Seed:     2,
+		NumTrees: 1,
+		CoarseM:  3,
+		Stages: []Stage{
+			{Iterations: 3, Rounds: 1, Step: 4, GroupSize: 3},
+			{Iterations: 2, Rounds: 1, Step: 2, Use4RM: true, GroupSize: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Eval.Feasible {
+		t.Fatalf("solution infeasible: %+v", sol.Eval)
+	}
+	if sol.Eval.Wpump > in.WpumpStar*1.05 {
+		t.Fatalf("pump budget exceeded: %g > %g", sol.Eval.Wpump, in.WpumpStar)
+	}
+}
+
+func TestBestStraightBaseline(t *testing.T) {
+	in := testInstance(t, 2.0, 7)
+	in.DeltaTStar = 12
+	b, err := in.BestStraightBaseline(1, thermal.Central, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Eval.Feasible {
+		t.Fatalf("straight baseline should be feasible here: %+v", b.Eval)
+	}
+	if b.Eval.Out.DeltaT > in.DeltaTStar*1.01 {
+		t.Fatalf("baseline violates ΔT*: %g", b.Eval.Out.DeltaT)
+	}
+}
+
+func TestKeepoutAppliedToCandidates(t *testing.T) {
+	in := testInstance(t, 1.0, 8)
+	in.Keepout = &[4]int{8, 8, 13, 13}
+	n := network.Straight(d21, grid.SideWest, 1)
+	in.ApplyKeepout(n)
+	for y := 8; y < 13; y++ {
+		for x := 8; x < 13; x++ {
+			if n.IsLiquid(x, y) {
+				t.Fatalf("keepout cell (%d,%d) liquid", x, y)
+			}
+		}
+	}
+	if errs := n.Check(); len(errs) > 0 {
+		t.Fatalf("carved baseline illegal: %v", errs)
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+
+	"lcn3d/internal/thermal"
+)
+
+// EvalResult scores one cooling network.
+type EvalResult struct {
+	Feasible bool
+	Psys     float64          // chosen system pressure drop, Pa
+	Wpump    float64          // pumping power at Psys (+Inf if infeasible)
+	DeltaT   float64          // thermal gradient at Psys
+	Out      *thermal.Outcome // simulation at Psys
+	Probes   int              // simulator invocations
+}
+
+// EvaluatePumpMin is Algorithm 2: the lowest feasible pumping power of a
+// network under the ΔT* and T*_max constraints (Problem 1's inner level).
+// The returned Wpump is +Inf when no feasible pressure exists.
+func EvaluatePumpMin(sim SimFunc, deltaTStar, tmaxStar float64, opt SearchOptions) (EvalResult, error) {
+	// Line 1: solve Eq. (11), the ΔT-only problem.
+	r, err := MinPressureForDeltaT(sim, deltaTStar, opt)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	// Line 2: if even the minimizer violates ΔT*, infeasible.
+	if !r.Feasible {
+		res := infeasible(r.Psys, r.Out, r.Probes)
+		res.DeltaT = r.Out.DeltaT
+		return res, nil
+	}
+	psys, out := r.Psys, r.Out
+	// Lines 3-5: repair a T*_max violation by raising the pressure
+	// (h decreases monotonically), then re-check both constraints.
+	if out.Tmax > tmaxStar {
+		p2, out2, ok, err := MinPressureForTmax(sim, tmaxStar, psys, opt)
+		if err != nil {
+			return EvalResult{}, err
+		}
+		if !ok || out2.DeltaT > deltaTStar*(1+1e-9) || out2.Tmax > tmaxStar*(1+1e-9) {
+			res := infeasible(p2, out2, r.Probes)
+			if out2 != nil {
+				res.DeltaT = out2.DeltaT
+			}
+			return res, nil
+		}
+		psys, out = p2, out2
+	}
+	// Line 6: W'_pump at the chosen pressure.
+	return EvalResult{Feasible: true, Psys: psys, Wpump: out.Wpump, DeltaT: out.DeltaT, Out: out, Probes: r.Probes}, nil
+}
+
+// EvaluateGradMin is the Problem 2 network evaluation (Section 5): the
+// lowest achievable ΔT under the pressure budget psysMax (derived from
+// W*_pump via Eq. (10)) and the T*_max constraint. The returned "cost"
+// field is DeltaT; Wpump reports the spend at the chosen pressure.
+func EvaluateGradMin(sim SimFunc, tmaxStar, psysMax float64, opt SearchOptions) (EvalResult, error) {
+	opt = opt.withDefaults()
+	if psysMax < opt.PMin {
+		return EvalResult{Feasible: false, Wpump: math.Inf(1), DeltaT: math.Inf(1)}, nil
+	}
+	probes := 0
+	// T_max is monotone decreasing in pressure: if it is violated at the
+	// budget, it is violated everywhere below it.
+	outHi, err := sim(psysMax)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	probes++
+	if outHi.Tmax > tmaxStar {
+		return EvalResult{Feasible: false, Psys: psysMax, Wpump: math.Inf(1), DeltaT: math.Inf(1), Out: outHi, Probes: probes}, nil
+	}
+	// Lowest pressure that still satisfies T*_max bounds the search.
+	pLo, _, ok, err := MinPressureForTmax(sim, tmaxStar, opt.PMin, opt)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	if !ok {
+		pLo = psysMax
+	}
+	// If f is still falling at the budget, the boundary is optimal
+	// (Section 5: "if P*_sys locates on the falling side of f, it is the
+	// optimal solution directly"); otherwise golden-section search.
+	probe := psysMax * (1 - 2*opt.RelTol)
+	if probe < pLo {
+		probe = pLo
+	}
+	outProbe, err := sim(probe)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	probes++
+	psys, out := psysMax, outHi
+	if outProbe.DeltaT < outHi.DeltaT && probe > pLo {
+		p, o, err := GoldenSectionMinDeltaT(sim, pLo, psysMax, opt)
+		if err != nil {
+			return EvalResult{}, err
+		}
+		if o.DeltaT < out.DeltaT {
+			psys, out = p, o
+		}
+		probes += 12 // golden section budget (memoized)
+	}
+	if out.Tmax > tmaxStar*(1+1e-9) {
+		return EvalResult{Feasible: false, Psys: psys, Wpump: math.Inf(1), DeltaT: math.Inf(1), Out: out, Probes: probes}, nil
+	}
+	return EvalResult{Feasible: true, Psys: psys, Wpump: out.Wpump, DeltaT: out.DeltaT, Out: out, Probes: probes}, nil
+}
+
+// PressureBudget converts a pumping-power budget into the corresponding
+// pressure budget via Eq. (10): W = P²/R  =>  P* = sqrt(W* · R_sys).
+// R_sys is a property of the network alone (obtainable from any outcome).
+func PressureBudget(wpumpStar, rsys float64) float64 {
+	if rsys <= 0 || math.IsInf(rsys, 1) {
+		return 0
+	}
+	return math.Sqrt(wpumpStar * rsys)
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"lcn3d/internal/anneal"
+	"lcn3d/internal/network"
+	"lcn3d/internal/thermal"
+)
+
+// Stage configures one SA stage of Algorithm 1's schedule (paper
+// Table 1): earlier stages are rougher and quicker.
+type Stage struct {
+	Iterations int
+	Rounds     int
+	Step       int  // tree-parameter step, in basic cells (kept even)
+	Use4RM     bool // use the accurate 4RM simulator
+	// FixedPsys evaluates candidates by ΔT under one fixed pressure
+	// (stage 1 of Problem 1) instead of the full network evaluation.
+	FixedPsys bool
+	// GroupSize groups consecutive iterations sharing one optimal-P_sys
+	// computation (Problem 2 speed-up technique; 0 disables).
+	GroupSize int
+}
+
+// Options tunes the full optimization flow.
+type Options struct {
+	Stages []Stage // nil selects the paper's schedule scaled by ScaleDown
+
+	// NumTrees fixes the tree count (0 = sweep candidates automatically,
+	// mirroring the paper's "branch types are assigned manually to fit
+	// the chip size" step).
+	NumTrees   int
+	BranchType network.BranchType // used only when NumTrees > 0
+	CoarseM    int                // 2RM coarsening (default 4, the paper's 400 µm cells)
+	Scheme     thermal.Scheme
+	Seed       int64
+	// Stage1Psys is the fixed pressure of FixedPsys stages (default
+	// Search.PInit).
+	Stage1Psys float64
+	Search     SearchOptions
+	// Parallelism bounds concurrent candidate evaluations.
+	Parallelism int
+	// Orientations to sweep for the global flow direction; nil = all 8
+	// for square chips, the 4 non-transposing ones otherwise.
+	Orientations []network.Orientation
+	// Verbose emits progress lines via Logf.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults(in *Instance, problem int) Options {
+	d := in.Stk.Dims
+	if o.CoarseM <= 0 {
+		o.CoarseM = 4
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+	o.Search = o.Search.withDefaults()
+	if o.Stage1Psys <= 0 {
+		o.Stage1Psys = o.Search.PInit
+	}
+	if o.Stages == nil {
+		if problem == 1 {
+			// Paper: 60/40/40/30 iterations with 8/4/2/1 rounds; scaled
+			// down by default for laptop runs (full scale via cmd flags).
+			o.Stages = []Stage{
+				{Iterations: 12, Rounds: 4, Step: 8, FixedPsys: true},
+				{Iterations: 8, Rounds: 2, Step: 8},
+				{Iterations: 8, Rounds: 1, Step: 2},
+				{Iterations: 6, Rounds: 1, Step: 2, Use4RM: true},
+			}
+		} else {
+			// Paper: 80/20/20 iterations with 8/2/1 rounds.
+			o.Stages = []Stage{
+				{Iterations: 16, Rounds: 4, Step: 8, GroupSize: 4},
+				{Iterations: 6, Rounds: 2, Step: 2, GroupSize: 4},
+				{Iterations: 5, Rounds: 1, Step: 2, Use4RM: true, GroupSize: 4},
+			}
+		}
+	}
+	if o.Orientations == nil {
+		if d.NX == d.NY {
+			o.Orientations = network.AllOrientations()
+		} else {
+			o.Orientations = []network.Orientation{
+				{Rotations: 0}, {Rotations: 2},
+				{Rotations: 0, Mirror: true}, {Rotations: 2, Mirror: true},
+			}
+		}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Solution is the result of SolveProblem1 / SolveProblem2.
+type Solution struct {
+	Net    *network.Network
+	Spec   network.TreeSpec
+	Orient network.Orientation
+	Eval   EvalResult // final 4RM evaluation
+	Evals  int        // total candidate evaluations across stages
+}
+
+// candidate is the SA state: tree parameters under a fixed orientation.
+type candidate struct {
+	spec network.TreeSpec
+}
+
+// buildNet realizes a candidate as a legal network, or returns an error.
+func (in *Instance) buildNet(spec network.TreeSpec, orient network.Orientation) (*network.Network, error) {
+	n, err := network.Tree(in.Stk.Dims, spec)
+	if err != nil {
+		return nil, err
+	}
+	n = orient.Apply(n)
+	in.ApplyKeepout(n)
+	if errs := n.Check(); len(errs) > 0 {
+		return nil, fmt.Errorf("core: candidate network illegal: %v", errs[0])
+	}
+	return n, nil
+}
+
+// SolveProblem1 minimizes pumping power under ΔT* and T*_max (paper
+// Section 4, ICCAD 2015 contest formulation).
+func (in *Instance) SolveProblem1(opt Options) (*Solution, error) {
+	opt = opt.withDefaults(in, 1)
+	return in.solve(opt, 1)
+}
+
+// SolveProblem2 minimizes thermal gradient under T*_max and W*_pump
+// (paper Section 5).
+func (in *Instance) SolveProblem2(opt Options) (*Solution, error) {
+	opt = opt.withDefaults(in, 2)
+	if in.WpumpStar <= 0 {
+		return nil, fmt.Errorf("core: Problem 2 requires WpumpStar > 0")
+	}
+	return in.solve(opt, 2)
+}
+
+func (in *Instance) solve(opt Options, problem int) (*Solution, error) {
+	d := in.Stk.Dims
+	totalEvals := 0
+
+	// Structure and global-flow-direction sweep: the paper attempts all
+	// eight flow configurations and assigns branch types manually to fit
+	// the chip size; here every (tree count, branch type, orientation)
+	// combination is scored cheaply by ΔT under the fixed stage-1
+	// pressure and the best is kept.
+	type structure struct {
+		numTrees int
+		typ      network.BranchType
+	}
+	var structures []structure
+	if opt.NumTrees > 0 {
+		structures = []structure{{opt.NumTrees, opt.BranchType}}
+	} else {
+		seen := map[structure]bool{}
+		for _, div := range []int{6, 8, 12, 16, 24} {
+			nt := d.NY / div
+			if nt < 1 {
+				nt = 1
+			}
+			for _, typ := range []network.BranchType{network.Branch2, network.Branch4, network.Branch8} {
+				if d.NY < nt*2*typ.Leaves() {
+					continue // band too small for this branch type
+				}
+				s := structure{nt, typ}
+				if !seen[s] {
+					seen[s] = true
+					structures = append(structures, s)
+				}
+			}
+		}
+	}
+
+	var initSpec network.TreeSpec
+	bestOrient := opt.Orientations[0]
+	bestScore := math.Inf(1)
+	for _, st := range structures {
+		spec := network.UniformTreeSpec(d, st.numTrees, st.typ, 0.35, 0.65)
+		for _, orient := range opt.Orientations {
+			score := math.Inf(1)
+			if n, err := in.buildNet(spec, orient); err == nil {
+				if sim, err := in.Sim2RM(n, opt.CoarseM, opt.Scheme); err == nil {
+					if out, err := sim(opt.Stage1Psys); err == nil {
+						score = out.DeltaT
+					}
+				}
+			}
+			totalEvals++
+			if score < bestScore {
+				bestScore, bestOrient, initSpec = score, orient, spec
+				opt.Logf("structure %d x %v, orientation %v: ΔT=%.3f K at %.0f Pa (new best)",
+					st.numTrees, st.typ, orient, score, opt.Stage1Psys)
+			}
+		}
+	}
+	if math.IsInf(bestScore, 1) {
+		return nil, fmt.Errorf("core: no structure/orientation yields a legal simulable network")
+	}
+
+	// Cost of one candidate under a stage's metric. (Counting happens in
+	// the annealer's stats; the cost function itself stays pure.)
+	stageCost := func(st Stage, groupPsys *groupState) func(candidate) float64 {
+		return func(c candidate) float64 {
+			n, err := in.buildNet(c.spec, bestOrient)
+			if err != nil {
+				return math.Inf(1)
+			}
+			var sim SimFunc
+			if st.Use4RM {
+				sim, err = in.Sim4RM(n, opt.Scheme)
+			} else {
+				sim, err = in.Sim2RM(n, opt.CoarseM, opt.Scheme)
+			}
+			if err != nil {
+				return math.Inf(1)
+			}
+			switch {
+			case st.FixedPsys:
+				out, err := sim(opt.Stage1Psys)
+				if err != nil {
+					return math.Inf(1)
+				}
+				return out.DeltaT
+			case problem == 1:
+				r, err := EvaluatePumpMin(sim, in.DeltaTStar, in.TmaxStar, opt.Search)
+				if err != nil || !r.Feasible {
+					return math.Inf(1)
+				}
+				return r.Wpump
+			default: // problem 2
+				if p := groupPsys.get(); p > 0 {
+					out, err := sim(p)
+					if err != nil || out.Tmax > in.TmaxStar*(1+1e-9) {
+						return math.Inf(1)
+					}
+					return out.DeltaT
+				}
+				out, err := sim(opt.Search.PInit)
+				if err != nil {
+					return math.Inf(1)
+				}
+				budget := PressureBudget(in.WpumpStar, out.Rsys)
+				r, err := EvaluateGradMin(sim, in.TmaxStar, budget, opt.Search)
+				if err != nil || !r.Feasible {
+					return math.Inf(1)
+				}
+				groupPsys.set(r.Psys)
+				return r.DeltaT
+			}
+		}
+	}
+
+	spec := initSpec
+	for si, st := range opt.Stages {
+		group := &groupState{size: st.GroupSize}
+		cost := stageCost(st, group)
+		move := func(rng *rand.Rand, c candidate) candidate {
+			s := c.spec.Clone()
+			for t := 0; t < s.NumTrees; t++ {
+				if rng.Intn(2) == 0 {
+					s.B1[t] += st.Step * (2*rng.Intn(2) - 1)
+				}
+				if rng.Intn(2) == 0 {
+					s.B2[t] += st.Step * (2*rng.Intn(2) - 1)
+				}
+			}
+			s.Canonicalize(d)
+			group.tick()
+			return candidate{spec: s}
+		}
+		cfg := anneal.Config{
+			Iterations:  st.Iterations,
+			Neighbors:   max(2, opt.Parallelism/max(1, st.Rounds)),
+			Seed:        opt.Seed + int64(si)*104729,
+			Parallelism: opt.Parallelism,
+			Converge:    st.Iterations, // run full budget
+		}
+		best, bestCost, stats := anneal.MultiRound(cfg, st.Rounds, candidate{spec: spec}, move, cost)
+		totalEvals += stats.Evaluations
+		opt.Logf("stage %d (%s): cost %.4g after %d evaluations",
+			si+1, stageName(st), bestCost, stats.Evaluations)
+		if !math.IsInf(bestCost, 1) {
+			spec = best.spec
+		}
+	}
+	// Final accurate evaluation with 4RM.
+	n, err := in.buildNet(spec, bestOrient)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := in.Sim4RM(n, opt.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	var final EvalResult
+	if problem == 1 {
+		final, err = EvaluatePumpMin(sim, in.DeltaTStar, in.TmaxStar, opt.Search)
+	} else {
+		var out *thermal.Outcome
+		out, err = sim(opt.Search.PInit)
+		if err == nil {
+			budget := PressureBudget(in.WpumpStar, out.Rsys)
+			final, err = EvaluateGradMin(sim, in.TmaxStar, budget, opt.Search)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{Net: n, Spec: spec, Orient: bestOrient, Eval: final, Evals: totalEvals}, nil
+}
+
+func stageName(st Stage) string {
+	switch {
+	case st.FixedPsys:
+		return "fixed-P ΔT, 2RM"
+	case st.Use4RM:
+		return "full eval, 4RM"
+	default:
+		return "full eval, 2RM"
+	}
+}
+
+// groupState implements the Problem 2 grouped-iteration trick: the first
+// evaluation of each group computes the optimal pressure; the following
+// GroupSize-1 evaluations reuse it with a single simulation.
+type groupState struct {
+	mu    sync.Mutex
+	size  int
+	count int
+	psys  float64
+}
+
+func (g *groupState) tick() {
+	if g == nil || g.size <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.count++
+	if g.count >= g.size {
+		g.count = 0
+		g.psys = 0 // force a full evaluation next
+	}
+	g.mu.Unlock()
+}
+
+func (g *groupState) get() float64 {
+	if g == nil || g.size <= 0 {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.psys
+}
+
+func (g *groupState) set(p float64) {
+	if g == nil || g.size <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.psys = p
+	g.mu.Unlock()
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lcn3d/internal/thermal"
+)
+
+// SearchOptions tunes the one-dimensional pressure searches.
+type SearchOptions struct {
+	PInit  float64 // initial probe pressure (default 10 kPa)
+	RInit  float64 // initial step ratio r_init of Algorithm 3 (default 0.5)
+	RelTol float64 // relative convergence tolerance (default 0.01)
+	PMin   float64 // lowest physical pressure considered (default 1 Pa)
+	PMax   float64 // highest pressure considered (default 10 MPa)
+	// PlateauRuns is the number of consecutive right-moves with nearly
+	// unchanged f that declares a monotone plateau (Algorithm 3 line 11).
+	PlateauRuns int
+}
+
+func (o SearchOptions) withDefaults() SearchOptions {
+	if o.PInit <= 0 {
+		o.PInit = 10e3
+	}
+	if o.RInit <= 0 {
+		o.RInit = 0.5
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 0.01
+	}
+	if o.PMin <= 0 {
+		o.PMin = 1
+	}
+	if o.PMax <= 0 {
+		o.PMax = 10e6
+	}
+	if o.PlateauRuns <= 0 {
+		o.PlateauRuns = 4
+	}
+	return o
+}
+
+// Alg3Result is the outcome of the Algorithm 3 search.
+type Alg3Result struct {
+	Psys     float64          // feasible pressure, or the minimizer of f if infeasible
+	Out      *thermal.Outcome // simulation at Psys
+	Feasible bool             // whether f(Psys) <= ΔT*
+	Probes   int              // simulator invocations (before memoization)
+}
+
+// MinPressureForDeltaT is Algorithm 3: find the smallest P_sys with
+// f(P_sys) = ΔT(P_sys) <= deltaTStar, exploiting that f is either
+// uni-modal or monotonically decreasing (Section 4.1). If no feasible
+// pressure exists it returns the minimizer of f with Feasible=false.
+func MinPressureForDeltaT(sim SimFunc, deltaTStar float64, opt SearchOptions) (Alg3Result, error) {
+	opt = opt.withDefaults()
+	probes := 0
+	f := func(p float64) (float64, error) {
+		probes++
+		out, err := sim(p)
+		if err != nil {
+			return 0, err
+		}
+		return out.DeltaT, nil
+	}
+	finish := func(p float64, feasible bool) (Alg3Result, error) {
+		out, err := sim(p)
+		if err != nil {
+			return Alg3Result{}, err
+		}
+		return Alg3Result{Psys: p, Out: out, Feasible: feasible && out.DeltaT <= deltaTStar*(1+1e-9), Probes: probes}, nil
+	}
+
+	// Lines 1-4: establish P0 with f(P0) > ΔT* and f decreasing at P0.
+	p0 := opt.PInit
+	for {
+		f0, err := f(p0)
+		if err != nil {
+			return Alg3Result{}, fmt.Errorf("core: Algorithm 3 init: %w", err)
+		}
+		if f0 < deltaTStar {
+			if p0 <= opt.PMin {
+				// Feasible all the way down to the physical floor.
+				return finish(p0, true)
+			}
+			p0 = math.Max(p0/2, opt.PMin)
+			continue
+		}
+		p1 := p0 * (1 + opt.RInit)
+		f1, err := f(p1)
+		if err != nil {
+			return Alg3Result{}, err
+		}
+		if f0 < f1 {
+			// f increasing at P0: we are right of the minimum; move left.
+			if p0 <= opt.PMin {
+				return finish(p0, false)
+			}
+			p0 = math.Max(p0/2, opt.PMin)
+			continue
+		}
+		// Lines 5-11: expand right until f(P1) <= ΔT* or a minimum/
+		// plateau proves infeasibility.
+		s := p1 - p0
+		plateau := 0
+		for {
+			f1, err = f(p1)
+			if err != nil {
+				return Alg3Result{}, err
+			}
+			if f1 <= deltaTStar {
+				break // crossing bracketed in [p0, p1]
+			}
+			s *= 2
+			p2 := p1 + s
+			if p2 > opt.PMax {
+				return finish(p1, false)
+			}
+			f2, err := f(p2)
+			if err != nil {
+				return Alg3Result{}, err
+			}
+			// Line 7: contracted search once past the minimum.
+			for f1 < f2 {
+				if math.Abs(1-p0/p1) < opt.RelTol && math.Abs(1-p2/p1) < opt.RelTol {
+					return finish(p1, false) // converged on the minimum; infeasible
+				}
+				p2 = p1
+				p1 = (p0 + p2) / 2
+				s = p2 - p1
+				f1, err = f(p1)
+				if err != nil {
+					return Alg3Result{}, err
+				}
+				f2, err = f(p2)
+				if err != nil {
+					return Alg3Result{}, err
+				}
+				if f1 <= deltaTStar {
+					break
+				}
+			}
+			if f1 <= deltaTStar {
+				break
+			}
+			// Line 10: move right.
+			if math.Abs(1-f1/f2) < opt.RelTol {
+				plateau++
+				if plateau >= opt.PlateauRuns {
+					return finish(p2, false) // monotone plateau above ΔT*
+				}
+			} else {
+				plateau = 0
+			}
+			p0, p1 = p1, p2
+		}
+		// Lines 12-13: bisect for the crossing f(P) = ΔT* in [p0, p1].
+		for math.Abs(1-p0/p1) > opt.RelTol {
+			pm := (p0 + p1) / 2
+			fm, err := f(pm)
+			if err != nil {
+				return Alg3Result{}, err
+			}
+			if fm > deltaTStar {
+				p0 = pm
+			} else {
+				p1 = pm
+			}
+		}
+		return finish(p1, true)
+	}
+}
+
+// MinPressureForTmax performs the second step of Algorithm 2: given that
+// T_max = h(P_sys) decreases monotonically, find the smallest pressure
+// >= pLo with h <= tmaxStar by doubling and bisection.
+func MinPressureForTmax(sim SimFunc, tmaxStar, pLo float64, opt SearchOptions) (float64, *thermal.Outcome, bool, error) {
+	opt = opt.withDefaults()
+	h := func(p float64) (*thermal.Outcome, error) { return sim(p) }
+
+	lo := math.Max(pLo, opt.PMin)
+	out, err := h(lo)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	if out.Tmax <= tmaxStar {
+		return lo, out, true, nil
+	}
+	hi := lo
+	var outHi *thermal.Outcome
+	for {
+		hi *= 2
+		if hi > opt.PMax {
+			return hi / 2, out, false, nil
+		}
+		outHi, err = h(hi)
+		if err != nil {
+			return 0, nil, false, err
+		}
+		if outHi.Tmax <= tmaxStar {
+			break
+		}
+		out = outHi
+	}
+	for math.Abs(1-lo/hi) > opt.RelTol {
+		mid := (lo + hi) / 2
+		outMid, err := h(mid)
+		if err != nil {
+			return 0, nil, false, err
+		}
+		if outMid.Tmax <= tmaxStar {
+			hi, outHi = mid, outMid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, outHi, true, nil
+}
+
+// GoldenSectionMinDeltaT minimizes f(P_sys) = ΔT on [lo, hi] by golden
+// section search (Section 5, solving Eq. (13) when the pressure budget
+// lies past the minimum of f).
+func GoldenSectionMinDeltaT(sim SimFunc, lo, hi float64, opt SearchOptions) (float64, *thermal.Outcome, error) {
+	opt = opt.withDefaults()
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	const invPhi = 0.6180339887498949
+	f := func(p float64) (float64, error) {
+		out, err := sim(p)
+		if err != nil {
+			return 0, err
+		}
+		return out.DeltaT, nil
+	}
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, err := f(c)
+	if err != nil {
+		return 0, nil, err
+	}
+	fd, err := f(d)
+	if err != nil {
+		return 0, nil, err
+	}
+	for math.Abs(1-a/b) > opt.RelTol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			if fc, err = f(c); err != nil {
+				return 0, nil, err
+			}
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			if fd, err = f(d); err != nil {
+				return 0, nil, err
+			}
+		}
+	}
+	// Also consider the interval endpoints (the minimum may sit on the
+	// pressure budget boundary).
+	best := (a + b) / 2
+	outBest, err := sim(best)
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, p := range []float64{lo, hi} {
+		out, err := sim(p)
+		if err != nil {
+			return 0, nil, err
+		}
+		if out.DeltaT < outBest.DeltaT {
+			best, outBest = p, out
+		}
+	}
+	return best, outBest, nil
+}

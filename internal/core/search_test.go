@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"lcn3d/internal/thermal"
+)
+
+func TestMinPressureForTmaxBisection(t *testing.T) {
+	h := func(p float64) float64 { return 300 + 2e8/p } // h<=340 at p>=5e6... too big
+	_ = h
+	// Use a reachable curve: h<=320 at p >= 1e5.
+	sim := Memo(syntheticSim(func(p float64) float64 { return 3 },
+		func(p float64) float64 { return 300 + 2e6/p }))
+	p, out, ok, err := MinPressureForTmax(sim, 320, 1e3, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("should be feasible")
+	}
+	if math.Abs(p-1e5)/1e5 > 0.05 {
+		t.Fatalf("crossing at %g, want ~1e5", p)
+	}
+	if out.Tmax > 320*(1+1e-9) {
+		t.Fatalf("returned point violates Tmax: %g", out.Tmax)
+	}
+}
+
+func TestMinPressureForTmaxAlreadySatisfied(t *testing.T) {
+	sim := Memo(syntheticSim(func(p float64) float64 { return 3 },
+		func(p float64) float64 { return 310 }))
+	p, _, ok, err := MinPressureForTmax(sim, 320, 5e3, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || p != 5e3 {
+		t.Fatalf("should return pLo unchanged, got %g ok=%v", p, ok)
+	}
+}
+
+func TestMinPressureForTmaxUnreachable(t *testing.T) {
+	sim := Memo(syntheticSim(func(p float64) float64 { return 3 },
+		func(p float64) float64 { return 400 }))
+	_, _, ok, err := MinPressureForTmax(sim, 320, 1e3, SearchOptions{PMax: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("unreachable Tmax should report infeasible")
+	}
+}
+
+func TestGoldenSectionFindsMinimum(t *testing.T) {
+	f := func(p float64) float64 { return 5 + (p-40e3)*(p-40e3)/1e8 }
+	sim := Memo(syntheticSim(f, func(p float64) float64 { return 310 }))
+	p, out, err := GoldenSectionMinDeltaT(sim, 10e3, 100e3, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-40e3)/40e3 > 0.05 {
+		t.Fatalf("minimizer %g, want ~40e3", p)
+	}
+	if math.Abs(out.DeltaT-5) > 0.05 {
+		t.Fatalf("minimum %g, want ~5", out.DeltaT)
+	}
+}
+
+func TestGoldenSectionBoundaryMinimum(t *testing.T) {
+	// Decreasing f: minimum at the right endpoint.
+	f := func(p float64) float64 { return 4 + 1e5/p }
+	sim := Memo(syntheticSim(f, func(p float64) float64 { return 310 }))
+	p, _, err := GoldenSectionMinDeltaT(sim, 10e3, 80e3, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 80e3 {
+		t.Fatalf("boundary minimum should be the endpoint, got %g", p)
+	}
+}
+
+func TestGoldenSectionSwappedInterval(t *testing.T) {
+	f := func(p float64) float64 { return 4 + 1e5/p }
+	sim := Memo(syntheticSim(f, func(p float64) float64 { return 310 }))
+	if _, _, err := GoldenSectionMinDeltaT(sim, 80e3, 10e3, SearchOptions{}); err != nil {
+		t.Fatalf("swapped interval should be handled: %v", err)
+	}
+}
+
+func TestSearchPropagatesSimErrors(t *testing.T) {
+	boom := errors.New("boom")
+	sim := func(p float64) (*thermal.Outcome, error) { return nil, boom }
+	if _, err := MinPressureForDeltaT(sim, 5, SearchOptions{}); !errors.Is(err, boom) {
+		t.Fatalf("Algorithm 3 should propagate sim errors, got %v", err)
+	}
+	if _, _, _, err := MinPressureForTmax(sim, 320, 1e3, SearchOptions{}); !errors.Is(err, boom) {
+		t.Fatalf("Tmax search should propagate sim errors, got %v", err)
+	}
+	if _, _, err := GoldenSectionMinDeltaT(sim, 1e3, 1e4, SearchOptions{}); !errors.Is(err, boom) {
+		t.Fatalf("golden section should propagate sim errors, got %v", err)
+	}
+}
+
+func TestMemoCachesErrors(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	sim := Memo(func(p float64) (*thermal.Outcome, error) {
+		calls++
+		return nil, boom
+	})
+	sim(1e3)
+	if _, err := sim(1e3); !errors.Is(err, boom) {
+		t.Fatal("error should be cached and returned")
+	}
+	if calls != 1 {
+		t.Fatalf("error results should be memoized too, calls=%d", calls)
+	}
+}
+
+func TestSearchOptionsDefaults(t *testing.T) {
+	o := SearchOptions{}.withDefaults()
+	if o.PInit <= 0 || o.RInit <= 0 || o.RelTol <= 0 || o.PMin <= 0 || o.PMax <= o.PMin {
+		t.Fatalf("bad defaults: %+v", o)
+	}
+}
+
+func TestAlg3ProbeCountBounded(t *testing.T) {
+	// Algorithm 3 should need only tens of probes, not hundreds: the
+	// paper runs it inside the SA inner loop.
+	f := func(p float64) float64 { return 4 + math.Abs(p-60e3)/15e3 }
+	probes := 0
+	sim := Memo(func(p float64) (*thermal.Outcome, error) {
+		probes++
+		return &thermal.Outcome{Metrics: thermal.Metrics{DeltaT: f(p), Tmax: 320},
+			Psys: p, Qsys: p * 1e-10, Rsys: 1e10, Wpump: p * p * 1e-10}, nil
+	})
+	if _, err := MinPressureForDeltaT(sim, 5, SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if probes > 40 {
+		t.Fatalf("Algorithm 3 used %d probes; too many for an inner loop", probes)
+	}
+}

@@ -1,0 +1,269 @@
+// Package dtm implements the run-time dynamic thermal management
+// extension the paper lists as future work: "combining cooling networks
+// with run-time thermal management techniques (e.g., DVFS and adjustable
+// flow rates) to handle dynamic die power".
+//
+// A Controller adjusts the system pressure drop (i.e. the pump operating
+// point) at a fixed control period while the chip's power varies over
+// time; the thermal response is co-simulated with the transient
+// backward-Euler extension of the 4RM model. Because the flow field is
+// linear in P_sys, each distinct pump level needs one system assembly,
+// which the simulator caches.
+package dtm
+
+import (
+	"fmt"
+	"math"
+
+	"lcn3d/internal/rm4"
+	"lcn3d/internal/stack"
+	"lcn3d/internal/thermal"
+)
+
+// Controller picks the next pump pressure from the observed peak
+// temperature. Implementations must be deterministic.
+type Controller interface {
+	// Next returns the pressure for the upcoming control period given
+	// the current time and observed peak temperature.
+	Next(t, tmax float64) float64
+}
+
+// BangBang switches between a low and a high pump level with hysteresis:
+// above THigh it selects PHigh, below TLow it selects PLow, in between it
+// keeps the previous level.
+type BangBang struct {
+	TLow, THigh float64
+	PLow, PHigh float64
+	cur         float64
+}
+
+// Next implements Controller.
+func (b *BangBang) Next(_, tmax float64) float64 {
+	if b.cur == 0 {
+		b.cur = b.PLow
+	}
+	switch {
+	case tmax >= b.THigh:
+		b.cur = b.PHigh
+	case tmax <= b.TLow:
+		b.cur = b.PLow
+	}
+	return b.cur
+}
+
+// PI is a proportional-integral controller tracking a peak-temperature
+// target by modulating the pump pressure within [PMin, PMax].
+type PI struct {
+	Target     float64 // peak temperature setpoint, K
+	Kp, Ki     float64 // gains, Pa/K and Pa/(K*s)
+	PMin, PMax float64
+	integral   float64
+}
+
+// Next implements Controller.
+func (c *PI) Next(_ float64, tmax float64) float64 {
+	err := tmax - c.Target // positive = too hot = pump harder
+	c.integral += err
+	p := c.Kp*err + c.Ki*c.integral
+	if p < c.PMin {
+		p = c.PMin
+		// Anti-windup: stop integrating against the saturation.
+		c.integral -= err
+	}
+	if p > c.PMax {
+		p = c.PMax
+		c.integral -= err
+	}
+	return p
+}
+
+// Fixed always returns the same pressure (the no-DTM baseline).
+type Fixed float64
+
+// Next implements Controller.
+func (f Fixed) Next(_, _ float64) float64 { return float64(f) }
+
+// Trace maps time (s) to a global power multiplier, modeling workload
+// phases.
+type Trace func(t float64) float64
+
+// StepTrace alternates between lo and hi multipliers with the given
+// period (50% duty cycle), a classic DTM stress pattern.
+func StepTrace(lo, hi, period float64) Trace {
+	return func(t float64) float64 {
+		if math.Mod(t, period) < period/2 {
+			return hi
+		}
+		return lo
+	}
+}
+
+// Sample is one control-period observation.
+type Sample struct {
+	T          float64 // end-of-period time, s
+	Psys       float64 // pump level during the period, Pa
+	PowerScale float64
+	Tmax       float64 // peak temperature at period end, K
+	PumpEnergy float64 // pumping energy spent this period, J
+}
+
+// Config describes a DTM co-simulation.
+type Config struct {
+	Model      *rm4.Model
+	Controller Controller
+	Trace      Trace
+	Dt         float64 // integration step, s
+	CtrlEvery  int     // integration steps per control period (>= 1)
+	Duration   float64 // total simulated time, s
+}
+
+// Result aggregates a run.
+type Result struct {
+	Samples    []Sample
+	PeakTmax   float64 // highest observed peak temperature, K
+	PumpEnergy float64 // total pumping energy, J
+	MeanPsys   float64
+	Overshoots int // control periods with Tmax above the PI target / THigh
+	OverTarget float64
+}
+
+// Run co-simulates the controller against the transient thermal model.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Model == nil || cfg.Controller == nil || cfg.Trace == nil {
+		return nil, fmt.Errorf("dtm: Model, Controller and Trace are required")
+	}
+	if cfg.Dt <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("dtm: Dt and Duration must be positive")
+	}
+	if cfg.CtrlEvery < 1 {
+		cfg.CtrlEvery = 1
+	}
+	mod := cfg.Model
+	stk := mod.Stk
+
+	// Cache per pump level: the implicit stepper and baseline RHS split
+	// into inlet and power parts (power scales with the trace).
+	type level struct {
+		ts     *thermal.TransientSystem
+		bInlet []float64
+		bPower []float64
+		wpump  float64
+	}
+	levels := map[float64]*level{}
+	getLevel := func(psys float64) (*level, error) {
+		if lv, ok := levels[psys]; ok {
+			return lv, nil
+		}
+		sys, err := mod.System(psys)
+		if err != nil {
+			return nil, err
+		}
+		bPower := powerRHS(mod)
+		bInlet := make([]float64, len(sys.B))
+		for i := range bInlet {
+			bInlet[i] = sys.B[i] - bPower[i]
+		}
+		ts, err := thermal.NewTransientSystem(sys.A, append([]float64(nil), sys.B...), sys.Cap, cfg.Dt)
+		if err != nil {
+			return nil, err
+		}
+		out, err := mod.Simulate(psys)
+		if err != nil {
+			return nil, err
+		}
+		lv := &level{ts: ts, bInlet: bInlet, bPower: bPower, wpump: out.Wpump}
+		levels[psys] = lv
+		return lv, nil
+	}
+
+	field := make([]float64, mod.NumNodes())
+	for i := range field {
+		field[i] = stk.TinK
+	}
+	res := &Result{}
+	tmax := stk.TinK
+	steps := int(cfg.Duration/cfg.Dt + 0.5)
+	var psysSum float64
+	periods := 0
+	for s := 0; s < steps; s += cfg.CtrlEvery {
+		t := float64(s) * cfg.Dt
+		psys := cfg.Controller.Next(t, tmax)
+		if psys <= 0 {
+			return nil, fmt.Errorf("dtm: controller returned non-positive pressure %g at t=%g", psys, t)
+		}
+		scale := cfg.Trace(t)
+		lv, err := getLevel(psys)
+		if err != nil {
+			return nil, err
+		}
+		// Compose the RHS for this period: inlet terms plus scaled power.
+		b := lv.ts.B
+		for i := range b {
+			b[i] = lv.bInlet[i] + scale*lv.bPower[i]
+		}
+		for k := 0; k < cfg.CtrlEvery && s+k < steps; k++ {
+			if err := lv.ts.Step(field); err != nil {
+				return nil, err
+			}
+		}
+		tmax = sourcePeak(mod, field)
+		dt := cfg.Dt * float64(cfg.CtrlEvery)
+		res.Samples = append(res.Samples, Sample{
+			T: t + dt, Psys: psys, PowerScale: scale, Tmax: tmax,
+			PumpEnergy: lv.wpump * dt,
+		})
+		res.PumpEnergy += lv.wpump * dt
+		res.PeakTmax = math.Max(res.PeakTmax, tmax)
+		psysSum += psys
+		periods++
+	}
+	if periods > 0 {
+		res.MeanPsys = psysSum / float64(periods)
+	}
+	return res, nil
+}
+
+// CountOvershoots fills the overshoot statistics of a result against a
+// temperature limit.
+func (r *Result) CountOvershoots(limit float64) {
+	r.Overshoots = 0
+	r.OverTarget = 0
+	for _, s := range r.Samples {
+		if s.Tmax > limit {
+			r.Overshoots++
+			r.OverTarget = math.Max(r.OverTarget, s.Tmax-limit)
+		}
+	}
+}
+
+// powerRHS builds the RHS contribution of the source layers alone.
+func powerRHS(m *rm4.Model) []float64 {
+	stk := m.Stk
+	n := stk.Dims.N()
+	b := make([]float64, m.NumNodes())
+	for l, layer := range stk.Layers {
+		if layer.Kind != stack.Source {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			b[l*n+i] = layer.Power.W[i]
+		}
+	}
+	return b
+}
+
+// sourcePeak extracts the peak source-layer temperature from a full
+// field.
+func sourcePeak(m *rm4.Model, field []float64) float64 {
+	stk := m.Stk
+	n := stk.Dims.N()
+	peak := math.Inf(-1)
+	for _, l := range stk.SourceLayers() {
+		for i := 0; i < n; i++ {
+			if v := field[l*n+i]; v > peak {
+				peak = v
+			}
+		}
+	}
+	return peak
+}

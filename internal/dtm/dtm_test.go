@@ -1,0 +1,175 @@
+package dtm
+
+import (
+	"math"
+	"testing"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/network"
+	"lcn3d/internal/power"
+	"lcn3d/internal/rm4"
+	"lcn3d/internal/stack"
+	"lcn3d/internal/thermal"
+)
+
+var d21 = grid.Dims{NX: 21, NY: 21}
+
+func testModel(t *testing.T) *rm4.Model {
+	t.Helper()
+	s, err := stack.NewDieStack(stack.Config{Dims: d21, ChannelHeight: 200e-6},
+		[]*power.Map{
+			power.Hotspots(d21, 1, 2, 0.5, 1.0),
+			power.Hotspots(d21, 2, 2, 0.5, 1.0),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := network.Straight(d21, grid.SideWest, 1)
+	m, err := rm4.New(s, []*network.Network{n}, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFixedControllerTracksSteadyState(t *testing.T) {
+	m := testModel(t)
+	res, err := Run(Config{
+		Model: m, Controller: Fixed(10e3), Trace: func(float64) float64 { return 1 },
+		Dt: 2e-3, CtrlEvery: 5, Duration: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steady, err := m.Simulate(10e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Samples[len(res.Samples)-1]
+	if math.Abs(last.Tmax-steady.Tmax) > 0.2 {
+		t.Fatalf("transient settle %.3f K, steady %.3f K", last.Tmax, steady.Tmax)
+	}
+	if res.PumpEnergy <= 0 {
+		t.Fatal("pump energy should accumulate")
+	}
+}
+
+func TestBangBangHysteresis(t *testing.T) {
+	bb := &BangBang{TLow: 310, THigh: 320, PLow: 2e3, PHigh: 40e3}
+	if p := bb.Next(0, 305); p != 2e3 {
+		t.Fatalf("cool start should pick PLow, got %g", p)
+	}
+	if p := bb.Next(0, 321); p != 40e3 {
+		t.Fatalf("hot should pick PHigh, got %g", p)
+	}
+	// Inside the band: keep previous level.
+	if p := bb.Next(0, 315); p != 40e3 {
+		t.Fatalf("hysteresis should keep PHigh, got %g", p)
+	}
+	if p := bb.Next(0, 309); p != 2e3 {
+		t.Fatalf("below TLow should drop to PLow, got %g", p)
+	}
+	if p := bb.Next(0, 315); p != 2e3 {
+		t.Fatalf("hysteresis should keep PLow, got %g", p)
+	}
+}
+
+func TestPISaturatesAndRecovers(t *testing.T) {
+	pi := &PI{Target: 320, Kp: 1e3, Ki: 10, PMin: 1e3, PMax: 50e3}
+	// Very hot: saturates at PMax without unbounded windup.
+	for i := 0; i < 100; i++ {
+		if p := pi.Next(0, 400); p != 50e3 {
+			t.Fatalf("should saturate at PMax, got %g", p)
+		}
+	}
+	// Cooling below target must be able to bring pressure back down in a
+	// bounded number of steps (anti-windup).
+	steps := 0
+	for ; steps < 200; steps++ {
+		if pi.Next(0, 310) < 50e3 {
+			break
+		}
+	}
+	if steps >= 200 {
+		t.Fatal("integrator wound up; pressure never recovers")
+	}
+}
+
+func TestBangBangReactsToPowerStep(t *testing.T) {
+	m := testModel(t)
+	bb := &BangBang{TLow: 306, THigh: 310, PLow: 3e3, PHigh: 60e3}
+	res, err := Run(Config{
+		Model: m, Controller: bb,
+		Trace: StepTrace(0.3, 2.0, 0.2),
+		Dt:    2e-3, CtrlEvery: 5, Duration: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The controller must have used both levels.
+	usedLow, usedHigh := false, false
+	for _, s := range res.Samples {
+		if s.Psys == 3e3 {
+			usedLow = true
+		}
+		if s.Psys == 60e3 {
+			usedHigh = true
+		}
+	}
+	if !usedLow || !usedHigh {
+		t.Fatalf("bang-bang should exercise both levels (low=%v high=%v)", usedLow, usedHigh)
+	}
+	// And it must save energy against always-high pumping.
+	alwaysHigh, err := Run(Config{
+		Model: m, Controller: Fixed(60e3), Trace: StepTrace(0.3, 2.0, 0.2),
+		Dt: 2e-3, CtrlEvery: 5, Duration: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PumpEnergy >= alwaysHigh.PumpEnergy {
+		t.Fatalf("DTM energy %.3g J should undercut always-high %.3g J", res.PumpEnergy, alwaysHigh.PumpEnergy)
+	}
+	// While keeping temperature lower than always-low pumping.
+	alwaysLow, err := Run(Config{
+		Model: m, Controller: Fixed(3e3), Trace: StepTrace(0.3, 2.0, 0.2),
+		Dt: 2e-3, CtrlEvery: 5, Duration: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakTmax >= alwaysLow.PeakTmax {
+		t.Fatalf("DTM peak %.2f K should beat always-low %.2f K", res.PeakTmax, alwaysLow.PeakTmax)
+	}
+}
+
+func TestStepTrace(t *testing.T) {
+	tr := StepTrace(0.5, 2, 1.0)
+	if tr(0.1) != 2 || tr(0.6) != 0.5 || tr(1.2) != 2 {
+		t.Fatal("step trace phases wrong")
+	}
+}
+
+func TestCountOvershoots(t *testing.T) {
+	r := &Result{Samples: []Sample{{Tmax: 310}, {Tmax: 321}, {Tmax: 325}}}
+	r.CountOvershoots(320)
+	if r.Overshoots != 2 || math.Abs(r.OverTarget-5) > 1e-12 {
+		t.Fatalf("overshoots %d over %g", r.Overshoots, r.OverTarget)
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	m := testModel(t)
+	if _, err := Run(Config{Model: m}); err == nil {
+		t.Error("missing controller/trace should fail")
+	}
+	if _, err := Run(Config{Model: m, Controller: Fixed(1e3),
+		Trace: func(float64) float64 { return 1 }, Dt: 0, Duration: 1}); err == nil {
+		t.Error("zero dt should fail")
+	}
+	bad := Fixed(0)
+	if _, err := Run(Config{Model: m, Controller: bad,
+		Trace: func(float64) float64 { return 1 }, Dt: 1e-3, Duration: 0.01}); err == nil {
+		t.Error("non-positive controller pressure should fail")
+	}
+}

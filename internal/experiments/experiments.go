@@ -1,0 +1,395 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Section 6). Each experiment can run at full contest
+// scale or on a scaled-down grid for laptop-speed runs; the shape of the
+// results (who wins, by what factor, how error/speed-up trend) is
+// preserved at either scale. See EXPERIMENTS.md for recorded outputs.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lcn3d/internal/core"
+	"lcn3d/internal/grid"
+	"lcn3d/internal/iccad"
+	"lcn3d/internal/network"
+	"lcn3d/internal/report"
+	"lcn3d/internal/rm2"
+	"lcn3d/internal/rm4"
+	"lcn3d/internal/thermal"
+)
+
+// Config controls experiment scale and output.
+type Config struct {
+	Scale int       // grid size (101 = full); default 51
+	Full  bool      // paper-scale SA schedules and sweeps
+	Seed  int64     // SA seed
+	Out   io.Writer // table/series destination (default os.Stdout)
+	Dir   string    // directory for image artifacts ("" disables)
+	Logf  func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 51
+	}
+	if c.Out == nil {
+		c.Out = os.Stdout
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+func (c Config) dims() grid.Dims { return grid.Dims{NX: c.Scale, NY: c.Scale} }
+
+// Table2 prints the benchmark statistics (paper Table 2) as loaded.
+func Table2(cfg Config) error {
+	cfg = cfg.withDefaults()
+	tb := &report.Table{
+		Title:  "Table 2: ICCAD 2015 Benchmark Statistics (as reconstructed)",
+		Header: []string{"#", "Die Num", "h_c (um)", "Die Power (W)", "dT* (K)", "Tmax* (K)", "Other Constraint"},
+	}
+	bs, err := iccad.LoadAll(cfg.dims())
+	if err != nil {
+		return err
+	}
+	for _, b := range bs {
+		sp := b.Spec
+		tb.AddRow(
+			fmt.Sprint(sp.ID),
+			fmt.Sprint(sp.Dies),
+			report.F(sp.ChannelHeight*1e6, 0),
+			report.F(b.Stk.TotalPower(), 3),
+			report.F(sp.DeltaTStar, 0),
+			report.F(sp.TmaxStar, 2),
+			sp.Other,
+		)
+	}
+	return tb.Write(cfg.Out)
+}
+
+// Fig5 sweeps P_sys for a straight-channel network on case 1 and reports
+// the temperatures of an upstream, a mid-stream and a downstream source
+// cell, illustrating the turning-point behaviour of Section 4.1.
+func Fig5(cfg Config) error {
+	cfg = cfg.withDefaults()
+	b, err := iccad.LoadScaled(1, cfg.dims())
+	if err != nil {
+		return err
+	}
+	d := b.Stk.Dims
+	n := network.Straight(d, grid.SideWest, 1)
+	sim, err := b.Sim2RM(n, 2, thermal.Central)
+	if err != nil {
+		return err
+	}
+	cells := []int{
+		d.Index(d.NX/10, d.NY/2),   // upstream
+		d.Index(d.NX/2, d.NY/2),    // mid
+		d.Index(d.NX*9/10, d.NY/2), // downstream
+	}
+	pressures := logspace(1e3, 200e3, 13)
+	pts, err := core.PressureProfile(sim, pressures, cells)
+	if err != nil {
+		return err
+	}
+	x := make([]float64, len(pts))
+	up := make([]float64, len(pts))
+	mid := make([]float64, len(pts))
+	down := make([]float64, len(pts))
+	for i, p := range pts {
+		x[i] = p.Psys
+		up[i], mid[i], down[i] = p.CellTemps[0], p.CellTemps[1], p.CellTemps[2]
+	}
+	fmt.Fprintln(cfg.Out, "Fig 5: node temperature vs P_sys (straight channels, case 1)")
+	if err := report.WriteSeriesCSV(cfg.Out, "Psys_Pa",
+		report.Series{Name: "T_upstream_K", X: x, Y: up},
+		report.Series{Name: "T_mid_K", X: x, Y: mid},
+		report.Series{Name: "T_downstream_K", X: x, Y: down},
+	); err != nil {
+		return err
+	}
+	// Turning points: pressure where the remaining temperature drop falls
+	// below 10% of the total drop. Upstream cells turn earlier.
+	fmt.Fprintf(cfg.Out, "turning points (Pa): upstream %.0f, mid %.0f, downstream %.0f\n",
+		turningPoint(x, up), turningPoint(x, mid), turningPoint(x, down))
+	return nil
+}
+
+// turningPoint estimates where a decreasing curve flattens: the smallest
+// x whose remaining drop is under 10% of the total drop.
+func turningPoint(x, y []float64) float64 {
+	total := y[0] - y[len(y)-1]
+	if total <= 0 {
+		return x[0]
+	}
+	for i := range y {
+		if y[i]-y[len(y)-1] < 0.1*total {
+			return x[i]
+		}
+	}
+	return x[len(x)-1]
+}
+
+// Fig6 reports ΔT = f(P_sys) for two networks exhibiting the two shapes
+// of Section 4.1: uni-modal and monotonically decreasing.
+func Fig6(cfg Config) error {
+	cfg = cfg.withDefaults()
+	b, err := iccad.LoadScaled(1, cfg.dims())
+	if err != nil {
+		return err
+	}
+	d := b.Stk.Dims
+	nets := []struct {
+		name string
+		net  *network.Network
+	}{
+		{"straight", network.Straight(d, grid.SideWest, 1)},
+		{"mesh", network.Mesh(d, 1, 4)},
+	}
+	if tr, err := network.Tree(d, network.UniformTreeSpec(d, max(1, d.NY/24), network.Branch4, 0.35, 0.65)); err == nil {
+		nets = append(nets, struct {
+			name string
+			net  *network.Network
+		}{"tree", tr})
+	}
+	pressures := logspace(1e3, 400e3, 15)
+	fmt.Fprintln(cfg.Out, "Fig 6: thermal gradient vs P_sys")
+	var series []report.Series
+	for _, nt := range nets {
+		sim, err := b.Sim2RM(nt.net, 2, thermal.Central)
+		if err != nil {
+			return err
+		}
+		pts, err := core.PressureProfile(sim, pressures, nil)
+		if err != nil {
+			return err
+		}
+		x := make([]float64, len(pts))
+		y := make([]float64, len(pts))
+		for i, p := range pts {
+			x[i], y[i] = p.Psys, p.DeltaT
+		}
+		series = append(series, report.Series{Name: "dT_" + nt.name + "_K", X: x, Y: y})
+		fmt.Fprintf(cfg.Out, "%-10s profile: %s (min %.2f K)\n",
+			nt.name, core.ClassifyProfile(pts), minOf(y))
+	}
+	return report.WriteSeriesCSV(cfg.Out, "Psys_Pa", series...)
+}
+
+func minOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v {
+		m = math.Min(m, x)
+	}
+	return m
+}
+
+// Fig9Row is one (cell size, network style) accuracy/speed sample.
+type Fig9Row struct {
+	CellUM  float64 // thermal cell size in µm
+	Style   string  // "straight" | "tree" | "all"
+	MeanErr float64 // mean relative source-layer error vs 4RM
+	SpeedUp float64 // wall-clock 4RM/2RM
+	NumSims int
+	RM4ms   float64
+	RM2ms   float64
+}
+
+// Fig9 measures 2RM accuracy (a) and speed-up (b) against 4RM across
+// benchmarks, network samples, thermal cell sizes and pressures. The
+// default configuration uses a reduced sweep (2 cases x 5 networks x 5
+// cell sizes x 3 pressures); -full widens it toward the paper's
+// 5 x 40 x 6 x 13 sweep.
+func Fig9(cfg Config) ([]Fig9Row, error) {
+	cfg = cfg.withDefaults()
+	d := cfg.dims()
+	caseIDs := []int{1, 2}
+	pressures := []float64{5e3, 20e3, 80e3}
+	ms := []int{1, 2, 3, 4, 6}
+	if cfg.Full {
+		caseIDs = []int{1, 2, 3, 4, 5}
+		pressures = logspace(2e3, 200e3, 13)
+		ms = []int{1, 2, 3, 4, 5, 6}
+	}
+
+	type sample struct {
+		style string
+		net   *network.Network
+	}
+	makeSamples := func(b *iccad.Benchmark) []sample {
+		dd := b.Stk.Dims
+		samples := []sample{
+			{"straight", network.Straight(dd, grid.SideWest, 1)},
+			{"all", network.Mesh(dd, 1, 4)},
+			{"all", network.Serpentine(dd)},
+		}
+		nt := max(1, dd.NY/24)
+		if tr, err := network.Tree(dd, network.UniformTreeSpec(dd, nt, network.Branch4, 0.3, 0.6)); err == nil {
+			samples = append(samples, sample{"tree", tr})
+		}
+		if tr, err := network.Tree(dd, network.UniformTreeSpec(dd, nt, network.Branch2, 0.4, 0.7)); err == nil {
+			samples = append(samples, sample{"tree", tr})
+		}
+		for i := range samples {
+			b.ApplyKeepout(samples[i].net)
+		}
+		return samples
+	}
+
+	// acc[style][m] accumulates errors; timing accumulated per m.
+	type acc struct {
+		sumErr float64
+		n      int
+	}
+	accs := map[string]map[int]*acc{"straight": {}, "tree": {}, "all": {}}
+	rm4ms := map[int]*acc{}
+	rm2ms := map[int]*acc{}
+
+	for _, id := range caseIDs {
+		b, err := iccad.LoadScaled(id, d)
+		if err != nil {
+			return nil, err
+		}
+		for _, smp := range makeSamples(b) {
+			if errs := smp.net.Check(); len(errs) > 0 {
+				continue
+			}
+			nets := replicate(smp.net, len(b.Stk.ChannelLayers()))
+			m4, err := rm4.New(b.Stk, nets, thermal.Central)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pressures {
+				t0 := time.Now()
+				o4, err := m4.Simulate(p)
+				if err != nil {
+					continue // e.g. pressure too low for this network
+				}
+				el4 := time.Since(t0).Seconds() * 1e3
+				for _, mm := range ms {
+					m2, err := rm2.New(b.Stk, nets, mm, thermal.Central)
+					if err != nil {
+						return nil, err
+					}
+					t1 := time.Now()
+					o2, err := m2.Simulate(p)
+					if err != nil {
+						continue
+					}
+					el2 := time.Since(t1).Seconds() * 1e3
+					e := meanRelErr(o2, o4)
+					get := func(mp map[int]*acc, k int) *acc {
+						if mp[k] == nil {
+							mp[k] = &acc{}
+						}
+						return mp[k]
+					}
+					a := get(accs[smp.style], mm)
+					a.sumErr += e
+					a.n++
+					all := get(accs["all"], mm)
+					if smp.style != "all" {
+						all.sumErr += e
+						all.n++
+					}
+					t4 := get(rm4ms, mm)
+					t4.sumErr += el4
+					t4.n++
+					t2 := get(rm2ms, mm)
+					t2.sumErr += el2
+					t2.n++
+					cfg.Logf("case %d %s m=%d p=%.0f err=%.4f%%", id, smp.style, mm, p, 100*e)
+				}
+			}
+		}
+	}
+
+	var rows []Fig9Row
+	cellUM := func(mm int) float64 { return float64(mm) * 100 }
+	for _, style := range []string{"straight", "tree", "all"} {
+		for _, mm := range ms {
+			a := accs[style][mm]
+			if a == nil || a.n == 0 {
+				continue
+			}
+			t4, t2 := rm4ms[mm], rm2ms[mm]
+			rows = append(rows, Fig9Row{
+				CellUM:  cellUM(mm),
+				Style:   style,
+				MeanErr: a.sumErr / float64(a.n),
+				SpeedUp: (t4.sumErr / float64(t4.n)) / (t2.sumErr / float64(t2.n)),
+				NumSims: a.n,
+				RM4ms:   t4.sumErr / float64(t4.n),
+				RM2ms:   t2.sumErr / float64(t2.n),
+			})
+		}
+	}
+
+	tb := &report.Table{
+		Title:  "Fig 9: 2RM accuracy and speed-up vs thermal cell size",
+		Header: []string{"style", "cell (um)", "mean rel err (%)", "speed-up (x)", "4RM (ms)", "2RM (ms)", "sims"},
+	}
+	for _, r := range rows {
+		tb.AddRow(r.Style, report.F(r.CellUM, 0), report.F(100*r.MeanErr, 4),
+			report.F(r.SpeedUp, 1), report.F(r.RM4ms, 1), report.F(r.RM2ms, 2), fmt.Sprint(r.NumSims))
+	}
+	if err := tb.Write(cfg.Out); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// meanRelErr is the Fig. 9(a) error metric: the average relative error of
+// source-layer thermal nodes against the 4RM reference, computed on the
+// basic-cell grid.
+func meanRelErr(o2, o4 *thermal.Outcome) float64 {
+	var sum float64
+	var n int
+	for l := range o4.FineTemps {
+		f4, f2 := o4.FineTemps[l], o2.FineTemps[l]
+		for i := range f4 {
+			sum += math.Abs(f2[i]-f4[i]) / f4[i]
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+func replicate(n *network.Network, k int) []*network.Network {
+	out := make([]*network.Network, k)
+	for i := range out {
+		out[i] = n
+	}
+	return out
+}
+
+func logspace(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		t := float64(i) / float64(n-1)
+		out[i] = lo * math.Pow(hi/lo, t)
+	}
+	return out
+}
+
+func writeImage(dir, name string, hm *report.Heatmap) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return hm.WritePPM(f)
+}

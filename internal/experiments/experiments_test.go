@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lcn3d/internal/core"
+	"lcn3d/internal/iccad"
+)
+
+type coreEval struct {
+	feasible    bool
+	psys, wpump float64
+	deltaT      float64
+}
+
+func toEval(ev core.EvalResult) coreEval {
+	return coreEval{feasible: ev.Feasible, psys: ev.Psys, wpump: ev.Wpump, deltaT: ev.DeltaT}
+}
+
+func table2DeltaTStar(caseID int) float64 { return iccad.Table2[caseID-1].DeltaTStar }
+
+// The experiment drivers run at a tiny scale here; correctness of the
+// underlying physics is covered by the model packages' tests. These tests
+// assert the experiments execute end to end and that their headline
+// shapes match the paper.
+
+func tinyCfg(buf *bytes.Buffer) Config {
+	return Config{Scale: 21, Seed: 1, Out: buf}
+}
+
+func TestTable2Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2(tinyCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 2", "matched inlets/outlets", "restricted area"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\n") < 7 {
+		t.Fatalf("too few rows:\n%s", out)
+	}
+}
+
+// parseLabeled extracts the float following each label in a line like
+// "turning points (Pa): upstream 5000, mid 12000, downstream 28000".
+func parseLabeled(t *testing.T, line string, labels ...string) []float64 {
+	t.Helper()
+	fields := strings.Fields(line)
+	out := make([]float64, 0, len(labels))
+	for _, lbl := range labels {
+		found := false
+		for i, f := range fields {
+			if strings.TrimSuffix(f, ",") == lbl && i+1 < len(fields) {
+				v, err := strconv.ParseFloat(strings.TrimSuffix(fields[i+1], ","), 64)
+				if err != nil {
+					t.Fatalf("bad float after %q in %q: %v", lbl, line, err)
+				}
+				out = append(out, v)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("label %q not in %q", lbl, line)
+		}
+	}
+	return out
+}
+
+func TestFig5TurningPointsOrdered(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig5(tinyCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var tp []float64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "turning points") {
+			tp = parseLabeled(t, line, "upstream", "mid", "downstream")
+		}
+	}
+	if tp == nil {
+		t.Fatalf("missing turning points line:\n%s", out)
+	}
+	// Paper Sec. 4.1: upstream regions reach turning points earlier.
+	if tp[0] > tp[2] {
+		t.Fatalf("upstream turning point %.0f exceeds downstream %.0f", tp[0], tp[2])
+	}
+}
+
+func TestFig6ClassifiesProfiles(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig6(tinyCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "unimodal") && !strings.Contains(out, "decreasing") {
+		t.Fatalf("no profile classification:\n%s", out)
+	}
+	if !strings.Contains(out, "dT_straight_K") {
+		t.Fatalf("missing straight series:\n%s", out)
+	}
+}
+
+func TestFig9ShapesMatchPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	var buf bytes.Buffer
+	rows, err := Fig9(tinyCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStyle := map[string][]Fig9Row{}
+	for _, r := range rows {
+		byStyle[r.Style] = append(byStyle[r.Style], r)
+	}
+	// Accuracy worsens with thermal cell size for straight channels. (For
+	// tree/manual styles at this tiny 21x21 scale the m=1 model-difference
+	// floor dominates, so the growth trend is only asserted at the larger
+	// scales used by cmd/lcn-bench; see EXPERIMENTS.md.)
+	rs := byStyle["straight"]
+	if len(rs) < 2 {
+		t.Fatal("missing straight rows")
+	}
+	first, last := rs[0], rs[len(rs)-1]
+	if last.MeanErr <= first.MeanErr {
+		t.Errorf("straight: error should grow with cell size: %.5f (%.0f um) vs %.5f (%.0f um)",
+			first.MeanErr, first.CellUM, last.MeanErr, last.CellUM)
+	}
+	// Straight channels have the smallest error at the largest cell size
+	// (paper: "straight-channel networks having the smallest").
+	var straightErr, treeErr float64
+	for _, r := range byStyle["straight"] {
+		straightErr = r.MeanErr
+	}
+	for _, r := range byStyle["tree"] {
+		treeErr = r.MeanErr
+	}
+	if straightErr > treeErr {
+		t.Errorf("straight error %.5f should not exceed tree error %.5f at max cell size", straightErr, treeErr)
+	}
+	// Errors stay small in absolute terms (sub-2% everywhere).
+	for _, r := range rows {
+		if r.MeanErr > 0.02 {
+			t.Errorf("%s m=%.0fum: error %.4f implausibly large", r.Style, r.CellUM, r.MeanErr)
+		}
+	}
+	// Speed-up should exceed 1 for m >= 2 cells.
+	for _, r := range byStyle["all"] {
+		if r.CellUM >= 300 && r.SpeedUp <= 1 {
+			t.Errorf("2RM at %0.f um should beat 4RM: speed-up %.2f", r.CellUM, r.SpeedUp)
+		}
+	}
+}
+
+func TestTable3TinyRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SA sweep over 5 cases")
+	}
+	var buf bytes.Buffer
+	cfg := tinyCfg(&buf)
+	results, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("want 5 cases, got %d", len(results))
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Ours (tree + SA)") || !strings.Contains(out, "max pumping power saving") {
+		t.Fatalf("table incomplete:\n%s", out)
+	}
+	// At this tiny 21x21 scale the constraints are very loose, so the
+	// straight-vs-tree ranking is not meaningful (the paper's headline
+	// comparison is reproduced at >= 51x51 by cmd/lcn-bench; see
+	// EXPERIMENTS.md). Here we assert structural consistency: feasible
+	// results respect their constraints and carry coherent numbers.
+	for _, r := range results {
+		for name, ev := range map[string]coreEval{"baseline": toEval(r.Baseline), "ours": toEval(r.Ours)} {
+			if !ev.feasible {
+				continue
+			}
+			if ev.psys <= 0 || ev.wpump <= 0 {
+				t.Errorf("case %d %s: non-positive Psys/Wpump: %+v", r.CaseID, name, ev)
+			}
+			if ev.deltaT > table2DeltaTStar(r.CaseID)*1.02 {
+				t.Errorf("case %d %s: ΔT %.2f violates constraint", r.CaseID, name, ev.deltaT)
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lcn3d/internal/core"
+	"lcn3d/internal/grid"
+	"lcn3d/internal/iccad"
+	"lcn3d/internal/network"
+	"lcn3d/internal/report"
+	"lcn3d/internal/thermal"
+)
+
+// Extras runs comparisons beyond the paper's tables: the GreenCool-style
+// channel-width-modulation baseline (the paper's reference [10], which
+// it criticizes for using a 1D model and straight channels only) and the
+// other manual network styles, evaluated under both problem formulations
+// on case 1.
+func Extras(cfg Config) error {
+	cfg = cfg.withDefaults()
+	b, err := iccad.LoadScaled(1, cfg.dims())
+	if err != nil {
+		return err
+	}
+	d := b.Stk.Dims
+	hc := b.Stk.Layers[b.Stk.ChannelLayers()[0]].Thickness
+
+	type entry struct {
+		name string
+		net  *network.Network
+	}
+	var entries []entry
+
+	straight := network.Straight(d, grid.SideWest, 1)
+	entries = append(entries, entry{"straight", straight})
+
+	// GreenCool-style width modulation: each straight channel's width is
+	// set so its flow share matches its heat share.
+	widthMod := straight.Clone()
+	pm := b.Stk.Layers[b.Stk.SourceLayers()[0]].Power.Clone()
+	// Aggregate heat over all source layers for the row loads.
+	for _, l := range b.Stk.SourceLayers()[1:] {
+		for i, w := range b.Stk.Layers[l].Power.W {
+			pm.W[i] += w
+		}
+	}
+	if err := network.ModulateStraightWidths(widthMod, network.RowHeatLoads(d, pm.W), b.Stk.ChannelWidth, hc, 0.5); err != nil {
+		return err
+	}
+	entries = append(entries, entry{"width-modulated", widthMod})
+
+	entries = append(entries,
+		entry{"mesh", network.Mesh(d, 1, 4)},
+		entry{"serpentine", network.Serpentine(d)},
+	)
+	nt := max(1, d.NY/8)
+	if tr, err := network.Tree(d, network.UniformTreeSpec(d, nt, network.Branch2, 0.35, 0.65)); err == nil {
+		entries = append(entries, entry{"tree (uniform)", tr})
+	}
+
+	tb := &report.Table{
+		Title: "Extras: manual styles and the GreenCool width-modulation baseline (case 1)",
+		Header: []string{"design", "P1 Wpump (mW)", "P1 Psys (kPa)", "P1 dT (K)",
+			"P2 dT (K)", "P2 Psys (kPa)"},
+	}
+	for _, e := range entries {
+		b.ApplyKeepout(e.net)
+		if errs := e.net.Check(); len(errs) > 0 {
+			tb.AddRow(e.name, "illegal", "", "", "", "")
+			continue
+		}
+		p1, err := b.EvaluateNetworkPumpMin(e.net, thermal.Central, core.SearchOptions{})
+		if err != nil {
+			return fmt.Errorf("extras %s P1: %w", e.name, err)
+		}
+		p2, err := b.EvaluateNetworkGradMin(e.net, thermal.Central, core.SearchOptions{})
+		if err != nil {
+			return fmt.Errorf("extras %s P2: %w", e.name, err)
+		}
+		row := []string{e.name}
+		if p1.Feasible {
+			row = append(row, report.F(p1.Wpump*1e3, 3), report.F(p1.Psys/1e3, 2), report.F(p1.DeltaT, 2))
+		} else {
+			row = append(row, "N/A", "N/A", "N/A")
+		}
+		if p2.Feasible {
+			row = append(row, report.F(p2.DeltaT, 2), report.F(p2.Psys/1e3, 2))
+		} else {
+			row = append(row, "N/A", "N/A")
+		}
+		tb.AddRow(row...)
+		cfg.Logf("extras %s done", e.name)
+	}
+	return tb.Write(cfg.Out)
+}

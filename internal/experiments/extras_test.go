@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExtrasRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-design evaluation")
+	}
+	var buf bytes.Buffer
+	if err := Extras(tinyCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"straight", "width-modulated", "mesh", "serpentine", "GreenCool"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Every design row carries 6 columns (name + 5 numbers/N-A).
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 7 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+}

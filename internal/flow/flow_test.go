@@ -1,0 +1,225 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/network"
+	"lcn3d/internal/units"
+)
+
+var geo = Geometry{
+	Pitch:         100e-6,
+	ChannelWidth:  100e-6,
+	ChannelHeight: 200e-6,
+	Coolant:       units.Water,
+}
+
+func solveOrDie(t *testing.T, n *network.Network, psys float64) *Solution {
+	t.Helper()
+	s, err := Solve(n, geo, psys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSingleStraightChannelMatchesClosedForm(t *testing.T) {
+	// One straight channel of L cells between an inlet and an outlet:
+	// R = (L-1)/g_cell + 2/g_edge, Q = P/R exactly.
+	d := grid.Dims{NX: 21, NY: 1}
+	n := network.NewFree(d)
+	for x := 0; x < d.NX; x++ {
+		n.SetLiquid(x, 0, true)
+	}
+	n.AddPort(grid.SideWest, network.Inlet, 0, 0)
+	n.AddPort(grid.SideEast, network.Outlet, 0, 0)
+	psys := 10e3
+	s := solveOrDie(t, n, psys)
+
+	gc := geo.CellConductance()
+	ge := geo.EdgeConductance()
+	r := float64(d.NX-1)/gc + 2/ge
+	wantQ := psys / r
+	if math.Abs(s.Qsys-wantQ) > 1e-9*wantQ {
+		t.Fatalf("Qsys = %g, want %g", s.Qsys, wantQ)
+	}
+	if math.Abs(s.Rsys-r) > 1e-9*r {
+		t.Fatalf("Rsys = %g, want %g", s.Rsys, r)
+	}
+	if math.Abs(s.Wpump-psys*wantQ) > 1e-9*psys*wantQ {
+		t.Fatalf("Wpump = %g", s.Wpump)
+	}
+}
+
+func TestParallelChannelsSplitEvenly(t *testing.T) {
+	d := grid.Dims{NX: 21, NY: 21}
+	n := network.Straight(d, grid.SideWest, 1)
+	s := solveOrDie(t, n, 5e3)
+	// 11 identical channels: each carries Qsys/11 and QIn must be equal.
+	var qs []float64
+	for y := 0; y < d.NY; y += 2 {
+		qs = append(qs, s.QIn[d.Index(0, y)])
+	}
+	for _, q := range qs {
+		if math.Abs(q-qs[0]) > 1e-9*qs[0] {
+			t.Fatalf("unequal channel flows: %v", qs)
+		}
+	}
+	if math.Abs(s.Qsys-11*qs[0]) > 1e-9*s.Qsys {
+		t.Fatalf("Qsys %g != 11 * %g", s.Qsys, qs[0])
+	}
+}
+
+func TestVolumeConservationEverywhere(t *testing.T) {
+	d := grid.Dims{NX: 51, NY: 51}
+	tr, err := network.Tree(d, network.UniformTreeSpec(d, 3, network.Branch4, 0.3, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := solveOrDie(t, tr, 20e3)
+	scale := s.Qsys / float64(tr.NumLiquid())
+	for i, active := range s.Active {
+		if !active {
+			continue
+		}
+		x, y := d.Coord(i)
+		if out := s.NetOutflow(x, y); math.Abs(out) > 1e-6*s.Qsys && math.Abs(out) > 1e-3*scale {
+			t.Fatalf("conservation violated at (%d,%d): %g (Qsys %g)", x, y, out, s.Qsys)
+		}
+	}
+	if math.Abs(s.TotalOutflow()-s.Qsys) > 1e-6*s.Qsys {
+		t.Fatalf("inflow %g != outflow %g", s.Qsys, s.TotalOutflow())
+	}
+}
+
+func TestPressureBounds(t *testing.T) {
+	d := grid.Dims{NX: 21, NY: 21}
+	n := network.Mesh(d, 1, 2)
+	psys := 8e3
+	s := solveOrDie(t, n, psys)
+	for i, active := range s.Active {
+		if !active {
+			continue
+		}
+		if s.Pressure[i] < -1e-6*psys || s.Pressure[i] > psys*(1+1e-6) {
+			t.Fatalf("pressure out of [0, Psys] at %d: %g", i, s.Pressure[i])
+		}
+	}
+}
+
+func TestPressureMonotoneAlongChannel(t *testing.T) {
+	d := grid.Dims{NX: 21, NY: 21}
+	n := network.Straight(d, grid.SideWest, 1)
+	s := solveOrDie(t, n, 5e3)
+	for x := 1; x < d.NX; x++ {
+		if s.Pressure[d.Index(x, 0)] >= s.Pressure[d.Index(x-1, 0)] {
+			t.Fatalf("pressure not decreasing at x=%d", x)
+		}
+	}
+}
+
+func TestLinearityInPsys(t *testing.T) {
+	d := grid.Dims{NX: 21, NY: 21}
+	n := network.Serpentine(d)
+	s1 := solveOrDie(t, n, 10e3)
+	s2 := solveOrDie(t, n, 20e3)
+	if math.Abs(s2.Qsys-2*s1.Qsys) > 1e-8*s2.Qsys {
+		t.Fatalf("Q not linear in P: %g vs 2*%g", s2.Qsys, s1.Qsys)
+	}
+	if math.Abs(s2.Rsys-s1.Rsys) > 1e-8*s1.Rsys {
+		t.Fatalf("Rsys should be pressure independent: %g vs %g", s2.Rsys, s1.Rsys)
+	}
+	// Wpump = Psys^2/Rsys: doubling Psys quadruples Wpump (Eq. (10)).
+	if math.Abs(s2.Wpump-4*s1.Wpump) > 1e-8*s2.Wpump {
+		t.Fatalf("Wpump not quadratic: %g vs 4*%g", s2.Wpump, s1.Wpump)
+	}
+}
+
+func TestStagnantComponentExcluded(t *testing.T) {
+	d := grid.Dims{NX: 21, NY: 21}
+	n := network.Straight(d, grid.SideWest, 2)
+	n.SetLiquid(4, 2, true) // isolated pocket
+	s := solveOrDie(t, n, 5e3)
+	i := d.Index(4, 2)
+	if s.Active[i] {
+		t.Fatal("isolated pocket should be excluded from the solve")
+	}
+	if s.Pressure[i] != 0 || s.QEast[i] != 0 {
+		t.Fatal("excluded cell should have zero pressure/flow")
+	}
+}
+
+func TestZeroPressureGivesZeroFlow(t *testing.T) {
+	d := grid.Dims{NX: 21, NY: 21}
+	n := network.Straight(d, grid.SideWest, 1)
+	s := solveOrDie(t, n, 0)
+	if s.Qsys != 0 || s.Wpump != 0 {
+		t.Fatalf("Qsys=%g Wpump=%g at zero pressure", s.Qsys, s.Wpump)
+	}
+	if !math.IsInf(s.Rsys, 1) {
+		t.Fatalf("Rsys should be +Inf at zero flow, got %g", s.Rsys)
+	}
+}
+
+func TestNegativePressureRejected(t *testing.T) {
+	d := grid.Dims{NX: 5, NY: 5}
+	if _, err := Solve(network.Straight(d, grid.SideWest, 1), geo, -1); err == nil {
+		t.Fatal("negative pressure should be rejected")
+	}
+}
+
+func TestBenchmarkScaleFlowMatchesPaperBallpark(t *testing.T) {
+	// Full 101x101 straight-channel network at the case-1 baseline
+	// pressure 12.98 kPa should give Qsys near 0.8 mL/s and Wpump near
+	// 10 mW (paper Table 3 baseline row).
+	d := grid.Dims{NX: 101, NY: 101}
+	n := network.Straight(d, grid.SideWest, 1)
+	s := solveOrDie(t, n, 12.98e3)
+	if s.Qsys < 5e-7 || s.Qsys > 12e-7 {
+		t.Fatalf("Qsys = %g m^3/s, want ~8e-7", s.Qsys)
+	}
+	if s.Wpump < 6e-3 || s.Wpump > 16e-3 {
+		t.Fatalf("Wpump = %g W, want ~1e-2", s.Wpump)
+	}
+	if re := s.MaxReynolds(998); re > 2300 {
+		t.Fatalf("flow not laminar: Re=%g", re)
+	}
+}
+
+func TestTreeTrunkCarriesLeafSum(t *testing.T) {
+	d := grid.Dims{NX: 51, NY: 51}
+	tr, err := network.Tree(d, network.UniformTreeSpec(d, 1, network.Branch4, 0.3, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := solveOrDie(t, tr, 30e3)
+	// All system flow enters through the single trunk root.
+	var rootQ float64
+	for y := 0; y < d.NY; y++ {
+		rootQ += s.QIn[d.Index(0, y)]
+	}
+	if math.Abs(rootQ-s.Qsys) > 1e-9*s.Qsys {
+		t.Fatalf("trunk inflow %g != Qsys %g", rootQ, s.Qsys)
+	}
+	// And leaves it through 4 leaf outlets.
+	count := 0
+	for y := 0; y < d.NY; y++ {
+		if s.QOut[d.Index(d.NX-1, y)] > 1e-3*s.Qsys {
+			count++
+		}
+	}
+	if count != 4 {
+		t.Fatalf("flowing leaf outlets = %d, want 4", count)
+	}
+}
+
+func TestMeshLowerResistanceThanStraight(t *testing.T) {
+	d := grid.Dims{NX: 21, NY: 21}
+	rs := solveOrDie(t, network.Straight(d, grid.SideWest, 1), 1e4).Rsys
+	rm := solveOrDie(t, network.Mesh(d, 1, 2), 1e4).Rsys
+	if rm >= rs {
+		t.Fatalf("mesh Rsys %g should beat straight %g", rm, rs)
+	}
+}

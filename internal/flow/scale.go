@@ -1,0 +1,43 @@
+package flow
+
+import "math"
+
+// ScaleTo returns a copy of the solution rescaled to a different system
+// pressure drop. Because the Hagen-Poiseuille model is linear (constant
+// conductances), pressures and flow rates scale proportionally with
+// P_sys — this lets callers solve the flow problem once per network and
+// sweep pressures for free, which the network-evaluation loop of
+// Algorithm 3 exploits heavily.
+func (s *Solution) ScaleTo(psys float64) *Solution {
+	if s.Psys == 0 {
+		// A zero-pressure reference carries no information; re-solving is
+		// the caller's responsibility. Guarded by Solve using psys=1 refs.
+		panic("flow: cannot scale a zero-pressure solution")
+	}
+	f := psys / s.Psys
+	c := &Solution{
+		Net: s.Net, Geom: s.Geom, Psys: psys,
+		Pressure:   scaled(s.Pressure, f),
+		Active:     s.Active,
+		QEast:      scaled(s.QEast, f),
+		QNorth:     scaled(s.QNorth, f),
+		QIn:        scaled(s.QIn, f),
+		QOut:       scaled(s.QOut, f),
+		Qsys:       s.Qsys * f,
+		Rsys:       s.Rsys,
+		Wpump:      s.Wpump * f * f,
+		SolveIters: 0,
+	}
+	if c.Qsys == 0 {
+		c.Rsys = math.Inf(1)
+	}
+	return c
+}
+
+func scaled(v []float64, f float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x * f
+	}
+	return out
+}

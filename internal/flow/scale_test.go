@@ -1,0 +1,99 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/network"
+)
+
+func TestScaleToMatchesDirectSolve(t *testing.T) {
+	d := grid.Dims{NX: 21, NY: 21}
+	n := network.Mesh(d, 1, 2)
+	ref := solveOrDie(t, n, 1)
+	scaled := ref.ScaleTo(42e3)
+	direct := solveOrDie(t, n, 42e3)
+
+	if math.Abs(scaled.Qsys-direct.Qsys) > 1e-9*direct.Qsys {
+		t.Fatalf("Qsys scaled %g vs direct %g", scaled.Qsys, direct.Qsys)
+	}
+	if math.Abs(scaled.Wpump-direct.Wpump) > 1e-9*direct.Wpump {
+		t.Fatalf("Wpump scaled %g vs direct %g", scaled.Wpump, direct.Wpump)
+	}
+	for i := range scaled.Pressure {
+		if math.Abs(scaled.Pressure[i]-direct.Pressure[i]) > 1e-6*(1+direct.Pressure[i]) {
+			t.Fatalf("pressure mismatch at %d: %g vs %g", i, scaled.Pressure[i], direct.Pressure[i])
+		}
+		if math.Abs(scaled.QEast[i]-direct.QEast[i]) > 1e-9*(1+math.Abs(direct.QEast[i])) {
+			t.Fatalf("QEast mismatch at %d", i)
+		}
+	}
+}
+
+func TestScaleToZeroGivesInfiniteResistanceGuard(t *testing.T) {
+	d := grid.Dims{NX: 11, NY: 11}
+	n := network.Straight(d, grid.SideWest, 1)
+	ref := solveOrDie(t, n, 1)
+	s := ref.ScaleTo(0)
+	if s.Qsys != 0 || s.Wpump != 0 {
+		t.Fatalf("zero scale should zero flows: %+v", s.Qsys)
+	}
+	if !math.IsInf(s.Rsys, 1) {
+		t.Fatalf("Rsys should be +Inf, got %g", s.Rsys)
+	}
+}
+
+func TestScaleFromZeroPanics(t *testing.T) {
+	d := grid.Dims{NX: 11, NY: 11}
+	n := network.Straight(d, grid.SideWest, 1)
+	ref := solveOrDie(t, n, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scaling a zero-pressure solution must panic")
+		}
+	}()
+	ref.ScaleTo(5e3)
+}
+
+func TestWidthModulationThrottlesChannel(t *testing.T) {
+	d := grid.Dims{NX: 21, NY: 21}
+	n := network.Straight(d, grid.SideWest, 1)
+	// Narrow channel row 10 to 60% width; its flow must drop relative to
+	// the unmodulated solve, and conservation must still hold.
+	n.SetUniformWidth(geo.ChannelWidth)
+	for x := 0; x < d.NX; x++ {
+		n.Width[d.Index(x, 10)] = 0.6 * geo.ChannelWidth
+	}
+	mod := solveOrDie(t, n, 10e3)
+	plain := solveOrDie(t, network.Straight(d, grid.SideWest, 1), 10e3)
+
+	qMod := mod.QIn[d.Index(0, 10)]
+	qPlain := plain.QIn[d.Index(0, 10)]
+	if qMod >= 0.8*qPlain {
+		t.Fatalf("narrowed channel flow %g should drop well below %g", qMod, qPlain)
+	}
+	// Untouched channels carry slightly more than before (same Psys).
+	if mod.QIn[d.Index(0, 0)] < qPlain {
+		t.Fatalf("untouched channel should not lose flow")
+	}
+	for y := 0; y < d.NY; y += 2 {
+		for x := 0; x < d.NX; x++ {
+			if out := mod.NetOutflow(x, y); math.Abs(out) > 1e-6*mod.Qsys {
+				t.Fatalf("conservation violated at (%d,%d): %g", x, y, out)
+			}
+		}
+	}
+}
+
+func TestUniformWidthFieldMatchesUnmodulated(t *testing.T) {
+	d := grid.Dims{NX: 21, NY: 21}
+	a := network.Straight(d, grid.SideWest, 1)
+	bn := network.Straight(d, grid.SideWest, 1)
+	bn.SetUniformWidth(geo.ChannelWidth)
+	sa := solveOrDie(t, a, 10e3)
+	sb := solveOrDie(t, bn, 10e3)
+	if math.Abs(sa.Qsys-sb.Qsys) > 1e-12 {
+		t.Fatalf("uniform width field must match unmodulated solve: %g vs %g", sa.Qsys, sb.Qsys)
+	}
+}

@@ -1,0 +1,174 @@
+// Package grid provides 2D rectangular grid indexing for basic cells and
+// thermal cells, chip-edge sides, lateral directions, and ragged coarse
+// tilings used by the 2RM porous-medium model.
+//
+// Coordinates follow the paper's channel-layer picture: x grows to the
+// east (right), y grows to the north (up). Cell (0, 0) is the south-west
+// corner. Linear indices are row-major: idx = y*NX + x.
+package grid
+
+import "fmt"
+
+// Dims describes a rectangular grid of NX columns by NY rows.
+type Dims struct {
+	NX, NY int
+}
+
+// N reports the total number of cells.
+func (d Dims) N() int { return d.NX * d.NY }
+
+// Index converts (x, y) into a linear row-major index.
+func (d Dims) Index(x, y int) int { return y*d.NX + x }
+
+// Coord converts a linear index back into (x, y).
+func (d Dims) Coord(i int) (x, y int) { return i % d.NX, i / d.NX }
+
+// In reports whether (x, y) lies inside the grid.
+func (d Dims) In(x, y int) bool { return x >= 0 && x < d.NX && y >= 0 && y < d.NY }
+
+// OnEdge reports whether (x, y) touches any grid boundary.
+func (d Dims) OnEdge(x, y int) bool {
+	return x == 0 || y == 0 || x == d.NX-1 || y == d.NY-1
+}
+
+func (d Dims) String() string { return fmt.Sprintf("%dx%d", d.NX, d.NY) }
+
+// Dir is a lateral direction on the grid.
+type Dir int
+
+// The four lateral directions.
+const (
+	East Dir = iota
+	North
+	West
+	South
+	NumDirs = 4
+)
+
+var dirNames = [NumDirs]string{"E", "N", "W", "S"}
+
+func (dir Dir) String() string {
+	if dir < 0 || dir >= NumDirs {
+		return fmt.Sprintf("Dir(%d)", int(dir))
+	}
+	return dirNames[dir]
+}
+
+// Delta returns the unit step of the direction.
+func (dir Dir) Delta() (dx, dy int) {
+	switch dir {
+	case East:
+		return 1, 0
+	case North:
+		return 0, 1
+	case West:
+		return -1, 0
+	case South:
+		return 0, -1
+	}
+	panic("grid: invalid direction")
+}
+
+// Opposite returns the reverse direction.
+func (dir Dir) Opposite() Dir { return (dir + 2) % NumDirs }
+
+// Side identifies one of the four chip edges where inlets and outlets may
+// be placed.
+type Side int
+
+// The four chip sides. SideEast is the x = NX-1 column, and so on.
+const (
+	SideEast Side = iota
+	SideNorth
+	SideWest
+	SideSouth
+	NumSides = 4
+)
+
+var sideNames = [NumSides]string{"east", "north", "west", "south"}
+
+func (s Side) String() string {
+	if s < 0 || s >= NumSides {
+		return fmt.Sprintf("Side(%d)", int(s))
+	}
+	return sideNames[s]
+}
+
+// Outward returns the direction pointing out of the chip through the side.
+func (s Side) Outward() Dir {
+	switch s {
+	case SideEast:
+		return East
+	case SideNorth:
+		return North
+	case SideWest:
+		return West
+	case SideSouth:
+		return South
+	}
+	panic("grid: invalid side")
+}
+
+// Len returns the number of boundary cells along the side.
+func (s Side) Len(d Dims) int {
+	if s == SideEast || s == SideWest {
+		return d.NY
+	}
+	return d.NX
+}
+
+// Cell returns the (x, y) of the k-th boundary cell along the side,
+// counted from the south end for vertical sides and from the west end for
+// horizontal sides.
+func (s Side) Cell(d Dims, k int) (x, y int) {
+	switch s {
+	case SideEast:
+		return d.NX - 1, k
+	case SideWest:
+		return 0, k
+	case SideNorth:
+		return k, d.NY - 1
+	case SideSouth:
+		return k, 0
+	}
+	panic("grid: invalid side")
+}
+
+// PosAlong returns the along-side coordinate k of boundary cell (x, y),
+// the inverse of Cell. It panics if the cell is not on the side.
+func (s Side) PosAlong(d Dims, x, y int) int {
+	switch s {
+	case SideEast:
+		if x != d.NX-1 {
+			break
+		}
+		return y
+	case SideWest:
+		if x != 0 {
+			break
+		}
+		return y
+	case SideNorth:
+		if y != d.NY-1 {
+			break
+		}
+		return x
+	case SideSouth:
+		if y != 0 {
+			break
+		}
+		return x
+	}
+	panic(fmt.Sprintf("grid: cell (%d,%d) not on side %v", x, y, s))
+}
+
+// Neighbors4 calls fn for each in-grid orthogonal neighbor of (x, y).
+func (d Dims) Neighbors4(x, y int, fn func(nx, ny int, dir Dir)) {
+	for dir := Dir(0); dir < NumDirs; dir++ {
+		dx, dy := dir.Delta()
+		nx, ny := x+dx, y+dy
+		if d.In(nx, ny) {
+			fn(nx, ny, dir)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexCoordRoundTrip(t *testing.T) {
+	d := Dims{NX: 7, NY: 5}
+	for y := 0; y < d.NY; y++ {
+		for x := 0; x < d.NX; x++ {
+			i := d.Index(x, y)
+			gx, gy := d.Coord(i)
+			if gx != x || gy != y {
+				t.Fatalf("round trip (%d,%d) -> %d -> (%d,%d)", x, y, i, gx, gy)
+			}
+		}
+	}
+	if d.N() != 35 {
+		t.Fatalf("N = %d, want 35", d.N())
+	}
+}
+
+func TestIndexCoordProperty(t *testing.T) {
+	d := Dims{NX: 101, NY: 101}
+	f := func(i uint16) bool {
+		idx := int(i) % d.N()
+		x, y := d.Coord(idx)
+		return d.In(x, y) && d.Index(x, y) == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIn(t *testing.T) {
+	d := Dims{NX: 3, NY: 4}
+	cases := []struct {
+		x, y int
+		want bool
+	}{
+		{0, 0, true}, {2, 3, true}, {-1, 0, false}, {0, -1, false},
+		{3, 0, false}, {0, 4, false}, {1, 2, true},
+	}
+	for _, c := range cases {
+		if got := d.In(c.x, c.y); got != c.want {
+			t.Errorf("In(%d,%d) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestOnEdge(t *testing.T) {
+	d := Dims{NX: 5, NY: 5}
+	if !d.OnEdge(0, 2) || !d.OnEdge(4, 2) || !d.OnEdge(2, 0) || !d.OnEdge(2, 4) {
+		t.Error("boundary cells should be on edge")
+	}
+	if d.OnEdge(2, 2) {
+		t.Error("interior cell should not be on edge")
+	}
+}
+
+func TestDirDelta(t *testing.T) {
+	want := map[Dir][2]int{East: {1, 0}, North: {0, 1}, West: {-1, 0}, South: {0, -1}}
+	for dir, w := range want {
+		dx, dy := dir.Delta()
+		if dx != w[0] || dy != w[1] {
+			t.Errorf("%v.Delta() = (%d,%d), want (%d,%d)", dir, dx, dy, w[0], w[1])
+		}
+	}
+}
+
+func TestDirOpposite(t *testing.T) {
+	for dir := Dir(0); dir < NumDirs; dir++ {
+		op := dir.Opposite()
+		dx, dy := dir.Delta()
+		ox, oy := op.Delta()
+		if dx+ox != 0 || dy+oy != 0 {
+			t.Errorf("%v opposite %v does not cancel", dir, op)
+		}
+		if op.Opposite() != dir {
+			t.Errorf("double opposite of %v is %v", dir, op.Opposite())
+		}
+	}
+}
+
+func TestSideCellsAreOnEdge(t *testing.T) {
+	d := Dims{NX: 6, NY: 9}
+	for s := Side(0); s < NumSides; s++ {
+		for k := 0; k < s.Len(d); k++ {
+			x, y := s.Cell(d, k)
+			if !d.OnEdge(x, y) {
+				t.Errorf("side %v cell %d = (%d,%d) not on edge", s, k, x, y)
+			}
+			if got := s.PosAlong(d, x, y); got != k {
+				t.Errorf("PosAlong(%v, %d,%d) = %d, want %d", s, x, y, got, k)
+			}
+		}
+	}
+}
+
+func TestSideOutwardLeavesGrid(t *testing.T) {
+	d := Dims{NX: 4, NY: 4}
+	for s := Side(0); s < NumSides; s++ {
+		x, y := s.Cell(d, 1)
+		dx, dy := s.Outward().Delta()
+		if d.In(x+dx, y+dy) {
+			t.Errorf("stepping outward from side %v stays inside the grid", s)
+		}
+	}
+}
+
+func TestNeighbors4(t *testing.T) {
+	d := Dims{NX: 3, NY: 3}
+	count := 0
+	d.Neighbors4(1, 1, func(nx, ny int, dir Dir) { count++ })
+	if count != 4 {
+		t.Errorf("interior cell has %d neighbors, want 4", count)
+	}
+	count = 0
+	d.Neighbors4(0, 0, func(nx, ny int, dir Dir) {
+		count++
+		if !d.In(nx, ny) {
+			t.Errorf("neighbor (%d,%d) out of grid", nx, ny)
+		}
+	})
+	if count != 2 {
+		t.Errorf("corner cell has %d neighbors, want 2", count)
+	}
+}
+
+func TestTilingExact(t *testing.T) {
+	ti, err := NewTiling(Dims{NX: 8, NY: 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti.Coarse != (Dims{NX: 2, NY: 2}) {
+		t.Fatalf("coarse dims %v, want 2x2", ti.Coarse)
+	}
+	if ti.CellArea(1, 1) != 16 {
+		t.Fatalf("cell area %d, want 16", ti.CellArea(1, 1))
+	}
+}
+
+func TestTilingRagged(t *testing.T) {
+	// 101 fine cells with m=4 -> 26 coarse columns, last has width 1,
+	// matching the paper's 400 µm thermal cells over 101 basic cells.
+	ti, err := NewTiling(Dims{NX: 101, NY: 101}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti.Coarse.NX != 26 || ti.Coarse.NY != 26 {
+		t.Fatalf("coarse dims %v, want 26x26", ti.Coarse)
+	}
+	if w := ti.Width(25); w != 1 {
+		t.Fatalf("last coarse column width %d, want 1", w)
+	}
+	if w := ti.Width(0); w != 4 {
+		t.Fatalf("first coarse column width %d, want 4", w)
+	}
+}
+
+func TestTilingCoversEveryFineCellOnce(t *testing.T) {
+	fine := Dims{NX: 23, NY: 51}
+	ti, err := NewTiling(fine, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]int, fine.N())
+	for cy := 0; cy < ti.Coarse.NY; cy++ {
+		for cx := 0; cx < ti.Coarse.NX; cx++ {
+			ti.EachFine(cx, cy, func(x, y int) {
+				seen[fine.Index(x, y)]++
+				gcx, gcy := ti.CoarseOf(x, y)
+				if gcx != cx || gcy != cy {
+					t.Fatalf("CoarseOf(%d,%d) = (%d,%d), want (%d,%d)", x, y, gcx, gcy, cx, cy)
+				}
+			})
+		}
+	}
+	for i, n := range seen {
+		if n != 1 {
+			x, y := fine.Coord(i)
+			t.Fatalf("fine cell (%d,%d) covered %d times", x, y, n)
+		}
+	}
+}
+
+func TestTilingRejectsBadInput(t *testing.T) {
+	if _, err := NewTiling(Dims{NX: 5, NY: 5}, 0); err == nil {
+		t.Error("m=0 should be rejected")
+	}
+	if _, err := NewTiling(Dims{NX: 0, NY: 5}, 2); err == nil {
+		t.Error("empty grid should be rejected")
+	}
+}
+
+func TestTilingRangesProperty(t *testing.T) {
+	f := func(nx, ny uint8, m uint8) bool {
+		d := Dims{NX: int(nx%60) + 1, NY: int(ny%60) + 1}
+		ti, err := NewTiling(d, int(m%7)+1)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for cx := 0; cx < ti.Coarse.NX; cx++ {
+			lo, hi := ti.XRange(cx)
+			if lo >= hi || hi-lo > ti.M {
+				return false
+			}
+			total += hi - lo
+		}
+		return total == d.NX
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPosAlongPanicsOffSide(t *testing.T) {
+	d := Dims{NX: 4, NY: 4}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PosAlong off-side should panic")
+		}
+	}()
+	SideEast.PosAlong(d, 0, 1) // x=0 is the west column
+}
+
+func TestSideLen(t *testing.T) {
+	d := Dims{NX: 6, NY: 9}
+	if SideEast.Len(d) != 9 || SideWest.Len(d) != 9 {
+		t.Fatal("vertical sides span NY")
+	}
+	if SideNorth.Len(d) != 6 || SideSouth.Len(d) != 6 {
+		t.Fatal("horizontal sides span NX")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if East.String() != "E" || South.String() != "S" {
+		t.Fatal("direction names")
+	}
+	if SideWest.String() != "west" {
+		t.Fatal("side names")
+	}
+	if (Dims{NX: 3, NY: 4}).String() != "3x4" {
+		t.Fatal("dims name")
+	}
+	if Dir(9).String() == "" || Side(9).String() == "" {
+		t.Fatal("out-of-range stringers should not be empty")
+	}
+}

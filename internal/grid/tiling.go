@@ -1,0 +1,68 @@
+package grid
+
+import "fmt"
+
+// Tiling partitions a fine Dims grid into coarse cells of m×m fine cells.
+// When the fine dimensions are not divisible by m the last row/column of
+// coarse cells is ragged (smaller), exactly as the paper's 400 µm thermal
+// cells tile the 101×101 basic-cell grid.
+type Tiling struct {
+	Fine   Dims
+	Coarse Dims
+	M      int // nominal coarse-cell side, in fine cells
+
+	// x0/y0 hold the fine start coordinate of each coarse column/row;
+	// they have Coarse.NX+1 and Coarse.NY+1 entries so that the extent of
+	// coarse column cx is [x0[cx], x0[cx+1]).
+	x0, y0 []int
+}
+
+// NewTiling builds a tiling of fine with coarse cells of side m.
+func NewTiling(fine Dims, m int) (*Tiling, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("grid: tiling factor m=%d must be >= 1", m)
+	}
+	if fine.NX < 1 || fine.NY < 1 {
+		return nil, fmt.Errorf("grid: invalid fine dims %v", fine)
+	}
+	t := &Tiling{Fine: fine, M: m}
+	t.Coarse = Dims{NX: (fine.NX + m - 1) / m, NY: (fine.NY + m - 1) / m}
+	t.x0 = make([]int, t.Coarse.NX+1)
+	for cx := 0; cx <= t.Coarse.NX; cx++ {
+		t.x0[cx] = min(cx*m, fine.NX)
+	}
+	t.y0 = make([]int, t.Coarse.NY+1)
+	for cy := 0; cy <= t.Coarse.NY; cy++ {
+		t.y0[cy] = min(cy*m, fine.NY)
+	}
+	return t, nil
+}
+
+// CoarseOf maps a fine cell to its coarse cell.
+func (t *Tiling) CoarseOf(x, y int) (cx, cy int) { return x / t.M, y / t.M }
+
+// XRange returns the fine-x half-open extent [lo, hi) of coarse column cx.
+func (t *Tiling) XRange(cx int) (lo, hi int) { return t.x0[cx], t.x0[cx+1] }
+
+// YRange returns the fine-y half-open extent [lo, hi) of coarse row cy.
+func (t *Tiling) YRange(cy int) (lo, hi int) { return t.y0[cy], t.y0[cy+1] }
+
+// Width returns the number of fine columns in coarse column cx.
+func (t *Tiling) Width(cx int) int { return t.x0[cx+1] - t.x0[cx] }
+
+// Height returns the number of fine rows in coarse row cy.
+func (t *Tiling) Height(cy int) int { return t.y0[cy+1] - t.y0[cy] }
+
+// CellArea returns the number of fine cells inside coarse cell (cx, cy).
+func (t *Tiling) CellArea(cx, cy int) int { return t.Width(cx) * t.Height(cy) }
+
+// EachFine calls fn for every fine cell inside coarse cell (cx, cy).
+func (t *Tiling) EachFine(cx, cy int, fn func(x, y int)) {
+	xlo, xhi := t.XRange(cx)
+	ylo, yhi := t.YRange(cy)
+	for y := ylo; y < yhi; y++ {
+		for x := xlo; x < xhi; x++ {
+			fn(x, y)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package iccad
+
+import (
+	"math"
+	"testing"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/network"
+)
+
+func TestLoadAllFullScale(t *testing.T) {
+	bs, err := LoadAll(FullDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 5 {
+		t.Fatalf("want 5 cases, got %d", len(bs))
+	}
+	for i, b := range bs {
+		sp := Table2[i]
+		if got := b.Stk.TotalPower(); math.Abs(got-sp.DiePower) > 1e-6*sp.DiePower {
+			t.Errorf("case %d power %g, want %g", sp.ID, got, sp.DiePower)
+		}
+		if got := len(b.Stk.SourceLayers()); got != sp.Dies {
+			t.Errorf("case %d has %d dies, want %d", sp.ID, got, sp.Dies)
+		}
+		wantCh := sp.Dies - 1
+		if wantCh == 0 {
+			wantCh = 1
+		}
+		if got := len(b.Stk.ChannelLayers()); got != wantCh {
+			t.Errorf("case %d has %d channel layers, want %d", sp.ID, got, wantCh)
+		}
+		ch := b.Stk.Layers[b.Stk.ChannelLayers()[0]]
+		if math.Abs(ch.Thickness-sp.ChannelHeight) > 1e-12 {
+			t.Errorf("case %d h_c = %g, want %g", sp.ID, ch.Thickness, sp.ChannelHeight)
+		}
+		if b.DeltaTStar != sp.DeltaTStar || b.TmaxStar != sp.TmaxStar {
+			t.Errorf("case %d constraints wrong", sp.ID)
+		}
+		if math.Abs(b.WpumpStar-0.001*sp.DiePower) > 1e-9 {
+			t.Errorf("case %d W*_pump = %g, want 0.1%% of power", sp.ID, b.WpumpStar)
+		}
+	}
+}
+
+func TestCase3HasKeepout(t *testing.T) {
+	b, err := Load(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Keepout == nil {
+		t.Fatal("case 3 must have a keepout region")
+	}
+	k := *b.Keepout
+	if k[0] <= 0 || k[2] >= FullDims.NX || k[1] <= 0 || k[3] >= FullDims.NY {
+		t.Fatalf("keepout %v should be interior", k)
+	}
+	// A straight baseline with the keepout carved must stay legal.
+	n := network.Straight(FullDims, grid.SideWest, 1)
+	b.ApplyKeepout(n)
+	if errs := n.Check(); len(errs) > 0 {
+		t.Fatalf("carved baseline illegal: %v", errs)
+	}
+}
+
+func TestOtherCasesHaveNoKeepout(t *testing.T) {
+	for _, id := range []int{1, 2, 4, 5} {
+		b, err := Load(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Keepout != nil {
+			t.Errorf("case %d should have no keepout", id)
+		}
+	}
+}
+
+func TestCase5IsHighlyVaried(t *testing.T) {
+	b5, err := Load(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Load(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "High and highly varied die power": the absolute cell-power spread
+	// of case 5 must dwarf case 2's, and so must its total power
+	// (148 W vs ~37 W).
+	std := func(b *Benchmark) float64 {
+		pm := b.Stk.Layers[b.Stk.SourceLayers()[0]].Power
+		mean := pm.Total() / float64(len(pm.W))
+		var s float64
+		for _, v := range pm.W {
+			s += (v - mean) * (v - mean)
+		}
+		return math.Sqrt(s / float64(len(pm.W)))
+	}
+	if std(b5) <= 1.3*std(b2) {
+		t.Fatalf("case 5 power spread %.4g W should clearly exceed case 2's %.4g W", std(b5), std(b2))
+	}
+	if b5.Stk.TotalPower() < 3*b2.Stk.TotalPower() {
+		t.Fatal("case 5 power should dwarf case 2")
+	}
+}
+
+func TestLoadScaledPreservesDensity(t *testing.T) {
+	small := grid.Dims{NX: 21, NY: 21}
+	b, err := LoadScaled(1, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullDensity := Table2[0].DiePower / float64(FullDims.NX*FullDims.NY)
+	gotDensity := b.Stk.TotalPower() / float64(small.NX*small.NY)
+	if math.Abs(gotDensity-fullDensity) > 1e-9 {
+		t.Fatalf("areal density %g, want %g", gotDensity, fullDensity)
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	a, _ := Load(1)
+	b, _ := Load(1)
+	pa := a.Stk.Layers[a.Stk.SourceLayers()[0]].Power
+	pb := b.Stk.Layers[b.Stk.SourceLayers()[0]].Power
+	for i := range pa.W {
+		if pa.W[i] != pb.W[i] {
+			t.Fatal("loads must be deterministic")
+		}
+	}
+}
+
+func TestLoadRejectsBadID(t *testing.T) {
+	if _, err := Load(0); err == nil {
+		t.Error("case 0 should fail")
+	}
+	if _, err := Load(6); err == nil {
+		t.Error("case 6 should fail")
+	}
+}

@@ -1,0 +1,90 @@
+package network
+
+import (
+	"math"
+	"sort"
+
+	"lcn3d/internal/grid"
+)
+
+// DensityAdaptive builds straight west-east channels whose row density
+// follows the heat distribution: hot bands keep every even row, cold
+// bands are thinned so they run warmer. This is the paper's "factor 3"
+// compensation (non-uniform channel distribution evening out non-uniform
+// power) in its simplest manual form, and the style used for the
+// difficult case 5 where the band-structured trees struggle.
+//
+// rowHeat gives the heat attributed to each grid row; keepFrac in (0, 1]
+// is the fraction of candidate channel rows to keep (hottest first);
+// maxGap bounds the number of consecutive even rows that may be skipped
+// so no region is left uncooled.
+func DensityAdaptive(d grid.Dims, rowHeat []float64, keepFrac float64, maxGap int) *Network {
+	if keepFrac <= 0 || keepFrac > 1 {
+		keepFrac = 1
+	}
+	if maxGap < 1 {
+		maxGap = 1
+	}
+	n := New(d)
+
+	// Candidate channel rows are the even rows; score each by the heat
+	// of its neighborhood (smoothed over ±2 rows).
+	var rows []int
+	score := map[int]float64{}
+	for y := 0; y < d.NY; y += 2 {
+		rows = append(rows, y)
+		var s float64
+		for dy := -2; dy <= 2; dy++ {
+			yy := y + dy
+			if yy >= 0 && yy < d.NY && yy < len(rowHeat) {
+				w := 1.0 / (1 + math.Abs(float64(dy)))
+				s += rowHeat[yy] * w
+			}
+		}
+		score[y] = s
+	}
+	keepCount := int(math.Ceil(keepFrac * float64(len(rows))))
+	if keepCount < 2 {
+		keepCount = 2
+	}
+	byScore := append([]int(nil), rows...)
+	sort.Slice(byScore, func(a, b int) bool { return score[byScore[a]] > score[byScore[b]] })
+	keep := map[int]bool{}
+	for _, y := range byScore[:keepCount] {
+		keep[y] = true
+	}
+	// Enforce the maximum gap: walk the even rows and force-keep one row
+	// whenever maxGap consecutive candidates were dropped.
+	gap := 0
+	for _, y := range rows {
+		if keep[y] {
+			gap = 0
+			continue
+		}
+		gap++
+		if gap >= maxGap {
+			keep[y] = true
+			gap = 0
+		}
+	}
+	for y := range keep {
+		for x := 0; x < d.NX; x++ {
+			n.SetLiquid(x, y, true)
+		}
+	}
+	n.AddPort(grid.SideWest, Inlet, 0, d.NY-1)
+	n.AddPort(grid.SideEast, Outlet, 0, d.NY-1)
+	return n
+}
+
+// ColumnHeatLoads sums a power map's heat by grid column (for
+// north-south channel variants of DensityAdaptive after rotation).
+func ColumnHeatLoads(d grid.Dims, w []float64) []float64 {
+	out := make([]float64, d.NX)
+	for y := 0; y < d.NY; y++ {
+		for x := 0; x < d.NX; x++ {
+			out[x] += w[d.Index(x, y)]
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package network
+
+import (
+	"testing"
+
+	"lcn3d/internal/grid"
+)
+
+func TestDensityAdaptiveKeepsHotRows(t *testing.T) {
+	d := grid.Dims{NX: 31, NY: 31}
+	heat := make([]float64, d.NY)
+	for y := 0; y < d.NY/2; y++ {
+		heat[y] = 2 // south hot
+	}
+	for y := d.NY / 2; y < d.NY; y++ {
+		heat[y] = 0.1
+	}
+	n := DensityAdaptive(d, heat, 0.6, 3)
+	if errs := n.Check(); len(errs) > 0 {
+		t.Fatalf("illegal: %v", errs)
+	}
+	south, north := 0, 0
+	for y := 0; y < d.NY; y += 2 {
+		full := true
+		for x := 0; x < d.NX; x++ {
+			if !n.IsLiquid(x, y) {
+				full = false
+				break
+			}
+		}
+		if full {
+			if y < d.NY/2 {
+				south++
+			} else {
+				north++
+			}
+		}
+	}
+	if south <= north {
+		t.Fatalf("hot south should keep more channels: south %d vs north %d", south, north)
+	}
+	if north == 0 {
+		t.Fatal("maxGap should force some channels in the cold half")
+	}
+}
+
+func TestDensityAdaptiveFullKeepIsStraight(t *testing.T) {
+	d := grid.Dims{NX: 21, NY: 21}
+	heat := make([]float64, d.NY)
+	for i := range heat {
+		heat[i] = 1
+	}
+	n := DensityAdaptive(d, heat, 1.0, 2)
+	want := Straight(d, grid.SideWest, 1)
+	if n.NumLiquid() != want.NumLiquid() {
+		t.Fatalf("keep=1 should equal dense straight: %d vs %d", n.NumLiquid(), want.NumLiquid())
+	}
+}
+
+func TestDensityAdaptiveMaxGapEnforced(t *testing.T) {
+	d := grid.Dims{NX: 21, NY: 21}
+	heat := make([]float64, d.NY)
+	heat[0] = 100 // everything else cold
+	n := DensityAdaptive(d, heat, 0.2, 2)
+	gap := 0
+	for y := 0; y < d.NY; y += 2 {
+		if n.IsLiquid(5, y) {
+			gap = 0
+			continue
+		}
+		gap++
+		if gap > 2 {
+			t.Fatalf("gap of %d even rows at y=%d exceeds maxGap", gap, y)
+		}
+	}
+}
+
+func TestColumnHeatLoads(t *testing.T) {
+	d := grid.Dims{NX: 2, NY: 3}
+	w := []float64{1, 2, 3, 4, 5, 6}
+	ch := ColumnHeatLoads(d, w)
+	if ch[0] != 9 || ch[1] != 12 {
+		t.Fatalf("column heats %v", ch)
+	}
+}

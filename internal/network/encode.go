@@ -1,0 +1,138 @@
+package network
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"lcn3d/internal/grid"
+)
+
+// The network file format is line oriented, mirroring the stack format:
+//
+//	network <NX> <NY>
+//	port <side> <inlet|outlet> <lo> <hi>
+//	rows            # NY rows of NX chars, north row first:
+//	<'#' liquid, '.' solid, 'T' tsv, 'X' keepout, '*' liquid-in-keepout?>
+//	end
+//
+// The row art is identical to Network.String(), so saved files are
+// directly human-readable.
+
+// Write serializes the network.
+func Write(w io.Writer, n *Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "network %d %d\n", n.Dims.NX, n.Dims.NY)
+	for _, p := range n.Ports {
+		fmt.Fprintf(bw, "port %s %s %d %d\n", p.Side, p.Kind, p.Lo, p.Hi)
+	}
+	fmt.Fprintln(bw, "rows")
+	bw.WriteString(n.String())
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+var sidesByName = map[string]grid.Side{
+	"east": grid.SideEast, "north": grid.SideNorth,
+	"west": grid.SideWest, "south": grid.SideSouth,
+}
+
+// Read parses a network written by Write.
+func Read(r io.Reader) (*Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var n *Network
+	lineNo := 0
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("network: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#!") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "network":
+			if len(f) != 3 {
+				return nil, fail("network needs NX NY")
+			}
+			nx, err1 := strconv.Atoi(f[1])
+			ny, err2 := strconv.Atoi(f[2])
+			if err1 != nil || err2 != nil || nx < 1 || ny < 1 {
+				return nil, fail("bad dimensions %q", line)
+			}
+			n = NewFree(grid.Dims{NX: nx, NY: ny})
+		case "port":
+			if n == nil {
+				return nil, fail("port before network header")
+			}
+			if len(f) != 5 {
+				return nil, fail("port needs side kind lo hi")
+			}
+			side, ok := sidesByName[f[1]]
+			if !ok {
+				return nil, fail("unknown side %q", f[1])
+			}
+			var kind PortKind
+			switch f[2] {
+			case "inlet":
+				kind = Inlet
+			case "outlet":
+				kind = Outlet
+			default:
+				return nil, fail("unknown port kind %q", f[2])
+			}
+			lo, err1 := strconv.Atoi(f[3])
+			hi, err2 := strconv.Atoi(f[4])
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad port span")
+			}
+			n.AddPort(side, kind, lo, hi)
+		case "rows":
+			if n == nil {
+				return nil, fail("rows before network header")
+			}
+			for y := n.Dims.NY - 1; y >= 0; y-- {
+				if !sc.Scan() {
+					return nil, fail("rows truncated at grid row %d", y)
+				}
+				lineNo++
+				row := sc.Text()
+				if len(row) != n.Dims.NX {
+					return nil, fail("row has %d cells, want %d", len(row), n.Dims.NX)
+				}
+				for x := 0; x < n.Dims.NX; x++ {
+					i := n.Dims.Index(x, y)
+					switch row[x] {
+					case '#':
+						n.Liquid[i] = true
+					case '.':
+					case 'T':
+						n.TSV[i] = true
+					case 'X':
+						n.Keepout[i] = true
+					default:
+						return nil, fail("unknown cell char %q", row[x])
+					}
+				}
+			}
+			if !sc.Scan() || strings.TrimSpace(sc.Text()) != "end" {
+				return nil, fail("missing end marker")
+			}
+			lineNo++
+		default:
+			return nil, fail("unknown directive %q", f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
+	if n == nil {
+		return nil, fmt.Errorf("network: empty input")
+	}
+	return n, nil
+}

@@ -1,0 +1,98 @@
+package network
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lcn3d/internal/grid"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := grid.Dims{NX: 31, NY: 31}
+	orig, err := Tree(d, UniformTreeSpec(d, 1, Branch4, 0.3, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	CarveKeepout(orig, 12, 12, 17, 17)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dims != orig.Dims {
+		t.Fatalf("dims %v != %v", got.Dims, orig.Dims)
+	}
+	for i := range orig.Liquid {
+		if got.Liquid[i] != orig.Liquid[i] {
+			t.Fatalf("liquid mismatch at %d", i)
+		}
+		// The art format renders keepout over TSV; TSV flags under the
+		// keepout region are immaterial (liquid is forbidden either way).
+		if !orig.Keepout[i] && got.TSV[i] != orig.TSV[i] {
+			t.Fatalf("TSV mismatch at %d", i)
+		}
+	}
+	// Keepout cells that are solid round trip as 'X'; keepout markers on
+	// liquid are not representable, but CarveKeepout guarantees keepout
+	// cells are solid.
+	for i := range orig.Keepout {
+		if orig.Keepout[i] && !orig.Liquid[i] && !got.Keepout[i] {
+			t.Fatalf("keepout lost at %d", i)
+		}
+	}
+	if len(got.Ports) != len(orig.Ports) {
+		t.Fatalf("ports %d != %d", len(got.Ports), len(orig.Ports))
+	}
+	for i := range got.Ports {
+		if got.Ports[i] != orig.Ports[i] {
+			t.Fatalf("port %d: %+v != %+v", i, got.Ports[i], orig.Ports[i])
+		}
+	}
+	if errs := got.Check(); len(errs) > 0 {
+		t.Fatalf("round-tripped network illegal: %v", errs)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty", ""},
+		{"bad dims", "network x y\n"},
+		{"port first", "port west inlet 0 3\n"},
+		{"bad side", "network 3 3\nport up inlet 0 1\n"},
+		{"bad kind", "network 3 3\nport west pump 0 1\n"},
+		{"short rows", "network 3 3\nrows\n###\n"},
+		{"wrong row width", "network 3 3\nrows\n####\n###\n###\nend\n"},
+		{"bad char", "network 3 3\nrows\n?##\n###\n###\nend\n"},
+		{"missing end", "network 3 3\nrows\n###\n###\n###\n"},
+		{"unknown directive", "network 3 3\nfoo\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestWriteIsHumanReadable(t *testing.T) {
+	d := grid.Dims{NX: 5, NY: 3}
+	n := Straight(d, grid.SideWest, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "network 5 3") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "port west inlet 0 2") {
+		t.Fatalf("missing port line:\n%s", out)
+	}
+	if !strings.Contains(out, "#####") {
+		t.Fatalf("missing channel art:\n%s", out)
+	}
+}

@@ -1,0 +1,254 @@
+package network
+
+import (
+	"fmt"
+
+	"lcn3d/internal/grid"
+)
+
+// Straight builds the classic straight-microchannel baseline: horizontal
+// channels on every rowStep-th even row, flowing from the inlet side to
+// the opposite outlet side. inletSide must be SideWest or SideEast for
+// horizontal channels, SideSouth or SideNorth for vertical ones.
+// rowStep is in even-row units (1 = every even row, i.e. maximum
+// density; 2 = every other even row, ...).
+func Straight(d grid.Dims, inletSide grid.Side, rowStep int) *Network {
+	if rowStep < 1 {
+		rowStep = 1
+	}
+	n := New(d)
+	horizontal := inletSide == grid.SideWest || inletSide == grid.SideEast
+	if horizontal {
+		for y := 0; y < d.NY; y += 2 * rowStep {
+			for x := 0; x < d.NX; x++ {
+				n.SetLiquid(x, y, true)
+			}
+		}
+	} else {
+		for x := 0; x < d.NX; x += 2 * rowStep {
+			for y := 0; y < d.NY; y++ {
+				n.SetLiquid(x, y, true)
+			}
+		}
+	}
+	out := oppositeSide(inletSide)
+	n.AddPort(inletSide, Inlet, 0, inletSide.Len(d)-1)
+	n.AddPort(out, Outlet, 0, out.Len(d)-1)
+	return n
+}
+
+func oppositeSide(s grid.Side) grid.Side { return (s + 2) % grid.NumSides }
+
+// Serpentine builds a single snake channel: horizontal runs on every
+// other even row connected alternately at the east and west ends. The
+// inlet is at the south-west, the outlet at the end of the last run.
+// Used as one of the "manual styles" in the accuracy study.
+func Serpentine(d grid.Dims) *Network {
+	n := New(d)
+	rows := evenRows(d)
+	// Keep an odd number of runs so the snake ends at the east edge; with
+	// an even count both ports would land on the west side, violating the
+	// one-port-per-side rule.
+	if len(rows)%2 == 0 {
+		rows = rows[:len(rows)-1]
+	}
+	for ri, y := range rows {
+		for x := 0; x < d.NX; x++ {
+			n.SetLiquid(x, y, true)
+		}
+		if ri+1 < len(rows) {
+			// Vertical connector at alternating ends.
+			cx := 0
+			if ri%2 == 0 {
+				cx = d.NX - 1
+			}
+			for y2 := y; y2 <= rows[ri+1]; y2++ {
+				n.SetLiquid(cx, y2, true)
+			}
+		}
+	}
+	n.AddPort(grid.SideWest, Inlet, 0, 0)
+	last := rows[len(rows)-1]
+	n.AddPort(grid.SideEast, Outlet, last, last)
+	return n
+}
+
+// Mesh builds straight horizontal channels plus vertical cross-links
+// every colStep-th even column, creating a 2D lattice. Cross-links even
+// out pressure and temperature between channels; this is one of the
+// strong manual styles.
+func Mesh(d grid.Dims, rowStep, colStep int) *Network {
+	n := Straight(d, grid.SideWest, rowStep)
+	if colStep < 1 {
+		colStep = 1
+	}
+	for x := 0; x < d.NX; x += 2 * colStep {
+		for y := 0; y < d.NY; y++ {
+			if !n.TSV[d.Index(x, y)] && !n.Keepout[d.Index(x, y)] {
+				n.SetLiquid(x, y, true)
+			}
+		}
+	}
+	return n
+}
+
+// Comb builds a west header column feeding horizontal fingers on every
+// other even row; fingers reach the east outlet. Flow in long fingers is
+// weaker, producing a deliberately uneven profile — useful as an
+// adversarial sample for the 2RM accuracy study.
+func Comb(d grid.Dims, rowStep int) *Network {
+	if rowStep < 1 {
+		rowStep = 1
+	}
+	n := New(d)
+	for y := 0; y < d.NY; y++ {
+		n.SetLiquid(0, y, true) // header
+	}
+	for y := 0; y < d.NY; y += 2 * rowStep {
+		for x := 0; x < d.NX; x++ {
+			n.SetLiquid(x, y, true)
+		}
+	}
+	n.AddPort(grid.SideSouth, Inlet, 0, 0)
+	n.AddPort(grid.SideEast, Outlet, 0, d.NY-1)
+	return n
+}
+
+// Rotate90 returns the network rotated 90° counter-clockwise:
+// (x, y) -> (y, NX-1-x), with ports remapped accordingly. With odd grid
+// dimensions the TSV pattern is preserved under rotation.
+func (n *Network) Rotate90() *Network {
+	d := n.Dims
+	nd := grid.Dims{NX: d.NY, NY: d.NX}
+	r := &Network{
+		Dims:    nd,
+		Liquid:  make([]bool, nd.N()),
+		TSV:     make([]bool, nd.N()),
+		Keepout: make([]bool, nd.N()),
+	}
+	if n.Width != nil {
+		r.Width = make([]float64, nd.N())
+	}
+	for y := 0; y < d.NY; y++ {
+		for x := 0; x < d.NX; x++ {
+			src := d.Index(x, y)
+			dst := nd.Index(y, d.NX-1-x)
+			r.Liquid[dst] = n.Liquid[src]
+			r.TSV[dst] = n.TSV[src]
+			r.Keepout[dst] = n.Keepout[src]
+			if n.Width != nil {
+				r.Width[dst] = n.Width[src]
+			}
+		}
+	}
+	// Side mapping under CCW rotation: east->north, north->west,
+	// west->south, south->east.
+	sideMap := map[grid.Side]grid.Side{
+		grid.SideEast:  grid.SideNorth,
+		grid.SideNorth: grid.SideWest,
+		grid.SideWest:  grid.SideSouth,
+		grid.SideSouth: grid.SideEast,
+	}
+	for _, p := range n.Ports {
+		np := Port{Side: sideMap[p.Side], Kind: p.Kind}
+		switch p.Side {
+		case grid.SideEast, grid.SideWest:
+			// Along-side coordinate was y; it stays the along-side
+			// coordinate (now x) unchanged.
+			np.Lo, np.Hi = p.Lo, p.Hi
+		case grid.SideNorth, grid.SideSouth:
+			// Along-side coordinate was x; new coordinate is NX-1-x,
+			// which reverses the span.
+			np.Lo, np.Hi = d.NX-1-p.Hi, d.NX-1-p.Lo
+		}
+		r.Ports = append(r.Ports, np)
+	}
+	return r
+}
+
+// MirrorX returns the network mirrored left-right: (x, y) -> (NX-1-x, y).
+func (n *Network) MirrorX() *Network {
+	d := n.Dims
+	r := &Network{
+		Dims:    d,
+		Liquid:  make([]bool, d.N()),
+		TSV:     make([]bool, d.N()),
+		Keepout: make([]bool, d.N()),
+	}
+	if n.Width != nil {
+		r.Width = make([]float64, d.N())
+	}
+	for y := 0; y < d.NY; y++ {
+		for x := 0; x < d.NX; x++ {
+			src := d.Index(x, y)
+			dst := d.Index(d.NX-1-x, y)
+			r.Liquid[dst] = n.Liquid[src]
+			r.TSV[dst] = n.TSV[src]
+			r.Keepout[dst] = n.Keepout[src]
+			if n.Width != nil {
+				r.Width[dst] = n.Width[src]
+			}
+		}
+	}
+	sideMap := map[grid.Side]grid.Side{
+		grid.SideEast:  grid.SideWest,
+		grid.SideWest:  grid.SideEast,
+		grid.SideNorth: grid.SideNorth,
+		grid.SideSouth: grid.SideSouth,
+	}
+	for _, p := range n.Ports {
+		np := Port{Side: sideMap[p.Side], Kind: p.Kind}
+		switch p.Side {
+		case grid.SideEast, grid.SideWest:
+			np.Lo, np.Hi = p.Lo, p.Hi
+		default:
+			np.Lo, np.Hi = d.NX-1-p.Hi, d.NX-1-p.Lo
+		}
+		r.Ports = append(r.Ports, np)
+	}
+	return r
+}
+
+// Orientation identifies one of the eight global flow configurations of
+// Fig. 8(a): four rotations, each optionally mirrored.
+type Orientation struct {
+	Rotations int  // 0..3 quarter turns counter-clockwise
+	Mirror    bool // mirror in x before rotating
+}
+
+// AllOrientations lists the eight global flow directions.
+func AllOrientations() []Orientation {
+	var out []Orientation
+	for _, m := range []bool{false, true} {
+		for r := 0; r < 4; r++ {
+			out = append(out, Orientation{Rotations: r, Mirror: m})
+		}
+	}
+	return out
+}
+
+func (o Orientation) String() string {
+	return fmt.Sprintf("rot%d/mirror=%v", o.Rotations, o.Mirror)
+}
+
+// Apply returns the network transformed by the orientation. Note that
+// for non-square grids a quarter turn swaps the grid dimensions; callers
+// with rectangular chips should restrict to Rotations in {0, 2}.
+func (o Orientation) Apply(n *Network) *Network {
+	r := n
+	if o.Mirror {
+		r = r.MirrorX()
+	}
+	for i := 0; i < o.Rotations%4; i++ {
+		r = r.Rotate90()
+	}
+	return r
+}
+
+func evenRows(d grid.Dims) []int {
+	var rows []int
+	for y := 0; y < d.NY; y += 2 {
+		rows = append(rows, y)
+	}
+	return rows
+}

@@ -1,0 +1,335 @@
+// Package network represents liquid cooling networks with flexible
+// topology on the discretized channel layer: which basic cells are liquid,
+// where the TSV and keepout regions are, and where coolant enters and
+// leaves the chip. It provides the paper's design-rule checks, the
+// straight-channel baselines, the hierarchical tree-like family of
+// Section 4.3, and several manual design styles used in the accuracy
+// study of Fig. 9.
+package network
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"lcn3d/internal/grid"
+)
+
+// PortKind distinguishes inlets from outlets.
+type PortKind int
+
+// Port kinds.
+const (
+	Inlet PortKind = iota
+	Outlet
+)
+
+func (k PortKind) String() string {
+	if k == Inlet {
+		return "inlet"
+	}
+	return "outlet"
+}
+
+// Port is one continuous opening along a chip side, spanning boundary
+// positions [Lo, Hi] inclusive. Only liquid boundary cells inside the
+// span actually exchange coolant; solid cells in the span are simply
+// sealed. The design rules allow at most one port per side.
+type Port struct {
+	Side grid.Side
+	Kind PortKind
+	Lo   int
+	Hi   int
+}
+
+// Network is a cooling network on the channel layer's basic-cell grid.
+type Network struct {
+	Dims    grid.Dims
+	Liquid  []bool // basic cell is a microchannel cell
+	TSV     []bool // reserved for TSVs; may not be liquid
+	Keepout []bool // design-forbidden region (benchmark case 3)
+	Ports   []Port
+	// Width optionally modulates the channel width per cell (meters; 0
+	// falls back to the stack's nominal width). See width.go.
+	Width []float64
+}
+
+// New returns an all-solid network with the standard TSV pattern of the
+// paper (Fig. 2(b)): TSVs occupy basic cells whose x and y are both odd,
+// leaving an even-row/even-column street graph for the channels.
+func New(d grid.Dims) *Network {
+	n := &Network{
+		Dims:    d,
+		Liquid:  make([]bool, d.N()),
+		TSV:     make([]bool, d.N()),
+		Keepout: make([]bool, d.N()),
+	}
+	for y := 1; y < d.NY; y += 2 {
+		for x := 1; x < d.NX; x += 2 {
+			n.TSV[d.Index(x, y)] = true
+		}
+	}
+	return n
+}
+
+// NewFree returns an all-solid network without any TSV keepout, for unit
+// tests and synthetic studies.
+func NewFree(d grid.Dims) *Network {
+	return &Network{
+		Dims:    d,
+		Liquid:  make([]bool, d.N()),
+		TSV:     make([]bool, d.N()),
+		Keepout: make([]bool, d.N()),
+	}
+}
+
+// IsLiquid reports whether cell (x, y) is liquid.
+func (n *Network) IsLiquid(x, y int) bool { return n.Liquid[n.Dims.Index(x, y)] }
+
+// SetLiquid marks cell (x, y) liquid (or solid for v=false). Rule
+// violations are deferred to Check.
+func (n *Network) SetLiquid(x, y int, v bool) { n.Liquid[n.Dims.Index(x, y)] = v }
+
+// SetKeepoutRect forbids channels in [x0, x1) x [y0, y1).
+func (n *Network) SetKeepoutRect(x0, y0, x1, y1 int) {
+	for y := max(y0, 0); y < min(y1, n.Dims.NY); y++ {
+		for x := max(x0, 0); x < min(x1, n.Dims.NX); x++ {
+			n.Keepout[n.Dims.Index(x, y)] = true
+		}
+	}
+}
+
+// AddPort appends a port. Spans are clamped to the side length.
+func (n *Network) AddPort(side grid.Side, kind PortKind, lo, hi int) {
+	L := side.Len(n.Dims)
+	lo = max(lo, 0)
+	hi = min(hi, L-1)
+	n.Ports = append(n.Ports, Port{Side: side, Kind: kind, Lo: lo, Hi: hi})
+}
+
+// NumLiquid returns the number of liquid cells.
+func (n *Network) NumLiquid() int {
+	c := 0
+	for _, v := range n.Liquid {
+		if v {
+			c++
+		}
+	}
+	return c
+}
+
+// PortCells returns the linear indices of liquid boundary cells covered
+// by ports of the given kind. A cell may appear once per covering port.
+func (n *Network) PortCells(kind PortKind) []int {
+	var out []int
+	for _, p := range n.Ports {
+		if p.Kind != kind {
+			continue
+		}
+		for k := p.Lo; k <= p.Hi; k++ {
+			x, y := p.Side.Cell(n.Dims, k)
+			if n.IsLiquid(x, y) {
+				out = append(out, n.Dims.Index(x, y))
+			}
+		}
+	}
+	return out
+}
+
+// PortSides returns, for every liquid cell index, the list of port kinds
+// opening into it (usually at most one).
+func (n *Network) portsByCell() map[int][]Port {
+	m := make(map[int][]Port)
+	for _, p := range n.Ports {
+		for k := p.Lo; k <= p.Hi; k++ {
+			x, y := p.Side.Cell(n.Dims, k)
+			i := n.Dims.Index(x, y)
+			if n.Liquid[i] {
+				m[i] = append(m[i], p)
+			}
+		}
+	}
+	return m
+}
+
+// Check verifies the paper's design rules and returns the list of
+// violations (empty means legal):
+//
+//  1. liquid cells may not overlap TSV cells;
+//  2. liquid cells may not overlap the keepout region;
+//  3. ports lie on chip edges (guaranteed by construction) with at most
+//     one port per side;
+//  4. there is at least one inlet and one outlet, and at least one
+//     inlet-to-outlet liquid path exists.
+func (n *Network) Check() []error {
+	var errs []error
+	for i, liq := range n.Liquid {
+		if !liq {
+			continue
+		}
+		x, y := n.Dims.Coord(i)
+		if n.TSV[i] {
+			errs = append(errs, fmt.Errorf("network: liquid cell (%d,%d) overlaps TSV", x, y))
+		}
+		if n.Keepout[i] {
+			errs = append(errs, fmt.Errorf("network: liquid cell (%d,%d) in keepout region", x, y))
+		}
+	}
+	perSide := map[grid.Side]int{}
+	for _, p := range n.Ports {
+		perSide[p.Side]++
+		if p.Lo > p.Hi {
+			errs = append(errs, fmt.Errorf("network: empty port span on side %v", p.Side))
+		}
+	}
+	for side, c := range perSide {
+		if c > 1 {
+			errs = append(errs, fmt.Errorf("network: %d ports on side %v (at most one continuous port per side)", c, side))
+		}
+	}
+	in := n.PortCells(Inlet)
+	out := n.PortCells(Outlet)
+	if len(in) == 0 {
+		errs = append(errs, fmt.Errorf("network: no liquid inlet cell"))
+	}
+	if len(out) == 0 {
+		errs = append(errs, fmt.Errorf("network: no liquid outlet cell"))
+	}
+	if len(in) > 0 && len(out) > 0 && !n.hasInletOutletPath() {
+		errs = append(errs, fmt.Errorf("network: no liquid path from any inlet to any outlet"))
+	}
+	return errs
+}
+
+// Components labels liquid cells by connected component (4-adjacency).
+// The returned slice has Dims.N() entries: -1 for solid cells, otherwise
+// a component id in [0, numComponents).
+func (n *Network) Components() (labels []int, num int) {
+	labels = make([]int, n.Dims.N())
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int
+	for start, liq := range n.Liquid {
+		if !liq || labels[start] >= 0 {
+			continue
+		}
+		labels[start] = num
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			i := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			x, y := n.Dims.Coord(i)
+			n.Dims.Neighbors4(x, y, func(nx, ny int, _ grid.Dir) {
+				j := n.Dims.Index(nx, ny)
+				if n.Liquid[j] && labels[j] < 0 {
+					labels[j] = num
+					queue = append(queue, j)
+				}
+			})
+		}
+		num++
+	}
+	return labels, num
+}
+
+func (n *Network) hasInletOutletPath() bool {
+	labels, _ := n.Components()
+	inComp := make(map[int]bool)
+	for _, i := range n.PortCells(Inlet) {
+		inComp[labels[i]] = true
+	}
+	for _, i := range n.PortCells(Outlet) {
+		if inComp[labels[i]] {
+			return true
+		}
+	}
+	return false
+}
+
+// StagnantCells returns liquid cells whose component touches no inlet or
+// no outlet: they hold coolant but carry no flow.
+func (n *Network) StagnantCells() []int {
+	labels, num := n.Components()
+	hasIn := make([]bool, num)
+	hasOut := make([]bool, num)
+	for _, i := range n.PortCells(Inlet) {
+		hasIn[labels[i]] = true
+	}
+	for _, i := range n.PortCells(Outlet) {
+		hasOut[labels[i]] = true
+	}
+	var out []int
+	for i, l := range labels {
+		if l >= 0 && (!hasIn[l] || !hasOut[l]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (n *Network) Clone() *Network {
+	c := &Network{
+		Dims:    n.Dims,
+		Liquid:  append([]bool(nil), n.Liquid...),
+		TSV:     append([]bool(nil), n.TSV...),
+		Keepout: append([]bool(nil), n.Keepout...),
+		Ports:   append([]Port(nil), n.Ports...),
+	}
+	if n.Width != nil {
+		c.Width = append([]float64(nil), n.Width...)
+	}
+	return c
+}
+
+// Hash returns a 64-bit FNV hash of the liquid mask and ports, used as a
+// cache key during optimization.
+func (n *Network) Hash() uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 0, len(n.Liquid)/8+1)
+	var b byte
+	for i, v := range n.Liquid {
+		if v {
+			b |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			buf = append(buf, b)
+			b = 0
+		}
+	}
+	buf = append(buf, b)
+	h.Write(buf)
+	for _, p := range n.Ports {
+		h.Write([]byte{byte(p.Side), byte(p.Kind), byte(p.Lo), byte(p.Lo >> 8), byte(p.Hi), byte(p.Hi >> 8)})
+	}
+	for _, w := range n.Width {
+		bits := math.Float64bits(w)
+		h.Write([]byte{byte(bits), byte(bits >> 8), byte(bits >> 16), byte(bits >> 24),
+			byte(bits >> 32), byte(bits >> 40), byte(bits >> 48), byte(bits >> 56)})
+	}
+	return h.Sum64()
+}
+
+// String renders the network as ASCII art: '#' liquid, '.' solid, 'T'
+// TSV, 'X' keepout, with the north row printed first.
+func (n *Network) String() string {
+	buf := make([]byte, 0, (n.Dims.NX+1)*n.Dims.NY)
+	for y := n.Dims.NY - 1; y >= 0; y-- {
+		for x := 0; x < n.Dims.NX; x++ {
+			i := n.Dims.Index(x, y)
+			switch {
+			case n.Liquid[i]:
+				buf = append(buf, '#')
+			case n.Keepout[i]:
+				buf = append(buf, 'X')
+			case n.TSV[i]:
+				buf = append(buf, 'T')
+			default:
+				buf = append(buf, '.')
+			}
+		}
+		buf = append(buf, '\n')
+	}
+	return string(buf)
+}

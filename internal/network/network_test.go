@@ -1,0 +1,335 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"lcn3d/internal/grid"
+)
+
+var d21 = grid.Dims{NX: 21, NY: 21}
+
+func mustLegal(t *testing.T, n *Network) {
+	t.Helper()
+	if errs := n.Check(); len(errs) != 0 {
+		t.Fatalf("network violates design rules: %v\n%s", errs[0], n)
+	}
+}
+
+func TestNewTSVPattern(t *testing.T) {
+	n := New(d21)
+	if !n.TSV[d21.Index(1, 1)] || !n.TSV[d21.Index(3, 5)] {
+		t.Fatal("odd-odd cells should be TSV")
+	}
+	if n.TSV[d21.Index(0, 0)] || n.TSV[d21.Index(2, 1)] || n.TSV[d21.Index(1, 2)] {
+		t.Fatal("cells with an even coordinate must not be TSV")
+	}
+	// Count: 10x10 TSVs on a 21x21 grid.
+	c := 0
+	for _, v := range n.TSV {
+		if v {
+			c++
+		}
+	}
+	if c != 100 {
+		t.Fatalf("TSV count %d, want 100", c)
+	}
+}
+
+func TestStraightLegalAndConnected(t *testing.T) {
+	for _, side := range []grid.Side{grid.SideWest, grid.SideEast, grid.SideNorth, grid.SideSouth} {
+		n := Straight(d21, side, 1)
+		mustLegal(t, n)
+		if len(n.StagnantCells()) != 0 {
+			t.Fatalf("straight channels from %v have stagnant cells", side)
+		}
+	}
+}
+
+func TestStraightChannelCount(t *testing.T) {
+	n := Straight(d21, grid.SideWest, 1)
+	// 11 even rows of 21 cells.
+	if got := n.NumLiquid(); got != 11*21 {
+		t.Fatalf("liquid cells %d, want %d", got, 11*21)
+	}
+	n2 := Straight(d21, grid.SideWest, 2)
+	if got := n2.NumLiquid(); got != 6*21 {
+		t.Fatalf("sparse liquid cells %d, want %d", got, 6*21)
+	}
+}
+
+func TestCheckCatchesTSVOverlap(t *testing.T) {
+	n := New(d21)
+	n.SetLiquid(1, 1, true) // TSV cell
+	n.AddPort(grid.SideWest, Inlet, 0, 5)
+	n.AddPort(grid.SideEast, Outlet, 0, 5)
+	errs := n.Check()
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "TSV") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("TSV overlap not reported: %v", errs)
+	}
+}
+
+func TestCheckCatchesTwoPortsPerSide(t *testing.T) {
+	n := Straight(d21, grid.SideWest, 1)
+	n.AddPort(grid.SideWest, Outlet, 0, 3)
+	errs := n.Check()
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "at most one") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("duplicate side port not reported: %v", errs)
+	}
+}
+
+func TestCheckCatchesDisconnection(t *testing.T) {
+	n := New(d21)
+	// Liquid at west edge only; outlet on east cannot be reached.
+	for y := 0; y < d21.NY; y += 2 {
+		n.SetLiquid(0, y, true)
+		n.SetLiquid(d21.NX-1, y, true)
+	}
+	n.AddPort(grid.SideWest, Inlet, 0, d21.NY-1)
+	n.AddPort(grid.SideEast, Outlet, 0, d21.NY-1)
+	errs := n.Check()
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "no liquid path") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("disconnection not reported: %v", errs)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	n := New(d21)
+	n.SetLiquid(0, 0, true)
+	n.SetLiquid(1, 0, true)
+	n.SetLiquid(10, 10, true)
+	labels, num := n.Components()
+	if num != 2 {
+		t.Fatalf("components = %d, want 2", num)
+	}
+	if labels[d21.Index(0, 0)] != labels[d21.Index(1, 0)] {
+		t.Fatal("adjacent liquid cells must share a component")
+	}
+	if labels[d21.Index(10, 10)] == labels[d21.Index(0, 0)] {
+		t.Fatal("distant cells must not share a component")
+	}
+	if labels[d21.Index(5, 5)] != -1 {
+		t.Fatal("solid cell should be labeled -1")
+	}
+}
+
+func TestStagnantCells(t *testing.T) {
+	// Channels on rows 0, 4, 8, ...; cell (4, 2) is then fully isolated.
+	n := Straight(d21, grid.SideWest, 2)
+	n.SetLiquid(4, 2, true)
+	st := n.StagnantCells()
+	if len(st) != 1 || st[0] != d21.Index(4, 2) {
+		t.Fatalf("stagnant cells %v", st)
+	}
+}
+
+func TestSerpentineLegal(t *testing.T) {
+	n := Serpentine(d21)
+	mustLegal(t, n)
+	if len(n.StagnantCells()) != 0 {
+		t.Fatal("serpentine should be fully flowing")
+	}
+}
+
+func TestMeshLegal(t *testing.T) {
+	n := Mesh(d21, 1, 3)
+	mustLegal(t, n)
+	if n.NumLiquid() <= Straight(d21, grid.SideWest, 1).NumLiquid() {
+		t.Fatal("mesh should add cross links")
+	}
+}
+
+func TestCombLegal(t *testing.T) {
+	n := Comb(d21, 1)
+	mustLegal(t, n)
+}
+
+func TestTreeLegalAllTypes(t *testing.T) {
+	big := grid.Dims{NX: 51, NY: 51}
+	for _, typ := range []BranchType{Branch2, Branch4, Branch8} {
+		spec := UniformTreeSpec(big, 3, typ, 0.3, 0.6)
+		n, err := Tree(big, spec)
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		mustLegal(t, n)
+		if len(n.StagnantCells()) != 0 {
+			t.Fatalf("%v tree has stagnant cells:\n%s", typ, n)
+		}
+	}
+}
+
+func TestTreeRejectsBadSpecs(t *testing.T) {
+	if _, err := Tree(d21, TreeSpec{NumTrees: 0}); err == nil {
+		t.Error("zero trees should fail")
+	}
+	if _, err := Tree(d21, TreeSpec{NumTrees: 2, Type: Branch8,
+		B1: []int{2, 2}, B2: []int{4, 4}}); err == nil {
+		t.Error("band too small for 8 leaves should fail")
+	}
+	// Odd branch column.
+	if _, err := Tree(grid.Dims{NX: 51, NY: 51}, TreeSpec{NumTrees: 1, Type: Branch2,
+		B1: []int{3}, B2: []int{10}}); err == nil {
+		t.Error("odd branch column should fail")
+	}
+}
+
+func TestUniformTreeSpecCanonical(t *testing.T) {
+	big := grid.Dims{NX: 101, NY: 101}
+	s := UniformTreeSpec(big, 4, Branch4, 0.33, 0.66)
+	for tr := 0; tr < 4; tr++ {
+		if s.B1[tr]%2 != 0 || s.B2[tr]%2 != 0 || s.B1[tr] >= s.B2[tr] {
+			t.Fatalf("spec not canonical: b1=%d b2=%d", s.B1[tr], s.B2[tr])
+		}
+	}
+	// Degenerate fractions still canonicalize to something legal.
+	s2 := UniformTreeSpec(big, 2, Branch2, 0.99, 0.01)
+	if _, err := Tree(big, s2); err != nil {
+		t.Fatalf("canonicalized spec should build: %v", err)
+	}
+}
+
+func TestRotate90PreservesLegalityAndCount(t *testing.T) {
+	n := Straight(d21, grid.SideWest, 1)
+	r := n.Rotate90()
+	mustLegal(t, r)
+	if r.NumLiquid() != n.NumLiquid() {
+		t.Fatalf("rotation changed liquid count %d -> %d", n.NumLiquid(), r.NumLiquid())
+	}
+	// Four rotations are the identity.
+	r4 := n.Rotate90().Rotate90().Rotate90().Rotate90()
+	for i := range n.Liquid {
+		if n.Liquid[i] != r4.Liquid[i] {
+			t.Fatal("four rotations must be identity")
+		}
+	}
+}
+
+func TestMirrorXInvolution(t *testing.T) {
+	spec := UniformTreeSpec(grid.Dims{NX: 51, NY: 51}, 2, Branch4, 0.3, 0.7)
+	n, err := Tree(grid.Dims{NX: 51, NY: 51}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := n.MirrorX()
+	mustLegal(t, m)
+	mm := m.MirrorX()
+	for i := range n.Liquid {
+		if n.Liquid[i] != mm.Liquid[i] {
+			t.Fatal("double mirror must be identity")
+		}
+	}
+	if m.Hash() == n.Hash() {
+		t.Fatal("asymmetric tree should change under mirror")
+	}
+}
+
+func TestAllOrientationsLegal(t *testing.T) {
+	n := Straight(d21, grid.SideWest, 1)
+	os := AllOrientations()
+	if len(os) != 8 {
+		t.Fatalf("want 8 orientations, got %d", len(os))
+	}
+	for _, o := range os {
+		mustLegal(t, o.Apply(n))
+	}
+}
+
+func TestHashDistinguishesNetworks(t *testing.T) {
+	a := Straight(d21, grid.SideWest, 1)
+	b := Straight(d21, grid.SideWest, 2)
+	if a.Hash() == b.Hash() {
+		t.Fatal("different networks should hash differently")
+	}
+	c := a.Clone()
+	if c.Hash() != a.Hash() {
+		t.Fatal("clone should hash equal")
+	}
+	c.SetLiquid(2, 1, true)
+	if c.Hash() == a.Hash() {
+		t.Fatal("modified clone should hash differently")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Straight(d21, grid.SideWest, 1)
+	b := a.Clone()
+	b.SetLiquid(0, 1, true)
+	if a.IsLiquid(0, 1) {
+		t.Fatal("clone must not alias")
+	}
+}
+
+func TestCarveKeepoutReconnects(t *testing.T) {
+	big := grid.Dims{NX: 51, NY: 51}
+	n := Straight(big, grid.SideWest, 1)
+	CarveKeepout(n, 20, 20, 31, 31)
+	mustLegal(t, n)
+	for y := 20; y < 31; y++ {
+		for x := 20; x < 31; x++ {
+			if n.IsLiquid(x, y) {
+				t.Fatalf("keepout cell (%d,%d) still liquid", x, y)
+			}
+		}
+	}
+	if len(n.StagnantCells()) != 0 {
+		t.Fatalf("carving left stagnant cells:\n%s", n)
+	}
+}
+
+func TestCarveKeepoutOnTree(t *testing.T) {
+	big := grid.Dims{NX: 51, NY: 51}
+	tr, err := Tree(big, UniformTreeSpec(big, 2, Branch4, 0.3, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	CarveKeepout(tr, 22, 22, 29, 29)
+	if errs := tr.Check(); len(errs) != 0 {
+		t.Fatalf("carved tree illegal: %v", errs)
+	}
+}
+
+func TestStringArt(t *testing.T) {
+	n := Straight(grid.Dims{NX: 5, NY: 3}, grid.SideWest, 1)
+	s := n.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 || len(lines[0]) != 5 {
+		t.Fatalf("bad art shape:\n%s", s)
+	}
+	// North row printed first; rows 0 and 2 are channels.
+	if lines[0] != "#####" || lines[2] != "#####" {
+		t.Fatalf("unexpected art:\n%s", s)
+	}
+	if !strings.Contains(lines[1], "T") {
+		t.Fatalf("middle row should show TSVs:\n%s", s)
+	}
+}
+
+func TestPortCellsRespectLiquid(t *testing.T) {
+	n := New(d21)
+	n.SetLiquid(0, 4, true)
+	n.SetLiquid(0, 5, true)
+	n.AddPort(grid.SideWest, Inlet, 0, 10)
+	cells := n.PortCells(Inlet)
+	if len(cells) != 2 {
+		t.Fatalf("inlet cells %v, want the 2 liquid boundary cells", cells)
+	}
+}

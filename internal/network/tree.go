@@ -1,0 +1,258 @@
+package network
+
+import (
+	"fmt"
+
+	"lcn3d/internal/grid"
+)
+
+// BranchType selects one of the three branch structures of Fig. 8(b).
+type BranchType int
+
+// Branch types: a tree's trunk splits into 2, 4 or 8 leaf channels.
+const (
+	Branch2 BranchType = iota // single split at B1
+	Branch4                   // splits at B1 and B2
+	Branch8                   // splits at B1, B2 and a derived third level
+)
+
+func (b BranchType) String() string {
+	switch b {
+	case Branch2:
+		return "2-leaf"
+	case Branch4:
+		return "4-leaf"
+	case Branch8:
+		return "8-leaf"
+	}
+	return fmt.Sprintf("BranchType(%d)", int(b))
+}
+
+// Leaves returns the number of leaf channels per tree.
+func (b BranchType) Leaves() int { return 2 << int(b) }
+
+// TreeSpec parameterizes a hierarchical tree-like cooling network in the
+// canonical orientation (roots on the west edge, coolant flowing east).
+// Each tree has two free parameters (paper Sec. 4.4): the columns of its
+// first and second branch points.
+type TreeSpec struct {
+	NumTrees int
+	Type     BranchType
+	B1, B2   []int // per-tree branch columns, len NumTrees
+}
+
+// UniformTreeSpec builds a spec with identical parameters for every tree,
+// the initialization the paper's SA starts from. f1 and f2 in (0, 1) are
+// the branch positions as fractions of the chip width.
+func UniformTreeSpec(d grid.Dims, numTrees int, typ BranchType, f1, f2 float64) TreeSpec {
+	s := TreeSpec{NumTrees: numTrees, Type: typ,
+		B1: make([]int, numTrees), B2: make([]int, numTrees)}
+	for t := 0; t < numTrees; t++ {
+		s.B1[t] = int(f1 * float64(d.NX-1))
+		s.B2[t] = int(f2 * float64(d.NX-1))
+	}
+	s.Canonicalize(d)
+	return s
+}
+
+// Canonicalize clamps branch columns into the valid even-column range and
+// enforces B1 < B2 with at least one cell between them.
+func (s *TreeSpec) Canonicalize(d grid.Dims) {
+	lo, hi := 2, d.NX-3
+	hi -= hi % 2
+	for t := 0; t < s.NumTrees; t++ {
+		b1 := clampEven(s.B1[t], lo, hi-2)
+		b2 := clampEven(s.B2[t], lo+2, hi)
+		if b2 <= b1 {
+			b2 = b1 + 2
+			if b2 > hi {
+				b2 = hi
+				b1 = b2 - 2
+			}
+		}
+		s.B1[t], s.B2[t] = b1, b2
+	}
+}
+
+// Clone deep-copies the spec.
+func (s TreeSpec) Clone() TreeSpec {
+	c := s
+	c.B1 = append([]int(nil), s.B1...)
+	c.B2 = append([]int(nil), s.B2...)
+	return c
+}
+
+func clampEven(v, lo, hi int) int {
+	v -= v % 2
+	if v < lo {
+		v = lo + lo%2
+	}
+	if v > hi {
+		v = hi - hi%2
+	}
+	return v
+}
+
+// evenInBand returns the even row nearest to the real-valued position,
+// clamped into [lo, hi].
+func evenInBand(pos float64, lo, hi int) int {
+	y := int(pos + 0.5)
+	y -= y % 2
+	if y < lo {
+		y = lo + lo%2
+	}
+	if y > hi {
+		y = hi - hi%2
+	}
+	return y
+}
+
+// Tree builds the hierarchical tree-like network described by the spec on
+// grid d (canonical west-to-east orientation). Trees are stacked in
+// NumTrees equal horizontal bands. Inlet spans the west edge, outlet the
+// east edge.
+func Tree(d grid.Dims, spec TreeSpec) (*Network, error) {
+	if spec.NumTrees < 1 {
+		return nil, fmt.Errorf("network: NumTrees=%d", spec.NumTrees)
+	}
+	if len(spec.B1) != spec.NumTrees || len(spec.B2) != spec.NumTrees {
+		return nil, fmt.Errorf("network: branch arrays must have NumTrees=%d entries", spec.NumTrees)
+	}
+	minBand := 2 * spec.Type.Leaves()
+	if d.NY < spec.NumTrees*minBand {
+		return nil, fmt.Errorf("network: %d %v trees need at least %d rows, have %d",
+			spec.NumTrees, spec.Type, spec.NumTrees*minBand, d.NY)
+	}
+	n := New(d)
+	bandH := float64(d.NY) / float64(spec.NumTrees)
+	for t := 0; t < spec.NumTrees; t++ {
+		yLo := int(float64(t) * bandH)
+		yHi := int(float64(t+1)*bandH) - 1
+		if t == spec.NumTrees-1 {
+			yHi = d.NY - 1
+		}
+		b1, b2 := spec.B1[t], spec.B2[t]
+		if b1 < 1 || b2 <= b1 || b2 >= d.NX-1 || b1%2 != 0 || b2%2 != 0 {
+			return nil, fmt.Errorf("network: tree %d has invalid branches b1=%d b2=%d (call Canonicalize)", t, b1, b2)
+		}
+		buildTree(n, yLo, yHi, b1, b2, spec.Type)
+	}
+	n.AddPort(grid.SideWest, Inlet, 0, d.NY-1)
+	n.AddPort(grid.SideEast, Outlet, 0, d.NY-1)
+	return n, nil
+}
+
+// buildTree carves one tree into band rows [yLo, yHi].
+func buildTree(n *Network, yLo, yHi, b1, b2 int, typ BranchType) {
+	d := n.Dims
+	span := float64(yHi - yLo + 1)
+	center := func(frac float64) int { return evenInBand(float64(yLo)+frac*span, yLo, yHi) }
+
+	hline := func(y, x0, x1 int) {
+		for x := x0; x <= x1; x++ {
+			n.SetLiquid(x, y, true)
+		}
+	}
+	vline := func(x, y0, y1 int) {
+		if y0 > y1 {
+			y0, y1 = y1, y0
+		}
+		for y := y0; y <= y1; y++ {
+			n.SetLiquid(x, y, true)
+		}
+	}
+
+	trunk := center(0.5)
+	switch typ {
+	case Branch2:
+		r0, r1 := center(0.25), center(0.75)
+		hline(trunk, 0, b1)
+		vline(b1, r0, r1)
+		hline(r0, b1, d.NX-1)
+		hline(r1, b1, d.NX-1)
+	case Branch4:
+		m0, m1 := center(0.25), center(0.75)
+		l := []int{center(0.125), center(0.375), center(0.625), center(0.875)}
+		hline(trunk, 0, b1)
+		vline(b1, m0, m1)
+		hline(m0, b1, b2)
+		hline(m1, b1, b2)
+		vline(b2, l[0], l[1])
+		vline(b2, l[2], l[3])
+		for _, y := range l {
+			hline(y, b2, d.NX-1)
+		}
+	case Branch8:
+		// Third-level split column derived between b2 and the east edge.
+		b3 := clampEven((b2+d.NX-1)/2, b2+2, d.NX-3)
+		if b3 <= b2 {
+			b3 = b2 + 2
+		}
+		m0, m1 := center(0.25), center(0.75)
+		q := []int{center(0.125), center(0.375), center(0.625), center(0.875)}
+		hline(trunk, 0, b1)
+		vline(b1, m0, m1)
+		hline(m0, b1, b2)
+		hline(m1, b1, b2)
+		vline(b2, q[0], q[1])
+		vline(b2, q[2], q[3])
+		for _, y := range q {
+			hline(y, b2, b3)
+		}
+		for k, frac := range []float64{0.0625, 0.1875, 0.3125, 0.4375, 0.5625, 0.6875, 0.8125, 0.9375} {
+			leaf := center(frac)
+			hline(leaf, b3, d.NX-1)
+			// Connect the leaf to its parent quarter-row at b3.
+			vline(b3, q[k/2], leaf)
+		}
+	}
+}
+
+// CarveKeepout removes liquid cells inside [x0, x1) x [y0, y1), marks the
+// region as keepout, and adds a liquid detour ring around it on the
+// nearest even rows/columns so severed channels reconnect — the paper's
+// case-3 handling ("that region is filled by solid cells and surrounded
+// by liquid cells").
+func CarveKeepout(n *Network, x0, y0, x1, y1 int) {
+	d := n.Dims
+	n.SetKeepoutRect(x0, y0, x1, y1)
+	cut := false
+	for y := max(y0, 0); y < min(y1, d.NY); y++ {
+		for x := max(x0, 0); x < min(x1, d.NX); x++ {
+			if n.Liquid[d.Index(x, y)] {
+				n.SetLiquid(x, y, false)
+				cut = true
+			}
+		}
+	}
+	if !cut {
+		return
+	}
+	// Even ring coordinates just outside the rectangle.
+	xa := clampEven(x0-2, 0, d.NX-1)
+	xb := clampEven(x1+1, 0, d.NX-1)
+	if xb < x1 {
+		xb = clampEven(d.NX-1, 0, d.NX-1)
+	}
+	ya := clampEven(y0-2, 0, d.NY-1)
+	yb := clampEven(y1+1, 0, d.NY-1)
+	if yb < y1 {
+		yb = clampEven(d.NY-1, 0, d.NY-1)
+	}
+	for x := xa; x <= xb; x++ {
+		if !n.Keepout[d.Index(x, ya)] {
+			n.SetLiquid(x, ya, true)
+		}
+		if !n.Keepout[d.Index(x, yb)] {
+			n.SetLiquid(x, yb, true)
+		}
+	}
+	for y := ya; y <= yb; y++ {
+		if !n.Keepout[d.Index(xa, y)] {
+			n.SetLiquid(xa, y, true)
+		}
+		if !n.Keepout[d.Index(xb, y)] {
+			n.SetLiquid(xb, y, true)
+		}
+	}
+}

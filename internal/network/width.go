@@ -1,0 +1,200 @@
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"lcn3d/internal/grid"
+)
+
+// Channel width modulation (the GreenCool approach of the paper's
+// reference [10], Sabry et al., IEEE TCAD 2013): straight channels keep
+// their topology but individual channels are narrowed to throttle their
+// flow, steering coolant toward hotter rows. lcn3d implements it as an
+// optional per-cell width field so it can serve as a prior-work baseline
+// against flexible-topology networks.
+
+// SetUniformWidth assigns one width to every liquid cell.
+func (n *Network) SetUniformWidth(w float64) {
+	n.Width = make([]float64, n.Dims.N())
+	for i, liq := range n.Liquid {
+		if liq {
+			n.Width[i] = w
+		}
+	}
+}
+
+// WidthAt returns the channel width of cell (x, y), falling back to def
+// when no modulation is set.
+func (n *Network) WidthAt(x, y int, def float64) float64 {
+	if n.Width == nil {
+		return def
+	}
+	if w := n.Width[n.Dims.Index(x, y)]; w > 0 {
+		return w
+	}
+	return def
+}
+
+// ModulateStraightWidths assigns per-row channel widths to a straight
+// west-east network so that each channel's fluid conductance is
+// proportional to its share of the heat load, equalizing the coolant
+// temperature rise across channels (the GreenCool design rule). Widths
+// are clamped to [minFrac, 1] x nominal. rowHeat[y] is the heat load
+// attributed to grid row y; nominal is the unmodulated channel width.
+func ModulateStraightWidths(n *Network, rowHeat []float64, nominal, height, minFrac float64) error {
+	d := n.Dims
+	if len(rowHeat) != d.NY {
+		return fmt.Errorf("network: rowHeat has %d entries, want %d", len(rowHeat), d.NY)
+	}
+	if minFrac <= 0 || minFrac > 1 {
+		return fmt.Errorf("network: minFrac %g outside (0, 1]", minFrac)
+	}
+	// Identify full straight channels (rows entirely liquid).
+	type ch struct {
+		y    int
+		heat float64
+	}
+	var channels []ch
+	for y := 0; y < d.NY; y++ {
+		full := true
+		for x := 0; x < d.NX; x++ {
+			if !n.IsLiquid(x, y) {
+				full = false
+				break
+			}
+		}
+		if full {
+			channels = append(channels, ch{y: y})
+		}
+	}
+	if len(channels) == 0 {
+		return fmt.Errorf("network: no straight channels to modulate")
+	}
+	// Attribute each row's heat to its nearest channel(s), splitting ties
+	// evenly so interior and edge channels are weighted consistently.
+	for y := 0; y < d.NY; y++ {
+		bestDist := d.NY
+		for _, c := range channels {
+			if dd := absInt(c.y - y); dd < bestDist {
+				bestDist = dd
+			}
+		}
+		var nearest []int
+		for i, c := range channels {
+			if absInt(c.y-y) == bestDist {
+				nearest = append(nearest, i)
+			}
+		}
+		for _, i := range nearest {
+			channels[i].heat += rowHeat[y] / float64(len(nearest))
+		}
+	}
+	var maxHeat float64
+	for _, c := range channels {
+		maxHeat = math.Max(maxHeat, c.heat)
+	}
+	if maxHeat == 0 {
+		n.SetUniformWidth(nominal)
+		return nil
+	}
+	// Target conductance ratio = heat ratio; invert g(w) per channel.
+	// The hottest channel keeps the nominal (maximum) width.
+	n.Width = make([]float64, d.N())
+	for _, c := range channels {
+		ratio := math.Max(c.heat/maxHeat, 1e-3)
+		w := widthForConductanceRatio(ratio, nominal, height, minFrac)
+		for x := 0; x < d.NX; x++ {
+			n.Width[d.Index(x, c.y)] = w
+		}
+	}
+	return nil
+}
+
+// widthForConductanceRatio solves g(w)/g(nominal) = ratio for w by
+// bisection, where g(w) ∝ D_h(w)^2 * A_c(w) for fixed channel height.
+func widthForConductanceRatio(ratio, nominal, height, minFrac float64) float64 {
+	g := func(w float64) float64 {
+		dh := 2 * w * height / (w + height)
+		return dh * dh * w * height
+	}
+	target := ratio * g(nominal)
+	lo, hi := minFrac*nominal, nominal
+	if g(lo) >= target {
+		return lo
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if g(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// CalibrateStraightWidths is the closed-loop variant of
+// ModulateStraightWidths. The paper criticizes GreenCool's open-loop 1D
+// rule because it "ignores heat transfer between regions cooled by
+// different channels"; overcooled regions import heat laterally, so the
+// geometric heat attribution misjudges each channel's true load.
+// CalibrateStraightWidths instead iterates with feedback: measure returns
+// the heat actually captured per channel row (e.g. Cv·Q_out·(T_out−T_in)
+// from a full-chip simulation of the current widths); widths are then
+// re-assigned so flow share matches the measured capture share.
+func CalibrateStraightWidths(n *Network, measure func(*Network) (map[int]float64, error),
+	nominal, height, minFrac float64, iters int) error {
+	d := n.Dims
+	if iters < 1 {
+		iters = 1
+	}
+	if n.Width == nil {
+		n.SetUniformWidth(nominal)
+	}
+	for it := 0; it < iters; it++ {
+		captured, err := measure(n)
+		if err != nil {
+			return fmt.Errorf("network: width calibration iteration %d: %w", it, err)
+		}
+		var maxHeat float64
+		for _, h := range captured {
+			maxHeat = math.Max(maxHeat, h)
+		}
+		if maxHeat <= 0 {
+			return fmt.Errorf("network: width calibration measured no heat")
+		}
+		for y, h := range captured {
+			if y < 0 || y >= d.NY {
+				return fmt.Errorf("network: measured channel row %d out of range", y)
+			}
+			ratio := math.Max(h/maxHeat, 1e-3)
+			w := widthForConductanceRatio(ratio, nominal, height, minFrac)
+			for x := 0; x < d.NX; x++ {
+				if n.IsLiquid(x, y) {
+					n.Width[d.Index(x, y)] = w
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RowHeatLoads sums a power map's heat by grid row, the input
+// ModulateStraightWidths expects for west-east channels.
+func RowHeatLoads(d grid.Dims, w []float64) []float64 {
+	out := make([]float64, d.NY)
+	for y := 0; y < d.NY; y++ {
+		for x := 0; x < d.NX; x++ {
+			out[y] += w[d.Index(x, y)]
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"lcn3d/internal/grid"
+)
+
+func TestSetUniformWidth(t *testing.T) {
+	n := Straight(d21, grid.SideWest, 1)
+	n.SetUniformWidth(80e-6)
+	if got := n.WidthAt(0, 0, 100e-6); got != 80e-6 {
+		t.Fatalf("liquid width %g", got)
+	}
+	// Solid cells fall back to the default.
+	if got := n.WidthAt(0, 1, 100e-6); got != 100e-6 {
+		t.Fatalf("solid width %g", got)
+	}
+}
+
+func TestWidthAtWithoutModulation(t *testing.T) {
+	n := Straight(d21, grid.SideWest, 1)
+	if got := n.WidthAt(3, 0, 100e-6); got != 100e-6 {
+		t.Fatalf("default width %g", got)
+	}
+}
+
+func TestModulateStraightWidthsHotChannelStaysWide(t *testing.T) {
+	n := Straight(d21, grid.SideWest, 1)
+	heat := make([]float64, d21.NY)
+	heat[0] = 10 // row 0 hot
+	heat[20] = 1 // row 20 cold
+	if err := ModulateStraightWidths(n, heat, 100e-6, 200e-6, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	wHot := n.WidthAt(5, 0, 100e-6)
+	wCold := n.WidthAt(5, 20, 100e-6)
+	if math.Abs(wHot-100e-6) > 1e-9 {
+		t.Fatalf("hottest channel should keep nominal width, got %g", wHot)
+	}
+	if wCold >= wHot {
+		t.Fatalf("cold channel %g should be narrower than hot %g", wCold, wHot)
+	}
+	if wCold < 0.5*100e-6-1e-12 {
+		t.Fatalf("width %g under the clamp", wCold)
+	}
+}
+
+func TestModulateStraightWidthsUniformHeat(t *testing.T) {
+	n := Straight(d21, grid.SideWest, 1)
+	heat := make([]float64, d21.NY)
+	for i := range heat {
+		heat[i] = 1
+	}
+	if err := ModulateStraightWidths(n, heat, 100e-6, 200e-6, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	// Equal loads -> interior channels (which each collect the same two
+	// rows of heat) stay at nominal width. Edge channels collect less
+	// heat and are legitimately narrowed.
+	for y := 2; y <= d21.NY-3; y += 2 {
+		if w := n.WidthAt(3, y, 100e-6); math.Abs(w-100e-6) > 5e-6 {
+			t.Fatalf("row %d width %g, want ~nominal", y, w)
+		}
+	}
+	if wEdge := n.WidthAt(3, 0, 100e-6); wEdge >= 100e-6 {
+		t.Fatalf("edge channel should be narrowed, got %g", wEdge)
+	}
+}
+
+func TestModulateErrors(t *testing.T) {
+	n := Straight(d21, grid.SideWest, 1)
+	if err := ModulateStraightWidths(n, make([]float64, 3), 100e-6, 200e-6, 0.5); err == nil {
+		t.Error("wrong rowHeat length should fail")
+	}
+	if err := ModulateStraightWidths(n, make([]float64, d21.NY), 100e-6, 200e-6, 0); err == nil {
+		t.Error("minFrac 0 should fail")
+	}
+	empty := New(d21)
+	if err := ModulateStraightWidths(empty, make([]float64, d21.NY), 100e-6, 200e-6, 0.5); err == nil {
+		t.Error("no channels should fail")
+	}
+}
+
+func TestWidthForConductanceRatioMonotone(t *testing.T) {
+	prev := 0.0
+	for _, ratio := range []float64{0.1, 0.3, 0.5, 0.8, 1.0} {
+		w := widthForConductanceRatio(ratio, 100e-6, 200e-6, 0.3)
+		if w < prev {
+			t.Fatalf("width should grow with ratio: %g after %g", w, prev)
+		}
+		prev = w
+	}
+	if w := widthForConductanceRatio(1.0, 100e-6, 200e-6, 0.3); math.Abs(w-100e-6) > 1e-9 {
+		t.Fatalf("ratio 1 should give nominal width, got %g", w)
+	}
+}
+
+func TestRowHeatLoads(t *testing.T) {
+	d := grid.Dims{NX: 3, NY: 2}
+	w := []float64{1, 2, 3, 4, 5, 6}
+	rh := RowHeatLoads(d, w)
+	if rh[0] != 6 || rh[1] != 15 {
+		t.Fatalf("row heats %v", rh)
+	}
+}
+
+func TestWidthSurvivesCloneAndTransforms(t *testing.T) {
+	n := Straight(d21, grid.SideWest, 1)
+	n.SetUniformWidth(70e-6)
+	c := n.Clone()
+	c.Width[0] = 99e-6
+	if n.Width[0] == 99e-6 {
+		t.Fatal("clone aliases width")
+	}
+	r := n.Rotate90()
+	if r.Width == nil {
+		t.Fatal("rotation dropped width")
+	}
+	if got := r.WidthAt(0, d21.NX-1, 1); got != 70e-6 { // (0,0) -> (0, NX-1)
+		t.Fatalf("rotated width %g", got)
+	}
+	m := n.MirrorX()
+	if got := m.WidthAt(d21.NX-1, 0, 1); got != 70e-6 {
+		t.Fatalf("mirrored width %g", got)
+	}
+}
+
+func TestWidthChangesHash(t *testing.T) {
+	a := Straight(d21, grid.SideWest, 1)
+	b := a.Clone()
+	b.SetUniformWidth(80e-6)
+	if a.Hash() == b.Hash() {
+		t.Fatal("width modulation must change the hash")
+	}
+}

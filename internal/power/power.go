@@ -1,0 +1,247 @@
+// Package power represents per-cell heat dissipation maps of the active
+// (source) layers and provides the synthetic floorplan generators used to
+// stand in for the ICCAD 2015 contest power maps (see DESIGN.md,
+// "Substitutions").
+package power
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lcn3d/internal/grid"
+)
+
+// Map holds the dissipated power of every basic cell of one source
+// layer, in watts.
+type Map struct {
+	Dims grid.Dims
+	W    []float64 // row-major, len Dims.N()
+}
+
+// New returns an all-zero power map.
+func New(d grid.Dims) *Map {
+	return &Map{Dims: d, W: make([]float64, d.N())}
+}
+
+// At returns the power of cell (x, y).
+func (m *Map) At(x, y int) float64 { return m.W[m.Dims.Index(x, y)] }
+
+// Set assigns the power of cell (x, y).
+func (m *Map) Set(x, y int, w float64) { m.W[m.Dims.Index(x, y)] = w }
+
+// Total returns the summed power of the map, in watts.
+func (m *Map) Total() float64 {
+	var s float64
+	for _, v := range m.W {
+		s += v
+	}
+	return s
+}
+
+// Max returns the largest cell power.
+func (m *Map) Max() float64 {
+	var mx float64
+	for _, v := range m.W {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Clone returns a deep copy.
+func (m *Map) Clone() *Map {
+	c := New(m.Dims)
+	copy(c.W, m.W)
+	return c
+}
+
+// ScaleTo rescales the map so that Total() == total. It panics if the map
+// is identically zero and total is nonzero.
+func (m *Map) ScaleTo(total float64) {
+	cur := m.Total()
+	if cur == 0 {
+		if total == 0 {
+			return
+		}
+		panic("power: cannot scale a zero map to a nonzero total")
+	}
+	f := total / cur
+	for i := range m.W {
+		m.W[i] *= f
+	}
+}
+
+// AddUniform adds w watts spread uniformly over all cells.
+func (m *Map) AddUniform(w float64) {
+	per := w / float64(len(m.W))
+	for i := range m.W {
+		m.W[i] += per
+	}
+}
+
+// AddGaussian adds a Gaussian hotspot of total power w centered at
+// (cx, cy) with standard deviation sigma (in cells). The blob is
+// normalized over the grid so the added total is exactly w.
+func (m *Map) AddGaussian(cx, cy, sigma, w float64) {
+	if sigma <= 0 {
+		panic(fmt.Sprintf("power: invalid sigma %g", sigma))
+	}
+	weights := make([]float64, len(m.W))
+	var sum float64
+	for y := 0; y < m.Dims.NY; y++ {
+		for x := 0; x < m.Dims.NX; x++ {
+			dx := float64(x) - cx
+			dy := float64(y) - cy
+			g := math.Exp(-(dx*dx + dy*dy) / (2 * sigma * sigma))
+			weights[m.Dims.Index(x, y)] = g
+			sum += g
+		}
+	}
+	for i := range m.W {
+		m.W[i] += w * weights[i] / sum
+	}
+}
+
+// AddBlock adds w watts spread uniformly over the rectangle
+// [x0, x1) x [y0, y1), clipped to the grid.
+func (m *Map) AddBlock(x0, y0, x1, y1 int, w float64) {
+	x0, y0 = max(x0, 0), max(y0, 0)
+	x1, y1 = min(x1, m.Dims.NX), min(y1, m.Dims.NY)
+	n := (x1 - x0) * (y1 - y0)
+	if n <= 0 {
+		return
+	}
+	per := w / float64(n)
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			m.W[m.Dims.Index(x, y)] += per
+		}
+	}
+}
+
+// Aggregate sums the map into the coarse cells of a tiling, returning a
+// coarse power map (used by the 2RM model).
+func (m *Map) Aggregate(t *grid.Tiling) *Map {
+	if t.Fine != m.Dims {
+		panic(fmt.Sprintf("power: tiling fine dims %v != map dims %v", t.Fine, m.Dims))
+	}
+	c := New(t.Coarse)
+	for cy := 0; cy < t.Coarse.NY; cy++ {
+		for cx := 0; cx < t.Coarse.NX; cx++ {
+			var s float64
+			t.EachFine(cx, cy, func(x, y int) { s += m.At(x, y) })
+			c.Set(cx, cy, s)
+		}
+	}
+	return c
+}
+
+// Hotspots generates a reproducible hotspot-style floorplan: background
+// power plus n Gaussian hotspots at pseudo-random positions, scaled to
+// the requested total. The layout depends only on the seed.
+//
+// contrast in (0, 1) sets the fraction of the power concentrated in the
+// hotspots; the rest is uniform background (typical published MPSoC maps
+// put 50-80 % of the power in cores occupying a small area fraction).
+func Hotspots(d grid.Dims, seed int64, n int, contrast, total float64) *Map {
+	return HotspotsSigma(d, seed, n, contrast, 0.03, 0.10, total)
+}
+
+// HotspotsSigma is Hotspots with explicit control over the hotspot size:
+// each hotspot's standard deviation is drawn uniformly from
+// [sigmaLo, sigmaHi] x max(NX, NY) cells. Smaller fractions give sharper,
+// harder-to-cool hotspots.
+func HotspotsSigma(d grid.Dims, seed int64, n int, contrast, sigmaLo, sigmaHi, total float64) *Map {
+	if contrast < 0 || contrast > 1 {
+		panic(fmt.Sprintf("power: contrast %g out of [0,1]", contrast))
+	}
+	if sigmaLo <= 0 || sigmaHi < sigmaLo {
+		panic(fmt.Sprintf("power: invalid sigma range [%g, %g]", sigmaLo, sigmaHi))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := New(d)
+	m.AddUniform((1 - contrast) * total)
+	if n > 0 {
+		per := contrast * total / float64(n)
+		for i := 0; i < n; i++ {
+			cx := (0.15 + 0.7*rng.Float64()) * float64(d.NX-1)
+			cy := (0.15 + 0.7*rng.Float64()) * float64(d.NY-1)
+			sigma := (sigmaLo + (sigmaHi-sigmaLo)*rng.Float64()) * float64(max(d.NX, d.NY))
+			m.AddGaussian(cx, cy, sigma, per)
+		}
+	}
+	m.ScaleTo(total)
+	return m
+}
+
+// CoreGrid generates an MPSoC-style floorplan: square cores of a fixed
+// absolute size on a regular lattice with the given pitch (both in
+// cells), jittered by up to 2 cells per core from the seed, over a
+// uniform background. contrast sets the fraction of the total power
+// dissipated inside the cores. Because core size and pitch are absolute,
+// the local thermal structure — and therefore a benchmark's feasibility
+// class — is the same at reduced and full grid scale (unlike random
+// hotspot placement, whose extremes grow with the sample count).
+func CoreGrid(d grid.Dims, seed int64, corePitch, coreSize int, contrast, total float64) *Map {
+	if corePitch < 2 || coreSize < 1 || coreSize > corePitch {
+		panic(fmt.Sprintf("power: invalid core grid pitch=%d size=%d", corePitch, coreSize))
+	}
+	if contrast < 0 || contrast > 1 {
+		panic(fmt.Sprintf("power: contrast %g out of [0,1]", contrast))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := New(d)
+	m.AddUniform((1 - contrast) * total)
+	ncx := max(1, d.NX/corePitch)
+	ncy := max(1, d.NY/corePitch)
+	per := contrast * total / float64(ncx*ncy)
+	for cy := 0; cy < ncy; cy++ {
+		for cx := 0; cx < ncx; cx++ {
+			x0 := cx*corePitch + (corePitch-coreSize)/2 + rng.Intn(5) - 2
+			y0 := cy*corePitch + (corePitch-coreSize)/2 + rng.Intn(5) - 2
+			x0 = min(max(x0, 0), d.NX-coreSize)
+			y0 = min(max(y0, 0), d.NY-coreSize)
+			m.AddBlock(x0, y0, x0+coreSize, y0+coreSize, per)
+		}
+	}
+	m.ScaleTo(total)
+	return m
+}
+
+// Gradient generates a map whose density ramps linearly along +x from
+// lo to hi relative weight, scaled to the requested total. Useful for
+// exercising the paper's "factor 2" (non-uniform source distribution).
+func Gradient(d grid.Dims, lo, hi, total float64) *Map {
+	m := New(d)
+	for y := 0; y < d.NY; y++ {
+		for x := 0; x < d.NX; x++ {
+			t := float64(x) / float64(max(d.NX-1, 1))
+			m.Set(x, y, lo+(hi-lo)*t)
+		}
+	}
+	m.ScaleTo(total)
+	return m
+}
+
+// Checker generates an alternating-block map (period cells per block)
+// with the given high:low density ratio, scaled to total. It stresses
+// lateral thermal coupling.
+func Checker(d grid.Dims, period int, ratio, total float64) *Map {
+	if period < 1 {
+		period = 1
+	}
+	m := New(d)
+	for y := 0; y < d.NY; y++ {
+		for x := 0; x < d.NX; x++ {
+			if ((x/period)+(y/period))%2 == 0 {
+				m.Set(x, y, ratio)
+			} else {
+				m.Set(x, y, 1)
+			}
+		}
+	}
+	m.ScaleTo(total)
+	return m
+}

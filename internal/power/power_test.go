@@ -1,0 +1,202 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lcn3d/internal/grid"
+)
+
+var d21 = grid.Dims{NX: 21, NY: 21}
+
+func TestTotalAndScale(t *testing.T) {
+	m := New(d21)
+	m.AddUniform(10)
+	if got := m.Total(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("Total = %g, want 10", got)
+	}
+	m.ScaleTo(42.038)
+	if got := m.Total(); math.Abs(got-42.038) > 1e-9 {
+		t.Fatalf("scaled Total = %g, want 42.038", got)
+	}
+}
+
+func TestAddGaussianConservesPower(t *testing.T) {
+	m := New(d21)
+	m.AddGaussian(10, 10, 2, 7.5)
+	if got := m.Total(); math.Abs(got-7.5) > 1e-9 {
+		t.Fatalf("Gaussian total = %g, want 7.5", got)
+	}
+	// Peak should be at the center.
+	if m.At(10, 10) <= m.At(0, 0) {
+		t.Fatal("Gaussian peak should exceed corner")
+	}
+}
+
+func TestAddBlockClipped(t *testing.T) {
+	m := New(d21)
+	m.AddBlock(-5, -5, 3, 3, 9)
+	if got := m.Total(); math.Abs(got-9) > 1e-9 {
+		t.Fatalf("clipped block total = %g, want 9", got)
+	}
+	if m.At(0, 0) != 1 {
+		t.Fatalf("block cell power = %g, want 1", m.At(0, 0))
+	}
+	if m.At(5, 5) != 0 {
+		t.Fatal("outside block should be zero")
+	}
+	// Fully outside block is a no-op.
+	m2 := New(d21)
+	m2.AddBlock(30, 30, 40, 40, 5)
+	if m2.Total() != 0 {
+		t.Fatal("out-of-grid block should add nothing")
+	}
+}
+
+func TestHotspotsDeterministicAndScaled(t *testing.T) {
+	a := Hotspots(d21, 7, 4, 0.7, 42.038)
+	b := Hotspots(d21, 7, 4, 0.7, 42.038)
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatal("same seed must give identical maps")
+		}
+	}
+	if math.Abs(a.Total()-42.038) > 1e-9 {
+		t.Fatalf("total = %g", a.Total())
+	}
+	c := Hotspots(d21, 8, 4, 0.7, 42.038)
+	same := true
+	for i := range a.W {
+		if a.W[i] != c.W[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different maps")
+	}
+}
+
+func TestHotspotsNonNegativeProperty(t *testing.T) {
+	f := func(seed int64, n uint8, contrast float64) bool {
+		c := math.Abs(math.Mod(contrast, 1))
+		if math.IsNaN(c) {
+			return true
+		}
+		m := Hotspots(d21, seed, int(n%6), c, 37)
+		for _, v := range m.W {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return math.Abs(m.Total()-37) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradientMonotone(t *testing.T) {
+	m := Gradient(d21, 1, 5, 100)
+	for x := 1; x < d21.NX; x++ {
+		if m.At(x, 10) < m.At(x-1, 10) {
+			t.Fatalf("gradient not monotone at x=%d", x)
+		}
+	}
+	if math.Abs(m.Total()-100) > 1e-9 {
+		t.Fatalf("total = %g", m.Total())
+	}
+}
+
+func TestCheckerRatio(t *testing.T) {
+	m := Checker(grid.Dims{NX: 8, NY: 8}, 2, 4, 80)
+	hi, lo := m.At(0, 0), m.At(2, 0)
+	if math.Abs(hi/lo-4) > 1e-9 {
+		t.Fatalf("checker ratio = %g, want 4", hi/lo)
+	}
+}
+
+func TestAggregatePreservesTotal(t *testing.T) {
+	fine := grid.Dims{NX: 101, NY: 101}
+	m := Hotspots(fine, 3, 5, 0.6, 148.174)
+	ti, err := grid.NewTiling(fine, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Aggregate(ti)
+	if c.Dims != ti.Coarse {
+		t.Fatalf("aggregate dims %v, want %v", c.Dims, ti.Coarse)
+	}
+	if math.Abs(c.Total()-m.Total()) > 1e-6 {
+		t.Fatalf("aggregate total %g != fine total %g", c.Total(), m.Total())
+	}
+}
+
+func TestMaxAndClone(t *testing.T) {
+	m := New(d21)
+	m.Set(3, 4, 9)
+	if m.Max() != 9 {
+		t.Fatalf("Max = %g", m.Max())
+	}
+	c := m.Clone()
+	c.Set(3, 4, 1)
+	if m.At(3, 4) != 9 {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+func TestScaleToZeroMapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(d21).ScaleTo(5)
+}
+
+func TestCoreGridScaleConsistency(t *testing.T) {
+	// Same pitch/size/contrast at two scales: per-cell peak power and
+	// background level match, only the core count differs.
+	small := CoreGrid(grid.Dims{NX: 51, NY: 51}, 3, 16, 8, 0.5, 10.0)
+	big := CoreGrid(grid.Dims{NX: 101, NY: 101}, 3, 16, 8, 0.5, 10.0*101*101/(51.0*51.0))
+	relErr := math.Abs(small.Max()-big.Max()) / big.Max()
+	if relErr > 0.05 {
+		t.Fatalf("peak cell power differs across scales: %g vs %g", small.Max(), big.Max())
+	}
+}
+
+func TestCoreGridConservesTotal(t *testing.T) {
+	m := CoreGrid(d21, 5, 8, 4, 0.6, 7.5)
+	if math.Abs(m.Total()-7.5) > 1e-9 {
+		t.Fatalf("total %g", m.Total())
+	}
+	for _, v := range m.W {
+		if v < 0 {
+			t.Fatal("negative power")
+		}
+	}
+}
+
+func TestCoreGridDeterministic(t *testing.T) {
+	a := CoreGrid(d21, 9, 8, 4, 0.6, 5)
+	b := CoreGrid(d21, 9, 8, 4, 0.6, 5)
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatal("same seed must give identical maps")
+		}
+	}
+}
+
+func TestCoreGridRejectsBadParams(t *testing.T) {
+	for _, c := range [][2]int{{1, 1}, {8, 9}, {8, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("pitch=%d size=%d should panic", c[0], c[1])
+				}
+			}()
+			CoreGrid(d21, 1, c[0], c[1], 0.5, 1)
+		}()
+	}
+}

@@ -1,0 +1,239 @@
+// Package report renders experiment outputs: aligned ASCII tables (the
+// paper's Tables 3/4 layout), CSV series (Figs. 5/6/9), and temperature
+// heatmaps (Fig. 10) as ASCII art or portable pixmaps.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"lcn3d/internal/grid"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	all := make([][]string, 0, len(t.Rows)+1)
+	if len(t.Header) > 0 {
+		all = append(all, t.Header)
+	}
+	all = append(all, t.Rows...)
+	widths := make([]int, 0)
+	for _, row := range all {
+		for c, cell := range row {
+			if c >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	line := func(row []string) string {
+		parts := make([]string, len(row))
+		for c, cell := range row {
+			parts[c] = fmt.Sprintf("%-*s", widths[c], cell)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if len(t.Header) > 0 {
+		if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+			return err
+		}
+		total := len(widths)*2 - 2
+		for _, wd := range widths {
+			total += wd
+		}
+		if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the table as CSV (no quoting; cells must not contain
+// commas).
+func (t *Table) WriteCSV(w io.Writer) error {
+	if len(t.Header) > 0 {
+		if _, err := fmt.Fprintln(w, strings.Join(t.Header, ",")); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// F formats a float compactly for table cells.
+func F(v float64, prec int) string {
+	if math.IsInf(v, 1) {
+		return "N/A"
+	}
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// Heatmap renders a scalar field on a grid.
+type Heatmap struct {
+	Dims grid.Dims
+	V    []float64
+}
+
+// Bounds returns the min and max of the field.
+func (h *Heatmap) Bounds() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range h.V {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}
+
+// ASCII renders the field as character art using a luminance ramp, north
+// row first, downsampled to at most maxCols columns.
+func (h *Heatmap) ASCII(maxCols int) string {
+	ramp := []byte(" .:-=+*#%@")
+	lo, hi := h.Bounds()
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	step := 1
+	if maxCols > 0 && h.Dims.NX > maxCols {
+		step = (h.Dims.NX + maxCols - 1) / maxCols
+	}
+	var sb strings.Builder
+	for y := h.Dims.NY - 1; y >= 0; y -= step {
+		for x := 0; x < h.Dims.NX; x += step {
+			v := h.V[h.Dims.Index(x, y)]
+			k := int((v - lo) / span * float64(len(ramp)-1))
+			sb.WriteByte(ramp[k])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// WritePGM writes the field as an 8-bit binary PGM image (grayscale),
+// north row first so the image matches the chip orientation.
+func (h *Heatmap) WritePGM(w io.Writer) error {
+	lo, hi := h.Bounds()
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", h.Dims.NX, h.Dims.NY); err != nil {
+		return err
+	}
+	row := make([]byte, h.Dims.NX)
+	for y := h.Dims.NY - 1; y >= 0; y-- {
+		for x := 0; x < h.Dims.NX; x++ {
+			v := (h.V[h.Dims.Index(x, y)] - lo) / span
+			row[x] = byte(math.Round(v * 255))
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePPM writes the field as a binary PPM using a blue-red thermal
+// colormap.
+func (h *Heatmap) WritePPM(w io.Writer) error {
+	lo, hi := h.Bounds()
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", h.Dims.NX, h.Dims.NY); err != nil {
+		return err
+	}
+	row := make([]byte, 3*h.Dims.NX)
+	for y := h.Dims.NY - 1; y >= 0; y-- {
+		for x := 0; x < h.Dims.NX; x++ {
+			v := (h.V[h.Dims.Index(x, y)] - lo) / span
+			r, g, b := thermalColor(v)
+			row[3*x], row[3*x+1], row[3*x+2] = r, g, b
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// thermalColor maps t in [0,1] to a blue→cyan→yellow→red ramp.
+func thermalColor(t float64) (r, g, b byte) {
+	t = math.Max(0, math.Min(1, t))
+	switch {
+	case t < 1.0/3:
+		u := t * 3
+		return 0, byte(255 * u), byte(255 * (1 - u/2))
+	case t < 2.0/3:
+		u := (t - 1.0/3) * 3
+		return byte(255 * u), 255, byte(128 * (1 - u))
+	default:
+		u := (t - 2.0/3) * 3
+		return 255, byte(255 * (1 - u)), 0
+	}
+}
+
+// Series is a named (x, y) sequence for figure-style outputs.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// WriteSeriesCSV writes aligned series sharing the same X to CSV:
+// x,name1,name2,...
+func WriteSeriesCSV(w io.Writer, xLabel string, series ...Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(series)+1)
+	names = append(names, xLabel)
+	for _, s := range series {
+		names = append(names, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(names, ",")); err != nil {
+		return err
+	}
+	for i := range series[0].X {
+		cells := []string{fmt.Sprintf("%g", series[0].X[i])}
+		for _, s := range series {
+			if i < len(s.Y) {
+				cells = append(cells, fmt.Sprintf("%g", s.Y[i]))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

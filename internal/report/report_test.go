@@ -1,0 +1,166 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"lcn3d/internal/grid"
+)
+
+func TestTableAligned(t *testing.T) {
+	tb := &Table{
+		Title:  "Result",
+		Header: []string{"Case", "Wpump (mW)"},
+	}
+	tb.AddRow("1", "10.41")
+	tb.AddRow("2", "6.9")
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Result") || !strings.Contains(out, "Case") {
+		t.Fatalf("missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, rule, 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Column alignment: "10.41" and "6.9" start at the same offset.
+	if strings.Index(lines[3], "10.41") != strings.Index(lines[4], "6.9") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "a,b\n1,2\n" {
+		t.Fatalf("csv %q", buf.String())
+	}
+}
+
+func TestFFormatsInfinityAsNA(t *testing.T) {
+	if F(math.Inf(1), 2) != "N/A" {
+		t.Fatal("infeasible values must print as N/A (paper Table 3 case 5)")
+	}
+	if F(12.3456, 2) != "12.35" {
+		t.Fatalf("got %s", F(12.3456, 2))
+	}
+}
+
+func heat() *Heatmap {
+	d := grid.Dims{NX: 4, NY: 3}
+	h := &Heatmap{Dims: d, V: make([]float64, d.N())}
+	for i := range h.V {
+		h.V[i] = float64(i)
+	}
+	return h
+}
+
+func TestHeatmapBounds(t *testing.T) {
+	h := heat()
+	lo, hi := h.Bounds()
+	if lo != 0 || hi != 11 {
+		t.Fatalf("bounds %g %g", lo, hi)
+	}
+}
+
+func TestHeatmapASCIIShape(t *testing.T) {
+	h := heat()
+	art := h.ASCII(0)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 3 || len(lines[0]) != 4 {
+		t.Fatalf("shape wrong:\n%s", art)
+	}
+	// North row (largest values) printed first: last char of first line
+	// must be the densest ramp character.
+	if lines[0][3] != '@' {
+		t.Fatalf("hottest cell should be '@':\n%s", art)
+	}
+	if lines[2][0] != ' ' {
+		t.Fatalf("coolest cell should be ' ':\n%s", art)
+	}
+}
+
+func TestHeatmapASCIIDownsamples(t *testing.T) {
+	d := grid.Dims{NX: 100, NY: 100}
+	h := &Heatmap{Dims: d, V: make([]float64, d.N())}
+	art := h.ASCII(25)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines[0]) > 25 {
+		t.Fatalf("line width %d > 25", len(lines[0]))
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	var buf bytes.Buffer
+	if err := heat().WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n4 3\n255\n")) {
+		t.Fatalf("bad header %q", out[:12])
+	}
+	if len(out) != len("P5\n4 3\n255\n")+12 {
+		t.Fatalf("payload size %d", len(out))
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	var buf bytes.Buffer
+	if err := heat().WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("P6\n4 3\n255\n")) {
+		t.Fatal("bad PPM header")
+	}
+	if len(buf.Bytes()) != len("P6\n4 3\n255\n")+36 {
+		t.Fatalf("payload size %d", len(buf.Bytes()))
+	}
+}
+
+func TestConstantFieldDoesNotDivideByZero(t *testing.T) {
+	d := grid.Dims{NX: 2, NY: 2}
+	h := &Heatmap{Dims: d, V: []float64{5, 5, 5, 5}}
+	if s := h.ASCII(0); strings.Contains(s, "NaN") {
+		t.Fatal("constant field broke rendering")
+	}
+	var buf bytes.Buffer
+	if err := h.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThermalColorEndpoints(t *testing.T) {
+	r, _, b := thermalColor(0)
+	if r != 0 || b != 255 {
+		t.Fatalf("cold end should be blue: %d %d", r, b)
+	}
+	r, g, bb := thermalColor(1)
+	if r != 255 || g != 0 || bb != 0 {
+		t.Fatal("hot end should be red")
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSeriesCSV(&buf, "p",
+		Series{Name: "dT", X: []float64{1, 2}, Y: []float64{10, 5}},
+		Series{Name: "tmax", X: []float64{1, 2}, Y: []float64{320, 310}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "p,dT,tmax\n1,10,320\n2,5,310\n"
+	if buf.String() != want {
+		t.Fatalf("got %q", buf.String())
+	}
+}

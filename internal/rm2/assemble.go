@@ -1,0 +1,205 @@
+package rm2
+
+import (
+	"fmt"
+
+	"lcn3d/internal/stack"
+	"lcn3d/internal/thermal"
+	"lcn3d/internal/units"
+)
+
+// assemble builds the coarse steady thermal system at the given pressure.
+func (m *Model) assemble(psys float64) (*thermal.Assembler, []float64, error) {
+	stk := m.Stk
+	cd := m.til.Coarse
+	nc := cd.N()
+	pitch := stk.Pitch
+	asm := thermal.NewAssembler(m.numNodes, m.Scheme)
+	caps := make([]float64, m.numNodes)
+
+	var qsysTotal float64
+	for _, ref := range m.refFlows {
+		qsysTotal += ref.Qsys * psys // reference is at 1 Pa
+	}
+	if qsysTotal <= 0 && stk.TotalPower() > 0 {
+		return nil, nil, fmt.Errorf("rm2: no coolant flow at P_sys=%g Pa", psys)
+	}
+
+	for l, layer := range stk.Layers {
+		t := layer.Thickness
+		kS := layer.Mat.K
+		if layer.Kind != stack.Channel {
+			// Lateral conduction between coarse cells.
+			for cy := 0; cy < cd.NY; cy++ {
+				for cx := 0; cx < cd.NX; cx++ {
+					c := cd.Index(cx, cy)
+					if cx+1 < cd.NX {
+						g := kS * t * float64(m.til.Height(cy)) /
+							(0.5 * float64(m.til.Width(cx)+m.til.Width(cx+1)))
+						asm.Conductance(m.solidNode[l][c], m.solidNode[l][cd.Index(cx+1, cy)], g)
+					}
+					if cy+1 < cd.NY {
+						g := kS * t * float64(m.til.Width(cx)) /
+							(0.5 * float64(m.til.Height(cy)+m.til.Height(cy+1)))
+						asm.Conductance(m.solidNode[l][c], m.solidNode[l][cd.Index(cx, cy+1)], g)
+					}
+					// Heat capacity.
+					area := float64(m.til.CellArea(cx, cy)) * pitch * pitch
+					caps[m.solidNode[l][c]] = layer.Mat.Cv * area * t
+					// Source power.
+					if layer.Kind == stack.Source {
+						var q float64
+						d := stk.Dims
+						m.til.EachFine(cx, cy, func(x, y int) { q += layer.Power.W[d.Index(x, y)] })
+						asm.Source(m.solidNode[l][c], q)
+					}
+				}
+			}
+			// Vertical conduction handled generically below via halfG.
+			continue
+		}
+
+		// Channel layer.
+		k := m.chOfIdx[l]
+		ci := &m.ch[k]
+		cv := stk.Coolant.Cv
+		for cy := 0; cy < cd.NY; cy++ {
+			for cx := 0; cx < cd.NX; cx++ {
+				c := cd.Index(cx, cy)
+				sn := m.solidNode[l][c]
+				ln := m.liquidNode[k][c]
+				// Heat capacities.
+				if sn >= 0 {
+					caps[sn] = layer.Mat.Cv * float64(ci.nSolid[c]) * pitch * pitch * t
+				}
+				if ln >= 0 {
+					caps[ln] = cv * float64(ci.nLiquid[c]) * pitch * pitch * t
+				}
+				// Lateral solid-solid via conducting paths (Eq. (7)).
+				if cx+1 < cd.NX {
+					c2 := cd.Index(cx+1, cy)
+					g1 := 2 * kS * t * float64(ci.pathsE[c][0]) / float64(m.til.Width(cx))
+					g2 := 2 * kS * t * float64(ci.pathsE[c][1]) / float64(m.til.Width(cx+1))
+					if sn >= 0 && m.solidNode[l][c2] >= 0 {
+						asm.Conductance(sn, m.solidNode[l][c2], units.SeriesG(g1, g2))
+					}
+					// Liquid-liquid lateral: net convection + weak
+					// conduction across the interface.
+					l2 := m.liquidNode[k][c2]
+					if ln >= 0 && l2 >= 0 {
+						if ci.liquidPairsE[c] > 0 {
+							gLL := stk.Coolant.K * t * float64(ci.liquidPairsE[c]) /
+								(0.5 * float64(m.til.Width(cx)+m.til.Width(cx+1)))
+							asm.Conductance(ln, l2, gLL)
+						}
+						if q := ci.netQE[c] * psys; q > 0 {
+							asm.Convection(ln, l2, cv*q)
+						} else if q < 0 {
+							asm.Convection(l2, ln, -cv*q)
+						}
+					}
+				}
+				if cy+1 < cd.NY {
+					c2 := cd.Index(cx, cy+1)
+					g1 := 2 * kS * t * float64(ci.pathsN[c][0]) / float64(m.til.Height(cy))
+					g2 := 2 * kS * t * float64(ci.pathsN[c][1]) / float64(m.til.Height(cy+1))
+					if sn >= 0 && m.solidNode[l][c2] >= 0 {
+						asm.Conductance(sn, m.solidNode[l][c2], units.SeriesG(g1, g2))
+					}
+					l2 := m.liquidNode[k][c2]
+					if ln >= 0 && l2 >= 0 {
+						if ci.liquidPairsN[c] > 0 {
+							gLL := stk.Coolant.K * t * float64(ci.liquidPairsN[c]) /
+								(0.5 * float64(m.til.Height(cy)+m.til.Height(cy+1)))
+							asm.Conductance(ln, l2, gLL)
+						}
+						if q := ci.netQN[c] * psys; q > 0 {
+							asm.Convection(ln, l2, cv*q)
+						} else if q < 0 {
+							asm.Convection(l2, ln, -cv*q)
+						}
+					}
+				}
+				// LateralSL variant: direct side-wall coupling between
+				// the in-cell solid and liquid nodes (4RM-style film in
+				// series with half-cell wall conduction).
+				if m.Variant == LateralSL && sn >= 0 && ln >= 0 && ci.sideA[c] > 0 {
+					hconv := units.HeatTransferCoeff(stk.Coolant, stk.ChannelWidth, t)
+					gFilm := hconv * ci.sideA[c]
+					gWall := kS * ci.sideA[c] / (0.5 * float64(m.M) * pitch)
+					asm.Conductance(sn, ln, units.SeriesG(gFilm, gWall))
+				}
+				// Inlet/outlet convection.
+				if ln >= 0 {
+					if q := ci.qIn[c] * psys; q > 0 {
+						asm.ConvectionInlet(ln, cv*q, stk.TinK)
+					}
+					if q := ci.qOut[c] * psys; q > 0 {
+						asm.ConvectionOutlet(ln, cv*q)
+					}
+				}
+			}
+		}
+	}
+
+	// Vertical conduction between consecutive layers. halfG returns the
+	// conductance from a layer's node(s) to the interface plane for each
+	// coarse cell, handling the channel-layer solid/liquid split.
+	for l := 0; l+1 < len(stk.Layers); l++ {
+		for c := 0; c < nc; c++ {
+			cx, cy := cd.Coord(c)
+			area := float64(m.til.CellArea(cx, cy)) * pitch * pitch
+			lowers := m.verticalHalves(l, c, area)
+			uppers := m.verticalHalves(l+1, c, area)
+			for _, lo := range lowers {
+				for _, hi := range uppers {
+					// Split each half conductance by the partner's area
+					// fraction so parallel paths are not double counted.
+					g := units.SeriesG(lo.g*hi.frac, hi.g*lo.frac)
+					asm.Conductance(lo.node, hi.node, g)
+				}
+			}
+		}
+	}
+	return asm, caps, nil
+}
+
+// vhalf is one vertical half-path from a node to a layer interface.
+type vhalf struct {
+	node int
+	g    float64 // conductance from node to the interface plane, W/K
+	frac float64 // footprint fraction of the coarse cell
+}
+
+// verticalHalves lists the half-conductances of layer l's node(s) in
+// coarse cell c toward a horizontal interface. Solid (and source) layers
+// contribute one conduction path over the full cell footprint; channel
+// layers contribute a solid-wall path over the wall footprint and a
+// convective path (Eq. (8): top/bottom area plus half the side-wall
+// area) over the liquid footprint.
+func (m *Model) verticalHalves(l, c int, area float64) []vhalf {
+	stk := m.Stk
+	layer := stk.Layers[l]
+	t := layer.Thickness
+	if layer.Kind != stack.Channel {
+		return []vhalf{{node: m.solidNode[l][c], g: 2 * layer.Mat.K * area / t, frac: 1}}
+	}
+	k := m.chOfIdx[l]
+	ci := &m.ch[k]
+	total := float64(ci.nSolid[c] + ci.nLiquid[c])
+	var out []vhalf
+	if sn := m.solidNode[l][c]; sn >= 0 {
+		aSolid := float64(ci.nSolid[c]) * stk.Pitch * stk.Pitch
+		out = append(out, vhalf{node: sn, g: 2 * layer.Mat.K * aSolid / t, frac: float64(ci.nSolid[c]) / total})
+	}
+	if ln := m.liquidNode[k][c]; ln >= 0 {
+		aTop := float64(ci.nLiquid[c]) * stk.Pitch * stk.Pitch
+		hconv := units.HeatTransferCoeff(stk.Coolant, stk.ChannelWidth, t)
+		a := aTop + ci.sideA[c]/2 // Eq. (8): half the side walls per face
+		if m.Variant == LateralSL {
+			a = aTop // side walls couple laterally instead
+		}
+		out = append(out, vhalf{node: ln, g: hconv * a, frac: float64(ci.nLiquid[c]) / total})
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package rm2
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/network"
+	"lcn3d/internal/power"
+	"lcn3d/internal/stack"
+	"lcn3d/internal/thermal"
+)
+
+// Structural property tests for the coarse model.
+
+func TestTemperatureRiseLinearInPower2RM(t *testing.T) {
+	f := func(seed int64) bool {
+		pm := power.Hotspots(d21, seed, 2, 0.5, 1.0)
+		pm2 := pm.Clone()
+		for i := range pm2.W {
+			pm2.W[i] *= 3
+		}
+		build := func(p *power.Map) *Model {
+			s, err := stack.NewDieStack(stack.Config{Dims: d21, ChannelHeight: 200e-6},
+				[]*power.Map{p.Clone(), p})
+			if err != nil {
+				return nil
+			}
+			m, err := New(s, []*network.Network{network.Straight(d21, grid.SideWest, 1)}, 3, thermal.Central)
+			if err != nil {
+				return nil
+			}
+			return m
+		}
+		m1, m2 := build(pm), build(pm2)
+		if m1 == nil || m2 == nil {
+			return false
+		}
+		o1, err := m1.Simulate(8e3)
+		if err != nil {
+			return false
+		}
+		o2, err := m2.Simulate(8e3)
+		if err != nil {
+			return false
+		}
+		return math.Abs(o2.DeltaT-3*o1.DeltaT) < 1e-4*(1+3*o1.DeltaT) &&
+			math.Abs((o2.Tmax-300)-3*(o1.Tmax-300)) < 1e-4*(1+3*(o1.Tmax-300))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoarserIsNeverBigger(t *testing.T) {
+	// Node count decreases monotonically with the coarsening factor.
+	s, err := stack.NewDieStack(stack.Config{Dims: d21, ChannelHeight: 200e-6},
+		[]*power.Map{power.Hotspots(d21, 1, 2, 0.5, 1.0), power.Hotspots(d21, 2, 2, 0.5, 1.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := network.Straight(d21, grid.SideWest, 1)
+	prev := 1 << 30
+	for _, m := range []int{1, 2, 3, 4, 5, 7} {
+		mod, err := New(s, []*network.Network{n}, m, thermal.Central)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mod.NumNodes() > prev {
+			t.Fatalf("m=%d has %d nodes, more than finer %d", m, mod.NumNodes(), prev)
+		}
+		prev = mod.NumNodes()
+	}
+}
+
+func TestConductingPathsCountsStraightChannels(t *testing.T) {
+	// With channels on every even row and m=2, every 2x2 coarse cell in
+	// the channel layer holds one liquid and one solid row; a horizontal
+	// interface half-region (one column, one cell high... actually two
+	// cells wide) can never form a complete solid column, so the
+	// north-south solid conductance uses zero paths; east-west halves are
+	// full solid rows half the time.
+	s, err := stack.NewDieStack(stack.Config{Dims: d21, ChannelHeight: 200e-6},
+		[]*power.Map{power.Hotspots(d21, 1, 2, 0.5, 1.0), power.Hotspots(d21, 2, 2, 0.5, 1.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := network.Straight(d21, grid.SideWest, 1)
+	mod, err := New(s, []*network.Network{n}, 2, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := mod.ch[0]
+	cd := mod.til.Coarse
+	for cy := 0; cy < cd.NY-1; cy++ {
+		for cx := 0; cx < cd.NX; cx++ {
+			c := cd.Index(cx, cy)
+			// With a channel on every even row, every coarse cell's
+			// south half-region (its bottom row, an even row) is liquid,
+			// so at least one side of each north interface has zero
+			// complete paths and the series conductance vanishes —
+			// the porous-medium behavior of parallel fins.
+			p := ci.pathsN[c]
+			if p[0] != 0 && p[1] != 0 {
+				t.Fatalf("north interface at (%d,%d) = %v should be blocked on one side", cx, cy, p)
+			}
+		}
+	}
+	// East-west: solid rows (odd rows) form complete paths.
+	foundEW := false
+	for cy := 0; cy < cd.NY; cy++ {
+		for cx := 0; cx < cd.NX-1; cx++ {
+			if p := ci.pathsE[cd.Index(cx, cy)]; p[0] > 0 && p[1] > 0 {
+				foundEW = true
+			}
+		}
+	}
+	if !foundEW {
+		t.Fatal("expected east-west conducting paths along solid rows")
+	}
+}
+
+func TestAggregatesMatchNetwork(t *testing.T) {
+	s, err := stack.NewDieStack(stack.Config{Dims: d21, ChannelHeight: 200e-6},
+		[]*power.Map{power.Hotspots(d21, 1, 2, 0.5, 1.0), power.Hotspots(d21, 2, 2, 0.5, 1.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := network.Straight(d21, grid.SideWest, 1)
+	mod, err := New(s, []*network.Network{n}, 4, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := mod.ch[0]
+	totLiquid, totSolid := 0, 0
+	for c := range ci.nLiquid {
+		totLiquid += ci.nLiquid[c]
+		totSolid += ci.nSolid[c]
+	}
+	if totLiquid != n.NumLiquid() {
+		t.Fatalf("aggregated liquid %d != network %d", totLiquid, n.NumLiquid())
+	}
+	if totLiquid+totSolid != d21.N() {
+		t.Fatalf("liquid+solid %d != cells %d", totLiquid+totSolid, d21.N())
+	}
+	// Inlet aggregate equals the reference solution's system flow.
+	var qin float64
+	for _, q := range ci.qIn {
+		qin += q
+	}
+	if math.Abs(qin-mod.refFlows[0].Qsys) > 1e-12 {
+		t.Fatalf("aggregated inlet flow %g != Qsys %g", qin, mod.refFlows[0].Qsys)
+	}
+}

@@ -1,0 +1,309 @@
+// Package rm2 implements the 2-register-model (porous medium) thermal
+// simulator of paper Section 2.3. Thermal cells cover m×m basic cells;
+// in the channel layer each coarse cell is represented by one solid node
+// and one liquid node. Lateral solid conductances in the channel layer
+// use the complete-conducting-path construction (Eq. (7)); side-wall
+// convection is folded into the vertical solid-liquid conductance
+// (Eq. (8)); liquid-liquid transport uses the net flow rate across each
+// coarse interface with Eq. (6).
+package rm2
+
+import (
+	"fmt"
+
+	"lcn3d/internal/flow"
+	"lcn3d/internal/grid"
+	"lcn3d/internal/network"
+	"lcn3d/internal/stack"
+	"lcn3d/internal/thermal"
+)
+
+// Variant selects the solid-liquid treatment in the channel layer.
+type Variant int
+
+// Model variants.
+const (
+	// Paper2RM follows Section 2.3 exactly: the side-wall film is folded
+	// into the vertical solid-liquid conductance (Eq. (8)) and the
+	// lateral solid-liquid conductance is zero.
+	Paper2RM Variant = iota
+	// LateralSL is an accuracy extension beyond the paper: side walls
+	// couple the channel-layer solid and liquid nodes directly (as in
+	// 4RM), and only the top/bottom areas enter the vertical path. It
+	// cuts the error floor on sparse (tree-like) networks; see the
+	// ablation bench.
+	LateralSL
+)
+
+func (v Variant) String() string {
+	if v == LateralSL {
+		return "lateral-sl"
+	}
+	return "paper"
+}
+
+// Model is a 2RM simulator bound to a stack, one network per channel
+// layer, and a coarsening factor m (thermal cell = m×m basic cells).
+type Model struct {
+	Stk     *stack.Stack
+	Nets    []*network.Network
+	Scheme  thermal.Scheme
+	M       int
+	Variant Variant
+
+	til      *grid.Tiling
+	refFlows []*flow.Solution
+	chOfIdx  map[int]int
+
+	solidNode  [][]int // [layer][coarse cell] -> node or -1
+	liquidNode [][]int // [channel ordinal][coarse cell] -> node or -1
+	numNodes   int
+
+	ch []chInfo // per channel ordinal, static geometry aggregates
+}
+
+// chInfo caches the per-coarse-cell aggregates of one channel layer.
+type chInfo struct {
+	nSolid  []int     // solid basic cells per coarse cell
+	nLiquid []int     // liquid basic cells per coarse cell
+	sideA   []float64 // total side-wall area per coarse cell, m^2
+
+	// Conducting-path counts for the solid lateral conductance: for the
+	// east interface of coarse cell c, pathsE[c][0] counts complete solid
+	// rows in c's east half, pathsE[c][1] in the east neighbor's west
+	// half. Analogously pathsN for north interfaces.
+	pathsE [][2]int
+	pathsN [][2]int
+
+	// Reference (P_sys = 1 Pa) aggregated flows.
+	netQE []float64 // net eastward flow across each east interface
+	netQN []float64 // net northward flow across each north interface
+	qIn   []float64 // inlet inflow per coarse cell
+	qOut  []float64 // outlet outflow per coarse cell
+
+	liquidPairsE []int // liquid fine-cell pairs across east interfaces
+	liquidPairsN []int
+}
+
+// New builds a 2RM model with coarsening factor m (in basic cells).
+func New(stk *stack.Stack, nets []*network.Network, m int, scheme thermal.Scheme) (*Model, error) {
+	if err := stk.Validate(); err != nil {
+		return nil, err
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("rm2: coarsening factor %d", m)
+	}
+	chl := stk.ChannelLayers()
+	if len(nets) != len(chl) {
+		return nil, fmt.Errorf("rm2: %d networks for %d channel layers", len(nets), len(chl))
+	}
+	til, err := grid.NewTiling(stk.Dims, m)
+	if err != nil {
+		return nil, err
+	}
+	mod := &Model{Stk: stk, Nets: nets, Scheme: scheme, M: m, til: til, chOfIdx: make(map[int]int)}
+	for k, li := range chl {
+		mod.chOfIdx[li] = k
+	}
+	geo := flow.Geometry{Pitch: stk.Pitch, ChannelWidth: stk.ChannelWidth, Coolant: stk.Coolant}
+	for k, li := range chl {
+		n := nets[k]
+		if n.Dims != stk.Dims {
+			return nil, fmt.Errorf("rm2: network %d dims %v != %v", k, n.Dims, stk.Dims)
+		}
+		if errs := n.Check(); len(errs) > 0 {
+			return nil, fmt.Errorf("rm2: network %d illegal: %v", k, errs[0])
+		}
+		g := geo
+		g.ChannelHeight = stk.Layers[li].Thickness
+		ref, err := flow.Solve(n, g, 1)
+		if err != nil {
+			return nil, fmt.Errorf("rm2: channel layer %d: %w", k, err)
+		}
+		mod.refFlows = append(mod.refFlows, ref)
+	}
+	mod.assignNodes()
+	mod.precompute()
+	return mod, nil
+}
+
+// Name implements thermal.Model.
+func (m *Model) Name() string { return fmt.Sprintf("2RM/m=%d", m.M) }
+
+// CoarseDims returns the thermal-cell grid dimensions.
+func (m *Model) CoarseDims() grid.Dims { return m.til.Coarse }
+
+// NumNodes returns the thermal system size.
+func (m *Model) NumNodes() int { return m.numNodes }
+
+func (m *Model) assignNodes() {
+	nc := m.til.Coarse.N()
+	next := 0
+	m.solidNode = make([][]int, len(m.Stk.Layers))
+	m.liquidNode = make([][]int, len(m.refFlows))
+	for l, layer := range m.Stk.Layers {
+		m.solidNode[l] = make([]int, nc)
+		if layer.Kind != stack.Channel {
+			for c := 0; c < nc; c++ {
+				m.solidNode[l][c] = next
+				next++
+			}
+			continue
+		}
+		k := m.chOfIdx[l]
+		net := m.Nets[k]
+		m.liquidNode[k] = make([]int, nc)
+		for cy := 0; cy < m.til.Coarse.NY; cy++ {
+			for cx := 0; cx < m.til.Coarse.NX; cx++ {
+				c := m.til.Coarse.Index(cx, cy)
+				nLiq := 0
+				m.til.EachFine(cx, cy, func(x, y int) {
+					if net.IsLiquid(x, y) {
+						nLiq++
+					}
+				})
+				nSol := m.til.CellArea(cx, cy) - nLiq
+				if nSol > 0 {
+					m.solidNode[l][c] = next
+					next++
+				} else {
+					m.solidNode[l][c] = -1
+				}
+				if nLiq > 0 {
+					m.liquidNode[k][c] = next
+					next++
+				} else {
+					m.liquidNode[k][c] = -1
+				}
+			}
+		}
+	}
+	m.numNodes = next
+}
+
+func (m *Model) precompute() {
+	d := m.Stk.Dims
+	cd := m.til.Coarse
+	nc := cd.N()
+	m.ch = make([]chInfo, len(m.refFlows))
+	for k := range m.refFlows {
+		net := m.Nets[k]
+		ref := m.refFlows[k]
+		hc := m.Stk.Layers[m.Stk.ChannelLayers()[k]].Thickness
+		ci := chInfo{
+			nSolid: make([]int, nc), nLiquid: make([]int, nc), sideA: make([]float64, nc),
+			pathsE: make([][2]int, nc), pathsN: make([][2]int, nc),
+			netQE: make([]float64, nc), netQN: make([]float64, nc),
+			qIn: make([]float64, nc), qOut: make([]float64, nc),
+			liquidPairsE: make([]int, nc), liquidPairsN: make([]int, nc),
+		}
+		liquid := func(x, y int) bool { return net.IsLiquid(x, y) }
+
+		for cy := 0; cy < cd.NY; cy++ {
+			for cx := 0; cx < cd.NX; cx++ {
+				c := cd.Index(cx, cy)
+				m.til.EachFine(cx, cy, func(x, y int) {
+					i := d.Index(x, y)
+					if !liquid(x, y) {
+						ci.nSolid[c]++
+						return
+					}
+					ci.nLiquid[c]++
+					// Side walls: solid in-grid neighbors plus sealed chip
+					// boundary faces count as wall area.
+					walls := 4
+					d.Neighbors4(x, y, func(nx, ny int, _ grid.Dir) {
+						if liquid(nx, ny) {
+							walls--
+						}
+					})
+					ci.sideA[c] += float64(walls) * m.Stk.Pitch * hc
+					ci.qIn[c] += ref.QIn[i]
+					ci.qOut[c] += ref.QOut[i]
+					// Flows crossing coarse interfaces.
+					if x == xRangeHi(m.til, cx)-1 && cx+1 < cd.NX {
+						ci.netQE[c] += ref.QEast[i]
+						if x+1 < d.NX && liquid(x+1, y) {
+							ci.liquidPairsE[c]++
+						}
+					}
+					if y == yRangeHi(m.til, cy)-1 && cy+1 < cd.NY {
+						ci.netQN[c] += ref.QNorth[i]
+						if y+1 < d.NY && liquid(x, y+1) {
+							ci.liquidPairsN[c]++
+						}
+					}
+				})
+				// Conducting paths across the east interface: rows whose
+				// east-half cells (this cell) and west-half cells
+				// (neighbor) are all solid.
+				if cx+1 < cd.NX {
+					ci.pathsE[c][0] = countPathsX(m.til, net, cx, cy, true)
+					ci.pathsE[c][1] = countPathsX(m.til, net, cx+1, cy, false)
+				}
+				if cy+1 < cd.NY {
+					ci.pathsN[c][0] = countPathsY(m.til, net, cx, cy, true)
+					ci.pathsN[c][1] = countPathsY(m.til, net, cx, cy+1, false)
+				}
+			}
+		}
+		m.ch[k] = ci
+	}
+}
+
+func xRangeHi(t *grid.Tiling, cx int) int { _, hi := t.XRange(cx); return hi }
+func yRangeHi(t *grid.Tiling, cy int) int { _, hi := t.YRange(cy); return hi }
+
+// countPathsX counts the complete solid rows in the half of coarse cell
+// (cx, cy) adjacent to its east (eastHalf=true) or west interface.
+func countPathsX(t *grid.Tiling, net *network.Network, cx, cy int, eastHalf bool) int {
+	xlo, xhi := t.XRange(cx)
+	ylo, yhi := t.YRange(cy)
+	w := xhi - xlo
+	half := (w + 1) / 2
+	hlo, hhi := xlo, xlo+half
+	if eastHalf {
+		hlo, hhi = xhi-half, xhi
+	}
+	paths := 0
+	for y := ylo; y < yhi; y++ {
+		ok := true
+		for x := hlo; x < hhi; x++ {
+			if net.IsLiquid(x, y) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			paths++
+		}
+	}
+	return paths
+}
+
+// countPathsY counts the complete solid columns in the half of coarse
+// cell (cx, cy) adjacent to its north (northHalf=true) or south interface.
+func countPathsY(t *grid.Tiling, net *network.Network, cx, cy int, northHalf bool) int {
+	xlo, xhi := t.XRange(cx)
+	ylo, yhi := t.YRange(cy)
+	h := yhi - ylo
+	half := (h + 1) / 2
+	hlo, hhi := ylo, ylo+half
+	if northHalf {
+		hlo, hhi = yhi-half, yhi
+	}
+	paths := 0
+	for x := xlo; x < xhi; x++ {
+		ok := true
+		for y := hlo; y < hhi; y++ {
+			if net.IsLiquid(x, y) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			paths++
+		}
+	}
+	return paths
+}

@@ -1,0 +1,324 @@
+package rm2
+
+import (
+	"math"
+	"testing"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/network"
+	"lcn3d/internal/power"
+	"lcn3d/internal/rm4"
+	"lcn3d/internal/stack"
+	"lcn3d/internal/thermal"
+)
+
+var d21 = grid.Dims{NX: 21, NY: 21}
+
+func smallStack(t *testing.T, total float64, seed int64) *stack.Stack {
+	t.Helper()
+	s, err := stack.NewDieStack(stack.Config{Dims: d21, ChannelHeight: 200e-6},
+		[]*power.Map{
+			power.Hotspots(d21, seed, 2, 0.6, total),
+			power.Hotspots(d21, seed+1, 2, 0.6, total),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func model2(t *testing.T, s *stack.Stack, n *network.Network, m int) *Model {
+	t.Helper()
+	mod, err := New(s, []*network.Network{n}, m, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func TestSimulateBasics(t *testing.T) {
+	s := smallStack(t, 1.0, 1)
+	m := model2(t, s, network.Straight(d21, grid.SideWest, 1), 3)
+	out, err := m.Simulate(10e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SourceDims != m.CoarseDims() {
+		t.Fatalf("source dims %v != coarse %v", out.SourceDims, m.CoarseDims())
+	}
+	if out.FineDims != d21 {
+		t.Fatalf("fine dims %v", out.FineDims)
+	}
+	if out.Tmax <= s.TinK || math.IsNaN(out.Tmax) {
+		t.Fatalf("bad Tmax %g", out.Tmax)
+	}
+	if len(out.FineTemps[0]) != d21.N() {
+		t.Fatalf("fine field has %d entries", len(out.FineTemps[0]))
+	}
+}
+
+func TestProblemSizeReduction(t *testing.T) {
+	s := smallStack(t, 1.0, 2)
+	n := network.Straight(d21, grid.SideWest, 1)
+	m1 := model2(t, s, n, 1)
+	m4 := model2(t, s, n, 4)
+	if m4.NumNodes() >= m1.NumNodes() {
+		t.Fatalf("m=4 nodes %d should be far fewer than m=1 nodes %d", m4.NumNodes(), m1.NumNodes())
+	}
+	// The reduction should approach m^2 = 16 for the solid layers.
+	ratio := float64(m1.NumNodes()) / float64(m4.NumNodes())
+	if ratio < 6 {
+		t.Fatalf("size reduction %.1fx too small", ratio)
+	}
+}
+
+func TestEnergyBalance(t *testing.T) {
+	s := smallStack(t, 2.0, 3)
+	for _, mm := range []int{1, 2, 4} {
+		m := model2(t, s, network.Straight(d21, grid.SideWest, 1), mm)
+		carried, injected, err := m.EnergyBalance(8e3)
+		if err != nil {
+			t.Fatalf("m=%d: %v", mm, err)
+		}
+		if math.Abs(carried-injected) > 1e-3*injected {
+			t.Fatalf("m=%d energy balance: coolant %g W vs power %g W", mm, carried, injected)
+		}
+	}
+}
+
+func TestAgreesWith4RMOnStraightChannels(t *testing.T) {
+	s := smallStack(t, 1.0, 5)
+	n := network.Straight(d21, grid.SideWest, 1)
+	m2 := model2(t, s, n, 2)
+	m4, err := rm4.New(s, []*network.Network{n}, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := m2.Simulate(8e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o4, err := m4.Simulate(8e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean relative error of the fine-grid source field (the Fig. 9(a)
+	// metric) should be small for straight channels at small cell size.
+	var errSum float64
+	for i := range o4.FineTemps[0] {
+		errSum += math.Abs(o2.FineTemps[0][i]-o4.FineTemps[0][i]) / o4.FineTemps[0][i]
+	}
+	mean := errSum / float64(len(o4.FineTemps[0]))
+	if mean > 0.01 {
+		t.Fatalf("2RM(m=2) vs 4RM mean relative error %.4f too large", mean)
+	}
+	// Flow-side quantities are identical by construction.
+	if math.Abs(o2.Qsys-o4.Qsys) > 1e-12 {
+		t.Fatalf("Qsys differ: %g vs %g", o2.Qsys, o4.Qsys)
+	}
+}
+
+func TestErrorGrowsWithCellSize(t *testing.T) {
+	s := smallStack(t, 1.5, 6)
+	n := network.Straight(d21, grid.SideWest, 1)
+	m4, err := rm4.New(s, []*network.Network{n}, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o4, err := m4.Simulate(8e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanErr := func(mm int) float64 {
+		o2, err := model2(t, s, n, mm).Simulate(8e3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i := range o4.FineTemps[0] {
+			sum += math.Abs(o2.FineTemps[0][i]-o4.FineTemps[0][i]) / o4.FineTemps[0][i]
+		}
+		return sum / float64(len(o4.FineTemps[0]))
+	}
+	e2, e7 := meanErr(2), meanErr(7)
+	if e7 <= e2 {
+		t.Fatalf("error should grow with cell size: m=2 %.5f vs m=7 %.5f", e2, e7)
+	}
+}
+
+func TestTreeNetwork(t *testing.T) {
+	big := grid.Dims{NX: 31, NY: 31}
+	s, err := stack.NewDieStack(stack.Config{Dims: big, ChannelHeight: 200e-6},
+		[]*power.Map{power.Hotspots(big, 4, 3, 0.6, 2.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := network.Tree(big, network.UniformTreeSpec(big, 2, network.Branch4, 0.3, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(s, []*network.Network{tr}, 3, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Simulate(20e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tmax <= s.TinK || math.IsNaN(out.Tmax) {
+		t.Fatalf("bad Tmax %g", out.Tmax)
+	}
+	carried, injected, err := m.EnergyBalance(20e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(carried-injected) > 1e-3*injected {
+		t.Fatalf("tree energy balance: %g vs %g", carried, injected)
+	}
+}
+
+func TestMorePressureLowersPeak(t *testing.T) {
+	s := smallStack(t, 1.5, 7)
+	m := model2(t, s, network.Straight(d21, grid.SideWest, 1), 3)
+	lo, err := m.Simulate(3e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := m.Simulate(30e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Tmax >= lo.Tmax {
+		t.Fatalf("Tmax should fall with pressure: %g vs %g", hi.Tmax, lo.Tmax)
+	}
+}
+
+func TestThreeDie(t *testing.T) {
+	maps := []*power.Map{
+		power.Hotspots(d21, 1, 2, 0.5, 0.7),
+		power.Hotspots(d21, 2, 2, 0.5, 0.7),
+		power.Hotspots(d21, 3, 2, 0.5, 0.7),
+	}
+	s, err := stack.NewDieStack(stack.Config{Dims: d21, ChannelHeight: 200e-6}, maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := network.Straight(d21, grid.SideWest, 1)
+	m, err := New(s, []*network.Network{n, n.Clone()}, 3, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Simulate(10e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.SourceTemps) != 3 {
+		t.Fatalf("want 3 source fields, got %d", len(out.SourceTemps))
+	}
+}
+
+func TestRaggedTiling(t *testing.T) {
+	// m=4 on a 21-cell grid leaves a ragged final coarse cell; the model
+	// must stay consistent.
+	s := smallStack(t, 1.0, 8)
+	m := model2(t, s, network.Straight(d21, grid.SideWest, 1), 4)
+	if m.CoarseDims() != (grid.Dims{NX: 6, NY: 6}) {
+		t.Fatalf("coarse dims %v", m.CoarseDims())
+	}
+	carried, injected, err := m.EnergyBalance(9e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(carried-injected) > 1e-3*injected {
+		t.Fatalf("ragged energy balance: %g vs %g", carried, injected)
+	}
+}
+
+func TestZeroFlowErrors(t *testing.T) {
+	s := smallStack(t, 1.0, 9)
+	m := model2(t, s, network.Straight(d21, grid.SideWest, 1), 3)
+	if _, err := m.Simulate(0); err == nil {
+		t.Fatal("zero pressure should error")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	s := smallStack(t, 1.0, 10)
+	n := network.Straight(d21, grid.SideWest, 1)
+	if _, err := New(s, []*network.Network{n}, 0, thermal.Central); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := New(s, nil, 2, thermal.Central); err == nil {
+		t.Error("missing nets should fail")
+	}
+	if _, err := New(s, []*network.Network{network.New(d21)}, 2, thermal.Central); err == nil {
+		t.Error("illegal network should fail")
+	}
+}
+
+func TestNameIncludesFactor(t *testing.T) {
+	s := smallStack(t, 1.0, 11)
+	m := model2(t, s, network.Straight(d21, grid.SideWest, 1), 4)
+	if m.Name() != "2RM/m=4" {
+		t.Fatalf("name %q", m.Name())
+	}
+}
+
+func TestLateralSLVariantImprovesTreeAccuracy(t *testing.T) {
+	// The LateralSL extension should cut the error floor against 4RM on
+	// sparse tree networks (the dominant error source at small cells is
+	// the paper variant's side-wall folding).
+	big := grid.Dims{NX: 31, NY: 31}
+	s, err := stack.NewDieStack(stack.Config{Dims: big, ChannelHeight: 200e-6},
+		[]*power.Map{power.Hotspots(big, 4, 3, 0.6, 2.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := network.Tree(big, network.UniformTreeSpec(big, 2, network.Branch4, 0.3, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := rm4.New(s, []*network.Network{tr}, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o4, err := m4.Simulate(20e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanErr := func(variant Variant) float64 {
+		mod, err := New(s, []*network.Network{tr}, 2, thermal.Central)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod.Variant = variant
+		// Rebuilding is unnecessary: the variant is applied at assembly.
+		o2, err := mod.Simulate(20e3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i := range o4.FineTemps[0] {
+			sum += math.Abs(o2.FineTemps[0][i]-o4.FineTemps[0][i]) / o4.FineTemps[0][i]
+		}
+		return sum / float64(len(o4.FineTemps[0]))
+	}
+	paper, lateral := meanErr(Paper2RM), meanErr(LateralSL)
+	t.Logf("tree m=2 error: paper %.4f%%, lateral-sl %.4f%%", 100*paper, 100*lateral)
+	if lateral >= paper {
+		t.Fatalf("LateralSL should improve tree accuracy: %.5f vs %.5f", lateral, paper)
+	}
+}
+
+func TestLateralSLEnergyBalance(t *testing.T) {
+	s := smallStack(t, 2.0, 33)
+	mod := model2(t, s, network.Straight(d21, grid.SideWest, 1), 3)
+	mod.Variant = LateralSL
+	carried, injected, err := mod.EnergyBalance(8e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(carried-injected) > 1e-3*injected {
+		t.Fatalf("LateralSL energy balance: %g vs %g", carried, injected)
+	}
+}

@@ -1,0 +1,82 @@
+package rm2
+
+import (
+	"lcn3d/internal/thermal"
+)
+
+// Simulate implements thermal.Model.
+func (m *Model) Simulate(psys float64) (*thermal.Outcome, error) {
+	asm, _, err := m.assemble(psys)
+	if err != nil {
+		return nil, err
+	}
+	temps, res, err := asm.SolveSteady(m.Stk.TinK)
+	if err != nil {
+		return nil, err
+	}
+	cd := m.til.Coarse
+	out := &thermal.Outcome{
+		Psys:       psys,
+		SourceDims: cd,
+		FineDims:   m.Stk.Dims,
+		SolveIters: res.Iterations,
+	}
+	for _, l := range m.Stk.SourceLayers() {
+		field := make([]float64, cd.N())
+		for c := 0; c < cd.N(); c++ {
+			field[c] = temps[m.solidNode[l][c]]
+		}
+		out.SourceTemps = append(out.SourceTemps, field)
+		out.FineTemps = append(out.FineTemps, m.expand(field))
+	}
+	out.Metrics = thermal.ComputeMetrics(out.SourceTemps)
+	for _, ref := range m.refFlows {
+		out.Qsys += ref.Qsys * psys
+	}
+	out.Wpump = psys * out.Qsys
+	if out.Qsys > 0 {
+		out.Rsys = psys / out.Qsys
+	}
+	return out, nil
+}
+
+// expand maps a coarse field onto the basic-cell grid by piecewise
+// constant interpolation (each fine cell takes its coarse node's value).
+func (m *Model) expand(coarse []float64) []float64 {
+	d := m.Stk.Dims
+	out := make([]float64, d.N())
+	for y := 0; y < d.NY; y++ {
+		for x := 0; x < d.NX; x++ {
+			cx, cy := m.til.CoarseOf(x, y)
+			out[d.Index(x, y)] = coarse[m.til.Coarse.Index(cx, cy)]
+		}
+	}
+	return out
+}
+
+// EnergyBalance returns (coolant enthalpy rise, total die power) for the
+// steady solution at psys.
+func (m *Model) EnergyBalance(psys float64) (carried, injected float64, err error) {
+	asm, _, err := m.assemble(psys)
+	if err != nil {
+		return 0, 0, err
+	}
+	temps, _, err := asm.SolveSteady(m.Stk.TinK)
+	if err != nil {
+		return 0, 0, err
+	}
+	for k := range m.refFlows {
+		ci := &m.ch[k]
+		for c, q := range ci.qOut {
+			qs := q * psys
+			if qs > 0 {
+				if ln := m.liquidNode[k][c]; ln >= 0 {
+					carried += m.Stk.Coolant.Cv * qs * (temps[ln] - m.Stk.TinK)
+				}
+			}
+		}
+	}
+	return carried, m.Stk.TotalPower(), nil
+}
+
+var _ thermal.Model = (*Model)(nil)

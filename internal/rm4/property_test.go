@@ -1,0 +1,167 @@
+package rm4
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/network"
+	"lcn3d/internal/power"
+	"lcn3d/internal/stack"
+	"lcn3d/internal/thermal"
+)
+
+// At a fixed pressure the steady thermal system is linear in the heat
+// sources, so temperature *rises* scale and superpose exactly. These
+// property tests pin that structure down.
+
+func stackWithMaps(t *testing.T, maps []*power.Map) *stack.Stack {
+	t.Helper()
+	s, err := stack.NewDieStack(stack.Config{Dims: d21, ChannelHeight: 200e-6}, maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTemperatureRiseLinearInPower(t *testing.T) {
+	f := func(seed int64, alphaRaw uint8) bool {
+		alpha := 0.25 + float64(alphaRaw%16)/4 // 0.25 .. 4
+		pm := power.Hotspots(d21, seed, 2, 0.5, 1.0)
+		pmScaled := pm.Clone()
+		for i := range pmScaled.W {
+			pmScaled.W[i] *= alpha
+		}
+		n := network.Straight(d21, grid.SideWest, 1)
+
+		m1, err := New(stackWithMaps(t, []*power.Map{pm.Clone(), pm}), []*network.Network{n}, thermal.Central)
+		if err != nil {
+			return false
+		}
+		m2, err := New(stackWithMaps(t, []*power.Map{pmScaled.Clone(), pmScaled}), []*network.Network{n}, thermal.Central)
+		if err != nil {
+			return false
+		}
+		o1, err := m1.Simulate(8e3)
+		if err != nil {
+			return false
+		}
+		o2, err := m2.Simulate(8e3)
+		if err != nil {
+			return false
+		}
+		for i := range o1.SourceTemps[0] {
+			r1 := o1.SourceTemps[0][i] - 300
+			r2 := o2.SourceTemps[0][i] - 300
+			if math.Abs(r2-alpha*r1) > 1e-4*(1+alpha*r1) {
+				return false
+			}
+		}
+		// Metrics scale too.
+		return math.Abs(o2.DeltaT-alpha*o1.DeltaT) < 1e-4*(1+alpha*o1.DeltaT)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuperpositionOfSources(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pa := power.Hotspots(d21, rng.Int63(), 2, 0.6, 0.8)
+	pb := power.Hotspots(d21, rng.Int63(), 3, 0.4, 1.2)
+	pSum := pa.Clone()
+	for i := range pSum.W {
+		pSum.W[i] += pb.W[i]
+	}
+	n := network.Straight(d21, grid.SideWest, 1)
+	sim := func(pm *power.Map) []float64 {
+		m, err := New(stackWithMaps(t, []*power.Map{pm.Clone(), pm}), []*network.Network{n}, thermal.Central)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := m.Simulate(9e3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o.SourceTemps[0]
+	}
+	ta, tb, ts := sim(pa), sim(pb), sim(pSum)
+	for i := range ts {
+		want := (ta[i] - 300) + (tb[i] - 300)
+		got := ts[i] - 300
+		if math.Abs(got-want) > 1e-4*(1+want) {
+			t.Fatalf("superposition broken at %d: %g vs %g", i, got, want)
+		}
+	}
+}
+
+func TestSymmetryOfSymmetricProblem(t *testing.T) {
+	// A north-south symmetric power map on a symmetric straight network
+	// must give a north-south symmetric temperature field.
+	pm := power.New(d21)
+	pm.AddGaussian(10, 10, 3, 1.0) // centered
+	pm.AddUniform(0.5)
+	n := network.Straight(d21, grid.SideWest, 1)
+	m, err := New(stackWithMaps(t, []*power.Map{pm.Clone(), pm}), []*network.Network{n}, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := m.Simulate(7e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := o.SourceTemps[0]
+	for y := 0; y < d21.NY/2; y++ {
+		for x := 0; x < d21.NX; x++ {
+			a := f[d21.Index(x, y)]
+			b := f[d21.Index(x, d21.NY-1-y)]
+			if math.Abs(a-b) > 1e-5*(1+math.Abs(a-300)) {
+				t.Fatalf("asymmetry at (%d,%d): %g vs %g", x, y, a, b)
+			}
+		}
+	}
+}
+
+func TestMetricsInvariantUnderNetworkMirror(t *testing.T) {
+	// Mirroring both the network and the power map leaves ΔT and Tmax
+	// unchanged.
+	pm := power.Hotspots(d21, 77, 3, 0.6, 1.4)
+	pmMir := power.New(d21)
+	for y := 0; y < d21.NY; y++ {
+		for x := 0; x < d21.NX; x++ {
+			pmMir.Set(d21.NX-1-x, y, pm.At(x, y))
+		}
+	}
+	tr, err := network.Tree(grid.Dims{NX: 21, NY: 21},
+		network.UniformTreeSpec(grid.Dims{NX: 21, NY: 21}, 1, network.Branch2, 0.3, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := New(stackWithMaps(t, []*power.Map{pm.Clone(), pm}), []*network.Network{tr}, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(stackWithMaps(t, []*power.Map{pmMir.Clone(), pmMir}), []*network.Network{tr.MirrorX()}, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, err := m1.Simulate(15e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := m2.Simulate(15e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(o1.Tmax-o2.Tmax) > 1e-5*(o1.Tmax-300) {
+		t.Fatalf("Tmax not mirror invariant: %g vs %g", o1.Tmax, o2.Tmax)
+	}
+	if math.Abs(o1.DeltaT-o2.DeltaT) > 1e-5*(1+o1.DeltaT) {
+		t.Fatalf("DeltaT not mirror invariant: %g vs %g", o1.DeltaT, o2.DeltaT)
+	}
+	if math.Abs(o1.Qsys-o2.Qsys) > 1e-9*o1.Qsys {
+		t.Fatalf("Qsys not mirror invariant: %g vs %g", o1.Qsys, o2.Qsys)
+	}
+}

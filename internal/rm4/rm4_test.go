@@ -1,0 +1,273 @@
+package rm4
+
+import (
+	"math"
+	"testing"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/network"
+	"lcn3d/internal/power"
+	"lcn3d/internal/stack"
+	"lcn3d/internal/thermal"
+)
+
+var d21 = grid.Dims{NX: 21, NY: 21}
+
+func smallStack(t *testing.T, total float64, seed int64) *stack.Stack {
+	t.Helper()
+	pm := power.Hotspots(d21, seed, 2, 0.6, total)
+	s, err := stack.NewDieStack(stack.Config{Dims: d21, ChannelHeight: 200e-6},
+		[]*power.Map{pm, power.Hotspots(d21, seed+1, 2, 0.6, total)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func model(t *testing.T, s *stack.Stack, n *network.Network) *Model {
+	t.Helper()
+	m, err := New(s, []*network.Network{n}, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSimulateBasics(t *testing.T) {
+	s := smallStack(t, 1.0, 1)
+	m := model(t, s, network.Straight(d21, grid.SideWest, 1))
+	out, err := m.Simulate(10e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.SourceTemps) != 2 {
+		t.Fatalf("want 2 source layers, got %d", len(out.SourceTemps))
+	}
+	if out.Tmax <= s.TinK {
+		t.Fatalf("Tmax %g must exceed inlet %g", out.Tmax, s.TinK)
+	}
+	if out.DeltaT <= 0 {
+		t.Fatalf("DeltaT %g must be positive for nonuniform power", out.DeltaT)
+	}
+	if out.Qsys <= 0 || out.Wpump <= 0 {
+		t.Fatalf("flow missing: Qsys=%g Wpump=%g", out.Qsys, out.Wpump)
+	}
+	for _, f := range out.SourceTemps {
+		for _, v := range f {
+			if v < s.TinK-1e-6 {
+				t.Fatalf("temperature %g below inlet; unphysical", v)
+			}
+			if math.IsNaN(v) {
+				t.Fatal("NaN temperature")
+			}
+		}
+	}
+}
+
+func TestEnergyBalance(t *testing.T) {
+	s := smallStack(t, 2.0, 3)
+	m := model(t, s, network.Straight(d21, grid.SideWest, 1))
+	carried, injected, err := m.EnergyBalance(8e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(carried-injected) > 1e-4*injected {
+		t.Fatalf("energy balance violated: coolant carries %g W of %g W", carried, injected)
+	}
+}
+
+func TestEnergyBalanceUpwind(t *testing.T) {
+	s := smallStack(t, 2.0, 3)
+	n := network.Straight(d21, grid.SideWest, 1)
+	m, err := New(s, []*network.Network{n}, thermal.Upwind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carried, injected, err := m.EnergyBalance(8e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(carried-injected) > 1e-4*injected {
+		t.Fatalf("upwind energy balance violated: %g vs %g", carried, injected)
+	}
+}
+
+func TestMorePressureLowersPeak(t *testing.T) {
+	s := smallStack(t, 1.5, 5)
+	m := model(t, s, network.Straight(d21, grid.SideWest, 1))
+	lo, err := m.Simulate(3e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := m.Simulate(30e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Tmax >= lo.Tmax {
+		t.Fatalf("Tmax should fall with pressure: %g (30 kPa) vs %g (3 kPa)", hi.Tmax, lo.Tmax)
+	}
+}
+
+func TestDownstreamHotterThanUpstream(t *testing.T) {
+	// Uniform power, west-to-east flow: the east (downstream) end of the
+	// source layer must be hotter than the west end.
+	pm := power.New(d21)
+	pm.AddUniform(1.0)
+	s, err := stack.NewDieStack(stack.Config{Dims: d21, ChannelHeight: 200e-6},
+		[]*power.Map{pm.Clone(), pm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model(t, s, network.Straight(d21, grid.SideWest, 1))
+	out, err := m.Simulate(5e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := out.SourceTemps[0]
+	west := f[d21.Index(1, 10)]
+	east := f[d21.Index(19, 10)]
+	if east <= west {
+		t.Fatalf("downstream %g K should exceed upstream %g K", east, west)
+	}
+}
+
+func TestCoolantRiseMatchesBulkFormula(t *testing.T) {
+	// With uniform power the mean coolant outlet rise approximates
+	// P_total/(Cv*Qsys); the source-layer mean rise must be at least that.
+	pm := power.New(d21)
+	pm.AddUniform(1.0)
+	s, err := stack.NewDieStack(stack.Config{Dims: d21, ChannelHeight: 200e-6},
+		[]*power.Map{pm.Clone(), pm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model(t, s, network.Straight(d21, grid.SideWest, 1))
+	out, err := m.Simulate(5e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulkRise := s.TotalPower() / (s.Coolant.Cv * out.Qsys)
+	meanRise := out.PerLayer[0].Mean - s.TinK
+	if meanRise < 0.4*bulkRise {
+		t.Fatalf("mean source rise %g K too small vs bulk coolant rise %g K", meanRise, bulkRise)
+	}
+}
+
+func TestTreeNetworkSimulates(t *testing.T) {
+	big := grid.Dims{NX: 31, NY: 31}
+	pm := power.Hotspots(big, 4, 3, 0.6, 2.0)
+	s, err := stack.NewDieStack(stack.Config{Dims: big, ChannelHeight: 200e-6},
+		[]*power.Map{pm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := network.Tree(big, network.UniformTreeSpec(big, 2, network.Branch4, 0.3, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(s, []*network.Network{tr}, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Simulate(20e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tmax <= s.TinK || math.IsNaN(out.Tmax) {
+		t.Fatalf("bad Tmax %g", out.Tmax)
+	}
+}
+
+func TestThreeDieTwoChannelLayers(t *testing.T) {
+	maps := []*power.Map{
+		power.Hotspots(d21, 1, 2, 0.5, 0.7),
+		power.Hotspots(d21, 2, 2, 0.5, 0.7),
+		power.Hotspots(d21, 3, 2, 0.5, 0.7),
+	}
+	s, err := stack.NewDieStack(stack.Config{Dims: d21, ChannelHeight: 200e-6}, maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := network.Straight(d21, grid.SideWest, 1)
+	m, err := New(s, []*network.Network{n, n.Clone()}, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Simulate(10e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.SourceTemps) != 3 {
+		t.Fatalf("want 3 source layers, got %d", len(out.SourceTemps))
+	}
+	carried, injected, err := m.EnergyBalance(10e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(carried-injected) > 1e-4*injected {
+		t.Fatalf("3-die energy balance: %g vs %g", carried, injected)
+	}
+}
+
+func TestZeroFlowErrors(t *testing.T) {
+	s := smallStack(t, 1.0, 7)
+	m := model(t, s, network.Straight(d21, grid.SideWest, 1))
+	if _, err := m.Simulate(0); err == nil {
+		t.Fatal("zero pressure with nonzero power should error (no steady state)")
+	}
+}
+
+func TestNetworkCountMismatch(t *testing.T) {
+	s := smallStack(t, 1.0, 8)
+	if _, err := New(s, nil, thermal.Central); err == nil {
+		t.Fatal("missing networks should be rejected")
+	}
+}
+
+func TestIllegalNetworkRejected(t *testing.T) {
+	s := smallStack(t, 1.0, 9)
+	bad := network.New(d21) // no liquid, no ports
+	if _, err := New(s, []*network.Network{bad}, thermal.Central); err == nil {
+		t.Fatal("illegal network should be rejected")
+	}
+}
+
+func TestCentralAndUpwindAgreeRoughly(t *testing.T) {
+	s := smallStack(t, 1.0, 11)
+	n := network.Straight(d21, grid.SideWest, 1)
+	mc := model(t, s, n)
+	mu, err := New(s, []*network.Network{n}, thermal.Upwind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, err := mc.Simulate(10e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ou, err := mu.Simulate(10e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	riseC := oc.Tmax - s.TinK
+	riseU := ou.Tmax - s.TinK
+	if math.Abs(riseC-riseU) > 0.3*riseC {
+		t.Fatalf("schemes disagree too much: central rise %g K vs upwind %g K", riseC, riseU)
+	}
+}
+
+func TestSystemExposedForTransient(t *testing.T) {
+	s := smallStack(t, 1.0, 13)
+	m := model(t, s, network.Straight(d21, grid.SideWest, 1))
+	sys, err := m.System(10e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.A.N != m.NumNodes() || len(sys.Cap) != m.NumNodes() {
+		t.Fatal("system dimensions wrong")
+	}
+	for _, c := range sys.Cap {
+		if c <= 0 {
+			t.Fatal("nonpositive heat capacity")
+		}
+	}
+}

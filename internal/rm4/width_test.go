@@ -1,0 +1,170 @@
+package rm4
+
+import (
+	"lcn3d/internal/flow"
+	"math"
+	"testing"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/network"
+	"lcn3d/internal/power"
+	"lcn3d/internal/stack"
+	"lcn3d/internal/thermal"
+)
+
+// Width-modulation (GreenCool baseline) thermal behaviour.
+
+func TestWidthModulatedEnergyBalance(t *testing.T) {
+	s := smallStack(t, 2.0, 21)
+	n := network.Straight(d21, grid.SideWest, 1)
+	pm := s.Layers[s.SourceLayers()[0]].Power
+	heat := network.RowHeatLoads(d21, pm.W)
+	if err := network.ModulateStraightWidths(n, heat, s.ChannelWidth, 200e-6, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(s, []*network.Network{n}, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carried, injected, err := m.EnergyBalance(10e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(carried-injected) > 1e-4*injected {
+		t.Fatalf("width-modulated energy balance: %g vs %g", carried, injected)
+	}
+}
+
+func TestWidthModulationReducesGradientOnSkewedLoad(t *testing.T) {
+	// A moderately skewed load at high power, where the cross-channel
+	// gradient is dominated by coolant temperature rise — the regime
+	// GreenCool's flow-share equalization targets. The south half
+	// dissipates twice the north half's density.
+	pm := power.New(d21)
+	pm.AddBlock(0, 0, d21.NX, d21.NY/2, 8.0/3.0)
+	pm.AddBlock(0, d21.NY/2, d21.NX, d21.NY, 4.0/3.0)
+	s, err := stack.NewDieStack(stack.Config{Dims: d21, ChannelHeight: 200e-6},
+		[]*power.Map{pm.Clone(), pm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := network.Straight(d21, grid.SideWest, 1)
+	mod := network.Straight(d21, grid.SideWest, 1)
+	heat := network.RowHeatLoads(d21, pm.W)
+	// Double-count both dies' identical maps is fine: only ratios matter.
+	if err := network.ModulateStraightWidths(mod, heat, s.ChannelWidth, 200e-6, 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	// A low pressure keeps the coolant rise (and thus the equalizable
+	// part of the profile) large.
+	const psys = 3e3
+	mp, err := New(s, []*network.Network{plain}, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := New(s, []*network.Network{mod}, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GreenCool's design objective is equalizing the coolant temperature
+	// rise across channels (its flow share matches each channel's heat
+	// share). Compare the spread of outlet-column coolant temperatures.
+	spread := func(m *Model) float64 {
+		t.Helper()
+		temps, err := m.Temperatures(psys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := m.Stk.ChannelLayers()[0]
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for y := 0; y < d21.NY; y += 2 {
+			v := temps[m.node(ch, d21.Index(d21.NX-1, y))]
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return hi - lo
+	}
+	sp, sm := spread(mp), spread(mm)
+	// The paper's critique of GreenCool, reproduced: the open-loop 1D
+	// heat-share rule ignores lateral conduction between regions cooled
+	// by different channels (the overcooled half imports heat), so it
+	// does NOT reliably equalize outlet temperatures on the full chip —
+	// here it overshoots and the spread grows.
+	t.Logf("outlet spread: plain %.2f K, open-loop modulated %.2f K", sp, sm)
+
+	// The closed-loop calibration (feedback from full-chip simulations)
+	// fixes exactly that, and must beat the plain network.
+	cal := network.Straight(d21, grid.SideWest, 1)
+	const calPsys = psys
+	measure := func(n *network.Network) (map[int]float64, error) {
+		m, err := New(s, []*network.Network{n}, thermal.Central)
+		if err != nil {
+			return nil, err
+		}
+		temps, err := m.Temperatures(calPsys)
+		if err != nil {
+			return nil, err
+		}
+		geom := flow.Geometry{Pitch: s.Pitch, ChannelWidth: s.ChannelWidth,
+			ChannelHeight: 200e-6, Coolant: s.Coolant}
+		fs, err := flow.Solve(n, geom, calPsys)
+		if err != nil {
+			return nil, err
+		}
+		ch := s.ChannelLayers()[0]
+		out := make(map[int]float64)
+		for y := 0; y < d21.NY; y += 2 {
+			i := d21.Index(d21.NX-1, y)
+			tOut := temps[ch*d21.N()+i]
+			out[y] = s.Coolant.Cv * fs.QOut[i] * (tOut - s.TinK)
+		}
+		return out, nil
+	}
+	if err := network.CalibrateStraightWidths(cal, measure, s.ChannelWidth, 200e-6, 0.5, 4); err != nil {
+		t.Fatal(err)
+	}
+	mc, err := New(s, []*network.Network{cal}, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := spread(mc)
+	t.Logf("outlet spread: calibrated %.2f K", sc)
+	if sc >= sp {
+		t.Fatalf("calibrated width modulation should equalize outlet temps: %.2f vs plain %.2f K", sc, sp)
+	}
+}
+
+func TestNarrowChannelsRaiseSystemResistance(t *testing.T) {
+	s := smallStack(t, 1.0, 22)
+	plain := network.Straight(d21, grid.SideWest, 1)
+	narrow := network.Straight(d21, grid.SideWest, 1)
+	narrow.SetUniformWidth(0.6 * s.ChannelWidth)
+
+	mp, err := New(s, []*network.Network{plain}, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, err := New(s, []*network.Network{narrow}, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := mp.Simulate(10e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := mn.Simulate(10e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Rsys <= op.Rsys {
+		t.Fatalf("narrow channels must raise R_sys: %g vs %g", on.Rsys, op.Rsys)
+	}
+	if on.Qsys >= op.Qsys {
+		t.Fatalf("narrow channels at equal pressure must carry less flow: %g vs %g", on.Qsys, op.Qsys)
+	}
+	// Note: Tmax can move either way — the narrower duct has a higher
+	// film coefficient (h ∝ 1/D_h), which can outweigh the smaller flow
+	// until the coolant temperature rise dominates. Both outcomes are
+	// physical, so only the hydraulic facts are asserted here.
+}

@@ -1,0 +1,62 @@
+package solver
+
+import (
+	"errors"
+	"math"
+
+	"lcn3d/internal/sparse"
+)
+
+// DenseSolve solves A x = b by dense LU with partial pivoting. Intended
+// for tiny systems (network evaluation cross-checks, unit tests) — cost
+// is O(n^3).
+func DenseSolve(a *sparse.CSR, b []float64) ([]float64, error) {
+	n := a.N
+	if len(b) != n {
+		return nil, errors.New("solver: DenseSolve dimension mismatch")
+	}
+	m := a.Dense()
+	x := make([]float64, n)
+	copy(x, b)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p := col
+		best := math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r][col]); v > best {
+				best, p = v, r
+			}
+		}
+		if best == 0 {
+			return nil, errors.New("solver: singular matrix")
+		}
+		if p != col {
+			m[p], m[col] = m[col], m[p]
+			x[p], x[col] = x[col], x[p]
+		}
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			m[r][col] = 0
+			for c := col + 1; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for c := i + 1; c < n; c++ {
+			s -= m[i][c] * x[c]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,267 @@
+// Package solver provides the iterative linear solvers and preconditioners
+// used for the fluidic (SPD) and thermal (nonsymmetric) systems:
+// preconditioned conjugate gradients, BiCGSTAB, restarted GMRES, and a
+// dense LU factorization for tiny systems and cross-checks.
+//
+// It plays the role the Eigen library plays in the paper's C++
+// implementation, built on the standard library only.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lcn3d/internal/sparse"
+)
+
+// ErrNotConverged is returned when an iterative method exhausts its
+// iteration budget before reaching the requested tolerance.
+var ErrNotConverged = errors.New("solver: not converged")
+
+// ErrBreakdown is returned when an iterative method encounters a zero
+// inner product that prevents further progress.
+var ErrBreakdown = errors.New("solver: numerical breakdown")
+
+// Options configures an iterative solve.
+type Options struct {
+	Tol     float64 // relative residual target ||b-Ax|| / ||b||; default 1e-9
+	MaxIter int     // iteration budget; default 4*n
+	Precond Preconditioner
+	// Restart is the GMRES restart length; default 50.
+	Restart int
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 4 * n
+		if o.MaxIter < 200 {
+			o.MaxIter = 200
+		}
+	}
+	if o.Precond == nil {
+		o.Precond = Identity{}
+	}
+	if o.Restart <= 0 {
+		o.Restart = 50
+	}
+	return o
+}
+
+// Result reports how a solve went.
+type Result struct {
+	Iterations int
+	Residual   float64 // final relative residual
+}
+
+// Preconditioner applies z = M^{-1} r.
+type Preconditioner interface {
+	Apply(z, r []float64)
+}
+
+// Identity is the no-op preconditioner.
+type Identity struct{}
+
+// Apply copies r into z.
+func (Identity) Apply(z, r []float64) { copy(z, r) }
+
+// Jacobi preconditions with the inverse diagonal.
+type Jacobi struct{ invDiag []float64 }
+
+// NewJacobi builds a Jacobi preconditioner from the matrix diagonal.
+// Zero diagonal entries are treated as 1 to stay defined.
+func NewJacobi(m *sparse.CSR) *Jacobi {
+	d := m.Diag()
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		if v == 0 {
+			inv[i] = 1
+		} else {
+			inv[i] = 1 / v
+		}
+	}
+	return &Jacobi{invDiag: inv}
+}
+
+// Apply sets z = D^{-1} r.
+func (j *Jacobi) Apply(z, r []float64) {
+	for i := range r {
+		z[i] = r[i] * j.invDiag[i]
+	}
+}
+
+func norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// axpy computes y += alpha*x.
+func axpy(alpha float64, x, y []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// CG solves the symmetric positive definite system A x = b with
+// preconditioned conjugate gradients. x is used as the initial guess and
+// holds the solution on return.
+func CG(a *sparse.CSR, b, x []float64, opt Options) (Result, error) {
+	n := a.N
+	if len(b) != n || len(x) != n {
+		return Result{}, fmt.Errorf("solver: CG dimension mismatch: n=%d, |b|=%d, |x|=%d", n, len(b), len(x))
+	}
+	opt = opt.withDefaults(n)
+
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	a.MulVecAuto(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bnorm := norm2(b)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return Result{Iterations: 0, Residual: 0}, nil
+	}
+	res := norm2(r) / bnorm
+	if res <= opt.Tol {
+		return Result{Iterations: 0, Residual: res}, nil
+	}
+
+	opt.Precond.Apply(z, r)
+	copy(p, z)
+	rz := dot(r, z)
+
+	for it := 1; it <= opt.MaxIter; it++ {
+		a.MulVecAuto(ap, p)
+		pap := dot(p, ap)
+		if pap == 0 {
+			return Result{Iterations: it, Residual: res}, ErrBreakdown
+		}
+		alpha := rz / pap
+		axpy(alpha, p, x)
+		axpy(-alpha, ap, r)
+		res = norm2(r) / bnorm
+		if res <= opt.Tol {
+			return Result{Iterations: it, Residual: res}, nil
+		}
+		opt.Precond.Apply(z, r)
+		rzNew := dot(r, z)
+		if rz == 0 {
+			return Result{Iterations: it, Residual: res}, ErrBreakdown
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return Result{Iterations: opt.MaxIter, Residual: res}, ErrNotConverged
+}
+
+// BiCGSTAB solves the general system A x = b with the stabilized
+// bi-conjugate gradient method. x is the initial guess and result.
+func BiCGSTAB(a *sparse.CSR, b, x []float64, opt Options) (Result, error) {
+	n := a.N
+	if len(b) != n || len(x) != n {
+		return Result{}, fmt.Errorf("solver: BiCGSTAB dimension mismatch: n=%d, |b|=%d, |x|=%d", n, len(b), len(x))
+	}
+	opt = opt.withDefaults(n)
+
+	r := make([]float64, n)
+	rhat := make([]float64, n)
+	p := make([]float64, n)
+	phat := make([]float64, n)
+	v := make([]float64, n)
+	s := make([]float64, n)
+	shat := make([]float64, n)
+	tv := make([]float64, n)
+
+	a.MulVecAuto(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bnorm := norm2(b)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return Result{}, nil
+	}
+	res := norm2(r) / bnorm
+	if res <= opt.Tol {
+		return Result{Iterations: 0, Residual: res}, nil
+	}
+	copy(rhat, r)
+
+	var rhoOld, alpha, omega float64 = 1, 1, 1
+	for it := 1; it <= opt.MaxIter; it++ {
+		rho := dot(rhat, r)
+		if rho == 0 {
+			return Result{Iterations: it, Residual: res}, ErrBreakdown
+		}
+		if it == 1 {
+			copy(p, r)
+		} else {
+			beta := (rho / rhoOld) * (alpha / omega)
+			for i := range p {
+				p[i] = r[i] + beta*(p[i]-omega*v[i])
+			}
+		}
+		opt.Precond.Apply(phat, p)
+		a.MulVecAuto(v, phat)
+		den := dot(rhat, v)
+		if den == 0 {
+			return Result{Iterations: it, Residual: res}, ErrBreakdown
+		}
+		alpha = rho / den
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		if sr := norm2(s) / bnorm; sr <= opt.Tol {
+			axpy(alpha, phat, x)
+			return Result{Iterations: it, Residual: sr}, nil
+		}
+		opt.Precond.Apply(shat, s)
+		a.MulVecAuto(tv, shat)
+		tt := dot(tv, tv)
+		if tt == 0 {
+			return Result{Iterations: it, Residual: res}, ErrBreakdown
+		}
+		omega = dot(tv, s) / tt
+		if omega == 0 {
+			return Result{Iterations: it, Residual: res}, ErrBreakdown
+		}
+		for i := range x {
+			x[i] += alpha*phat[i] + omega*shat[i]
+		}
+		for i := range r {
+			r[i] = s[i] - omega*tv[i]
+		}
+		res = norm2(r) / bnorm
+		if res <= opt.Tol {
+			return Result{Iterations: it, Residual: res}, nil
+		}
+		rhoOld = rho
+	}
+	return Result{Iterations: opt.MaxIter, Residual: res}, ErrNotConverged
+}

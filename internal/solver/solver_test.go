@@ -1,0 +1,440 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lcn3d/internal/sparse"
+)
+
+// laplacian1D builds the n×n second-difference matrix with Dirichlet-like
+// anchoring at the ends (SPD).
+func laplacian1D(n int) *sparse.CSR {
+	b := sparse.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddSym(i, i+1, 1)
+	}
+	b.Add(0, 0, 1)
+	b.Add(n-1, n-1, 1)
+	return b.Build()
+}
+
+// laplacian2D builds a 5-point Laplacian on an nx×ny grid with a grounded
+// diagonal shift (SPD).
+func laplacian2D(nx, ny int) *sparse.CSR {
+	idx := func(x, y int) int { return y*nx + x }
+	b := sparse.NewBuilder(nx * ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if x+1 < nx {
+				b.AddSym(idx(x, y), idx(x+1, y), 1)
+			}
+			if y+1 < ny {
+				b.AddSym(idx(x, y), idx(x, y+1), 1)
+			}
+			b.Add(idx(x, y), idx(x, y), 0.01)
+		}
+	}
+	return b.Build()
+}
+
+// convectionDiffusion1D builds a nonsymmetric matrix mimicking the thermal
+// system: diffusion plus a skew central-difference convection term and an
+// outlet anchor.
+func convectionDiffusion1D(n int, pe float64) *sparse.CSR {
+	b := sparse.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddSym(i, i+1, 1)
+		// Central convection: flow from i to i+1.
+		b.Add(i, i, pe/2)
+		b.Add(i, i+1, pe/2)
+		b.Add(i+1, i, -pe/2)
+		b.Add(i+1, i+1, -pe/2)
+	}
+	b.Add(n-1, n-1, pe) // outlet carries energy away
+	b.Add(0, 0, 1)      // inlet anchor
+	return b.Build()
+}
+
+func residual(a *sparse.CSR, b, x []float64) float64 {
+	r := make([]float64, a.N)
+	a.MulVec(r, x)
+	var num, den float64
+	for i := range r {
+		d := b[i] - r[i]
+		num += d * d
+		den += b[i] * b[i]
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}
+
+func randomRHS(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return b
+}
+
+func TestCGSolvesLaplacian(t *testing.T) {
+	a := laplacian1D(50)
+	b := randomRHS(50, 1)
+	x := make([]float64, 50)
+	res, err := CG(a, b, x, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("CG failed: %v (res %g after %d iters)", err, res.Residual, res.Iterations)
+	}
+	if r := residual(a, b, x); r > 1e-8 {
+		t.Fatalf("true residual %g too large", r)
+	}
+}
+
+func TestCGWithJacobi(t *testing.T) {
+	a := laplacian2D(20, 17)
+	b := randomRHS(a.N, 2)
+	x := make([]float64, a.N)
+	res, err := CG(a, b, x, Options{Tol: 1e-10, Precond: NewJacobi(a)})
+	if err != nil {
+		t.Fatalf("CG+Jacobi failed: %v", err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("expected some iterations")
+	}
+	if r := residual(a, b, x); r > 1e-8 {
+		t.Fatalf("true residual %g too large", r)
+	}
+}
+
+func TestCGWithILU0FasterThanPlain(t *testing.T) {
+	a := laplacian2D(25, 25)
+	b := randomRHS(a.N, 3)
+
+	xPlain := make([]float64, a.N)
+	plain, err := CG(a, b, xPlain, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("plain CG failed: %v", err)
+	}
+	ilu, err := NewILU0(a)
+	if err != nil {
+		t.Fatalf("ILU0 failed: %v", err)
+	}
+	xPre := make([]float64, a.N)
+	pre, err := CG(a, b, xPre, Options{Tol: 1e-10, Precond: ilu})
+	if err != nil {
+		t.Fatalf("CG+ILU0 failed: %v", err)
+	}
+	if pre.Iterations >= plain.Iterations {
+		t.Fatalf("ILU0 should cut iterations: %d vs %d", pre.Iterations, plain.Iterations)
+	}
+}
+
+func TestCGMatchesDenseSolve(t *testing.T) {
+	a := laplacian1D(12)
+	b := randomRHS(12, 4)
+	x := make([]float64, 12)
+	if _, err := CG(a, b, x, Options{Tol: 1e-12}); err != nil {
+		t.Fatal(err)
+	}
+	xd, err := DenseSolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xd[i]) > 1e-8 {
+			t.Fatalf("CG and dense disagree at %d: %g vs %g", i, x[i], xd[i])
+		}
+	}
+}
+
+func TestBiCGSTABNonsymmetric(t *testing.T) {
+	for _, pe := range []float64{0.1, 1, 10} {
+		a := convectionDiffusion1D(60, pe)
+		b := randomRHS(60, 5)
+		x := make([]float64, 60)
+		_, err := BiCGSTAB(a, b, x, Options{Tol: 1e-10, Precond: BestPrecond(a)})
+		if err != nil {
+			t.Fatalf("pe=%g: BiCGSTAB failed: %v", pe, err)
+		}
+		if r := residual(a, b, x); r > 1e-7 {
+			t.Fatalf("pe=%g: true residual %g", pe, r)
+		}
+	}
+}
+
+func TestGMRESNonsymmetric(t *testing.T) {
+	a := convectionDiffusion1D(80, 5)
+	b := randomRHS(80, 6)
+	x := make([]float64, 80)
+	_, err := GMRES(a, b, x, Options{Tol: 1e-10, Precond: BestPrecond(a), Restart: 30})
+	if err != nil {
+		t.Fatalf("GMRES failed: %v", err)
+	}
+	if r := residual(a, b, x); r > 1e-7 {
+		t.Fatalf("true residual %g", r)
+	}
+}
+
+func TestGMRESMatchesDense(t *testing.T) {
+	a := convectionDiffusion1D(15, 3)
+	b := randomRHS(15, 7)
+	x := make([]float64, 15)
+	if _, err := GMRES(a, b, x, Options{Tol: 1e-12}); err != nil {
+		t.Fatal(err)
+	}
+	xd, err := DenseSolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xd[i]) > 1e-6*(1+math.Abs(xd[i])) {
+			t.Fatalf("GMRES vs dense at %d: %g vs %g", i, x[i], xd[i])
+		}
+	}
+}
+
+func TestSolveGeneralFallsBackToGMRES(t *testing.T) {
+	// A rotation-like skew system on which BiCGSTAB's rhat choice breaks
+	// down immediately (A = [[0 1][-1 0]] with rhat = r gives rho != 0
+	// but rhat.(A p) = 0 in the first step for suitable b).
+	b := sparse.NewBuilder(2)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, -1)
+	a := b.Build()
+	rhs := []float64{1, 1}
+	x := make([]float64, 2)
+	if _, err := SolveGeneral(a, rhs, x, Options{Tol: 1e-12}); err != nil {
+		t.Fatalf("SolveGeneral failed: %v", err)
+	}
+	if math.Abs(x[1]-1) > 1e-9 || math.Abs(x[0]+1) > 1e-9 {
+		t.Fatalf("wrong solution %v, want [-1, 1]", x)
+	}
+}
+
+func TestZeroRHSGivesZeroSolution(t *testing.T) {
+	a := laplacian1D(10)
+	for _, solve := range []func() ([]float64, error){
+		func() ([]float64, error) {
+			x := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+			_, err := CG(a, make([]float64, 10), x, Options{})
+			return x, err
+		},
+		func() ([]float64, error) {
+			x := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+			_, err := BiCGSTAB(a, make([]float64, 10), x, Options{})
+			return x, err
+		},
+		func() ([]float64, error) {
+			x := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+			_, err := GMRES(a, make([]float64, 10), x, Options{})
+			return x, err
+		},
+	} {
+		x, err := solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range x {
+			if v != 0 {
+				t.Fatalf("zero RHS should give zero solution, got %v", x)
+			}
+		}
+	}
+}
+
+func TestILU0ExactForTriangularPattern(t *testing.T) {
+	// On a full-pattern small matrix ILU0 equals LU, so one
+	// preconditioned Richardson application solves exactly.
+	b := sparse.NewBuilder(3)
+	vals := [3][3]float64{{4, 1, 0.5}, {1, 3, 1}, {0.5, 1, 5}}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			b.Add(i, j, vals[i][j])
+		}
+	}
+	a := b.Build()
+	f, err := NewILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := []float64{1, 2, 3}
+	z := make([]float64, 3)
+	f.Apply(z, rhs)
+	if r := residual(a, rhs, z); r > 1e-12 {
+		t.Fatalf("full-pattern ILU0 should solve exactly, residual %g", r)
+	}
+}
+
+func TestDenseSolveSingular(t *testing.T) {
+	b := sparse.NewBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 1)
+	b.Add(1, 1, 1)
+	if _, err := DenseSolve(b.Build(), []float64{1, 2}); err == nil {
+		t.Fatal("singular matrix should error")
+	}
+}
+
+func TestDenseSolvePivoting(t *testing.T) {
+	// Zero leading pivot requires row exchange.
+	b := sparse.NewBuilder(2)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 2)
+	x, err := DenseSolve(b.Build(), []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("got %v, want [2 3]", x)
+	}
+}
+
+func TestCGPropertyRandomSPD(t *testing.T) {
+	// Property: CG solves A = L L^T + I for random sparse L.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20
+		bld := sparse.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			bld.Add(i, i, 1+math.Abs(rng.NormFloat64()))
+		}
+		for k := 0; k < 2*n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				bld.AddSym(i, j, math.Abs(rng.NormFloat64())*0.1)
+			}
+		}
+		a := bld.Build()
+		rhs := randomRHS(n, seed+1)
+		x := make([]float64, n)
+		if _, err := CG(a, rhs, x, Options{Tol: 1e-11, MaxIter: 10 * n}); err != nil {
+			return false
+		}
+		return residual(a, rhs, x) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCGLaplacian2D(b *testing.B) {
+	a := laplacian2D(50, 50)
+	rhs := randomRHS(a.N, 9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, a.N)
+		if _, err := CG(a, rhs, x, Options{Tol: 1e-8, Precond: NewJacobi(a)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCGILU0Laplacian2D(b *testing.B) {
+	a := laplacian2D(50, 50)
+	rhs := randomRHS(a.N, 9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pre, err := NewILU0(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := make([]float64, a.N)
+		if _, err := CG(a, rhs, x, Options{Tol: 1e-8, Precond: pre}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBiCGSTABConvection(b *testing.B) {
+	a := convectionDiffusion1D(2000, 2)
+	rhs := randomRHS(a.N, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, a.N)
+		if _, err := BiCGSTAB(a, rhs, x, Options{Tol: 1e-8, Precond: BestPrecond(a)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestGMRESRestartLargerThanN(t *testing.T) {
+	a := laplacian1D(8)
+	b := randomRHS(8, 21)
+	x := make([]float64, 8)
+	if _, err := GMRES(a, b, x, Options{Tol: 1e-12, Restart: 100}); err != nil {
+		t.Fatalf("restart > n should clamp: %v", err)
+	}
+	if r := residual(a, b, x); r > 1e-8 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestBiCGSTABMatchesCGOnSPD(t *testing.T) {
+	a := laplacian2D(12, 12)
+	b := randomRHS(a.N, 22)
+	x1 := make([]float64, a.N)
+	x2 := make([]float64, a.N)
+	if _, err := CG(a, b, x1, Options{Tol: 1e-12}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BiCGSTAB(a, b, x2, Options{Tol: 1e-12}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-6*(1+math.Abs(x1[i])) {
+			t.Fatalf("CG and BiCGSTAB disagree at %d: %g vs %g", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestILU0RequiresDiagonal(t *testing.T) {
+	b := sparse.NewBuilder(2)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 1) // no diagonal entries at all
+	if _, err := NewILU0(b.Build()); err == nil {
+		t.Fatal("missing diagonal should be rejected")
+	}
+}
+
+func TestBestPrecondFallsBackToJacobi(t *testing.T) {
+	// Missing diagonal breaks ILU0; BestPrecond must still return a
+	// usable preconditioner.
+	b := sparse.NewBuilder(2)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 1)
+	p := BestPrecond(b.Build())
+	if p == nil {
+		t.Fatal("nil preconditioner")
+	}
+	z := make([]float64, 2)
+	p.Apply(z, []float64{1, 2}) // must not panic
+}
+
+func TestCGDimensionMismatch(t *testing.T) {
+	a := laplacian1D(4)
+	if _, err := CG(a, make([]float64, 3), make([]float64, 4), Options{}); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+	if _, err := BiCGSTAB(a, make([]float64, 4), make([]float64, 3), Options{}); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+	if _, err := GMRES(a, make([]float64, 2), make([]float64, 4), Options{}); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+}
+
+func TestNotConvergedReported(t *testing.T) {
+	a := laplacian2D(20, 20)
+	b := randomRHS(a.N, 23)
+	x := make([]float64, a.N)
+	_, err := CG(a, b, x, Options{Tol: 1e-14, MaxIter: 2})
+	if err == nil {
+		t.Fatal("2 iterations cannot converge; expected ErrNotConverged")
+	}
+}

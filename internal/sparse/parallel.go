@@ -1,0 +1,51 @@
+package sparse
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the system size above which MulVec fans out to
+// worker goroutines. Small systems (2RM-scale) stay serial: goroutine
+// overhead would dominate their sub-millisecond solves.
+const parallelThreshold = 20000
+
+// MulVec computes dst = M*x, fanning out across CPUs for large matrices
+// (the 4RM systems reach ~10^5 rows; SpMV dominates BiCGSTAB time).
+// Row partitioning makes the parallel result bitwise identical to the
+// serial one.
+func (m *CSR) MulVecAuto(dst, x []float64) {
+	if m.N < parallelThreshold {
+		m.MulVec(dst, x)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 2 {
+		m.MulVec(dst, x)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m.N + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, m.N)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				var s float64
+				for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+					s += m.Vals[k] * x[m.Cols[k]]
+				}
+				dst[i] = s
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

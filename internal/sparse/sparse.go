@@ -1,0 +1,211 @@
+// Package sparse implements the compressed sparse row (CSR) matrices used
+// by the flow and thermal solvers. Matrices are assembled through a
+// coordinate-format Builder that accumulates duplicate entries, which
+// matches the natural finite-volume assembly pattern (each conductance
+// contributes to up to four entries).
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates matrix entries in coordinate form. Duplicate
+// (row, col) entries are summed when the builder is compiled to CSR.
+type Builder struct {
+	n          int
+	rows, cols []int
+	vals       []float64
+}
+
+// NewBuilder returns a builder for an n×n matrix.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// N returns the matrix dimension.
+func (b *Builder) N() int { return b.n }
+
+// Add accumulates v into entry (r, c).
+func (b *Builder) Add(r, c int, v float64) {
+	if r < 0 || r >= b.n || c < 0 || c >= b.n {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) outside %d x %d matrix", r, c, b.n, b.n))
+	}
+	if v == 0 {
+		return
+	}
+	b.rows = append(b.rows, r)
+	b.cols = append(b.cols, c)
+	b.vals = append(b.vals, v)
+}
+
+// AddSym accumulates a symmetric conductance g between nodes i and j:
+// +g on both diagonals, -g on both off-diagonals. This is the standard
+// nodal-analysis stamp shared by the fluidic and thermal networks.
+func (b *Builder) AddSym(i, j int, g float64) {
+	b.Add(i, i, g)
+	b.Add(j, j, g)
+	b.Add(i, j, -g)
+	b.Add(j, i, -g)
+}
+
+// Build compiles the accumulated entries into a CSR matrix.
+func (b *Builder) Build() *CSR {
+	n := b.n
+	// Count entries per row after duplicate merging. First sort triplets
+	// by (row, col) with a permutation to keep memory reasonable.
+	idx := make([]int, len(b.vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(p, q int) bool {
+		i, j := idx[p], idx[q]
+		if b.rows[i] != b.rows[j] {
+			return b.rows[i] < b.rows[j]
+		}
+		return b.cols[i] < b.cols[j]
+	})
+
+	m := &CSR{N: n, RowPtr: make([]int, n+1)}
+	var lastR, lastC = -1, -1
+	for _, k := range idx {
+		r, c, v := b.rows[k], b.cols[k], b.vals[k]
+		if r == lastR && c == lastC {
+			m.Vals[len(m.Vals)-1] += v
+			continue
+		}
+		m.Cols = append(m.Cols, c)
+		m.Vals = append(m.Vals, v)
+		m.RowPtr[r+1]++
+		lastR, lastC = r, c
+	}
+	for i := 0; i < n; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+// CSR is a compressed sparse row matrix. Row i occupies
+// Cols/Vals[RowPtr[i]:RowPtr[i+1]], with column indices strictly
+// increasing inside each row.
+type CSR struct {
+	N      int
+	RowPtr []int
+	Cols   []int
+	Vals   []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Vals) }
+
+// MulVec computes dst = M*x. dst and x must have length N and must not
+// alias.
+func (m *CSR) MulVec(dst, x []float64) {
+	if len(dst) != m.N || len(x) != m.N {
+		panic(fmt.Sprintf("sparse: MulVec dimension mismatch: %d, %d vs N=%d", len(dst), len(x), m.N))
+	}
+	for i := 0; i < m.N; i++ {
+		var s float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Vals[k] * x[m.Cols[k]]
+		}
+		dst[i] = s
+	}
+}
+
+// Diag extracts the main diagonal. Missing diagonal entries are zero.
+func (m *CSR) Diag() []float64 {
+	d := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if m.Cols[k] == i {
+				d[i] = m.Vals[k]
+				break
+			}
+		}
+	}
+	return d
+}
+
+// At returns entry (r, c) using binary search within the row.
+func (m *CSR) At(r, c int) float64 {
+	lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+	k := sort.SearchInts(m.Cols[lo:hi], c) + lo
+	if k < hi && m.Cols[k] == c {
+		return m.Vals[k]
+	}
+	return 0
+}
+
+// Transpose returns M^T as a new CSR matrix.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{N: m.N, RowPtr: make([]int, m.N+1),
+		Cols: make([]int, m.NNZ()), Vals: make([]float64, m.NNZ())}
+	for _, c := range m.Cols {
+		t.RowPtr[c+1]++
+	}
+	for i := 0; i < m.N; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := make([]int, m.N)
+	copy(next, t.RowPtr[:m.N])
+	for r := 0; r < m.N; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			c := m.Cols[k]
+			p := next[c]
+			t.Cols[p] = r
+			t.Vals[p] = m.Vals[k]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// IsSymmetric reports whether |M - M^T| <= tol entrywise, relative to the
+// largest absolute entry.
+func (m *CSR) IsSymmetric(tol float64) bool {
+	t := m.Transpose()
+	var maxAbs float64
+	for _, v := range m.Vals {
+		if av := abs(v); av > maxAbs {
+			maxAbs = av
+		}
+	}
+	if maxAbs == 0 {
+		return true
+	}
+	if t.NNZ() != m.NNZ() {
+		return false
+	}
+	for i := 0; i < m.N; i++ {
+		if m.RowPtr[i] != t.RowPtr[i] {
+			return false
+		}
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if m.Cols[k] != t.Cols[k] || abs(m.Vals[k]-t.Vals[k]) > tol*maxAbs {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Dense expands the matrix into a row-major dense [][]float64, for tests
+// and tiny direct solves only.
+func (m *CSR) Dense() [][]float64 {
+	d := make([][]float64, m.N)
+	for i := range d {
+		d[i] = make([]float64, m.N)
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d[i][m.Cols[k]] = m.Vals[k]
+		}
+	}
+	return d
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,286 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildSmall() *CSR {
+	// [ 2 -1  0 ]
+	// [-1  2 -1 ]
+	// [ 0 -1  2 ]
+	b := NewBuilder(3)
+	b.AddSym(0, 1, 1)
+	b.AddSym(1, 2, 1)
+	b.Add(0, 0, 1)
+	b.Add(2, 2, 1)
+	return b.Build()
+}
+
+func TestBuilderAccumulatesDuplicates(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, 2.5)
+	b.Add(1, 0, -1)
+	b.Add(1, 0, 1) // cancels to zero but stays stored
+	m := b.Build()
+	if got := m.At(0, 0); got != 3.5 {
+		t.Fatalf("At(0,0) = %g, want 3.5", got)
+	}
+	if got := m.At(1, 0); got != 0 {
+		t.Fatalf("At(1,0) = %g, want 0", got)
+	}
+	if got := m.At(1, 1); got != 0 {
+		t.Fatalf("missing entry should read 0, got %g", got)
+	}
+}
+
+func TestBuilderSkipsZeros(t *testing.T) {
+	b := NewBuilder(4)
+	b.Add(1, 2, 0)
+	m := b.Build()
+	if m.NNZ() != 0 {
+		t.Fatalf("zero adds should not be stored, nnz=%d", m.NNZ())
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range entry")
+		}
+	}()
+	NewBuilder(2).Add(2, 0, 1)
+}
+
+func TestMulVecTridiagonal(t *testing.T) {
+	m := buildSmall()
+	x := []float64{1, 2, 3}
+	dst := make([]float64, 3)
+	m.MulVec(dst, x)
+	want := []float64{0, 0, 4}
+	for i := range want {
+		if math.Abs(dst[i]-want[i]) > 1e-12 {
+			t.Fatalf("MulVec[%d] = %g, want %g", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestDiag(t *testing.T) {
+	m := buildSmall()
+	d := m.Diag()
+	for i, want := range []float64{2, 2, 2} {
+		if d[i] != want {
+			t.Fatalf("diag[%d] = %g, want %g", i, d[i], want)
+		}
+	}
+}
+
+func TestColsSortedWithinRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder(20)
+	for k := 0; k < 300; k++ {
+		b.Add(rng.Intn(20), rng.Intn(20), rng.NormFloat64())
+	}
+	m := b.Build()
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i] + 1; k < m.RowPtr[i+1]; k++ {
+			if m.Cols[k-1] >= m.Cols[k] {
+				t.Fatalf("row %d columns not strictly increasing", i)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := NewBuilder(15)
+	for k := 0; k < 120; k++ {
+		b.Add(rng.Intn(15), rng.Intn(15), rng.NormFloat64())
+	}
+	m := b.Build()
+	tt := m.Transpose().Transpose()
+	if tt.NNZ() != m.NNZ() {
+		t.Fatalf("double transpose changed nnz: %d vs %d", tt.NNZ(), m.NNZ())
+	}
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			if math.Abs(m.At(i, j)-tt.At(i, j)) > 1e-15 {
+				t.Fatalf("double transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeMulVecAgree(t *testing.T) {
+	// Property: y^T (A x) == x^T (A^T y) for random A, x, y.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10
+		b := NewBuilder(n)
+		for k := 0; k < 40; k++ {
+			b.Add(rng.Intn(n), rng.Intn(n), rng.NormFloat64())
+		}
+		m := b.Build()
+		mt := m.Transpose()
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		ax := make([]float64, n)
+		aty := make([]float64, n)
+		m.MulVec(ax, x)
+		mt.MulVec(aty, y)
+		var s1, s2 float64
+		for i := range x {
+			s1 += y[i] * ax[i]
+			s2 += x[i] * aty[i]
+		}
+		return math.Abs(s1-s2) < 1e-9*(1+math.Abs(s1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	if !buildSmall().IsSymmetric(1e-12) {
+		t.Fatal("tridiagonal stamp matrix should be symmetric")
+	}
+	b := NewBuilder(2)
+	b.Add(0, 1, 1)
+	if b.Build().IsSymmetric(1e-12) {
+		t.Fatal("upper-only matrix should not be symmetric")
+	}
+}
+
+func TestAddSymStampConservation(t *testing.T) {
+	// Property: a pure AddSym matrix has zero row sums (conductance
+	// networks conserve flux), regardless of the stamps applied.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12
+		b := NewBuilder(n)
+		for k := 0; k < 30; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			b.AddSym(i, j, math.Abs(rng.NormFloat64()))
+		}
+		m := b.Build()
+		ones := make([]float64, n)
+		for i := range ones {
+			ones[i] = 1
+		}
+		dst := make([]float64, n)
+		m.MulVec(dst, ones)
+		for _, v := range dst {
+			if math.Abs(v) > 1e-10 {
+				return false
+			}
+		}
+		return m.IsSymmetric(1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseMatchesAt(t *testing.T) {
+	m := buildSmall()
+	d := m.Dense()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if d[i][j] != m.At(i, j) {
+				t.Fatalf("Dense[%d][%d] = %g, At = %g", i, j, d[i][j], m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMulVecAutoMatchesSerial(t *testing.T) {
+	// Large enough to trigger the parallel path.
+	n := 25000
+	b := NewBuilder(n)
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 2+rng.Float64())
+		if i+1 < n {
+			b.AddSym(i, i+1, rng.Float64())
+		}
+		b.Add(i, rng.Intn(n), rng.NormFloat64())
+	}
+	m := b.Build()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	serial := make([]float64, n)
+	parallel := make([]float64, n)
+	m.MulVec(serial, x)
+	m.MulVecAuto(parallel, x)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("parallel SpMV differs at %d: %g vs %g", i, parallel[i], serial[i])
+		}
+	}
+}
+
+func TestMulVecAutoSmallStaysSerial(t *testing.T) {
+	m := buildSmall()
+	dst := make([]float64, 3)
+	m.MulVecAuto(dst, []float64{1, 2, 3})
+	want := []float64{0, 0, 4}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulVecAuto[%d] = %g", i, dst[i])
+		}
+	}
+}
+
+func benchMatrix(n int) *CSR {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 4)
+		if i+1 < n {
+			b.AddSym(i, i+1, -1)
+		}
+		if i+100 < n {
+			b.AddSym(i, i+100, -0.5)
+		}
+	}
+	return b.Build()
+}
+
+func BenchmarkMulVecSerial(b *testing.B) {
+	m := benchMatrix(80000)
+	x := make([]float64, m.N)
+	dst := make([]float64, m.N)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(dst, x)
+	}
+}
+
+func BenchmarkMulVecAuto(b *testing.B) {
+	m := benchMatrix(80000)
+	x := make([]float64, m.N)
+	dst := make([]float64, m.N)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVecAuto(dst, x)
+	}
+}

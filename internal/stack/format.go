@@ -1,0 +1,188 @@
+package stack
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/power"
+	"lcn3d/internal/units"
+)
+
+// The stack description file format (Algorithm 1's "stack description and
+// floorplan files") is line oriented:
+//
+//	# comment
+//	stack <NX> <NY> <pitch_m>
+//	channel_width <w_m>
+//	coolant water
+//	tin <kelvin>
+//	layer <name> solid|source|channel <thickness_m> <material>
+//	powermap <source-layer-name>
+//	<NY rows of NX space-separated watts, south row first>
+//	end
+//
+// Every source layer must be followed (anywhere later in the file) by its
+// powermap block.
+
+// Format writes the stack in the text format.
+func Format(w io.Writer, s *Stack) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# lcn3d stack description\n")
+	fmt.Fprintf(bw, "stack %d %d %g\n", s.Dims.NX, s.Dims.NY, s.Pitch)
+	fmt.Fprintf(bw, "channel_width %g\n", s.ChannelWidth)
+	fmt.Fprintf(bw, "coolant %s\n", s.Coolant.Name)
+	fmt.Fprintf(bw, "tin %g\n", s.TinK)
+	for _, l := range s.Layers {
+		fmt.Fprintf(bw, "layer %s %s %g %s\n", l.Name, l.Kind, l.Thickness, l.Mat.Name)
+	}
+	for _, l := range s.Layers {
+		if l.Kind != Source {
+			continue
+		}
+		fmt.Fprintf(bw, "powermap %s\n", l.Name)
+		for y := 0; y < s.Dims.NY; y++ {
+			for x := 0; x < s.Dims.NX; x++ {
+				if x > 0 {
+					bw.WriteByte(' ')
+				}
+				fmt.Fprintf(bw, "%.12g", l.Power.At(x, y))
+			}
+			bw.WriteByte('\n')
+		}
+		fmt.Fprintf(bw, "end\n")
+	}
+	return bw.Flush()
+}
+
+var materialsByName = map[string]units.Material{
+	"silicon": units.Silicon,
+	"beol":    units.BEOL,
+	"copper":  units.Copper,
+}
+
+var coolantsByName = map[string]units.Coolant{
+	"water": units.Water,
+}
+
+// Parse reads a stack from the text format.
+func Parse(r io.Reader) (*Stack, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	s := &Stack{Coolant: units.Water, TinK: 300}
+	lineNo := 0
+	byName := make(map[string]int)
+
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("stack: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "stack":
+			if len(f) != 4 {
+				return nil, fail("stack needs NX NY pitch")
+			}
+			nx, err1 := strconv.Atoi(f[1])
+			ny, err2 := strconv.Atoi(f[2])
+			pitch, err3 := strconv.ParseFloat(f[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fail("bad stack header %q", line)
+			}
+			s.Dims = grid.Dims{NX: nx, NY: ny}
+			s.Pitch = pitch
+		case "channel_width":
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil || len(f) != 2 {
+				return nil, fail("bad channel_width")
+			}
+			s.ChannelWidth = v
+		case "coolant":
+			c, ok := coolantsByName[f[1]]
+			if !ok {
+				return nil, fail("unknown coolant %q", f[1])
+			}
+			s.Coolant = c
+		case "tin":
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				return nil, fail("bad tin")
+			}
+			s.TinK = v
+		case "layer":
+			if len(f) != 5 {
+				return nil, fail("layer needs name kind thickness material")
+			}
+			var kind LayerKind
+			switch f[2] {
+			case "solid":
+				kind = Solid
+			case "source":
+				kind = Source
+			case "channel":
+				kind = Channel
+			default:
+				return nil, fail("unknown layer kind %q", f[2])
+			}
+			th, err := strconv.ParseFloat(f[3], 64)
+			if err != nil {
+				return nil, fail("bad thickness %q", f[3])
+			}
+			mat, ok := materialsByName[f[4]]
+			if !ok {
+				return nil, fail("unknown material %q", f[4])
+			}
+			byName[f[1]] = len(s.Layers)
+			s.Layers = append(s.Layers, Layer{Name: f[1], Kind: kind, Thickness: th, Mat: mat})
+		case "powermap":
+			if len(f) != 2 {
+				return nil, fail("powermap needs a layer name")
+			}
+			li, ok := byName[f[1]]
+			if !ok || s.Layers[li].Kind != Source {
+				return nil, fail("powermap for unknown source layer %q", f[1])
+			}
+			pm := power.New(s.Dims)
+			for y := 0; y < s.Dims.NY; y++ {
+				if !sc.Scan() {
+					return nil, fail("powermap %s truncated at row %d", f[1], y)
+				}
+				lineNo++
+				vals := strings.Fields(sc.Text())
+				if len(vals) != s.Dims.NX {
+					return nil, fail("powermap row has %d values, want %d", len(vals), s.Dims.NX)
+				}
+				for x, vs := range vals {
+					v, err := strconv.ParseFloat(vs, 64)
+					if err != nil {
+						return nil, fail("bad power value %q", vs)
+					}
+					pm.Set(x, y, v)
+				}
+			}
+			if !sc.Scan() || strings.TrimSpace(sc.Text()) != "end" {
+				return nil, fail("powermap %s missing end marker", f[1])
+			}
+			lineNo++
+			s.Layers[li].Power = pm
+		default:
+			return nil, fail("unknown directive %q", f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("stack: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,236 @@
+// Package stack describes the vertical composition of a liquid-cooled 3D
+// IC: solid layers (bulk silicon, BEOL), active source layers carrying a
+// power map, and channel layers where the cooling network is etched.
+//
+// It also implements the "stack description and floorplan files" that
+// Algorithm 1 of the paper takes as input, as a small line-oriented text
+// format (see Parse/Format).
+package stack
+
+import (
+	"fmt"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/power"
+	"lcn3d/internal/units"
+)
+
+// LayerKind distinguishes the three layer roles.
+type LayerKind int
+
+// Layer kinds.
+const (
+	Solid   LayerKind = iota // passive solid (bulk silicon, BEOL, lid)
+	Source                   // active layer dissipating a power map
+	Channel                  // microchannel layer (walls + coolant)
+)
+
+func (k LayerKind) String() string {
+	switch k {
+	case Solid:
+		return "solid"
+	case Source:
+		return "source"
+	case Channel:
+		return "channel"
+	}
+	return fmt.Sprintf("LayerKind(%d)", int(k))
+}
+
+// Layer is one horizontal slice of the stack. For Channel layers the
+// material is the wall material (silicon) and Thickness is the channel
+// height h_c.
+type Layer struct {
+	Name      string
+	Kind      LayerKind
+	Thickness float64 // m
+	Mat       units.Material
+	Power     *power.Map // Source layers only
+}
+
+// Stack is a full chip description: grid, geometry, coolant, and layers
+// ordered bottom to top.
+type Stack struct {
+	Dims         grid.Dims
+	Pitch        float64 // basic cell pitch, m (100 µm in the benchmarks)
+	ChannelWidth float64 // microchannel width w_c, m
+	Coolant      units.Coolant
+	TinK         float64 // coolant inlet temperature, K
+	Layers       []Layer
+}
+
+// SourceLayers returns the indices of the active layers, bottom to top.
+func (s *Stack) SourceLayers() []int {
+	var out []int
+	for i, l := range s.Layers {
+		if l.Kind == Source {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ChannelLayers returns the indices of the channel layers, bottom to top.
+func (s *Stack) ChannelLayers() []int {
+	var out []int
+	for i, l := range s.Layers {
+		if l.Kind == Channel {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TotalPower returns the summed die power over all source layers, W.
+func (s *Stack) TotalPower() float64 {
+	var t float64
+	for _, l := range s.Layers {
+		if l.Kind == Source && l.Power != nil {
+			t += l.Power.Total()
+		}
+	}
+	return t
+}
+
+// Validate checks structural consistency.
+func (s *Stack) Validate() error {
+	if s.Dims.NX < 2 || s.Dims.NY < 2 {
+		return fmt.Errorf("stack: grid %v too small", s.Dims)
+	}
+	if s.Pitch <= 0 {
+		return fmt.Errorf("stack: pitch %g must be positive", s.Pitch)
+	}
+	if s.ChannelWidth <= 0 || s.ChannelWidth > s.Pitch {
+		return fmt.Errorf("stack: channel width %g outside (0, pitch=%g]", s.ChannelWidth, s.Pitch)
+	}
+	if s.TinK <= 0 {
+		return fmt.Errorf("stack: inlet temperature %g K invalid", s.TinK)
+	}
+	if len(s.SourceLayers()) == 0 {
+		return fmt.Errorf("stack: no source layer")
+	}
+	if len(s.ChannelLayers()) == 0 {
+		return fmt.Errorf("stack: no channel layer")
+	}
+	names := make(map[string]bool)
+	for i, l := range s.Layers {
+		if l.Thickness <= 0 {
+			return fmt.Errorf("stack: layer %d (%s) thickness %g invalid", i, l.Name, l.Thickness)
+		}
+		if l.Mat.K <= 0 {
+			return fmt.Errorf("stack: layer %d (%s) has no material", i, l.Name)
+		}
+		if l.Name == "" {
+			return fmt.Errorf("stack: layer %d unnamed", i)
+		}
+		if names[l.Name] {
+			return fmt.Errorf("stack: duplicate layer name %q", l.Name)
+		}
+		names[l.Name] = true
+		if l.Kind == Source {
+			if l.Power == nil {
+				return fmt.Errorf("stack: source layer %s has no power map", l.Name)
+			}
+			if l.Power.Dims != s.Dims {
+				return fmt.Errorf("stack: source layer %s power map dims %v != %v", l.Name, l.Power.Dims, s.Dims)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy (power maps included).
+func (s *Stack) Clone() *Stack {
+	c := *s
+	c.Layers = make([]Layer, len(s.Layers))
+	copy(c.Layers, s.Layers)
+	for i := range c.Layers {
+		if c.Layers[i].Power != nil {
+			c.Layers[i].Power = c.Layers[i].Power.Clone()
+		}
+	}
+	return &c
+}
+
+// Config parameterizes the standard benchmark-style stack builders.
+type Config struct {
+	Dims          grid.Dims
+	Pitch         float64 // default 100 µm
+	ChannelWidth  float64 // default = Pitch
+	ChannelHeight float64 // h_c; required
+	BulkThickness float64 // default 100 µm
+	BEOLThickness float64 // default 12 µm
+	ActiveThick   float64 // default 2 µm
+	TinK          float64 // default 300 K
+	Coolant       units.Coolant
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pitch == 0 {
+		c.Pitch = 100e-6
+	}
+	if c.ChannelWidth == 0 {
+		c.ChannelWidth = c.Pitch
+	}
+	if c.BulkThickness == 0 {
+		c.BulkThickness = 100e-6
+	}
+	if c.BEOLThickness == 0 {
+		c.BEOLThickness = 12e-6
+	}
+	if c.ActiveThick == 0 {
+		c.ActiveThick = 2e-6
+	}
+	if c.TinK == 0 {
+		c.TinK = 300
+	}
+	if c.Coolant.Name == "" {
+		c.Coolant = units.Water
+	}
+	return c
+}
+
+// NewDieStack builds an n-die stack with a channel layer between every
+// pair of consecutive dies. Each die is BEOL / active / bulk silicon
+// (bottom to top); powerMaps provides one map per die, bottom die first.
+func NewDieStack(cfg Config, powerMaps []*power.Map) (*Stack, error) {
+	cfg = cfg.withDefaults()
+	n := len(powerMaps)
+	if n < 1 {
+		return nil, fmt.Errorf("stack: need at least one die power map")
+	}
+	if cfg.ChannelHeight <= 0 {
+		return nil, fmt.Errorf("stack: channel height required")
+	}
+	s := &Stack{
+		Dims:         cfg.Dims,
+		Pitch:        cfg.Pitch,
+		ChannelWidth: cfg.ChannelWidth,
+		Coolant:      cfg.Coolant,
+		TinK:         cfg.TinK,
+	}
+	for die := 0; die < n; die++ {
+		pm := powerMaps[die]
+		if pm == nil || pm.Dims != cfg.Dims {
+			return nil, fmt.Errorf("stack: die %d power map missing or wrong dims", die)
+		}
+		s.Layers = append(s.Layers,
+			Layer{Name: fmt.Sprintf("beol%d", die+1), Kind: Solid, Thickness: cfg.BEOLThickness, Mat: units.BEOL},
+			Layer{Name: fmt.Sprintf("active%d", die+1), Kind: Source, Thickness: cfg.ActiveThick, Mat: units.Silicon, Power: pm},
+			Layer{Name: fmt.Sprintf("bulk%d", die+1), Kind: Solid, Thickness: cfg.BulkThickness, Mat: units.Silicon},
+		)
+		if die+1 < n {
+			s.Layers = append(s.Layers,
+				Layer{Name: fmt.Sprintf("ch%d", die+1), Kind: Channel, Thickness: cfg.ChannelHeight, Mat: units.Silicon})
+		}
+	}
+	if n == 1 {
+		// Single die: back-side channel layer on top of the bulk.
+		s.Layers = append(s.Layers,
+			Layer{Name: "ch1", Kind: Channel, Thickness: cfg.ChannelHeight, Mat: units.Silicon})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

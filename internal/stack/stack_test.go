@@ -1,0 +1,237 @@
+package stack
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/power"
+	"lcn3d/internal/units"
+)
+
+var d11 = grid.Dims{NX: 11, NY: 11}
+
+func twoDie(t *testing.T) *Stack {
+	t.Helper()
+	p1 := power.Hotspots(d11, 1, 2, 0.6, 20)
+	p2 := power.Hotspots(d11, 2, 2, 0.6, 22.038)
+	s, err := NewDieStack(Config{Dims: d11, ChannelHeight: 200e-6}, []*power.Map{p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewDieStackTwoDie(t *testing.T) {
+	s := twoDie(t)
+	// beol1 active1 bulk1 ch1 beol2 active2 bulk2 -> 7 layers.
+	if len(s.Layers) != 7 {
+		t.Fatalf("got %d layers, want 7", len(s.Layers))
+	}
+	if got := s.SourceLayers(); len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Fatalf("source layers %v", got)
+	}
+	if got := s.ChannelLayers(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("channel layers %v", got)
+	}
+	if math.Abs(s.TotalPower()-42.038) > 1e-9 {
+		t.Fatalf("total power %g", s.TotalPower())
+	}
+}
+
+func TestNewDieStackThreeDie(t *testing.T) {
+	maps := []*power.Map{
+		power.Hotspots(d11, 1, 2, 0.5, 14),
+		power.Hotspots(d11, 2, 2, 0.5, 14),
+		power.Hotspots(d11, 3, 2, 0.5, 15.438),
+	}
+	s, err := NewDieStack(Config{Dims: d11, ChannelHeight: 200e-6}, maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ChannelLayers()) != 2 {
+		t.Fatalf("3 dies need 2 channel layers, got %d", len(s.ChannelLayers()))
+	}
+	if len(s.SourceLayers()) != 3 {
+		t.Fatalf("source layers %v", s.SourceLayers())
+	}
+}
+
+func TestNewDieStackSingleDieGetsTopChannel(t *testing.T) {
+	s, err := NewDieStack(Config{Dims: d11, ChannelHeight: 400e-6},
+		[]*power.Map{power.Hotspots(d11, 1, 1, 0.5, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := s.ChannelLayers()
+	if len(ch) != 1 || ch[0] != len(s.Layers)-1 {
+		t.Fatalf("single die should end with a channel layer, got %v of %d", ch, len(s.Layers))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	s := twoDie(t)
+	if s.Pitch != 100e-6 || s.ChannelWidth != 100e-6 || s.TinK != 300 {
+		t.Fatalf("defaults wrong: pitch=%g cw=%g tin=%g", s.Pitch, s.ChannelWidth, s.TinK)
+	}
+	if s.Coolant.Name != units.Water.Name {
+		t.Fatalf("default coolant %q", s.Coolant.Name)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	s := twoDie(t)
+	bad := s.Clone()
+	bad.Layers[1].Power = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("missing power map not caught")
+	}
+	bad = s.Clone()
+	bad.Layers[0].Thickness = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative thickness not caught")
+	}
+	bad = s.Clone()
+	bad.Layers[2].Name = bad.Layers[0].Name
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate name not caught")
+	}
+	bad = s.Clone()
+	bad.ChannelWidth = 2 * bad.Pitch
+	if err := bad.Validate(); err == nil {
+		t.Error("channel wider than pitch not caught")
+	}
+	bad = s.Clone()
+	bad.TinK = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero inlet temperature not caught")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := twoDie(t)
+	c := s.Clone()
+	c.Layers[1].Power.Set(0, 0, 999)
+	if s.Layers[1].Power.At(0, 0) == 999 {
+		t.Fatal("Clone must copy power maps")
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	s := twoDie(t)
+	var buf bytes.Buffer
+	if err := Format(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dims != s.Dims || got.Pitch != s.Pitch || got.TinK != s.TinK {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Layers) != len(s.Layers) {
+		t.Fatalf("layer count %d != %d", len(got.Layers), len(s.Layers))
+	}
+	for i := range got.Layers {
+		a, b := got.Layers[i], s.Layers[i]
+		if a.Name != b.Name || a.Kind != b.Kind || math.Abs(a.Thickness-b.Thickness) > 1e-15 {
+			t.Fatalf("layer %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	if math.Abs(got.TotalPower()-s.TotalPower()) > 1e-6 {
+		t.Fatalf("power mismatch %g vs %g", got.TotalPower(), s.TotalPower())
+	}
+	// Spot-check one power value survives the round trip.
+	if math.Abs(got.Layers[1].Power.At(5, 5)-s.Layers[1].Power.At(5, 5)) > 1e-9 {
+		t.Fatal("power map value lost in round trip")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown directive", "stack 4 4 1e-4\nbogus 1\n"},
+		{"bad material", "stack 4 4 1e-4\nlayer a solid 1e-5 unobtanium\n"},
+		{"bad kind", "stack 4 4 1e-4\nlayer a gas 1e-5 silicon\n"},
+		{"truncated powermap", "stack 4 4 1e-4\nchannel_width 1e-4\nlayer a source 1e-5 silicon\npowermap a\n0 0 0 0\n"},
+		{"powermap for solid", "stack 4 4 1e-4\nlayer a solid 1e-5 silicon\npowermap a\n"},
+		{"missing structures", "stack 4 4 1e-4\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestParseIgnoresCommentsAndBlanks(t *testing.T) {
+	src := `# header comment
+stack 3 3 1e-4
+
+channel_width 1e-4
+tin 300
+layer a source 1e-5 silicon
+layer c channel 2e-4 silicon
+powermap a
+1 1 1
+1 2 1
+1 1 1
+end
+`
+	s, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.TotalPower()-10) > 1e-12 {
+		t.Fatalf("total power %g, want 10", s.TotalPower())
+	}
+}
+
+func TestNewDieStackRejectsBadInput(t *testing.T) {
+	if _, err := NewDieStack(Config{Dims: d11, ChannelHeight: 1e-4}, nil); err == nil {
+		t.Error("no dies should fail")
+	}
+	if _, err := NewDieStack(Config{Dims: d11}, []*power.Map{power.New(d11)}); err == nil {
+		t.Error("missing channel height should fail")
+	}
+	wrong := power.New(grid.Dims{NX: 3, NY: 3})
+	if _, err := NewDieStack(Config{Dims: d11, ChannelHeight: 1e-4}, []*power.Map{wrong}); err == nil {
+		t.Error("wrong-dims power map should fail")
+	}
+}
+
+func TestFormatParseRoundTripProperty(t *testing.T) {
+	// Round-trip random multi-die stacks through the text format.
+	f := func(seed int64, dies uint8, hcSel uint8) bool {
+		nd := int(dies%3) + 1
+		hc := []float64{100e-6, 200e-6, 400e-6}[hcSel%3]
+		maps := make([]*power.Map, nd)
+		for i := range maps {
+			maps[i] = power.Hotspots(d11, seed+int64(i), 2, 0.5, 1+float64(i))
+		}
+		s, err := NewDieStack(Config{Dims: d11, ChannelHeight: hc}, maps)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := Format(&buf, s); err != nil {
+			return false
+		}
+		got, err := Parse(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Layers) != len(s.Layers) || got.TinK != s.TinK {
+			return false
+		}
+		return math.Abs(got.TotalPower()-s.TotalPower()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

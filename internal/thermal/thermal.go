@@ -1,0 +1,212 @@
+// Package thermal provides the machinery shared by the 4RM and 2RM
+// simulators: the finite-volume assembler with the paper's
+// central-differencing convection stencil (Eq. (6)) plus an upwind
+// ablation variant, temperature metrics (thermal gradient ΔT and peak
+// temperature T_max as defined in Section 3), the common simulation
+// outcome type, and a transient backward-Euler extension.
+package thermal
+
+import (
+	"fmt"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/solver"
+	"lcn3d/internal/sparse"
+)
+
+// Scheme selects the discretization of the convective interface
+// temperature T* in Eq. (6).
+type Scheme int
+
+// Convection schemes.
+const (
+	// Central uses T* = (T_i + T_j)/2, the paper's central differencing.
+	Central Scheme = iota
+	// Upwind uses T* = T_upstream; more diffusive but unconditionally
+	// stable. Provided as an ablation (see DESIGN.md).
+	Upwind
+)
+
+func (s Scheme) String() string {
+	if s == Upwind {
+		return "upwind"
+	}
+	return "central"
+}
+
+// Assembler accumulates the linear system A·T = b of a thermal network.
+// Equation convention per node i:
+//
+//	Σ_j g_ij (T_i - T_j)  +  convection_out(i) - convection_in(i)  =  q_i
+type Assembler struct {
+	b      *sparse.Builder
+	rhs    []float64
+	scheme Scheme
+}
+
+// NewAssembler creates an assembler for n nodes.
+func NewAssembler(n int, scheme Scheme) *Assembler {
+	return &Assembler{b: sparse.NewBuilder(n), rhs: make([]float64, n), scheme: scheme}
+}
+
+// N returns the number of nodes.
+func (a *Assembler) N() int { return a.b.N() }
+
+// Conductance adds a thermal conductance g between nodes i and j.
+// Zero or negative conductances are ignored.
+func (a *Assembler) Conductance(i, j int, g float64) {
+	if g <= 0 {
+		return
+	}
+	a.b.AddSym(i, j, g)
+}
+
+// Dirichlet ties node i to a fixed external temperature t through
+// conductance g (e.g. an ambient boundary).
+func (a *Assembler) Dirichlet(i int, g, t float64) {
+	if g <= 0 {
+		return
+	}
+	a.b.Add(i, i, g)
+	a.rhs[i] += g * t
+}
+
+// Source injects q watts into node i.
+func (a *Assembler) Source(i int, q float64) { a.rhs[i] += q }
+
+// Convection models coolant carrying heat from node i to node j with
+// volumetric heat flow c = Cv·Q (W/K). c must be >= 0 (orient the call in
+// the flow direction).
+func (a *Assembler) Convection(i, j int, c float64) {
+	if c <= 0 {
+		return
+	}
+	switch a.scheme {
+	case Central:
+		// Energy crossing the interface: c * (T_i + T_j)/2.
+		a.b.Add(i, i, c/2)
+		a.b.Add(i, j, c/2)
+		a.b.Add(j, i, -c/2)
+		a.b.Add(j, j, -c/2)
+	case Upwind:
+		// Energy crossing the interface: c * T_i (upstream value).
+		a.b.Add(i, i, c)
+		a.b.Add(j, i, -c)
+	}
+}
+
+// ConvectionInlet models coolant entering node i from an inlet at the
+// fixed temperature tin with volumetric heat flow c = Cv·Q_in.
+func (a *Assembler) ConvectionInlet(i int, c, tin float64) {
+	if c <= 0 {
+		return
+	}
+	a.rhs[i] += c * tin
+}
+
+// ConvectionOutlet models coolant leaving node i to an outlet with
+// volumetric heat flow c = Cv·Q_out. The outlet temperature is
+// approximated by T_i (paper Sec. 2.2).
+func (a *Assembler) ConvectionOutlet(i int, c float64) {
+	if c <= 0 {
+		return
+	}
+	a.b.Add(i, i, c)
+}
+
+// Build compiles the system.
+func (a *Assembler) Build() (*sparse.CSR, []float64) {
+	return a.b.Build(), a.rhs
+}
+
+// SolveSteady assembles and solves the steady system, starting the
+// iteration from tGuess (pass the inlet temperature).
+func (a *Assembler) SolveSteady(tGuess float64) ([]float64, solver.Result, error) {
+	m, rhs := a.Build()
+	t := make([]float64, a.N())
+	for i := range t {
+		t[i] = tGuess
+	}
+	res, err := solver.SolveGeneral(m, rhs, t, solver.Options{
+		Tol: 1e-10, MaxIter: 40 * a.N(), Precond: solver.BestPrecond(m), Restart: 80,
+	})
+	if err != nil {
+		return nil, res, fmt.Errorf("thermal: steady solve failed: %w (res %.3g)", err, res.Residual)
+	}
+	return t, res, nil
+}
+
+// LayerStats summarizes one source layer's temperature field.
+type LayerStats struct {
+	Min, Max, Mean float64
+}
+
+// Range returns Max - Min, the layer's thermal gradient ΔT_i.
+func (s LayerStats) Range() float64 { return s.Max - s.Min }
+
+// Metrics are the paper's optimization targets (Section 3).
+type Metrics struct {
+	Tmax     float64      // peak temperature over all source-layer nodes, K
+	DeltaT   float64      // max_i(ΔT_i) over source layers, K
+	PerLayer []LayerStats // one entry per source layer, bottom to top
+}
+
+// ComputeMetrics derives Metrics from per-source-layer temperature
+// fields.
+func ComputeMetrics(layers [][]float64) Metrics {
+	m := Metrics{}
+	for _, t := range layers {
+		st := LayerStats{Min: t[0], Max: t[0]}
+		var sum float64
+		for _, v := range t {
+			if v < st.Min {
+				st.Min = v
+			}
+			if v > st.Max {
+				st.Max = v
+			}
+			sum += v
+		}
+		st.Mean = sum / float64(len(t))
+		m.PerLayer = append(m.PerLayer, st)
+		if st.Max > m.Tmax {
+			m.Tmax = st.Max
+		}
+		if r := st.Range(); r > m.DeltaT {
+			m.DeltaT = r
+		}
+	}
+	return m
+}
+
+// Outcome is the result of one cooling-system simulation at a specific
+// system pressure drop.
+type Outcome struct {
+	Metrics
+	Psys  float64 // system pressure drop, Pa
+	Qsys  float64 // total coolant flow, m^3/s
+	Rsys  float64 // system fluid resistance, Pa*s/m^3
+	Wpump float64 // pumping power, W
+
+	// SourceDims describes the grid of the model's native source-layer
+	// fields in SourceTemps (fine basic cells for 4RM, coarse thermal
+	// cells for 2RM).
+	SourceDims  grid.Dims
+	SourceTemps [][]float64 // native per-source-layer fields
+
+	// FineDims/FineTemps hold the fields sampled on the basic-cell grid
+	// (identical to SourceTemps for 4RM; expanded for 2RM). Used for the
+	// 2RM-vs-4RM accuracy comparison of Fig. 9(a).
+	FineDims  grid.Dims
+	FineTemps [][]float64
+
+	SolveIters int
+}
+
+// Model is a thermal simulator bound to one stack and cooling network.
+type Model interface {
+	// Name identifies the model family ("4RM", "2RM/m=4", ...).
+	Name() string
+	// Simulate runs a steady simulation at the given system pressure.
+	Simulate(psys float64) (*Outcome, error)
+}

@@ -1,0 +1,220 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssemblerConductionRod(t *testing.T) {
+	// 1D rod of 5 nodes, ends held at 300 K and 400 K through large
+	// conductances: interior is a linear profile.
+	a := NewAssembler(5, Central)
+	for i := 0; i+1 < 5; i++ {
+		a.Conductance(i, i+1, 1)
+	}
+	a.Dirichlet(0, 1e9, 300)
+	a.Dirichlet(4, 1e9, 400)
+	temps, _, err := a.SolveSteady(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{300, 325, 350, 375, 400} {
+		if math.Abs(temps[i]-want) > 1e-3 {
+			t.Fatalf("rod node %d = %g, want %g", i, temps[i], want)
+		}
+	}
+}
+
+func TestAssemblerSourceRaisesTemperature(t *testing.T) {
+	a := NewAssembler(2, Central)
+	a.Conductance(0, 1, 2)
+	a.Dirichlet(1, 1000, 300)
+	a.Source(0, 10) // 10 W through 2 W/K then 1000 W/K to the bath
+	temps, _, err := a.SolveSteady(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(temps[0]-305.01) > 1e-6 {
+		t.Fatalf("node 0 = %g, want 305.01", temps[0])
+	}
+	if math.Abs(temps[1]-300.01) > 1e-6 {
+		t.Fatalf("node 1 = %g, want 300.01", temps[1])
+	}
+}
+
+// pipeTemps solves a 1D advection pipe: inlet -> n cells -> outlet, each
+// cell receiving q watts, coolant heat flow c (W/K).
+func pipeTemps(t *testing.T, scheme Scheme, n int, c, q float64) []float64 {
+	t.Helper()
+	a := NewAssembler(n, scheme)
+	a.ConvectionInlet(0, c, 300)
+	for i := 0; i+1 < n; i++ {
+		a.Convection(i, i+1, c)
+	}
+	a.ConvectionOutlet(n-1, c)
+	for i := 0; i < n; i++ {
+		a.Source(i, q)
+	}
+	temps, _, err := a.SolveSteady(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return temps
+}
+
+func TestAdvectionPipeEnergyBalance(t *testing.T) {
+	// Total power n*q leaves through the outlet: c*(T_out - Tin) = n*q.
+	for _, scheme := range []Scheme{Central, Upwind} {
+		n, c, q := 10, 0.5, 1.0
+		temps := pipeTemps(t, scheme, n, c, q)
+		carried := c * (temps[n-1] - 300)
+		if math.Abs(carried-float64(n)*q) > 1e-6 {
+			t.Fatalf("%v: outlet carries %g W, want %g", scheme, carried, float64(n)*q)
+		}
+	}
+}
+
+func TestAdvectionPipeMonotone(t *testing.T) {
+	temps := pipeTemps(t, Upwind, 12, 0.5, 1.0)
+	for i := 1; i < len(temps); i++ {
+		if temps[i] <= temps[i-1] {
+			t.Fatalf("upwind pipe not monotone at %d: %v", i, temps)
+		}
+	}
+}
+
+func TestUpwindPipeExactSolution(t *testing.T) {
+	// With upwind, T_i = Tin + q*(i + 1/... ): energy balance per prefix:
+	// c*(T_i - Tin) = (i+1)*q? Outflow of cell i is c*T_i and inflow
+	// c*T_{i-1}, so c*(T_i - T_{i-1}) = q -> T_i = 300 + (i+1)*q/c.
+	n, c, q := 8, 2.0, 0.5
+	temps := pipeTemps(t, Upwind, n, c, q)
+	for i := 0; i < n; i++ {
+		want := 300 + float64(i+1)*q/c
+		if math.Abs(temps[i]-want) > 1e-9 {
+			t.Fatalf("upwind T[%d] = %g, want %g", i, temps[i], want)
+		}
+	}
+}
+
+func TestCentralPipeOutletExact(t *testing.T) {
+	// Central scheme still satisfies the global balance at the outlet.
+	n, c, q := 8, 2.0, 0.5
+	temps := pipeTemps(t, Central, n, c, q)
+	want := 300 + float64(n)*q/c
+	if math.Abs(temps[n-1]-want) > 1e-9 {
+		t.Fatalf("central outlet %g, want %g", temps[n-1], want)
+	}
+}
+
+func TestComputeMetrics(t *testing.T) {
+	m := ComputeMetrics([][]float64{
+		{300, 310, 305},
+		{320, 308, 312},
+	})
+	if m.Tmax != 320 {
+		t.Fatalf("Tmax %g", m.Tmax)
+	}
+	if m.DeltaT != 12 {
+		t.Fatalf("DeltaT %g, want 12 (layer 2 range)", m.DeltaT)
+	}
+	if len(m.PerLayer) != 2 {
+		t.Fatalf("layers %d", len(m.PerLayer))
+	}
+	if m.PerLayer[0].Range() != 10 || m.PerLayer[0].Mean != 305 {
+		t.Fatalf("layer 0 stats %+v", m.PerLayer[0])
+	}
+}
+
+func TestComputeMetricsProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		bounded := make([]float64, len(vals))
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			bounded[i] = math.Mod(v, 1e6)
+		}
+		m := ComputeMetrics([][]float64{bounded})
+		st := m.PerLayer[0]
+		return st.Min <= st.Mean+1e-9 && st.Mean <= st.Max+1e-9 && m.DeltaT >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransientConvergesToSteady(t *testing.T) {
+	// Two-node system: source node coupled to a Dirichlet bath. The
+	// transient solution must approach the steady one.
+	a := NewAssembler(2, Central)
+	a.Conductance(0, 1, 2)
+	a.Dirichlet(1, 5, 300)
+	a.Source(0, 10)
+	mat, rhs := a.Build()
+	steady, _, err := a.SolveSteady(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := NewTransientSystem(mat, rhs, []float64{1, 1}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := []float64{300, 300}
+	if err := ts.Run(temps, 2000, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range temps {
+		if math.Abs(temps[i]-steady[i]) > 1e-3 {
+			t.Fatalf("transient node %d = %g, steady %g", i, temps[i], steady[i])
+		}
+	}
+}
+
+func TestTransientMonotoneHeating(t *testing.T) {
+	a := NewAssembler(1, Central)
+	a.Dirichlet(0, 1, 300)
+	a.Source(0, 5)
+	mat, rhs := a.Build()
+	ts, err := NewTransientSystem(mat, rhs, []float64{2}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := []float64{300}
+	prev := 300.0
+	for s := 0; s < 50; s++ {
+		if err := ts.Step(temps); err != nil {
+			t.Fatal(err)
+		}
+		if temps[0] < prev-1e-12 {
+			t.Fatalf("cooling during pure heating at step %d", s)
+		}
+		if temps[0] > 305+1e-9 {
+			t.Fatalf("overshoot past steady state: %g", temps[0])
+		}
+		prev = temps[0]
+	}
+}
+
+func TestTransientRejectsBadInput(t *testing.T) {
+	a := NewAssembler(2, Central)
+	a.Conductance(0, 1, 1)
+	a.Dirichlet(0, 1, 300)
+	mat, rhs := a.Build()
+	if _, err := NewTransientSystem(mat, rhs, []float64{1, 1}, 0); err == nil {
+		t.Error("dt=0 should fail")
+	}
+	if _, err := NewTransientSystem(mat, rhs, []float64{1}, 0.1); err == nil {
+		t.Error("capacity length mismatch should fail")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if Central.String() != "central" || Upwind.String() != "upwind" {
+		t.Fatal("scheme names wrong")
+	}
+}

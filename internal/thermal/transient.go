@@ -1,0 +1,73 @@
+package thermal
+
+import (
+	"fmt"
+
+	"lcn3d/internal/solver"
+	"lcn3d/internal/sparse"
+)
+
+// TransientSystem integrates C dT/dt = b - A·T with backward Euler,
+// the straightforward transient extension the paper notes for both
+// models ("it can be easily extended to transient one").
+type TransientSystem struct {
+	A   *sparse.CSR
+	B   []float64
+	Cap []float64 // per-node heat capacity, J/K
+
+	dt   float64
+	lhs  *sparse.CSR
+	pre  solver.Preconditioner
+	work []float64
+}
+
+// NewTransientSystem prepares a stepper with a fixed time step dt (s).
+// The implicit matrix (C/dt + A) is factorized once per step size.
+func NewTransientSystem(a *sparse.CSR, b, caps []float64, dt float64) (*TransientSystem, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("thermal: time step %g must be positive", dt)
+	}
+	if len(b) != a.N || len(caps) != a.N {
+		return nil, fmt.Errorf("thermal: transient dimension mismatch")
+	}
+	ts := &TransientSystem{A: a, B: b, Cap: caps, dt: dt, work: make([]float64, a.N)}
+	bld := sparse.NewBuilder(a.N)
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			bld.Add(i, a.Cols[k], a.Vals[k])
+		}
+		bld.Add(i, i, caps[i]/dt)
+	}
+	ts.lhs = bld.Build()
+	ts.pre = solver.BestPrecond(ts.lhs)
+	return ts, nil
+}
+
+// Step advances the temperature field in place by one time step:
+// (C/dt + A) T_{n+1} = C/dt T_n + b.
+func (ts *TransientSystem) Step(t []float64) error {
+	if len(t) != ts.A.N {
+		return fmt.Errorf("thermal: field has %d entries, want %d", len(t), ts.A.N)
+	}
+	for i := range ts.work {
+		ts.work[i] = ts.Cap[i]/ts.dt*t[i] + ts.B[i]
+	}
+	_, err := solver.SolveGeneral(ts.lhs, ts.work, t, solver.Options{
+		Tol: 1e-10, MaxIter: 20 * ts.A.N, Precond: ts.pre, Restart: 60,
+	})
+	return err
+}
+
+// Run advances n steps, invoking observe (if non-nil) after each step
+// with the elapsed time and current field.
+func (ts *TransientSystem) Run(t []float64, n int, observe func(elapsed float64, t []float64)) error {
+	for s := 1; s <= n; s++ {
+		if err := ts.Step(t); err != nil {
+			return fmt.Errorf("thermal: transient step %d: %w", s, err)
+		}
+		if observe != nil {
+			observe(float64(s)*ts.dt, t)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+// Package units collects the physical constants, material properties and
+// empirical correlations used by the flow and thermal models.
+//
+// All quantities are in SI units: meters, kilograms, seconds, kelvins,
+// watts, pascals. Conductances are W/K (thermal) or m^3/(s*Pa) (fluidic).
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Material is a homogeneous solid with isotropic properties.
+type Material struct {
+	Name string
+	K    float64 // thermal conductivity, W/(m*K)
+	Cv   float64 // volumetric heat capacity, J/(m^3*K)
+}
+
+// Standard stack materials. Conductivities follow the values used by
+// 3D-ICE-style compact models around the 300-360 K operating range.
+var (
+	Silicon = Material{Name: "silicon", K: 130, Cv: 1.628e6}
+	// BEOL is the back-end-of-line metal/dielectric stack treated as one
+	// effective material.
+	BEOL = Material{Name: "beol", K: 2.25, Cv: 2.175e6}
+	// Copper is provided for TSV-aware extensions.
+	Copper = Material{Name: "copper", K: 385, Cv: 3.422e6}
+)
+
+// Coolant holds the single-phase liquid properties. The paper assumes
+// constant properties (water near the 300 K inlet temperature).
+type Coolant struct {
+	Name string
+	Mu   float64 // dynamic viscosity, Pa*s
+	K    float64 // thermal conductivity, W/(m*K)
+	Cv   float64 // volumetric heat capacity, J/(m^3*K)
+}
+
+// Water is the default coolant: properties of liquid water at 300 K.
+var Water = Coolant{Name: "water", Mu: 8.9e-4, K: 0.613, Cv: 4.18e6}
+
+// HydraulicDiameter returns D_h = 2*w*h/(w+h) for a rectangular duct of
+// width w and height h.
+func HydraulicDiameter(w, h float64) float64 {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("units: invalid duct %g x %g", w, h))
+	}
+	return 2 * w * h / (w + h)
+}
+
+// FluidConductance returns the Hagen-Poiseuille conductance
+// g = D_h^2 * A_c / (32 * l * mu) of a duct segment of length l (paper
+// Eq. (1)), so that Q = g * (P_i - P_j).
+func FluidConductance(w, h, l, mu float64) float64 {
+	dh := HydraulicDiameter(w, h)
+	ac := w * h
+	return dh * dh * ac / (32 * l * mu)
+}
+
+// nusseltTable lists fully developed laminar Nusselt numbers for
+// rectangular ducts with four heated walls under the H1 boundary
+// condition, from Shah & London, "Laminar Flow Forced Convection in
+// Ducts" (the paper's reference [22]). Entries are (aspect ratio
+// min(w,h)/max(w,h), Nu).
+var nusseltTable = []struct{ alpha, nu float64 }{
+	{0.0, 8.235},
+	{0.1, 6.785},
+	{0.2, 5.738},
+	{0.25, 5.331},
+	{1.0 / 3.0, 4.795},
+	{0.5, 4.123},
+	{0.75, 3.707},
+	{1.0, 3.599},
+}
+
+// Nusselt returns the fully developed laminar Nusselt number for a
+// rectangular duct of width w and height h, linearly interpolated in the
+// Shah-London table on aspect ratio min/max.
+func Nusselt(w, h float64) float64 {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("units: invalid duct %g x %g", w, h))
+	}
+	alpha := w / h
+	if alpha > 1 {
+		alpha = 1 / alpha
+	}
+	tab := nusseltTable
+	for i := 1; i < len(tab); i++ {
+		if alpha <= tab[i].alpha {
+			t := (alpha - tab[i-1].alpha) / (tab[i].alpha - tab[i-1].alpha)
+			return tab[i-1].nu + t*(tab[i].nu-tab[i-1].nu)
+		}
+	}
+	return tab[len(tab)-1].nu
+}
+
+// HeatTransferCoeff returns h_conv = Nu * k_liquid / D_h for a
+// rectangular duct, in W/(m^2*K).
+func HeatTransferCoeff(c Coolant, w, h float64) float64 {
+	return Nusselt(w, h) * c.K / HydraulicDiameter(w, h)
+}
+
+// SeriesG combines two conductances in series: g = g1*g2/(g1+g2)
+// (paper Eqs. (5) and (7)). A zero conductance short-circuits to zero.
+func SeriesG(g1, g2 float64) float64 {
+	if g1 <= 0 || g2 <= 0 {
+		return 0
+	}
+	return g1 * g2 / (g1 + g2)
+}
+
+// Kelvin converts degrees Celsius to kelvins.
+func Kelvin(celsius float64) float64 { return celsius + 273.15 }
+
+// ReynoldsNumber returns Re = rho*v*D_h/mu given the volumetric flow Q
+// through a rectangular duct. Used to validate that solutions stay in the
+// laminar regime the model assumes.
+func ReynoldsNumber(c Coolant, rho, q, w, h float64) float64 {
+	v := q / (w * h)
+	return rho * math.Abs(v) * HydraulicDiameter(w, h) / c.Mu
+}

@@ -1,0 +1,149 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestHydraulicDiameterSquare(t *testing.T) {
+	// For a square duct, D_h equals the side length.
+	if dh := HydraulicDiameter(1e-4, 1e-4); !almostEqual(dh, 1e-4, 1e-12) {
+		t.Fatalf("square duct D_h = %g, want 1e-4", dh)
+	}
+}
+
+func TestHydraulicDiameterRect(t *testing.T) {
+	// w=100um, h=200um: D_h = 2*1e-4*2e-4/3e-4 = 1.3333e-4.
+	dh := HydraulicDiameter(1e-4, 2e-4)
+	if !almostEqual(dh, 4.0/3.0*1e-4, 1e-9) {
+		t.Fatalf("D_h = %g, want %g", dh, 4.0/3.0*1e-4)
+	}
+}
+
+func TestHydraulicDiameterSymmetric(t *testing.T) {
+	f := func(w, h float64) bool {
+		w = 1e-5 + math.Abs(math.Mod(w, 1e3))
+		h = 1e-5 + math.Abs(math.Mod(h, 1e3))
+		if math.IsNaN(w) || math.IsNaN(h) {
+			return true
+		}
+		return almostEqual(HydraulicDiameter(w, h), HydraulicDiameter(h, w), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFluidConductanceBallpark(t *testing.T) {
+	// The sanity check from DESIGN.md: a 100um x 200um water channel cell
+	// of length 100um has g ~ 1.25e-10 m^3/(s*Pa).
+	g := FluidConductance(1e-4, 2e-4, 1e-4, Water.Mu)
+	if g < 1.1e-10 || g > 1.4e-10 {
+		t.Fatalf("g = %g, want ~1.25e-10", g)
+	}
+}
+
+func TestFluidConductanceScalesInverselyWithLength(t *testing.T) {
+	g1 := FluidConductance(1e-4, 2e-4, 1e-4, Water.Mu)
+	g2 := FluidConductance(1e-4, 2e-4, 2e-4, Water.Mu)
+	if !almostEqual(g1, 2*g2, 1e-12) {
+		t.Fatalf("doubling length should halve conductance: %g vs %g", g1, g2)
+	}
+}
+
+func TestNusseltTableEndpoints(t *testing.T) {
+	if nu := Nusselt(1e-4, 1e-4); !almostEqual(nu, 3.599, 1e-6) {
+		t.Fatalf("square duct Nu = %g, want 3.599", nu)
+	}
+	// Very flat duct approaches the parallel-plate limit 8.235.
+	if nu := Nusselt(1e-6, 1.0); nu < 8.0 || nu > 8.3 {
+		t.Fatalf("flat duct Nu = %g, want near 8.235", nu)
+	}
+}
+
+func TestNusseltMonotoneInAspect(t *testing.T) {
+	// Nu decreases as the duct becomes more square.
+	prev := math.Inf(1)
+	for _, alpha := range []float64{0.05, 0.15, 0.3, 0.5, 0.8, 1.0} {
+		nu := Nusselt(alpha, 1.0)
+		if nu > prev {
+			t.Fatalf("Nu not monotone at alpha=%g: %g > %g", alpha, nu, prev)
+		}
+		prev = nu
+	}
+}
+
+func TestNusseltSymmetric(t *testing.T) {
+	if !almostEqual(Nusselt(1e-4, 4e-4), Nusselt(4e-4, 1e-4), 1e-12) {
+		t.Fatal("Nusselt should depend only on aspect ratio")
+	}
+}
+
+func TestHeatTransferCoeffBallpark(t *testing.T) {
+	// 100um x 200um water channel: h ~ Nu*k/D_h ~ 4.1*0.613/1.33e-4 ~ 1.9e4.
+	h := HeatTransferCoeff(Water, 1e-4, 2e-4)
+	if h < 1.2e4 || h > 3.5e4 {
+		t.Fatalf("h_conv = %g, want O(2e4)", h)
+	}
+}
+
+func TestSeriesG(t *testing.T) {
+	if g := SeriesG(2, 2); !almostEqual(g, 1, 1e-12) {
+		t.Fatalf("series of equal conductances should halve: %g", g)
+	}
+	if g := SeriesG(0, 5); g != 0 {
+		t.Fatalf("zero conductance should dominate series: %g", g)
+	}
+	if g := SeriesG(1e12, 3); !almostEqual(g, 3, 1e-9) {
+		t.Fatalf("huge conductance in series should vanish: %g", g)
+	}
+}
+
+func TestSeriesGPropertyBounded(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Abs(math.Mod(a, 1e6)) + 1e-9
+		b = math.Abs(math.Mod(b, 1e6)) + 1e-9
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		g := SeriesG(a, b)
+		return g <= a && g <= b && g > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKelvin(t *testing.T) {
+	if k := Kelvin(85); !almostEqual(k, 358.15, 1e-12) {
+		t.Fatalf("85C = %g K, want 358.15", k)
+	}
+}
+
+func TestReynoldsLaminarAtBenchmarkFlow(t *testing.T) {
+	// Per-channel flow in the case-1 baseline is ~1.6e-8 m^3/s; the flow
+	// must be laminar for the Hagen-Poiseuille model to apply.
+	re := ReynoldsNumber(Water, 998, 1.6e-8, 1e-4, 2e-4)
+	if re > 2300 {
+		t.Fatalf("Re = %g, not laminar", re)
+	}
+	if re < 1 {
+		t.Fatalf("Re = %g suspiciously small", re)
+	}
+}
+
+func TestMaterialsSane(t *testing.T) {
+	for _, m := range []Material{Silicon, BEOL, Copper} {
+		if m.K <= 0 || m.Cv <= 0 || m.Name == "" {
+			t.Errorf("material %+v has invalid properties", m)
+		}
+	}
+	if Water.Mu <= 0 || Water.K <= 0 || Water.Cv <= 0 {
+		t.Error("water properties invalid")
+	}
+}

@@ -1,0 +1,255 @@
+// Package lcn3d is a library for designing microchannel liquid cooling
+// networks for 3D ICs, reproducing "Minimizing Thermal Gradient and
+// Pumping Power in 3D IC Liquid Cooling Network Design" (Chen, Kuang,
+// Zeng, Zhang, Young, Yu — DAC 2017).
+//
+// It bundles:
+//
+//   - a laminar flow solver for arbitrary channel topologies (paper
+//     Eqs. (1)-(3));
+//   - two steady thermal simulators: the accurate fine-grained 4RM model
+//     and the fast porous-medium 2RM model (Sections 2.2-2.3), plus a
+//     transient extension;
+//   - network evaluation procedures that find the lowest feasible
+//     pumping power or thermal gradient of a design (Algorithms 2-3,
+//     golden-section search);
+//   - a multi-stage simulated-annealing optimizer over hierarchical
+//     tree-like cooling networks (Algorithm 1, Sections 4.3-4.4);
+//   - reconstructions of the five ICCAD 2015 contest benchmarks
+//     (Table 2).
+//
+// # Quick start
+//
+//	bench, _ := lcn3d.LoadBenchmarkScaled(1, 51)      // ICCAD case 1, 51x51 grid
+//	net := lcn3d.StraightNetwork(bench.Stk.Dims)      // straight-channel baseline
+//	out, _ := lcn3d.Simulate(bench, net, lcn3d.SimConfig{Psys: 10e3})
+//	fmt.Println(out.Tmax, out.DeltaT, out.Wpump)
+//
+// See the examples/ directory for runnable programs.
+package lcn3d
+
+import (
+	"fmt"
+
+	"lcn3d/internal/core"
+	"lcn3d/internal/grid"
+	"lcn3d/internal/iccad"
+	"lcn3d/internal/network"
+	"lcn3d/internal/rm2"
+	"lcn3d/internal/rm4"
+	"lcn3d/internal/stack"
+	"lcn3d/internal/thermal"
+)
+
+// Re-exported central types. The implementation lives in internal
+// packages; these aliases form the supported public surface.
+type (
+	// Benchmark is a loaded ICCAD-2015-style case: stack, power maps and
+	// constraints.
+	Benchmark = iccad.Benchmark
+	// Network is a cooling-network topology on the channel layer.
+	Network = network.Network
+	// TreeSpec parameterizes a hierarchical tree-like network.
+	TreeSpec = network.TreeSpec
+	// Outcome is the result of one steady simulation.
+	Outcome = thermal.Outcome
+	// EvalResult scores a network under Problem 1 or Problem 2.
+	EvalResult = core.EvalResult
+	// Solution is an optimized cooling system.
+	Solution = core.Solution
+	// Options tunes the SA optimization flow.
+	Options = core.Options
+	// Stage configures one SA stage.
+	Stage = core.Stage
+	// SearchOptions tunes the pressure searches.
+	SearchOptions = core.SearchOptions
+	// Stack describes the 3D IC layer composition.
+	Stack = stack.Stack
+	// Instance is a benchmark problem for the optimizer.
+	Instance = core.Instance
+	// Dims is a basic-cell grid size.
+	Dims = grid.Dims
+)
+
+// Branch types for tree networks.
+const (
+	Branch2 = network.Branch2
+	Branch4 = network.Branch4
+	Branch8 = network.Branch8
+)
+
+// LoadBenchmark loads ICCAD 2015 case id (1-5) at full 101×101 scale.
+func LoadBenchmark(id int) (*Benchmark, error) { return iccad.Load(id) }
+
+// LoadBenchmarkScaled loads case id on an n×n grid (power scaled to
+// preserve areal density).
+func LoadBenchmarkScaled(id, n int) (*Benchmark, error) {
+	return iccad.LoadScaled(id, grid.Dims{NX: n, NY: n})
+}
+
+// StraightNetwork builds the maximum-density straight-channel baseline
+// flowing west to east.
+func StraightNetwork(d Dims) *Network { return network.Straight(d, grid.SideWest, 1) }
+
+// TreeNetwork builds a hierarchical tree-like network with numTrees
+// trees of the given branch type and uniform branch fractions f1 < f2.
+func TreeNetwork(d Dims, numTrees int, typ network.BranchType, f1, f2 float64) (*Network, error) {
+	return network.Tree(d, network.UniformTreeSpec(d, numTrees, typ, f1, f2))
+}
+
+// MeshNetwork builds straight channels with vertical cross-links.
+func MeshNetwork(d Dims, rowStep, colStep int) *Network { return network.Mesh(d, rowStep, colStep) }
+
+// SerpentineNetwork builds a single snake channel.
+func SerpentineNetwork(d Dims) *Network { return network.Serpentine(d) }
+
+// AdaptiveNetwork builds straight channels whose row density follows a
+// power map's heat distribution (hot bands dense, cold bands thinned) —
+// the paper's "factor 3" compensation in its simplest manual form.
+// keepFrac in (0, 1] is the fraction of channel rows kept; maxGap bounds
+// consecutive skipped rows.
+func AdaptiveNetwork(b *Benchmark, keepFrac float64, maxGap int) *Network {
+	d := b.Stk.Dims
+	heat := make([]float64, d.NY)
+	for _, l := range b.Stk.SourceLayers() {
+		rows := network.RowHeatLoads(d, b.Stk.Layers[l].Power.W)
+		for y := range heat {
+			heat[y] += rows[y]
+		}
+	}
+	return network.DensityAdaptive(d, heat, keepFrac, maxGap)
+}
+
+// ModulateWidths applies the GreenCool-style open-loop channel-width
+// rule to a straight network: each channel's flow share is matched to
+// its heat share (see DESIGN.md for why the closed-loop
+// network.CalibrateStraightWidths is usually preferable).
+func ModulateWidths(b *Benchmark, n *Network, minFrac float64) error {
+	d := b.Stk.Dims
+	heat := make([]float64, d.NY)
+	for _, l := range b.Stk.SourceLayers() {
+		rows := network.RowHeatLoads(d, b.Stk.Layers[l].Power.W)
+		for y := range heat {
+			heat[y] += rows[y]
+		}
+	}
+	hc := b.Stk.Layers[b.Stk.ChannelLayers()[0]].Thickness
+	return network.ModulateStraightWidths(n, heat, b.Stk.ChannelWidth, hc, minFrac)
+}
+
+// SaveNetwork / LoadNetwork persist networks in the human-readable lcn
+// format (also used by lcn-opt -save and lcn-sim -netfile).
+var (
+	SaveNetwork = network.Write
+	LoadNetwork = network.Read
+)
+
+// SimConfig selects the simulator for Simulate.
+type SimConfig struct {
+	Psys float64 // system pressure drop, Pa (required)
+	// Use2RM selects the fast porous-medium model with coarsening
+	// CoarseM (default 4) instead of the accurate 4RM model.
+	Use2RM  bool
+	CoarseM int
+	Upwind  bool // use the upwind convection scheme instead of central
+}
+
+// Simulate runs one steady simulation of the benchmark's stack cooled by
+// the network (replicated across channel layers).
+func Simulate(b *Benchmark, n *Network, cfg SimConfig) (*Outcome, error) {
+	if cfg.Psys <= 0 {
+		return nil, fmt.Errorf("lcn3d: SimConfig.Psys must be positive")
+	}
+	scheme := thermal.Central
+	if cfg.Upwind {
+		scheme = thermal.Upwind
+	}
+	var sim core.SimFunc
+	var err error
+	if cfg.Use2RM {
+		m := cfg.CoarseM
+		if m <= 0 {
+			m = 4
+		}
+		sim, err = b.Sim2RM(n, m, scheme)
+	} else {
+		sim, err = b.Sim4RM(n, scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sim(cfg.Psys)
+}
+
+// EvaluatePumpingPower computes the lowest feasible pumping power of the
+// network under the benchmark's ΔT* and T*_max constraints (Problem 1's
+// network evaluation, Algorithm 2), using the accurate 4RM model.
+func EvaluatePumpingPower(b *Benchmark, n *Network) (EvalResult, error) {
+	return b.EvaluateNetworkPumpMin(n, thermal.Central, SearchOptions{})
+}
+
+// EvaluateThermalGradient computes the lowest achievable thermal gradient
+// of the network under the benchmark's T*_max and W*_pump constraints
+// (Problem 2's network evaluation), using the accurate 4RM model.
+func EvaluateThermalGradient(b *Benchmark, n *Network) (EvalResult, error) {
+	return b.EvaluateNetworkGradMin(n, thermal.Central, SearchOptions{})
+}
+
+// OptimizePumpingPower runs the full Problem 1 flow (orientation sweep +
+// multi-stage SA over tree networks) on the benchmark.
+func OptimizePumpingPower(b *Benchmark, opt Options) (*Solution, error) {
+	return b.SolveProblem1(opt)
+}
+
+// OptimizeThermalGradient runs the full Problem 2 flow on the benchmark.
+func OptimizeThermalGradient(b *Benchmark, opt Options) (*Solution, error) {
+	return b.SolveProblem2(opt)
+}
+
+// BestStraightBaseline evaluates straight-channel baselines in all four
+// directions under the given problem (1 or 2) and returns the best.
+func BestStraightBaseline(b *Benchmark, problem int) (*core.BaselineResult, error) {
+	return b.Instance.BestStraightBaseline(problem, thermal.Central, SearchOptions{})
+}
+
+// Transient builds a transient stepper for the benchmark/network at a
+// fixed pressure and time step, starting from the inlet temperature.
+// Returned fields: the stepper, the initial field, and the node count.
+func Transient(b *Benchmark, n *Network, psys, dt float64) (*thermal.TransientSystem, []float64, error) {
+	mod, err := rm4.New(b.Stk, replicate(n, len(b.Stk.ChannelLayers())), thermal.Central)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := mod.System(psys)
+	if err != nil {
+		return nil, nil, err
+	}
+	ts, err := thermal.NewTransientSystem(sys.A, sys.B, sys.Cap, dt)
+	if err != nil {
+		return nil, nil, err
+	}
+	field := make([]float64, len(sys.Cap))
+	for i := range field {
+		field[i] = b.Stk.TinK
+	}
+	return ts, field, nil
+}
+
+// RM4Model exposes the accurate simulator for advanced use (e.g. custom
+// metrics over the full temperature field).
+func RM4Model(b *Benchmark, n *Network) (*rm4.Model, error) {
+	return rm4.New(b.Stk, replicate(n, len(b.Stk.ChannelLayers())), thermal.Central)
+}
+
+// RM2Model exposes the fast simulator for advanced use.
+func RM2Model(b *Benchmark, n *Network, m int) (*rm2.Model, error) {
+	return rm2.New(b.Stk, replicate(n, len(b.Stk.ChannelLayers())), m, thermal.Central)
+}
+
+func replicate(n *Network, k int) []*Network {
+	out := make([]*Network, k)
+	for i := range out {
+		out[i] = n
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package lcn3d
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	b, err := LoadBenchmarkScaled(1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := StraightNetwork(b.Stk.Dims)
+	out, err := Simulate(b, n, SimConfig{Psys: 10e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tmax <= 300 || math.IsNaN(out.DeltaT) || out.Wpump <= 0 {
+		t.Fatalf("bad outcome: %+v", out.Metrics)
+	}
+}
+
+func TestFacade2RMMatches4RMQsys(t *testing.T) {
+	b, err := LoadBenchmarkScaled(2, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := StraightNetwork(b.Stk.Dims)
+	o4, err := Simulate(b, n, SimConfig{Psys: 8e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Simulate(b, n, SimConfig{Psys: 8e3, Use2RM: true, CoarseM: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(o4.Qsys-o2.Qsys) > 1e-12 {
+		t.Fatalf("flow disagrees: %g vs %g", o4.Qsys, o2.Qsys)
+	}
+	if math.Abs(o4.Tmax-o2.Tmax) > 0.2*(o4.Tmax-300) {
+		t.Fatalf("models disagree too much: %g vs %g", o4.Tmax, o2.Tmax)
+	}
+}
+
+func TestFacadeTreeAndMesh(t *testing.T) {
+	b, err := LoadBenchmarkScaled(1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := TreeNetwork(b.Stk.Dims, 2, Branch4, 0.3, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []*Network{tr, MeshNetwork(b.Stk.Dims, 1, 3), SerpentineNetwork(b.Stk.Dims)} {
+		out, err := Simulate(b, n, SimConfig{Psys: 20e3, Use2RM: true, CoarseM: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Tmax <= 300 {
+			t.Fatalf("bad Tmax %g", out.Tmax)
+		}
+	}
+}
+
+func TestFacadeEvaluate(t *testing.T) {
+	b, err := LoadBenchmarkScaled(1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.DeltaTStar = 12 // feasible regime for the small grid
+	r, err := EvaluatePumpingPower(b, StraightNetwork(b.Stk.Dims))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Fatalf("expected feasible: %+v", r)
+	}
+	if r.Out.DeltaT > b.DeltaTStar*1.01 || r.Out.Tmax > b.TmaxStar {
+		t.Fatal("constraints violated")
+	}
+}
+
+func TestFacadeTransient(t *testing.T) {
+	b, err := LoadBenchmarkScaled(1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, field, err := Transient(b, StraightNetwork(b.Stk.Dims), 10e3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Run(field, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	rose := false
+	for _, v := range field {
+		if v > 300.001 {
+			rose = true
+		}
+		if v < 300-1e-6 {
+			t.Fatalf("temperature %g below inlet", v)
+		}
+	}
+	if !rose {
+		t.Fatal("chip should heat up after power-on")
+	}
+}
+
+func TestFacadeRejectsZeroPressure(t *testing.T) {
+	b, err := LoadBenchmarkScaled(1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(b, StraightNetwork(b.Stk.Dims), SimConfig{}); err == nil {
+		t.Fatal("Psys=0 should be rejected")
+	}
+}
+
+func TestUpwindOption(t *testing.T) {
+	b, err := LoadBenchmarkScaled(2, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := StraightNetwork(b.Stk.Dims)
+	oc, err := Simulate(b, n, SimConfig{Psys: 10e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ou, err := Simulate(b, n, SimConfig{Psys: 10e3, Upwind: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc.Tmax == ou.Tmax {
+		t.Fatal("schemes should differ slightly")
+	}
+}
+
+func TestFacadeAdaptiveNetwork(t *testing.T) {
+	b, err := LoadBenchmarkScaled(1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := AdaptiveNetwork(b, 0.6, 3)
+	if errs := n.Check(); len(errs) > 0 {
+		t.Fatalf("adaptive network illegal: %v", errs)
+	}
+	full := StraightNetwork(b.Stk.Dims)
+	if n.NumLiquid() >= full.NumLiquid() {
+		t.Fatal("keepFrac < 1 should thin the network")
+	}
+	out, err := Simulate(b, n, SimConfig{Psys: 10e3, Use2RM: true, CoarseM: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tmax <= 300 {
+		t.Fatalf("bad Tmax %g", out.Tmax)
+	}
+}
+
+func TestFacadeModulateWidths(t *testing.T) {
+	b, err := LoadBenchmarkScaled(1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := StraightNetwork(b.Stk.Dims)
+	if err := ModulateWidths(b, n, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if n.Width == nil {
+		t.Fatal("widths not assigned")
+	}
+	out, err := Simulate(b, n, SimConfig{Psys: 10e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Qsys <= 0 {
+		t.Fatal("no flow")
+	}
+}
+
+func TestFacadeSaveLoadNetwork(t *testing.T) {
+	b, err := LoadBenchmarkScaled(1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := StraightNetwork(b.Stk.Dims)
+	var buf bytes.Buffer
+	if err := SaveNetwork(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash() != n.Hash() {
+		t.Fatal("save/load round trip changed the network")
+	}
+}
