@@ -133,7 +133,13 @@ func benchModels(b *testing.B) (*iccad.Benchmark, []*network.Network) {
 	return bench, nets
 }
 
-// BenchmarkRM4Simulate times one accurate 4RM steady simulation.
+// benchPressures is the probe cycle used by the warm simulator benches:
+// repeated probes on one model at nearby-but-distinct pressures, the
+// access pattern of the Algorithm 2/3 searches.
+var benchPressures = []float64{8e3, 10e3, 12e3, 16e3, 9e3, 20e3}
+
+// BenchmarkRM4Simulate times steady 4RM probes on a shared model (the
+// amortized path: in-place reassembly, warm starts, cached precond).
 func BenchmarkRM4Simulate(b *testing.B) {
 	bench, nets := benchModels(b)
 	m, err := rm4.New(bench.Stk, nets, thermal.Central)
@@ -142,14 +148,39 @@ func BenchmarkRM4Simulate(b *testing.B) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
+	iters := 0
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Simulate(10e3); err != nil {
+		out, err := m.Simulate(benchPressures[i%len(benchPressures)])
+		if err != nil {
 			b.Fatal(err)
 		}
+		iters += out.SolveIters
 	}
+	b.ReportMetric(float64(iters)/float64(b.N), "solveiters/op")
 }
 
-// BenchmarkRM2Simulate times one 2RM steady simulation per cell size.
+// BenchmarkRM4SimulateCold rebuilds the model every probe: the
+// unamortized baseline the factored path is measured against.
+func BenchmarkRM4SimulateCold(b *testing.B) {
+	bench, nets := benchModels(b)
+	b.ReportAllocs()
+	iters := 0
+	for i := 0; i < b.N; i++ {
+		m, err := rm4.New(bench.Stk, nets, thermal.Central)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := m.Simulate(benchPressures[i%len(benchPressures)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters += out.SolveIters
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "solveiters/op")
+}
+
+// BenchmarkRM2Simulate times steady 2RM probes on a shared model per
+// cell size (the amortized path).
 func BenchmarkRM2Simulate(b *testing.B) {
 	bench, nets := benchModels(b)
 	for _, m := range []int{1, 2, 4, 6} {
@@ -159,29 +190,62 @@ func BenchmarkRM2Simulate(b *testing.B) {
 		}
 		b.Run("m="+strconv.Itoa(m), func(b *testing.B) {
 			b.ReportAllocs()
+			iters := 0
 			for i := 0; i < b.N; i++ {
-				if _, err := mod.Simulate(10e3); err != nil {
+				out, err := mod.Simulate(benchPressures[i%len(benchPressures)])
+				if err != nil {
 					b.Fatal(err)
 				}
+				iters += out.SolveIters
 			}
+			b.ReportMetric(float64(iters)/float64(b.N), "solveiters/op")
 		})
 	}
 }
 
-// BenchmarkNetworkEvaluation times Algorithm 2 (the inner loop of the SA
-// search) with the 2RM simulator.
-func BenchmarkNetworkEvaluation(b *testing.B) {
-	bench, _ := benchModels(b)
-	n := network.Straight(bench.Stk.Dims, grid.SideWest, 1)
+// BenchmarkRM2SimulateCold rebuilds the m=4 model every probe.
+func BenchmarkRM2SimulateCold(b *testing.B) {
+	bench, nets := benchModels(b)
 	b.ReportAllocs()
+	iters := 0
 	for i := 0; i < b.N; i++ {
-		sim, err := bench.Sim2RM(n, 4, thermal.Central)
+		mod, err := rm2.New(bench.Stk, nets, 4, thermal.Central)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := core.EvaluatePumpMin(sim, bench.DeltaTStar, bench.TmaxStar, core.SearchOptions{}); err != nil {
+		out, err := mod.Simulate(benchPressures[i%len(benchPressures)])
+		if err != nil {
 			b.Fatal(err)
 		}
+		iters += out.SolveIters
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "solveiters/op")
+}
+
+// BenchmarkNetworkEvaluation times Algorithm 2 (the inner loop of the SA
+// search) with the 2RM simulator: a fresh network each op, a few dozen
+// pressure probes inside. This is the per-candidate cost of the SA loop,
+// and the end-to-end measure of the probe-amortization machinery.
+func BenchmarkNetworkEvaluation(b *testing.B) {
+	bench, nets := benchModels(b)
+	b.ReportAllocs()
+	var iters, warm, probes int
+	for i := 0; i < b.N; i++ {
+		mod, err := rm2.New(bench.Stk, nets, 4, thermal.Central)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.EvaluatePumpMin(core.Memo(mod.Simulate), bench.DeltaTStar, bench.TmaxStar, core.SearchOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		st := mod.FactorStats()
+		iters += st.SolveIters
+		warm += st.WarmStarts
+		probes += st.Probes
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "solveiters/op")
+	if probes > 0 {
+		b.ReportMetric(float64(warm)/float64(probes), "warmrate")
 	}
 }
 

@@ -1,0 +1,177 @@
+package main
+
+// In-process microbenchmarks for the simulator hot paths, written as a
+// machine-readable BENCH_<date>.json so perf regressions (and wins) can
+// be diffed across commits without parsing `go test -bench` text output.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lcn3d/internal/core"
+	"lcn3d/internal/grid"
+	"lcn3d/internal/iccad"
+	"lcn3d/internal/network"
+	"lcn3d/internal/rm2"
+	"lcn3d/internal/rm4"
+	"lcn3d/internal/thermal"
+)
+
+// benchEntry is one timed benchmark in the JSON report.
+type benchEntry struct {
+	Name            string  `json:"name"`
+	Ops             int     `json:"ops"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	SolveItersPerOp float64 `json:"solve_iters_per_op"`
+	WarmStartRate   float64 `json:"warm_start_rate"`
+	PrecondBuilds   int     `json:"precond_builds"`
+	AssemblyNsPerOp int64   `json:"assembly_ns_per_op"`
+}
+
+// benchReport is the BENCH_<date>.json schema.
+type benchReport struct {
+	Date    string       `json:"date"`
+	Scale   int          `json:"scale"`
+	Results []benchEntry `json:"benchmarks"`
+}
+
+// benchProbes mirrors the probe cycle of the root bench_test.go warm
+// benches: repeated probes on one model at nearby-but-distinct pressures.
+var benchProbes = []float64{8e3, 10e3, 12e3, 16e3, 9e3, 20e3}
+
+// timeOps runs op() repeatedly for at least minDur (and at least minOps
+// times) and returns the op count and mean ns/op.
+func timeOps(minDur time.Duration, minOps int, op func(i int) error) (int, int64, error) {
+	t0 := time.Now()
+	n := 0
+	for n < minOps || time.Since(t0) < minDur {
+		if err := op(n); err != nil {
+			return n, 0, err
+		}
+		n++
+	}
+	return n, time.Since(t0).Nanoseconds() / int64(n), nil
+}
+
+func entryFromStats(name string, ops int, nsPerOp int64, st thermal.FactorStats) benchEntry {
+	e := benchEntry{Name: name, Ops: ops, NsPerOp: nsPerOp,
+		WarmStartRate: st.WarmStartRate(), PrecondBuilds: st.PrecondBuilds}
+	if st.Probes > 0 {
+		e.SolveItersPerOp = float64(st.SolveIters) / float64(ops)
+		e.AssemblyNsPerOp = st.AssemblyNS / int64(ops)
+	}
+	return e
+}
+
+// runMicrobench times the RM2/RM4/NetworkEvaluation hot paths at the
+// given scale and writes BENCH_<date>.json into dir (default ".").
+func runMicrobench(scale int, dir string, logf func(string, ...any)) error {
+	bench, err := iccad.LoadScaled(1, grid.Dims{NX: scale, NY: scale})
+	if err != nil {
+		return err
+	}
+	n := network.Straight(bench.Stk.Dims, grid.SideWest, 1)
+	nets := make([]*network.Network, len(bench.Stk.ChannelLayers()))
+	for i := range nets {
+		nets[i] = n
+	}
+	const minDur = 2 * time.Second
+	report := benchReport{Date: time.Now().Format("2006-01-02"), Scale: scale}
+	add := func(name string, ops int, nsPerOp int64, st thermal.FactorStats) {
+		report.Results = append(report.Results, entryFromStats(name, ops, nsPerOp, st))
+		if logf != nil {
+			logf("%-24s %10d ns/op  %6.1f solve iters/op  (%d ops)",
+				name, nsPerOp, float64(st.SolveIters)/float64(max(ops, 1)), ops)
+		}
+	}
+
+	// Warm: repeated probes on one shared model (the SA access pattern).
+	m4, err := rm4.New(bench.Stk, nets, thermal.Central)
+	if err != nil {
+		return err
+	}
+	ops, ns, err := timeOps(minDur, len(benchProbes), func(i int) error {
+		_, err := m4.Simulate(benchProbes[i%len(benchProbes)])
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("RM4Simulate: %w", err)
+	}
+	add("RM4Simulate", ops, ns, m4.FactorStats())
+
+	// Cold: a fresh model per probe (the unamortized baseline).
+	var coldStats thermal.FactorStats
+	ops, ns, err = timeOps(minDur, 2, func(i int) error {
+		m, err := rm4.New(bench.Stk, nets, thermal.Central)
+		if err != nil {
+			return err
+		}
+		if _, err := m.Simulate(benchProbes[i%len(benchProbes)]); err != nil {
+			return err
+		}
+		st := m.FactorStats()
+		coldStats.Probes += st.Probes
+		coldStats.SolveIters += st.SolveIters
+		coldStats.PrecondBuilds += st.PrecondBuilds
+		coldStats.AssemblyNS += st.AssemblyNS
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("RM4SimulateCold: %w", err)
+	}
+	add("RM4SimulateCold", ops, ns, coldStats)
+
+	m2, err := rm2.New(bench.Stk, nets, 4, thermal.Central)
+	if err != nil {
+		return err
+	}
+	ops, ns, err = timeOps(minDur, len(benchProbes), func(i int) error {
+		_, err := m2.Simulate(benchProbes[i%len(benchProbes)])
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("RM2Simulate: %w", err)
+	}
+	add("RM2Simulate/m=4", ops, ns, m2.FactorStats())
+
+	// Algorithm 2 end to end: fresh network, a few dozen probes inside.
+	var evalStats thermal.FactorStats
+	ops, ns, err = timeOps(minDur, 2, func(i int) error {
+		mod, err := rm2.New(bench.Stk, nets, 4, thermal.Central)
+		if err != nil {
+			return err
+		}
+		if _, err := core.EvaluatePumpMin(core.Memo(mod.Simulate),
+			bench.DeltaTStar, bench.TmaxStar, core.SearchOptions{}); err != nil {
+			return err
+		}
+		st := mod.FactorStats()
+		evalStats.Probes += st.Probes
+		evalStats.SolveIters += st.SolveIters
+		evalStats.WarmStarts += st.WarmStarts
+		evalStats.PrecondBuilds += st.PrecondBuilds
+		evalStats.AssemblyNS += st.AssemblyNS
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("NetworkEvaluation: %w", err)
+	}
+	add("NetworkEvaluation", ops, ns, evalStats)
+
+	if dir == "" {
+		dir = "."
+	}
+	path := filepath.Join(dir, "BENCH_"+report.Date+".json")
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

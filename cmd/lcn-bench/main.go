@@ -24,7 +24,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lcn-bench: ")
 
-	exp := flag.String("exp", "all", "experiment: table2 | fig5 | fig6 | fig9 | table3 | table4 | fig10 | extras | all")
+	exp := flag.String("exp", "all", "experiment: table2 | fig5 | fig6 | fig9 | table3 | table4 | fig10 | extras | bench | all")
 	scale := flag.Int("scale", 51, "grid size (101 = full contest scale)")
 	full := flag.Bool("full", false, "paper-scale sweeps and SA schedules (slow)")
 	seed := flag.Int64("seed", 1, "SA seed")
@@ -64,6 +64,9 @@ func main() {
 		},
 		"fig10":  experiments.Fig10,
 		"extras": experiments.Extras,
+		"bench": func(c experiments.Config) error {
+			return runMicrobench(c.Scale, *dir, cfg.Logf)
+		},
 	}
 
 	if *exp == "all" {

@@ -94,14 +94,14 @@ func EvaluateGradMin(sim SimFunc, tmaxStar, psysMax float64, opt SearchOptions) 
 	probes++
 	psys, out := psysMax, outHi
 	if outProbe.DeltaT < outHi.DeltaT && probe > pLo {
-		p, o, err := GoldenSectionMinDeltaT(sim, pLo, psysMax, opt)
+		p, o, gsProbes, err := GoldenSectionMinDeltaT(sim, pLo, psysMax, opt)
 		if err != nil {
 			return EvalResult{}, err
 		}
 		if o.DeltaT < out.DeltaT {
 			psys, out = p, o
 		}
-		probes += 12 // golden section budget (memoized)
+		probes += gsProbes
 	}
 	if out.Tmax > tmaxStar*(1+1e-9) {
 		return EvalResult{Feasible: false, Psys: psys, Wpump: math.Inf(1), DeltaT: math.Inf(1), Out: out, Probes: probes}, nil

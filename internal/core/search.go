@@ -220,15 +220,22 @@ func MinPressureForTmax(sim SimFunc, tmaxStar, pLo float64, opt SearchOptions) (
 
 // GoldenSectionMinDeltaT minimizes f(P_sys) = ΔT on [lo, hi] by golden
 // section search (Section 5, solving Eq. (13) when the pressure budget
-// lies past the minimum of f).
-func GoldenSectionMinDeltaT(sim SimFunc, lo, hi float64, opt SearchOptions) (float64, *thermal.Outcome, error) {
+// lies past the minimum of f). The int result counts the simulator
+// invocations issued (before any memoization the caller wraps sim in), so
+// evaluation budgets can be accounted exactly.
+func GoldenSectionMinDeltaT(sim SimFunc, lo, hi float64, opt SearchOptions) (float64, *thermal.Outcome, int, error) {
 	opt = opt.withDefaults()
 	if hi < lo {
 		lo, hi = hi, lo
 	}
+	probes := 0
+	probe := func(p float64) (*thermal.Outcome, error) {
+		probes++
+		return sim(p)
+	}
 	const invPhi = 0.6180339887498949
 	f := func(p float64) (float64, error) {
-		out, err := sim(p)
+		out, err := probe(p)
 		if err != nil {
 			return 0, err
 		}
@@ -239,42 +246,42 @@ func GoldenSectionMinDeltaT(sim SimFunc, lo, hi float64, opt SearchOptions) (flo
 	d := a + invPhi*(b-a)
 	fc, err := f(c)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, probes, err
 	}
 	fd, err := f(d)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, probes, err
 	}
 	for math.Abs(1-a/b) > opt.RelTol {
 		if fc < fd {
 			b, d, fd = d, c, fc
 			c = b - invPhi*(b-a)
 			if fc, err = f(c); err != nil {
-				return 0, nil, err
+				return 0, nil, probes, err
 			}
 		} else {
 			a, c, fc = c, d, fd
 			d = a + invPhi*(b-a)
 			if fd, err = f(d); err != nil {
-				return 0, nil, err
+				return 0, nil, probes, err
 			}
 		}
 	}
 	// Also consider the interval endpoints (the minimum may sit on the
 	// pressure budget boundary).
 	best := (a + b) / 2
-	outBest, err := sim(best)
+	outBest, err := probe(best)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, probes, err
 	}
 	for _, p := range []float64{lo, hi} {
-		out, err := sim(p)
+		out, err := probe(p)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, probes, err
 		}
 		if out.DeltaT < outBest.DeltaT {
 			best, outBest = p, out
 		}
 	}
-	return best, outBest, nil
+	return best, outBest, probes, nil
 }

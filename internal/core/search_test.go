@@ -56,7 +56,7 @@ func TestMinPressureForTmaxUnreachable(t *testing.T) {
 func TestGoldenSectionFindsMinimum(t *testing.T) {
 	f := func(p float64) float64 { return 5 + (p-40e3)*(p-40e3)/1e8 }
 	sim := Memo(syntheticSim(f, func(p float64) float64 { return 310 }))
-	p, out, err := GoldenSectionMinDeltaT(sim, 10e3, 100e3, SearchOptions{})
+	p, out, probes, err := GoldenSectionMinDeltaT(sim, 10e3, 100e3, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,13 +66,19 @@ func TestGoldenSectionFindsMinimum(t *testing.T) {
 	if math.Abs(out.DeltaT-5) > 0.05 {
 		t.Fatalf("minimum %g, want ~5", out.DeltaT)
 	}
+	// Shrinking the bracket by invPhi per step from [10e3, 100e3] down to
+	// the 1% default tolerance takes ~10 interior probes plus the three
+	// final candidate evaluations.
+	if probes < 5 || probes > 40 {
+		t.Fatalf("probe count %d outside plausible golden-section budget", probes)
+	}
 }
 
 func TestGoldenSectionBoundaryMinimum(t *testing.T) {
 	// Decreasing f: minimum at the right endpoint.
 	f := func(p float64) float64 { return 4 + 1e5/p }
 	sim := Memo(syntheticSim(f, func(p float64) float64 { return 310 }))
-	p, _, err := GoldenSectionMinDeltaT(sim, 10e3, 80e3, SearchOptions{})
+	p, _, _, err := GoldenSectionMinDeltaT(sim, 10e3, 80e3, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +90,7 @@ func TestGoldenSectionBoundaryMinimum(t *testing.T) {
 func TestGoldenSectionSwappedInterval(t *testing.T) {
 	f := func(p float64) float64 { return 4 + 1e5/p }
 	sim := Memo(syntheticSim(f, func(p float64) float64 { return 310 }))
-	if _, _, err := GoldenSectionMinDeltaT(sim, 80e3, 10e3, SearchOptions{}); err != nil {
+	if _, _, _, err := GoldenSectionMinDeltaT(sim, 80e3, 10e3, SearchOptions{}); err != nil {
 		t.Fatalf("swapped interval should be handled: %v", err)
 	}
 }
@@ -98,7 +104,7 @@ func TestSearchPropagatesSimErrors(t *testing.T) {
 	if _, _, _, err := MinPressureForTmax(sim, 320, 1e3, SearchOptions{}); !errors.Is(err, boom) {
 		t.Fatalf("Tmax search should propagate sim errors, got %v", err)
 	}
-	if _, _, err := GoldenSectionMinDeltaT(sim, 1e3, 1e4, SearchOptions{}); !errors.Is(err, boom) {
+	if _, _, _, err := GoldenSectionMinDeltaT(sim, 1e3, 1e4, SearchOptions{}); !errors.Is(err, boom) {
 		t.Fatalf("golden section should propagate sim errors, got %v", err)
 	}
 }

@@ -8,8 +8,11 @@ import (
 	"lcn3d/internal/units"
 )
 
-// assemble builds the coarse steady thermal system at the given pressure.
-func (m *Model) assemble(psys float64) (*thermal.Assembler, []float64, error) {
+// assembleRef builds the coarse steady thermal system at the reference
+// pressure of the flow solutions (P_sys = 1 Pa). Convection terms are
+// recorded through the assembler's flow group, so the compiled Factored
+// system reproduces any positive pressure by linear scaling.
+func (m *Model) assembleRef() (*thermal.Assembler, []float64, error) {
 	stk := m.Stk
 	cd := m.til.Coarse
 	nc := cd.N()
@@ -19,10 +22,10 @@ func (m *Model) assemble(psys float64) (*thermal.Assembler, []float64, error) {
 
 	var qsysTotal float64
 	for _, ref := range m.refFlows {
-		qsysTotal += ref.Qsys * psys // reference is at 1 Pa
+		qsysTotal += ref.Qsys
 	}
 	if qsysTotal <= 0 && stk.TotalPower() > 0 {
-		return nil, nil, fmt.Errorf("rm2: no coolant flow at P_sys=%g Pa", psys)
+		return nil, nil, fmt.Errorf("rm2: network admits no coolant flow")
 	}
 
 	for l, layer := range stk.Layers {
@@ -92,7 +95,7 @@ func (m *Model) assemble(psys float64) (*thermal.Assembler, []float64, error) {
 								(0.5 * float64(m.til.Width(cx)+m.til.Width(cx+1)))
 							asm.Conductance(ln, l2, gLL)
 						}
-						if q := ci.netQE[c] * psys; q > 0 {
+						if q := ci.netQE[c]; q > 0 {
 							asm.Convection(ln, l2, cv*q)
 						} else if q < 0 {
 							asm.Convection(l2, ln, -cv*q)
@@ -113,7 +116,7 @@ func (m *Model) assemble(psys float64) (*thermal.Assembler, []float64, error) {
 								(0.5 * float64(m.til.Height(cy)+m.til.Height(cy+1)))
 							asm.Conductance(ln, l2, gLL)
 						}
-						if q := ci.netQN[c] * psys; q > 0 {
+						if q := ci.netQN[c]; q > 0 {
 							asm.Convection(ln, l2, cv*q)
 						} else if q < 0 {
 							asm.Convection(l2, ln, -cv*q)
@@ -131,10 +134,10 @@ func (m *Model) assemble(psys float64) (*thermal.Assembler, []float64, error) {
 				}
 				// Inlet/outlet convection.
 				if ln >= 0 {
-					if q := ci.qIn[c] * psys; q > 0 {
+					if q := ci.qIn[c]; q > 0 {
 						asm.ConvectionInlet(ln, cv*q, stk.TinK)
 					}
-					if q := ci.qOut[c] * psys; q > 0 {
+					if q := ci.qOut[c]; q > 0 {
 						asm.ConvectionOutlet(ln, cv*q)
 					}
 				}

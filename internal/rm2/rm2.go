@@ -10,6 +10,7 @@ package rm2
 
 import (
 	"fmt"
+	"sync"
 
 	"lcn3d/internal/flow"
 	"lcn3d/internal/grid"
@@ -60,6 +61,37 @@ type Model struct {
 	numNodes   int
 
 	ch []chInfo // per channel ordinal, static geometry aggregates
+
+	// The factored thermal system is assembled once at the reference
+	// pressure and reused across all Simulate probes (pattern, conduction
+	// block, warm starts, preconditioner).
+	factOnce sync.Once
+	fact     *thermal.Factored
+	caps     []float64
+	factErr  error
+}
+
+// factored lazily compiles the reference-pressure system.
+func (m *Model) factored() (*thermal.Factored, error) {
+	m.factOnce.Do(func() {
+		asm, caps, err := m.assembleRef()
+		if err != nil {
+			m.factErr = err
+			return
+		}
+		m.fact = asm.Factor()
+		m.caps = caps
+	})
+	return m.fact, m.factErr
+}
+
+// FactorStats exposes the amortization counters of the model's factored
+// system (zero-valued before the first Simulate).
+func (m *Model) FactorStats() thermal.FactorStats {
+	if m.fact == nil {
+		return thermal.FactorStats{}
+	}
+	return m.fact.Stats()
 }
 
 // chInfo caches the per-coarse-cell aggregates of one channel layer.

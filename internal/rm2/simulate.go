@@ -1,16 +1,36 @@
 package rm2
 
 import (
+	"fmt"
+
 	"lcn3d/internal/thermal"
 )
 
-// Simulate implements thermal.Model.
+// checkFlow rejects pressures at which the powered stack has no coolant
+// throughput (no steady state exists under adiabatic boundaries).
+func (m *Model) checkFlow(psys float64) error {
+	var qsysTotal float64
+	for _, ref := range m.refFlows {
+		qsysTotal += ref.Qsys * psys // reference is at 1 Pa
+	}
+	if qsysTotal <= 0 && m.Stk.TotalPower() > 0 {
+		return fmt.Errorf("rm2: no coolant flow at P_sys=%g Pa", psys)
+	}
+	return nil
+}
+
+// Simulate implements thermal.Model. The thermal system is assembled once
+// per model at the reference pressure; each probe rescales the convection
+// block in place and warm-starts the solve (see thermal.Factored).
 func (m *Model) Simulate(psys float64) (*thermal.Outcome, error) {
-	asm, _, err := m.assemble(psys)
+	if err := m.checkFlow(psys); err != nil {
+		return nil, err
+	}
+	fact, err := m.factored()
 	if err != nil {
 		return nil, err
 	}
-	temps, res, err := asm.SolveSteady(m.Stk.TinK)
+	temps, res, probe, err := fact.SolveAt(psys, m.Stk.TinK)
 	if err != nil {
 		return nil, err
 	}
@@ -20,6 +40,7 @@ func (m *Model) Simulate(psys float64) (*thermal.Outcome, error) {
 		SourceDims: cd,
 		FineDims:   m.Stk.Dims,
 		SolveIters: res.Iterations,
+		Probe:      probe,
 	}
 	for _, l := range m.Stk.SourceLayers() {
 		field := make([]float64, cd.N())
@@ -57,11 +78,14 @@ func (m *Model) expand(coarse []float64) []float64 {
 // EnergyBalance returns (coolant enthalpy rise, total die power) for the
 // steady solution at psys.
 func (m *Model) EnergyBalance(psys float64) (carried, injected float64, err error) {
-	asm, _, err := m.assemble(psys)
+	if err := m.checkFlow(psys); err != nil {
+		return 0, 0, err
+	}
+	fact, err := m.factored()
 	if err != nil {
 		return 0, 0, err
 	}
-	temps, _, err := asm.SolveSteady(m.Stk.TinK)
+	temps, _, _, err := fact.SolveAt(psys, m.Stk.TinK)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -7,6 +7,7 @@ package rm4
 
 import (
 	"fmt"
+	"sync"
 
 	"lcn3d/internal/flow"
 	"lcn3d/internal/network"
@@ -26,6 +27,14 @@ type Model struct {
 	geom     flow.Geometry
 	refFlows []*flow.Solution // flow solutions at P_sys = 1 Pa
 	chOfIdx  map[int]int      // layer index -> channel ordinal
+
+	// The factored thermal system is assembled once at the reference
+	// pressure and reused across all Simulate probes (pattern, conduction
+	// block, warm starts, preconditioner).
+	factOnce sync.Once
+	fact     *thermal.Factored
+	caps     []float64
+	factErr  error
 }
 
 // New validates the inputs and pre-solves the (pressure-independent) flow
@@ -75,10 +84,12 @@ func (m *Model) node(l, i int) int { return l*m.Stk.Dims.N() + i }
 // NumNodes returns the size of the thermal system.
 func (m *Model) NumNodes() int { return len(m.Stk.Layers) * m.Stk.Dims.N() }
 
-// assemble builds the steady thermal system at the given pressure and
-// also returns the per-node heat capacities (J/K) used by the transient
-// extension.
-func (m *Model) assemble(psys float64) (*thermal.Assembler, []float64, []*flow.Solution, error) {
+// assembleRef builds the steady thermal system at the reference pressure
+// of the flow solutions (P_sys = 1 Pa) and also returns the per-node heat
+// capacities (J/K) used by the transient extension. Convection terms go
+// through the assembler's flow group, so the compiled Factored system
+// reproduces any positive pressure by linear scaling.
+func (m *Model) assembleRef() (*thermal.Assembler, []float64, error) {
 	stk := m.Stk
 	d := stk.Dims
 	n := d.N()
@@ -86,15 +97,12 @@ func (m *Model) assemble(psys float64) (*thermal.Assembler, []float64, []*flow.S
 	caps := make([]float64, m.NumNodes())
 	pitch := stk.Pitch
 
-	// Scale the reference flow fields to the requested pressure.
-	flows := make([]*flow.Solution, len(m.refFlows))
 	var qsysTotal float64
-	for k, ref := range m.refFlows {
-		flows[k] = ref.ScaleTo(psys)
-		qsysTotal += flows[k].Qsys
+	for _, ref := range m.refFlows {
+		qsysTotal += ref.Qsys
 	}
 	if qsysTotal <= 0 && stk.TotalPower() > 0 {
-		return nil, nil, nil, fmt.Errorf("rm4: no coolant flow at P_sys=%g Pa; steady state does not exist under adiabatic boundaries", psys)
+		return nil, nil, fmt.Errorf("rm4: network admits no coolant flow")
 	}
 
 	for l, layer := range stk.Layers {
@@ -106,7 +114,7 @@ func (m *Model) assemble(psys float64) (*thermal.Assembler, []float64, []*flow.S
 		if isCh {
 			k := m.chOfIdx[l]
 			net = m.Nets[k]
-			fs = flows[k]
+			fs = m.refFlows[k]
 		}
 		liquid := func(i int) bool { return isCh && net.Liquid[i] }
 		// Film coefficient per liquid cell; width modulation (GreenCool
@@ -230,23 +238,66 @@ func (m *Model) assemble(psys float64) (*thermal.Assembler, []float64, []*flow.S
 			}
 		}
 	}
-	return asm, caps, flows, nil
+	return asm, caps, nil
 }
 
-// Simulate implements thermal.Model.
+// factored lazily compiles the reference-pressure system.
+func (m *Model) factored() (*thermal.Factored, error) {
+	m.factOnce.Do(func() {
+		asm, caps, err := m.assembleRef()
+		if err != nil {
+			m.factErr = err
+			return
+		}
+		m.fact = asm.Factor()
+		m.caps = caps
+	})
+	return m.fact, m.factErr
+}
+
+// FactorStats exposes the amortization counters of the model's factored
+// system (zero-valued before the first Simulate).
+func (m *Model) FactorStats() thermal.FactorStats {
+	if m.fact == nil {
+		return thermal.FactorStats{}
+	}
+	return m.fact.Stats()
+}
+
+// checkFlow rejects pressures at which the powered stack has no coolant
+// throughput (no steady state exists under adiabatic boundaries).
+func (m *Model) checkFlow(psys float64) error {
+	var qsysTotal float64
+	for _, ref := range m.refFlows {
+		qsysTotal += ref.Qsys * psys
+	}
+	if qsysTotal <= 0 && m.Stk.TotalPower() > 0 {
+		return fmt.Errorf("rm4: no coolant flow at P_sys=%g Pa; steady state does not exist under adiabatic boundaries", psys)
+	}
+	return nil
+}
+
+// Simulate implements thermal.Model. The thermal system is assembled once
+// per model at the reference pressure; each probe rescales the convection
+// block in place and warm-starts the solve (see thermal.Factored).
 func (m *Model) Simulate(psys float64) (*thermal.Outcome, error) {
-	asm, _, flows, err := m.assemble(psys)
+	if err := m.checkFlow(psys); err != nil {
+		return nil, err
+	}
+	fact, err := m.factored()
 	if err != nil {
 		return nil, err
 	}
-	temps, res, err := asm.SolveSteady(m.Stk.TinK)
+	temps, res, probe, err := fact.SolveAt(psys, m.Stk.TinK)
 	if err != nil {
 		return nil, err
 	}
-	return m.outcome(psys, temps, flows, res.Iterations), nil
+	out := m.outcome(psys, temps, res.Iterations)
+	out.Probe = probe
+	return out, nil
 }
 
-func (m *Model) outcome(psys float64, temps []float64, flows []*flow.Solution, iters int) *thermal.Outcome {
+func (m *Model) outcome(psys float64, temps []float64, iters int) *thermal.Outcome {
 	d := m.Stk.Dims
 	n := d.N()
 	out := &thermal.Outcome{
@@ -262,8 +313,8 @@ func (m *Model) outcome(psys float64, temps []float64, flows []*flow.Solution, i
 	}
 	out.FineTemps = out.SourceTemps
 	out.Metrics = thermal.ComputeMetrics(out.SourceTemps)
-	for _, f := range flows {
-		out.Qsys += f.Qsys
+	for _, ref := range m.refFlows {
+		out.Qsys += ref.Qsys * psys
 	}
 	out.Wpump = psys * out.Qsys
 	if out.Qsys > 0 {
@@ -276,19 +327,22 @@ func (m *Model) outcome(psys float64, temps []float64, flows []*flow.Solution, i
 // given pressure; the two agree to solver tolerance under the adiabatic
 // boundaries (used by the property tests).
 func (m *Model) EnergyBalance(psys float64) (carried, injected float64, err error) {
-	asm, _, flows, err := m.assemble(psys)
+	if err := m.checkFlow(psys); err != nil {
+		return 0, 0, err
+	}
+	fact, err := m.factored()
 	if err != nil {
 		return 0, 0, err
 	}
-	temps, _, err := asm.SolveSteady(m.Stk.TinK)
+	temps, _, _, err := fact.SolveAt(psys, m.Stk.TinK)
 	if err != nil {
 		return 0, 0, err
 	}
 	for k, li := range m.Stk.ChannelLayers() {
-		fs := flows[k]
-		for i, q := range fs.QOut {
-			if q > 0 {
-				carried += m.Stk.Coolant.Cv * q * (temps[m.node(li, i)] - m.Stk.TinK)
+		ref := m.refFlows[k]
+		for i, q := range ref.QOut {
+			if qs := q * psys; qs > 0 {
+				carried += m.Stk.Coolant.Cv * qs * (temps[m.node(li, i)] - m.Stk.TinK)
 			}
 		}
 	}
@@ -298,22 +352,29 @@ func (m *Model) EnergyBalance(psys float64) (carried, injected float64, err erro
 // Temperatures runs a steady simulation and returns the full temperature
 // field (layer-major) for inspection and the transient extension.
 func (m *Model) Temperatures(psys float64) ([]float64, error) {
-	asm, _, _, err := m.assemble(psys)
+	if err := m.checkFlow(psys); err != nil {
+		return nil, err
+	}
+	fact, err := m.factored()
 	if err != nil {
 		return nil, err
 	}
-	t, _, err := asm.SolveSteady(m.Stk.TinK)
+	t, _, _, err := fact.SolveAt(psys, m.Stk.TinK)
 	return t, err
 }
 
 // System exposes the assembled steady system and heat capacities for the
 // transient extension: C dT/dt = b - A T.
 func (m *Model) System(psys float64) (a *SystemMatrices, err error) {
-	asm, caps, _, err := m.assemble(psys)
+	if err := m.checkFlow(psys); err != nil {
+		return nil, err
+	}
+	fact, err := m.factored()
 	if err != nil {
 		return nil, err
 	}
-	mat, rhs := asm.Build()
+	mat, rhs := fact.SystemAt(psys)
+	caps := append([]float64(nil), m.caps...)
 	return &SystemMatrices{A: mat, B: rhs, Cap: caps, Tin: m.Stk.TinK}, nil
 }
 

@@ -1,0 +1,117 @@
+package sparse
+
+import "fmt"
+
+// AffinePair holds the compiled union pattern of two matrices S and F of
+// equal dimension and materializes M(s) = S + s·F by rewriting the value
+// array of a single CSR in place. The sparsity pattern is merged once at
+// construction; SetShift then costs one pass over the nonzeros with no
+// sorting and no allocation. This is the pattern-preserving update path
+// the thermal simulators use to re-evaluate one network at many system
+// pressures: conduction entries (S) are pressure-independent while
+// convection entries (F) scale linearly with P_sys.
+type AffinePair struct {
+	mat *CSR
+	// base and slope are S's and F's values expanded onto the union
+	// pattern (zero where a matrix has no entry), so SetShift is a single
+	// fused multiply-add sweep.
+	base, slope []float64
+	shift       float64
+}
+
+// NewAffinePair merges the patterns of S and F. Both matrices are copied;
+// later mutation of s or f does not affect the pair. The pair's matrix is
+// initialized to shift 0, i.e. M = S.
+func NewAffinePair(s, f *CSR) (*AffinePair, error) {
+	if s.N != f.N {
+		return nil, fmt.Errorf("sparse: affine pair dimension mismatch: %d vs %d", s.N, f.N)
+	}
+	n := s.N
+	m := &CSR{N: n, RowPtr: make([]int, n+1)}
+	// First pass: count union entries per row (both CSR rows are sorted by
+	// column, so a linear merge suffices).
+	for i := 0; i < n; i++ {
+		m.RowPtr[i+1] = m.RowPtr[i] + mergedRowLen(s, f, i)
+	}
+	nnz := m.RowPtr[n]
+	m.Cols = make([]int, nnz)
+	m.Vals = make([]float64, nnz)
+	p := &AffinePair{mat: m, base: make([]float64, nnz), slope: make([]float64, nnz)}
+	// Second pass: fill columns and the expanded value arrays.
+	for i := 0; i < n; i++ {
+		k := m.RowPtr[i]
+		a, aEnd := s.RowPtr[i], s.RowPtr[i+1]
+		b, bEnd := f.RowPtr[i], f.RowPtr[i+1]
+		for a < aEnd || b < bEnd {
+			switch {
+			case b >= bEnd || (a < aEnd && s.Cols[a] < f.Cols[b]):
+				m.Cols[k] = s.Cols[a]
+				p.base[k] = s.Vals[a]
+				a++
+			case a >= aEnd || f.Cols[b] < s.Cols[a]:
+				m.Cols[k] = f.Cols[b]
+				p.slope[k] = f.Vals[b]
+				b++
+			default: // same column in both
+				m.Cols[k] = s.Cols[a]
+				p.base[k] = s.Vals[a]
+				p.slope[k] = f.Vals[b]
+				a++
+				b++
+			}
+			k++
+		}
+	}
+	copy(m.Vals, p.base)
+	return p, nil
+}
+
+// mergedRowLen counts the union of row i's column sets.
+func mergedRowLen(s, f *CSR, i int) int {
+	a, aEnd := s.RowPtr[i], s.RowPtr[i+1]
+	b, bEnd := f.RowPtr[i], f.RowPtr[i+1]
+	n := 0
+	for a < aEnd || b < bEnd {
+		switch {
+		case b >= bEnd || (a < aEnd && s.Cols[a] < f.Cols[b]):
+			a++
+		case a >= aEnd || f.Cols[b] < s.Cols[a]:
+			b++
+		default:
+			a++
+			b++
+		}
+		n++
+	}
+	return n
+}
+
+// Matrix returns the pair's CSR. The same matrix object is rewritten in
+// place by every SetShift call; callers that must retain a snapshot should
+// use MatrixCopy.
+func (p *AffinePair) Matrix() *CSR { return p.mat }
+
+// Shift returns the s of the currently materialized M = S + s·F.
+func (p *AffinePair) Shift() float64 { return p.shift }
+
+// SetShift rewrites the matrix values in place to M = S + s·F. No
+// allocation, no pattern work.
+func (p *AffinePair) SetShift(s float64) {
+	vals := p.mat.Vals
+	for k := range vals {
+		vals[k] = p.base[k] + s*p.slope[k]
+	}
+	p.shift = s
+}
+
+// MatrixCopy materializes an independent CSR at shift s, sharing nothing
+// with the pair's in-place matrix. Used where callers retain the system
+// beyond the next SetShift (e.g. the transient stepper).
+func (p *AffinePair) MatrixCopy(s float64) *CSR {
+	m := &CSR{N: p.mat.N, RowPtr: p.mat.RowPtr, Cols: p.mat.Cols,
+		Vals: make([]float64, len(p.mat.Vals))}
+	for k := range m.Vals {
+		m.Vals[k] = p.base[k] + s*p.slope[k]
+	}
+	return m
+}

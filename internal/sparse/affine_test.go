@@ -1,0 +1,129 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomCSR builds an n×n matrix with a random pattern (density d) plus a
+// full diagonal, via the Builder.
+func randomCSR(rng *rand.Rand, n int, d float64) *CSR {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 1+rng.Float64())
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < d {
+				b.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestAffinePairMatchesExplicitSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := randomCSR(rng, 40, 0.1)
+	f := randomCSR(rng, 40, 0.07)
+	p, err := NewAffinePair(s, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, fd := s.Dense(), f.Dense()
+	for _, shift := range []float64{0, 1, 0.5, 3.75e4, -2} {
+		p.SetShift(shift)
+		md := p.Matrix().Dense()
+		for i := range md {
+			for j := range md[i] {
+				want := sd[i][j] + shift*fd[i][j]
+				if math.Abs(md[i][j]-want) > 1e-12*(1+math.Abs(want)) {
+					t.Fatalf("shift %g: M[%d][%d] = %g, want %g", shift, i, j, md[i][j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestAffinePairUnionPattern(t *testing.T) {
+	// S has entries F lacks and vice versa; the union must hold both.
+	bs := NewBuilder(3)
+	bs.Add(0, 0, 1)
+	bs.Add(0, 2, 5)
+	bs.Add(1, 1, 2)
+	bs.Add(2, 2, 3)
+	bf := NewBuilder(3)
+	bf.Add(0, 1, 10)
+	bf.Add(1, 1, 4)
+	bf.Add(2, 0, 7)
+	p, err := NewAffinePair(bs.Build(), bf.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Matrix().NNZ(); got != 6 {
+		t.Fatalf("union nnz = %d, want 6", got)
+	}
+	p.SetShift(2)
+	m := p.Matrix()
+	checks := map[[2]int]float64{
+		{0, 0}: 1, {0, 1}: 20, {0, 2}: 5, {1, 1}: 10, {2, 0}: 14, {2, 2}: 3,
+	}
+	for rc, want := range checks {
+		if got := m.At(rc[0], rc[1]); got != want {
+			t.Fatalf("M[%d][%d] = %g, want %g", rc[0], rc[1], got, want)
+		}
+	}
+	if p.Shift() != 2 {
+		t.Fatalf("shift = %g", p.Shift())
+	}
+}
+
+func TestAffinePairSetShiftReproducible(t *testing.T) {
+	// Revisiting a shift must reproduce bitwise-identical values: the
+	// memoized pressure probes rely on value updates being deterministic.
+	rng := rand.New(rand.NewSource(3))
+	s := randomCSR(rng, 25, 0.15)
+	f := randomCSR(rng, 25, 0.15)
+	p, err := NewAffinePair(s, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetShift(1.37e4)
+	first := append([]float64(nil), p.Matrix().Vals...)
+	p.SetShift(9.1e3)
+	p.SetShift(1.37e4)
+	for k, v := range p.Matrix().Vals {
+		if v != first[k] {
+			t.Fatalf("entry %d changed across revisit: %g vs %g", k, v, first[k])
+		}
+	}
+}
+
+func TestAffinePairMatrixCopyIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := randomCSR(rng, 10, 0.2)
+	f := randomCSR(rng, 10, 0.2)
+	p, err := NewAffinePair(s, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := p.MatrixCopy(2)
+	want := append([]float64(nil), snap.Vals...)
+	p.SetShift(17) // must not disturb the copy
+	for k, v := range snap.Vals {
+		if v != want[k] {
+			t.Fatalf("copy mutated at %d", k)
+		}
+	}
+	p.SetShift(2)
+	for k, v := range p.Matrix().Vals {
+		if v != snap.Vals[k] {
+			t.Fatalf("copy disagrees with in-place matrix at %d: %g vs %g", k, snap.Vals[k], v)
+		}
+	}
+}
+
+func TestAffinePairDimensionMismatch(t *testing.T) {
+	if _, err := NewAffinePair(NewBuilder(2).Build(), NewBuilder(3).Build()); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+}

@@ -3,26 +3,49 @@ package sparse
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// parallelThreshold is the system size above which MulVec fans out to
+// parallelThreshold is the system size above which MulVecAuto fans out to
 // worker goroutines. Small systems (2RM-scale) stay serial: goroutine
 // overhead would dominate their sub-millisecond solves.
 const parallelThreshold = 20000
 
-// MulVec computes dst = M*x, fanning out across CPUs for large matrices
-// (the 4RM systems reach ~10^5 rows; SpMV dominates BiCGSTAB time).
-// Row partitioning makes the parallel result bitwise identical to the
-// serial one.
+// spmvWorkers caps the goroutines MulVecAuto fans out to. Zero means
+// "use runtime.GOMAXPROCS(0)". Stored atomically so the cap can be tuned
+// while solves are running (benchmarks sweep it).
+var spmvWorkers int32
+
+// SetSpMVWorkers sets the worker cap for parallel SpMV. n <= 0 restores
+// the default (GOMAXPROCS). BenchmarkMulVecAutoWorkers sweeps this to
+// pick a cap for a given machine; on the 4RM systems (~10^5 rows) SpMV
+// scales with the memory bandwidth, so GOMAXPROCS is the right default
+// rather than a hard-coded core count.
+func SetSpMVWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	atomic.StoreInt32(&spmvWorkers, int32(n))
+}
+
+// SpMVWorkers reports the effective worker cap.
+func SpMVWorkers() int {
+	if n := int(atomic.LoadInt32(&spmvWorkers)); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// MulVecAuto computes dst = M*x like MulVec, fanning out across CPUs for
+// large matrices (the 4RM systems reach ~10^5 rows; SpMV dominates
+// BiCGSTAB time). Row partitioning makes the parallel result bitwise
+// identical to the serial one.
 func (m *CSR) MulVecAuto(dst, x []float64) {
 	if m.N < parallelThreshold {
 		m.MulVec(dst, x)
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > 8 {
-		workers = 8
-	}
+	workers := SpMVWorkers()
 	if workers < 2 {
 		m.MulVec(dst, x)
 		return

@@ -1,0 +1,92 @@
+package sparse
+
+import (
+	"math/rand"
+	"runtime"
+	"strconv"
+	"testing"
+)
+
+// bandedCSR builds an n×n banded matrix (half-bandwidth w) quickly enough
+// to exercise the parallel SpMV path above parallelThreshold.
+func bandedCSR(rng *rand.Rand, n, w int) *CSR {
+	m := &CSR{N: n, RowPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		lo, hi := max(0, i-w), min(n-1, i+w)
+		for j := lo; j <= hi; j++ {
+			m.Cols = append(m.Cols, j)
+			m.Vals = append(m.Vals, rng.NormFloat64())
+		}
+		m.RowPtr[i+1] = len(m.Cols)
+	}
+	return m
+}
+
+func TestMulVecAutoBitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := parallelThreshold + 1234 // force the parallel path
+	m := bandedCSR(rng, n, 3)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	serial := make([]float64, n)
+	parallel := make([]float64, n)
+	m.MulVec(serial, x)
+	for _, workers := range []int{0, 1, 2, 3, 7, runtime.GOMAXPROCS(0)} {
+		SetSpMVWorkers(workers)
+		for i := range parallel {
+			parallel[i] = 0
+		}
+		m.MulVecAuto(parallel, x)
+		for i := range parallel {
+			if parallel[i] != serial[i] {
+				t.Fatalf("workers=%d: row %d differs: %v vs %v", workers, i, parallel[i], serial[i])
+			}
+		}
+	}
+	SetSpMVWorkers(0)
+}
+
+func TestSpMVWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	SetSpMVWorkers(0)
+	if got := SpMVWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default workers = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetSpMVWorkers(3)
+	if got := SpMVWorkers(); got != 3 {
+		t.Fatalf("workers = %d, want 3", got)
+	}
+	SetSpMVWorkers(-5) // negative restores the default
+	if got := SpMVWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("workers after reset = %d, want GOMAXPROCS", got)
+	}
+	SetSpMVWorkers(0)
+}
+
+// BenchmarkMulVecAutoWorkers sweeps the worker cap on a 4RM-scale SpMV,
+// the measurement behind defaulting the cap to GOMAXPROCS instead of the
+// previous hard-coded 8.
+func BenchmarkMulVecAutoWorkers(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 120000
+	m := bandedCSR(rng, n, 3)
+	x := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	caps := []int{1, 2, 4, 8}
+	if p := runtime.GOMAXPROCS(0); p > 8 {
+		caps = append(caps, p)
+	}
+	for _, w := range caps {
+		b.Run("workers="+strconv.Itoa(w), func(b *testing.B) {
+			SetSpMVWorkers(w)
+			defer SetSpMVWorkers(0)
+			for i := 0; i < b.N; i++ {
+				m.MulVecAuto(dst, x)
+			}
+		})
+	}
+}

@@ -1,0 +1,308 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"lcn3d/internal/solver"
+	"lcn3d/internal/sparse"
+)
+
+// Factored is a thermal system compiled for repeated solves of the same
+// network at many flow scales: A(s) = S + s·F, b(s) = b_S + s·b_F, where
+// S holds the pressure-independent conduction block and F the convection
+// block recorded at a reference flow (the rm2/rm4 models record at
+// P_sys = 1 Pa, so s is the system pressure in Pa). Per probe it rewrites
+// the matrix values in place (no pattern work, no allocation), warm-starts
+// the iterative solve from the cached field of the nearest previously
+// solved scale, and reuses the preconditioner across nearby scales,
+// refreshing it when iteration counts regress.
+//
+// SolveAt is safe for concurrent use; solves on one Factored serialize.
+type Factored struct {
+	mu        sync.Mutex
+	pair      *sparse.AffinePair
+	staticRHS []float64
+	flowRHS   []float64
+	rhs       []float64 // scratch, rewritten per probe
+	scheme    Scheme
+
+	warm []warmField // most recent last
+
+	pre      solver.Preconditioner
+	preScale float64 // scale the preconditioner was factorized at
+	preIters int     // iterations right after the last precond build; -1 = unset
+
+	tol float64 // solve tolerance; defaultSolveTol when zero
+
+	stats FactorStats
+}
+
+// defaultSolveTol is the relative residual the steady solves converge to.
+const defaultSolveTol = 1e-10
+
+// SetTol overrides the linear-solve tolerance (0 restores the default).
+// Tightening it makes independently seeded solves agree more closely, at
+// the cost of extra iterations per probe.
+func (f *Factored) SetTol(tol float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tol = tol
+}
+
+// warmField is one cached solution used to seed later solves.
+type warmField struct {
+	scale float64
+	t     []float64
+}
+
+// maxWarmFields bounds the solution cache; the pressure searches of
+// Algorithms 2/3 probe a few dozen distinct pressures per network, and
+// only the nearest neighbors matter.
+const maxWarmFields = 16
+
+// precondRegressionFactor triggers a preconditioner rebuild when a solve
+// needs more than this multiple of the post-build iteration count (plus a
+// small absolute slack for noise on tiny systems).
+const (
+	precondRegressionFactor = 2
+	precondRegressionSlack  = 16
+)
+
+// precondMaxDrift is the largest |log(s/s_build)| at which the cached
+// preconditioner is still used. The refinement phases of the pressure
+// searches (bisection, golden section) probe within a factor ~1.5 of the
+// previous probe and reuse it; the decade-spanning doubling sweeps
+// (e.g. MinPressureForTmax climbing from P_min) refactorize, because an
+// ILU built where convection dominates is nearly useless where
+// conduction dominates — iteration counts explode long before the
+// regression heuristic can react.
+const precondMaxDrift = 0.5
+
+// FactorStats accumulates amortization counters across the lifetime of a
+// factored system.
+type FactorStats struct {
+	Probes        int   // SolveAt calls
+	WarmStarts    int   // solves seeded from a cached temperature field
+	PrecondBuilds int   // preconditioner constructions
+	SolveIters    int   // total linear-solver iterations
+	AssemblyNS    int64 // cumulative nanoseconds spent rewriting values
+}
+
+// WarmStartRate reports the fraction of probes that were warm-started.
+func (s FactorStats) WarmStartRate() float64 {
+	if s.Probes == 0 {
+		return 0
+	}
+	return float64(s.WarmStarts) / float64(s.Probes)
+}
+
+// ProbeStats describes what one SolveAt call did.
+type ProbeStats struct {
+	AssemblyNS    int64 // time spent rewriting matrix/RHS values
+	WarmStarted   bool  // initial guess came from a cached field
+	PrecondBuilds int   // preconditioner builds this probe triggered
+}
+
+// Factor compiles the assembler into a reusable factored system. The
+// assembler's recorded values are copied; it can be discarded afterwards.
+func (a *Assembler) Factor() *Factored {
+	s := a.static.Build()
+	fl := a.flow.Build()
+	pair, err := sparse.NewAffinePair(s, fl)
+	if err != nil {
+		// Both builders share the assembler's dimension; this is unreachable.
+		panic(err)
+	}
+	n := a.N()
+	f := &Factored{
+		pair:      pair,
+		staticRHS: append([]float64(nil), a.rhs...),
+		flowRHS:   append([]float64(nil), a.flowRHS...),
+		rhs:       make([]float64, n),
+		scheme:    a.scheme,
+		preIters:  -1,
+	}
+	return f
+}
+
+// N returns the system size.
+func (f *Factored) N() int { return len(f.rhs) }
+
+// Stats snapshots the cumulative amortization counters.
+func (f *Factored) Stats() FactorStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// NNZ returns the stored entries of the union pattern.
+func (f *Factored) NNZ() int { return f.pair.Matrix().NNZ() }
+
+// reassemble rewrites the in-place matrix and RHS to scale s and returns
+// the nanoseconds spent.
+func (f *Factored) reassemble(s float64) int64 {
+	t0 := time.Now()
+	f.pair.SetShift(s)
+	for i := range f.rhs {
+		f.rhs[i] = f.staticRHS[i] + s*f.flowRHS[i]
+	}
+	return time.Since(t0).Nanoseconds()
+}
+
+// SystemAt materializes an independent copy of the system at scale s, for
+// callers that retain the matrices (transient stepping, inspection).
+func (f *Factored) SystemAt(s float64) (*sparse.CSR, []float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rhs := make([]float64, len(f.rhs))
+	for i := range rhs {
+		rhs[i] = f.staticRHS[i] + s*f.flowRHS[i]
+	}
+	return f.pair.MatrixCopy(s), rhs
+}
+
+// SolveAt solves A(s)·T = b(s), seeding the iteration from the cached
+// field of the nearest previously solved scale (falling back to a uniform
+// tGuess). The returned slice is owned by the caller.
+func (f *Factored) SolveAt(s, tGuess float64) ([]float64, solver.Result, ProbeStats, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	var probe ProbeStats
+	probe.AssemblyNS = f.reassemble(s)
+	f.stats.Probes++
+	f.stats.AssemblyNS += probe.AssemblyNS
+	mat := f.pair.Matrix()
+
+	t := make([]float64, f.N())
+	if w := f.nearestWarm(s); w != nil {
+		copy(t, w.t)
+		probe.WarmStarted = true
+		f.stats.WarmStarts++
+	} else {
+		for i := range t {
+			t[i] = tGuess
+		}
+	}
+
+	builds0 := f.stats.PrecondBuilds
+	freshPre := false
+	if f.pre == nil || scaleDistance(s, f.preScale) > precondMaxDrift {
+		f.buildPrecond(mat, s)
+		freshPre = true
+	}
+	tol := f.tol
+	if tol <= 0 {
+		tol = defaultSolveTol
+	}
+	opt := solver.Options{
+		Tol: tol, MaxIter: 40 * f.N(), Precond: f.pre, Restart: 80,
+	}
+	res, err := solver.SolveGeneral(mat, f.rhs, t, opt)
+	if err != nil && !freshPre {
+		// A preconditioner built at a distant scale can stall the solve;
+		// rebuild at the current matrix and retry once from a cold start.
+		f.buildPrecond(mat, s)
+		for i := range t {
+			t[i] = tGuess
+		}
+		opt.Precond = f.pre
+		prevIters := res.Iterations
+		res, err = solver.SolveGeneral(mat, f.rhs, t, opt)
+		res.Iterations += prevIters
+	}
+	f.stats.SolveIters += res.Iterations
+	probe.PrecondBuilds = f.stats.PrecondBuilds - builds0
+	if err != nil {
+		return nil, res, probe, fmt.Errorf("thermal: steady solve failed: %w (res %.3g)", err, res.Residual)
+	}
+
+	// Track preconditioner quality: remember the iteration count of the
+	// first solve that really exercised it (a warm start converging in 0
+	// iterations says nothing), and schedule a refresh once solves regress
+	// past the threshold (the next probe then factorizes the current
+	// matrix).
+	if f.preIters < 0 {
+		if res.Iterations > 0 {
+			f.preIters = res.Iterations
+		}
+	} else if res.Iterations > precondRegressionFactor*f.preIters+precondRegressionSlack {
+		f.pre = nil
+		f.preIters = -1
+	}
+
+	f.remember(s, t)
+	return t, res, probe, nil
+}
+
+func (f *Factored) buildPrecond(mat *sparse.CSR, s float64) {
+	f.pre = &lazyPrecond{mat: mat, f: f}
+	f.preScale = s
+	f.preIters = -1
+}
+
+// lazyPrecond defers the ILU factorization to the first Apply: a probe
+// whose warm start is already converged (common when revisiting a
+// pressure) never pays for a preconditioner it would not use. The
+// factorization snapshots the in-place matrix values at first use; f.pre
+// is only applied while SolveAt holds f.mu, so the snapshot always
+// matches the scale being solved (modulo the accepted drift window).
+type lazyPrecond struct {
+	mat   *sparse.CSR
+	f     *Factored
+	inner solver.Preconditioner
+}
+
+func (l *lazyPrecond) Apply(z, r []float64) {
+	if l.inner == nil {
+		l.inner = solver.BestPrecond(l.mat)
+		l.f.stats.PrecondBuilds++
+	}
+	l.inner.Apply(z, r)
+}
+
+// nearestWarm picks the cached field whose scale is closest to s in log
+// space (pressure probes span decades; ratios are what predict field
+// similarity).
+func (f *Factored) nearestWarm(s float64) *warmField {
+	best := -1
+	bestD := math.Inf(1)
+	for i := range f.warm {
+		d := scaleDistance(f.warm[i].scale, s)
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return &f.warm[best]
+}
+
+func scaleDistance(a, b float64) float64 {
+	if a > 0 && b > 0 {
+		return math.Abs(math.Log(a / b))
+	}
+	return math.Abs(a - b)
+}
+
+// remember stores a copy of the solved field, evicting the oldest entry
+// once the cache is full.
+func (f *Factored) remember(s float64, t []float64) {
+	for i := range f.warm {
+		if f.warm[i].scale == s {
+			copy(f.warm[i].t, t)
+			return
+		}
+	}
+	cp := append([]float64(nil), t...)
+	if len(f.warm) >= maxWarmFields {
+		copy(f.warm, f.warm[1:])
+		f.warm[len(f.warm)-1] = warmField{scale: s, t: cp}
+		return
+	}
+	f.warm = append(f.warm, warmField{scale: s, t: cp})
+}

@@ -7,8 +7,6 @@
 package thermal
 
 import (
-	"fmt"
-
 	"lcn3d/internal/grid"
 	"lcn3d/internal/solver"
 	"lcn3d/internal/sparse"
@@ -38,19 +36,32 @@ func (s Scheme) String() string {
 // Equation convention per node i:
 //
 //	Σ_j g_ij (T_i - T_j)  +  convection_out(i) - convection_in(i)  =  q_i
+//
+// Entries are recorded in two groups: conduction terms (Conductance,
+// Dirichlet, Source) are pressure-independent, while convection terms
+// (Convection, ConvectionInlet, ConvectionOutlet) are proportional to the
+// coolant flow rate and therefore to P_sys. Build sums the two groups;
+// Factor keeps them separate so that repeated probes of the same network
+// at different pressures reuse the pattern, the conduction block, and the
+// solver state (see Factored).
 type Assembler struct {
-	b      *sparse.Builder
-	rhs    []float64
-	scheme Scheme
+	static  *sparse.Builder // conduction entries, pressure-independent
+	flow    *sparse.Builder // convection entries, linear in the flow rate
+	rhs     []float64       // static RHS: sources and Dirichlet baths
+	flowRHS []float64       // flow RHS: inlet convection, linear in flow
+	scheme  Scheme
 }
 
 // NewAssembler creates an assembler for n nodes.
 func NewAssembler(n int, scheme Scheme) *Assembler {
-	return &Assembler{b: sparse.NewBuilder(n), rhs: make([]float64, n), scheme: scheme}
+	return &Assembler{
+		static: sparse.NewBuilder(n), flow: sparse.NewBuilder(n),
+		rhs: make([]float64, n), flowRHS: make([]float64, n), scheme: scheme,
+	}
 }
 
 // N returns the number of nodes.
-func (a *Assembler) N() int { return a.b.N() }
+func (a *Assembler) N() int { return a.static.N() }
 
 // Conductance adds a thermal conductance g between nodes i and j.
 // Zero or negative conductances are ignored.
@@ -58,7 +69,7 @@ func (a *Assembler) Conductance(i, j int, g float64) {
 	if g <= 0 {
 		return
 	}
-	a.b.AddSym(i, j, g)
+	a.static.AddSym(i, j, g)
 }
 
 // Dirichlet ties node i to a fixed external temperature t through
@@ -67,7 +78,7 @@ func (a *Assembler) Dirichlet(i int, g, t float64) {
 	if g <= 0 {
 		return
 	}
-	a.b.Add(i, i, g)
+	a.static.Add(i, i, g)
 	a.rhs[i] += g * t
 }
 
@@ -84,14 +95,14 @@ func (a *Assembler) Convection(i, j int, c float64) {
 	switch a.scheme {
 	case Central:
 		// Energy crossing the interface: c * (T_i + T_j)/2.
-		a.b.Add(i, i, c/2)
-		a.b.Add(i, j, c/2)
-		a.b.Add(j, i, -c/2)
-		a.b.Add(j, j, -c/2)
+		a.flow.Add(i, i, c/2)
+		a.flow.Add(i, j, c/2)
+		a.flow.Add(j, i, -c/2)
+		a.flow.Add(j, j, -c/2)
 	case Upwind:
 		// Energy crossing the interface: c * T_i (upstream value).
-		a.b.Add(i, i, c)
-		a.b.Add(j, i, -c)
+		a.flow.Add(i, i, c)
+		a.flow.Add(j, i, -c)
 	}
 }
 
@@ -101,7 +112,7 @@ func (a *Assembler) ConvectionInlet(i int, c, tin float64) {
 	if c <= 0 {
 		return
 	}
-	a.rhs[i] += c * tin
+	a.flowRHS[i] += c * tin
 }
 
 // ConvectionOutlet models coolant leaving node i to an outlet with
@@ -111,29 +122,21 @@ func (a *Assembler) ConvectionOutlet(i int, c float64) {
 	if c <= 0 {
 		return
 	}
-	a.b.Add(i, i, c)
+	a.flow.Add(i, i, c)
 }
 
-// Build compiles the system.
+// Build compiles the system as recorded (conduction plus convection at
+// the magnitudes the caller stamped).
 func (a *Assembler) Build() (*sparse.CSR, []float64) {
-	return a.b.Build(), a.rhs
+	f := a.Factor()
+	return f.SystemAt(1)
 }
 
 // SolveSteady assembles and solves the steady system, starting the
 // iteration from tGuess (pass the inlet temperature).
 func (a *Assembler) SolveSteady(tGuess float64) ([]float64, solver.Result, error) {
-	m, rhs := a.Build()
-	t := make([]float64, a.N())
-	for i := range t {
-		t[i] = tGuess
-	}
-	res, err := solver.SolveGeneral(m, rhs, t, solver.Options{
-		Tol: 1e-10, MaxIter: 40 * a.N(), Precond: solver.BestPrecond(m), Restart: 80,
-	})
-	if err != nil {
-		return nil, res, fmt.Errorf("thermal: steady solve failed: %w (res %.3g)", err, res.Residual)
-	}
-	return t, res, nil
+	t, res, _, err := a.Factor().SolveAt(1, tGuess)
+	return t, res, err
 }
 
 // LayerStats summarizes one source layer's temperature field.
@@ -201,6 +204,9 @@ type Outcome struct {
 	FineTemps [][]float64
 
 	SolveIters int
+	// Probe reports the assembly-amortization counters of the solve that
+	// produced this outcome (zero-valued on the from-scratch path).
+	Probe ProbeStats
 }
 
 // Model is a thermal simulator bound to one stack and cooling network.
