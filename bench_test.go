@@ -8,6 +8,7 @@ package lcn3d
 // front end for those).
 
 import (
+	"context"
 	"io"
 	"math"
 	"os"
@@ -235,7 +236,7 @@ func BenchmarkNetworkEvaluation(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := core.EvaluatePumpMin(core.Memo(mod.Simulate), bench.DeltaTStar, bench.TmaxStar, core.SearchOptions{}); err != nil {
+		if _, err := core.EvaluatePumpMin(context.Background(), core.Memo(mod.Simulate), bench.DeltaTStar, bench.TmaxStar, core.SearchOptions{}); err != nil {
 			b.Fatal(err)
 		}
 		st := mod.FactorStats()
@@ -333,7 +334,7 @@ func BenchmarkAblationStage1Cost(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := core.EvaluatePumpMin(sim, bench.DeltaTStar, bench.TmaxStar, core.SearchOptions{}); err != nil {
+			if _, err := core.EvaluatePumpMin(context.Background(), sim, bench.DeltaTStar, bench.TmaxStar, core.SearchOptions{}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -5,10 +5,14 @@ package main
 // be diffed across commits without parsing `go test -bench` text output.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
+	"sync"
 	"time"
 
 	"lcn3d/internal/core"
@@ -17,6 +21,7 @@ import (
 	"lcn3d/internal/network"
 	"lcn3d/internal/rm2"
 	"lcn3d/internal/rm4"
+	"lcn3d/internal/service"
 	"lcn3d/internal/thermal"
 )
 
@@ -34,8 +39,71 @@ type benchEntry struct {
 // benchReport is the BENCH_<date>.json schema.
 type benchReport struct {
 	Date    string       `json:"date"`
+	Commit  string       `json:"commit"`
 	Scale   int          `json:"scale"`
 	Results []benchEntry `json:"benchmarks"`
+	Service serviceBench `json:"service"`
+}
+
+// serviceBench records a small in-process exercise of the serving
+// layer (internal/service): duplicate concurrent evaluations followed
+// by a repeat, so the report carries the cache and dedup counters this
+// commit achieves alongside the raw simulator timings.
+type serviceBench struct {
+	Requests    int64 `json:"requests"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	DedupHits   int64 `json:"dedup_hits"`
+	Evaluations int64 `json:"evaluations"`
+}
+
+// gitCommit resolves the current commit hash, "unknown" outside a git
+// checkout (e.g. a copied tarball).
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// serviceCounters runs duplicate concurrent evaluations plus one repeat
+// through an in-process service and returns its counters.
+func serviceCounters(scale int) (serviceBench, error) {
+	svc := service.New(service.Config{Scale: scale})
+	req := service.EvaluateRequest{
+		CaseRef:   service.CaseRef{Case: 1},
+		ModelSpec: service.ModelSpec{Model: "2rm", CoarseM: 4},
+		Network:   service.NetworkSpec{Generator: "straight"},
+	}
+	const dup = 4
+	errs := make([]error, dup)
+	var wg sync.WaitGroup
+	for i := 0; i < dup; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = svc.Evaluate(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return serviceBench{}, err
+		}
+	}
+	if _, err := svc.Evaluate(context.Background(), req); err != nil {
+		return serviceBench{}, err
+	}
+	svc.Drain()
+	m := svc.Metrics()
+	return serviceBench{
+		Requests:    m.Requests,
+		CacheHits:   m.CacheHits,
+		CacheMisses: m.CacheMisses,
+		DedupHits:   m.DedupHits,
+		Evaluations: m.Evaluations,
+	}, nil
 }
 
 // benchProbes mirrors the probe cycle of the root bench_test.go warm
@@ -79,7 +147,11 @@ func runMicrobench(scale int, dir string, logf func(string, ...any)) error {
 		nets[i] = n
 	}
 	const minDur = 2 * time.Second
-	report := benchReport{Date: time.Now().Format("2006-01-02"), Scale: scale}
+	report := benchReport{
+		Date:   time.Now().Format("2006-01-02"),
+		Commit: gitCommit(),
+		Scale:  scale,
+	}
 	add := func(name string, ops int, nsPerOp int64, st thermal.FactorStats) {
 		report.Results = append(report.Results, entryFromStats(name, ops, nsPerOp, st))
 		if logf != nil {
@@ -144,7 +216,7 @@ func runMicrobench(scale int, dir string, logf func(string, ...any)) error {
 		if err != nil {
 			return err
 		}
-		if _, err := core.EvaluatePumpMin(core.Memo(mod.Simulate),
+		if _, err := core.EvaluatePumpMin(context.Background(), core.Memo(mod.Simulate),
 			bench.DeltaTStar, bench.TmaxStar, core.SearchOptions{}); err != nil {
 			return err
 		}
@@ -160,6 +232,16 @@ func runMicrobench(scale int, dir string, logf func(string, ...any)) error {
 		return fmt.Errorf("NetworkEvaluation: %w", err)
 	}
 	add("NetworkEvaluation", ops, ns, evalStats)
+
+	report.Service, err = serviceCounters(scale)
+	if err != nil {
+		return fmt.Errorf("service counters: %w", err)
+	}
+	if logf != nil {
+		logf("service: requests=%d cache_hits=%d dedup_hits=%d evaluations=%d",
+			report.Service.Requests, report.Service.CacheHits,
+			report.Service.DedupHits, report.Service.Evaluations)
+	}
 
 	if dir == "" {
 		dir = "."

@@ -1,0 +1,91 @@
+// Command lcn-serve exposes the evaluation engine as an HTTP JSON
+// service with content-addressed caching, single-flight deduplication
+// of concurrent identical requests, a bounded worker pool, and metrics.
+//
+//	lcn-serve -addr :8080 -scale 51
+//
+// Endpoints:
+//
+//	POST /v1/simulate   one flow+thermal probe at a fixed pressure
+//	POST /v1/evaluate   Algorithm 2/3 lowest-feasible-P_sys evaluation
+//	GET  /v1/metrics    counters, rates, and latency quantiles
+//	GET  /healthz       readiness (503 once draining)
+//
+// On SIGTERM or SIGINT the server stops accepting connections, drains
+// in-flight evaluations, writes a final metrics line to stdout, and
+// exits 0.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lcn3d/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lcn-serve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	scale := flag.Int("scale", 0, "default grid size for requests without one (0 = full 101x101)")
+	workers := flag.Int("workers", 0, "max concurrent evaluations (0 = NumCPU)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "default per-request deadline")
+	resultCache := flag.Int("result-cache", 4096, "result cache entries")
+	modelCache := flag.Int("model-cache", 16, "warm model bindings kept")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Scale:           *scale,
+		Workers:         *workers,
+		ResultCacheSize: *resultCache,
+		ModelCacheSize:  *modelCache,
+		DefaultTimeout:  *timeout,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (scale=%d workers=%d timeout=%v)",
+		*addr, *scale, *workers, *timeout)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("signal received, draining")
+
+	// Stop accepting new connections; in-flight HTTP handlers get a
+	// grace period before the listener force-closes.
+	shutCtx, cancel := context.WithTimeout(context.Background(), *timeout+10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	// Then wait for every in-flight evaluation to finish.
+	svc.Drain()
+
+	final, err := json.Marshal(svc.Metrics())
+	if err != nil {
+		log.Fatalf("final metrics: %v", err)
+	}
+	os.Stdout.Write(append(final, '\n'))
+	log.Printf("drained, exiting")
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -11,27 +12,27 @@ import (
 
 // EvaluateNetworkPumpMin evaluates an arbitrary network for Problem 1
 // with the accurate 4RM simulator.
-func (in *Instance) EvaluateNetworkPumpMin(n *network.Network, scheme thermal.Scheme, opt SearchOptions) (EvalResult, error) {
+func (in *Instance) EvaluateNetworkPumpMin(ctx context.Context, n *network.Network, scheme thermal.Scheme, opt SearchOptions) (EvalResult, error) {
 	sim, err := in.Sim4RM(n, scheme)
 	if err != nil {
 		return EvalResult{}, err
 	}
-	return EvaluatePumpMin(sim, in.DeltaTStar, in.TmaxStar, opt)
+	return EvaluatePumpMin(ctx, sim, in.DeltaTStar, in.TmaxStar, opt)
 }
 
 // EvaluateNetworkGradMin evaluates an arbitrary network for Problem 2
 // with the accurate 4RM simulator.
-func (in *Instance) EvaluateNetworkGradMin(n *network.Network, scheme thermal.Scheme, opt SearchOptions) (EvalResult, error) {
+func (in *Instance) EvaluateNetworkGradMin(ctx context.Context, n *network.Network, scheme thermal.Scheme, opt SearchOptions) (EvalResult, error) {
 	sim, err := in.Sim4RM(n, scheme)
 	if err != nil {
 		return EvalResult{}, err
 	}
-	out, err := sim(opt.withDefaults().PInit)
+	out, err := cancellable(ctx, sim)(opt.withDefaults().PInit)
 	if err != nil {
 		return EvalResult{}, err
 	}
 	budget := PressureBudget(in.WpumpStar, out.Rsys)
-	return EvaluateGradMin(sim, in.TmaxStar, budget, opt)
+	return EvaluateGradMin(ctx, sim, in.TmaxStar, budget, opt)
 }
 
 // BaselineResult reports the best straight-channel baseline.
@@ -48,7 +49,7 @@ type BaselineResult struct {
 // the best one. problem selects the evaluation metric (1 or 2). The
 // result's Eval.Feasible is false when no direction is feasible (e.g.
 // case 5 under Problem 1).
-func (in *Instance) BestStraightBaseline(problem int, scheme thermal.Scheme, opt SearchOptions) (*BaselineResult, error) {
+func (in *Instance) BestStraightBaseline(ctx context.Context, problem int, scheme thermal.Scheme, opt SearchOptions) (*BaselineResult, error) {
 	var best *BaselineResult
 	for _, side := range []grid.Side{grid.SideWest, grid.SideEast, grid.SideSouth, grid.SideNorth} {
 		n := network.Straight(in.Stk.Dims, side, 1)
@@ -59,9 +60,9 @@ func (in *Instance) BestStraightBaseline(problem int, scheme thermal.Scheme, opt
 		var ev EvalResult
 		var err error
 		if problem == 1 {
-			ev, err = in.EvaluateNetworkPumpMin(n, scheme, opt)
+			ev, err = in.EvaluateNetworkPumpMin(ctx, n, scheme, opt)
 		} else {
-			ev, err = in.EvaluateNetworkGradMin(n, scheme, opt)
+			ev, err = in.EvaluateNetworkGradMin(ctx, n, scheme, opt)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: baseline %v: %w", side, err)

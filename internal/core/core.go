@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -51,6 +52,24 @@ func Memo(sim SimFunc) SimFunc {
 		}
 		mu.Unlock()
 		return out, err
+	}
+}
+
+// cancellable wraps sim so every probe first checks the context. Each
+// probe is a full linear solve (tens of milliseconds to seconds), so a
+// per-probe check is what lets a timed-out or cancelled caller stop a
+// pressure search mid-way instead of burning solver iterations to the
+// end. The searches of Algorithms 2/3 and the golden-section refinement
+// all run their probes through this wrapper.
+func cancellable(ctx context.Context, sim SimFunc) SimFunc {
+	if ctx == nil {
+		return sim
+	}
+	return func(psys float64) (*thermal.Outcome, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return sim(psys)
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -58,7 +59,7 @@ func TestAlg3UnimodalFeasible(t *testing.T) {
 	// f falls to 4 at p=50e3 then rises (Fig. 6(a)).
 	f := func(p float64) float64 { return 4 + math.Abs(p-50e3)/10e3 }
 	sim := Memo(syntheticSim(f, func(p float64) float64 { return 320 }))
-	r, err := MinPressureForDeltaT(sim, 6, SearchOptions{})
+	r, err := MinPressureForDeltaT(context.Background(), sim, 6, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestAlg3UnimodalFeasible(t *testing.T) {
 func TestAlg3UnimodalInfeasible(t *testing.T) {
 	f := func(p float64) float64 { return 4 + math.Abs(p-50e3)/10e3 }
 	sim := Memo(syntheticSim(f, func(p float64) float64 { return 320 }))
-	r, err := MinPressureForDeltaT(sim, 3, SearchOptions{})
+	r, err := MinPressureForDeltaT(context.Background(), sim, 3, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestAlg3MonotoneDecreasingFeasible(t *testing.T) {
 	// f decreasing toward asymptote 2 (Fig. 6(b)).
 	f := func(p float64) float64 { return 2 + 1e5/p }
 	sim := Memo(syntheticSim(f, func(p float64) float64 { return 320 }))
-	r, err := MinPressureForDeltaT(sim, 4, SearchOptions{})
+	r, err := MinPressureForDeltaT(context.Background(), sim, 4, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestAlg3MonotoneDecreasingFeasible(t *testing.T) {
 func TestAlg3MonotonePlateauInfeasible(t *testing.T) {
 	f := func(p float64) float64 { return 5 + 1e4/p }
 	sim := Memo(syntheticSim(f, func(p float64) float64 { return 320 }))
-	r, err := MinPressureForDeltaT(sim, 4.9, SearchOptions{PMax: 1e7})
+	r, err := MinPressureForDeltaT(context.Background(), sim, 4.9, SearchOptions{PMax: 1e7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestAlg3MonotonePlateauInfeasible(t *testing.T) {
 func TestAlg3FeasibleAtFloor(t *testing.T) {
 	f := func(p float64) float64 { return 1.0 } // always tiny
 	sim := Memo(syntheticSim(f, func(p float64) float64 { return 310 }))
-	r, err := MinPressureForDeltaT(sim, 5, SearchOptions{PMin: 100})
+	r, err := MinPressureForDeltaT(context.Background(), sim, 5, SearchOptions{PMin: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestEvaluatePumpMinTmaxBinds(t *testing.T) {
 	f := func(p float64) float64 { return 2 + 1e4/p }   // feasible from p=5e3 (ΔT*=4)
 	h := func(p float64) float64 { return 300 + 6e5/p } // h<=340 needs p>=15e3
 	sim := Memo(syntheticSim(f, h))
-	r, err := EvaluatePumpMin(sim, 4, 340, SearchOptions{})
+	r, err := EvaluatePumpMin(context.Background(), sim, 4, 340, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestEvaluatePumpMinTmaxBinds(t *testing.T) {
 func TestEvaluatePumpMinInfeasible(t *testing.T) {
 	f := func(p float64) float64 { return 20.0 }
 	sim := Memo(syntheticSim(f, func(p float64) float64 { return 320 }))
-	r, err := EvaluatePumpMin(sim, 10, 358, SearchOptions{})
+	r, err := EvaluatePumpMin(context.Background(), sim, 10, 358, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestEvaluateGradMinBoundaryOptimal(t *testing.T) {
 	// f strictly decreasing: optimum is the pressure budget itself.
 	f := func(p float64) float64 { return 2 + 1e5/p }
 	sim := Memo(syntheticSim(f, func(p float64) float64 { return 320 }))
-	r, err := EvaluateGradMin(sim, 358, 80e3, SearchOptions{})
+	r, err := EvaluateGradMin(context.Background(), sim, 358, 80e3, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestEvaluateGradMinInteriorOptimal(t *testing.T) {
 	// must find the interior minimum.
 	f := func(p float64) float64 { return 4 + math.Abs(p-30e3)/10e3 }
 	sim := Memo(syntheticSim(f, func(p float64) float64 { return 320 }))
-	r, err := EvaluateGradMin(sim, 358, 100e3, SearchOptions{})
+	r, err := EvaluateGradMin(context.Background(), sim, 358, 100e3, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestEvaluateGradMinInteriorOptimal(t *testing.T) {
 func TestEvaluateGradMinTmaxInfeasible(t *testing.T) {
 	h := func(p float64) float64 { return 400.0 } // always too hot
 	sim := Memo(syntheticSim(func(p float64) float64 { return 3 }, h))
-	r, err := EvaluateGradMin(sim, 358, 50e3, SearchOptions{})
+	r, err := EvaluateGradMin(context.Background(), sim, 358, 50e3, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestAlg3OnRealModelMatchesScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := MinPressureForDeltaT(sim, 6.0, SearchOptions{})
+	r, err := MinPressureForDeltaT(context.Background(), sim, 6.0, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +361,7 @@ func TestSolveProblem2EndToEnd(t *testing.T) {
 func TestBestStraightBaseline(t *testing.T) {
 	in := testInstance(t, 2.0, 7)
 	in.DeltaTStar = 12
-	b, err := in.BestStraightBaseline(1, thermal.Central, SearchOptions{})
+	b, err := in.BestStraightBaseline(context.Background(), 1, thermal.Central, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"lcn3d/internal/thermal"
@@ -18,10 +19,11 @@ type EvalResult struct {
 
 // EvaluatePumpMin is Algorithm 2: the lowest feasible pumping power of a
 // network under the ΔT* and T*_max constraints (Problem 1's inner level).
-// The returned Wpump is +Inf when no feasible pressure exists.
-func EvaluatePumpMin(sim SimFunc, deltaTStar, tmaxStar float64, opt SearchOptions) (EvalResult, error) {
+// The returned Wpump is +Inf when no feasible pressure exists. Cancelling
+// ctx aborts the evaluation at the next simulator probe.
+func EvaluatePumpMin(ctx context.Context, sim SimFunc, deltaTStar, tmaxStar float64, opt SearchOptions) (EvalResult, error) {
 	// Line 1: solve Eq. (11), the ΔT-only problem.
-	r, err := MinPressureForDeltaT(sim, deltaTStar, opt)
+	r, err := MinPressureForDeltaT(ctx, sim, deltaTStar, opt)
 	if err != nil {
 		return EvalResult{}, err
 	}
@@ -35,7 +37,7 @@ func EvaluatePumpMin(sim SimFunc, deltaTStar, tmaxStar float64, opt SearchOption
 	// Lines 3-5: repair a T*_max violation by raising the pressure
 	// (h decreases monotonically), then re-check both constraints.
 	if out.Tmax > tmaxStar {
-		p2, out2, ok, err := MinPressureForTmax(sim, tmaxStar, psys, opt)
+		p2, out2, ok, err := MinPressureForTmax(ctx, sim, tmaxStar, psys, opt)
 		if err != nil {
 			return EvalResult{}, err
 		}
@@ -56,8 +58,10 @@ func EvaluatePumpMin(sim SimFunc, deltaTStar, tmaxStar float64, opt SearchOption
 // lowest achievable ΔT under the pressure budget psysMax (derived from
 // W*_pump via Eq. (10)) and the T*_max constraint. The returned "cost"
 // field is DeltaT; Wpump reports the spend at the chosen pressure.
-func EvaluateGradMin(sim SimFunc, tmaxStar, psysMax float64, opt SearchOptions) (EvalResult, error) {
+// Cancelling ctx aborts the evaluation at the next simulator probe.
+func EvaluateGradMin(ctx context.Context, sim SimFunc, tmaxStar, psysMax float64, opt SearchOptions) (EvalResult, error) {
 	opt = opt.withDefaults()
+	sim = cancellable(ctx, sim)
 	if psysMax < opt.PMin {
 		return EvalResult{Feasible: false, Wpump: math.Inf(1), DeltaT: math.Inf(1)}, nil
 	}
@@ -73,7 +77,7 @@ func EvaluateGradMin(sim SimFunc, tmaxStar, psysMax float64, opt SearchOptions) 
 		return EvalResult{Feasible: false, Psys: psysMax, Wpump: math.Inf(1), DeltaT: math.Inf(1), Out: outHi, Probes: probes}, nil
 	}
 	// Lowest pressure that still satisfies T*_max bounds the search.
-	pLo, _, ok, err := MinPressureForTmax(sim, tmaxStar, opt.PMin, opt)
+	pLo, _, ok, err := MinPressureForTmax(ctx, sim, tmaxStar, opt.PMin, opt)
 	if err != nil {
 		return EvalResult{}, err
 	}
@@ -94,7 +98,7 @@ func EvaluateGradMin(sim SimFunc, tmaxStar, psysMax float64, opt SearchOptions) 
 	probes++
 	psys, out := psysMax, outHi
 	if outProbe.DeltaT < outHi.DeltaT && probe > pLo {
-		p, o, gsProbes, err := GoldenSectionMinDeltaT(sim, pLo, psysMax, opt)
+		p, o, gsProbes, err := GoldenSectionMinDeltaT(ctx, sim, pLo, psysMax, opt)
 		if err != nil {
 			return EvalResult{}, err
 		}

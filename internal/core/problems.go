@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -231,7 +232,7 @@ func (in *Instance) solve(opt Options, problem int) (*Solution, error) {
 				}
 				return out.DeltaT
 			case problem == 1:
-				r, err := EvaluatePumpMin(sim, in.DeltaTStar, in.TmaxStar, opt.Search)
+				r, err := EvaluatePumpMin(context.Background(), sim, in.DeltaTStar, in.TmaxStar, opt.Search)
 				if err != nil || !r.Feasible {
 					return math.Inf(1)
 				}
@@ -249,7 +250,7 @@ func (in *Instance) solve(opt Options, problem int) (*Solution, error) {
 					return math.Inf(1)
 				}
 				budget := PressureBudget(in.WpumpStar, out.Rsys)
-				r, err := EvaluateGradMin(sim, in.TmaxStar, budget, opt.Search)
+				r, err := EvaluateGradMin(context.Background(), sim, in.TmaxStar, budget, opt.Search)
 				if err != nil || !r.Feasible {
 					return math.Inf(1)
 				}
@@ -303,13 +304,13 @@ func (in *Instance) solve(opt Options, problem int) (*Solution, error) {
 	}
 	var final EvalResult
 	if problem == 1 {
-		final, err = EvaluatePumpMin(sim, in.DeltaTStar, in.TmaxStar, opt.Search)
+		final, err = EvaluatePumpMin(context.Background(), sim, in.DeltaTStar, in.TmaxStar, opt.Search)
 	} else {
 		var out *thermal.Outcome
 		out, err = sim(opt.Search.PInit)
 		if err == nil {
 			budget := PressureBudget(in.WpumpStar, out.Rsys)
-			final, err = EvaluateGradMin(sim, in.TmaxStar, budget, opt.Search)
+			final, err = EvaluateGradMin(context.Background(), sim, in.TmaxStar, budget, opt.Search)
 		}
 	}
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -53,8 +54,10 @@ type Alg3Result struct {
 // f(P_sys) = ΔT(P_sys) <= deltaTStar, exploiting that f is either
 // uni-modal or monotonically decreasing (Section 4.1). If no feasible
 // pressure exists it returns the minimizer of f with Feasible=false.
-func MinPressureForDeltaT(sim SimFunc, deltaTStar float64, opt SearchOptions) (Alg3Result, error) {
+// Cancelling ctx aborts the search at the next probe.
+func MinPressureForDeltaT(ctx context.Context, sim SimFunc, deltaTStar float64, opt SearchOptions) (Alg3Result, error) {
 	opt = opt.withDefaults()
+	sim = cancellable(ctx, sim)
 	probes := 0
 	f := func(p float64) (float64, error) {
 		probes++
@@ -174,10 +177,11 @@ func MinPressureForDeltaT(sim SimFunc, deltaTStar float64, opt SearchOptions) (A
 
 // MinPressureForTmax performs the second step of Algorithm 2: given that
 // T_max = h(P_sys) decreases monotonically, find the smallest pressure
-// >= pLo with h <= tmaxStar by doubling and bisection.
-func MinPressureForTmax(sim SimFunc, tmaxStar, pLo float64, opt SearchOptions) (float64, *thermal.Outcome, bool, error) {
+// >= pLo with h <= tmaxStar by doubling and bisection. Cancelling ctx
+// aborts the search at the next probe.
+func MinPressureForTmax(ctx context.Context, sim SimFunc, tmaxStar, pLo float64, opt SearchOptions) (float64, *thermal.Outcome, bool, error) {
 	opt = opt.withDefaults()
-	h := func(p float64) (*thermal.Outcome, error) { return sim(p) }
+	h := cancellable(ctx, sim)
 
 	lo := math.Max(pLo, opt.PMin)
 	out, err := h(lo)
@@ -222,9 +226,11 @@ func MinPressureForTmax(sim SimFunc, tmaxStar, pLo float64, opt SearchOptions) (
 // section search (Section 5, solving Eq. (13) when the pressure budget
 // lies past the minimum of f). The int result counts the simulator
 // invocations issued (before any memoization the caller wraps sim in), so
-// evaluation budgets can be accounted exactly.
-func GoldenSectionMinDeltaT(sim SimFunc, lo, hi float64, opt SearchOptions) (float64, *thermal.Outcome, int, error) {
+// evaluation budgets can be accounted exactly. Cancelling ctx aborts the
+// search at the next probe.
+func GoldenSectionMinDeltaT(ctx context.Context, sim SimFunc, lo, hi float64, opt SearchOptions) (float64, *thermal.Outcome, int, error) {
 	opt = opt.withDefaults()
+	sim = cancellable(ctx, sim)
 	if hi < lo {
 		lo, hi = hi, lo
 	}

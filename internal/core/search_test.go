@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -14,7 +15,7 @@ func TestMinPressureForTmaxBisection(t *testing.T) {
 	// Use a reachable curve: h<=320 at p >= 1e5.
 	sim := Memo(syntheticSim(func(p float64) float64 { return 3 },
 		func(p float64) float64 { return 300 + 2e6/p }))
-	p, out, ok, err := MinPressureForTmax(sim, 320, 1e3, SearchOptions{})
+	p, out, ok, err := MinPressureForTmax(context.Background(), sim, 320, 1e3, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestMinPressureForTmaxBisection(t *testing.T) {
 func TestMinPressureForTmaxAlreadySatisfied(t *testing.T) {
 	sim := Memo(syntheticSim(func(p float64) float64 { return 3 },
 		func(p float64) float64 { return 310 }))
-	p, _, ok, err := MinPressureForTmax(sim, 320, 5e3, SearchOptions{})
+	p, _, ok, err := MinPressureForTmax(context.Background(), sim, 320, 5e3, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestMinPressureForTmaxAlreadySatisfied(t *testing.T) {
 func TestMinPressureForTmaxUnreachable(t *testing.T) {
 	sim := Memo(syntheticSim(func(p float64) float64 { return 3 },
 		func(p float64) float64 { return 400 }))
-	_, _, ok, err := MinPressureForTmax(sim, 320, 1e3, SearchOptions{PMax: 1e6})
+	_, _, ok, err := MinPressureForTmax(context.Background(), sim, 320, 1e3, SearchOptions{PMax: 1e6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestMinPressureForTmaxUnreachable(t *testing.T) {
 func TestGoldenSectionFindsMinimum(t *testing.T) {
 	f := func(p float64) float64 { return 5 + (p-40e3)*(p-40e3)/1e8 }
 	sim := Memo(syntheticSim(f, func(p float64) float64 { return 310 }))
-	p, out, probes, err := GoldenSectionMinDeltaT(sim, 10e3, 100e3, SearchOptions{})
+	p, out, probes, err := GoldenSectionMinDeltaT(context.Background(), sim, 10e3, 100e3, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestGoldenSectionBoundaryMinimum(t *testing.T) {
 	// Decreasing f: minimum at the right endpoint.
 	f := func(p float64) float64 { return 4 + 1e5/p }
 	sim := Memo(syntheticSim(f, func(p float64) float64 { return 310 }))
-	p, _, _, err := GoldenSectionMinDeltaT(sim, 10e3, 80e3, SearchOptions{})
+	p, _, _, err := GoldenSectionMinDeltaT(context.Background(), sim, 10e3, 80e3, SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestGoldenSectionBoundaryMinimum(t *testing.T) {
 func TestGoldenSectionSwappedInterval(t *testing.T) {
 	f := func(p float64) float64 { return 4 + 1e5/p }
 	sim := Memo(syntheticSim(f, func(p float64) float64 { return 310 }))
-	if _, _, _, err := GoldenSectionMinDeltaT(sim, 80e3, 10e3, SearchOptions{}); err != nil {
+	if _, _, _, err := GoldenSectionMinDeltaT(context.Background(), sim, 80e3, 10e3, SearchOptions{}); err != nil {
 		t.Fatalf("swapped interval should be handled: %v", err)
 	}
 }
@@ -98,13 +99,13 @@ func TestGoldenSectionSwappedInterval(t *testing.T) {
 func TestSearchPropagatesSimErrors(t *testing.T) {
 	boom := errors.New("boom")
 	sim := func(p float64) (*thermal.Outcome, error) { return nil, boom }
-	if _, err := MinPressureForDeltaT(sim, 5, SearchOptions{}); !errors.Is(err, boom) {
+	if _, err := MinPressureForDeltaT(context.Background(), sim, 5, SearchOptions{}); !errors.Is(err, boom) {
 		t.Fatalf("Algorithm 3 should propagate sim errors, got %v", err)
 	}
-	if _, _, _, err := MinPressureForTmax(sim, 320, 1e3, SearchOptions{}); !errors.Is(err, boom) {
+	if _, _, _, err := MinPressureForTmax(context.Background(), sim, 320, 1e3, SearchOptions{}); !errors.Is(err, boom) {
 		t.Fatalf("Tmax search should propagate sim errors, got %v", err)
 	}
-	if _, _, _, err := GoldenSectionMinDeltaT(sim, 1e3, 1e4, SearchOptions{}); !errors.Is(err, boom) {
+	if _, _, _, err := GoldenSectionMinDeltaT(context.Background(), sim, 1e3, 1e4, SearchOptions{}); !errors.Is(err, boom) {
 		t.Fatalf("golden section should propagate sim errors, got %v", err)
 	}
 }
@@ -142,10 +143,67 @@ func TestAlg3ProbeCountBounded(t *testing.T) {
 		return &thermal.Outcome{Metrics: thermal.Metrics{DeltaT: f(p), Tmax: 320},
 			Psys: p, Qsys: p * 1e-10, Rsys: 1e10, Wpump: p * p * 1e-10}, nil
 	})
-	if _, err := MinPressureForDeltaT(sim, 5, SearchOptions{}); err != nil {
+	if _, err := MinPressureForDeltaT(context.Background(), sim, 5, SearchOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if probes > 40 {
 		t.Fatalf("Algorithm 3 used %d probes; too many for an inner loop", probes)
+	}
+}
+
+// TestSearchesStopOnCancelledContext proves the per-probe cancellation
+// check: once the context is cancelled, every search aborts with the
+// context error after at most the probes issued before cancellation.
+func TestSearchesStopOnCancelledContext(t *testing.T) {
+	const cutoff = 3
+	newSim := func(cancel context.CancelFunc) SimFunc {
+		calls := 0
+		inner := syntheticSim(
+			func(p float64) float64 { return 5 + (p-40e3)*(p-40e3)/1e8 },
+			func(p float64) float64 { return 300 + 2e6/p })
+		return func(p float64) (*thermal.Outcome, error) {
+			calls++
+			if calls == cutoff {
+				cancel()
+			}
+			if calls > cutoff {
+				t.Errorf("probe %d issued after cancellation", calls)
+			}
+			return inner(p)
+		}
+	}
+
+	runs := []struct {
+		name string
+		run  func(ctx context.Context, sim SimFunc) error
+	}{
+		{"MinPressureForDeltaT", func(ctx context.Context, sim SimFunc) error {
+			_, err := MinPressureForDeltaT(ctx, sim, 0.001, SearchOptions{})
+			return err
+		}},
+		{"MinPressureForTmax", func(ctx context.Context, sim SimFunc) error {
+			_, _, _, err := MinPressureForTmax(ctx, sim, 300.0001, 1, SearchOptions{})
+			return err
+		}},
+		{"GoldenSectionMinDeltaT", func(ctx context.Context, sim SimFunc) error {
+			_, _, _, err := GoldenSectionMinDeltaT(ctx, sim, 1e3, 1e6, SearchOptions{})
+			return err
+		}},
+		{"EvaluatePumpMin", func(ctx context.Context, sim SimFunc) error {
+			_, err := EvaluatePumpMin(ctx, sim, 0.001, 301, SearchOptions{})
+			return err
+		}},
+		{"EvaluateGradMin", func(ctx context.Context, sim SimFunc) error {
+			_, err := EvaluateGradMin(ctx, sim, 310, 1e6, SearchOptions{})
+			return err
+		}},
+	}
+	for _, r := range runs {
+		ctx, cancel := context.WithCancel(context.Background())
+		err := r.run(ctx, newSim(cancel))
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", r.name, err)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"lcn3d/internal/core"
@@ -69,11 +70,11 @@ func Extras(cfg Config) error {
 			tb.AddRow(e.name, "illegal", "", "", "", "")
 			continue
 		}
-		p1, err := b.EvaluateNetworkPumpMin(e.net, thermal.Central, core.SearchOptions{})
+		p1, err := b.EvaluateNetworkPumpMin(context.Background(), e.net, thermal.Central, core.SearchOptions{})
 		if err != nil {
 			return fmt.Errorf("extras %s P1: %w", e.name, err)
 		}
-		p2, err := b.EvaluateNetworkGradMin(e.net, thermal.Central, core.SearchOptions{})
+		p2, err := b.EvaluateNetworkGradMin(context.Background(), e.net, thermal.Central, core.SearchOptions{})
 		if err != nil {
 			return fmt.Errorf("extras %s P2: %w", e.name, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -73,7 +74,7 @@ func runTable(cfg Config, problem int, title string) ([]CaseResult, error) {
 		}
 		cr := CaseResult{CaseID: id}
 
-		base, err := b.BestStraightBaseline(problem, thermal.Central, core.SearchOptions{})
+		base, err := b.BestStraightBaseline(context.Background(), problem, thermal.Central, core.SearchOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("case %d baseline: %w", id, err)
 		}
@@ -84,9 +85,9 @@ func runTable(cfg Config, problem int, title string) ([]CaseResult, error) {
 		if errs := man.Check(); len(errs) == 0 {
 			var ev core.EvalResult
 			if problem == 1 {
-				ev, err = b.EvaluateNetworkPumpMin(man, thermal.Central, core.SearchOptions{})
+				ev, err = b.EvaluateNetworkPumpMin(context.Background(), man, thermal.Central, core.SearchOptions{})
 			} else {
-				ev, err = b.EvaluateNetworkGradMin(man, thermal.Central, core.SearchOptions{})
+				ev, err = b.EvaluateNetworkGradMin(context.Background(), man, thermal.Central, core.SearchOptions{})
 			}
 			if err != nil {
 				return nil, fmt.Errorf("case %d manual: %w", id, err)

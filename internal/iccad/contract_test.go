@@ -1,6 +1,7 @@
 package iccad
 
 import (
+	"context"
 	"testing"
 
 	"lcn3d/internal/core"
@@ -28,7 +29,7 @@ func TestFeasibilityClasses(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p1, err := b.BestStraightBaseline(1, thermal.Central, opts)
+		p1, err := b.BestStraightBaseline(context.Background(), 1, thermal.Central, opts)
 		if err != nil {
 			t.Fatalf("case %d P1: %v", id, err)
 		}
@@ -37,7 +38,7 @@ func TestFeasibilityClasses(t *testing.T) {
 			t.Errorf("case %d: Problem 1 straight feasibility = %v, want %v (ΔT=%.2f)",
 				id, p1.Eval.Feasible, wantP1, p1.Eval.DeltaT)
 		}
-		p2, err := b.BestStraightBaseline(2, thermal.Central, opts)
+		p2, err := b.BestStraightBaseline(context.Background(), 2, thermal.Central, opts)
 		if err != nil {
 			t.Fatalf("case %d P2: %v", id, err)
 		}

@@ -1,0 +1,107 @@
+package network
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+)
+
+// canonicalVersion tags the canonical serialization so the hash can be
+// evolved without silently aliasing old keys.
+const canonicalVersion = "lcn-net-v1"
+
+// AppendCanonical appends a canonical binary serialization of the network
+// to buf and returns the extended slice. The encoding is stable across
+// processes and construction paths: ports are sorted (the design rules
+// allow at most one port per side, so sorting loses no information), and
+// a nil Width slice encodes identically to an all-zero one. Two networks
+// have equal canonical bytes iff they are structurally identical.
+func (n *Network) AppendCanonical(buf []byte) []byte {
+	buf = append(buf, canonicalVersion...)
+	var u64 [8]byte
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		buf = append(buf, u64[:]...)
+	}
+	putU64(uint64(n.Dims.NX))
+	putU64(uint64(n.Dims.NY))
+
+	// Cell flags, packed two cells per byte (liquid, TSV, keepout bits).
+	// A TSV flag under a keepout cell is masked: liquid is forbidden there
+	// either way, and the art file format renders keepout over TSV, so
+	// masking makes load(save(N)) canonically identical to N.
+	var b byte
+	for i := 0; i < n.Dims.N(); i++ {
+		var c byte
+		if n.Liquid[i] {
+			c |= 1
+		}
+		if n.TSV[i] && !n.Keepout[i] {
+			c |= 2
+		}
+		if n.Keepout[i] {
+			c |= 4
+		}
+		if i%2 == 0 {
+			b = c
+		} else {
+			buf = append(buf, b|c<<4)
+		}
+	}
+	if n.Dims.N()%2 == 1 {
+		buf = append(buf, b)
+	}
+
+	ports := append([]Port(nil), n.Ports...)
+	sort.Slice(ports, func(i, j int) bool {
+		a, b := ports[i], ports[j]
+		if a.Side != b.Side {
+			return a.Side < b.Side
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Lo != b.Lo {
+			return a.Lo < b.Lo
+		}
+		return a.Hi < b.Hi
+	})
+	putU64(uint64(len(ports)))
+	for _, p := range ports {
+		putU64(uint64(p.Side))
+		putU64(uint64(p.Kind))
+		putU64(uint64(int64(p.Lo)))
+		putU64(uint64(int64(p.Hi)))
+	}
+
+	if n.hasWidths() {
+		buf = append(buf, 1)
+		for _, w := range n.Width {
+			putU64(math.Float64bits(w))
+		}
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+func (n *Network) hasWidths() bool {
+	for _, w := range n.Width {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CanonicalHash returns the hex SHA-256 of the canonical serialization.
+// It is the content address used by caches and services: structurally
+// identical networks hash identically regardless of how they were built
+// (generator, file load, clone, port insertion order), across processes
+// and releases of this package within one canonicalVersion.
+func (n *Network) CanonicalHash() string {
+	sum := sha256.Sum256(n.AppendCanonical(nil))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,116 @@
+package network
+
+import (
+	"bytes"
+	"testing"
+
+	"lcn3d/internal/grid"
+)
+
+// generatorFamilies builds one representative network per generator
+// family on the given dims, named for failure messages.
+func generatorFamilies(t *testing.T, d grid.Dims) map[string]*Network {
+	t.Helper()
+	fams := map[string]*Network{
+		"straight/west":  Straight(d, grid.SideWest, 1),
+		"straight/south": Straight(d, grid.SideSouth, 2),
+		"serpentine":     Serpentine(d),
+		"mesh":           Mesh(d, 1, 2),
+		"comb":           Comb(d, 1),
+	}
+	for _, spec := range []struct {
+		name  string
+		trees int
+		typ   BranchType
+	}{
+		{"tree/1x4", 1, Branch4},
+		{"tree/2x2", 2, Branch2},
+		{"tree/1x8", 1, Branch8},
+	} {
+		n, err := Tree(d, UniformTreeSpec(d, spec.trees, spec.typ, 0.35, 0.65))
+		if err != nil {
+			t.Fatalf("%s: %v", spec.name, err)
+		}
+		fams[spec.name] = n
+	}
+	return fams
+}
+
+// TestSaveLoadCanonicalHashRoundTrip is the property test of the save
+// format: for every generator family (and a keepout-carved variant),
+// load(save(N)) must hash canonically identical to N.
+func TestSaveLoadCanonicalHashRoundTrip(t *testing.T) {
+	for _, d := range []grid.Dims{{NX: 21, NY: 21}, {NX: 31, NY: 21}} {
+		fams := generatorFamilies(t, d)
+		// Keepout-carved variant (benchmark case 3 construction path).
+		carved := Straight(d, grid.SideWest, 1)
+		CarveKeepout(carved, d.NX*2/5, d.NY/4, d.NX*3/5, d.NY/2)
+		fams["straight/keepout"] = carved
+
+		for name, n := range fams {
+			var buf bytes.Buffer
+			if err := Write(&buf, n); err != nil {
+				t.Fatalf("%v %s: write: %v", d, name, err)
+			}
+			got, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("%v %s: read: %v", d, name, err)
+			}
+			if gh, wh := got.CanonicalHash(), n.CanonicalHash(); gh != wh {
+				t.Errorf("%v %s: load(save(N)) hash %s != %s", d, name, gh, wh)
+			}
+		}
+	}
+}
+
+// TestCanonicalHashInvariants checks the content-address properties the
+// service cache relies on.
+func TestCanonicalHashInvariants(t *testing.T) {
+	d := grid.Dims{NX: 21, NY: 21}
+	n := Mesh(d, 1, 2)
+
+	if n.Clone().CanonicalHash() != n.CanonicalHash() {
+		t.Error("clone changed the canonical hash")
+	}
+
+	// Port insertion order must not matter.
+	reordered := n.Clone()
+	for i, j := 0, len(reordered.Ports)-1; i < j; i, j = i+1, j-1 {
+		reordered.Ports[i], reordered.Ports[j] = reordered.Ports[j], reordered.Ports[i]
+	}
+	if reordered.CanonicalHash() != n.CanonicalHash() {
+		t.Error("port order changed the canonical hash")
+	}
+
+	// A nil width slice is the same network as an all-zero one.
+	zeroW := n.Clone()
+	zeroW.Width = make([]float64, d.N())
+	if zeroW.CanonicalHash() != n.CanonicalHash() {
+		t.Error("all-zero Width differs from nil Width")
+	}
+
+	// Structural changes must change the hash.
+	mutants := map[string]*Network{}
+	flip := n.Clone()
+	flip.Liquid[d.Index(0, 0)] = !flip.Liquid[d.Index(0, 0)]
+	mutants["liquid flip"] = flip
+	wider := n.Clone()
+	wider.Width = make([]float64, d.N())
+	wider.Width[3] = 75e-6
+	mutants["nonzero width"] = wider
+	port := n.Clone()
+	port.Ports[0].Hi--
+	mutants["port span"] = port
+	for name, m := range mutants {
+		if m.CanonicalHash() == n.CanonicalHash() {
+			t.Errorf("%s did not change the canonical hash", name)
+		}
+	}
+
+	// Different dims with identical flag prefixes must differ.
+	a := NewFree(grid.Dims{NX: 4, NY: 6})
+	b := NewFree(grid.Dims{NX: 6, NY: 4})
+	if a.CanonicalHash() == b.CanonicalHash() {
+		t.Error("transposed dims collide")
+	}
+}

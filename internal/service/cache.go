@@ -1,0 +1,100 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a bounded, concurrency-safe LRU map. The service uses two:
+// a content-addressed result cache (key -> marshaled response bytes) and
+// a model cache (key -> *modelEntry holding warm thermal.Factored state).
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	// evicted, when non-nil, observes values dropped by capacity or Remove.
+	evicted func(key string, val any)
+}
+
+type lruItem struct {
+	key string
+	val any
+}
+
+func newLRU(max int) *lruCache {
+	if max < 1 {
+		max = 1
+	}
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *lruCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).val, true
+}
+
+// GetOrPut returns the existing value for key, or inserts val and returns
+// it. The boolean reports whether the value was already present. This is
+// the atomic lookup the model cache needs so two concurrent requests for
+// the same model share one entry.
+func (c *lruCache) GetOrPut(key string, val any) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruItem).val, true
+	}
+	c.insert(key, val)
+	return val, false
+}
+
+// Put inserts or replaces the value for key.
+func (c *lruCache) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruItem).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.insert(key, val)
+}
+
+// insert assumes c.mu is held and key is absent.
+func (c *lruCache) insert(key string, val any) {
+	c.items[key] = c.ll.PushFront(&lruItem{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		it := oldest.Value.(*lruItem)
+		delete(c.items, it.key)
+		if c.evicted != nil {
+			c.evicted(it.key, it.val)
+		}
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Each calls fn for every cached value (iteration order unspecified).
+func (c *lruCache) Each(fn func(key string, val any)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		it := el.Value.(*lruItem)
+		fn(it.key, it.val)
+	}
+}

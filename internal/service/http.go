@@ -1,0 +1,95 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxBodyBytes bounds uploaded request bodies (a full-scale network file
+// is ~10 KB; 8 MB leaves generous headroom).
+const maxBodyBytes = 8 << 20
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/simulate   one flow+thermal probe at a fixed pressure
+//	POST /v1/evaluate   Algorithm 2/3 lowest-feasible-P_sys evaluation
+//	GET  /v1/metrics    counters, rates, and latency quantiles as JSON
+//	GET  /healthz       "ok" (200) or "draining" (503)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		var req SimulateRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		buf, err := s.Simulate(r.Context(), req)
+		writeResult(w, buf, err)
+	})
+	mux.HandleFunc("POST /v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
+		var req EvaluateRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		buf, err := s.Evaluate(r.Context(), req)
+		writeResult(w, buf, err)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// writeResult maps service errors onto HTTP statuses: malformed requests
+// to 400, deadline/cancellation to 504, drain rejection to 503, anything
+// else to 500. Successful responses are the service's cached bytes,
+// written verbatim so repeats are bitwise identical.
+func writeResult(w http.ResponseWriter, buf []byte, err error) {
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(buf)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusGatewayTimeout, err)
+	default:
+		var reqErr *RequestError
+		if errors.As(err, &reqErr) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

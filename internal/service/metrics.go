@@ -1,0 +1,114 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the service counters. Everything is atomics or a small
+// mutex-guarded latency ring so the /v1/metrics scrape never blocks
+// behind an evaluation.
+type metrics struct {
+	start time.Time
+
+	requests    atomic.Int64 // accepted requests (simulate + evaluate)
+	cacheHits   atomic.Int64 // served from the result cache
+	cacheMisses atomic.Int64 // had to go through single-flight
+	dedupHits   atomic.Int64 // coalesced onto an in-flight identical request
+	evaluations atomic.Int64 // actual computations run (leaders)
+	timeouts    atomic.Int64 // requests that hit their deadline
+	errors      atomic.Int64 // non-timeout failures
+	rejected    atomic.Int64 // refused while draining
+
+	queueDepth atomic.Int64 // waiting for a worker slot
+	inFlight   atomic.Int64 // holding a worker slot
+
+	lat latencyRing
+}
+
+// latencyRing keeps the most recent request latencies for quantile
+// estimation; a fixed window keeps the snapshot O(1) memory and makes
+// p50/p95 reflect recent traffic rather than all-time history.
+type latencyRing struct {
+	mu   sync.Mutex
+	buf  [1024]time.Duration
+	next int
+	n    int
+}
+
+func (r *latencyRing) observe(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// quantile returns the q-quantile (0..1) of the window, 0 when empty.
+func (r *latencyRing) quantiles(qs ...float64) []time.Duration {
+	r.mu.Lock()
+	sorted := make([]time.Duration, r.n)
+	copy(sorted, r.buf[:r.n])
+	r.mu.Unlock()
+	out := make([]time.Duration, len(qs))
+	if len(sorted) == 0 {
+		return out
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, q := range qs {
+		k := int(q * float64(len(sorted)-1))
+		out[i] = sorted[k]
+	}
+	return out
+}
+
+// FactorSnapshot aggregates the thermal.FactorStats of every cached
+// model, proving warm-start amortization survives across requests.
+type FactorSnapshot struct {
+	Probes        int     `json:"probes"`
+	WarmStarts    int     `json:"warm_starts"`
+	WarmStartRate float64 `json:"warm_start_rate"`
+	PrecondBuilds int     `json:"precond_builds"`
+	SolveIters    int     `json:"solve_iters"`
+}
+
+// MetricsSnapshot is the JSON document served by /v1/metrics.
+type MetricsSnapshot struct {
+	UptimeSec float64 `json:"uptime_sec"`
+
+	Requests    int64 `json:"requests"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	DedupHits   int64 `json:"dedup_hits"`
+	Evaluations int64 `json:"evaluations"`
+	Timeouts    int64 `json:"timeouts"`
+	Errors      int64 `json:"errors"`
+	Rejected    int64 `json:"rejected"`
+
+	// CacheHitRate = hits / (hits + misses); DedupRate = coalesced /
+	// accepted requests.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	DedupRate    float64 `json:"dedup_rate"`
+
+	QueueDepth int64 `json:"queue_depth"`
+	InFlight   int64 `json:"in_flight"`
+
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+
+	ResultsCached int `json:"results_cached"`
+	ModelsCached  int `json:"models_cached"`
+
+	Factor FactorSnapshot `json:"factor"`
+}
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,236 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"lcn3d/internal/core"
+	"lcn3d/internal/grid"
+	"lcn3d/internal/network"
+	"lcn3d/internal/thermal"
+)
+
+// RequestError marks a malformed or semantically invalid request; the
+// HTTP layer maps it to 400 instead of 500.
+type RequestError struct{ msg string }
+
+func (e *RequestError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &RequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// CaseRef selects a benchmark case, optionally at reduced scale.
+type CaseRef struct {
+	Case int `json:"case"`
+	// Scale is the square grid size (0 = the service's default scale,
+	// which itself defaults to the full 101x101 contest die).
+	Scale int `json:"scale,omitempty"`
+}
+
+// ModelSpec selects the thermal model an evaluation runs on.
+type ModelSpec struct {
+	Model   string `json:"model,omitempty"`    // "4rm" (default) | "2rm"
+	CoarseM int    `json:"coarse_m,omitempty"` // 2RM coarsening (default 4)
+	Upwind  bool   `json:"upwind,omitempty"`   // upwind convection scheme
+}
+
+func (m ModelSpec) normalize() (ModelSpec, error) {
+	switch m.Model {
+	case "", "4rm":
+		m.Model = "4rm"
+	case "2rm":
+		if m.CoarseM <= 0 {
+			m.CoarseM = 4
+		}
+	default:
+		return m, badRequest("unknown model %q (want 4rm or 2rm)", m.Model)
+	}
+	if m.Model == "4rm" {
+		m.CoarseM = 0
+	}
+	return m, nil
+}
+
+func (m ModelSpec) scheme() thermal.Scheme {
+	if m.Upwind {
+		return thermal.Upwind
+	}
+	return thermal.Central
+}
+
+// NetworkSpec names a cooling network: either a generator family with
+// parameters, or an uploaded network in the internal/network save format
+// (the File field). Exactly one of Generator/File must be set.
+type NetworkSpec struct {
+	Generator string `json:"generator,omitempty"` // straight|serpentine|mesh|comb|tree
+	InletSide string `json:"inlet_side,omitempty"`
+	RowStep   int    `json:"row_step,omitempty"`
+	ColStep   int    `json:"col_step,omitempty"`
+	NumTrees  int    `json:"num_trees,omitempty"`
+	Branch    int    `json:"branch,omitempty"` // leaves per tree: 2|4|8
+	// F1/F2 are the branch-point positions as fractions of chip width
+	// (defaults 0.35/0.65).
+	F1   float64 `json:"f1,omitempty"`
+	F2   float64 `json:"f2,omitempty"`
+	File string  `json:"file,omitempty"`
+}
+
+var sidesByName = map[string]grid.Side{
+	"east": grid.SideEast, "north": grid.SideNorth,
+	"west": grid.SideWest, "south": grid.SideSouth,
+}
+
+// resolve materializes the spec on the instance's grid, carves the
+// case keepout, and validates the design rules. The same in-memory
+// representation is produced whether the network arrives as a generator
+// spec or as a file, so the canonical hash — and therefore the cache
+// key — is construction-path independent.
+func (ns NetworkSpec) resolve(in *core.Instance) (*network.Network, error) {
+	d := in.Stk.Dims
+	if (ns.Generator == "") == (ns.File == "") {
+		return nil, badRequest("network: exactly one of generator or file must be set")
+	}
+	var n *network.Network
+	switch {
+	case ns.File != "":
+		var err error
+		n, err = network.Read(strings.NewReader(ns.File))
+		if err != nil {
+			return nil, badRequest("network file: %v", err)
+		}
+		if n.Dims != d {
+			return nil, badRequest("network file dims %dx%d do not match case grid %dx%d",
+				n.Dims.NX, n.Dims.NY, d.NX, d.NY)
+		}
+	case ns.Generator == "straight":
+		side, err := ns.side(grid.SideWest)
+		if err != nil {
+			return nil, err
+		}
+		n = network.Straight(d, side, max(ns.RowStep, 1))
+	case ns.Generator == "serpentine":
+		n = network.Serpentine(d)
+	case ns.Generator == "mesh":
+		n = network.Mesh(d, max(ns.RowStep, 1), max(ns.ColStep, 1))
+	case ns.Generator == "comb":
+		n = network.Comb(d, max(ns.RowStep, 1))
+	case ns.Generator == "tree":
+		trees := max(ns.NumTrees, 1)
+		var typ network.BranchType
+		switch ns.Branch {
+		case 0, 4:
+			typ = network.Branch4
+		case 2:
+			typ = network.Branch2
+		case 8:
+			typ = network.Branch8
+		default:
+			return nil, badRequest("network: branch must be 2, 4 or 8, got %d", ns.Branch)
+		}
+		f1, f2 := ns.F1, ns.F2
+		if f1 <= 0 {
+			f1 = 0.35
+		}
+		if f2 <= 0 {
+			f2 = 0.65
+		}
+		var err error
+		n, err = network.Tree(d, network.UniformTreeSpec(d, trees, typ, f1, f2))
+		if err != nil {
+			return nil, badRequest("network: tree: %v", err)
+		}
+	default:
+		return nil, badRequest("network: unknown generator %q", ns.Generator)
+	}
+	in.ApplyKeepout(n)
+	if errs := n.Check(); len(errs) > 0 {
+		return nil, badRequest("network violates design rules: %v", errs[0])
+	}
+	return n, nil
+}
+
+func (ns NetworkSpec) side(def grid.Side) (grid.Side, error) {
+	if ns.InletSide == "" {
+		return def, nil
+	}
+	s, ok := sidesByName[ns.InletSide]
+	if !ok {
+		return 0, badRequest("network: unknown inlet_side %q", ns.InletSide)
+	}
+	return s, nil
+}
+
+// SimulateRequest asks for one flow+thermal probe at a fixed pressure.
+type SimulateRequest struct {
+	CaseRef
+	ModelSpec
+	Network NetworkSpec `json:"network"`
+	Psys    float64     `json:"psys"` // system pressure drop, Pa
+	// TimeoutMS bounds this request's wall time (0 = service default).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// SimulateResponse summarizes one thermal.Outcome.
+type SimulateResponse struct {
+	CacheKey   string  `json:"cache_key"`
+	Psys       float64 `json:"psys"`
+	DeltaT     float64 `json:"delta_t"`
+	Tmax       float64 `json:"tmax"`
+	Wpump      float64 `json:"wpump"`
+	Qsys       float64 `json:"qsys"`
+	Rsys       float64 `json:"rsys"`
+	SolveIters int     `json:"solve_iters"`
+}
+
+// EvaluateRequest asks for the Algorithm 2/3 network evaluation: the
+// lowest-feasible-P_sys operating point under the case constraints.
+type EvaluateRequest struct {
+	CaseRef
+	ModelSpec
+	Network NetworkSpec `json:"network"`
+	// Problem selects the formulation: 1 = pumping-power minimization
+	// under ΔT*/T*_max (default), 2 = gradient minimization under
+	// T*_max/W*_pump.
+	Problem int `json:"problem,omitempty"`
+	// WpumpStar overrides the case's Problem 2 pumping budget (W).
+	WpumpStar float64 `json:"wpump_star,omitempty"`
+	TimeoutMS int     `json:"timeout_ms,omitempty"`
+}
+
+// EvaluateResponse summarizes a core.EvalResult.
+type EvaluateResponse struct {
+	CacheKey string  `json:"cache_key"`
+	Problem  int     `json:"problem"`
+	Feasible bool    `json:"feasible"`
+	Psys     float64 `json:"psys"`
+	Wpump    float64 `json:"wpump"`
+	DeltaT   float64 `json:"delta_t"`
+	Tmax     float64 `json:"tmax,omitempty"`
+	Probes   int     `json:"probes"`
+}
+
+// modelKey identifies a (case, scale, model, network) binding — the unit
+// of thermal.Factored state reuse across requests.
+func modelKey(ref CaseRef, ms ModelSpec, netHash string) string {
+	return fmt.Sprintf("case=%d|scale=%d|model=%s|m=%d|upwind=%v|net=%s",
+		ref.Case, ref.Scale, ms.Model, ms.CoarseM, ms.Upwind, netHash)
+}
+
+// cacheKey derives the content address of a request: SHA-256 over the
+// model binding plus the request-kind-specific parameters. Float params
+// hash by their exact bit patterns, so "the same pressure" means
+// bitwise the same.
+func cacheKey(kind string, ref CaseRef, ms ModelSpec, netHash string, params ...float64) string {
+	h := sha256.New()
+	h.Write([]byte("lcn-serve-v1|" + kind + "|" + modelKey(ref, ms, netHash)))
+	var buf [8]byte
+	for _, p := range params {
+		binary.LittleEndian.PutUint64(buf[:], floatBits(p))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

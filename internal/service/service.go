@@ -1,0 +1,465 @@
+// Package service is the serving subsystem behind cmd/lcn-serve: a
+// concurrent thermal-evaluation front end over the benchmark cases and
+// the factored fast path of internal/thermal. It adds, in front of each
+// evaluation:
+//
+//   - a content-addressed LRU result cache keyed on the canonical
+//     serialization of the (case, model, network, parameters) tuple, so
+//     structurally identical requests hit regardless of how the network
+//     was constructed, and repeated requests return bitwise-identical
+//     response bytes;
+//   - single-flight deduplication, so concurrent identical requests run
+//     one evaluation and share its result;
+//   - a bounded worker pool with per-request context deadlines plumbed
+//     down to individual simulator probes (internal/core cancellation);
+//   - per-(case, network, model) reuse of warm thermal.Factored state,
+//     so warm starts and preconditioner reuse survive across requests;
+//   - counters and latency quantiles served as a metrics snapshot;
+//   - graceful drain: stop accepting, finish in-flight work, report.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"lcn3d/internal/core"
+	"lcn3d/internal/grid"
+	"lcn3d/internal/iccad"
+	"lcn3d/internal/network"
+	"lcn3d/internal/rm2"
+	"lcn3d/internal/rm4"
+	"lcn3d/internal/thermal"
+)
+
+// ErrDraining is returned for requests that arrive after Drain started.
+var ErrDraining = errors.New("service: draining, not accepting new work")
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// Config tunes a Service. The zero value is usable.
+type Config struct {
+	// Scale is the default square grid size for cases whose request does
+	// not specify one (0 = full 101x101 contest scale).
+	Scale int
+	// Workers bounds concurrent evaluations (default NumCPU).
+	Workers int
+	// ResultCacheSize bounds the content-addressed response cache
+	// (default 4096 entries).
+	ResultCacheSize int
+	// ModelCacheSize bounds the number of warm model bindings kept
+	// (default 16; each holds a factored thermal system).
+	ModelCacheSize int
+	// DefaultTimeout bounds requests that carry no timeout_ms
+	// (default 2 minutes).
+	DefaultTimeout time.Duration
+	// Search overrides the pressure-search options (zero = defaults).
+	Search core.SearchOptions
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = 4096
+	}
+	if c.ModelCacheSize <= 0 {
+		c.ModelCacheSize = 16
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Service is a concurrent evaluation front end. Create with New, then
+// serve requests via Simulate/Evaluate (or the HTTP handler), and stop
+// with Drain.
+type Service struct {
+	cfg Config
+
+	benchMu sync.Mutex
+	benches map[[2]int]*iccad.Benchmark // (case, scale) -> loaded case
+
+	models  *lruCache // modelKey -> *modelEntry
+	results *lruCache // cacheKey -> []byte (marshaled response)
+	flights flightGroup
+
+	sem chan struct{} // worker slots
+
+	met metrics
+
+	drainMu  sync.Mutex
+	drainCV  *sync.Cond
+	draining bool
+	active   int
+
+	// computeHook, when non-nil, runs on the leader after it takes a
+	// worker slot and before it computes. Tests use it to hold a
+	// computation open so concurrency windows are deterministic.
+	computeHook func()
+}
+
+// New builds a Service.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:     cfg,
+		benches: make(map[[2]int]*iccad.Benchmark),
+		models:  newLRU(cfg.ModelCacheSize),
+		results: newLRU(cfg.ResultCacheSize),
+		sem:     make(chan struct{}, cfg.Workers),
+	}
+	s.drainCV = sync.NewCond(&s.drainMu)
+	s.met.start = time.Now()
+	return s
+}
+
+// bench loads (and caches) a benchmark case at the requested scale.
+func (s *Service) bench(ref CaseRef) (*iccad.Benchmark, int, error) {
+	scale := ref.Scale
+	if scale == 0 {
+		scale = s.cfg.Scale
+	}
+	if scale == 0 {
+		scale = iccad.FullDims.NX
+	}
+	if scale < 5 || scale > 201 {
+		return nil, 0, badRequest("scale %d outside 5..201", scale)
+	}
+	key := [2]int{ref.Case, scale}
+	s.benchMu.Lock()
+	defer s.benchMu.Unlock()
+	if b, ok := s.benches[key]; ok {
+		return b, scale, nil
+	}
+	b, err := iccad.LoadScaled(ref.Case, grid.Dims{NX: scale, NY: scale})
+	if err != nil {
+		return nil, 0, badRequest("%v", err)
+	}
+	s.benches[key] = b
+	return b, scale, nil
+}
+
+// modelEntry is one warm (case, network, model) binding. The simulator
+// is built lazily exactly once; its thermal.Factored state (warm-start
+// fields, preconditioner) persists for the entry's LRU lifetime, so
+// probes from later requests against the same network warm-start from
+// earlier ones.
+type modelEntry struct {
+	once  sync.Once
+	sim   core.SimFunc // memoized
+	stats func() thermal.FactorStats
+	err   error
+}
+
+func (s *Service) model(ref CaseRef, ms ModelSpec, b *iccad.Benchmark, n *network.Network, netHash string) (*modelEntry, error) {
+	key := modelKey(ref, ms, netHash)
+	v, _ := s.models.GetOrPut(key, &modelEntry{})
+	e := v.(*modelEntry)
+	e.once.Do(func() {
+		nets := make([]*network.Network, len(b.Stk.ChannelLayers()))
+		for i := range nets {
+			nets[i] = n
+		}
+		switch ms.Model {
+		case "2rm":
+			m, err := rm2.New(b.Stk, nets, ms.CoarseM, ms.scheme())
+			if err != nil {
+				e.err = err
+				return
+			}
+			e.sim = core.Memo(m.Simulate)
+			e.stats = m.FactorStats
+		default:
+			m, err := rm4.New(b.Stk, nets, ms.scheme())
+			if err != nil {
+				e.err = err
+				return
+			}
+			e.sim = core.Memo(m.Simulate)
+			e.stats = m.FactorStats
+		}
+	})
+	if e.err != nil {
+		return nil, badRequest("model: %v", e.err)
+	}
+	return e, nil
+}
+
+// enter registers an accepted request; it fails once draining started.
+func (s *Service) enter() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.active++
+	return true
+}
+
+func (s *Service) leave() {
+	s.drainMu.Lock()
+	s.active--
+	if s.active == 0 {
+		s.drainCV.Broadcast()
+	}
+	s.drainMu.Unlock()
+}
+
+// Drain stops accepting new requests and blocks until every in-flight
+// request has finished. It is idempotent.
+func (s *Service) Drain() {
+	s.drainMu.Lock()
+	s.draining = true
+	for s.active > 0 {
+		s.drainCV.Wait()
+	}
+	s.drainMu.Unlock()
+}
+
+// Draining reports whether Drain has been called.
+func (s *Service) Draining() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.draining
+}
+
+// do runs one request end to end: admission, deadline, result cache,
+// single-flight, worker pool, compute. It returns the marshaled response
+// bytes — cached responses are returned verbatim, so a repeat of a
+// cached request is bitwise identical.
+func (s *Service) do(ctx context.Context, key string, timeoutMS int, compute func(ctx context.Context) (any, error)) ([]byte, error) {
+	if !s.enter() {
+		s.met.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	defer s.leave()
+	s.met.requests.Add(1)
+	t0 := time.Now()
+	defer func() { s.met.lat.observe(time.Since(t0)) }()
+
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	if buf, ok := s.results.Get(key); ok {
+		s.met.cacheHits.Add(1)
+		return buf.([]byte), nil
+	}
+	s.met.cacheMisses.Add(1)
+
+	buf, err, shared := s.flights.Do(ctx, key, func() ([]byte, error) {
+		// Leader: take a worker slot (bounded pool); queueing respects
+		// the deadline, so a request that times out waiting never
+		// occupies a slot.
+		s.met.queueDepth.Add(1)
+		select {
+		case s.sem <- struct{}{}:
+			s.met.queueDepth.Add(-1)
+		case <-ctx.Done():
+			s.met.queueDepth.Add(-1)
+			return nil, ctx.Err()
+		}
+		s.met.inFlight.Add(1)
+		defer func() {
+			s.met.inFlight.Add(-1)
+			<-s.sem
+		}()
+		if s.computeHook != nil {
+			s.computeHook()
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s.met.evaluations.Add(1)
+		resp, err := compute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			return nil, fmt.Errorf("service: marshal response: %w", err)
+		}
+		s.results.Put(key, out)
+		return out, nil
+	})
+	if shared {
+		s.met.dedupHits.Add(1)
+	}
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.met.timeouts.Add(1)
+		} else {
+			s.met.errors.Add(1)
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// prepared is the common front half of both request kinds.
+type prepared struct {
+	bench   *iccad.Benchmark
+	entry   *modelEntry
+	ref     CaseRef
+	ms      ModelSpec
+	netHash string
+}
+
+func (s *Service) prepare(ref CaseRef, ms ModelSpec, ns NetworkSpec) (*prepared, error) {
+	if ref.Case < 1 {
+		return nil, badRequest("case must be >= 1")
+	}
+	ms, err := ms.normalize()
+	if err != nil {
+		return nil, err
+	}
+	b, scale, err := s.bench(ref)
+	if err != nil {
+		return nil, err
+	}
+	ref.Scale = scale // pin the effective scale into the cache key
+	n, err := ns.resolve(&b.Instance)
+	if err != nil {
+		return nil, err
+	}
+	netHash := n.CanonicalHash()
+	entry, err := s.model(ref, ms, b, n, netHash)
+	if err != nil {
+		return nil, err
+	}
+	return &prepared{bench: b, entry: entry, ref: ref, ms: ms, netHash: netHash}, nil
+}
+
+// Simulate runs (or serves from cache) one steady probe at req.Psys.
+func (s *Service) Simulate(ctx context.Context, req SimulateRequest) ([]byte, error) {
+	if req.Psys <= 0 {
+		s.met.errors.Add(1)
+		return nil, badRequest("psys must be positive, got %g", req.Psys)
+	}
+	p, err := s.prepare(req.CaseRef, req.ModelSpec, req.Network)
+	if err != nil {
+		s.met.errors.Add(1)
+		return nil, err
+	}
+	key := cacheKey("simulate", p.ref, p.ms, p.netHash, req.Psys)
+	return s.do(ctx, key, req.TimeoutMS, func(ctx context.Context) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out, err := p.entry.sim(req.Psys)
+		if err != nil {
+			return nil, err
+		}
+		return &SimulateResponse{
+			CacheKey: key, Psys: out.Psys, DeltaT: out.DeltaT, Tmax: out.Tmax,
+			Wpump: out.Wpump, Qsys: out.Qsys, Rsys: out.Rsys, SolveIters: out.SolveIters,
+		}, nil
+	})
+}
+
+// Evaluate runs (or serves from cache) the Algorithm 2/3 evaluation.
+func (s *Service) Evaluate(ctx context.Context, req EvaluateRequest) ([]byte, error) {
+	problem := req.Problem
+	if problem == 0 {
+		problem = 1
+	}
+	if problem != 1 && problem != 2 {
+		s.met.errors.Add(1)
+		return nil, badRequest("problem must be 1 or 2, got %d", req.Problem)
+	}
+	p, err := s.prepare(req.CaseRef, req.ModelSpec, req.Network)
+	if err != nil {
+		s.met.errors.Add(1)
+		return nil, err
+	}
+	key := cacheKey("evaluate", p.ref, p.ms, p.netHash, float64(problem), req.WpumpStar)
+	return s.do(ctx, key, req.TimeoutMS, func(ctx context.Context) (any, error) {
+		in := &p.bench.Instance
+		opt := s.cfg.Search
+		var r core.EvalResult
+		var err error
+		if problem == 1 {
+			r, err = core.EvaluatePumpMin(ctx, p.entry.sim, in.DeltaTStar, in.TmaxStar, opt)
+		} else {
+			wstar := req.WpumpStar
+			if wstar <= 0 {
+				wstar = in.WpumpStar
+			}
+			pinit := opt.PInit
+			if pinit <= 0 {
+				pinit = 10e3
+			}
+			// Any probe yields R_sys, which converts the pumping budget
+			// into the pressure budget of Eq. (10).
+			var out *thermal.Outcome
+			out, err = p.entry.sim(pinit)
+			if err == nil {
+				budget := core.PressureBudget(wstar, out.Rsys)
+				r, err = core.EvaluateGradMin(ctx, p.entry.sim, in.TmaxStar, budget, opt)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		resp := &EvaluateResponse{
+			CacheKey: key, Problem: problem, Feasible: r.Feasible,
+			Psys: r.Psys, Wpump: r.Wpump, DeltaT: r.DeltaT, Probes: r.Probes,
+		}
+		if r.Out != nil {
+			resp.Tmax = r.Out.Tmax
+		}
+		return resp, nil
+	})
+}
+
+// Metrics snapshots the service counters, including the aggregate
+// factored-system amortization stats of every warm cached model.
+func (s *Service) Metrics() MetricsSnapshot {
+	hits, misses := s.met.cacheHits.Load(), s.met.cacheMisses.Load()
+	qs := s.met.lat.quantiles(0.50, 0.95)
+	snap := MetricsSnapshot{
+		UptimeSec:     time.Since(s.met.start).Seconds(),
+		Requests:      s.met.requests.Load(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		DedupHits:     s.met.dedupHits.Load(),
+		Evaluations:   s.met.evaluations.Load(),
+		Timeouts:      s.met.timeouts.Load(),
+		Errors:        s.met.errors.Load(),
+		Rejected:      s.met.rejected.Load(),
+		CacheHitRate:  ratio(hits, hits+misses),
+		DedupRate:     ratio(s.met.dedupHits.Load(), s.met.requests.Load()),
+		QueueDepth:    s.met.queueDepth.Load(),
+		InFlight:      s.met.inFlight.Load(),
+		LatencyP50Ms:  float64(qs[0]) / float64(time.Millisecond),
+		LatencyP95Ms:  float64(qs[1]) / float64(time.Millisecond),
+		ResultsCached: s.results.Len(),
+		ModelsCached:  s.models.Len(),
+	}
+	s.models.Each(func(_ string, v any) {
+		e := v.(*modelEntry)
+		if e.stats == nil {
+			return
+		}
+		st := e.stats()
+		snap.Factor.Probes += st.Probes
+		snap.Factor.WarmStarts += st.WarmStarts
+		snap.Factor.PrecondBuilds += st.PrecondBuilds
+		snap.Factor.SolveIters += st.SolveIters
+	})
+	if snap.Factor.Probes > 0 {
+		snap.Factor.WarmStartRate = float64(snap.Factor.WarmStarts) / float64(snap.Factor.Probes)
+	}
+	return snap
+}

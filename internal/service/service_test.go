@@ -1,0 +1,392 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"lcn3d/internal/network"
+)
+
+// testService builds a service pinned to a reduced-scale case so tests
+// run in seconds; 2RM keeps each probe cheap.
+func testService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	if cfg.Scale == 0 {
+		cfg.Scale = 21
+	}
+	return New(cfg)
+}
+
+func evalReq() EvaluateRequest {
+	return EvaluateRequest{
+		CaseRef:   CaseRef{Case: 1},
+		ModelSpec: ModelSpec{Model: "2rm", CoarseM: 4},
+		Network:   NetworkSpec{Generator: "straight"},
+	}
+}
+
+// TestConcurrentIdenticalRequestsSingleFlight is acceptance criterion
+// (a): concurrent identical evaluations run ONE evaluation, and all
+// callers get identical bytes. The compute hook holds the leader open
+// until every caller has passed the cache check, so the overlap is
+// deterministic regardless of how fast the evaluation itself is.
+func TestConcurrentIdenticalRequestsSingleFlight(t *testing.T) {
+	s := testService(t, Config{})
+	const callers = 4
+	release := make(chan struct{})
+	s.computeHook = func() { <-release }
+	results := make([][]byte, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Evaluate(context.Background(), evalReq())
+		}(i)
+	}
+	// Wait until every caller has missed the result cache (and thus
+	// joined the single-flight group), then let the leader compute.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Metrics().CacheMisses < callers {
+		if time.Now().After(deadline) {
+			t.Fatal("callers never reached the cache check")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(results[i], results[0]) {
+			t.Fatalf("caller %d got different bytes", i)
+		}
+	}
+	m := s.Metrics()
+	if m.Evaluations != 1 {
+		t.Errorf("evaluations = %d, want 1 (single-flight)", m.Evaluations)
+	}
+	if m.DedupHits != callers-1 {
+		t.Errorf("dedup hits = %d, want %d", m.DedupHits, callers-1)
+	}
+	var resp EvaluateResponse
+	if err := json.Unmarshal(results[0], &resp); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !resp.Feasible || resp.Wpump <= 0 {
+		t.Errorf("unexpected evaluation result: %+v", resp)
+	}
+}
+
+// TestRepeatedRequestIsBitwiseCacheHit is acceptance criterion (b): a
+// repeat after completion is a cache hit returning bitwise-identical
+// bytes, without running another evaluation.
+func TestRepeatedRequestIsBitwiseCacheHit(t *testing.T) {
+	s := testService(t, Config{})
+	first, err := s.Evaluate(context.Background(), evalReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Evaluate(context.Background(), evalReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("cache hit not bitwise identical:\n%s\n%s", first, second)
+	}
+	m := s.Metrics()
+	if m.Evaluations != 1 {
+		t.Errorf("evaluations = %d, want 1", m.Evaluations)
+	}
+	if m.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", m.CacheHits)
+	}
+	if m.CacheHitRate <= 0 {
+		t.Errorf("cache hit rate = %g, want > 0", m.CacheHitRate)
+	}
+}
+
+// TestCacheKeyConstructionPathIndependent: a network uploaded in the
+// save-file format hits the cache entry created by the equivalent
+// generator request.
+func TestCacheKeyConstructionPathIndependent(t *testing.T) {
+	s := testService(t, Config{})
+	first, err := s.Evaluate(context.Background(), evalReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the same straight network and upload it as a file.
+	b, _, err := s.bench(CaseRef{Case: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := evalReq()
+	var buf bytes.Buffer
+	n, err := NetworkSpec{Generator: "straight"}.resolve(&b.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.Write(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	req.Network = NetworkSpec{File: buf.String()}
+	second, err := s.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("file-uploaded identical network missed the cache")
+	}
+	if m := s.Metrics(); m.Evaluations != 1 {
+		t.Errorf("evaluations = %d, want 1", m.Evaluations)
+	}
+}
+
+// TestShortDeadlineTimesOutWithoutLeak is acceptance criterion (c): a
+// request with a tiny deadline returns a timeout error, releases its
+// worker slot, and leaves the service fully usable. The compute hook
+// simulates an evaluation slower than the deadline.
+func TestShortDeadlineTimesOutWithoutLeak(t *testing.T) {
+	s := testService(t, Config{Workers: 1})
+	s.computeHook = func() { time.Sleep(30 * time.Millisecond) }
+	req := evalReq()
+	req.TimeoutMS = 1
+	_, err := s.Evaluate(context.Background(), req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	m := s.Metrics()
+	if m.Timeouts != 1 {
+		t.Errorf("timeouts = %d, want 1", m.Timeouts)
+	}
+	if m.InFlight != 0 || m.QueueDepth != 0 {
+		t.Errorf("leaked worker: in_flight=%d queue_depth=%d", m.InFlight, m.QueueDepth)
+	}
+	if m.Evaluations != 0 {
+		t.Errorf("evaluations = %d, want 0 (timed out before computing)", m.Evaluations)
+	}
+	// The single worker slot must be free again: a normal request works.
+	s.computeHook = nil
+	req.TimeoutMS = 0
+	if _, err := s.Evaluate(context.Background(), req); err != nil {
+		t.Fatalf("service unusable after timeout: %v", err)
+	}
+	if m := s.Metrics(); m.InFlight != 0 || m.QueueDepth != 0 {
+		t.Errorf("leaked worker after recovery: %+v", m)
+	}
+}
+
+// TestDeadlineExpiresWhileQueued: with one worker held busy, a queued
+// request with a short deadline returns a timeout without ever taking
+// the worker slot.
+func TestDeadlineExpiresWhileQueued(t *testing.T) {
+	s := testService(t, Config{Workers: 1})
+	release := make(chan struct{})
+	s.computeHook = func() { <-release }
+	blockerDone := make(chan error, 1)
+	go func() {
+		_, err := s.Evaluate(context.Background(), evalReq())
+		blockerDone <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Metrics().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never took the worker slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A *different* request (distinct key, so no dedup) must queue
+	// behind the blocker and time out in the queue.
+	queued := evalReq()
+	queued.Problem = 2
+	queued.TimeoutMS = 20
+	_, err := s.Evaluate(context.Background(), queued)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued request err = %v, want deadline exceeded", err)
+	}
+
+	close(release)
+	if err := <-blockerDone; err != nil {
+		t.Fatalf("blocker failed: %v", err)
+	}
+	if m := s.Metrics(); m.InFlight != 0 || m.QueueDepth != 0 {
+		t.Errorf("leaked slots: in_flight=%d queue_depth=%d", m.InFlight, m.QueueDepth)
+	}
+}
+
+// TestDrainFinishesInFlightAndRejectsNew is acceptance criterion (d):
+// Drain lets in-flight work finish and rejects new work.
+func TestDrainFinishesInFlightAndRejectsNew(t *testing.T) {
+	s := testService(t, Config{})
+	started := make(chan struct{})
+	type result struct {
+		buf []byte
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		close(started)
+		buf, err := s.Evaluate(context.Background(), evalReq())
+		done <- result{buf, err}
+	}()
+	<-started
+	// Give the evaluation a moment to enter the service before draining.
+	time.Sleep(20 * time.Millisecond)
+	s.Drain()
+
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("in-flight request failed during drain: %v", r.err)
+		}
+		if len(r.buf) == 0 {
+			t.Fatal("in-flight request returned empty result")
+		}
+	default:
+		t.Fatal("Drain returned while a request was still in flight")
+	}
+
+	if _, err := s.Evaluate(context.Background(), evalReq()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain request: err = %v, want ErrDraining", err)
+	}
+	if m := s.Metrics(); m.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", m.Rejected)
+	}
+}
+
+// TestSimulateAndWarmReuse: repeated probes of the same network at
+// different pressures reuse one factored system (warm starts across
+// requests), and distinct pressures are distinct cache entries.
+func TestSimulateAndWarmReuse(t *testing.T) {
+	s := testService(t, Config{})
+	sim := func(psys float64) SimulateRequest {
+		return SimulateRequest{
+			CaseRef:   CaseRef{Case: 1},
+			ModelSpec: ModelSpec{Model: "2rm", CoarseM: 4},
+			Network:   NetworkSpec{Generator: "straight"},
+			Psys:      psys,
+		}
+	}
+	pressures := []float64{8e3, 10e3, 12e3, 16e3}
+	for _, p := range pressures {
+		buf, err := s.Simulate(context.Background(), sim(p))
+		if err != nil {
+			t.Fatalf("psys %g: %v", p, err)
+		}
+		var resp SimulateResponse
+		if err := json.Unmarshal(buf, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.DeltaT <= 0 || resp.Tmax <= 0 {
+			t.Fatalf("psys %g: implausible outcome %+v", p, resp)
+		}
+	}
+	m := s.Metrics()
+	if m.Evaluations != int64(len(pressures)) {
+		t.Errorf("evaluations = %d, want %d", m.Evaluations, len(pressures))
+	}
+	if m.ModelsCached != 1 {
+		t.Errorf("models cached = %d, want 1 (shared factored state)", m.ModelsCached)
+	}
+	if m.Factor.Probes < len(pressures) {
+		t.Errorf("factored probes = %d, want >= %d", m.Factor.Probes, len(pressures))
+	}
+	if m.Factor.WarmStarts == 0 {
+		t.Error("no warm starts across requests; factored state is not being reused")
+	}
+}
+
+// TestBadRequests exercises the validation surface.
+func TestBadRequests(t *testing.T) {
+	s := testService(t, Config{})
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"both generator and file", func() error {
+			r := evalReq()
+			r.Network.File = "network 3 3\n"
+			_, err := s.Evaluate(ctx, r)
+			return err
+		}},
+		{"no network", func() error {
+			r := evalReq()
+			r.Network = NetworkSpec{}
+			_, err := s.Evaluate(ctx, r)
+			return err
+		}},
+		{"unknown generator", func() error {
+			r := evalReq()
+			r.Network.Generator = "moebius"
+			_, err := s.Evaluate(ctx, r)
+			return err
+		}},
+		{"bad case", func() error {
+			r := evalReq()
+			r.Case = 99
+			_, err := s.Evaluate(ctx, r)
+			return err
+		}},
+		{"bad model", func() error {
+			r := evalReq()
+			r.Model = "9rm"
+			_, err := s.Evaluate(ctx, r)
+			return err
+		}},
+		{"bad problem", func() error {
+			r := evalReq()
+			r.Problem = 3
+			_, err := s.Evaluate(ctx, r)
+			return err
+		}},
+		{"nonpositive psys", func() error {
+			_, err := s.Simulate(ctx, SimulateRequest{
+				CaseRef: CaseRef{Case: 1}, Network: NetworkSpec{Generator: "straight"}})
+			return err
+		}},
+		{"dims mismatch", func() error {
+			r := evalReq()
+			r.Network = NetworkSpec{File: "network 3 3\nrows\n###\n###\n###\nend\n"}
+			_, err := s.Evaluate(ctx, r)
+			return err
+		}},
+	}
+	for _, c := range cases {
+		err := c.run()
+		var reqErr *RequestError
+		if !errors.As(err, &reqErr) {
+			t.Errorf("%s: err = %v, want *RequestError", c.name, err)
+		}
+	}
+}
+
+// TestEvaluateProblem2 smoke-checks the gradient-minimization path.
+func TestEvaluateProblem2(t *testing.T) {
+	s := testService(t, Config{})
+	req := evalReq()
+	req.Problem = 2
+	buf, err := s.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp EvaluateResponse
+	if err := json.Unmarshal(buf, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Problem != 2 {
+		t.Errorf("problem = %d, want 2", resp.Problem)
+	}
+	if resp.Feasible && resp.DeltaT <= 0 {
+		t.Errorf("feasible with implausible ΔT: %+v", resp)
+	}
+}

@@ -1,0 +1,52 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent identical work: while one caller
+// (the leader) computes the value for a key, later callers with the same
+// key block on the leader's result instead of repeating the computation.
+// Unlike a result cache, entries live only while the computation is in
+// flight; completed results belong to the result cache.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when val/err are set
+	val  []byte
+	err  error
+}
+
+// Do executes fn under single-flight semantics for key. The boolean
+// reports whether this caller shared a leader's result instead of
+// computing. A waiter whose ctx expires returns the ctx error without
+// cancelling the leader (other waiters may still want the result).
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, error)) ([]byte, error, bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

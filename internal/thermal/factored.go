@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lcn3d/internal/solver"
@@ -37,7 +38,14 @@ type Factored struct {
 
 	tol float64 // solve tolerance; defaultSolveTol when zero
 
-	stats FactorStats
+	// Stats counters are atomics so Stats() can snapshot them without
+	// taking f.mu: a metrics scrape must not block behind (or race with)
+	// a solve that is in flight.
+	ctrProbes        atomic.Int64
+	ctrWarmStarts    atomic.Int64
+	ctrPrecondBuilds atomic.Int64
+	ctrSolveIters    atomic.Int64
+	ctrAssemblyNS    atomic.Int64
 }
 
 // defaultSolveTol is the relative residual the steady solves converge to.
@@ -131,11 +139,22 @@ func (a *Assembler) Factor() *Factored {
 // N returns the system size.
 func (f *Factored) N() int { return len(f.rhs) }
 
-// Stats snapshots the cumulative amortization counters.
+// Stats snapshots the cumulative amortization counters. It never blocks
+// on the solve lock, so it is safe (and cheap) to call from a metrics
+// scraper while a solve is in flight; counters touched by that solve land
+// in the next snapshot. The counters are loaded independently, so the
+// snapshot is not atomic across fields; loading WarmStarts before Probes
+// keeps the WarmStarts <= Probes invariant (each solve increments Probes
+// before it can count a warm start).
 func (f *Factored) Stats() FactorStats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	warm := f.ctrWarmStarts.Load()
+	return FactorStats{
+		Probes:        int(f.ctrProbes.Load()),
+		WarmStarts:    int(warm),
+		PrecondBuilds: int(f.ctrPrecondBuilds.Load()),
+		SolveIters:    int(f.ctrSolveIters.Load()),
+		AssemblyNS:    f.ctrAssemblyNS.Load(),
+	}
 }
 
 // NNZ returns the stored entries of the union pattern.
@@ -173,22 +192,22 @@ func (f *Factored) SolveAt(s, tGuess float64) ([]float64, solver.Result, ProbeSt
 
 	var probe ProbeStats
 	probe.AssemblyNS = f.reassemble(s)
-	f.stats.Probes++
-	f.stats.AssemblyNS += probe.AssemblyNS
+	f.ctrProbes.Add(1)
+	f.ctrAssemblyNS.Add(probe.AssemblyNS)
 	mat := f.pair.Matrix()
 
 	t := make([]float64, f.N())
 	if w := f.nearestWarm(s); w != nil {
 		copy(t, w.t)
 		probe.WarmStarted = true
-		f.stats.WarmStarts++
+		f.ctrWarmStarts.Add(1)
 	} else {
 		for i := range t {
 			t[i] = tGuess
 		}
 	}
 
-	builds0 := f.stats.PrecondBuilds
+	builds0 := f.ctrPrecondBuilds.Load()
 	freshPre := false
 	if f.pre == nil || scaleDistance(s, f.preScale) > precondMaxDrift {
 		f.buildPrecond(mat, s)
@@ -214,8 +233,8 @@ func (f *Factored) SolveAt(s, tGuess float64) ([]float64, solver.Result, ProbeSt
 		res, err = solver.SolveGeneral(mat, f.rhs, t, opt)
 		res.Iterations += prevIters
 	}
-	f.stats.SolveIters += res.Iterations
-	probe.PrecondBuilds = f.stats.PrecondBuilds - builds0
+	f.ctrSolveIters.Add(int64(res.Iterations))
+	probe.PrecondBuilds = int(f.ctrPrecondBuilds.Load() - builds0)
 	if err != nil {
 		return nil, res, probe, fmt.Errorf("thermal: steady solve failed: %w (res %.3g)", err, res.Residual)
 	}
@@ -259,7 +278,7 @@ type lazyPrecond struct {
 func (l *lazyPrecond) Apply(z, r []float64) {
 	if l.inner == nil {
 		l.inner = solver.BestPrecond(l.mat)
-		l.f.stats.PrecondBuilds++
+		l.f.ctrPrecondBuilds.Add(1)
 	}
 	l.inner.Apply(z, r)
 }

@@ -1,0 +1,88 @@
+package thermal
+
+import (
+	"sync"
+	"testing"
+)
+
+// raceFactored builds a small solvable factored system: a 1D advection
+// pipe whose convection block scales with the flow (pressure) factor.
+func raceFactored(tb testing.TB, n int) *Factored {
+	tb.Helper()
+	a := NewAssembler(n, Central)
+	a.ConvectionInlet(0, 0.5, 300)
+	for i := 0; i+1 < n; i++ {
+		a.Convection(i, i+1, 0.5)
+		a.Conductance(i, i+1, 0.05)
+	}
+	a.ConvectionOutlet(n-1, 0.5)
+	for i := 0; i < n; i++ {
+		a.Source(i, 1.0)
+	}
+	return a.Factor()
+}
+
+// TestStatsConcurrentWithSolves hammers Stats() from many goroutines
+// while probes run, proving the counters can be scraped mid-solve. Run
+// under -race (CI does) this is the FactorStats data-race regression
+// test; without -race it still checks monotonic consistency.
+func TestStatsConcurrentWithSolves(t *testing.T) {
+	f := raceFactored(t, 64)
+	const (
+		readers = 4
+		probes  = 40
+	)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastProbes int
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				st := f.Stats()
+				if st.Probes < lastProbes {
+					t.Errorf("probe counter went backwards: %d -> %d", lastProbes, st.Probes)
+					return
+				}
+				lastProbes = st.Probes
+				if st.WarmStarts > st.Probes {
+					t.Errorf("warm starts %d exceed probes %d", st.WarmStarts, st.Probes)
+					return
+				}
+				_ = st.WarmStartRate()
+			}
+		}()
+	}
+
+	scales := []float64{0.5, 1, 2, 4, 1.5, 3}
+	var solveWG sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		solveWG.Add(1)
+		go func(w int) {
+			defer solveWG.Done()
+			for i := 0; i < probes; i++ {
+				if _, _, _, err := f.SolveAt(scales[(i+w)%len(scales)], 300); err != nil {
+					t.Errorf("solve: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	solveWG.Wait()
+	close(done)
+	wg.Wait()
+
+	st := f.Stats()
+	if st.Probes != 2*probes {
+		t.Fatalf("probes = %d, want %d", st.Probes, 2*probes)
+	}
+	if st.SolveIters == 0 || st.PrecondBuilds == 0 {
+		t.Fatalf("expected nonzero solve iters and precond builds, got %+v", st)
+	}
+}

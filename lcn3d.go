@@ -29,6 +29,7 @@
 package lcn3d
 
 import (
+	"context"
 	"fmt"
 
 	"lcn3d/internal/core"
@@ -185,14 +186,14 @@ func Simulate(b *Benchmark, n *Network, cfg SimConfig) (*Outcome, error) {
 // network under the benchmark's ΔT* and T*_max constraints (Problem 1's
 // network evaluation, Algorithm 2), using the accurate 4RM model.
 func EvaluatePumpingPower(b *Benchmark, n *Network) (EvalResult, error) {
-	return b.EvaluateNetworkPumpMin(n, thermal.Central, SearchOptions{})
+	return b.EvaluateNetworkPumpMin(context.Background(), n, thermal.Central, SearchOptions{})
 }
 
 // EvaluateThermalGradient computes the lowest achievable thermal gradient
 // of the network under the benchmark's T*_max and W*_pump constraints
 // (Problem 2's network evaluation), using the accurate 4RM model.
 func EvaluateThermalGradient(b *Benchmark, n *Network) (EvalResult, error) {
-	return b.EvaluateNetworkGradMin(n, thermal.Central, SearchOptions{})
+	return b.EvaluateNetworkGradMin(context.Background(), n, thermal.Central, SearchOptions{})
 }
 
 // OptimizePumpingPower runs the full Problem 1 flow (orientation sweep +
@@ -209,7 +210,7 @@ func OptimizeThermalGradient(b *Benchmark, opt Options) (*Solution, error) {
 // BestStraightBaseline evaluates straight-channel baselines in all four
 // directions under the given problem (1 or 2) and returns the best.
 func BestStraightBaseline(b *Benchmark, problem int) (*core.BaselineResult, error) {
-	return b.Instance.BestStraightBaseline(problem, thermal.Central, SearchOptions{})
+	return b.Instance.BestStraightBaseline(context.Background(), problem, thermal.Central, SearchOptions{})
 }
 
 // Transient builds a transient stepper for the benchmark/network at a

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Integration smoke for cmd/lcn-serve: start the daemon at reduced
+# scale, fire duplicate concurrent evaluations, assert the metrics show
+# single-flight dedup and a result-cache hit, then check SIGTERM drains
+# gracefully (exit 0 + final metrics line on stdout).
+set -euo pipefail
+
+ADDR="127.0.0.1:${LCN_SERVE_PORT:-18080}"
+SCALE="${LCN_SERVE_SCALE:-51}"
+BODY='{"case":1,"model":"2rm","coarse_m":4,"network":{"generator":"straight"}}'
+OUT="$(mktemp)"
+trap 'kill "$SRV" 2>/dev/null || true; rm -f "$OUT" /tmp/lcn-serve-smoke' EXIT
+
+go build -o /tmp/lcn-serve-smoke ./cmd/lcn-serve
+/tmp/lcn-serve-smoke -addr "$ADDR" -scale "$SCALE" >"$OUT" &
+SRV=$!
+
+for i in $(seq 1 50); do
+  curl -sf "http://$ADDR/healthz" >/dev/null && break
+  [ "$i" = 50 ] && { echo "FAIL: server never became healthy"; exit 1; }
+  sleep 0.2
+done
+
+# Duplicate concurrent requests: exactly one evaluation should run, the
+# rest coalesce onto it (single-flight).
+pids=()
+for _ in 1 2 3 4; do
+  curl -sf -XPOST -d "$BODY" "http://$ADDR/v1/evaluate" >/dev/null &
+  pids+=($!)
+done
+for p in "${pids[@]}"; do wait "$p"; done
+
+# A repeat after completion must be a result-cache hit.
+curl -sf -XPOST -d "$BODY" "http://$ADDR/v1/evaluate" >/dev/null
+
+curl -sf "http://$ADDR/v1/metrics" | python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+print("metrics:", {k: m[k] for k in
+    ("requests", "cache_hits", "cache_misses", "dedup_hits", "evaluations")})
+assert m["evaluations"] == 1, "want 1 evaluation, got %d" % m["evaluations"]
+assert m["dedup_hits"] > 0, "no single-flight dedup observed"
+assert m["cache_hits"] > 0, "no result-cache hit observed"
+assert m["errors"] == 0 and m["timeouts"] == 0, "unexpected failures"
+'
+
+kill -TERM "$SRV"
+wait "$SRV" || { echo "FAIL: non-zero exit after SIGTERM"; exit 1; }
+grep -q '"cache_hits"' "$OUT" || { echo "FAIL: no final metrics line"; exit 1; }
+echo "PASS: dedup + cache hit + graceful drain"
