@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"lcn3d/internal/faults"
 	"lcn3d/internal/service"
 )
 
@@ -40,7 +41,21 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "default per-request deadline")
 	resultCache := flag.Int("result-cache", 4096, "result cache entries")
 	modelCache := flag.Int("model-cache", 16, "warm model bindings kept")
+	faultSpec := flag.String("faults", "", "fault-injection plan, e.g. 'solver.bicgstab.breakdown=always;service.panic=first:1' (overrides "+faults.EnvVar+")")
 	flag.Parse()
+
+	// Fault injection for chaos drills: the flag wins over the LCN_FAULTS
+	// environment variable. Never arm this in normal production serving.
+	if *faultSpec != "" {
+		if err := faults.Arm(*faultSpec); err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		log.Printf("fault injection ARMED: %s", *faultSpec)
+	} else if spec, err := faults.ArmFromEnv(os.Getenv); err != nil {
+		log.Fatalf("%s: %v", faults.EnvVar, err)
+	} else if spec != "" {
+		log.Printf("fault injection ARMED from %s: %s", faults.EnvVar, spec)
+	}
 
 	svc := service.New(service.Config{
 		Scale:           *scale,

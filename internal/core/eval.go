@@ -21,7 +21,10 @@ type EvalResult struct {
 // network under the ΔT* and T*_max constraints (Problem 1's inner level).
 // The returned Wpump is +Inf when no feasible pressure exists. Cancelling
 // ctx aborts the evaluation at the next simulator probe.
-func EvaluatePumpMin(ctx context.Context, sim SimFunc, deltaTStar, tmaxStar float64, opt SearchOptions) (EvalResult, error) {
+func EvaluatePumpMin(ctx context.Context, sim SimFunc, deltaTStar, tmaxStar float64, opt SearchOptions) (_ EvalResult, err error) {
+	// A panicking simulator (poisoned model state, injected fault) must
+	// surface as an error on this one evaluation, not kill the process.
+	defer RecoverToError(&err)
 	// Line 1: solve Eq. (11), the ΔT-only problem.
 	r, err := MinPressureForDeltaT(ctx, sim, deltaTStar, opt)
 	if err != nil {
@@ -59,7 +62,8 @@ func EvaluatePumpMin(ctx context.Context, sim SimFunc, deltaTStar, tmaxStar floa
 // W*_pump via Eq. (10)) and the T*_max constraint. The returned "cost"
 // field is DeltaT; Wpump reports the spend at the chosen pressure.
 // Cancelling ctx aborts the evaluation at the next simulator probe.
-func EvaluateGradMin(ctx context.Context, sim SimFunc, tmaxStar, psysMax float64, opt SearchOptions) (EvalResult, error) {
+func EvaluateGradMin(ctx context.Context, sim SimFunc, tmaxStar, psysMax float64, opt SearchOptions) (_ EvalResult, err error) {
+	defer RecoverToError(&err)
 	opt = opt.withDefaults()
 	sim = cancellable(ctx, sim)
 	if psysMax < opt.PMin {

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// InternalError wraps a panic recovered at a trust boundary: an
+// evaluation entry point or the service compute path. It carries the
+// recovered value and the goroutine stack at recovery, so the failure
+// is attributable server-side while callers see an ordinary error (the
+// HTTP layer maps it to a 500) instead of a crashed process.
+type InternalError struct {
+	Recovered any    // the value passed to panic
+	Stack     []byte // debug.Stack() captured at recovery
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("internal: recovered panic: %v", e.Recovered)
+}
+
+// RecoverToError converts an in-flight panic into an *InternalError
+// assigned through errp. Use as the first defer of a function with a
+// named error return:
+//
+//	func F() (err error) {
+//		defer core.RecoverToError(&err)
+//		...
+//	}
+//
+// A nil recover (normal return) leaves *errp untouched.
+func RecoverToError(errp *error) {
+	if r := recover(); r != nil {
+		*errp = &InternalError{Recovered: r, Stack: debug.Stack()}
+	}
+}

@@ -55,7 +55,8 @@ type Alg3Result struct {
 // uni-modal or monotonically decreasing (Section 4.1). If no feasible
 // pressure exists it returns the minimizer of f with Feasible=false.
 // Cancelling ctx aborts the search at the next probe.
-func MinPressureForDeltaT(ctx context.Context, sim SimFunc, deltaTStar float64, opt SearchOptions) (Alg3Result, error) {
+func MinPressureForDeltaT(ctx context.Context, sim SimFunc, deltaTStar float64, opt SearchOptions) (_ Alg3Result, err error) {
+	defer RecoverToError(&err)
 	opt = opt.withDefaults()
 	sim = cancellable(ctx, sim)
 	probes := 0
@@ -179,7 +180,8 @@ func MinPressureForDeltaT(ctx context.Context, sim SimFunc, deltaTStar float64, 
 // T_max = h(P_sys) decreases monotonically, find the smallest pressure
 // >= pLo with h <= tmaxStar by doubling and bisection. Cancelling ctx
 // aborts the search at the next probe.
-func MinPressureForTmax(ctx context.Context, sim SimFunc, tmaxStar, pLo float64, opt SearchOptions) (float64, *thermal.Outcome, bool, error) {
+func MinPressureForTmax(ctx context.Context, sim SimFunc, tmaxStar, pLo float64, opt SearchOptions) (_ float64, _ *thermal.Outcome, _ bool, err error) {
+	defer RecoverToError(&err)
 	opt = opt.withDefaults()
 	h := cancellable(ctx, sim)
 
@@ -228,7 +230,8 @@ func MinPressureForTmax(ctx context.Context, sim SimFunc, tmaxStar, pLo float64,
 // invocations issued (before any memoization the caller wraps sim in), so
 // evaluation budgets can be accounted exactly. Cancelling ctx aborts the
 // search at the next probe.
-func GoldenSectionMinDeltaT(ctx context.Context, sim SimFunc, lo, hi float64, opt SearchOptions) (float64, *thermal.Outcome, int, error) {
+func GoldenSectionMinDeltaT(ctx context.Context, sim SimFunc, lo, hi float64, opt SearchOptions) (_ float64, _ *thermal.Outcome, _ int, err error) {
+	defer RecoverToError(&err)
 	opt = opt.withDefaults()
 	sim = cancellable(ctx, sim)
 	if hi < lo {

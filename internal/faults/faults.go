@@ -1,0 +1,328 @@
+// Package faults is a deterministic fault-injection registry for the
+// evaluation engine and the serving path. Production code asks Fire at
+// named injection points; a test or a chaos run arms a plan describing
+// which points trigger and how often, so every degradation path — solver
+// breakdown, non-convergence, NaN temperature fields, slow solves,
+// forced panics — is reachable from CI without crafting pathological
+// physics.
+//
+// The registry is process-global and disarmed by default. Disarmed,
+// Fire is a single atomic load — cheap enough to leave the probes in
+// hot solver entry points permanently. Armed, rules are evaluated under
+// a mutex; injection runs are not performance runs.
+//
+// Plans are described by a spec string, e.g.
+//
+//	solver.bicgstab.breakdown=always;service.panic=first:1
+//
+// with one point=mode entry per rule. Modes:
+//
+//	always     fire on every call
+//	once       fire on the first call only (alias for first:1)
+//	first:N    fire on the first N calls
+//	every:N    fire on every Nth call (calls N, 2N, ...)
+//	p:F        fire with probability F, seeded deterministically
+//
+// Two option keys may appear alongside rules: seed=N fixes the PRNG
+// seed for p: rules (per-point streams are derived from it, so runs
+// with the same spec and seed fire identically), and delay=DURATION
+// sets the sleep injected by slow-solve points (default 100ms).
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injection site compiled into the engine.
+type Point string
+
+// The registered injection points.
+const (
+	// CGBreakdown forces CG to report ErrBreakdown on entry.
+	CGBreakdown Point = "solver.cg.breakdown"
+	// BiCGBreakdown forces BiCGSTAB to report ErrBreakdown on entry.
+	BiCGBreakdown Point = "solver.bicgstab.breakdown"
+	// GMRESBreakdown forces GMRES to report ErrBreakdown on entry.
+	GMRESBreakdown Point = "solver.gmres.breakdown"
+	// NotConverged forces the iterative solvers to report
+	// ErrNotConverged on entry without spending iterations.
+	NotConverged Point = "solver.notconverged"
+	// ThermalNaN poisons the primary thermal solve's temperature field
+	// with a NaN, exercising the post-solve field validation.
+	ThermalNaN Point = "thermal.nan"
+	// ThermalSlow sleeps for Delay() inside thermal.Factored.SolveAt.
+	ThermalSlow Point = "thermal.slow"
+	// FlowBreakdown makes flow.Solve treat its primary CG solve as
+	// broken down, exercising the flow escalation ladder.
+	FlowBreakdown Point = "flow.breakdown"
+	// ServicePanic panics on the service compute path after the worker
+	// slot is taken, exercising panic containment end to end.
+	ServicePanic Point = "service.panic"
+)
+
+// Points lists every registered injection point.
+var Points = []Point{
+	CGBreakdown, BiCGBreakdown, GMRESBreakdown, NotConverged,
+	ThermalNaN, ThermalSlow, FlowBreakdown, ServicePanic,
+}
+
+// EnvVar is the environment variable ArmFromEnv reads the spec from.
+const EnvVar = "LCN_FAULTS"
+
+const defaultDelay = 100 * time.Millisecond
+
+type mode int
+
+const (
+	modeAlways mode = iota
+	modeFirst
+	modeEvery
+	modeProb
+)
+
+type rule struct {
+	mode  mode
+	n     int64   // first:N / every:N parameter
+	p     float64 // p:F parameter
+	rng   uint64  // per-point splitmix64 state for p: rules
+	calls int64
+	fired int64
+}
+
+var (
+	armed atomic.Bool // fast-path gate; true iff the plan is non-empty
+
+	mu    sync.Mutex
+	rules map[Point]*rule
+	delay = defaultDelay
+	spec  string // the armed spec, verbatim, for logging/metrics
+)
+
+// Armed reports whether any fault plan is armed.
+func Armed() bool { return armed.Load() }
+
+// Spec returns the spec string of the armed plan ("" when disarmed).
+func Spec() string {
+	mu.Lock()
+	defer mu.Unlock()
+	return spec
+}
+
+// Fire reports whether the named fault should trigger now. Disarmed it
+// is a single atomic load; armed it advances the point's rule state
+// deterministically.
+func Fire(p Point) bool {
+	if !armed.Load() {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	r, ok := rules[p]
+	if !ok {
+		return false
+	}
+	r.calls++
+	var hit bool
+	switch r.mode {
+	case modeAlways:
+		hit = true
+	case modeFirst:
+		hit = r.calls <= r.n
+	case modeEvery:
+		hit = r.calls%r.n == 0
+	case modeProb:
+		r.rng = splitmix64(r.rng)
+		// 53-bit mantissa -> uniform in [0, 1).
+		hit = float64(r.rng>>11)/(1<<53) < r.p
+	}
+	if hit {
+		r.fired++
+	}
+	return hit
+}
+
+// Delay returns the sleep duration slow-solve injection points use.
+func Delay() time.Duration {
+	mu.Lock()
+	defer mu.Unlock()
+	return delay
+}
+
+// Stat counts one point's activity since arming.
+type Stat struct {
+	Calls int64 `json:"calls"`
+	Fired int64 `json:"fired"`
+}
+
+// Snapshot returns per-point counters for the armed plan, keyed by
+// point name. It returns nil when disarmed.
+func Snapshot() map[string]Stat {
+	if !armed.Load() {
+		return nil
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	out := make(map[string]Stat, len(rules))
+	for p, r := range rules {
+		out[string(p)] = Stat{Calls: r.calls, Fired: r.fired}
+	}
+	return out
+}
+
+// Arm parses a spec and installs it as the active plan, replacing any
+// previous plan and resetting counters. An empty spec disarms.
+func Arm(s string) error {
+	newRules, newDelay, err := parse(s)
+	if err != nil {
+		return err
+	}
+	mu.Lock()
+	rules = newRules
+	delay = newDelay
+	spec = s
+	if len(newRules) == 0 {
+		spec = ""
+	}
+	armed.Store(len(newRules) > 0)
+	mu.Unlock()
+	return nil
+}
+
+// Disarm removes the active plan. Subsequent Fire calls are free.
+func Disarm() { Arm("") }
+
+// ArmFromEnv arms the plan named by the LCN_FAULTS environment variable
+// via the lookup function (pass os.Getenv). It returns the spec that was
+// armed ("" if the variable is unset or empty).
+func ArmFromEnv(getenv func(string) string) (string, error) {
+	s := strings.TrimSpace(getenv(EnvVar))
+	if s == "" {
+		return "", nil
+	}
+	if err := Arm(s); err != nil {
+		return "", err
+	}
+	return s, nil
+}
+
+func parse(s string) (map[Point]*rule, time.Duration, error) {
+	out := make(map[Point]*rule)
+	d := defaultDelay
+	seed := int64(1)
+	var probPoints []Point // seeded after the full spec is read
+	for _, entry := range strings.FieldsFunc(s, func(r rune) bool { return r == ';' || r == ',' }) {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, 0, fmt.Errorf("faults: entry %q is not point=mode", entry)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "delay":
+			dd, err := time.ParseDuration(val)
+			if err != nil || dd < 0 {
+				return nil, 0, fmt.Errorf("faults: bad delay %q", val)
+			}
+			d = dd
+			continue
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("faults: bad seed %q", val)
+			}
+			seed = n
+			continue
+		}
+		pt := Point(key)
+		if !known(pt) {
+			return nil, 0, fmt.Errorf("faults: unknown point %q (known: %s)", key, pointList())
+		}
+		r, err := parseMode(val)
+		if err != nil {
+			return nil, 0, fmt.Errorf("faults: point %s: %w", pt, err)
+		}
+		out[pt] = r
+		if r.mode == modeProb {
+			probPoints = append(probPoints, pt)
+		}
+	}
+	// Derive one deterministic stream per probabilistic point from the
+	// global seed and the point name, so adding a rule does not shift
+	// another rule's stream.
+	for _, pt := range probPoints {
+		out[pt].rng = seedFor(seed, pt)
+	}
+	return out, d, nil
+}
+
+func parseMode(val string) (*rule, error) {
+	m, param, _ := strings.Cut(val, ":")
+	switch m {
+	case "always":
+		return &rule{mode: modeAlways}, nil
+	case "once":
+		return &rule{mode: modeFirst, n: 1}, nil
+	case "first", "every":
+		n, err := strconv.ParseInt(param, 10, 64)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad count %q (want %s:N, N >= 1)", param, m)
+		}
+		if m == "first" {
+			return &rule{mode: modeFirst, n: n}, nil
+		}
+		return &rule{mode: modeEvery, n: n}, nil
+	case "p":
+		p, err := strconv.ParseFloat(param, 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("bad probability %q (want p:F, 0 <= F <= 1)", param)
+		}
+		return &rule{mode: modeProb, p: p}, nil
+	}
+	return nil, fmt.Errorf("unknown mode %q", val)
+}
+
+func known(p Point) bool {
+	for _, q := range Points {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+func pointList() string {
+	names := make([]string, len(Points))
+	for i, p := range Points {
+		names[i] = string(p)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// seedFor mixes the global seed with an FNV-1a hash of the point name.
+func seedFor(seed int64, p Point) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(p); i++ {
+		h ^= uint64(p[i])
+		h *= 1099511628211
+	}
+	return splitmix64(uint64(seed) ^ h)
+}
+
+// splitmix64 is the standard 64-bit mixing PRNG step.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

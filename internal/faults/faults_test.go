@@ -1,0 +1,148 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func arm(t *testing.T, spec string) {
+	t.Helper()
+	if err := Arm(spec); err != nil {
+		t.Fatalf("Arm(%q): %v", spec, err)
+	}
+	t.Cleanup(Disarm)
+}
+
+func TestDisarmedNeverFires(t *testing.T) {
+	Disarm()
+	if Armed() {
+		t.Fatal("armed after Disarm")
+	}
+	for _, p := range Points {
+		if Fire(p) {
+			t.Fatalf("disarmed %s fired", p)
+		}
+	}
+	if Snapshot() != nil {
+		t.Fatal("disarmed snapshot not nil")
+	}
+}
+
+func TestModes(t *testing.T) {
+	cases := []struct {
+		spec  string
+		point Point
+		want  []bool // fire pattern over successive calls
+	}{
+		{"solver.cg.breakdown=always", CGBreakdown, []bool{true, true, true, true}},
+		{"solver.cg.breakdown=once", CGBreakdown, []bool{true, false, false, false}},
+		{"solver.cg.breakdown=first:2", CGBreakdown, []bool{true, true, false, false}},
+		{"solver.cg.breakdown=every:3", CGBreakdown, []bool{false, false, true, false, false, true}},
+		{"solver.cg.breakdown=p:0", CGBreakdown, []bool{false, false, false}},
+		{"solver.cg.breakdown=p:1", CGBreakdown, []bool{true, true, true}},
+	}
+	for _, c := range cases {
+		arm(t, c.spec)
+		for i, want := range c.want {
+			if got := Fire(c.point); got != want {
+				t.Errorf("%s call %d: fired=%v, want %v", c.spec, i+1, got, want)
+			}
+		}
+	}
+}
+
+func TestUnarmedPointDoesNotFire(t *testing.T) {
+	arm(t, "solver.cg.breakdown=always")
+	if Fire(BiCGBreakdown) {
+		t.Fatal("unarmed point fired")
+	}
+}
+
+func TestProbabilisticIsSeededDeterministic(t *testing.T) {
+	run := func(seed string) []bool {
+		arm(t, "solver.cg.breakdown=p:0.5;seed="+seed)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Fire(CGBreakdown)
+		}
+		return out
+	}
+	a, b := run("42"), run("42")
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different fire patterns")
+	}
+	c := run("43")
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical 64-call patterns")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	arm(t, "solver.cg.breakdown=first:2")
+	for i := 0; i < 5; i++ {
+		Fire(CGBreakdown)
+	}
+	st := Snapshot()[string(CGBreakdown)]
+	if st.Calls != 5 || st.Fired != 2 {
+		t.Fatalf("stat = %+v, want calls=5 fired=2", st)
+	}
+}
+
+func TestDelayOption(t *testing.T) {
+	arm(t, "thermal.slow=always;delay=5ms")
+	if d := Delay(); d != 5*time.Millisecond {
+		t.Fatalf("delay = %v, want 5ms", d)
+	}
+	arm(t, "thermal.slow=always")
+	if d := Delay(); d != defaultDelay {
+		t.Fatalf("delay = %v, want default %v", d, defaultDelay)
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"nonsense",
+		"unknown.point=always",
+		"solver.cg.breakdown=sometimes",
+		"solver.cg.breakdown=first:0",
+		"solver.cg.breakdown=p:1.5",
+		"delay=never",
+		"seed=abc",
+	} {
+		if err := Arm(bad); err == nil {
+			Disarm()
+			t.Errorf("Arm(%q) accepted", bad)
+		}
+	}
+	if Armed() {
+		t.Fatal("failed Arm left registry armed")
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	t.Cleanup(Disarm)
+	spec, err := ArmFromEnv(func(string) string { return "solver.cg.breakdown=always" })
+	if err != nil || spec == "" || !Armed() {
+		t.Fatalf("ArmFromEnv: spec=%q err=%v armed=%v", spec, err, Armed())
+	}
+	if Spec() != spec {
+		t.Fatalf("Spec() = %q, want %q", Spec(), spec)
+	}
+	Disarm()
+	spec, err = ArmFromEnv(func(string) string { return "" })
+	if err != nil || spec != "" || Armed() {
+		t.Fatalf("empty env: spec=%q err=%v armed=%v", spec, err, Armed())
+	}
+}

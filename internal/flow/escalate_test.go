@@ -1,0 +1,79 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"lcn3d/internal/faults"
+	"lcn3d/internal/grid"
+	"lcn3d/internal/network"
+	"lcn3d/internal/solver"
+)
+
+// straightChannel builds the closed-form single-channel network used by
+// the analytic flow tests: L liquid cells between an inlet and outlet.
+func straightChannel(L int) *network.Network {
+	d := grid.Dims{NX: L, NY: 1}
+	n := network.NewFree(d)
+	for x := 0; x < d.NX; x++ {
+		n.SetLiquid(x, 0, true)
+	}
+	n.AddPort(grid.SideWest, network.Inlet, 0, 0)
+	n.AddPort(grid.SideEast, network.Outlet, 0, 0)
+	return n
+}
+
+// TestFlowEscalationLadder walks the flow ladder rung by rung and checks
+// each degraded solution still matches the closed-form flow rate.
+func TestFlowEscalationLadder(t *testing.T) {
+	const L = 21
+	psys := 10e3
+	n := straightChannel(L)
+	gc := geo.CellConductance()
+	ge := geo.EdgeConductance()
+	wantQ := psys / (float64(L-1)/gc + 2/ge)
+	t.Cleanup(faults.Disarm)
+
+	cases := []struct {
+		name     string
+		spec     string
+		wantRung solver.Rung
+	}{
+		{"bicgstab", "flow.breakdown=always", solver.RungRetry},
+		{"gmres", "flow.breakdown=always;solver.bicgstab.breakdown=always", solver.RungGMRES},
+		{"dense", "flow.breakdown=always;solver.bicgstab.breakdown=always;solver.gmres.breakdown=always", solver.RungDense},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := faults.Arm(c.spec); err != nil {
+				t.Fatal(err)
+			}
+			defer faults.Disarm()
+			s, err := Solve(n, geo, psys)
+			if err != nil {
+				t.Fatalf("ladder did not recover: %v", err)
+			}
+			if s.Rung != c.wantRung {
+				t.Fatalf("rung = %v, want %v", s.Rung, c.wantRung)
+			}
+			if !s.Degraded {
+				t.Fatalf("rung %v solution not marked degraded", s.Rung)
+			}
+			if math.Abs(s.Qsys-wantQ) > 1e-5*wantQ {
+				t.Fatalf("degraded Qsys = %g, want %g", s.Qsys, wantQ)
+			}
+		})
+	}
+
+	// Disarmed control: the primary CG path, not degraded.
+	s, err := Solve(n, geo, psys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rung != solver.RungPrimary || s.Degraded {
+		t.Fatalf("clean solve rung = %v degraded = %v, want primary/false", s.Rung, s.Degraded)
+	}
+	if math.Abs(s.Qsys-wantQ) > 1e-9*wantQ {
+		t.Fatalf("clean Qsys = %g, want %g", s.Qsys, wantQ)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"lcn3d/internal/faults"
 	"lcn3d/internal/grid"
 	"lcn3d/internal/network"
 	"lcn3d/internal/solver"
@@ -74,6 +75,11 @@ type Solution struct {
 	Wpump float64 // pumping power P_sys*Q_sys, W (η omitted, see paper)
 
 	SolveIters int
+	// Rung is the escalation-ladder rung that produced the pressure
+	// field (see solver.Rung); Degraded marks solutions that needed any
+	// fallback from the primary CG solve.
+	Rung     solver.Rung
+	Degraded bool
 }
 
 // Solve computes the pressure and flow field for the network under the
@@ -174,16 +180,11 @@ func Solve(net *network.Network, geom Geometry, psys float64) (*Solution, error)
 
 	m := b.Build()
 	p := make([]float64, len(cells))
-	// Warm start: linear guess is not available cheaply; start from
-	// psys/2 everywhere, which halves iterations on typical networks.
-	for i := range p {
-		p[i] = psys / 2
-	}
-	res, err := solver.CG(m, rhs, p, solver.Options{Tol: 1e-11, MaxIter: 20 * len(cells), Precond: solver.BestPrecond(m)})
+	iters, err := solvePressure(m, rhs, p, psys, s)
 	if err != nil {
-		return nil, fmt.Errorf("flow: pressure solve failed: %w (res %.3g)", err, res.Residual)
+		return nil, err
 	}
-	s.SolveIters = res.Iterations
+	s.SolveIters = iters
 
 	for u, i := range cells {
 		s.Pressure[i] = p[u]
@@ -224,6 +225,78 @@ func Solve(net *network.Network, geom Geometry, psys float64) (*Solution, error)
 	}
 	s.Wpump = psys * s.Qsys
 	return s, nil
+}
+
+// solvePressure runs the pressure solve through the solver escalation
+// ladder: CG (the normal method for this SPD system), then BiCGSTAB from
+// a cold restart, then restarted GMRES, then dense LU for systems up to
+// solver.DenseFallbackMax. Any fallback from CG is abnormal for an SPD
+// system, so every rung past the primary marks the solution degraded.
+// It records the winning rung on s and returns the total iteration count
+// across rungs.
+func solvePressure(m *sparse.CSR, rhs, p []float64, psys float64, s *Solution) (int, error) {
+	opt := solver.Options{Tol: 1e-11, MaxIter: 20 * len(p), Precond: solver.BestPrecond(m)}
+	// Start from psys/2 everywhere, which halves iterations on typical
+	// networks relative to a zero guess.
+	coldStart := func() {
+		for i := range p {
+			p[i] = psys / 2
+		}
+	}
+	check := func(res solver.Result, err error) error {
+		if err != nil {
+			return err
+		}
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("flow: non-finite pressure field: %w", solver.ErrBreakdown)
+			}
+		}
+		return nil
+	}
+
+	coldStart()
+	rung := solver.RungPrimary
+	var total int
+	var res solver.Result
+	var err error
+	if faults.Fire(faults.FlowBreakdown) {
+		err = solver.ErrBreakdown
+	} else {
+		res, err = solver.CG(m, rhs, p, opt)
+		total += res.Iterations
+		err = check(res, err)
+	}
+	if err != nil {
+		rung = solver.RungRetry
+		coldStart()
+		res, err = solver.BiCGSTAB(m, rhs, p, opt)
+		total += res.Iterations
+		err = check(res, err)
+	}
+	if err != nil {
+		rung = solver.RungGMRES
+		coldStart()
+		res, err = solver.GMRES(m, rhs, p, opt)
+		total += res.Iterations
+		err = check(res, err)
+	}
+	if err != nil && len(p) <= solver.DenseFallbackMax {
+		rung = solver.RungDense
+		if x, derr := solver.DenseSolve(m, rhs); derr == nil {
+			copy(p, x)
+			// NaN compares false, so a poisoned dense result fails too.
+			if r := solver.RelResidual(m, rhs, p); r <= math.Sqrt(opt.Tol) {
+				err = nil
+			}
+		}
+	}
+	if err != nil {
+		return total, fmt.Errorf("flow: pressure solve failed at rung %v: %w (res %.3g)", rung, err, res.Residual)
+	}
+	s.Rung = rung
+	s.Degraded = rung > solver.RungPrimary
+	return total, nil
 }
 
 // Q returns the signed flow leaving cell (x, y) in the given direction.

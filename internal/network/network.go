@@ -8,7 +8,6 @@
 package network
 
 import (
-	"fmt"
 	"hash/fnv"
 	"math"
 
@@ -161,42 +160,19 @@ func (n *Network) portsByCell() map[int][]Port {
 //     one port per side;
 //  4. there is at least one inlet and one outlet, and at least one
 //     inlet-to-outlet liquid path exists.
+//
+// Check delegates to Validate but keeps the historical lenient view:
+// stagnant (dangling) liquid is tolerated, because the flow solver
+// excludes such components and the optimizers may pass through states
+// with them. Trust boundaries that accept untrusted networks should use
+// Validate directly.
 func (n *Network) Check() []error {
 	var errs []error
-	for i, liq := range n.Liquid {
-		if !liq {
+	for _, v := range n.Validate() {
+		if v.Code == StagnantCells {
 			continue
 		}
-		x, y := n.Dims.Coord(i)
-		if n.TSV[i] {
-			errs = append(errs, fmt.Errorf("network: liquid cell (%d,%d) overlaps TSV", x, y))
-		}
-		if n.Keepout[i] {
-			errs = append(errs, fmt.Errorf("network: liquid cell (%d,%d) in keepout region", x, y))
-		}
-	}
-	perSide := map[grid.Side]int{}
-	for _, p := range n.Ports {
-		perSide[p.Side]++
-		if p.Lo > p.Hi {
-			errs = append(errs, fmt.Errorf("network: empty port span on side %v", p.Side))
-		}
-	}
-	for side, c := range perSide {
-		if c > 1 {
-			errs = append(errs, fmt.Errorf("network: %d ports on side %v (at most one continuous port per side)", c, side))
-		}
-	}
-	in := n.PortCells(Inlet)
-	out := n.PortCells(Outlet)
-	if len(in) == 0 {
-		errs = append(errs, fmt.Errorf("network: no liquid inlet cell"))
-	}
-	if len(out) == 0 {
-		errs = append(errs, fmt.Errorf("network: no liquid outlet cell"))
-	}
-	if len(in) > 0 && len(out) > 0 && !n.hasInletOutletPath() {
-		errs = append(errs, fmt.Errorf("network: no liquid path from any inlet to any outlet"))
+		errs = append(errs, v)
 	}
 	return errs
 }

@@ -1,0 +1,142 @@
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"lcn3d/internal/grid"
+)
+
+// ValidationCode classifies one network validation failure, so callers
+// (notably the lcn-serve request layer) can reject malformed uploads
+// with a machine-readable reason instead of a panic or a 500 deep in
+// the solvers.
+type ValidationCode string
+
+// Validation failure classes.
+const (
+	// BadDims: grid dimensions or mask/width slice lengths are
+	// inconsistent; any solve on such a network would index out of
+	// bounds. Reported alone — no other check is meaningful.
+	BadDims ValidationCode = "bad-dims"
+	// BadWidth: a per-cell channel width is negative or non-finite.
+	BadWidth ValidationCode = "bad-width"
+	// TSVOverlap / KeepoutOverlap: liquid cells violate rule 1/2.
+	TSVOverlap     ValidationCode = "tsv-overlap"
+	KeepoutOverlap ValidationCode = "keepout-overlap"
+	// BadPortSpan: a port covers no boundary positions; BadPortSide: a
+	// port names a side outside the four chip edges. DuplicatePortSide:
+	// more than one port on a side (rule 3).
+	BadPortSpan       ValidationCode = "bad-port-span"
+	BadPortSide       ValidationCode = "bad-port-side"
+	DuplicatePortSide ValidationCode = "duplicate-port-side"
+	// NoInlet / NoOutlet / NoPath: rule 4 (coolant must be able to
+	// traverse the chip).
+	NoInlet  ValidationCode = "no-inlet"
+	NoOutlet ValidationCode = "no-outlet"
+	NoPath   ValidationCode = "no-inlet-outlet-path"
+	// StagnantCells: dangling segments — liquid whose component misses
+	// an inlet or an outlet holds coolant but carries no flow. Legal for
+	// the flow solver (which excludes them) but rejected at the service
+	// boundary, where a dangling segment is always an authoring mistake.
+	StagnantCells ValidationCode = "stagnant-cells"
+)
+
+// ValidationError is one typed violation found by Validate.
+type ValidationError struct {
+	Code   ValidationCode
+	Detail string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("network [%s]: %s", e.Code, e.Detail)
+}
+
+// Validate runs the design rules of Check plus the well-formedness
+// checks a trust boundary needs before handing an untrusted network to
+// the solvers: dims/mask-length sanity, width sanity, port-side range,
+// and dangling (stagnant) segments. It returns every violation; an
+// empty slice means the network is safe to simulate.
+func (n *Network) Validate() []*ValidationError {
+	var errs []*ValidationError
+	add := func(code ValidationCode, format string, args ...any) {
+		errs = append(errs, &ValidationError{Code: code, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	d := n.Dims
+	if d.NX < 1 || d.NY < 1 {
+		add(BadDims, "empty grid %dx%d", d.NX, d.NY)
+		return errs
+	}
+	if len(n.Liquid) != d.N() || len(n.TSV) != d.N() || len(n.Keepout) != d.N() {
+		add(BadDims, "mask lengths liquid=%d tsv=%d keepout=%d do not match %dx%d grid",
+			len(n.Liquid), len(n.TSV), len(n.Keepout), d.NX, d.NY)
+		return errs
+	}
+	if n.Width != nil && len(n.Width) != d.N() {
+		add(BadDims, "width map length %d does not match %dx%d grid", len(n.Width), d.NX, d.NY)
+		return errs
+	}
+	for i, w := range n.Width {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			x, y := d.Coord(i)
+			add(BadWidth, "channel width %g at (%d,%d)", w, x, y)
+			break
+		}
+	}
+
+	for i, liq := range n.Liquid {
+		if !liq {
+			continue
+		}
+		x, y := d.Coord(i)
+		if n.TSV[i] {
+			add(TSVOverlap, "liquid cell (%d,%d) overlaps TSV", x, y)
+		}
+		if n.Keepout[i] {
+			add(KeepoutOverlap, "liquid cell (%d,%d) in keepout region", x, y)
+		}
+	}
+
+	perSide := map[grid.Side]int{}
+	badSide := false
+	for _, p := range n.Ports {
+		if p.Side < 0 || int(p.Side) >= grid.NumSides {
+			add(BadPortSide, "port on nonexistent side %d", int(p.Side))
+			badSide = true
+			continue
+		}
+		perSide[p.Side]++
+		if p.Lo > p.Hi {
+			add(BadPortSpan, "empty port span on side %v", p.Side)
+		}
+	}
+	if badSide {
+		// The reachability checks below walk PortCells, which panics on
+		// a nonexistent side; with a corrupt port list they are
+		// meaningless anyway.
+		return errs
+	}
+	for side, c := range perSide {
+		if c > 1 {
+			add(DuplicatePortSide, "%d ports on side %v (at most one continuous port per side)", c, side)
+		}
+	}
+
+	in := n.PortCells(Inlet)
+	out := n.PortCells(Outlet)
+	if len(in) == 0 {
+		add(NoInlet, "no liquid inlet cell")
+	}
+	if len(out) == 0 {
+		add(NoOutlet, "no liquid outlet cell")
+	}
+	if len(in) > 0 && len(out) > 0 && !n.hasInletOutletPath() {
+		add(NoPath, "no liquid path from any inlet to any outlet")
+	}
+	if st := n.StagnantCells(); len(st) > 0 {
+		x, y := d.Coord(st[0])
+		add(StagnantCells, "%d dangling liquid cells carry no flow (first at (%d,%d))", len(st), x, y)
+	}
+	return errs
+}

@@ -1,0 +1,91 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"lcn3d/internal/grid"
+)
+
+func codes(errs []*ValidationError) map[ValidationCode]bool {
+	m := make(map[ValidationCode]bool)
+	for _, e := range errs {
+		m[e.Code] = true
+	}
+	return m
+}
+
+func TestValidateLegalNetwork(t *testing.T) {
+	n := Straight(d21, grid.SideWest, 1)
+	if errs := n.Validate(); len(errs) != 0 {
+		t.Fatalf("legal straight network rejected: %v", errs)
+	}
+}
+
+func TestValidateDimsSanity(t *testing.T) {
+	n := NewFree(d21)
+	n.Liquid = n.Liquid[:10] // truncated mask would index out of range
+	errs := n.Validate()
+	if !codes(errs)[BadDims] {
+		t.Fatalf("truncated mask not reported: %v", errs)
+	}
+	if len(errs) != 1 {
+		t.Fatalf("bad dims must short-circuit, got %v", errs)
+	}
+
+	n2 := &Network{Dims: grid.Dims{NX: 0, NY: 5}}
+	if errs := n2.Validate(); !codes(errs)[BadDims] {
+		t.Fatalf("empty grid not reported: %v", errs)
+	}
+}
+
+func TestValidateWidthSanity(t *testing.T) {
+	n := Straight(d21, grid.SideWest, 1)
+	n.Width = make([]float64, d21.N())
+	n.Width[3] = math.NaN()
+	if errs := n.Validate(); !codes(errs)[BadWidth] {
+		t.Fatalf("NaN width not reported: %v", errs)
+	}
+	n.Width = n.Width[:4]
+	if errs := n.Validate(); !codes(errs)[BadDims] {
+		t.Fatalf("short width map not reported: %v", errs)
+	}
+}
+
+func TestValidateStagnantSegments(t *testing.T) {
+	n := Straight(d21, grid.SideWest, 2)
+	n.SetLiquid(4, 2, true) // isolated pool between channel rows
+	errs := n.Validate()
+	if !codes(errs)[StagnantCells] {
+		t.Fatalf("dangling segment not reported: %v", errs)
+	}
+	// The lenient Check keeps tolerating it.
+	if chk := n.Check(); len(chk) != 0 {
+		t.Fatalf("Check should tolerate stagnant cells: %v", chk)
+	}
+}
+
+func TestValidatePortSide(t *testing.T) {
+	n := Straight(d21, grid.SideWest, 1)
+	n.Ports = append(n.Ports, Port{Side: grid.Side(9), Kind: Outlet, Lo: 0, Hi: 3})
+	if errs := n.Validate(); !codes(errs)[BadPortSide] {
+		t.Fatalf("nonexistent port side not reported: %v", errs)
+	}
+}
+
+func TestValidateReachability(t *testing.T) {
+	n := NewFree(d21)
+	for y := 0; y < d21.NY; y += 2 {
+		n.SetLiquid(0, y, true)
+		n.SetLiquid(d21.NX-1, y, true)
+	}
+	n.AddPort(grid.SideWest, Inlet, 0, d21.NY-1)
+	n.AddPort(grid.SideEast, Outlet, 0, d21.NY-1)
+	got := codes(n.Validate())
+	if !got[NoPath] {
+		t.Fatalf("disconnected inlet/outlet not reported")
+	}
+	if !got[StagnantCells] {
+		t.Fatalf("disconnected components are also stagnant")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lcn3d/internal/faults"
 )
 
 // metrics holds the service counters. Everything is atomics or a small
@@ -21,6 +23,7 @@ type metrics struct {
 	timeouts    atomic.Int64 // requests that hit their deadline
 	errors      atomic.Int64 // non-timeout failures
 	rejected    atomic.Int64 // refused while draining
+	panics      atomic.Int64 // panics contained in the compute path
 
 	queueDepth atomic.Int64 // waiting for a worker slot
 	inFlight   atomic.Int64 // holding a worker slot
@@ -74,6 +77,13 @@ type FactorSnapshot struct {
 	WarmStartRate float64 `json:"warm_start_rate"`
 	PrecondBuilds int     `json:"precond_builds"`
 	SolveIters    int     `json:"solve_iters"`
+
+	// Escalation-ladder counters (see solver.Rung): probes that climbed
+	// to each fallback rung, and probes whose result was degraded.
+	RetryRebuild int `json:"retry_rebuild"`
+	RetryGMRES   int `json:"retry_gmres"`
+	RetryDense   int `json:"retry_dense"`
+	Degraded     int `json:"degraded"`
 }
 
 // MetricsSnapshot is the JSON document served by /v1/metrics.
@@ -88,6 +98,7 @@ type MetricsSnapshot struct {
 	Timeouts    int64 `json:"timeouts"`
 	Errors      int64 `json:"errors"`
 	Rejected    int64 `json:"rejected"`
+	Panics      int64 `json:"panics"`
 
 	// CacheHitRate = hits / (hits + misses); DedupRate = coalesced /
 	// accepted requests.
@@ -104,6 +115,11 @@ type MetricsSnapshot struct {
 	ModelsCached  int `json:"models_cached"`
 
 	Factor FactorSnapshot `json:"factor"`
+
+	// Faults reports per-point fault-injection counters when injection
+	// is armed (absent otherwise), so chaos runs can assert their plan
+	// actually fired.
+	Faults map[string]faults.Stat `json:"faults,omitempty"`
 }
 
 func ratio(num, den int64) float64 {

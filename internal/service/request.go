@@ -147,7 +147,10 @@ func (ns NetworkSpec) resolve(in *core.Instance) (*network.Network, error) {
 		return nil, badRequest("network: unknown generator %q", ns.Generator)
 	}
 	in.ApplyKeepout(n)
-	if errs := n.Check(); len(errs) > 0 {
+	// Validate (not the lenient Check): an uploaded file is untrusted
+	// input, and dims or mask inconsistencies would panic deep in the
+	// solvers instead of producing a 400 here.
+	if errs := n.Validate(); len(errs) > 0 {
 		return nil, badRequest("network violates design rules: %v", errs[0])
 	}
 	return n, nil
@@ -184,6 +187,10 @@ type SimulateResponse struct {
 	Qsys       float64 `json:"qsys"`
 	Rsys       float64 `json:"rsys"`
 	SolveIters int     `json:"solve_iters"`
+	// Degraded marks results whose solve needed a fallback rung of the
+	// solver escalation ladder (see solver.Rung): still within
+	// tolerance, but outside the normal operating envelope.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // EvaluateRequest asks for the Algorithm 2/3 network evaluation: the
@@ -211,6 +218,9 @@ type EvaluateResponse struct {
 	DeltaT   float64 `json:"delta_t"`
 	Tmax     float64 `json:"tmax,omitempty"`
 	Probes   int     `json:"probes"`
+	// Degraded marks evaluations in which at least one thermal solve
+	// needed a fallback rung of the escalation ladder (see solver.Rung).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // modelKey identifies a (case, scale, model, network) binding — the unit

@@ -23,12 +23,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"lcn3d/internal/core"
+	"lcn3d/internal/faults"
 	"lcn3d/internal/grid"
 	"lcn3d/internal/iccad"
 	"lcn3d/internal/network"
@@ -164,6 +167,15 @@ func (s *Service) model(ref CaseRef, ms ModelSpec, b *iccad.Benchmark, n *networ
 	v, _ := s.models.GetOrPut(key, &modelEntry{})
 	e := v.(*modelEntry)
 	e.once.Do(func() {
+		// The recover must live inside the once closure: a panicking
+		// builder would otherwise mark the Once done with e.sim nil, and
+		// every later request on this entry would nil-deref. Recovering
+		// here poisons the entry with a diagnosable error instead.
+		defer func() {
+			if r := recover(); r != nil {
+				e.err = &core.InternalError{Recovered: r, Stack: debug.Stack()}
+			}
+		}()
 		nets := make([]*network.Network, len(b.Stk.ChannelLayers()))
 		for i := range nets {
 			nets[i] = n
@@ -188,6 +200,10 @@ func (s *Service) model(ref CaseRef, ms ModelSpec, b *iccad.Benchmark, n *networ
 		}
 	})
 	if e.err != nil {
+		var ie *core.InternalError
+		if errors.As(e.err, &ie) {
+			return nil, e.err // a builder panic is a 500, not the client's fault
+		}
 		return nil, badRequest("model: %v", e.err)
 	}
 	return e, nil
@@ -282,7 +298,7 @@ func (s *Service) do(ctx context.Context, key string, timeoutMS int, compute fun
 			return nil, err
 		}
 		s.met.evaluations.Add(1)
-		resp, err := compute(ctx)
+		resp, err := s.protect(ctx, compute)
 		if err != nil {
 			return nil, err
 		}
@@ -305,6 +321,27 @@ func (s *Service) do(ctx context.Context, key string, timeoutMS int, compute fun
 		return nil, err
 	}
 	return buf, nil
+}
+
+// protect runs one computation with panic containment: a panic anywhere
+// in the model/evaluation stack is converted to a *core.InternalError
+// (HTTP 500) and counted, while the deferred worker-slot and drain
+// bookkeeping in do() proceeds normally — one poisoned request must not
+// leak a slot or take the daemon down. The stack is logged server-side;
+// clients only see the recovered value.
+func (s *Service) protect(ctx context.Context, compute func(ctx context.Context) (any, error)) (resp any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ie := &core.InternalError{Recovered: r, Stack: debug.Stack()}
+			s.met.panics.Add(1)
+			log.Printf("service: recovered panic in compute: %v\n%s", r, ie.Stack)
+			resp, err = nil, ie
+		}
+	}()
+	if faults.Fire(faults.ServicePanic) {
+		panic("faults: injected service panic")
+	}
+	return compute(ctx)
 }
 
 // prepared is the common front half of both request kinds.
@@ -364,6 +401,7 @@ func (s *Service) Simulate(ctx context.Context, req SimulateRequest) ([]byte, er
 		return &SimulateResponse{
 			CacheKey: key, Psys: out.Psys, DeltaT: out.DeltaT, Tmax: out.Tmax,
 			Wpump: out.Wpump, Qsys: out.Qsys, Rsys: out.Rsys, SolveIters: out.SolveIters,
+			Degraded: out.Probe.Degraded,
 		}, nil
 	})
 }
@@ -387,6 +425,10 @@ func (s *Service) Evaluate(ctx context.Context, req EvaluateRequest) ([]byte, er
 	return s.do(ctx, key, req.TimeoutMS, func(ctx context.Context) (any, error) {
 		in := &p.bench.Instance
 		opt := s.cfg.Search
+		// An evaluation runs many probes; the degraded count of the
+		// entry's factored system advancing during this computation means
+		// at least one of them needed a fallback rung.
+		deg0 := p.entry.stats().Degraded
 		var r core.EvalResult
 		var err error
 		if problem == 1 {
@@ -415,9 +457,11 @@ func (s *Service) Evaluate(ctx context.Context, req EvaluateRequest) ([]byte, er
 		resp := &EvaluateResponse{
 			CacheKey: key, Problem: problem, Feasible: r.Feasible,
 			Psys: r.Psys, Wpump: r.Wpump, DeltaT: r.DeltaT, Probes: r.Probes,
+			Degraded: p.entry.stats().Degraded > deg0,
 		}
 		if r.Out != nil {
 			resp.Tmax = r.Out.Tmax
+			resp.Degraded = resp.Degraded || r.Out.Probe.Degraded
 		}
 		return resp, nil
 	})
@@ -438,6 +482,7 @@ func (s *Service) Metrics() MetricsSnapshot {
 		Timeouts:      s.met.timeouts.Load(),
 		Errors:        s.met.errors.Load(),
 		Rejected:      s.met.rejected.Load(),
+		Panics:        s.met.panics.Load(),
 		CacheHitRate:  ratio(hits, hits+misses),
 		DedupRate:     ratio(s.met.dedupHits.Load(), s.met.requests.Load()),
 		QueueDepth:    s.met.queueDepth.Load(),
@@ -457,9 +502,14 @@ func (s *Service) Metrics() MetricsSnapshot {
 		snap.Factor.WarmStarts += st.WarmStarts
 		snap.Factor.PrecondBuilds += st.PrecondBuilds
 		snap.Factor.SolveIters += st.SolveIters
+		snap.Factor.RetryRebuild += st.RetryRebuild
+		snap.Factor.RetryGMRES += st.RetryGMRES
+		snap.Factor.RetryDense += st.RetryDense
+		snap.Factor.Degraded += st.Degraded
 	})
 	if snap.Factor.Probes > 0 {
 		snap.Factor.WarmStartRate = float64(snap.Factor.WarmStarts) / float64(snap.Factor.Probes)
 	}
+	snap.Faults = faults.Snapshot()
 	return snap
 }

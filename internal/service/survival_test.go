@@ -1,0 +1,238 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lcn3d/internal/core"
+	"lcn3d/internal/faults"
+)
+
+func post(h http.Handler, path, body string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestMalformedPayloadsThenHealthy hammers the HTTP surface with broken
+// and hostile payloads: every one must produce an orderly 4xx/5xx JSON
+// error, and the daemon must still serve a healthy request afterwards.
+func TestMalformedPayloadsThenHealthy(t *testing.T) {
+	s := testService(t, Config{})
+	h := s.Handler()
+	cases := []struct {
+		name, path, body string
+	}{
+		{"empty", "/v1/simulate", ""},
+		{"not-json", "/v1/simulate", "ceci n'est pas un json"},
+		{"truncated", "/v1/evaluate", `{"case": 1, "network": {"gen`},
+		{"wrong-types", "/v1/simulate", `{"case": "one", "psys": []}`},
+		{"unknown-field", "/v1/evaluate", `{"case": 1, "bogus": true}`},
+		{"negative-psys", "/v1/simulate", `{"case": 1, "psys": -5, "network": {"generator": "straight"}}`},
+		{"zero-psys", "/v1/simulate", `{"case": 1, "network": {"generator": "straight"}}`},
+		{"bad-case", "/v1/evaluate", `{"case": 99, "network": {"generator": "straight"}}`},
+		{"bad-scale", "/v1/evaluate", `{"case": 1, "scale": 100000, "network": {"generator": "straight"}}`},
+		{"no-network", "/v1/evaluate", `{"case": 1}`},
+		{"both-network", "/v1/evaluate", `{"case": 1, "network": {"generator": "straight", "file": "x"}}`},
+		{"bad-generator", "/v1/evaluate", `{"case": 1, "network": {"generator": "moebius"}}`},
+		{"bad-model", "/v1/evaluate", `{"case": 1, "model": "42rm", "network": {"generator": "straight"}}`},
+		{"bad-problem", "/v1/evaluate", `{"case": 1, "problem": 7, "network": {"generator": "straight"}}`},
+		{"garbage-file", "/v1/simulate", `{"case": 1, "psys": 1000, "network": {"file": "not a network"}}`},
+		{"nan-psys", "/v1/simulate", `{"case": 1, "psys": NaN, "network": {"generator": "straight"}}`},
+		{"deep-nesting", "/v1/evaluate", `{"case": 1, "network": ` + strings.Repeat(`{"file":`, 50) + `"x"` + strings.Repeat(`}`, 50) + `}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec := post(h, c.path, c.body)
+			if rec.Code < 400 || rec.Code >= 600 {
+				t.Fatalf("status = %d, want 4xx/5xx; body %s", rec.Code, rec.Body.String())
+			}
+			var resp map[string]any
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("error body is not JSON: %v (%s)", err, rec.Body.String())
+			}
+			if _, ok := resp["error"]; !ok {
+				t.Fatalf("error body missing error field: %s", rec.Body.String())
+			}
+		})
+	}
+
+	// The daemon must be fully healthy after the barrage.
+	rec := post(h, "/v1/simulate", `{"case": 1, "psys": 20000, "model": "2rm", "coarse_m": 4, "network": {"generator": "straight"}}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthy request after barrage: status %d, body %s", rec.Code, rec.Body.String())
+	}
+}
+
+// FuzzMalformedRequests drives arbitrary bytes at both POST endpoints.
+// The invariant under fuzzing is purely "no panic, always an HTTP
+// response": any status is acceptable, a crash is not.
+func FuzzMalformedRequests(f *testing.F) {
+	seeds := []string{
+		"",
+		"{}",
+		`{"case": 1}`,
+		`{"case": -1, "psys": 1e308}`,
+		`{"case": 1, "psys": 1000, "network": {"generator": "straight"}, "timeout_ms": 1}`,
+		`{"case": 1, "network": {"file": "P1\n#\n"}}`,
+		`[{}]`,
+		`"str"`,
+		"\x00\xff\xfe",
+		`{"case": 1, "scale": 5, "network": {"generator": "tree", "branch": 3}}`,
+	}
+	for _, s := range seeds {
+		f.Add("/v1/simulate", s)
+		f.Add("/v1/evaluate", s)
+	}
+	svc := New(Config{Scale: 21})
+	h := svc.Handler()
+	f.Fuzz(func(t *testing.T, path, body string) {
+		if path != "/v1/simulate" && path != "/v1/evaluate" {
+			path = "/v1/simulate"
+		}
+		rec := post(h, path, body)
+		if rec.Code == 0 {
+			t.Fatalf("no response written for %q", body)
+		}
+	})
+}
+
+// TestForcedPanicContained: an injected panic inside the compute path
+// returns a 500 JSON error without leaking the worker slot or the drain
+// count — with Workers=1 a leak would deadlock the follow-up request.
+// Run under -race in CI.
+func TestForcedPanicContained(t *testing.T) {
+	s := testService(t, Config{Workers: 1})
+	h := s.Handler()
+	if err := faults.Arm("service.panic=first:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+
+	body := `{"case": 1, "model": "2rm", "coarse_m": 4, "network": {"generator": "straight"}}`
+	rec := post(h, "/v1/evaluate", body)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("poisoned request: status %d, want 500; body %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "panic") {
+		t.Fatalf("500 body does not mention the panic: %s", rec.Body.String())
+	}
+
+	// The worker slot must have been released: the same request (the
+	// failed one is not cached) computes normally on the single worker.
+	rec = post(h, "/v1/evaluate", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("request after contained panic: status %d, body %s", rec.Code, rec.Body.String())
+	}
+
+	m := s.Metrics()
+	if m.Panics != 1 {
+		t.Errorf("panics = %d, want 1", m.Panics)
+	}
+	if m.InFlight != 0 || m.QueueDepth != 0 {
+		t.Errorf("leaked slot accounting: in_flight=%d queue_depth=%d", m.InFlight, m.QueueDepth)
+	}
+	if s.Draining() {
+		t.Error("service unexpectedly draining")
+	}
+	// Drain must not hang on a leaked active count.
+	s.Drain()
+}
+
+// TestPanicErrorIsInternal: the recovered panic surfaces as the typed
+// *core.InternalError with a captured stack.
+func TestPanicErrorIsInternal(t *testing.T) {
+	s := testService(t, Config{})
+	if err := faults.Arm("service.panic=first:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+	_, err := s.Evaluate(context.Background(), evalReq())
+	var ie *core.InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want *core.InternalError", err)
+	}
+	if len(ie.Stack) == 0 {
+		t.Fatal("InternalError carries no stack")
+	}
+}
+
+// TestEscalationEndToEnd is the headline acceptance scenario: with
+// injection forcing a breakdown on every thermal probe, an evaluation
+// completes through the ladder, is marked degraded, matches the
+// uninjected run within solver tolerance, and the ladder activity is
+// visible in /v1/metrics.
+func TestEscalationEndToEnd(t *testing.T) {
+	// Clean run on its own service instance (fresh caches, no
+	// cross-contamination from the injected run's warm state).
+	clean := testService(t, Config{})
+	cleanBuf, err := clean.Evaluate(context.Background(), evalReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want EvaluateResponse
+	if err := json.Unmarshal(cleanBuf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if want.Degraded {
+		t.Fatal("clean run unexpectedly degraded")
+	}
+
+	s := testService(t, Config{})
+	if err := faults.Arm("solver.bicgstab.breakdown=always"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+	buf, err := s.Evaluate(context.Background(), evalReq())
+	if err != nil {
+		t.Fatalf("evaluation did not survive forced breakdowns: %v", err)
+	}
+	var got EvaluateResponse
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Degraded {
+		t.Error("response not marked degraded")
+	}
+	if got.Feasible != want.Feasible {
+		t.Fatalf("feasibility flipped: got %v, want %v", got.Feasible, want.Feasible)
+	}
+	relClose := func(name string, a, b float64) {
+		if b == 0 && a == 0 {
+			return
+		}
+		if math.Abs(a-b) > 1e-3*math.Max(math.Abs(a), math.Abs(b)) {
+			t.Errorf("%s: degraded %g vs clean %g", name, a, b)
+		}
+	}
+	relClose("psys", got.Psys, want.Psys)
+	relClose("wpump", got.Wpump, want.Wpump)
+	relClose("delta_t", got.DeltaT, want.DeltaT)
+	relClose("tmax", got.Tmax, want.Tmax)
+
+	// Ladder activity and fault counters visible via the metrics API.
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/metrics", nil))
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Factor.RetryGMRES == 0 {
+		t.Errorf("retry_gmres = 0, want > 0: %+v", snap.Factor)
+	}
+	if snap.Factor.Degraded == 0 {
+		t.Errorf("degraded = 0, want > 0: %+v", snap.Factor)
+	}
+	st, ok := snap.Faults[string(faults.BiCGBreakdown)]
+	if !ok || st.Fired == 0 {
+		t.Errorf("fault counters not visible in metrics: %+v", snap.Faults)
+	}
+}

@@ -1,0 +1,158 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"lcn3d/internal/faults"
+	"lcn3d/internal/sparse"
+)
+
+// nanSystem builds a 4x4 system whose matrix carries a NaN entry, so any
+// matrix-vector product poisons the iteration vectors.
+func nanSystem() (*sparse.CSR, []float64) {
+	b := sparse.NewBuilder(4)
+	for i := 0; i < 4; i++ {
+		b.Add(i, i, 2)
+	}
+	b.Add(0, 1, math.NaN())
+	rhs := []float64{1, 1, 1, 1}
+	return b.Build(), rhs
+}
+
+// indefiniteSystem is a symmetric indefinite 2x2 system ([[0,1],[1,0]])
+// on which CG's p·Ap inner product vanishes immediately.
+func indefiniteSystem() (*sparse.CSR, []float64) {
+	b := sparse.NewBuilder(2)
+	b.AddSym(0, 1, 1)
+	return b.Build(), []float64{1, 0}
+}
+
+// TestNaNGuardsStopEarly: numerical breakdown must surface as
+// ErrBreakdown within the first iterations, not after burning the whole
+// iteration budget on poisoned vectors.
+func TestNaNGuardsStopEarly(t *testing.T) {
+	a, b := nanSystem()
+	solves := map[string]func(x []float64) (Result, error){
+		"CG":       func(x []float64) (Result, error) { return CG(a, b, x, Options{}) },
+		"BiCGSTAB": func(x []float64) (Result, error) { return BiCGSTAB(a, b, x, Options{}) },
+		"GMRES":    func(x []float64) (Result, error) { return GMRES(a, b, x, Options{}) },
+	}
+	for name, solve := range solves {
+		res, err := solve(make([]float64, 4))
+		if !errors.Is(err, ErrBreakdown) {
+			t.Errorf("%s on NaN system: err = %v, want ErrBreakdown", name, err)
+		}
+		if res.Iterations > 2 {
+			t.Errorf("%s on NaN system: %d iterations, want breakdown within 2", name, res.Iterations)
+		}
+	}
+}
+
+func TestCGIndefiniteBreakdown(t *testing.T) {
+	a, b := indefiniteSystem()
+	res, err := CG(a, b, make([]float64, 2), Options{})
+	if !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("err = %v, want ErrBreakdown", err)
+	}
+	if res.Iterations > 2 {
+		t.Fatalf("%d iterations, want immediate breakdown", res.Iterations)
+	}
+}
+
+// TestInfRHSBreakdown: a right-hand side carrying Inf must not loop to
+// the budget either.
+func TestInfRHSBreakdown(t *testing.T) {
+	bld := sparse.NewBuilder(3)
+	for i := 0; i < 3; i++ {
+		bld.Add(i, i, 1)
+	}
+	a := bld.Build()
+	b := []float64{1, math.Inf(1), 1}
+	res, err := CG(a, b, make([]float64, 3), Options{})
+	if !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("err = %v, want ErrBreakdown", err)
+	}
+	if res.Iterations > 2 {
+		t.Fatalf("%d iterations, want immediate breakdown", res.Iterations)
+	}
+}
+
+// TestHealthySystemsStillConverge guards against the finiteness checks
+// rejecting legitimate solves.
+func TestHealthySystemsStillConverge(t *testing.T) {
+	bld := sparse.NewBuilder(10)
+	for i := 0; i < 10; i++ {
+		bld.Add(i, i, 4)
+		if i+1 < 10 {
+			bld.AddSym(i, i+1, -1)
+		}
+	}
+	a := bld.Build()
+	b := make([]float64, 10)
+	for i := range b {
+		b[i] = float64(i + 1)
+	}
+	for name, solve := range map[string]func(x []float64) (Result, error){
+		"CG":       func(x []float64) (Result, error) { return CG(a, b, x, Options{}) },
+		"BiCGSTAB": func(x []float64) (Result, error) { return BiCGSTAB(a, b, x, Options{}) },
+		"GMRES":    func(x []float64) (Result, error) { return GMRES(a, b, x, Options{}) },
+	} {
+		x := make([]float64, 10)
+		res, err := solve(x)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if res.Residual > 1e-8 {
+			t.Errorf("%s: residual %g", name, res.Residual)
+		}
+	}
+}
+
+// TestInjectionPoints: armed fault points force the corresponding error
+// before any work happens, and disarmed points cost nothing.
+func TestInjectionPoints(t *testing.T) {
+	bld := sparse.NewBuilder(2)
+	bld.Add(0, 0, 1)
+	bld.Add(1, 1, 1)
+	a := bld.Build()
+	b := []float64{1, 2}
+
+	cases := []struct {
+		spec string
+		run  func() error
+		want error
+	}{
+		{"solver.cg.breakdown=always", func() error { _, err := CG(a, b, make([]float64, 2), Options{}); return err }, ErrBreakdown},
+		{"solver.bicgstab.breakdown=always", func() error { _, err := BiCGSTAB(a, b, make([]float64, 2), Options{}); return err }, ErrBreakdown},
+		{"solver.gmres.breakdown=always", func() error { _, err := GMRES(a, b, make([]float64, 2), Options{}); return err }, ErrBreakdown},
+		{"solver.notconverged=always", func() error { _, err := CG(a, b, make([]float64, 2), Options{}); return err }, ErrNotConverged},
+	}
+	for _, c := range cases {
+		if err := faults.Arm(c.spec); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.run(); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.spec, err, c.want)
+		}
+		faults.Disarm()
+		if err := c.run(); err != nil {
+			t.Errorf("%s disarmed: unexpected err %v", c.spec, err)
+		}
+	}
+}
+
+func TestRelResidual(t *testing.T) {
+	bld := sparse.NewBuilder(2)
+	bld.Add(0, 0, 2)
+	bld.Add(1, 1, 4)
+	a := bld.Build()
+	b := []float64{2, 4}
+	if r := RelResidual(a, b, []float64{1, 1}); r != 0 {
+		t.Fatalf("exact solution residual = %g, want 0", r)
+	}
+	if r := RelResidual(a, b, []float64{0, 0}); math.Abs(r-1) > 1e-15 {
+		t.Fatalf("zero guess residual = %g, want 1", r)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"lcn3d/internal/faults"
 	"lcn3d/internal/sparse"
 )
 
@@ -16,6 +17,12 @@ func GMRES(a *sparse.CSR, b, x []float64, opt Options) (Result, error) {
 	n := a.N
 	if len(b) != n || len(x) != n {
 		return Result{}, fmt.Errorf("solver: GMRES dimension mismatch: n=%d, |b|=%d, |x|=%d", n, len(b), len(x))
+	}
+	if faults.Fire(faults.GMRESBreakdown) {
+		return Result{}, ErrBreakdown
+	}
+	if faults.Fire(faults.NotConverged) {
+		return Result{Residual: math.Inf(1)}, ErrNotConverged
 	}
 	opt = opt.withDefaults(n)
 	m := opt.Restart
@@ -58,6 +65,9 @@ func GMRES(a *sparse.CSR, b, x []float64, opt Options) (Result, error) {
 		}
 		beta := norm2(r)
 		res = beta / bnorm
+		if notFinite(res) {
+			return Result{Iterations: totalIter, Residual: res}, ErrBreakdown
+		}
 		if res <= opt.Tol {
 			return Result{Iterations: totalIter, Residual: res}, nil
 		}
@@ -81,6 +91,9 @@ func GMRES(a *sparse.CSR, b, x []float64, opt Options) (Result, error) {
 				axpy(-h[i][k], v[i], w)
 			}
 			h[k+1][k] = norm2(w)
+			if notFinite(h[k+1][k]) {
+				return Result{Iterations: totalIter, Residual: res}, ErrBreakdown
+			}
 			if h[k+1][k] != 0 {
 				for i := range w {
 					v[k+1][i] = w[i] / h[k+1][k]

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"lcn3d/internal/faults"
 	"lcn3d/internal/sparse"
 )
 
@@ -93,6 +94,14 @@ func (j *Jacobi) Apply(z, r []float64) {
 	}
 }
 
+// notFinite reports a NaN or ±Inf scalar. Iterative methods test their
+// residuals and pivotal inner products with it so numerical breakdown
+// surfaces as ErrBreakdown at the iteration it occurs, instead of
+// iterating on poisoned vectors to the end of the budget.
+func notFinite(v float64) bool {
+	return math.IsNaN(v) || math.IsInf(v, 0)
+}
+
 func norm2(x []float64) float64 {
 	var s float64
 	for _, v := range x {
@@ -124,6 +133,12 @@ func CG(a *sparse.CSR, b, x []float64, opt Options) (Result, error) {
 	if len(b) != n || len(x) != n {
 		return Result{}, fmt.Errorf("solver: CG dimension mismatch: n=%d, |b|=%d, |x|=%d", n, len(b), len(x))
 	}
+	if faults.Fire(faults.CGBreakdown) {
+		return Result{}, ErrBreakdown
+	}
+	if faults.Fire(faults.NotConverged) {
+		return Result{Residual: math.Inf(1)}, ErrNotConverged
+	}
 	opt = opt.withDefaults(n)
 
 	r := make([]float64, n)
@@ -154,19 +169,22 @@ func CG(a *sparse.CSR, b, x []float64, opt Options) (Result, error) {
 	for it := 1; it <= opt.MaxIter; it++ {
 		a.MulVecAuto(ap, p)
 		pap := dot(p, ap)
-		if pap == 0 {
+		if pap == 0 || notFinite(pap) {
 			return Result{Iterations: it, Residual: res}, ErrBreakdown
 		}
 		alpha := rz / pap
 		axpy(alpha, p, x)
 		axpy(-alpha, ap, r)
 		res = norm2(r) / bnorm
+		if notFinite(res) {
+			return Result{Iterations: it, Residual: res}, ErrBreakdown
+		}
 		if res <= opt.Tol {
 			return Result{Iterations: it, Residual: res}, nil
 		}
 		opt.Precond.Apply(z, r)
 		rzNew := dot(r, z)
-		if rz == 0 {
+		if rz == 0 || notFinite(rzNew) {
 			return Result{Iterations: it, Residual: res}, ErrBreakdown
 		}
 		beta := rzNew / rz
@@ -184,6 +202,12 @@ func BiCGSTAB(a *sparse.CSR, b, x []float64, opt Options) (Result, error) {
 	n := a.N
 	if len(b) != n || len(x) != n {
 		return Result{}, fmt.Errorf("solver: BiCGSTAB dimension mismatch: n=%d, |b|=%d, |x|=%d", n, len(b), len(x))
+	}
+	if faults.Fire(faults.BiCGBreakdown) {
+		return Result{}, ErrBreakdown
+	}
+	if faults.Fire(faults.NotConverged) {
+		return Result{Residual: math.Inf(1)}, ErrNotConverged
 	}
 	opt = opt.withDefaults(n)
 
@@ -216,7 +240,7 @@ func BiCGSTAB(a *sparse.CSR, b, x []float64, opt Options) (Result, error) {
 	var rhoOld, alpha, omega float64 = 1, 1, 1
 	for it := 1; it <= opt.MaxIter; it++ {
 		rho := dot(rhat, r)
-		if rho == 0 {
+		if rho == 0 || notFinite(rho) {
 			return Result{Iterations: it, Residual: res}, ErrBreakdown
 		}
 		if it == 1 {
@@ -230,7 +254,7 @@ func BiCGSTAB(a *sparse.CSR, b, x []float64, opt Options) (Result, error) {
 		opt.Precond.Apply(phat, p)
 		a.MulVecAuto(v, phat)
 		den := dot(rhat, v)
-		if den == 0 {
+		if den == 0 || notFinite(den) {
 			return Result{Iterations: it, Residual: res}, ErrBreakdown
 		}
 		alpha = rho / den
@@ -244,11 +268,11 @@ func BiCGSTAB(a *sparse.CSR, b, x []float64, opt Options) (Result, error) {
 		opt.Precond.Apply(shat, s)
 		a.MulVecAuto(tv, shat)
 		tt := dot(tv, tv)
-		if tt == 0 {
+		if tt == 0 || notFinite(tt) {
 			return Result{Iterations: it, Residual: res}, ErrBreakdown
 		}
 		omega = dot(tv, s) / tt
-		if omega == 0 {
+		if omega == 0 || notFinite(omega) {
 			return Result{Iterations: it, Residual: res}, ErrBreakdown
 		}
 		for i := range x {
@@ -258,6 +282,9 @@ func BiCGSTAB(a *sparse.CSR, b, x []float64, opt Options) (Result, error) {
 			r[i] = s[i] - omega*tv[i]
 		}
 		res = norm2(r) / bnorm
+		if notFinite(res) {
+			return Result{Iterations: it, Residual: res}, ErrBreakdown
+		}
 		if res <= opt.Tol {
 			return Result{Iterations: it, Residual: res}, nil
 		}

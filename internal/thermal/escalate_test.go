@@ -1,0 +1,159 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"lcn3d/internal/faults"
+	"lcn3d/internal/solver"
+)
+
+// solveClean returns the uninjected reference field for the standard
+// race-test pipe at the given scale.
+func solveClean(t *testing.T, n int, scale float64) []float64 {
+	t.Helper()
+	f := raceFactored(t, n)
+	temps, _, probe, err := f.SolveAt(scale, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Rung != solver.RungPrimary || probe.Degraded {
+		t.Fatalf("clean solve used rung %v (degraded=%v), want primary", probe.Rung, probe.Degraded)
+	}
+	return temps
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var mx float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// TestEscalationLadder walks each rung of the thermal ladder by arming
+// fault injections, and checks the degraded result still matches the
+// clean solve within solver tolerance.
+func TestEscalationLadder(t *testing.T) {
+	const n, scale = 48, 2.0
+	want := solveClean(t, n, scale)
+	t.Cleanup(faults.Disarm)
+
+	cases := []struct {
+		name     string
+		spec     string
+		wantRung solver.Rung
+		counters func(FactorStats) int
+	}{
+		{
+			// First solve builds a fresh preconditioner, so the rebuild
+			// rung is skipped and a BiCGSTAB breakdown lands on GMRES.
+			name: "gmres", spec: "solver.bicgstab.breakdown=always",
+			wantRung: solver.RungGMRES,
+			counters: func(s FactorStats) int { return s.RetryGMRES },
+		},
+		{
+			// A NaN slipped into an otherwise converged field must be
+			// caught by the finiteness check and escalate the same way.
+			name: "nan-field", spec: "thermal.nan=first:1",
+			wantRung: solver.RungGMRES,
+			counters: func(s FactorStats) int { return s.RetryGMRES },
+		},
+		{
+			name: "dense", spec: "solver.bicgstab.breakdown=always;solver.gmres.breakdown=always",
+			wantRung: solver.RungDense,
+			counters: func(s FactorStats) int { return s.RetryDense },
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := raceFactored(t, n)
+			if err := faults.Arm(c.spec); err != nil {
+				t.Fatal(err)
+			}
+			defer faults.Disarm()
+			temps, _, probe, err := f.SolveAt(scale, 300)
+			if err != nil {
+				t.Fatalf("ladder did not recover: %v", err)
+			}
+			if probe.Rung != c.wantRung {
+				t.Fatalf("rung = %v, want %v", probe.Rung, c.wantRung)
+			}
+			if !probe.Degraded {
+				t.Fatalf("rung %v result not marked degraded", probe.Rung)
+			}
+			if !finiteField(temps) {
+				t.Fatalf("non-finite field survived the ladder")
+			}
+			if d := maxAbsDiff(temps, want); d > 1e-4 {
+				t.Fatalf("degraded field deviates by %g K from clean solve", d)
+			}
+			st := f.Stats()
+			if c.counters(st) == 0 {
+				t.Fatalf("rung counter not advanced: %+v", st)
+			}
+			if st.Degraded == 0 {
+				t.Fatalf("degraded counter not advanced: %+v", st)
+			}
+		})
+	}
+}
+
+// TestEscalationRebuildRung: with a stale (but reusable) preconditioner,
+// a one-shot breakdown recovers on the rebuilt-preconditioner retry,
+// which is a normal adaptation — not a degraded result.
+func TestEscalationRebuildRung(t *testing.T) {
+	const n, scale = 48, 2.0
+	want := solveClean(t, n, scale)
+	f := raceFactored(t, n)
+	if _, _, _, err := f.SolveAt(scale, 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := faults.Arm("solver.bicgstab.breakdown=first:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+	// Same scale: the cached preconditioner is reused, so freshPre is
+	// false and the rebuild rung is eligible. The injected breakdown is
+	// spent on the primary attempt; the retry succeeds.
+	temps, _, probe, err := f.SolveAt(scale, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Rung != solver.RungRetry {
+		t.Fatalf("rung = %v, want retry", probe.Rung)
+	}
+	if probe.Degraded {
+		t.Fatal("retry rung must not be marked degraded")
+	}
+	if d := maxAbsDiff(temps, want); d > 1e-4 {
+		t.Fatalf("retry field deviates by %g K", d)
+	}
+	if st := f.Stats(); st.RetryRebuild != 1 || st.Degraded != 0 {
+		t.Fatalf("stats = %+v, want RetryRebuild=1 Degraded=0", st)
+	}
+}
+
+// TestEscalationExhausted: a system too large for the dense rung, with
+// every iterative rung broken, must fail with an error naming the rung
+// it died on — never return a poisoned field.
+func TestEscalationExhausted(t *testing.T) {
+	f := raceFactored(t, solver.DenseFallbackMax+1)
+	spec := "solver.bicgstab.breakdown=always;solver.gmres.breakdown=always"
+	if err := faults.Arm(spec); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+	temps, _, probe, err := f.SolveAt(2.0, 300)
+	if err == nil {
+		t.Fatal("want error when every eligible rung fails")
+	}
+	if temps != nil {
+		t.Fatal("failed solve must not return a field")
+	}
+	if probe.Rung != solver.RungGMRES {
+		t.Fatalf("died at rung %v, want gmres (dense ineligible at this size)", probe.Rung)
+	}
+}

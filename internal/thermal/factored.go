@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lcn3d/internal/faults"
 	"lcn3d/internal/solver"
 	"lcn3d/internal/sparse"
 )
@@ -46,6 +47,13 @@ type Factored struct {
 	ctrPrecondBuilds atomic.Int64
 	ctrSolveIters    atomic.Int64
 	ctrAssemblyNS    atomic.Int64
+
+	// Escalation-ladder counters: probes that reached each fallback rung
+	// and probes whose result came from a degraded rung (see solver.Rung).
+	ctrRetryRebuild atomic.Int64
+	ctrRetryGMRES   atomic.Int64
+	ctrRetryDense   atomic.Int64
+	ctrDegraded     atomic.Int64
 }
 
 // defaultSolveTol is the relative residual the steady solves converge to.
@@ -97,6 +105,14 @@ type FactorStats struct {
 	PrecondBuilds int   // preconditioner constructions
 	SolveIters    int   // total linear-solver iterations
 	AssemblyNS    int64 // cumulative nanoseconds spent rewriting values
+
+	// Escalation-ladder counters (see solver.Rung): probes that climbed
+	// to the rebuilt-preconditioner retry, the GMRES rung, and the dense
+	// fallback, plus probes whose result came from a degraded rung.
+	RetryRebuild int
+	RetryGMRES   int
+	RetryDense   int
+	Degraded     int
 }
 
 // WarmStartRate reports the fraction of probes that were warm-started.
@@ -112,6 +128,11 @@ type ProbeStats struct {
 	AssemblyNS    int64 // time spent rewriting matrix/RHS values
 	WarmStarted   bool  // initial guess came from a cached field
 	PrecondBuilds int   // preconditioner builds this probe triggered
+	// Rung is the highest escalation-ladder rung this probe climbed to;
+	// Degraded marks results produced by a fallback method (GMRES or
+	// dense LU) rather than the normal BiCGSTAB path.
+	Rung     solver.Rung
+	Degraded bool
 }
 
 // Factor compiles the assembler into a reusable factored system. The
@@ -154,6 +175,10 @@ func (f *Factored) Stats() FactorStats {
 		PrecondBuilds: int(f.ctrPrecondBuilds.Load()),
 		SolveIters:    int(f.ctrSolveIters.Load()),
 		AssemblyNS:    f.ctrAssemblyNS.Load(),
+		RetryRebuild:  int(f.ctrRetryRebuild.Load()),
+		RetryGMRES:    int(f.ctrRetryGMRES.Load()),
+		RetryDense:    int(f.ctrRetryDense.Load()),
+		Degraded:      int(f.ctrDegraded.Load()),
 	}
 }
 
@@ -186,6 +211,14 @@ func (f *Factored) SystemAt(s float64) (*sparse.CSR, []float64) {
 // SolveAt solves A(s)·T = b(s), seeding the iteration from the cached
 // field of the nearest previously solved scale (falling back to a uniform
 // tGuess). The returned slice is owned by the caller.
+//
+// On solver failure (breakdown, non-convergence, or a non-finite
+// temperature field) it climbs the escalation ladder (see solver.Rung):
+// BiCGSTAB with the current preconditioner, then a rebuilt-preconditioner
+// cold retry, then GMRES, then — for systems up to
+// solver.DenseFallbackMax — dense LU. The rung that produced the result
+// is reported in ProbeStats; results from the GMRES or dense rungs are
+// marked Degraded.
 func (f *Factored) SolveAt(s, tGuess float64) ([]float64, solver.Result, ProbeStats, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -195,6 +228,10 @@ func (f *Factored) SolveAt(s, tGuess float64) ([]float64, solver.Result, ProbeSt
 	f.ctrProbes.Add(1)
 	f.ctrAssemblyNS.Add(probe.AssemblyNS)
 	mat := f.pair.Matrix()
+
+	if faults.Fire(faults.ThermalSlow) {
+		time.Sleep(faults.Delay())
+	}
 
 	t := make([]float64, f.N())
 	if w := f.nearestWarm(s); w != nil {
@@ -220,23 +257,84 @@ func (f *Factored) SolveAt(s, tGuess float64) ([]float64, solver.Result, ProbeSt
 	opt := solver.Options{
 		Tol: tol, MaxIter: 40 * f.N(), Precond: f.pre, Restart: 80,
 	}
-	res, err := solver.SolveGeneral(mat, f.rhs, t, opt)
-	if err != nil && !freshPre {
-		// A preconditioner built at a distant scale can stall the solve;
-		// rebuild at the current matrix and retry once from a cold start.
-		f.buildPrecond(mat, s)
+	coldStart := func() {
 		for i := range t {
 			t[i] = tGuess
 		}
-		opt.Precond = f.pre
-		prevIters := res.Iterations
-		res, err = solver.SolveGeneral(mat, f.rhs, t, opt)
-		res.Iterations += prevIters
 	}
-	f.ctrSolveIters.Add(int64(res.Iterations))
-	probe.PrecondBuilds = int(f.ctrPrecondBuilds.Load() - builds0)
+	// check rejects solves whose reported residual or field is not
+	// finite — a converged-looking solve on a poisoned system must
+	// escalate, not propagate NaN temperatures into the searches.
+	check := func(res solver.Result, err error) error {
+		if err != nil {
+			return err
+		}
+		if notFinite(res.Residual) || !finiteField(t) {
+			return fmt.Errorf("thermal: non-finite temperature field: %w", solver.ErrBreakdown)
+		}
+		return nil
+	}
+
+	// Rung 0: BiCGSTAB, warm start, current preconditioner.
+	rung := solver.RungPrimary
+	res, err := solver.BiCGSTAB(mat, f.rhs, t, opt)
+	if err == nil && faults.Fire(faults.ThermalNaN) {
+		t[0] = math.NaN()
+	}
+	err = check(res, err)
+	totalIters := res.Iterations
+
+	// Rung 1: a preconditioner built at a distant scale can stall the
+	// solve; rebuild at the current matrix and retry from a cold start.
+	// Skipped when the preconditioner is already fresh.
+	if err != nil && !freshPre {
+		rung = solver.RungRetry
+		f.ctrRetryRebuild.Add(1)
+		f.buildPrecond(mat, s)
+		opt.Precond = f.pre
+		coldStart()
+		res, err = solver.BiCGSTAB(mat, f.rhs, t, opt)
+		err = check(res, err)
+		totalIters += res.Iterations
+	}
+
+	// Rung 2: GMRES, cold start. More robust on the strongly non-normal
+	// matrices the central convection stencil produces at high flow.
 	if err != nil {
-		return nil, res, probe, fmt.Errorf("thermal: steady solve failed: %w (res %.3g)", err, res.Residual)
+		rung = solver.RungGMRES
+		f.ctrRetryGMRES.Add(1)
+		coldStart()
+		res, err = solver.GMRES(mat, f.rhs, t, opt)
+		err = check(res, err)
+		totalIters += res.Iterations
+	}
+
+	// Rung 3: dense LU for small systems — slow but method-independent.
+	if err != nil && f.N() <= solver.DenseFallbackMax {
+		rung = solver.RungDense
+		f.ctrRetryDense.Add(1)
+		if x, derr := solver.DenseSolve(mat, f.rhs); derr == nil {
+			copy(t, x)
+			res = solver.Result{Residual: solver.RelResidual(mat, f.rhs, t)}
+			if finiteField(t) && res.Residual <= math.Sqrt(tol) {
+				err = nil
+			} else {
+				err = fmt.Errorf("thermal: dense fallback residual %.3g: %w", res.Residual, solver.ErrBreakdown)
+			}
+		} else {
+			err = fmt.Errorf("thermal: dense fallback: %w", derr)
+		}
+	}
+
+	res.Iterations = totalIters
+	f.ctrSolveIters.Add(int64(totalIters))
+	probe.PrecondBuilds = int(f.ctrPrecondBuilds.Load() - builds0)
+	probe.Rung = rung
+	if err != nil {
+		return nil, res, probe, fmt.Errorf("thermal: steady solve failed at rung %v: %w (res %.3g)", rung, err, res.Residual)
+	}
+	if probe.Degraded = rung.Degraded(); probe.Degraded {
+		f.ctrDegraded.Add(1)
 	}
 
 	// Track preconditioner quality: remember the iteration count of the
@@ -299,6 +397,18 @@ func (f *Factored) nearestWarm(s float64) *warmField {
 		return nil
 	}
 	return &f.warm[best]
+}
+
+func notFinite(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+
+// finiteField reports whether every entry of t is finite.
+func finiteField(t []float64) bool {
+	for _, v := range t {
+		if notFinite(v) {
+			return false
+		}
+	}
+	return true
 }
 
 func scaleDistance(a, b float64) float64 {

@@ -1,12 +1,22 @@
 #!/usr/bin/env bash
-# Integration smoke for cmd/lcn-serve: start the daemon at reduced
-# scale, fire duplicate concurrent evaluations, assert the metrics show
-# single-flight dedup and a result-cache hit, then check SIGTERM drains
-# gracefully (exit 0 + final metrics line on stdout).
+# Integration smoke for cmd/lcn-serve, in two phases:
+#
+#  1. happy path — start the daemon at reduced scale, fire duplicate
+#     concurrent evaluations, assert the metrics show single-flight
+#     dedup and a result-cache hit, then check SIGTERM drains
+#     gracefully (exit 0 + final metrics line on stdout);
+#  2. chaos — restart with a fault-injection plan armed (panic on the
+#     first compute, solver breakdown on every thermal probe), assert a
+#     malformed probe gets a 400, the poisoned request a 500, the next
+#     request a degraded-but-correct 200, the escalation and panic
+#     counters appear in /v1/metrics, the daemon never restarts, and
+#     SIGTERM still drains cleanly.
 set -euo pipefail
 
 ADDR="127.0.0.1:${LCN_SERVE_PORT:-18080}"
 SCALE="${LCN_SERVE_SCALE:-51}"
+CHAOS_SCALE="${LCN_CHAOS_SCALE:-21}"
+CHAOS_FAULTS="${LCN_CHAOS_FAULTS:-service.panic=first:1;solver.bicgstab.breakdown=always}"
 BODY='{"case":1,"model":"2rm","coarse_m":4,"network":{"generator":"straight"}}'
 OUT="$(mktemp)"
 trap 'kill "$SRV" 2>/dev/null || true; rm -f "$OUT" /tmp/lcn-serve-smoke' EXIT
@@ -48,3 +58,50 @@ kill -TERM "$SRV"
 wait "$SRV" || { echo "FAIL: non-zero exit after SIGTERM"; exit 1; }
 grep -q '"cache_hits"' "$OUT" || { echo "FAIL: no final metrics line"; exit 1; }
 echo "PASS: dedup + cache hit + graceful drain"
+
+# ---- Phase 2: chaos -------------------------------------------------
+
+LCN_FAULTS="$CHAOS_FAULTS" /tmp/lcn-serve-smoke -addr "$ADDR" -scale "$CHAOS_SCALE" >"$OUT" &
+SRV=$!
+
+for i in $(seq 1 50); do
+  curl -sf "http://$ADDR/healthz" >/dev/null && break
+  [ "$i" = 50 ] && { echo "FAIL: chaos server never became healthy"; exit 1; }
+  sleep 0.2
+done
+
+code() { curl -s -o "$2" -w '%{http_code}' -XPOST -d "$1" "http://$ADDR/v1/evaluate"; }
+
+# Malformed payload: orderly 400, not a crash.
+got="$(code 'not json' /dev/null)"
+[ "$got" = 400 ] || { echo "FAIL: malformed payload got $got, want 400"; exit 1; }
+
+# First compute panics (service.panic=first:1): contained as a 500.
+got="$(code "$BODY" /dev/null)"
+[ "$got" = 500 ] || { echo "FAIL: poisoned request got $got, want 500"; exit 1; }
+
+# The daemon survives: the same request now completes through the
+# escalation ladder (every thermal probe breaks down) and is flagged.
+RESP="$(mktemp)"
+got="$(code "$BODY" "$RESP")"
+[ "$got" = 200 ] || { echo "FAIL: post-panic request got $got, want 200"; rm -f "$RESP"; exit 1; }
+grep -q '"degraded":true' "$RESP" || { echo "FAIL: ladder result not marked degraded: $(cat "$RESP")"; rm -f "$RESP"; exit 1; }
+rm -f "$RESP"
+
+curl -sf "http://$ADDR/v1/metrics" | python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+print("chaos metrics:", {"panics": m["panics"], "factor": m["factor"], "faults": m.get("faults")})
+assert m["panics"] == 1, "want 1 contained panic, got %d" % m["panics"]
+assert m["factor"]["retry_gmres"] >= 1, "escalation ladder never climbed to GMRES"
+assert m["factor"]["degraded"] >= 1, "no degraded probes counted"
+f = m.get("faults") or {}
+assert f.get("service.panic", {}).get("fired") == 1, "panic injection not visible: %r" % f
+assert f.get("solver.bicgstab.breakdown", {}).get("fired", 0) >= 1, "breakdown injection not visible: %r" % f
+'
+
+# Same process all along — the panic must not have restarted anything.
+kill -0 "$SRV" || { echo "FAIL: chaos server died"; exit 1; }
+kill -TERM "$SRV"
+wait "$SRV" || { echo "FAIL: non-zero exit after SIGTERM (chaos)"; exit 1; }
+echo "PASS: chaos — 400/500 contained, degraded ladder result, counters visible, clean drain"
