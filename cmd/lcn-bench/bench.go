@@ -8,6 +8,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -38,11 +39,29 @@ type benchEntry struct {
 
 // benchReport is the BENCH_<date>.json schema.
 type benchReport struct {
-	Date    string       `json:"date"`
-	Commit  string       `json:"commit"`
-	Scale   int          `json:"scale"`
-	Results []benchEntry `json:"benchmarks"`
-	Service serviceBench `json:"service"`
+	Date     string        `json:"date"`
+	Commit   string        `json:"commit"`
+	Scale    int           `json:"scale"`
+	Results  []benchEntry  `json:"benchmarks"`
+	Service  serviceBench  `json:"service"`
+	Optimize optimizeBench `json:"optimize"`
+}
+
+// optimizeBench compares one serial SolveProblem1 run against the same
+// problem with multiple exchange-coupled chains, recording wall-clock
+// and the shared topology-cache counters of the multi-chain run.
+type optimizeBench struct {
+	SerialNs     int64   `json:"serial_ns"`
+	MultiChainNs int64   `json:"multi_chain_ns"`
+	Chains       int     `json:"chains"`
+	Speedup      float64 `json:"speedup"`
+	SerialEvals  int     `json:"serial_evals"`
+	MultiEvals   int     `json:"multi_evals"`
+	CacheHits    int64   `json:"topo_cache_hits"`
+	CacheMisses  int64   `json:"topo_cache_misses"`
+	CacheHitRate float64 `json:"topo_cache_hit_rate"`
+	SerialWpump  float64 `json:"serial_wpump"`
+	MultiWpump   float64 `json:"multi_wpump"`
 }
 
 // serviceBench records a small in-process exercise of the serving
@@ -55,6 +74,15 @@ type serviceBench struct {
 	CacheMisses int64 `json:"cache_misses"`
 	DedupHits   int64 `json:"dedup_hits"`
 	Evaluations int64 `json:"evaluations"`
+}
+
+// finiteOrZero maps the +Inf of an infeasible evaluation to 0 so the
+// report stays valid JSON.
+func finiteOrZero(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	return v
 }
 
 // gitCommit resolves the current commit hash, "unknown" outside a git
@@ -104,6 +132,55 @@ func serviceCounters(scale int) (serviceBench, error) {
 		DedupHits:   m.DedupHits,
 		Evaluations: m.Evaluations,
 	}, nil
+}
+
+// optimizeComparison runs the same small Problem 1 optimization twice —
+// one chain, then several exchange-coupled chains — and records the
+// wall-clock ratio and the multi-chain run's shared-cache hit rate. It
+// runs at a fixed 21x21 scale regardless of the probe benchmarks' scale
+// so the report stays cheap to regenerate.
+func optimizeComparison() (optimizeBench, error) {
+	const chains = 4
+	bench, err := iccad.LoadScaled(1, grid.Dims{NX: 21, NY: 21})
+	if err != nil {
+		return optimizeBench{}, err
+	}
+	run := func(k int) (*core.Solution, int64, error) {
+		opt := core.Options{
+			Seed: 1, Chains: k, NumTrees: 2, BranchType: network.Branch2,
+			Orientations: []network.Orientation{{Rotations: 0}, {Rotations: 2}},
+			Stages: []core.Stage{
+				{Iterations: 8, Step: 2, FixedPsys: true},
+				{Iterations: 6, Step: 2},
+			},
+		}
+		t0 := time.Now()
+		sol, err := bench.SolveProblem1(opt)
+		return sol, time.Since(t0).Nanoseconds(), err
+	}
+	serial, serialNs, err := run(1)
+	if err != nil {
+		return optimizeBench{}, err
+	}
+	multi, multiNs, err := run(chains)
+	if err != nil {
+		return optimizeBench{}, err
+	}
+	ob := optimizeBench{
+		SerialNs: serialNs, MultiChainNs: multiNs, Chains: chains,
+		SerialEvals: serial.Evals, MultiEvals: multi.Evals,
+		CacheHits: multi.Cache.Hits, CacheMisses: multi.Cache.Misses,
+		CacheHitRate: multi.Cache.HitRate(),
+		SerialWpump:  finiteOrZero(serial.Eval.Wpump),
+		MultiWpump:   finiteOrZero(multi.Eval.Wpump),
+	}
+	if multiNs > 0 {
+		// Per-evaluation speedup: the multi-chain run does more total work
+		// (chains x iterations), so raw wall-clock alone would misread.
+		ob.Speedup = (float64(serialNs) / float64(serial.Evals)) /
+			(float64(multiNs) / float64(multi.Evals))
+	}
+	return ob, nil
 }
 
 // benchProbes mirrors the probe cycle of the root bench_test.go warm
@@ -232,6 +309,17 @@ func runMicrobench(scale int, dir string, logf func(string, ...any)) error {
 		return fmt.Errorf("NetworkEvaluation: %w", err)
 	}
 	add("NetworkEvaluation", ops, ns, evalStats)
+
+	report.Optimize, err = optimizeComparison()
+	if err != nil {
+		return fmt.Errorf("optimize comparison: %w", err)
+	}
+	if logf != nil {
+		logf("optimize: serial %d ms, %d chains %d ms (%.2fx), cache %.0f%% hit",
+			report.Optimize.SerialNs/1e6, report.Optimize.Chains,
+			report.Optimize.MultiChainNs/1e6, report.Optimize.Speedup,
+			100*report.Optimize.CacheHitRate)
+	}
 
 	report.Service, err = serviceCounters(scale)
 	if err != nil {

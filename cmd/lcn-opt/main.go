@@ -31,6 +31,8 @@ func main() {
 	scale := flag.Int("scale", 51, "grid size (101 = full contest scale)")
 	full := flag.Bool("full", false, "use the paper's full SA schedule (slow)")
 	seed := flag.Int64("seed", 1, "SA random seed")
+	chains := flag.Int("chains", 0, "parallel SA chains per stage (0 = stage rounds)")
+	exchange := flag.Int("exchange", 0, "iterations between chain best-state exchanges (0 = default, negative = independent chains)")
 	trees := flag.Int("trees", 0, "tree count (0 = auto)")
 	verbose := flag.Bool("v", false, "log SA progress")
 	save := flag.String("save", "", "write the optimized network to this file (lcn network format)")
@@ -40,7 +42,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := lcn3d.Options{Seed: *seed, NumTrees: *trees}
+	opt := lcn3d.Options{Seed: *seed, NumTrees: *trees, Chains: *chains, ExchangeEvery: *exchange}
 	if *verbose {
 		opt.Logf = log.Printf
 	}
@@ -88,6 +90,9 @@ func main() {
 	}
 	fmt.Printf("SA finished in %v (%d evaluations, orientation %v)\n",
 		time.Since(t0).Round(time.Millisecond), sol.Evals, sol.Orient)
+	fmt.Printf("chains: %d, exchanges: %d, adoptions: %d, topology cache: %d hits / %d misses (%.0f%%)\n",
+		sol.Chains, sol.Exchanges, sol.Adoptions,
+		sol.Cache.Hits, sol.Cache.Misses, 100*sol.Cache.HitRate())
 
 	tb := &report.Table{
 		Header: []string{"design", "Psys (kPa)", "Tmax (K)", "ΔT (K)", "Wpump (mW)", "feasible"},

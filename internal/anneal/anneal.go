@@ -24,7 +24,16 @@ type Config struct {
 	// non-improving iterations (0 disables).
 	Converge int
 	// Parallelism bounds concurrent cost evaluations (default NumCPU).
+	// It never affects results, only wall-clock.
 	Parallelism int
+
+	// Chains is the number of independent replicas RunChains executes
+	// (default 1). Ignored by Run/MultiRound.
+	Chains int
+	// ExchangeEvery is the number of iterations between best-state
+	// exchange barriers in RunChains (default 5; negative runs the
+	// chains fully independently, reducing only at the end).
+	ExchangeEvery int
 }
 
 func (c Config) withDefaults() Config {

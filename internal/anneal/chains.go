@@ -1,0 +1,276 @@
+package anneal
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Multi-chain simulated annealing: K independent replicas of the
+// Metropolis chain of Run, each with its own deterministically derived
+// seed, synchronizing at periodic exchange barriers where the global
+// best state (reduced in (cost, chain-index) order, never completion
+// order) is adopted by chains that have fallen behind. The engine is
+// bitwise-deterministic for a fixed root seed regardless of how many
+// goroutines execute it: every ordering-sensitive decision — candidate
+// generation, Metropolis acceptance, best reduction, exchange adoption —
+// happens either sequentially inside one chain or index-ordered at a
+// barrier. Only wall-clock varies with Parallelism.
+
+// ChainProgress is one chain's position, reported at exchange barriers.
+type ChainProgress struct {
+	Chain       int     `json:"chain"`
+	Iteration   int     `json:"iteration"`
+	BestCost    float64 `json:"best_cost"`
+	CurCost     float64 `json:"cur_cost"`
+	Evaluations int     `json:"evaluations"`
+}
+
+// ChainStats extends Stats with multi-chain bookkeeping.
+type ChainStats struct {
+	Stats         // aggregated across chains
+	Chains    int // replicas run
+	Exchanges int // barriers executed
+	Adoptions int // chains that adopted the global best at a barrier
+	PerChain  []Stats
+}
+
+// Hooks customizes a RunChains execution. All fields are optional.
+type Hooks[S any] struct {
+	// OnIteration runs at the start of every chain iteration, strictly
+	// sequentially within that chain (never concurrently with the same
+	// chain's moves or cost evaluations). Use it for per-chain state that
+	// must be refreshed deterministically, e.g. the Problem 2 grouped
+	// optimal-pressure computation.
+	OnIteration func(chain, iter int, cur S)
+	// Progress is called from the single coordinator goroutine at every
+	// exchange barrier with one entry per chain, in chain order.
+	Progress func([]ChainProgress)
+}
+
+// chainSeed derives chain c's seed from the root seed via a splitmix64
+// step, so chains are decorrelated but reproducible from the root alone.
+func chainSeed(root int64, chain int) int64 {
+	z := uint64(root) + 0x9e3779b97f4a7c15*uint64(chain+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// chainState is one replica's mutable state between barriers.
+type chainState[S any] struct {
+	rng      *rand.Rand
+	cur      S
+	curCost  float64
+	best     S
+	bestCost float64
+	temp     float64
+	stats    Stats
+}
+
+// RunChains anneals cfg.Chains independent replicas from the initial
+// state, exchanging the global best every cfg.ExchangeEvery iterations.
+// move must return a fresh candidate (never mutate its argument); cost
+// must be a pure function of its state (and of any chain-local state
+// maintained via Hooks.OnIteration), returning +Inf for infeasible
+// states. Cancelling ctx stops the run at the next iteration boundary
+// and returns the best state seen so far.
+//
+// For a fixed cfg (including Seed) and pure move/cost, the returned
+// state, cost and per-chain statistics are identical regardless of
+// cfg.Parallelism and GOMAXPROCS.
+func RunChains[S any](ctx context.Context, cfg Config, initial S,
+	move func(rng *rand.Rand, chain int, cur S) S,
+	cost func(chain int, s S) float64,
+	hooks Hooks[S]) (S, float64, ChainStats) {
+
+	cfg = cfg.withDefaults()
+	K := cfg.Chains
+	if K < 1 {
+		K = 1
+	}
+	exchange := cfg.ExchangeEvery
+	if exchange == 0 {
+		exchange = 5
+	}
+	if exchange < 0 {
+		exchange = cfg.Iterations // one barrier at the very end only
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Shared evaluation-slot semaphore: bounds concurrent cost calls
+	// across all chains, so K chains with N neighbors each never run more
+	// than Parallelism evaluations at once.
+	sem := make(chan struct{}, cfg.Parallelism)
+
+	chains := make([]*chainState[S], K)
+	var init sync.WaitGroup
+	for c := 0; c < K; c++ {
+		init.Add(1)
+		go func(c int) {
+			defer init.Done()
+			sem <- struct{}{}
+			c0 := cost(c, initial)
+			<-sem
+			st := &chainState[S]{
+				rng: rand.New(rand.NewSource(chainSeed(cfg.Seed, c))),
+				cur: initial, curCost: c0,
+				best: initial, bestCost: c0,
+				stats: Stats{Evaluations: 1},
+			}
+			st.temp = cfg.InitTemp
+			if st.temp <= 0 {
+				st.temp = math.Abs(c0) / 10
+				if st.temp == 0 || math.IsInf(st.temp, 0) || math.IsNaN(st.temp) {
+					st.temp = 1
+				}
+			}
+			chains[c] = st
+		}(c)
+	}
+	init.Wait()
+
+	cstats := ChainStats{Chains: K}
+	globalBest := chains[0].best
+	globalBestCost := chains[0].bestCost
+	for _, st := range chains[1:] {
+		if st.bestCost < globalBestCost { // identical initial: stays chain 0
+			globalBest, globalBestCost = st.best, st.bestCost
+		}
+	}
+
+	type cand struct {
+		s S
+		c float64
+	}
+	// segment advances one chain by up to `span` iterations. It runs in
+	// the chain's own goroutine; inside, candidate evaluations fan out
+	// through the shared semaphore and are reduced by candidate index.
+	segment := func(c, startIter, span int) {
+		st := chains[c]
+		for k := 0; k < span; k++ {
+			if ctx.Err() != nil {
+				return
+			}
+			iter := startIter + k
+			if hooks.OnIteration != nil {
+				hooks.OnIteration(c, iter, st.cur)
+			}
+			st.stats.Iterations++
+			cands := make([]cand, cfg.Neighbors)
+			for i := range cands {
+				cands[i].s = move(st.rng, c, st.cur)
+			}
+			var wg sync.WaitGroup
+			for i := range cands {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(i int) {
+					defer wg.Done()
+					cands[i].c = cost(c, cands[i].s)
+					<-sem
+				}(i)
+			}
+			wg.Wait()
+			st.stats.Evaluations += len(cands)
+
+			bi := 0
+			for i := 1; i < len(cands); i++ {
+				if cands[i].c < cands[bi].c {
+					bi = i
+				}
+			}
+			next, nextCost := cands[bi].s, cands[bi].c
+
+			accept := false
+			switch {
+			case math.IsInf(nextCost, 1):
+			case nextCost <= st.curCost:
+				accept = true
+			default:
+				accept = st.rng.Float64() < math.Exp((st.curCost-nextCost)/math.Max(st.temp, 1e-300))
+			}
+			if accept {
+				st.cur, st.curCost = next, nextCost
+				st.stats.Accepted++
+			}
+			if nextCost < st.bestCost {
+				st.best, st.bestCost = next, nextCost
+				st.stats.Improved++
+			}
+			st.temp *= cfg.CoolRate
+		}
+	}
+
+	sinceImprove := 0
+	for done := 0; done < cfg.Iterations; {
+		span := min(exchange, cfg.Iterations-done)
+		var wg sync.WaitGroup
+		for c := 0; c < K; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				segment(c, done, span)
+			}(c)
+		}
+		wg.Wait()
+		done += span
+		cstats.Exchanges++
+
+		// Barrier reduction, strictly in chain order: ties keep the
+		// lowest chain index, so the winner never depends on scheduling.
+		improved := false
+		for _, st := range chains {
+			if st.bestCost < globalBestCost {
+				globalBest, globalBestCost = st.best, st.bestCost
+				improved = true
+			}
+		}
+		if improved {
+			sinceImprove = 0
+		} else {
+			sinceImprove += span
+		}
+		// Exchange: lagging chains restart from the global best. Chains
+		// already at (or below) the best cost keep their own state, which
+		// preserves diversity among the leaders.
+		if !math.IsInf(globalBestCost, 1) {
+			for _, st := range chains {
+				if st.curCost > globalBestCost {
+					st.cur, st.curCost = globalBest, globalBestCost
+					cstats.Adoptions++
+				}
+			}
+		}
+		if hooks.Progress != nil {
+			prog := make([]ChainProgress, K)
+			for c, st := range chains {
+				prog[c] = ChainProgress{
+					Chain: c, Iteration: done,
+					BestCost: st.bestCost, CurCost: st.curCost,
+					Evaluations: st.stats.Evaluations,
+				}
+			}
+			hooks.Progress(prog)
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		if cfg.Converge > 0 && sinceImprove >= cfg.Converge {
+			break
+		}
+	}
+
+	cstats.PerChain = make([]Stats, K)
+	for c, st := range chains {
+		cstats.PerChain[c] = st.stats
+		cstats.Stats.Iterations += st.stats.Iterations
+		cstats.Stats.Evaluations += st.stats.Evaluations
+		cstats.Stats.Accepted += st.stats.Accepted
+		cstats.Stats.Improved += st.stats.Improved
+	}
+	return globalBest, globalBestCost, cstats
+}

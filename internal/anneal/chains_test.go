@@ -1,0 +1,218 @@
+package anneal
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func chainMove(rng *rand.Rand, _ int, x float64) float64 { return x + rng.NormFloat64() }
+
+func chainQuad(_ int, x float64) float64 { return quad(x) }
+
+func TestRunChainsFindsQuadraticMinimum(t *testing.T) {
+	best, cost, stats := RunChains(context.Background(),
+		Config{Iterations: 100, Neighbors: 8, Seed: 1, Chains: 4},
+		100.0, chainMove, chainQuad, Hooks[float64]{})
+	if math.Abs(best-7) > 0.5 {
+		t.Fatalf("best %g, want ~7 (cost %g)", best, cost)
+	}
+	if stats.Chains != 4 || len(stats.PerChain) != 4 {
+		t.Fatalf("chain bookkeeping: %+v", stats)
+	}
+	if stats.Evaluations < 4*100 {
+		t.Fatalf("too few evaluations: %d", stats.Evaluations)
+	}
+}
+
+// runOnce executes one fixed-seed multi-chain run at the given
+// parallelism and returns everything observable.
+func runOnce(par, chains int) (float64, float64, ChainStats) {
+	return RunChains(context.Background(),
+		Config{Iterations: 60, Neighbors: 6, Seed: 42, Chains: chains,
+			ExchangeEvery: 4, Parallelism: par},
+		77.0, chainMove, chainQuad, Hooks[float64]{})
+}
+
+func TestRunChainsDeterministicAcrossWorkerCounts(t *testing.T) {
+	refBest, refCost, refStats := runOnce(1, 5)
+	for _, par := range []int{2, 3, 8, 32} {
+		b, c, st := runOnce(par, 5)
+		if b != refBest || c != refCost {
+			t.Fatalf("parallelism %d changed the result: %g/%g vs %g/%g", par, b, c, refBest, refCost)
+		}
+		if !reflect.DeepEqual(st, refStats) {
+			t.Fatalf("parallelism %d changed the stats:\n%+v\nvs\n%+v", par, st, refStats)
+		}
+	}
+}
+
+func TestRunChainsDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	refBest, refCost, refStats := runOnce(8, 4)
+	old := runtime.GOMAXPROCS(1)
+	b, c, st := runOnce(8, 4)
+	runtime.GOMAXPROCS(old)
+	if b != refBest || c != refCost || !reflect.DeepEqual(st, refStats) {
+		t.Fatalf("GOMAXPROCS=1 changed the result: %g/%g vs %g/%g", b, c, refBest, refCost)
+	}
+}
+
+func TestRunChainsSeedsAreDecorrelated(t *testing.T) {
+	seen := map[int64]bool{}
+	for c := 0; c < 16; c++ {
+		s := chainSeed(7, c)
+		if seen[s] {
+			t.Fatalf("chain %d repeats seed %d", c, s)
+		}
+		seen[s] = true
+	}
+	if chainSeed(7, 0) == chainSeed(8, 0) {
+		t.Fatal("root seed does not influence chain seeds")
+	}
+}
+
+func TestRunChainsExchangeAdoptsGlobalBest(t *testing.T) {
+	// A two-basin landscape: most chains start in the shallow basin; at
+	// barriers, chains lagging behind the luckiest one must adopt its
+	// state. With several chains and frequent exchanges, some adoption
+	// is guaranteed on this landscape.
+	cost := func(_ int, x float64) float64 {
+		local := x * x
+		global := (x-40)*(x-40)*0.25 - 100
+		return math.Min(local, global)
+	}
+	move := func(rng *rand.Rand, _ int, x float64) float64 { return x + rng.NormFloat64()*20 }
+	_, c, stats := RunChains(context.Background(),
+		Config{Iterations: 100, Neighbors: 8, Seed: 3, Chains: 6, ExchangeEvery: 2},
+		5.0, move, cost, Hooks[float64]{})
+	if stats.Adoptions == 0 {
+		t.Fatal("no chain ever adopted the global best")
+	}
+	if c > -99 {
+		t.Fatalf("exchange should help reach the deep basin, got cost %g", c)
+	}
+	if stats.Exchanges != 50 {
+		t.Fatalf("exchanges %d, want 50", stats.Exchanges)
+	}
+}
+
+func TestRunChainsAllInfeasibleNeverAdopts(t *testing.T) {
+	cost := func(_ int, x float64) float64 { return math.Inf(1) }
+	_, c, stats := RunChains(context.Background(),
+		Config{Iterations: 10, Neighbors: 2, Seed: 4, Chains: 3, ExchangeEvery: 2},
+		0.0, chainMove, cost, Hooks[float64]{})
+	if !math.IsInf(c, 1) {
+		t.Fatalf("cost should remain +Inf, got %g", c)
+	}
+	if stats.Adoptions != 0 || stats.Accepted != 0 {
+		t.Fatalf("infeasible landscape: %+v", stats)
+	}
+}
+
+func TestRunChainsOnIterationSequentialPerChain(t *testing.T) {
+	// OnIteration must never overlap the same chain's cost evaluations,
+	// and must see iterations in order.
+	const chains = 4
+	var inEval [chains]atomic.Int32
+	lastIter := make([]int, chains)
+	for i := range lastIter {
+		lastIter[i] = -1
+	}
+	hooks := Hooks[float64]{
+		OnIteration: func(chain, iter int, cur float64) {
+			if n := inEval[chain].Load(); n != 0 {
+				t.Errorf("chain %d: OnIteration with %d evaluations in flight", chain, n)
+			}
+			if iter != lastIter[chain]+1 {
+				t.Errorf("chain %d: iteration %d after %d", chain, iter, lastIter[chain])
+			}
+			lastIter[chain] = iter
+		},
+	}
+	cost := func(chain int, x float64) float64 {
+		inEval[chain].Add(1)
+		defer inEval[chain].Add(-1)
+		return quad(x)
+	}
+	RunChains(context.Background(),
+		Config{Iterations: 12, Neighbors: 4, Seed: 5, Chains: chains, ExchangeEvery: 3},
+		10.0, chainMove, cost, hooks)
+	for c, last := range lastIter {
+		if last != 11 {
+			t.Fatalf("chain %d stopped at iteration %d", c, last)
+		}
+	}
+}
+
+func TestRunChainsProgressAtBarriers(t *testing.T) {
+	var calls int
+	hooks := Hooks[float64]{
+		Progress: func(cp []ChainProgress) {
+			calls++
+			if len(cp) != 3 {
+				t.Fatalf("progress for %d chains, want 3", len(cp))
+			}
+			for i, p := range cp {
+				if p.Chain != i {
+					t.Fatalf("progress out of chain order: %+v", cp)
+				}
+				if p.Evaluations == 0 {
+					t.Fatalf("chain %d reports no evaluations", i)
+				}
+			}
+		},
+	}
+	RunChains(context.Background(),
+		Config{Iterations: 10, Neighbors: 2, Seed: 6, Chains: 3, ExchangeEvery: 5},
+		10.0, chainMove, chainQuad, hooks)
+	if calls != 2 {
+		t.Fatalf("progress called %d times, want 2 (10 iterations / exchange 5)", calls)
+	}
+}
+
+func TestRunChainsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once atomic.Bool
+	cost := func(_ int, x float64) float64 {
+		if once.CompareAndSwap(false, true) {
+			close(started)
+		}
+		time.Sleep(time.Millisecond)
+		return quad(x)
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	done := make(chan struct{})
+	var c float64
+	go func() {
+		_, c, _ = RunChains(ctx,
+			Config{Iterations: 10_000, Neighbors: 4, Seed: 7, Chains: 4, ExchangeEvery: 4},
+			50.0, chainMove, cost, Hooks[float64]{})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled run did not stop")
+	}
+	if math.IsNaN(c) {
+		t.Fatal("cancelled run returned NaN")
+	}
+}
+
+func TestRunChainsNegativeExchangeRunsIndependently(t *testing.T) {
+	_, _, stats := RunChains(context.Background(),
+		Config{Iterations: 20, Neighbors: 2, Seed: 8, Chains: 3, ExchangeEvery: -1},
+		10.0, chainMove, chainQuad, Hooks[float64]{})
+	if stats.Exchanges != 1 {
+		t.Fatalf("independent chains should reduce exactly once, got %d", stats.Exchanges)
+	}
+}

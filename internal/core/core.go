@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 
 	"lcn3d/internal/network"
 	"lcn3d/internal/rm2"
@@ -24,36 +23,6 @@ import (
 // drop and returns the outcome. Implementations are obtained by binding a
 // thermal model to a network (see Instance.Sim2RM / Sim4RM).
 type SimFunc func(psys float64) (*thermal.Outcome, error)
-
-// Memo wraps a SimFunc with a concurrency-safe cache keyed on pressure.
-// Algorithm 3 probes f(P_sys) repeatedly at recurring points (bisection
-// endpoints, re-evaluations); the cache makes those free.
-func Memo(sim SimFunc) SimFunc {
-	var mu sync.Mutex
-	cache := make(map[float64]*thermal.Outcome)
-	errs := make(map[float64]error)
-	return func(psys float64) (*thermal.Outcome, error) {
-		mu.Lock()
-		if out, ok := cache[psys]; ok {
-			mu.Unlock()
-			return out, nil
-		}
-		if err, ok := errs[psys]; ok {
-			mu.Unlock()
-			return nil, err
-		}
-		mu.Unlock()
-		out, err := sim(psys)
-		mu.Lock()
-		if err != nil {
-			errs[psys] = err
-		} else {
-			cache[psys] = out
-		}
-		mu.Unlock()
-		return out, err
-	}
-}
 
 // cancellable wraps sim so every probe first checks the context. Each
 // probe is a full linear solve (tens of milliseconds to seconds), so a

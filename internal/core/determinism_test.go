@@ -1,0 +1,130 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"lcn3d/internal/network"
+)
+
+// solveFingerprint runs SolveProblem1 on a small instance with a short
+// two-stage schedule and returns everything that must be reproducible:
+// the best network's canonical hash, the final cost, and the evaluation
+// count.
+func solveFingerprint(t *testing.T, chains, parallelism int) (string, float64, int) {
+	t.Helper()
+	in := testInstance(t, 10, 3)
+	// Fixed structure and a two-orientation sweep keep the run about the
+	// SA engine, not the (deterministic, serial) structure search.
+	sol, err := in.SolveProblem1(Options{
+		Seed:         7,
+		Chains:       chains,
+		Parallelism:  parallelism,
+		CoarseM:      3,
+		NumTrees:     2,
+		BranchType:   network.Branch2,
+		Orientations: []network.Orientation{{Rotations: 0}, {Rotations: 2}},
+		Stages: []Stage{
+			{Iterations: 3, Step: 2, FixedPsys: true},
+			{Iterations: 2, Step: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol.Net.CanonicalHash(), sol.Eval.Wpump, sol.Evals
+}
+
+// TestSolveProblem1DeterministicAcrossWorkers is the engine's contract:
+// for a fixed root seed and chain count, the optimization result is
+// bitwise identical regardless of evaluation parallelism and GOMAXPROCS.
+// Worker count moves wall-clock, never the answer.
+func TestSolveProblem1DeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-configuration SA run")
+	}
+	for _, chains := range []int{1, 2, 8} {
+		refHash, refCost, refEvals := solveFingerprint(t, chains, 1)
+		for _, par := range []int{2, runtime.NumCPU()} {
+			hash, cost, evals := solveFingerprint(t, chains, par)
+			if hash != refHash || cost != refCost || evals != refEvals {
+				t.Fatalf("chains=%d parallelism=%d diverged: %s/%.17g/%d vs %s/%.17g/%d",
+					chains, par, hash, cost, evals, refHash, refCost, refEvals)
+			}
+		}
+		// GOMAXPROCS=1 forces full serialization of whatever goroutines
+		// exist; the reduction order must not care.
+		old := runtime.GOMAXPROCS(1)
+		hash, cost, evals := solveFingerprint(t, chains, runtime.NumCPU())
+		runtime.GOMAXPROCS(old)
+		if hash != refHash || cost != refCost || evals != refEvals {
+			t.Fatalf("chains=%d GOMAXPROCS=1 diverged: %s/%.17g/%d vs %s/%.17g/%d",
+				chains, hash, cost, evals, refHash, refCost, refEvals)
+		}
+	}
+}
+
+// TestSolveProblem2DeterministicAcrossWorkers covers the grouped-
+// iteration Problem 2 path, whose per-chain optimal-pressure state is
+// the subtle part of the determinism argument: it is refreshed only at
+// iteration boundaries (OnIteration), never from concurrent candidate
+// evaluations.
+func TestSolveProblem2DeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-configuration SA run")
+	}
+	run := func(parallelism int) (string, float64) {
+		in := testInstance(t, 10, 3)
+		sol, err := in.SolveProblem2(Options{
+			Seed:         11,
+			Chains:       3,
+			Parallelism:  parallelism,
+			CoarseM:      3,
+			NumTrees:     2,
+			BranchType:   network.Branch2,
+			Orientations: []network.Orientation{{Rotations: 0}},
+			Stages: []Stage{
+				{Iterations: 3, Step: 2, GroupSize: 2},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol.Net.CanonicalHash(), sol.Eval.DeltaT
+	}
+	refHash, refCost := run(1)
+	for _, par := range []int{2, runtime.NumCPU()} {
+		hash, cost := run(par)
+		if hash != refHash || cost != refCost {
+			t.Fatalf("parallelism=%d diverged: %s/%.17g vs %s/%.17g", par, hash, cost, refHash, refCost)
+		}
+	}
+}
+
+// TestSolveProblem1SeedSensitivity guards against the opposite failure:
+// a "deterministic" engine that ignores its seed entirely.
+func TestSolveProblem1SeedSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SA run")
+	}
+	run := func(seed int64) int {
+		in := testInstance(t, 10, 3)
+		sol, err := in.SolveProblem1(Options{
+			Seed: seed, Chains: 2, CoarseM: 3,
+			NumTrees: 2, BranchType: network.Branch2,
+			Orientations: []network.Orientation{{Rotations: 0}},
+			Stages:       []Stage{{Iterations: 4, Step: 2, FixedPsys: true}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol.Evals
+	}
+	// Different seeds must at least traverse the same number of
+	// evaluations (schedule-determined) — this exercises that the seed
+	// reaches the chains without crashing; divergence of the actual
+	// result across seeds is landscape-dependent and not asserted.
+	if run(1) != run(2) {
+		t.Fatal("evaluation count should be schedule-determined, independent of seed")
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lcn3d/internal/thermal"
+)
+
+// MemoStats counts cache traffic, in the FactorStats style: snapshot via
+// the stats closure / Stats method, rates derived on read.
+type MemoStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// HitRate returns Hits / (Hits + Misses), 0 when empty.
+func (s MemoStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+func (s *MemoStats) add(o MemoStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+}
+
+// memoEntry is one pressure's computation slot. The sync.Once gives the
+// cache single-flight semantics: concurrent callers probing the same
+// pressure block on the leader's solve instead of re-simulating.
+type memoEntry struct {
+	once sync.Once
+	out  *thermal.Outcome
+	err  error
+}
+
+// Memo wraps a SimFunc with a concurrency-safe, single-flight cache
+// keyed on pressure. Algorithm 3 probes f(P_sys) repeatedly at recurring
+// points (bisection endpoints, re-evaluations); the cache makes those
+// free, and concurrent chains probing the same pressure share one solve.
+func Memo(sim SimFunc) SimFunc {
+	m, _ := MemoWithStats(sim)
+	return m
+}
+
+// MemoWithStats is Memo plus a hit/miss counter snapshot function.
+// A hit is any call that found the entry already present (it may still
+// block until the leader finishes computing it).
+func MemoWithStats(sim SimFunc) (SimFunc, func() MemoStats) {
+	var cache sync.Map // float64 -> *memoEntry
+	var hits, misses atomic.Int64
+	wrapped := func(psys float64) (*thermal.Outcome, error) {
+		v, loaded := cache.LoadOrStore(psys, &memoEntry{})
+		if loaded {
+			hits.Add(1)
+		} else {
+			misses.Add(1)
+		}
+		e := v.(*memoEntry)
+		e.once.Do(func() { e.out, e.err = sim(psys) })
+		return e.out, e.err
+	}
+	stats := func() MemoStats {
+		return MemoStats{Hits: hits.Load(), Misses: misses.Load()}
+	}
+	return wrapped, stats
+}
+
+// evalEntry is one topology's score slot, single-flight like memoEntry.
+type evalEntry struct {
+	once sync.Once
+	cost float64
+}
+
+// EvalCache memoizes whole-topology scores across the concurrent chains
+// of the parallel annealer, keyed on the candidate network's canonical
+// hash (plus any stage parameters folded into the key by the caller).
+// A topology one chain already scored is never re-simulated by another:
+// followers either read the cached cost or block on the in-flight
+// leader. The scoring function must be pure for the key.
+type EvalCache struct {
+	m            sync.Map // string -> *evalEntry
+	hits, misses atomic.Int64
+}
+
+// NewEvalCache returns an empty cache.
+func NewEvalCache() *EvalCache { return &EvalCache{} }
+
+// Do returns the cached cost for key, computing it with f on first use.
+func (c *EvalCache) Do(key string, f func() float64) float64 {
+	v, loaded := c.m.LoadOrStore(key, &evalEntry{})
+	if loaded {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e := v.(*evalEntry)
+	e.once.Do(func() { e.cost = f() })
+	return e.cost
+}
+
+// Stats snapshots the hit/miss counters.
+func (c *EvalCache) Stats() MemoStats {
+	return MemoStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lcn3d/internal/thermal"
+)
+
+// TestMemoConcurrentSingleFlight hammers one pressure from many
+// goroutines: the underlying simulator must run exactly once, everyone
+// must see the same outcome, and the counters must balance.
+func TestMemoConcurrentSingleFlight(t *testing.T) {
+	var computes atomic.Int64
+	sim := func(psys float64) (*thermal.Outcome, error) {
+		computes.Add(1)
+		return &thermal.Outcome{Psys: psys, Metrics: thermal.Metrics{DeltaT: psys * 2}}, nil
+	}
+	memo, stats := MemoWithStats(sim)
+
+	const workers = 64
+	outs := make([]*thermal.Outcome, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := memo(10e3)
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+			outs[i] = out
+		}(i)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("simulator ran %d times, want 1 (single flight)", n)
+	}
+	for i := 1; i < workers; i++ {
+		if outs[i] != outs[0] {
+			t.Fatalf("worker %d got a different outcome pointer", i)
+		}
+	}
+	st := stats()
+	if st.Hits+st.Misses != workers || st.Misses != 1 {
+		t.Fatalf("stats %+v, want %d calls with 1 miss", st, workers)
+	}
+	if r := st.HitRate(); math.Abs(r-float64(workers-1)/workers) > 1e-12 {
+		t.Fatalf("hit rate %g", r)
+	}
+}
+
+// TestMemoConcurrentDistinctPressures checks distinct keys never share
+// results and errors are memoized alongside outcomes.
+func TestMemoConcurrentDistinctPressures(t *testing.T) {
+	var computes atomic.Int64
+	sim := func(psys float64) (*thermal.Outcome, error) {
+		computes.Add(1)
+		if psys < 0 {
+			return nil, fmt.Errorf("negative pressure %g", psys)
+		}
+		return &thermal.Outcome{Psys: psys}, nil
+	}
+	memo, stats := MemoWithStats(sim)
+	pressures := []float64{1e3, 2e3, 3e3, -1, 1e3, 2e3, 3e3, -1}
+	var wg sync.WaitGroup
+	for round := 0; round < 8; round++ {
+		for _, p := range pressures {
+			wg.Add(1)
+			go func(p float64) {
+				defer wg.Done()
+				out, err := memo(p)
+				if p < 0 {
+					if err == nil {
+						t.Errorf("negative pressure did not error")
+					}
+					return
+				}
+				if err != nil || out.Psys != p {
+					t.Errorf("at %g: out=%v err=%v", p, out, err)
+				}
+			}(p)
+		}
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 4 {
+		t.Fatalf("simulator ran %d times, want 4 (one per distinct pressure)", n)
+	}
+	if st := stats(); st.Misses != 4 || st.Hits != 8*8-4 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestEvalCacheConcurrent checks the topology-score cache: single-flight
+// per key under concurrency, with balanced counters.
+func TestEvalCacheConcurrent(t *testing.T) {
+	c := NewEvalCache()
+	var computes atomic.Int64
+	keys := []string{"a", "b", "c", "d"}
+	const rounds = 32
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for ki, k := range keys {
+			wg.Add(1)
+			go func(k string, want float64) {
+				defer wg.Done()
+				got := c.Do(k, func() float64 {
+					computes.Add(1)
+					return want
+				})
+				if got != want {
+					t.Errorf("key %s: got %g want %g", k, got, want)
+				}
+			}(k, float64(ki))
+		}
+	}
+	wg.Wait()
+	if n := computes.Load(); n != int64(len(keys)) {
+		t.Fatalf("computed %d times, want %d", n, len(keys))
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != rounds*int64(len(keys)) || st.Misses != int64(len(keys)) {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestEvalCacheInfCost verifies +Inf (infeasible) scores are cached like
+// any other: an illegal topology is judged once, not once per chain.
+func TestEvalCacheInfCost(t *testing.T) {
+	c := NewEvalCache()
+	var computes atomic.Int64
+	for i := 0; i < 5; i++ {
+		got := c.Do("illegal", func() float64 {
+			computes.Add(1)
+			return math.Inf(1)
+		})
+		if !math.IsInf(got, 1) {
+			t.Fatalf("got %g", got)
+		}
+	}
+	if computes.Load() != 1 {
+		t.Fatalf("infeasible key recomputed %d times", computes.Load())
+	}
+}

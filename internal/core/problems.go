@@ -6,7 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sync"
+	"strconv"
 
 	"lcn3d/internal/anneal"
 	"lcn3d/internal/network"
@@ -44,11 +44,27 @@ type Options struct {
 	// Search.PInit).
 	Stage1Psys float64
 	Search     SearchOptions
-	// Parallelism bounds concurrent candidate evaluations.
+	// Parallelism bounds concurrent candidate evaluations across all
+	// chains. It affects wall-clock only, never the result.
 	Parallelism int
+	// Chains is the number of SA replicas run per stage by the parallel
+	// annealer (0 = the stage's Rounds). Chain seeds derive
+	// deterministically from Seed, so a (Seed, Chains) pair pins the
+	// result bitwise regardless of Parallelism or GOMAXPROCS.
+	Chains int
+	// ExchangeEvery is the number of SA iterations between best-state
+	// exchange barriers (0 = default 5, negative = independent chains).
+	ExchangeEvery int
+	// Neighbors is the number of candidates per SA iteration (default 8).
+	// Kept independent of Parallelism so results do not depend on the
+	// machine's core count.
+	Neighbors int
 	// Orientations to sweep for the global flow direction; nil = all 8
 	// for square chips, the 4 non-transposing ones otherwise.
 	Orientations []network.Orientation
+	// Progress, when non-nil, receives per-chain positions at every
+	// exchange barrier of every stage (from a single goroutine).
+	Progress func(stage int, chains []anneal.ChainProgress)
 	// Verbose emits progress lines via Logf.
 	Logf func(format string, args ...any)
 }
@@ -60,6 +76,9 @@ func (o Options) withDefaults(in *Instance, problem int) Options {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.NumCPU()
+	}
+	if o.Neighbors <= 0 {
+		o.Neighbors = 8
 	}
 	o.Search = o.Search.withDefaults()
 	if o.Stage1Psys <= 0 {
@@ -107,6 +126,15 @@ type Solution struct {
 	Orient network.Orientation
 	Eval   EvalResult // final 4RM evaluation
 	Evals  int        // total candidate evaluations across stages
+	// Chains is the replica count the SA stages ran with; Exchanges and
+	// Adoptions count best-state exchange activity across stages.
+	Chains    int
+	Exchanges int
+	Adoptions int
+	// Cache aggregates the shared topology-cache counters across stages:
+	// hits are candidate evaluations answered without re-simulating a
+	// topology another chain (or iteration) already scored.
+	Cache MemoStats
 }
 
 // candidate is the SA state: tree parameters under a fixed orientation.
@@ -131,21 +159,33 @@ func (in *Instance) buildNet(spec network.TreeSpec, orient network.Orientation) 
 // SolveProblem1 minimizes pumping power under ΔT* and T*_max (paper
 // Section 4, ICCAD 2015 contest formulation).
 func (in *Instance) SolveProblem1(opt Options) (*Solution, error) {
+	return in.SolveProblem1Ctx(context.Background(), opt)
+}
+
+// SolveProblem1Ctx is SolveProblem1 with cancellation: the SA stages
+// stop at the next iteration boundary and candidate evaluations at the
+// next simulator probe.
+func (in *Instance) SolveProblem1Ctx(ctx context.Context, opt Options) (*Solution, error) {
 	opt = opt.withDefaults(in, 1)
-	return in.solve(opt, 1)
+	return in.solve(ctx, opt, 1)
 }
 
 // SolveProblem2 minimizes thermal gradient under T*_max and W*_pump
 // (paper Section 5).
 func (in *Instance) SolveProblem2(opt Options) (*Solution, error) {
+	return in.SolveProblem2Ctx(context.Background(), opt)
+}
+
+// SolveProblem2Ctx is SolveProblem2 with cancellation.
+func (in *Instance) SolveProblem2Ctx(ctx context.Context, opt Options) (*Solution, error) {
 	opt = opt.withDefaults(in, 2)
 	if in.WpumpStar <= 0 {
 		return nil, fmt.Errorf("core: Problem 2 requires WpumpStar > 0")
 	}
-	return in.solve(opt, 2)
+	return in.solve(ctx, opt, 2)
 }
 
-func (in *Instance) solve(opt Options, problem int) (*Solution, error) {
+func (in *Instance) solve(ctx context.Context, opt Options, problem int) (*Solution, error) {
 	d := in.Stk.Dims
 	totalEvals := 0
 
@@ -187,6 +227,9 @@ func (in *Instance) solve(opt Options, problem int) (*Solution, error) {
 	for _, st := range structures {
 		spec := network.UniformTreeSpec(d, st.numTrees, st.typ, 0.35, 0.65)
 		for _, orient := range opt.Orientations {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			score := math.Inf(1)
 			if n, err := in.buildNet(spec, orient); err == nil {
 				if sim, err := in.Sim2RM(n, opt.CoarseM, opt.Scheme); err == nil {
@@ -207,14 +250,122 @@ func (in *Instance) solve(opt Options, problem int) (*Solution, error) {
 		return nil, fmt.Errorf("core: no structure/orientation yields a legal simulable network")
 	}
 
-	// Cost of one candidate under a stage's metric. (Counting happens in
-	// the annealer's stats; the cost function itself stays pure.)
-	stageCost := func(st Stage, groupPsys *groupState) func(candidate) float64 {
-		return func(c candidate) float64 {
-			n, err := in.buildNet(c.spec, bestOrient)
-			if err != nil {
-				return math.Inf(1)
+	sol := &Solution{Orient: bestOrient}
+	spec := initSpec
+	for si, st := range opt.Stages {
+		chains := opt.Chains
+		if chains <= 0 {
+			chains = max(1, st.Rounds)
+		}
+		// groupPsys[c] is chain c's current grouped optimal pressure
+		// (Problem 2 speed-up); it is refreshed deterministically at
+		// iteration boundaries via the OnIteration hook, so the cost
+		// function stays pure between refreshes.
+		groupPsys := make([]float64, chains)
+		cache := NewEvalCache()
+		cost := in.stageCost(ctx, opt, st, problem, bestOrient, cache, groupPsys)
+
+		move := func(rng *rand.Rand, _ int, c candidate) candidate {
+			s := c.spec.Clone()
+			for t := 0; t < s.NumTrees; t++ {
+				if rng.Intn(2) == 0 {
+					s.B1[t] += st.Step * (2*rng.Intn(2) - 1)
+				}
+				if rng.Intn(2) == 0 {
+					s.B2[t] += st.Step * (2*rng.Intn(2) - 1)
+				}
 			}
+			s.Canonicalize(d)
+			return candidate{spec: s}
+		}
+
+		hooks := anneal.Hooks[candidate]{}
+		if problem == 2 && st.GroupSize > 0 {
+			hooks.OnIteration = func(chain, iter int, cur candidate) {
+				if iter%st.GroupSize != 0 {
+					return
+				}
+				groupPsys[chain] = in.groupPressure(ctx, opt, st, cur, bestOrient)
+			}
+		}
+		if opt.Progress != nil {
+			hooks.Progress = func(cp []anneal.ChainProgress) { opt.Progress(si, cp) }
+		}
+
+		cfg := anneal.Config{
+			Iterations:    st.Iterations,
+			Neighbors:     opt.Neighbors,
+			Seed:          opt.Seed + int64(si)*104729,
+			Parallelism:   opt.Parallelism,
+			Chains:        chains,
+			ExchangeEvery: opt.ExchangeEvery,
+			Converge:      st.Iterations, // run full budget
+		}
+		best, bestCost, stats := anneal.RunChains(ctx, cfg, candidate{spec: spec}, move, cost, hooks)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		totalEvals += stats.Evaluations
+		sol.Chains = max(sol.Chains, stats.Chains)
+		sol.Exchanges += stats.Exchanges
+		sol.Adoptions += stats.Adoptions
+		sol.Cache.add(cache.Stats())
+		cs := cache.Stats()
+		opt.Logf("stage %d (%s): cost %.4g after %d evaluations (%d chains, %d exchanges, %d adoptions, cache %.0f%% hit)",
+			si+1, stageName(st), bestCost, stats.Evaluations,
+			stats.Chains, stats.Exchanges, stats.Adoptions, 100*cs.HitRate())
+		if !math.IsInf(bestCost, 1) {
+			spec = best.spec
+		}
+	}
+	// Final accurate evaluation with 4RM.
+	n, err := in.buildNet(spec, bestOrient)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := in.Sim4RM(n, opt.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	var final EvalResult
+	if problem == 1 {
+		final, err = EvaluatePumpMin(ctx, sim, in.DeltaTStar, in.TmaxStar, opt.Search)
+	} else {
+		var out *thermal.Outcome
+		out, err = sim(opt.Search.PInit)
+		if err == nil {
+			budget := PressureBudget(in.WpumpStar, out.Rsys)
+			final, err = EvaluateGradMin(ctx, sim, in.TmaxStar, budget, opt.Search)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	sol.Net, sol.Spec, sol.Eval, sol.Evals = n, spec, final, totalEvals
+	return sol, nil
+}
+
+// stageCost builds the per-chain candidate scorer for one stage. Scores
+// are memoized in cache keyed on the realized network's canonical hash
+// (plus the chain's grouped pressure for grouped Problem 2 stages, whose
+// metric depends on it), so no topology is simulated twice — not within
+// a chain, and not across chains.
+func (in *Instance) stageCost(ctx context.Context, opt Options, st Stage, problem int,
+	orient network.Orientation, cache *EvalCache, groupPsys []float64) func(int, candidate) float64 {
+
+	grouped := problem == 2 && st.GroupSize > 0
+	return func(chain int, c candidate) float64 {
+		n, err := in.buildNet(c.spec, orient)
+		if err != nil {
+			return math.Inf(1)
+		}
+		var psys float64 // grouped stages: the chain's shared pressure
+		key := n.CanonicalHash()
+		if grouped {
+			psys = groupPsys[chain]
+			key += "|" + strconv.FormatUint(math.Float64bits(psys), 16)
+		}
+		return cache.Do(key, func() float64 {
 			var sim SimFunc
 			if st.Use4RM {
 				sim, err = in.Sim4RM(n, opt.Scheme)
@@ -232,14 +383,14 @@ func (in *Instance) solve(opt Options, problem int) (*Solution, error) {
 				}
 				return out.DeltaT
 			case problem == 1:
-				r, err := EvaluatePumpMin(context.Background(), sim, in.DeltaTStar, in.TmaxStar, opt.Search)
+				r, err := EvaluatePumpMin(ctx, sim, in.DeltaTStar, in.TmaxStar, opt.Search)
 				if err != nil || !r.Feasible {
 					return math.Inf(1)
 				}
 				return r.Wpump
 			default: // problem 2
-				if p := groupPsys.get(); p > 0 {
-					out, err := sim(p)
+				if psys > 0 {
+					out, err := sim(psys)
 					if err != nil || out.Tmax > in.TmaxStar*(1+1e-9) {
 						return math.Inf(1)
 					}
@@ -250,73 +401,44 @@ func (in *Instance) solve(opt Options, problem int) (*Solution, error) {
 					return math.Inf(1)
 				}
 				budget := PressureBudget(in.WpumpStar, out.Rsys)
-				r, err := EvaluateGradMin(context.Background(), sim, in.TmaxStar, budget, opt.Search)
+				r, err := EvaluateGradMin(ctx, sim, in.TmaxStar, budget, opt.Search)
 				if err != nil || !r.Feasible {
 					return math.Inf(1)
 				}
-				groupPsys.set(r.Psys)
 				return r.DeltaT
 			}
-		}
+		})
 	}
+}
 
-	spec := initSpec
-	for si, st := range opt.Stages {
-		group := &groupState{size: st.GroupSize}
-		cost := stageCost(st, group)
-		move := func(rng *rand.Rand, c candidate) candidate {
-			s := c.spec.Clone()
-			for t := 0; t < s.NumTrees; t++ {
-				if rng.Intn(2) == 0 {
-					s.B1[t] += st.Step * (2*rng.Intn(2) - 1)
-				}
-				if rng.Intn(2) == 0 {
-					s.B2[t] += st.Step * (2*rng.Intn(2) - 1)
-				}
-			}
-			s.Canonicalize(d)
-			group.tick()
-			return candidate{spec: s}
-		}
-		cfg := anneal.Config{
-			Iterations:  st.Iterations,
-			Neighbors:   max(2, opt.Parallelism/max(1, st.Rounds)),
-			Seed:        opt.Seed + int64(si)*104729,
-			Parallelism: opt.Parallelism,
-			Converge:    st.Iterations, // run full budget
-		}
-		best, bestCost, stats := anneal.MultiRound(cfg, st.Rounds, candidate{spec: spec}, move, cost)
-		totalEvals += stats.Evaluations
-		opt.Logf("stage %d (%s): cost %.4g after %d evaluations",
-			si+1, stageName(st), bestCost, stats.Evaluations)
-		if !math.IsInf(bestCost, 1) {
-			spec = best.spec
-		}
-	}
-	// Final accurate evaluation with 4RM.
-	n, err := in.buildNet(spec, bestOrient)
+// groupPressure computes the optimal P_sys of the chain's current state,
+// shared by the following GroupSize iterations (Problem 2 speed-up). It
+// returns 0 when the state is illegal or infeasible, which makes the
+// cost function fall back to full per-candidate evaluation.
+func (in *Instance) groupPressure(ctx context.Context, opt Options, st Stage, cur candidate, orient network.Orientation) float64 {
+	n, err := in.buildNet(cur.spec, orient)
 	if err != nil {
-		return nil, err
+		return 0
 	}
-	sim, err := in.Sim4RM(n, opt.Scheme)
-	if err != nil {
-		return nil, err
-	}
-	var final EvalResult
-	if problem == 1 {
-		final, err = EvaluatePumpMin(context.Background(), sim, in.DeltaTStar, in.TmaxStar, opt.Search)
+	var sim SimFunc
+	if st.Use4RM {
+		sim, err = in.Sim4RM(n, opt.Scheme)
 	} else {
-		var out *thermal.Outcome
-		out, err = sim(opt.Search.PInit)
-		if err == nil {
-			budget := PressureBudget(in.WpumpStar, out.Rsys)
-			final, err = EvaluateGradMin(context.Background(), sim, in.TmaxStar, budget, opt.Search)
-		}
+		sim, err = in.Sim2RM(n, opt.CoarseM, opt.Scheme)
 	}
 	if err != nil {
-		return nil, err
+		return 0
 	}
-	return &Solution{Net: n, Spec: spec, Orient: bestOrient, Eval: final, Evals: totalEvals}, nil
+	out, err := sim(opt.Search.PInit)
+	if err != nil {
+		return 0
+	}
+	budget := PressureBudget(in.WpumpStar, out.Rsys)
+	r, err := EvaluateGradMin(ctx, sim, in.TmaxStar, budget, opt.Search)
+	if err != nil || !r.Feasible {
+		return 0
+	}
+	return r.Psys
 }
 
 func stageName(st Stage) string {
@@ -328,45 +450,4 @@ func stageName(st Stage) string {
 	default:
 		return "full eval, 2RM"
 	}
-}
-
-// groupState implements the Problem 2 grouped-iteration trick: the first
-// evaluation of each group computes the optimal pressure; the following
-// GroupSize-1 evaluations reuse it with a single simulation.
-type groupState struct {
-	mu    sync.Mutex
-	size  int
-	count int
-	psys  float64
-}
-
-func (g *groupState) tick() {
-	if g == nil || g.size <= 0 {
-		return
-	}
-	g.mu.Lock()
-	g.count++
-	if g.count >= g.size {
-		g.count = 0
-		g.psys = 0 // force a full evaluation next
-	}
-	g.mu.Unlock()
-}
-
-func (g *groupState) get() float64 {
-	if g == nil || g.size <= 0 {
-		return 0
-	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.psys
-}
-
-func (g *groupState) set(p float64) {
-	if g == nil || g.size <= 0 {
-		return
-	}
-	g.mu.Lock()
-	g.psys = p
-	g.mu.Unlock()
 }

@@ -1,0 +1,114 @@
+package flow
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/network"
+)
+
+// randomNetwork draws one legal network: a random generator family on
+// random dims, sometimes with a random keepout rectangle carved through
+// it. Illegal draws (a keepout that severs the inlet-outlet path) are
+// rejected and redrawn, so every returned network is valid by Check().
+func randomNetwork(t *testing.T, rng *rand.Rand) *network.Network {
+	t.Helper()
+	for attempt := 0; attempt < 100; attempt++ {
+		d := grid.Dims{NX: 11 + 2*rng.Intn(8), NY: 11 + 2*rng.Intn(8)}
+		var n *network.Network
+		switch rng.Intn(5) {
+		case 0:
+			n = network.Straight(d, grid.Side(rng.Intn(4)), 1+rng.Intn(2))
+		case 1:
+			n = network.Serpentine(d)
+		case 2:
+			n = network.Mesh(d, 1+rng.Intn(2), 1+rng.Intn(2))
+		case 3:
+			n = network.Comb(d, 1+rng.Intn(2))
+		default:
+			typ := network.BranchType(rng.Intn(3))
+			trees := 1 + rng.Intn(2)
+			var err error
+			n, err = network.Tree(d, network.UniformTreeSpec(d, trees, typ,
+				0.3+0.2*rng.Float64(), 0.5+0.2*rng.Float64()))
+			if err != nil {
+				continue
+			}
+		}
+		if rng.Intn(3) == 0 {
+			x0, y0 := 1+rng.Intn(d.NX/3), 1+rng.Intn(d.NY/3)
+			network.CarveKeepout(n, x0, y0, x0+1+rng.Intn(d.NX/3), y0+1+rng.Intn(d.NY/3))
+		}
+		if len(n.Check()) == 0 {
+			return n
+		}
+	}
+	t.Fatal("no legal random network in 100 attempts")
+	return nil
+}
+
+// TestFlowConservesVolume is the property test of the flow solver: for
+// randomized valid networks at several system pressures, the pressure
+// solve must conserve volume — net inflow equals net outflow globally,
+// and every interior cell balances — to within 1e-9 of the system flow.
+func TestFlowConservesVolume(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	pressures := []float64{500, 5e3, 50e3, 500e3}
+	for draw := 0; draw < 12; draw++ {
+		n := randomNetwork(t, rng)
+		t.Run(fmt.Sprintf("net%02d_%dx%d", draw, n.Dims.NX, n.Dims.NY), func(t *testing.T) {
+			for _, psys := range pressures {
+				s := solveOrDie(t, n, psys)
+				if s.Qsys <= 0 {
+					t.Fatalf("psys=%g: no flow (Qsys=%g)", psys, s.Qsys)
+				}
+				tol := 1e-9 * s.Qsys
+
+				// Global balance: what the inlets push in must leave
+				// through the outlets.
+				if d := math.Abs(s.TotalOutflow() - s.Qsys); d > tol {
+					t.Errorf("psys=%g: |Qout-Qin| = %g > %g", psys, d, tol)
+				}
+
+				// Local balance at every liquid cell: boundary cells
+				// include their port flows via NetOutflow.
+				worst, wx, wy := 0.0, -1, -1
+				for y := 0; y < n.Dims.NY; y++ {
+					for x := 0; x < n.Dims.NX; x++ {
+						if !n.IsLiquid(x, y) {
+							continue
+						}
+						if r := math.Abs(s.NetOutflow(x, y)); r > worst {
+							worst, wx, wy = r, x, y
+						}
+					}
+				}
+				if worst > tol {
+					t.Errorf("psys=%g: cell (%d,%d) residual %g > %g", psys, wx, wy, worst, tol)
+				}
+			}
+		})
+	}
+}
+
+// TestFlowScalesLinearly pins the linearity the pressure searches build
+// on: Q(k*P) = k*Q(P) for the same network, to solver tolerance.
+func TestFlowScalesLinearly(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n := randomNetwork(t, rng)
+	base := solveOrDie(t, n, 10e3)
+	scaled := solveOrDie(t, n, 70e3)
+	if r := relErr(scaled.Qsys, 7*base.Qsys); r > 1e-8 {
+		t.Fatalf("Qsys not linear in psys: rel err %g", r)
+	}
+}
+
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}

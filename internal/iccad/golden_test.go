@@ -1,0 +1,292 @@
+package iccad
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lcn3d/internal/core"
+	"lcn3d/internal/grid"
+	"lcn3d/internal/network"
+	"lcn3d/internal/thermal"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures under testdata/")
+
+// goldenDims is the fixture scale: small enough that both models solve
+// in well under a second, large enough that the thermal field has
+// structure (gradients, hot corners) worth pinning.
+var goldenDims = grid.Dims{NX: 15, NY: 15}
+
+const goldenCoarseM = 3
+
+// goldenEval is the persisted slice of an EvalResult. Probe counts are
+// deliberately excluded: they are search-implementation detail, and the
+// corpus pins physics, not bisection schedules.
+type goldenEval struct {
+	Feasible bool     `json:"feasible"`
+	Psys     *float64 `json:"psys,omitempty"`
+	Wpump    *float64 `json:"wpump,omitempty"`
+	DeltaT   *float64 `json:"delta_t,omitempty"`
+	Tmax     *float64 `json:"tmax,omitempty"`
+}
+
+type goldenFixture struct {
+	Name        string     `json:"name"`
+	Case        int        `json:"case"`
+	Problem     int        `json:"problem"`
+	NetworkHash string     `json:"network_hash"`
+	RM2         goldenEval `json:"rm2"`
+	RM4         goldenEval `json:"rm4"`
+}
+
+func finite(v float64) *float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+func toGoldenEval(ev core.EvalResult) goldenEval {
+	g := goldenEval{Feasible: ev.Feasible, Psys: finite(ev.Psys),
+		Wpump: finite(ev.Wpump), DeltaT: finite(ev.DeltaT)}
+	if ev.Out != nil {
+		g.Tmax = finite(ev.Out.Tmax)
+	}
+	return g
+}
+
+// goldenCase describes one fixture: which benchmark, which network
+// family, and which problem's evaluation procedure scores it.
+type goldenCase struct {
+	name    string
+	caseID  int
+	problem int
+	build   func(b *Benchmark) *network.Network
+}
+
+func straightWest(b *Benchmark) *network.Network {
+	n := network.Straight(b.Stk.Dims, grid.SideWest, 1)
+	b.ApplyKeepout(n)
+	return n
+}
+
+// goldenCases spans the benchmark contract: all five power maps, both
+// problems' evaluation procedures, straight channels plus a branching
+// tree, and the keepout detour of case 3.
+var goldenCases = []goldenCase{
+	{name: "case1_straight_p1", caseID: 1, problem: 1, build: straightWest},
+	{name: "case2_straight_p1", caseID: 2, problem: 1, build: straightWest},
+	{name: "case3_keepout_p1", caseID: 3, problem: 1, build: straightWest},
+	{name: "case4_straight_p1", caseID: 4, problem: 1, build: straightWest},
+	// Case 5 is Problem-1 infeasible for straight channels, so its
+	// fixture pins the Problem 2 (gradient-minimizing) procedure, which
+	// is feasible on every case.
+	{name: "case5_straight_p2", caseID: 5, problem: 2, build: straightWest},
+	{name: "case1_tree_p1", caseID: 1, problem: 1, build: func(b *Benchmark) *network.Network {
+		spec := network.UniformTreeSpec(b.Stk.Dims, 2, network.Branch2, 0.5, 0.5)
+		n, err := network.Tree(b.Stk.Dims, spec)
+		if err != nil {
+			panic(fmt.Sprintf("golden tree fixture: %v", err))
+		}
+		return n
+	}},
+}
+
+// evalGolden runs one fixture's evaluation with the given simulator.
+func evalGolden(t *testing.T, b *Benchmark, sim core.SimFunc, problem int) core.EvalResult {
+	t.Helper()
+	ctx := context.Background()
+	// Bounding the search keeps any infeasible probe sequence short;
+	// every feasible operating point in the corpus sits far below this.
+	opt := core.SearchOptions{PMax: 3e5}
+	var ev core.EvalResult
+	var err error
+	if problem == 1 {
+		ev, err = core.EvaluatePumpMin(ctx, sim, b.DeltaTStar, b.TmaxStar, opt)
+	} else {
+		var out *thermal.Outcome
+		out, err = sim(10e3)
+		if err == nil {
+			budget := core.PressureBudget(b.WpumpStar, out.Rsys)
+			ev, err = core.EvaluateGradMin(ctx, sim, b.TmaxStar, budget, opt)
+		}
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func computeFixture(t *testing.T, gc goldenCase) goldenFixture {
+	t.Helper()
+	b, err := LoadScaled(gc.caseID, goldenDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := gc.build(b)
+	if errs := n.Check(); len(errs) > 0 {
+		t.Fatalf("fixture %s network illegal: %v", gc.name, errs)
+	}
+	sim2, err := b.Sim2RM(n, goldenCoarseM, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim4, err := b.Sim4RM(n, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return goldenFixture{
+		Name:        gc.name,
+		Case:        gc.caseID,
+		Problem:     gc.problem,
+		NetworkHash: n.CanonicalHash(),
+		RM2:         toGoldenEval(evalGolden(t, b, sim2, gc.problem)),
+		RM4:         toGoldenEval(evalGolden(t, b, sim4, gc.problem)),
+	}
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden_"+name+".json")
+}
+
+// relDiff is |a-b| relative to the larger magnitude (0 when both zero).
+func relDiff(a, b float64) float64 {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / scale
+}
+
+func checkEval(t *testing.T, fixture, model string, got, want goldenEval) {
+	t.Helper()
+	if got.Feasible != want.Feasible {
+		t.Errorf("%s %s: feasible = %v, want %v", fixture, model, got.Feasible, want.Feasible)
+		return
+	}
+	// The corpus regression tolerance: tight enough to catch a model or
+	// search change, loose enough to survive benign float reassociation
+	// (e.g. a different but equivalent summation order in the solver).
+	const tol = 1e-6
+	fields := []struct {
+		name      string
+		got, want *float64
+	}{
+		{"psys", got.Psys, want.Psys},
+		{"wpump", got.Wpump, want.Wpump},
+		{"delta_t", got.DeltaT, want.DeltaT},
+		{"tmax", got.Tmax, want.Tmax},
+	}
+	for _, f := range fields {
+		if (f.got == nil) != (f.want == nil) {
+			t.Errorf("%s %s: %s finiteness changed (got %v, want %v)", fixture, model, f.name, f.got, f.want)
+			continue
+		}
+		if f.got == nil {
+			continue
+		}
+		if d := relDiff(*f.got, *f.want); d > tol {
+			t.Errorf("%s %s: %s = %.12g, golden %.12g (rel diff %.3g > %g)",
+				fixture, model, f.name, *f.got, *f.want, d, tol)
+		}
+	}
+}
+
+// TestGoldenCorpus recomputes every fixture with both thermal models and
+// compares against the committed goldens. Run with -update to rewrite
+// them after an intentional physics or search change.
+func TestGoldenCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evaluates 2RM and 4RM fixtures")
+	}
+	for _, gc := range goldenCases {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			t.Parallel()
+			got := computeFixture(t, gc)
+			path := goldenPath(gc.name)
+			if *updateGolden {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", path)
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			var want goldenFixture
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatal(err)
+			}
+			if got.NetworkHash != want.NetworkHash {
+				t.Fatalf("%s: fixture network hash %s, golden %s — the fixture generator changed",
+					gc.name, got.NetworkHash, want.NetworkHash)
+			}
+			checkEval(t, gc.name, "2rm", got.RM2, want.RM2)
+			checkEval(t, gc.name, "4rm", got.RM4, want.RM4)
+		})
+	}
+}
+
+// TestGoldenModelAgreement is the differential check behind the paper's
+// accuracy claim: the coarse 2RM model must track the accurate 4RM model
+// closely enough to steer the optimizer. Bounds are empirical for this
+// corpus with roughly 2x margin; a regression that widens the gap beyond
+// them means the coarse model has stopped being a usable surrogate.
+func TestGoldenModelAgreement(t *testing.T) {
+	for _, gc := range goldenCases {
+		data, err := os.ReadFile(goldenPath(gc.name))
+		if err != nil {
+			t.Fatalf("missing golden (run TestGoldenCorpus with -update): %v", err)
+		}
+		var fx goldenFixture
+		if err := json.Unmarshal(data, &fx); err != nil {
+			t.Fatal(err)
+		}
+		if fx.RM2.Feasible != fx.RM4.Feasible {
+			t.Errorf("%s: models disagree on feasibility (2rm=%v, 4rm=%v)",
+				fx.Name, fx.RM2.Feasible, fx.RM4.Feasible)
+			continue
+		}
+		if !fx.RM2.Feasible {
+			continue
+		}
+		type bound struct {
+			name     string
+			rm2, rm4 *float64
+			maxRel   float64
+		}
+		for _, b := range []bound{
+			// The chosen operating point and its pumping power reflect
+			// where each model's constraint curve crosses the limits.
+			{"psys", fx.RM2.Psys, fx.RM4.Psys, 0.35},
+			{"wpump", fx.RM2.Wpump, fx.RM4.Wpump, 0.60},
+			// The physical fields themselves agree much more tightly.
+			{"delta_t", fx.RM2.DeltaT, fx.RM4.DeltaT, 0.30},
+			{"tmax", fx.RM2.Tmax, fx.RM4.Tmax, 0.03},
+		} {
+			if b.rm2 == nil || b.rm4 == nil {
+				continue
+			}
+			if d := relDiff(*b.rm2, *b.rm4); d > b.maxRel {
+				t.Errorf("%s: 2RM-vs-4RM %s diverges: %.6g vs %.6g (rel %.3g > %.2g)",
+					fx.Name, b.name, *b.rm2, *b.rm4, d, b.maxRel)
+			}
+		}
+	}
+}

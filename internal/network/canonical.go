@@ -10,7 +10,7 @@ import (
 
 // canonicalVersion tags the canonical serialization so the hash can be
 // evolved without silently aliasing old keys.
-const canonicalVersion = "lcn-net-v1"
+const canonicalVersion = "lcn-net-v2"
 
 // AppendCanonical appends a canonical binary serialization of the network
 // to buf and returns the extended slice. The encoding is stable across
@@ -29,16 +29,19 @@ func (n *Network) AppendCanonical(buf []byte) []byte {
 	putU64(uint64(n.Dims.NY))
 
 	// Cell flags, packed two cells per byte (liquid, TSV, keepout bits).
-	// A TSV flag under a keepout cell is masked: liquid is forbidden there
-	// either way, and the art file format renders keepout over TSV, so
-	// masking makes load(save(N)) canonically identical to N.
+	// A TSV flag under a liquid or keepout cell is masked: the art file
+	// format renders those states over TSV, and a flooded-through or
+	// blocked via site is the same physical design either way, so masking
+	// makes load(save(N)) canonically identical to N. (CarveKeepout's
+	// detour ring routes liquid straight across TSV sites, so the
+	// liquid-over-TSV overlap occurs on real benchmark networks.)
 	var b byte
 	for i := 0; i < n.Dims.N(); i++ {
 		var c byte
 		if n.Liquid[i] {
 			c |= 1
 		}
-		if n.TSV[i] && !n.Keepout[i] {
+		if n.TSV[i] && !n.Keepout[i] && !n.Liquid[i] {
 			c |= 2
 		}
 		if n.Keepout[i] {

@@ -39,7 +39,14 @@ var sidesByName = map[string]grid.Side{
 	"west": grid.SideWest, "south": grid.SideSouth,
 }
 
-// Read parses a network written by Write.
+// MaxEncodedDim bounds the per-axis grid size Read will allocate for.
+// Real designs top out near 101x101; the bound exists so a malformed or
+// hostile header ("network 999999999 999999999") fails fast instead of
+// attempting a multi-gigabyte allocation.
+const MaxEncodedDim = 4096
+
+// Read parses a network written by Write. Untrusted input is safe: grid
+// dimensions are bounded by MaxEncodedDim before any allocation.
 func Read(r io.Reader) (*Network, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
@@ -64,6 +71,9 @@ func Read(r io.Reader) (*Network, error) {
 			ny, err2 := strconv.Atoi(f[2])
 			if err1 != nil || err2 != nil || nx < 1 || ny < 1 {
 				return nil, fail("bad dimensions %q", line)
+			}
+			if nx > MaxEncodedDim || ny > MaxEncodedDim {
+				return nil, fail("dimensions %dx%d exceed limit %d", nx, ny, MaxEncodedDim)
 			}
 			n = NewFree(grid.Dims{NX: nx, NY: ny})
 		case "port":

@@ -1,0 +1,142 @@
+package network
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lcn3d/internal/grid"
+)
+
+// FuzzNetworkLoad drives Read with arbitrary bytes. Two properties must
+// hold: Read never panics or over-allocates (the MaxEncodedDim bound),
+// and any input it accepts survives a Write/Read round trip with its
+// canonical hash intact — i.e. everything Read admits, Write can
+// faithfully persist.
+func FuzzNetworkLoad(f *testing.F) {
+	// Seed with every generator family so the fuzzer starts from valid
+	// files and mutates toward the interesting malformed neighborhood.
+	d := grid.Dims{NX: 11, NY: 11}
+	seeds := []*Network{
+		Straight(d, grid.SideWest, 1),
+		Serpentine(d),
+		Mesh(d, 1, 2),
+		Comb(d, 1),
+	}
+	if tr, err := Tree(d, UniformTreeSpec(d, 1, Branch4, 0.35, 0.65)); err == nil {
+		seeds = append(seeds, tr)
+	}
+	for _, n := range seeds {
+		var buf bytes.Buffer
+		if err := Write(&buf, n); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// Malformed neighborhoods the parser must reject cleanly.
+	for _, s := range []string{
+		"",
+		"network 3 3\nrows\n###\n",
+		"network 999999999 999999999\n",
+		"network 3 3\nport west inlet 0 99\nrows\n###\n###\n###\nend\n",
+		"port west inlet 0 0\n",
+		"network 2 2\nrows\n#?\n##\nend\n",
+	} {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics and hangs are not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, n); err != nil {
+			t.Fatalf("write of parsed network failed: %v", err)
+		}
+		m, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written network failed: %v\nfile:\n%s", err, buf.String())
+		}
+		if m.CanonicalHash() != n.CanonicalHash() {
+			t.Fatalf("round trip changed canonical hash\nfile:\n%s", buf.String())
+		}
+	})
+}
+
+// TestReadRejectsOversizedDims pins the allocation bound directly (the
+// fuzzer only proves it probabilistically).
+func TestReadRejectsOversizedDims(t *testing.T) {
+	for _, hdr := range []string{
+		"network 4097 3\n", "network 3 4097\n", "network 1000000000 1000000000\n",
+	} {
+		if _, err := Read(strings.NewReader(hdr + "rows\nend\n")); err == nil {
+			t.Errorf("%q accepted", strings.TrimSpace(hdr))
+		}
+	}
+	// The boundary itself is legal.
+	ok := "network 4096 1\nrows\n" + strings.Repeat("#", 4096) + "\nend\n"
+	if _, err := Read(strings.NewReader(ok)); err != nil {
+		t.Errorf("4096-wide network rejected: %v", err)
+	}
+}
+
+// randomizedNetwork perturbs a random generator family: extra port
+// spans, random keepout rectangles, random liquid flips that leave the
+// network decodable (legality by Check is not required for encode round
+// trips — the format persists any grid). Widths stay empty because the
+// file format does not carry them.
+func randomizedNetwork(rng *rand.Rand) *Network {
+	d := grid.Dims{NX: 7 + rng.Intn(30), NY: 7 + rng.Intn(30)}
+	var n *Network
+	switch rng.Intn(4) {
+	case 0:
+		n = Straight(d, grid.Side(rng.Intn(4)), 1+rng.Intn(3))
+	case 1:
+		n = Serpentine(d)
+	case 2:
+		n = Mesh(d, 1+rng.Intn(3), 1+rng.Intn(3))
+	default:
+		n = Comb(d, 1+rng.Intn(3))
+	}
+	if rng.Intn(2) == 0 {
+		x0, y0 := rng.Intn(d.NX/2), rng.Intn(d.NY/2)
+		CarveKeepout(n, x0, y0, x0+1+rng.Intn(d.NX/2), y0+1+rng.Intn(d.NY/2))
+	}
+	for i := rng.Intn(4); i > 0; i-- {
+		n.AddPort(grid.Side(rng.Intn(4)), PortKind(rng.Intn(2)),
+			rng.Intn(d.NY), rng.Intn(d.NY))
+	}
+	for i := rng.Intn(20); i > 0; i-- {
+		c := rng.Intn(d.N())
+		n.Liquid[c] = !n.Liquid[c]
+		if n.Liquid[c] {
+			n.TSV[c] = false
+			n.Keepout[c] = false
+		}
+	}
+	return n
+}
+
+// TestSaveLoadCanonicalHashRandomized extends the family round-trip test
+// to randomized perturbations: for any width-free network the generators
+// and mutations can produce, load(save(N)) is canonically identical.
+func TestSaveLoadCanonicalHashRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1789))
+	for i := 0; i < 200; i++ {
+		n := randomizedNetwork(rng)
+		var buf bytes.Buffer
+		if err := Write(&buf, n); err != nil {
+			t.Fatalf("draw %d: write: %v", i, err)
+		}
+		saved := buf.String()
+		got, err := Read(strings.NewReader(saved))
+		if err != nil {
+			t.Fatalf("draw %d: read: %v\nfile:\n%s", i, err, saved)
+		}
+		if gh, wh := got.CanonicalHash(), n.CanonicalHash(); gh != wh {
+			t.Fatalf("draw %d: load(save(N)) hash %s != %s\nfile:\n%s", i, gh, wh, saved)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -17,7 +18,10 @@ const maxBodyBytes = 8 << 20
 //
 //	POST /v1/simulate   one flow+thermal probe at a fixed pressure
 //	POST /v1/evaluate   Algorithm 2/3 lowest-feasible-P_sys evaluation
-//	GET  /v1/metrics    counters, rates, and latency quantiles as JSON
+//	POST /v1/optimize   multi-chain SA optimization; single job or a
+//	                    {"jobs": [...]} batch fanned through the pool
+//	GET  /v1/metrics    counters, rates, latency quantiles, and live
+//	                    per-chain optimization progress as JSON
 //	GET  /healthz       "ok" (200) or "draining" (503)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -37,6 +41,29 @@ func (s *Service) Handler() http.Handler {
 		buf, err := s.Evaluate(r.Context(), req)
 		writeResult(w, buf, err)
 	})
+	mux.HandleFunc("POST /v1/optimize", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		// The endpoint accepts either a single job or a {"jobs": [...]}
+		// batch; the envelope is tried first because a single job cannot
+		// contain a "jobs" field.
+		var batch OptimizeBatchRequest
+		if err := strictUnmarshal(body, &batch); err == nil && batch.Jobs != nil {
+			buf, err := s.OptimizeBatch(r.Context(), batch)
+			writeResult(w, buf, err)
+			return
+		}
+		var req OptimizeRequest
+		if err := strictUnmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		buf, err := s.Optimize(r.Context(), req)
+		writeResult(w, buf, err)
+	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Metrics())
 	})
@@ -48,6 +75,14 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
+}
+
+// strictUnmarshal decodes with unknown-field rejection, the same policy
+// decodeJSON applies to streamed bodies.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {

@@ -28,6 +28,8 @@ type metrics struct {
 	queueDepth atomic.Int64 // waiting for a worker slot
 	inFlight   atomic.Int64 // holding a worker slot
 
+	optimizeRuns atomic.Int64 // optimization jobs actually computed
+
 	lat latencyRing
 }
 
@@ -116,10 +118,21 @@ type MetricsSnapshot struct {
 
 	Factor FactorSnapshot `json:"factor"`
 
+	Optimize OptimizeSnapshot `json:"optimize"`
+
 	// Faults reports per-point fault-injection counters when injection
 	// is armed (absent otherwise), so chaos runs can assert their plan
 	// actually fired.
 	Faults map[string]faults.Stat `json:"faults,omitempty"`
+}
+
+// OptimizeSnapshot reports optimization activity: total jobs computed
+// (cache hits excluded) and the live per-chain SA positions of every
+// job currently running.
+type OptimizeSnapshot struct {
+	Runs   int64              `json:"runs"`
+	Active int                `json:"active"`
+	Jobs   []OptimizeProgress `json:"jobs,omitempty"`
 }
 
 func ratio(num, den int64) float64 {

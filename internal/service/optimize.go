@@ -1,0 +1,327 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"lcn3d/internal/anneal"
+	"lcn3d/internal/core"
+	"lcn3d/internal/network"
+)
+
+// OptimizeRequest runs the multi-chain SA optimizer (Algorithm 1) on a
+// benchmark case and returns the best network found. Unlike simulate and
+// evaluate, no input network is given: the optimizer searches the tree
+// topology space itself.
+type OptimizeRequest struct {
+	CaseRef
+	// Problem selects the formulation: 1 = pumping-power minimization
+	// (default), 2 = gradient minimization.
+	Problem int `json:"problem,omitempty"`
+	// Seed pins the SA. A (seed, chains) pair gives bitwise-reproducible
+	// results regardless of server core count.
+	Seed int64 `json:"seed,omitempty"`
+	// Chains is the number of SA replicas (0 = stage default, max 32).
+	Chains int `json:"chains,omitempty"`
+	// ExchangeEvery is the iteration period of best-state exchange
+	// barriers (0 = default, negative = independent chains).
+	ExchangeEvery int `json:"exchange_every,omitempty"`
+	// NumTrees fixes the tree count and Branch the leaves per tree
+	// (2|4|8); zero sweeps structures automatically.
+	NumTrees int `json:"num_trees,omitempty"`
+	Branch   int `json:"branch,omitempty"`
+	// CoarseM is the 2RM coarsening of the fast SA stages (default 4).
+	CoarseM int  `json:"coarse_m,omitempty"`
+	Upwind  bool `json:"upwind,omitempty"`
+	// WpumpStar overrides the case's Problem 2 pumping budget (W).
+	WpumpStar float64 `json:"wpump_star,omitempty"`
+	// Effort selects the SA schedule: "quick" (default, scaled-down) or
+	// "full" (the paper's Table 1 schedule; slow).
+	Effort    string `json:"effort,omitempty"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+// OptimizeResponse reports the optimized design. The network is returned
+// both as its canonical hash (the cache identity) and as a file in the
+// internal/network save format, directly usable as the "file" field of a
+// later simulate/evaluate request.
+type OptimizeResponse struct {
+	CacheKey string  `json:"cache_key"`
+	Problem  int     `json:"problem"`
+	Feasible bool    `json:"feasible"`
+	Psys     float64 `json:"psys"`
+	// Wpump is 0 (not +Inf) when the result is infeasible.
+	Wpump  float64 `json:"wpump"`
+	DeltaT float64 `json:"delta_t"`
+	Tmax   float64 `json:"tmax,omitempty"`
+	// Evals counts candidate evaluations across all SA stages; Chains,
+	// Exchanges and Adoptions summarize the multi-chain run, and the
+	// cache counters report shared-topology-cache effectiveness (hits are
+	// evaluations answered without re-simulating).
+	Evals        int     `json:"evals"`
+	Chains       int     `json:"chains"`
+	Exchanges    int     `json:"exchanges"`
+	Adoptions    int     `json:"adoptions"`
+	CacheHits    int64   `json:"topo_cache_hits"`
+	CacheMisses  int64   `json:"topo_cache_misses"`
+	CacheHitRate float64 `json:"topo_cache_hit_rate"`
+	NetworkHash  string  `json:"network_hash"`
+	NetworkFile  string  `json:"network_file"`
+}
+
+// OptimizeBatchRequest fans several optimization jobs through the
+// service's worker pool concurrently.
+type OptimizeBatchRequest struct {
+	Jobs      []OptimizeRequest `json:"jobs"`
+	TimeoutMS int               `json:"timeout_ms,omitempty"` // default per job
+}
+
+// OptimizeBatchResponse returns per-job results in request order.
+// Exactly one of Result/Error is set per entry.
+type OptimizeBatchResponse struct {
+	Results []OptimizeBatchEntry `json:"results"`
+}
+
+type OptimizeBatchEntry struct {
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// maxBatchJobs bounds one batch request; larger sweeps should be split
+// so drain and timeout semantics stay predictable.
+const maxBatchJobs = 64
+
+func (r OptimizeRequest) validate() (OptimizeRequest, error) {
+	if r.Problem == 0 {
+		r.Problem = 1
+	}
+	if r.Problem != 1 && r.Problem != 2 {
+		return r, badRequest("problem must be 1 or 2, got %d", r.Problem)
+	}
+	if r.Chains < 0 || r.Chains > 32 {
+		return r, badRequest("chains must be in 0..32, got %d", r.Chains)
+	}
+	if r.NumTrees < 0 || r.NumTrees > 32 {
+		return r, badRequest("num_trees must be in 0..32, got %d", r.NumTrees)
+	}
+	switch r.Branch {
+	case 0, 2, 4, 8:
+	default:
+		return r, badRequest("branch must be 2, 4 or 8, got %d", r.Branch)
+	}
+	switch r.Effort {
+	case "":
+		r.Effort = "quick"
+	case "quick", "full":
+	default:
+		return r, badRequest("effort must be quick or full, got %q", r.Effort)
+	}
+	return r, nil
+}
+
+func (r OptimizeRequest) branchType() network.BranchType {
+	switch r.Branch {
+	case 2:
+		return network.Branch2
+	case 8:
+		return network.Branch8
+	default:
+		return network.Branch4
+	}
+}
+
+// stages returns the SA schedule for the requested effort (nil selects
+// the scaled-down default inside core).
+func (r OptimizeRequest) stages() []core.Stage {
+	if r.Effort != "full" {
+		return nil
+	}
+	if r.Problem == 1 {
+		return []core.Stage{
+			{Iterations: 60, Rounds: 8, Step: 8, FixedPsys: true},
+			{Iterations: 40, Rounds: 4, Step: 8},
+			{Iterations: 40, Rounds: 2, Step: 2},
+			{Iterations: 30, Rounds: 1, Step: 2, Use4RM: true},
+		}
+	}
+	return []core.Stage{
+		{Iterations: 80, Rounds: 8, Step: 8, GroupSize: 5},
+		{Iterations: 20, Rounds: 2, Step: 2, GroupSize: 5},
+		{Iterations: 20, Rounds: 1, Step: 2, Use4RM: true, GroupSize: 5},
+	}
+}
+
+// optimizeKey content-addresses an optimization job: every field that
+// can change the result participates; fields that only change wall-clock
+// (timeout) do not.
+func optimizeKey(r OptimizeRequest) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "lcn-serve-v1|optimize|case=%d|scale=%d|problem=%d|seed=%d|chains=%d|exch=%d|trees=%d|branch=%d|m=%d|upwind=%v|effort=%s|",
+		r.Case, r.Scale, r.Problem, r.Seed, r.Chains, r.ExchangeEvery,
+		r.NumTrees, r.Branch, r.CoarseM, r.Upwind, r.Effort)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], floatBits(r.WpumpStar))
+	h.Write(buf[:])
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// OptimizeProgress is one running job's per-chain SA position, exported
+// under /v1/metrics while the job computes.
+type OptimizeProgress struct {
+	Key    string                 `json:"key"`
+	Stage  int                    `json:"stage"`
+	Chains []anneal.ChainProgress `json:"chains"`
+}
+
+// optTracker holds live per-job progress. Jobs are keyed by cache key,
+// so deduplicated identical jobs share one entry.
+type optTracker struct {
+	mu   sync.Mutex
+	jobs map[string]*OptimizeProgress
+}
+
+func (t *optTracker) update(key string, stage int, chains []anneal.ChainProgress) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.jobs == nil {
+		t.jobs = make(map[string]*OptimizeProgress)
+	}
+	cp := make([]anneal.ChainProgress, len(chains))
+	copy(cp, chains)
+	t.jobs[key] = &OptimizeProgress{Key: key, Stage: stage, Chains: cp}
+}
+
+func (t *optTracker) done(key string) {
+	t.mu.Lock()
+	delete(t.jobs, key)
+	t.mu.Unlock()
+}
+
+func (t *optTracker) snapshot() []OptimizeProgress {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]OptimizeProgress, 0, len(t.jobs))
+	for _, j := range t.jobs {
+		out = append(out, *j)
+	}
+	return out
+}
+
+// Optimize runs (or serves from cache) one optimization job. Identical
+// jobs — same case, problem, seed, chain count, schedule — are answered
+// from the result cache bitwise identically; the SA itself is
+// deterministic for a fixed (seed, chains), so a cache hit and a rerun
+// agree.
+func (s *Service) Optimize(ctx context.Context, req OptimizeRequest) ([]byte, error) {
+	req, err := req.validate()
+	if err != nil {
+		s.met.errors.Add(1)
+		return nil, err
+	}
+	b, scale, err := s.bench(req.CaseRef)
+	if err != nil {
+		s.met.errors.Add(1)
+		return nil, err
+	}
+	req.Scale = scale // pin the effective scale into the cache key
+	key := optimizeKey(req)
+	return s.do(ctx, key, req.TimeoutMS, func(ctx context.Context) (any, error) {
+		s.met.optimizeRuns.Add(1)
+		defer s.opt.done(key)
+		in := b.Instance // copy: WpumpStar override must not leak across jobs
+		if req.Problem == 2 && req.WpumpStar > 0 {
+			in.WpumpStar = req.WpumpStar
+		}
+		opt := core.Options{
+			Stages:        req.stages(),
+			NumTrees:      req.NumTrees,
+			BranchType:    req.branchType(),
+			CoarseM:       req.CoarseM,
+			Seed:          req.Seed,
+			Chains:        req.Chains,
+			ExchangeEvery: req.ExchangeEvery,
+			Search:        s.cfg.Search,
+			Progress: func(stage int, chains []anneal.ChainProgress) {
+				s.opt.update(key, stage, chains)
+			},
+		}
+		if req.Upwind {
+			opt.Scheme = ModelSpec{Upwind: true}.scheme()
+		}
+		var sol *core.Solution
+		var solveErr error
+		if req.Problem == 1 {
+			sol, solveErr = in.SolveProblem1Ctx(ctx, opt)
+		} else {
+			sol, solveErr = in.SolveProblem2Ctx(ctx, opt)
+		}
+		if solveErr != nil {
+			return nil, solveErr
+		}
+		var file strings.Builder
+		if err := network.Write(&file, sol.Net); err != nil {
+			return nil, fmt.Errorf("service: encode optimized network: %w", err)
+		}
+		resp := &OptimizeResponse{
+			CacheKey: key, Problem: req.Problem, Feasible: sol.Eval.Feasible,
+			Psys: sol.Eval.Psys, DeltaT: sol.Eval.DeltaT,
+			Evals: sol.Evals, Chains: sol.Chains,
+			Exchanges: sol.Exchanges, Adoptions: sol.Adoptions,
+			CacheHits: sol.Cache.Hits, CacheMisses: sol.Cache.Misses,
+			CacheHitRate: sol.Cache.HitRate(),
+			NetworkHash:  sol.Net.CanonicalHash(), NetworkFile: file.String(),
+		}
+		if !math.IsInf(sol.Eval.Wpump, 0) && !math.IsNaN(sol.Eval.Wpump) {
+			resp.Wpump = sol.Eval.Wpump
+		}
+		if sol.Eval.Out != nil {
+			resp.Tmax = sol.Eval.Out.Tmax
+		}
+		return resp, nil
+	})
+}
+
+// OptimizeBatch fans the batch's jobs out concurrently; each job runs
+// through the same admission, cache, dedup, and worker pool as a single
+// request, so the pool bounds total compute and cancellation of the
+// batch context stops every job at its next probe.
+func (s *Service) OptimizeBatch(ctx context.Context, batch OptimizeBatchRequest) ([]byte, error) {
+	if len(batch.Jobs) == 0 {
+		s.met.errors.Add(1)
+		return nil, badRequest("batch has no jobs")
+	}
+	if len(batch.Jobs) > maxBatchJobs {
+		s.met.errors.Add(1)
+		return nil, badRequest("batch has %d jobs, limit %d", len(batch.Jobs), maxBatchJobs)
+	}
+	resp := OptimizeBatchResponse{Results: make([]OptimizeBatchEntry, len(batch.Jobs))}
+	var wg sync.WaitGroup
+	for i, job := range batch.Jobs {
+		if job.TimeoutMS == 0 {
+			job.TimeoutMS = batch.TimeoutMS
+		}
+		wg.Add(1)
+		go func(i int, job OptimizeRequest) {
+			defer wg.Done()
+			buf, err := s.Optimize(ctx, job)
+			if err != nil {
+				resp.Results[i] = OptimizeBatchEntry{Error: err.Error()}
+				return
+			}
+			resp.Results[i] = OptimizeBatchEntry{Result: json.RawMessage(buf)}
+		}(i, job)
+	}
+	wg.Wait()
+	out, err := json.Marshal(resp)
+	if err != nil {
+		return nil, fmt.Errorf("service: marshal batch response: %w", err)
+	}
+	return out, nil
+}

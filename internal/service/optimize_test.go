@@ -1,0 +1,204 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// optReq is a small deterministic optimization job: fixed structure and
+// a single orientation keep it to a handful of SA evaluations.
+func optReq() OptimizeRequest {
+	return OptimizeRequest{
+		CaseRef:  CaseRef{Case: 1, Scale: 15},
+		Problem:  1,
+		Seed:     7,
+		Chains:   2,
+		NumTrees: 2,
+		Branch:   2,
+		CoarseM:  3,
+	}
+}
+
+func decodeOpt(t *testing.T, buf []byte) OptimizeResponse {
+	t.Helper()
+	var resp OptimizeResponse
+	if err := json.Unmarshal(buf, &resp); err != nil {
+		t.Fatalf("bad optimize response %s: %v", buf, err)
+	}
+	return resp
+}
+
+// TestOptimizeDeterministicAndCached: a repeated identical job is served
+// from the result cache bitwise identically, and an explicit rerun on a
+// fresh service reproduces the same network (SA determinism surviving
+// the service plumbing).
+func TestOptimizeDeterministicAndCached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the SA optimizer")
+	}
+	s := testService(t, Config{})
+	buf1, err := s.Optimize(context.Background(), optReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2, err := s.Optimize(context.Background(), optReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1, buf2) {
+		t.Fatal("repeated identical job returned different bytes")
+	}
+	m := s.Metrics()
+	if m.CacheHits < 1 || m.Optimize.Runs != 1 {
+		t.Fatalf("expected 1 computed run and a cache hit, got runs=%d hits=%d",
+			m.Optimize.Runs, m.CacheHits)
+	}
+
+	fresh := testService(t, Config{})
+	buf3, err := fresh.Optimize(context.Background(), optReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r3 := decodeOpt(t, buf1), decodeOpt(t, buf3)
+	if r1.NetworkHash != r3.NetworkHash || r1.Wpump != r3.Wpump || r1.Evals != r3.Evals {
+		t.Fatalf("rerun on fresh service diverged: %+v vs %+v", r1, r3)
+	}
+	if r1.Chains != 2 {
+		t.Fatalf("chains = %d, want 2", r1.Chains)
+	}
+	if r1.Evals <= 0 || r1.CacheHits+r1.CacheMisses == 0 {
+		t.Fatalf("missing SA bookkeeping: %+v", r1)
+	}
+}
+
+// TestOptimizeNetworkFileRoundTrips: the returned network file must be
+// directly usable as the input of an evaluate request, and its canonical
+// identity must match the reported hash.
+func TestOptimizeNetworkFileRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the SA optimizer")
+	}
+	s := testService(t, Config{})
+	buf, err := s.Optimize(context.Background(), optReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := decodeOpt(t, buf)
+	if r.NetworkFile == "" || !strings.HasPrefix(r.NetworkFile, "network ") {
+		t.Fatalf("network_file missing or malformed: %q", r.NetworkFile)
+	}
+	evalBuf, err := s.Evaluate(context.Background(), EvaluateRequest{
+		CaseRef:   CaseRef{Case: 1, Scale: 15},
+		ModelSpec: ModelSpec{Model: "4rm"},
+		Network:   NetworkSpec{File: r.NetworkFile},
+	})
+	if err != nil {
+		t.Fatalf("evaluate of optimized network: %v", err)
+	}
+	var ev EvaluateResponse
+	if err := json.Unmarshal(evalBuf, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Feasible {
+		t.Fatal("optimized network should evaluate feasible")
+	}
+}
+
+// TestOptimizeBatch fans three jobs (two identical) through the pool:
+// order-preserving results, dedup of the identical pair, and per-job
+// error isolation for the malformed one.
+func TestOptimizeBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the SA optimizer")
+	}
+	s := testService(t, Config{})
+	bad := optReq()
+	bad.Problem = 3
+	batch := OptimizeBatchRequest{Jobs: []OptimizeRequest{optReq(), bad, optReq()}}
+	buf, err := s.OptimizeBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp OptimizeBatchResponse
+	if err := json.Unmarshal(buf, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("want 3 results, got %d", len(resp.Results))
+	}
+	if resp.Results[1].Error == "" || resp.Results[1].Result != nil {
+		t.Fatalf("job 2 should fail: %+v", resp.Results[1])
+	}
+	if resp.Results[0].Error != "" || resp.Results[2].Error != "" {
+		t.Fatalf("good jobs failed: %+v", resp.Results)
+	}
+	if !bytes.Equal(resp.Results[0].Result, resp.Results[2].Result) {
+		t.Fatal("identical jobs in one batch returned different bytes")
+	}
+	if s.Metrics().Optimize.Runs != 1 {
+		t.Fatalf("identical jobs should compute once, ran %d times", s.Metrics().Optimize.Runs)
+	}
+}
+
+// TestOptimizeHTTP drives the endpoint through the HTTP handler in both
+// shapes, and checks progress tracking is exported (and cleared) via the
+// metrics document.
+func TestOptimizeHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the SA optimizer")
+	}
+	s := testService(t, Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	post := func(body string) (int, []byte) {
+		t.Helper()
+		resp, err := srv.Client().Post(srv.URL+"/v1/optimize", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out bytes.Buffer
+		out.ReadFrom(resp.Body)
+		return resp.StatusCode, out.Bytes()
+	}
+
+	code, body := post(`{"case":1,"scale":15,"seed":7,"chains":2,"num_trees":2,"branch":2,"coarse_m":3}`)
+	if code != 200 {
+		t.Fatalf("single job: status %d body %s", code, body)
+	}
+	single := decodeOpt(t, body)
+	if single.NetworkHash == "" {
+		t.Fatalf("no network hash in %s", body)
+	}
+
+	code, body = post(`{"jobs":[{"case":1,"scale":15,"seed":7,"chains":2,"num_trees":2,"branch":2,"coarse_m":3}]}`)
+	if code != 200 {
+		t.Fatalf("batch: status %d body %s", code, body)
+	}
+	var batchResp OptimizeBatchResponse
+	if err := json.Unmarshal(body, &batchResp); err != nil || len(batchResp.Results) != 1 {
+		t.Fatalf("bad batch response %s (%v)", body, err)
+	}
+
+	if code, body = post(`{"case":1,"chains":99}`); code != 400 {
+		t.Fatalf("chains out of range: status %d body %s", code, body)
+	}
+	if code, body = post(`{"bogus":1}`); code != 400 {
+		t.Fatalf("unknown field: status %d body %s", code, body)
+	}
+
+	// Progress entries are transient: after completion the metrics
+	// snapshot must report no active optimization jobs.
+	m := s.Metrics()
+	if m.Optimize.Active != 0 || len(m.Optimize.Jobs) != 0 {
+		t.Fatalf("stale progress entries: %+v", m.Optimize)
+	}
+	if m.Optimize.Runs < 1 {
+		t.Fatal("optimize runs not counted")
+	}
+}

@@ -97,6 +97,7 @@ type Service struct {
 	sem chan struct{} // worker slots
 
 	met metrics
+	opt optTracker // live per-job SA progress for /v1/metrics
 
 	drainMu  sync.Mutex
 	drainCV  *sync.Cond
@@ -510,6 +511,9 @@ func (s *Service) Metrics() MetricsSnapshot {
 	if snap.Factor.Probes > 0 {
 		snap.Factor.WarmStartRate = float64(snap.Factor.WarmStarts) / float64(snap.Factor.Probes)
 	}
+	snap.Optimize.Runs = s.met.optimizeRuns.Load()
+	snap.Optimize.Jobs = s.opt.snapshot()
+	snap.Optimize.Active = len(snap.Optimize.Jobs)
 	snap.Faults = faults.Snapshot()
 	return snap
 }
