@@ -34,7 +34,25 @@ type benchEntry struct {
 	SolveItersPerOp float64 `json:"solve_iters_per_op"`
 	WarmStartRate   float64 `json:"warm_start_rate"`
 	PrecondBuilds   int     `json:"precond_builds"`
-	AssemblyNsPerOp int64   `json:"assembly_ns_per_op"`
+	// PrecondUpdates counts cheap per-scale multigrid refreshes — the
+	// probes that used to force a full ILU rebuild (the precond churn).
+	PrecondUpdates  int   `json:"precond_updates,omitempty"`
+	AssemblyNsPerOp int64 `json:"assembly_ns_per_op"`
+	// Multigrid carries the per-level V-cycle counters when the entry's
+	// solves routed through the two-level preconditioner.
+	Multigrid *mgCounters `json:"multigrid,omitempty"`
+}
+
+// mgCounters is the JSON shape of solver.MGStats: per-level multigrid
+// work, recorded so iteration-count wins stay auditable against the
+// per-cycle cost that buys them.
+type mgCounters struct {
+	VCycles        int64 `json:"v_cycles"`
+	SmootherSweeps int64 `json:"smoother_sweeps"`
+	SmootherBuilds int64 `json:"smoother_builds"`
+	CoarseSolves   int64 `json:"coarse_solves"`
+	CoarseIters    int64 `json:"coarse_iters"`
+	Updates        int64 `json:"updates"`
 }
 
 // benchReport is the BENCH_<date>.json schema.
@@ -203,17 +221,96 @@ func timeOps(minDur time.Duration, minOps int, op func(i int) error) (int, int64
 
 func entryFromStats(name string, ops int, nsPerOp int64, st thermal.FactorStats) benchEntry {
 	e := benchEntry{Name: name, Ops: ops, NsPerOp: nsPerOp,
-		WarmStartRate: st.WarmStartRate(), PrecondBuilds: st.PrecondBuilds}
+		WarmStartRate: st.WarmStartRate(), PrecondBuilds: st.PrecondBuilds,
+		PrecondUpdates: st.PrecondUpdates}
 	if st.Probes > 0 {
 		e.SolveItersPerOp = float64(st.SolveIters) / float64(ops)
 		e.AssemblyNsPerOp = st.AssemblyNS / int64(ops)
 	}
+	if st.MG.VCycles > 0 {
+		e.Multigrid = &mgCounters{
+			VCycles:        st.MG.VCycles,
+			SmootherSweeps: st.MG.SmootherSweeps,
+			SmootherBuilds: st.MG.SmootherBuilds,
+			CoarseSolves:   st.MG.CoarseSolves,
+			CoarseIters:    st.MG.CoarseIters,
+			Updates:        st.MG.Updates,
+		}
+	}
 	return e
 }
 
+// accumulate folds a fresh model's counters into a cross-model total
+// (the cold and evaluation benches build a new Factored per op).
+func accumulate(dst *thermal.FactorStats, st thermal.FactorStats) {
+	dst.Probes += st.Probes
+	dst.WarmStarts += st.WarmStarts
+	dst.SolveIters += st.SolveIters
+	dst.PrecondBuilds += st.PrecondBuilds
+	dst.PrecondUpdates += st.PrecondUpdates
+	dst.AssemblyNS += st.AssemblyNS
+	dst.MG.Add(st.MG)
+}
+
+// maxPrecondBuildsPerOp is the churn regression bound on the
+// NetworkEvaluation bench: one evaluation runs a few dozen pressure
+// probes, and the static/flow split must amortize the preconditioner
+// across them the way warm starts already are. The historical churn bug
+// rebuilt ~7x per op; the fixed path measures ~1 build per op (plus
+// cheap multigrid updates), so 3 leaves headroom without letting the
+// regression back in.
+const maxPrecondBuildsPerOp = 3.0
+
+// itersRegressionFactor fails a -baseline comparison when
+// NetworkEvaluation solve_iters_per_op grows past baseline times this
+// (the CI perf-smoke threshold: >20% regression).
+const itersRegressionFactor = 1.2
+
+// checkBaseline compares the fresh report against a committed baseline
+// JSON and errors on a NetworkEvaluation iteration-count regression.
+func checkBaseline(report benchReport, path string, logf func(string, ...any)) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	find := func(r benchReport, name string) *benchEntry {
+		for i := range r.Results {
+			if r.Results[i].Name == name {
+				return &r.Results[i]
+			}
+		}
+		return nil
+	}
+	const name = "NetworkEvaluation"
+	want := find(base, name)
+	got := find(report, name)
+	if want == nil || got == nil {
+		return fmt.Errorf("baseline: %s missing from %s", name,
+			map[bool]string{true: path, false: "fresh report"}[got != nil])
+	}
+	if base.Scale != report.Scale {
+		return fmt.Errorf("baseline: scale %d does not match run scale %d", base.Scale, report.Scale)
+	}
+	if logf != nil {
+		logf("baseline %s: %s %.1f iters/op vs %.1f committed",
+			path, name, got.SolveItersPerOp, want.SolveItersPerOp)
+	}
+	if want.SolveItersPerOp > 0 && got.SolveItersPerOp > itersRegressionFactor*want.SolveItersPerOp {
+		return fmt.Errorf("perf regression: %s solve_iters_per_op %.1f > %.2fx baseline %.1f",
+			name, got.SolveItersPerOp, itersRegressionFactor, want.SolveItersPerOp)
+	}
+	return nil
+}
+
 // runMicrobench times the RM2/RM4/NetworkEvaluation hot paths at the
-// given scale and writes BENCH_<date>.json into dir (default ".").
-func runMicrobench(scale int, dir string, logf func(string, ...any)) error {
+// given scale and writes BENCH_<date>.json into dir (default "."). A
+// non-empty baseline names a committed report to regression-check the
+// fresh numbers against (see checkBaseline).
+func runMicrobench(scale int, dir, baseline string, logf func(string, ...any)) error {
 	bench, err := iccad.LoadScaled(1, grid.Dims{NX: scale, NY: scale})
 	if err != nil {
 		return err
@@ -261,11 +358,7 @@ func runMicrobench(scale int, dir string, logf func(string, ...any)) error {
 		if _, err := m.Simulate(benchProbes[i%len(benchProbes)]); err != nil {
 			return err
 		}
-		st := m.FactorStats()
-		coldStats.Probes += st.Probes
-		coldStats.SolveIters += st.SolveIters
-		coldStats.PrecondBuilds += st.PrecondBuilds
-		coldStats.AssemblyNS += st.AssemblyNS
+		accumulate(&coldStats, m.FactorStats())
 		return nil
 	})
 	if err != nil {
@@ -287,28 +380,43 @@ func runMicrobench(scale int, dir string, logf func(string, ...any)) error {
 	add("RM2Simulate/m=4", ops, ns, m2.FactorStats())
 
 	// Algorithm 2 end to end: fresh network, a few dozen probes inside.
-	var evalStats thermal.FactorStats
-	ops, ns, err = timeOps(minDur, 2, func(i int) error {
-		mod, err := rm2.New(bench.Stk, nets, 4, thermal.Central)
-		if err != nil {
-			return err
-		}
-		if _, err := core.EvaluatePumpMin(context.Background(), core.Memo(mod.Simulate),
-			bench.DeltaTStar, bench.TmaxStar, core.SearchOptions{}); err != nil {
-			return err
-		}
-		st := mod.FactorStats()
-		evalStats.Probes += st.Probes
-		evalStats.SolveIters += st.SolveIters
-		evalStats.WarmStarts += st.WarmStarts
-		evalStats.PrecondBuilds += st.PrecondBuilds
-		evalStats.AssemblyNS += st.AssemblyNS
-		return nil
-	})
+	// Timed once per preconditioning strategy: the default entry is the
+	// auto policy the evaluation stack ships with, and the ilu0/multigrid
+	// variants pin both sides of the comparison in the same report.
+	networkEval := func() (int, int64, thermal.FactorStats, error) {
+		var stats thermal.FactorStats
+		ops, ns, err := timeOps(minDur, 2, func(i int) error {
+			mod, err := rm2.New(bench.Stk, nets, 4, thermal.Central)
+			if err != nil {
+				return err
+			}
+			if _, err := core.EvaluatePumpMin(context.Background(), core.Memo(mod.Simulate),
+				bench.DeltaTStar, bench.TmaxStar, core.SearchOptions{}); err != nil {
+				return err
+			}
+			accumulate(&stats, mod.FactorStats())
+			return nil
+		})
+		return ops, ns, stats, err
+	}
+	ops, ns, evalStats, err := networkEval()
 	if err != nil {
 		return fmt.Errorf("NetworkEvaluation: %w", err)
 	}
 	add("NetworkEvaluation", ops, ns, evalStats)
+	if perOp := float64(evalStats.PrecondBuilds) / float64(max(ops, 1)); perOp > maxPrecondBuildsPerOp {
+		return fmt.Errorf("precond churn regression: %.1f precond_builds/op on NetworkEvaluation (bound %.1f) — rebuilds are not amortized across pressure probes",
+			perOp, maxPrecondBuildsPerOp)
+	}
+	for _, strat := range []thermal.PrecondStrategy{thermal.PrecondILU, thermal.PrecondMG} {
+		thermal.SetPrecondStrategy(strat)
+		ops, ns, st, err := networkEval()
+		thermal.SetPrecondStrategy(thermal.PrecondAuto)
+		if err != nil {
+			return fmt.Errorf("NetworkEvaluation/%v: %w", strat, err)
+		}
+		add(fmt.Sprintf("NetworkEvaluation/%v", strat), ops, ns, st)
+	}
 
 	report.Optimize, err = optimizeComparison()
 	if err != nil {
@@ -343,5 +451,8 @@ func runMicrobench(scale int, dir string, logf func(string, ...any)) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
+	if baseline != "" {
+		return checkBaseline(report, baseline, logf)
+	}
 	return nil
 }

@@ -29,6 +29,7 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale sweeps and SA schedules (slow)")
 	seed := flag.Int64("seed", 1, "SA seed")
 	dir := flag.String("dir", "", "directory for PPM image artifacts")
+	baseline := flag.String("baseline", "", "committed BENCH json to regression-check -exp bench against (>20% NetworkEvaluation solve_iters_per_op growth fails)")
 	verbose := flag.Bool("v", false, "log progress")
 	flag.Parse()
 
@@ -65,7 +66,7 @@ func main() {
 		"fig10":  experiments.Fig10,
 		"extras": experiments.Extras,
 		"bench": func(c experiments.Config) error {
-			return runMicrobench(c.Scale, *dir, cfg.Logf)
+			return runMicrobench(c.Scale, *dir, *baseline, cfg.Logf)
 		},
 	}
 

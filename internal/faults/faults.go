@@ -64,12 +64,21 @@ const (
 	// ServicePanic panics on the service compute path after the worker
 	// slot is taken, exercising panic containment end to end.
 	ServicePanic Point = "service.panic"
+	// MGSmoother poisons the multigrid V-cycle after the pre-smoothing
+	// sweeps, so the outer solve breaks down and climbs the ladder off
+	// the multigrid preconditioner.
+	MGSmoother Point = "solver.mg.smoother"
+	// MGRestrict poisons the restricted coarse-grid residual.
+	MGRestrict Point = "solver.mg.restrict"
+	// MGCoarse poisons the coarse-grid correction after the coarse solve.
+	MGCoarse Point = "solver.mg.coarse"
 )
 
 // Points lists every registered injection point.
 var Points = []Point{
 	CGBreakdown, BiCGBreakdown, GMRESBreakdown, NotConverged,
 	ThermalNaN, ThermalSlow, FlowBreakdown, ServicePanic,
+	MGSmoother, MGRestrict, MGCoarse,
 }
 
 // EnvVar is the environment variable ArmFromEnv reads the spec from.

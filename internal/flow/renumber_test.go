@@ -1,0 +1,74 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lcn3d/internal/sparse"
+)
+
+// scrambledSPD builds a shuffled 2D grid Laplacian (plus a diagonal
+// anchor making it SPD) large enough for the renumbering gate, with a
+// band wide enough that RCM accepts.
+func scrambledSPD(nx, ny int) (*sparse.CSR, []float64) {
+	n := nx * ny
+	label := rand.New(rand.NewSource(23)).Perm(n)
+	b := sparse.NewBuilder(n)
+	idx := func(x, y int) int { return label[y*nx+x] }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			i := idx(x, y)
+			b.Add(i, i, 0.1)
+			if x+1 < nx {
+				b.AddSym(i, idx(x+1, y), 1)
+			}
+			if y+1 < ny {
+				b.AddSym(i, idx(x, y+1), 1)
+			}
+		}
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = 1 + float64(i%7)
+	}
+	return b.Build(), rhs
+}
+
+// TestSolveRenumberedMatchesPlain checks the RCM-renumbered pressure
+// solve scatters back to the same field the plain ordering produces,
+// and that the gate leaves small or already-banded systems alone.
+func TestSolveRenumberedMatchesPlain(t *testing.T) {
+	m, rhs := scrambledSPD(40, 40) // 1600 unknowns >= rcmMinSize
+	const psys = 2.0
+
+	plain := make([]float64, m.N)
+	var sPlain Solution
+	if _, err := solvePressure(m, rhs, plain, psys, &sPlain); err != nil {
+		t.Fatal(err)
+	}
+
+	SetRenumbering(true)
+	t.Cleanup(func() { SetRenumbering(false) })
+	// The scrambled band is near n, so RCM must be accepted here.
+	if perm := sparse.RCM(m); sparse.PermutedBandwidth(m, perm) >= sparse.Bandwidth(m) {
+		t.Fatal("fixture not scrambled enough: RCM would be rejected")
+	}
+	ren := make([]float64, m.N)
+	var sRen Solution
+	if _, err := solveMaybeRenumbered(m, rhs, ren, psys, &sRen); err != nil {
+		t.Fatal(err)
+	}
+	if sRen.Degraded || sRen.Rung != sPlain.Rung {
+		t.Fatalf("renumbered solve rung %v (degraded=%v), plain %v", sRen.Rung, sRen.Degraded, sPlain.Rung)
+	}
+	var mx float64
+	for i := range plain {
+		if d := math.Abs(plain[i] - ren[i]); d > mx {
+			mx = d
+		}
+	}
+	if mx > 1e-8*psys {
+		t.Fatalf("renumbered pressures deviate by %g from plain ordering", mx)
+	}
+}

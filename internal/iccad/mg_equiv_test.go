@@ -1,0 +1,47 @@
+package iccad
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"lcn3d/internal/thermal"
+)
+
+// TestGoldenMultigridEquivalence recomputes every golden fixture with the
+// two-level multigrid preconditioner forced on (the fixtures are small
+// enough that PrecondAuto would route them to ILU(0)) and checks the
+// results against the committed goldens at the corpus tolerance. This is
+// the equivalence contract for the multigrid path: same physics, same
+// search outcome, only the preconditioner differs.
+func TestGoldenMultigridEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evaluates 2RM and 4RM fixtures under multigrid")
+	}
+	prev := thermal.GetPrecondStrategy()
+	thermal.SetPrecondStrategy(thermal.PrecondMG)
+	// Parent Cleanup runs after all parallel subtests finish, so the
+	// global strategy stays forced for their whole lifetime.
+	t.Cleanup(func() { thermal.SetPrecondStrategy(prev) })
+	for _, gc := range goldenCases {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			t.Parallel()
+			data, err := os.ReadFile(goldenPath(gc.name))
+			if err != nil {
+				t.Fatalf("missing golden (run TestGoldenCorpus with -update): %v", err)
+			}
+			var want goldenFixture
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatal(err)
+			}
+			got := computeFixture(t, gc)
+			if got.NetworkHash != want.NetworkHash {
+				t.Fatalf("%s: fixture network hash %s, golden %s — the fixture generator changed",
+					gc.name, got.NetworkHash, want.NetworkHash)
+			}
+			checkEval(t, gc.name, "2rm/multigrid", got.RM2, want.RM2)
+			checkEval(t, gc.name, "4rm/multigrid", got.RM4, want.RM4)
+		})
+	}
+}

@@ -3,6 +3,7 @@ package rm2
 import (
 	"fmt"
 
+	"lcn3d/internal/grid"
 	"lcn3d/internal/stack"
 	"lcn3d/internal/thermal"
 	"lcn3d/internal/units"
@@ -164,7 +165,59 @@ func (m *Model) assembleRef() (*thermal.Assembler, []float64, error) {
 			}
 		}
 	}
+	m.setCoarseMap(asm)
 	return asm, caps, nil
+}
+
+// mgSuperCoarsen is the side (in 2RM thermal cells) of the super-tiles
+// the multigrid coarse space aggregates the 2RM system into — a second
+// level of the same porous-medium coarsening.
+const mgSuperCoarsen = 4
+
+// setCoarseMap hands the assembler the multigrid aggregation: one solid
+// and (in channel layers) one liquid aggregate per layer and super-tile
+// of mgSuperCoarsen×mgSuperCoarsen thermal cells, mirroring the node
+// structure one coarsening level up.
+func (m *Model) setCoarseMap(asm *thermal.Assembler) {
+	cd := m.til.Coarse
+	super, err := grid.NewTiling(cd, mgSuperCoarsen)
+	if err != nil {
+		return
+	}
+	nsc := super.Coarse.N()
+	agg := make([]int, m.numNodes)
+	next := 0
+	solidID := make([]int, nsc)
+	liquidID := make([]int, nsc)
+	for l, layer := range m.Stk.Layers {
+		for sc := 0; sc < nsc; sc++ {
+			solidID[sc], liquidID[sc] = -1, -1
+		}
+		for cy := 0; cy < cd.NY; cy++ {
+			for cx := 0; cx < cd.NX; cx++ {
+				c := cd.Index(cx, cy)
+				sx, sy := super.CoarseOf(cx, cy)
+				sc := super.Coarse.Index(sx, sy)
+				if sn := m.solidNode[l][c]; sn >= 0 {
+					if solidID[sc] < 0 {
+						solidID[sc] = next
+						next++
+					}
+					agg[sn] = solidID[sc]
+				}
+				if layer.Kind == stack.Channel {
+					if ln := m.liquidNode[m.chOfIdx[l]][c]; ln >= 0 {
+						if liquidID[sc] < 0 {
+							liquidID[sc] = next
+							next++
+						}
+						agg[ln] = liquidID[sc]
+					}
+				}
+			}
+		}
+	}
+	asm.SetCoarseMap(agg, next)
 }
 
 // vhalf is one vertical half-path from a node to a layer interface.

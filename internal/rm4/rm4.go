@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"lcn3d/internal/flow"
+	"lcn3d/internal/grid"
 	"lcn3d/internal/network"
 	"lcn3d/internal/sparse"
 	"lcn3d/internal/stack"
@@ -238,7 +239,61 @@ func (m *Model) assembleRef() (*thermal.Assembler, []float64, error) {
 			}
 		}
 	}
+	m.setCoarseMap(asm)
 	return asm, caps, nil
+}
+
+// mgCoarsen is the tile side (in basic cells) of the multigrid coarse
+// space — the paper's 2RM coarsening factor, so the coarse grid of the
+// 4RM solve is exactly the 2RM cell structure of the same stack.
+const mgCoarsen = 4
+
+// setCoarseMap hands the assembler the 2RM-structured aggregation for
+// the two-level multigrid preconditioner: per layer and m×m tile one
+// solid aggregate, plus one liquid aggregate in channel layers (the
+// solid/liquid split is what makes the coarse operator see the
+// convective transport separately from conduction, like 2RM does).
+func (m *Model) setCoarseMap(asm *thermal.Assembler) {
+	d := m.Stk.Dims
+	til, err := grid.NewTiling(d, mgCoarsen)
+	if err != nil {
+		return
+	}
+	n := d.N()
+	ncc := til.Coarse.N()
+	agg := make([]int, m.NumNodes())
+	next := 0
+	solidID := make([]int, ncc)
+	liquidID := make([]int, ncc)
+	for l, layer := range m.Stk.Layers {
+		isCh := layer.Kind == stack.Channel
+		var net *network.Network
+		if isCh {
+			net = m.Nets[m.chOfIdx[l]]
+		}
+		for c := 0; c < ncc; c++ {
+			solidID[c], liquidID[c] = -1, -1
+		}
+		for i := 0; i < n; i++ {
+			x, y := d.Coord(i)
+			cx, cy := til.CoarseOf(x, y)
+			c := til.Coarse.Index(cx, cy)
+			if isCh && net.Liquid[i] {
+				if liquidID[c] < 0 {
+					liquidID[c] = next
+					next++
+				}
+				agg[m.node(l, i)] = liquidID[c]
+			} else {
+				if solidID[c] < 0 {
+					solidID[c] = next
+					next++
+				}
+				agg[m.node(l, i)] = solidID[c]
+			}
+		}
+	}
+	asm.SetCoarseMap(agg, next)
 }
 
 // factored lazily compiles the reference-pressure system.

@@ -11,17 +11,34 @@ import (
 // for tiny systems (network evaluation cross-checks, unit tests) — cost
 // is O(n^3).
 func DenseSolve(a *sparse.CSR, b []float64) ([]float64, error) {
-	n := a.N
-	if len(b) != n {
+	lu, err := NewDenseLU(a)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != a.N {
 		return nil, errors.New("solver: DenseSolve dimension mismatch")
 	}
-	m := a.Dense()
-	x := make([]float64, n)
-	copy(x, b)
-	perm := make([]int, n)
-	for i := range perm {
-		perm[i] = i
-	}
+	x := make([]float64, a.N)
+	lu.Solve(x, b)
+	return x, nil
+}
+
+// DenseLU is a reusable dense LU factorization with partial pivoting:
+// factor once, solve many right-hand sides in O(n^2) each. The multigrid
+// preconditioner uses it as the coarse-grid solver when the coarse
+// system is small enough for O(n^3) factorization to be negligible.
+type DenseLU struct {
+	n    int
+	m    [][]float64 // packed L (unit diagonal, below) and U (on/above)
+	pivs []int       // row swapped with i at elimination step i
+}
+
+// NewDenseLU factorizes the matrix. It returns an error on a singular
+// pivot.
+func NewDenseLU(a *sparse.CSR) (*DenseLU, error) {
+	n := a.N
+	lu := &DenseLU{n: n, m: a.Dense(), pivs: make([]int, n)}
+	m := lu.m
 	for col := 0; col < n; col++ {
 		// Partial pivot.
 		p := col
@@ -34,9 +51,9 @@ func DenseSolve(a *sparse.CSR, b []float64) ([]float64, error) {
 		if best == 0 {
 			return nil, errors.New("solver: singular matrix")
 		}
+		lu.pivs[col] = p
 		if p != col {
 			m[p], m[col] = m[col], m[p]
-			x[p], x[col] = x[col], x[p]
 		}
 		inv := 1 / m[col][col]
 		for r := col + 1; r < n; r++ {
@@ -44,19 +61,41 @@ func DenseSolve(a *sparse.CSR, b []float64) ([]float64, error) {
 			if f == 0 {
 				continue
 			}
-			m[r][col] = 0
+			m[r][col] = f // store the L multiplier in place
 			for c := col + 1; c < n; c++ {
 				m[r][c] -= f * m[col][c]
 			}
-			x[r] -= f * x[col]
 		}
+	}
+	return lu, nil
+}
+
+// Solve computes x = A^{-1} b. x and b may alias.
+func (lu *DenseLU) Solve(x, b []float64) {
+	n := lu.n
+	if x2 := x; &x2[0] != &b[0] {
+		copy(x, b)
+	}
+	// Apply the row swaps, then the forward and backward substitutions.
+	for col := 0; col < n; col++ {
+		if p := lu.pivs[col]; p != col {
+			x[p], x[col] = x[col], x[p]
+		}
+	}
+	for i := 1; i < n; i++ {
+		s := x[i]
+		row := lu.m[i]
+		for c := 0; c < i; c++ {
+			s -= row[c] * x[c]
+		}
+		x[i] = s
 	}
 	for i := n - 1; i >= 0; i-- {
 		s := x[i]
+		row := lu.m[i]
 		for c := i + 1; c < n; c++ {
-			s -= m[i][c] * x[c]
+			s -= row[c] * x[c]
 		}
-		x[i] = s / m[i][i]
+		x[i] = s / row[i]
 	}
-	return x, nil
 }

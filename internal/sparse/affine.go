@@ -91,6 +91,16 @@ func mergedRowLen(s, f *CSR, i int) int {
 // use MatrixCopy.
 func (p *AffinePair) Matrix() *CSR { return p.mat }
 
+// Base returns S's values expanded onto the union pattern. The slice is
+// owned by the pair and must not be modified; the multigrid
+// preconditioner reads it to project the static block to the coarse grid
+// once, independently of the flow scale.
+func (p *AffinePair) Base() []float64 { return p.base }
+
+// Slope returns F's values expanded onto the union pattern (read-only,
+// see Base).
+func (p *AffinePair) Slope() []float64 { return p.slope }
+
 // Shift returns the s of the currently materialized M = S + s·F.
 func (p *AffinePair) Shift() float64 { return p.shift }
 

@@ -90,3 +90,55 @@ func BenchmarkMulVecAutoWorkers(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkBlockedSpMV compares the plain serial CSR kernel against the
+// sliced-row MulVecAuto path at the 4RM system sizes of the bench scales
+// (scale 21 ≈ 3.1k rows, scale 51 ≈ 18k rows, both below the parallel
+// threshold) and at a full-scale size, where it also sweeps the worker
+// cap and the stored-entries-per-block target. This is the measurement
+// behind defaultBlockNNZ and the GOMAXPROCS worker default.
+func BenchmarkBlockedSpMV(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	for _, sc := range []struct {
+		name string
+		n    int
+	}{
+		{"scale21", 3087},
+		{"scale51", 18207},
+		{"full", 120000},
+	} {
+		m := bandedCSR(rng, sc.n, 3)
+		x := make([]float64, sc.n)
+		dst := make([]float64, sc.n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b.Run(sc.name+"/plain", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.MulVec(dst, x)
+			}
+		})
+		b.Run(sc.name+"/auto", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.MulVecAuto(dst, x)
+			}
+		})
+		if sc.n < parallelThreshold {
+			continue // auto == plain below the threshold; nothing to sweep
+		}
+		for _, w := range []int{2, 4, 8} {
+			for _, blk := range []int{4096, 16384, 65536} {
+				name := sc.name + "/workers=" + strconv.Itoa(w) + "/blocknnz=" + strconv.Itoa(blk)
+				b.Run(name, func(b *testing.B) {
+					SetSpMVWorkers(w)
+					SetSpMVBlockNNZ(blk)
+					defer SetSpMVWorkers(0)
+					defer SetSpMVBlockNNZ(0)
+					for i := 0; i < b.N; i++ {
+						m.MulVecAuto(dst, x)
+					}
+				})
+			}
+		}
+	}
+}

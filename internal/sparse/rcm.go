@@ -1,0 +1,159 @@
+package sparse
+
+import "sort"
+
+// RCM computes a reverse Cuthill-McKee ordering of the matrix graph and
+// returns the permutation p with p[old] = new. The ordering clusters each
+// row's column indices near the diagonal, which shrinks the bandwidth of
+// the assembled system: ILU(0) factors become more local and the x-vector
+// gathers of SpMV stay inside cache lines. The traversal is fully
+// deterministic — ties are broken by (degree, index) — so renumbered
+// assemblies are bitwise reproducible.
+func RCM(m *CSR) []int {
+	n := m.N
+	deg := make([]int, n)
+	for i := 0; i < n; i++ {
+		deg[i] = m.RowPtr[i+1] - m.RowPtr[i]
+	}
+	perm := make([]int, n) // filled in Cuthill-McKee order
+	placed := make([]bool, n)
+	next := 0
+	var frontier []int
+
+	push := func(i int) {
+		placed[i] = true
+		perm[next] = i
+		next++
+	}
+	// lessDeg orders candidate nodes by (degree, index) for determinism.
+	lessDeg := func(a, b int) bool {
+		if deg[a] != deg[b] {
+			return deg[a] < deg[b]
+		}
+		return a < b
+	}
+
+	for next < n {
+		// Start each component from its minimum-degree node (a cheap
+		// pseudo-peripheral choice, deterministic).
+		start := -1
+		for i := 0; i < n; i++ {
+			if !placed[i] && (start < 0 || lessDeg(i, start)) {
+				start = i
+			}
+		}
+		push(start)
+		for head := next - 1; head < next; head++ {
+			i := perm[head]
+			frontier = frontier[:0]
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				if j := m.Cols[k]; j != i && !placed[j] {
+					frontier = append(frontier, j)
+					placed[j] = true // reserve; pushed below in order
+				}
+			}
+			sort.Slice(frontier, func(a, b int) bool { return lessDeg(frontier[a], frontier[b]) })
+			for _, j := range frontier {
+				perm[next] = j
+				next++
+			}
+		}
+	}
+
+	// Reverse (the "R" in RCM) and invert into old -> new form.
+	p := make([]int, n)
+	for newIdx, old := range perm {
+		p[old] = n - 1 - newIdx
+	}
+	return p
+}
+
+// InversePerm inverts p[old] = new into q[new] = old.
+func InversePerm(p []int) []int {
+	q := make([]int, len(p))
+	for old, nw := range p {
+		q[nw] = old
+	}
+	return q
+}
+
+// PermuteCSR returns B with B[p[i], p[j]] = A[i, j], i.e. the matrix of
+// the same operator after renumbering the unknowns by p (p[old] = new).
+// Rows keep strictly increasing column order.
+func PermuteCSR(m *CSR, p []int) *CSR {
+	n := m.N
+	q := InversePerm(p)
+	b := &CSR{N: n, RowPtr: make([]int, n+1),
+		Cols: make([]int, m.NNZ()), Vals: make([]float64, m.NNZ())}
+	for nw := 0; nw < n; nw++ {
+		old := q[nw]
+		b.RowPtr[nw+1] = b.RowPtr[nw] + (m.RowPtr[old+1] - m.RowPtr[old])
+	}
+	// Fill each new row, then sort it by column (the permuted columns of a
+	// sorted row are not sorted in general; rows are short, so insertion
+	// sort is the right tool).
+	for nw := 0; nw < n; nw++ {
+		old := q[nw]
+		at := b.RowPtr[nw]
+		for k := m.RowPtr[old]; k < m.RowPtr[old+1]; k++ {
+			b.Cols[at] = p[m.Cols[k]]
+			b.Vals[at] = m.Vals[k]
+			at++
+		}
+		insertionSortRow(b.Cols[b.RowPtr[nw]:at], b.Vals[b.RowPtr[nw]:at])
+	}
+	return b
+}
+
+// PermutedBandwidth returns the bandwidth the matrix would have after
+// renumbering by p (p[old] = new), without materializing the permuted
+// matrix: max over stored entries of |p[i] - p[j]|.
+func PermutedBandwidth(m *CSR, p []int) int {
+	bw := 0
+	for i := 0; i < m.N; i++ {
+		pi := p[i]
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d := pi - p[m.Cols[k]]
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+// PermuteVec scatters src into dst under p (p[old] = new):
+// dst[p[i]] = src[i]. dst and src must not alias.
+func PermuteVec(dst, src []float64, p []int) {
+	for i, v := range src {
+		dst[p[i]] = v
+	}
+}
+
+// PermuteInts scatters an integer vector the same way PermuteVec does.
+func PermuteInts(dst, src []int, p []int) {
+	for i, v := range src {
+		dst[p[i]] = v
+	}
+}
+
+// Bandwidth returns the maximum |i - j| over stored entries, the quantity
+// RCM minimizes heuristically.
+func Bandwidth(m *CSR) int {
+	bw := 0
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d := m.Cols[k] - i
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}

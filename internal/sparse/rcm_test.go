@@ -1,0 +1,151 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// shuffledGrid builds a 2D five-point grid operator with its unknowns
+// scrambled by a random relabeling, giving RCM a genuinely wide band to
+// shrink.
+func shuffledGrid(rng *rand.Rand, nx, ny int) *CSR {
+	n := nx * ny
+	label := rng.Perm(n)
+	b := NewBuilder(n)
+	idx := func(x, y int) int { return label[y*nx+x] }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			i := idx(x, y)
+			b.Add(i, i, 4)
+			if x+1 < nx {
+				b.AddSym(i, idx(x+1, y), 1)
+			}
+			if y+1 < ny {
+				b.AddSym(i, idx(x, y+1), 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func isPermutation(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func TestRCMIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := shuffledGrid(rng, 11, 13)
+	p := RCM(m)
+	if !isPermutation(p) {
+		t.Fatal("RCM did not return a permutation")
+	}
+	q := InversePerm(p)
+	for old, nw := range p {
+		if q[nw] != old {
+			t.Fatalf("InversePerm broken at %d", old)
+		}
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := shuffledGrid(rng, 20, 20)
+	p := RCM(m)
+	bw0 := Bandwidth(m)
+	bw1 := PermutedBandwidth(m, p)
+	// A shuffled 20×20 grid has bandwidth near n; RCM should recover
+	// something close to the grid cross-section (~2·20).
+	if bw1 >= bw0/2 {
+		t.Fatalf("RCM bandwidth %d not well below original %d", bw1, bw0)
+	}
+	if bw1 > 4*20 {
+		t.Fatalf("RCM bandwidth %d far above the grid cross-section", bw1)
+	}
+}
+
+// TestPermuteCSRMatchesDense checks B[p[i], p[j]] = A[i, j] entrywise and
+// that PermutedBandwidth predicts the materialized bandwidth exactly.
+func TestPermuteCSRMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := shuffledGrid(rng, 9, 7)
+	p := RCM(m)
+	b := PermuteCSR(m, p)
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.Cols[k]
+			if got := b.At(p[i], p[j]); got != m.Vals[k] {
+				t.Fatalf("B[p[%d],p[%d]] = %g, want %g", i, j, got, m.Vals[k])
+			}
+		}
+	}
+	if b.NNZ() != m.NNZ() {
+		t.Fatalf("permutation changed nnz: %d vs %d", b.NNZ(), m.NNZ())
+	}
+	for i := 0; i < b.N; i++ {
+		for k := b.RowPtr[i] + 1; k < b.RowPtr[i+1]; k++ {
+			if b.Cols[k-1] >= b.Cols[k] {
+				t.Fatalf("row %d columns not strictly increasing", i)
+			}
+		}
+	}
+	if got, want := PermutedBandwidth(m, p), Bandwidth(b); got != want {
+		t.Fatalf("PermutedBandwidth = %d, materialized bandwidth = %d", got, want)
+	}
+}
+
+// TestPermuteRoundTrip: permuting by p then by its inverse restores the
+// original matrix and vectors bit for bit.
+func TestPermuteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := shuffledGrid(rng, 8, 8)
+	p := RCM(m)
+	q := InversePerm(p)
+	back := PermuteCSR(PermuteCSR(m, p), q)
+	if back.NNZ() != m.NNZ() {
+		t.Fatalf("round trip changed nnz")
+	}
+	for i := range m.RowPtr {
+		if back.RowPtr[i] != m.RowPtr[i] {
+			t.Fatalf("round trip changed RowPtr[%d]", i)
+		}
+	}
+	for k := range m.Cols {
+		if back.Cols[k] != m.Cols[k] || back.Vals[k] != m.Vals[k] {
+			t.Fatalf("round trip changed entry %d", k)
+		}
+	}
+	v := make([]float64, m.N)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	fwd := make([]float64, m.N)
+	rt := make([]float64, m.N)
+	PermuteVec(fwd, v, p)
+	PermuteVec(rt, fwd, q)
+	for i := range v {
+		if rt[i] != v[i] {
+			t.Fatalf("vector round trip changed entry %d", i)
+		}
+	}
+}
+
+// TestRCMDeterministic: the ordering must be a pure function of the
+// pattern — renumbered assemblies have to be bitwise reproducible.
+func TestRCMDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m := shuffledGrid(rng, 14, 14)
+	p1 := RCM(m)
+	p2 := RCM(m)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("RCM not deterministic at %d", i)
+		}
+	}
+}

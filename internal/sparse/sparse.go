@@ -8,6 +8,7 @@ package sparse
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Builder accumulates matrix entries in coordinate form. Duplicate
@@ -49,40 +50,66 @@ func (b *Builder) AddSym(i, j int, g float64) {
 	b.Add(j, i, -g)
 }
 
-// Build compiles the accumulated entries into a CSR matrix.
+// Build compiles the accumulated entries into a CSR matrix. Triplets
+// are bucketed by row with a counting sort (stable, so duplicates sum
+// in assembly order) and each short row is column-ordered with an
+// insertion sort — no comparison sort over the full entry list.
 func (b *Builder) Build() *CSR {
 	n := b.n
-	// Count entries per row after duplicate merging. First sort triplets
-	// by (row, col) with a permutation to keep memory reasonable.
-	idx := make([]int, len(b.vals))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(p, q int) bool {
-		i, j := idx[p], idx[q]
-		if b.rows[i] != b.rows[j] {
-			return b.rows[i] < b.rows[j]
-		}
-		return b.cols[i] < b.cols[j]
-	})
-
-	m := &CSR{N: n, RowPtr: make([]int, n+1)}
-	var lastR, lastC = -1, -1
-	for _, k := range idx {
-		r, c, v := b.rows[k], b.cols[k], b.vals[k]
-		if r == lastR && c == lastC {
-			m.Vals[len(m.Vals)-1] += v
-			continue
-		}
-		m.Cols = append(m.Cols, c)
-		m.Vals = append(m.Vals, v)
-		m.RowPtr[r+1]++
-		lastR, lastC = r, c
+	nnz := len(b.vals)
+	count := make([]int, n+1)
+	for _, r := range b.rows {
+		count[r+1]++
 	}
 	for i := 0; i < n; i++ {
-		m.RowPtr[i+1] += m.RowPtr[i]
+		count[i+1] += count[i]
 	}
+	pos := append([]int(nil), count[:n]...)
+	cols := make([]int, nnz)
+	vals := make([]float64, nnz)
+	for k := 0; k < nnz; k++ {
+		p := pos[b.rows[k]]
+		pos[b.rows[k]]++
+		cols[p] = b.cols[k]
+		vals[p] = b.vals[k]
+	}
+	m := &CSR{N: n, RowPtr: make([]int, n+1)}
+	out := 0
+	for i := 0; i < n; i++ {
+		lo, hi := count[i], count[i+1]
+		insertionSortRow(cols[lo:hi], vals[lo:hi])
+		rowStart := out
+		for k := lo; k < hi; k++ {
+			if out > rowStart && cols[out-1] == cols[k] {
+				vals[out-1] += vals[k]
+			} else {
+				cols[out] = cols[k]
+				vals[out] = vals[k]
+				out++
+			}
+		}
+		m.RowPtr[i+1] = out
+	}
+	m.Cols = cols[:out:out]
+	m.Vals = vals[:out:out]
 	return m
+}
+
+// insertionSortRow orders one CSR row's (column, value) pairs by column.
+// Rows of the finite-volume systems hold a handful of entries, where a
+// stable insertion sort beats any general comparison sort.
+func insertionSortRow(cols []int, vals []float64) {
+	for i := 1; i < len(cols); i++ {
+		c, v := cols[i], vals[i]
+		j := i - 1
+		for j >= 0 && cols[j] > c {
+			cols[j+1] = cols[j]
+			vals[j+1] = vals[j]
+			j--
+		}
+		cols[j+1] = c
+		vals[j+1] = v
+	}
 }
 
 // CSR is a compressed sparse row matrix. Row i occupies
@@ -93,6 +120,11 @@ type CSR struct {
 	RowPtr []int
 	Cols   []int
 	Vals   []float64
+
+	// blk caches the sliced-row partition used by MulVecAuto. It depends
+	// only on RowPtr (immutable after construction), so it is computed
+	// lazily and shared across in-place value rewrites.
+	blk atomic.Pointer[rowBlocks]
 }
 
 // NNZ returns the number of stored entries.
@@ -104,13 +136,7 @@ func (m *CSR) MulVec(dst, x []float64) {
 	if len(dst) != m.N || len(x) != m.N {
 		panic(fmt.Sprintf("sparse: MulVec dimension mismatch: %d, %d vs N=%d", len(dst), len(x), m.N))
 	}
-	for i := 0; i < m.N; i++ {
-		var s float64
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			s += m.Vals[k] * x[m.Cols[k]]
-		}
-		dst[i] = s
-	}
+	m.mulRows(dst, x, 0, m.N)
 }
 
 // Diag extracts the main diagonal. Missing diagonal entries are zero.

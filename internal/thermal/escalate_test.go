@@ -136,6 +136,116 @@ func TestEscalationRebuildRung(t *testing.T) {
 	}
 }
 
+// mgFactored builds the race-test pipe with a 4:1 coarse map so the
+// factored system can route through the two-level multigrid
+// preconditioner.
+func mgFactored(tb testing.TB, n int) *Factored {
+	tb.Helper()
+	a := NewAssembler(n, Central)
+	a.ConvectionInlet(0, 0.5, 300)
+	for i := 0; i+1 < n; i++ {
+		a.Convection(i, i+1, 0.5)
+		a.Conductance(i, i+1, 0.05)
+	}
+	a.ConvectionOutlet(n-1, 0.5)
+	for i := 0; i < n; i++ {
+		a.Source(i, 1.0)
+	}
+	agg := make([]int, n)
+	for i := range agg {
+		agg[i] = i / 4
+	}
+	a.SetCoarseMap(agg, (n+3)/4)
+	return a.Factor()
+}
+
+// TestEscalationMultigridFallback walks the multigrid → ILU(0) rung: a
+// fault at any V-cycle stage (smoother, restriction, coarse solve)
+// poisons the preconditioner output, the primary BiCGSTAB attempt breaks
+// down, and the retry rung latches multigrid off and recovers on a fresh
+// ILU(0) factorization. The recovered result is a normal solve — not
+// degraded — and subsequent probes stay on the classic path.
+func TestEscalationMultigridFallback(t *testing.T) {
+	const n, scale = 48, 2.0
+	want := solveClean(t, n, scale)
+	prev := GetPrecondStrategy()
+	SetPrecondStrategy(PrecondMG)
+	t.Cleanup(func() { SetPrecondStrategy(prev) })
+	t.Cleanup(faults.Disarm)
+
+	for _, point := range []string{
+		"solver.mg.smoother", "solver.mg.restrict", "solver.mg.coarse",
+	} {
+		t.Run(point, func(t *testing.T) {
+			f := mgFactored(t, n)
+			if err := faults.Arm(point + "=always"); err != nil {
+				t.Fatal(err)
+			}
+			defer faults.Disarm()
+			temps, _, probe, err := f.SolveAt(scale, 300)
+			if err != nil {
+				t.Fatalf("multigrid fallback did not recover: %v", err)
+			}
+			if probe.Rung != solver.RungRetry {
+				t.Fatalf("rung = %v, want retry (multigrid → ILU0)", probe.Rung)
+			}
+			if probe.Degraded {
+				t.Fatal("ILU0 fallback is a full-quality solve, must not be degraded")
+			}
+			if d := maxAbsDiff(temps, want); d > 1e-4 {
+				t.Fatalf("fallback field deviates by %g K from clean solve", d)
+			}
+			st := f.Stats()
+			if st.RetryRebuild != 1 || st.Degraded != 0 {
+				t.Fatalf("stats = %+v, want RetryRebuild=1 Degraded=0", st)
+			}
+			// Multigrid is latched off: the next probe must not revisit the
+			// poisoned V-cycle even though the fault is still armed.
+			if _, _, probe, err = f.SolveAt(scale*1.1, 300); err != nil {
+				t.Fatalf("post-latch solve: %v", err)
+			}
+			if probe.Rung != solver.RungPrimary {
+				t.Fatalf("post-latch rung = %v, want primary on ILU0", probe.Rung)
+			}
+		})
+	}
+}
+
+// TestEscalationMultigridToGMRES: when the V-cycle is poisoned AND the
+// classic BiCGSTAB rung breaks down, the ladder must keep climbing —
+// multigrid → ILU0 retry → GMRES — and flag the result degraded.
+func TestEscalationMultigridToGMRES(t *testing.T) {
+	const n, scale = 48, 2.0
+	want := solveClean(t, n, scale)
+	prev := GetPrecondStrategy()
+	SetPrecondStrategy(PrecondMG)
+	t.Cleanup(func() { SetPrecondStrategy(prev) })
+	t.Cleanup(faults.Disarm)
+
+	f := mgFactored(t, n)
+	if err := faults.Arm("solver.mg.coarse=always;solver.bicgstab.breakdown=always"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+	temps, _, probe, err := f.SolveAt(scale, 300)
+	if err != nil {
+		t.Fatalf("ladder did not recover: %v", err)
+	}
+	if probe.Rung != solver.RungGMRES {
+		t.Fatalf("rung = %v, want gmres", probe.Rung)
+	}
+	if !probe.Degraded {
+		t.Fatal("GMRES result must be marked degraded")
+	}
+	if d := maxAbsDiff(temps, want); d > 1e-4 {
+		t.Fatalf("degraded field deviates by %g K from clean solve", d)
+	}
+	st := f.Stats()
+	if st.RetryRebuild != 1 || st.RetryGMRES != 1 || st.Degraded != 1 {
+		t.Fatalf("stats = %+v, want RetryRebuild=1 RetryGMRES=1 Degraded=1", st)
+	}
+}
+
 // TestEscalationExhausted: a system too large for the dense rung, with
 // every iterative rung broken, must fail with an error naming the rung
 // it died on — never return a poisoned field.

@@ -1,0 +1,118 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+
+	"lcn3d/internal/sparse"
+	"testing"
+)
+
+// scrambledFactored assembles the race-test pipe with its node labels
+// scrambled by a fixed random relabeling. The scrambled band is wide, so
+// RCM (when enabled) accepts the renumbering; the physics is identical
+// to the in-order pipe.
+func scrambledFactored(tb testing.TB, n int) *Factored {
+	tb.Helper()
+	label := rand.New(rand.NewSource(42)).Perm(n)
+	a := NewAssembler(n, Central)
+	a.ConvectionInlet(label[0], 0.5, 300)
+	for i := 0; i+1 < n; i++ {
+		a.Convection(label[i], label[i+1], 0.5)
+		a.Conductance(label[i], label[i+1], 0.05)
+	}
+	a.ConvectionOutlet(label[n-1], 0.5)
+	for i := 0; i < n; i++ {
+		a.Source(label[i], 1.0)
+	}
+	return a.Factor()
+}
+
+// TestRenumberedSolveBitwiseDeterministic factors a system large enough
+// for both the RCM renumbering and the parallel SpMV path, and checks
+// the solved field is bitwise identical across SpMV worker counts and
+// GOMAXPROCS settings. Run under -race (CI does) this also proves the
+// renumbered parallel solve has no data races. The sliced-row kernel
+// writes each row from exactly one worker with one summation order, so
+// the whole Krylov trajectory — and therefore the solution — must not
+// depend on scheduling.
+func TestRenumberedSolveBitwiseDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves a >20k-unknown system several times")
+	}
+	const scale = 2.0
+	n := 21000 // above sparse.parallelThreshold and rcmMinSize
+	SetRenumbering(true)
+	t.Cleanup(func() { SetRenumbering(false) })
+
+	solve := func() []float64 {
+		f := scrambledFactored(t, n)
+		if !f.Renumbered() {
+			t.Fatal("scrambled system was not renumbered")
+		}
+		temps, _, _, err := f.SolveAt(scale, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return temps
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	ref := solve()
+	for _, cfg := range []struct {
+		procs, workers int
+	}{
+		{0, 1}, {0, 2}, {0, 3}, {2, 0}, {4, 7},
+	} {
+		if cfg.procs > 0 {
+			runtime.GOMAXPROCS(cfg.procs)
+		}
+		sparse.SetSpMVWorkers(cfg.workers)
+		got := solve()
+		sparse.SetSpMVWorkers(0)
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("procs=%d workers=%d: node %d differs: %v vs %v",
+					cfg.procs, cfg.workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestRenumberedMatchesPlainSolve checks the renumbered solve agrees
+// physically with the same assembly solved in its original ordering (the
+// orderings take different Krylov paths, so agreement is to solver
+// tolerance, not bitwise).
+func TestRenumberedMatchesPlainSolve(t *testing.T) {
+	const n, scale = 1100, 2.0 // above rcmMinSize, below the parallel threshold
+	SetRenumbering(false)
+	plainF := scrambledFactored(t, n)
+	plain, _, _, err := plainF.SolveAt(scale, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainF.Renumbered() {
+		t.Fatal("renumbering applied while disabled")
+	}
+
+	SetRenumbering(true)
+	t.Cleanup(func() { SetRenumbering(false) })
+	renF := scrambledFactored(t, n)
+	ren, _, _, err := renF.SolveAt(scale, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !renF.Renumbered() {
+		t.Fatal("renumbering not applied while enabled")
+	}
+	var mx float64
+	for i := range plain {
+		if d := math.Abs(plain[i] - ren[i]); d > mx {
+			mx = d
+		}
+	}
+	if mx > 1e-4 {
+		t.Fatalf("renumbered field deviates by %g K from plain ordering", mx)
+	}
+}

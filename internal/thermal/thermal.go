@@ -7,6 +7,8 @@
 package thermal
 
 import (
+	"fmt"
+
 	"lcn3d/internal/grid"
 	"lcn3d/internal/solver"
 	"lcn3d/internal/sparse"
@@ -50,6 +52,25 @@ type Assembler struct {
 	rhs     []float64       // static RHS: sources and Dirichlet baths
 	flowRHS []float64       // flow RHS: inlet convection, linear in flow
 	scheme  Scheme
+
+	agg  []int // multigrid aggregate of each unknown; nil when unset
+	nAgg int
+}
+
+// SetCoarseMap records a coarsening of the unknowns for the two-level
+// multigrid preconditioner: agg[i] names the aggregate of unknown i
+// (0 <= agg[i] < nAgg). The models pass their own coarse 2RM cell
+// structure — one solid aggregate per coarse cell and layer, plus one
+// liquid aggregate per coarse cell in channel layers — so the coarse
+// grid is the paper's porous-medium discretization of the same stack.
+// Factor copies the map; without one the factored system preconditions
+// with ILU(0) only.
+func (a *Assembler) SetCoarseMap(agg []int, nAgg int) {
+	if len(agg) != a.N() {
+		panic(fmt.Sprintf("thermal: coarse map has %d entries for %d unknowns", len(agg), a.N()))
+	}
+	a.agg = append([]int(nil), agg...)
+	a.nAgg = nAgg
 }
 
 // NewAssembler creates an assembler for n nodes.

@@ -16,7 +16,12 @@ set -euo pipefail
 ADDR="127.0.0.1:${LCN_SERVE_PORT:-18080}"
 SCALE="${LCN_SERVE_SCALE:-51}"
 CHAOS_SCALE="${LCN_CHAOS_SCALE:-21}"
-CHAOS_FAULTS="${LCN_CHAOS_FAULTS:-service.panic=first:1;solver.bicgstab.breakdown=always}"
+# The chaos plan walks the whole ladder: the multigrid coarse-solve
+# fault poisons the V-cycle of the primary attempt (the breakdown rule
+# fires on every second BiCGSTAB *entry*, so the first attempt runs far
+# enough to exercise the poisoned preconditioner), the ILU retry then
+# hits the entry breakdown, and the probe lands on GMRES, degraded.
+CHAOS_FAULTS="${LCN_CHAOS_FAULTS:-service.panic=first:1;solver.mg.coarse=always;solver.bicgstab.breakdown=every:2}"
 BODY='{"case":1,"model":"2rm","coarse_m":4,"network":{"generator":"straight"}}'
 OUT="$(mktemp)"
 trap 'kill "$SRV" 2>/dev/null || true; rm -f "$OUT" /tmp/lcn-serve-smoke' EXIT
@@ -93,10 +98,12 @@ import json, sys
 m = json.load(sys.stdin)
 print("chaos metrics:", {"panics": m["panics"], "factor": m["factor"], "faults": m.get("faults")})
 assert m["panics"] == 1, "want 1 contained panic, got %d" % m["panics"]
+assert m["factor"]["retry_rebuild"] >= 1, "multigrid -> ILU0 retry rung never climbed"
 assert m["factor"]["retry_gmres"] >= 1, "escalation ladder never climbed to GMRES"
 assert m["factor"]["degraded"] >= 1, "no degraded probes counted"
 f = m.get("faults") or {}
 assert f.get("service.panic", {}).get("fired") == 1, "panic injection not visible: %r" % f
+assert f.get("solver.mg.coarse", {}).get("fired", 0) >= 1, "multigrid injection not visible: %r" % f
 assert f.get("solver.bicgstab.breakdown", {}).get("fired", 0) >= 1, "breakdown injection not visible: %r" % f
 '
 
