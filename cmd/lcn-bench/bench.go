@@ -9,6 +9,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -16,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"lcn3d/internal/cluster"
 	"lcn3d/internal/core"
 	"lcn3d/internal/grid"
 	"lcn3d/internal/iccad"
@@ -23,6 +26,7 @@ import (
 	"lcn3d/internal/rm2"
 	"lcn3d/internal/rm4"
 	"lcn3d/internal/service"
+	"lcn3d/internal/store"
 	"lcn3d/internal/thermal"
 )
 
@@ -84,14 +88,31 @@ type optimizeBench struct {
 
 // serviceBench records a small in-process exercise of the serving
 // layer (internal/service): duplicate concurrent evaluations followed
-// by a repeat, so the report carries the cache and dedup counters this
-// commit achieves alongside the raw simulator timings.
+// by a repeat, a persistent-store restart, and a 2-node forwarding
+// exchange, so the report carries the cache, dedup, store, and cluster
+// counters this commit achieves alongside the raw simulator timings.
 type serviceBench struct {
 	Requests    int64 `json:"requests"`
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 	DedupHits   int64 `json:"dedup_hits"`
 	Evaluations int64 `json:"evaluations"`
+
+	// Store counters from a cold restart against the same directory:
+	// the evaluation above is flushed, a fresh service reopens the
+	// store, and the repeat must be a disk hit with zero solver runs.
+	StoreHits    int64 `json:"store_hits"`
+	StoreMisses  int64 `json:"store_misses"`
+	RestartEvals int64 `json:"restart_evaluations"`
+	StoreRecords int   `json:"store_records"`
+	StoreFlushes int64 `json:"store_flushes"`
+
+	// Cluster counters from a 2-node fleet answering the same request
+	// on both nodes: one forward (or store fetch) and one compute.
+	Forwards     int64 `json:"forwards"`
+	StoreFetches int64 `json:"store_fetches"`
+	PeerHits     int64 `json:"peer_hits"`
+	FleetEvals   int64 `json:"fleet_evaluations"`
 }
 
 // finiteOrZero maps the +Inf of an infeasible evaluation to 0 so the
@@ -143,13 +164,109 @@ func serviceCounters(scale int) (serviceBench, error) {
 	}
 	svc.Drain()
 	m := svc.Metrics()
-	return serviceBench{
+	sb := serviceBench{
 		Requests:    m.Requests,
 		CacheHits:   m.CacheHits,
 		CacheMisses: m.CacheMisses,
 		DedupHits:   m.DedupHits,
 		Evaluations: m.Evaluations,
-	}, nil
+	}
+	if err := storeRestartCounters(scale, req, &sb); err != nil {
+		return serviceBench{}, fmt.Errorf("store restart: %w", err)
+	}
+	if err := fleetCounters(scale, req, &sb); err != nil {
+		return serviceBench{}, fmt.Errorf("fleet: %w", err)
+	}
+	return sb, nil
+}
+
+// storeRestartCounters evaluates once into a persistent store, drains
+// (flushing the write batch), then cold-restarts the service on the
+// same directory and repeats the request, recording the disk-hit
+// counters the restart achieves.
+func storeRestartCounters(scale int, req service.EvaluateRequest, sb *serviceBench) error {
+	dir, err := os.MkdirTemp("", "lcn-bench-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	svc := service.New(service.Config{Scale: scale, Store: st})
+	if _, err := svc.Evaluate(context.Background(), req); err != nil {
+		st.Close()
+		return err
+	}
+	svc.Drain()
+	if err := st.Close(); err != nil {
+		return err
+	}
+
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	defer st2.Close()
+	svc2 := service.New(service.Config{Scale: scale, Store: st2})
+	if _, err := svc2.Evaluate(context.Background(), req); err != nil {
+		return err
+	}
+	m := svc2.Metrics()
+	sb.StoreHits = m.StoreHits
+	sb.StoreMisses = m.StoreMisses
+	sb.RestartEvals = m.Evaluations // 0 when the disk hit worked
+	if m.Store != nil {
+		sb.StoreRecords = m.Store.Records
+		sb.StoreFlushes = m.Store.Flushes
+	}
+	return nil
+}
+
+// fleetCounters answers the same request on both nodes of a 2-node
+// fleet: the owner computes, the other reaches it through the peer
+// tier, so the report carries live forward/fetch counters.
+func fleetCounters(scale int, req service.EvaluateRequest, sb *serviceBench) error {
+	ls := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range ls {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		ls[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	svcs := make([]*service.Service, 2)
+	cls := make([]*cluster.Cluster, 2)
+	for i := range svcs {
+		cl, err := cluster.New(cluster.Options{Self: addrs[i], Peers: addrs})
+		if err != nil {
+			return err
+		}
+		defer cl.Stop()
+		cls[i] = cl
+		svcs[i] = service.New(service.Config{Scale: scale, Cluster: cl})
+		srv := &http.Server{Handler: svcs[i].Handler()}
+		go srv.Serve(ls[i])
+		defer srv.Close()
+	}
+	for _, svc := range svcs {
+		if _, err := svc.Evaluate(context.Background(), req); err != nil {
+			return err
+		}
+	}
+	for i, svc := range svcs {
+		m := svc.Metrics()
+		sb.PeerHits += m.PeerHits
+		sb.FleetEvals += m.Evaluations
+		st := cls[i].Stats()
+		sb.Forwards += st.Forwards
+		sb.StoreFetches += st.StoreFetches
+	}
+	return nil
 }
 
 // optimizeComparison runs the same small Problem 1 optimization twice —

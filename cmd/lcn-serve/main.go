@@ -1,19 +1,27 @@
 // Command lcn-serve exposes the evaluation engine as an HTTP JSON
 // service with content-addressed caching, single-flight deduplication
 // of concurrent identical requests, a bounded worker pool, and metrics.
+// With -store it persists results to a disk-backed content-addressed
+// store that survives restarts; with -peers it shards work across a
+// static fleet by consistent hashing, forwarding each request to the
+// cache key's owner.
 //
 //	lcn-serve -addr :8080 -scale 51
+//	lcn-serve -addr :8080 -store /var/lib/lcn -self host1:8080 \
+//	          -peers host1:8080,host2:8080,host3:8080
 //
 // Endpoints:
 //
-//	POST /v1/simulate   one flow+thermal probe at a fixed pressure
-//	POST /v1/evaluate   Algorithm 2/3 lowest-feasible-P_sys evaluation
-//	GET  /v1/metrics    counters, rates, and latency quantiles
-//	GET  /healthz       readiness (503 once draining)
+//	POST /v1/simulate     one flow+thermal probe at a fixed pressure
+//	POST /v1/evaluate     Algorithm 2/3 lowest-feasible-P_sys evaluation
+//	POST /v1/optimize     multi-chain SA optimization (single or batch)
+//	GET  /v1/store/{hash} cached response bytes by cache key (peer fetch)
+//	GET  /v1/metrics      counters, rates, and latency quantiles
+//	GET  /healthz         readiness (503 once draining)
 //
 // On SIGTERM or SIGINT the server stops accepting connections, drains
-// in-flight evaluations, writes a final metrics line to stdout, and
-// exits 0.
+// in-flight evaluations, flushes pending store batches to disk, writes
+// a final metrics line to stdout, and exits 0.
 package main
 
 import (
@@ -24,11 +32,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"lcn3d/internal/cluster"
 	"lcn3d/internal/faults"
 	"lcn3d/internal/service"
+	"lcn3d/internal/store"
 )
 
 func main() {
@@ -41,6 +52,9 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "default per-request deadline")
 	resultCache := flag.Int("result-cache", 4096, "result cache entries")
 	modelCache := flag.Int("model-cache", 16, "warm model bindings kept")
+	storeDir := flag.String("store", "", "directory of the persistent result store (empty = memory only)")
+	peers := flag.String("peers", "", "comma-separated host:port fleet members incl. this node (overrides LCN_PEERS; empty = standalone)")
+	self := flag.String("self", "", "this node's host:port as it appears in -peers (required with -peers)")
 	faultSpec := flag.String("faults", "", "fault-injection plan, e.g. 'solver.bicgstab.breakdown=always;service.panic=first:1' (overrides "+faults.EnvVar+")")
 	flag.Parse()
 
@@ -57,13 +71,49 @@ func main() {
 		log.Printf("fault injection ARMED from %s: %s", faults.EnvVar, spec)
 	}
 
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		Scale:           *scale,
 		Workers:         *workers,
 		ResultCacheSize: *resultCache,
 		ModelCacheSize:  *modelCache,
 		DefaultTimeout:  *timeout,
-	})
+	}
+
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			log.Fatalf("-store %s: %v", *storeDir, err)
+		}
+		defer st.Close()
+		stats := st.Stats()
+		log.Printf("store %s: %d records in %d segments (%d recovered, %d skipped)",
+			*storeDir, stats.Records, stats.Segments, stats.RecoveredRecords, stats.SkippedRecords)
+		cfg.Store = st
+	}
+
+	peerList := *peers
+	if peerList == "" {
+		peerList = os.Getenv("LCN_PEERS")
+	}
+	if peerList != "" {
+		if *self == "" {
+			log.Fatalf("-peers requires -self (this node's host:port)")
+		}
+		cl, err := cluster.New(cluster.Options{
+			Self:           *self,
+			Peers:          strings.Split(peerList, ","),
+			ForwardTimeout: *timeout,
+		})
+		if err != nil {
+			log.Fatalf("cluster: %v", err)
+		}
+		cl.Start(context.Background())
+		defer cl.Stop()
+		log.Printf("cluster: self=%s peers=%s", *self, peerList)
+		cfg.Cluster = cl
+	}
+
+	svc := service.New(cfg)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -94,7 +144,10 @@ func main() {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
-	// Then wait for every in-flight evaluation to finish.
+	// Then wait for every in-flight evaluation to finish; Drain also
+	// flushes pending store batches so they survive the restart (the
+	// deferred Close would flush too, but a metrics line after Drain
+	// must already reflect the flushed state).
 	svc.Drain()
 
 	final, err := json.Marshal(svc.Metrics())

@@ -1,0 +1,421 @@
+// Package cluster shards the lcn-serve fleet: a consistent-hash ring
+// over a static peer list assigns every content-addressed cache key an
+// owning node, requests are forwarded single-hop to the owner (an
+// X-LCN-Forwarded header is the loop guard — a forwarded request is
+// never forwarded again), and a per-peer health prober with timeout and
+// exponential backoff keeps dead peers out of the forwarding path so
+// the service can fall back to local compute. The internal
+// /v1/store/{hash} fetch path lets any node serve any hash straight
+// out of a peer's store without re-running the solver.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lcn3d/internal/faults"
+)
+
+// ForwardedHeader is the loop-guard header: set to the forwarding
+// node's address on every forwarded request, so the receiver computes
+// locally instead of forwarding again (single-hop).
+const ForwardedHeader = "X-LCN-Forwarded"
+
+// ErrNotFound reports a peer store fetch that answered 404.
+var ErrNotFound = errors.New("cluster: hash not in peer store")
+
+// ErrPeerDown reports a peer currently marked unhealthy.
+var ErrPeerDown = errors.New("cluster: peer marked down")
+
+// Options configures a Cluster.
+type Options struct {
+	// Self is this node's own address as it appears in Peers.
+	Self string
+	// Peers is the full static fleet membership, self included
+	// (self is added if absent).
+	Peers []string
+	// VirtualNodes per peer on the ring (0 = 64).
+	VirtualNodes int
+	// ProbeInterval spaces health probes per healthy peer (0 = 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (0 = 1s).
+	ProbeTimeout time.Duration
+	// MaxBackoff caps the exponential probe backoff for down peers
+	// (0 = 30s).
+	MaxBackoff time.Duration
+	// ForwardTimeout bounds one forwarded request (0 = 2m; forwarded
+	// evaluations run a full solve on the owner).
+	ForwardTimeout time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.VirtualNodes <= 0 {
+		o.VirtualNodes = defaultVirtualNodes
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 30 * time.Second
+	}
+	if o.ForwardTimeout <= 0 {
+		o.ForwardTimeout = 2 * time.Minute
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// peerState tracks one peer's health. Peers start healthy (optimistic:
+// the first real forward finds out) and are marked down either by a
+// failed probe or passively by a failed forward.
+type peerState struct {
+	mu        sync.Mutex
+	healthy   bool
+	fails     int
+	nextProbe time.Time
+}
+
+// Stats snapshots the cluster counters for /v1/metrics.
+type Stats struct {
+	Self         string   `json:"self"`
+	Peers        []string `json:"peers"`
+	HealthyPeers int      `json:"healthy_peers"`
+
+	Forwards      int64 `json:"forwards"`       // requests answered by the owning peer
+	ForwardErrors int64 `json:"forward_errors"` // forward attempts that failed
+
+	StoreFetches     int64 `json:"store_fetches"` // /v1/store/{hash} fetch attempts
+	StoreFetchHits   int64 `json:"store_fetch_hits"`
+	StoreFetchMisses int64 `json:"store_fetch_misses"`
+	StoreFetchErrors int64 `json:"store_fetch_errors"`
+
+	Probes     int64 `json:"probes"`
+	ProbeFails int64 `json:"probe_fails"`
+}
+
+// Cluster is one node's view of the fleet.
+type Cluster struct {
+	opt    Options
+	self   string
+	ring   *Ring
+	others []string // peers minus self
+	states map[string]*peerState
+	client *http.Client
+
+	stopOnce sync.Once
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	ctrForwards, ctrForwardErrs                            atomic.Int64
+	ctrFetches, ctrFetchHits, ctrFetchMisses, ctrFetchErrs atomic.Int64
+	ctrProbes, ctrProbeFails                               atomic.Int64
+}
+
+// New builds a cluster view. The ring covers Peers ∪ {Self}; probing
+// does not start until Start.
+func New(opt Options) (*Cluster, error) {
+	opt = opt.withDefaults()
+	if opt.Self == "" {
+		return nil, fmt.Errorf("cluster: Self is required")
+	}
+	peers := append([]string{opt.Self}, opt.Peers...)
+	ring, err := NewRing(peers, opt.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		opt:    opt,
+		self:   opt.Self,
+		ring:   ring,
+		states: make(map[string]*peerState),
+		client: opt.Client,
+		done:   make(chan struct{}),
+	}
+	for _, p := range ring.Peers() {
+		if p != c.self {
+			c.others = append(c.others, p)
+			c.states[p] = &peerState{healthy: true}
+		}
+	}
+	return c, nil
+}
+
+// Self returns this node's address.
+func (c *Cluster) Self() string { return c.self }
+
+// Peers returns the full membership, sorted.
+func (c *Cluster) Peers() []string { return c.ring.Peers() }
+
+// Owner returns the peer owning key and whether that peer is this node.
+func (c *Cluster) Owner(key string) (peer string, self bool) {
+	p := c.ring.Owner(key)
+	return p, p == c.self
+}
+
+// Healthy reports whether peer is currently believed up. Unknown peers
+// (not in the ring) are unhealthy.
+func (c *Cluster) Healthy(peer string) bool {
+	st, ok := c.states[peer]
+	if !ok {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.healthy
+}
+
+// MarkDown records a passive failure observation for peer (e.g. a
+// failed forward), scheduling the prober to re-check with backoff.
+func (c *Cluster) MarkDown(peer string) {
+	st, ok := c.states[peer]
+	if !ok {
+		return
+	}
+	st.mu.Lock()
+	st.healthy = false
+	st.fails++
+	st.nextProbe = time.Now().Add(c.backoff(st.fails))
+	st.mu.Unlock()
+}
+
+func (c *Cluster) backoff(fails int) time.Duration {
+	d := c.opt.ProbeInterval
+	for i := 1; i < fails && d < c.opt.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.opt.MaxBackoff {
+		d = c.opt.MaxBackoff
+	}
+	return d
+}
+
+// Start launches the health-probe loop; Stop (or ctx cancellation)
+// ends it.
+func (c *Cluster) Start(ctx context.Context) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		// The tick is fine-grained relative to ProbeInterval so backoff
+		// deadlines are honored promptly without per-peer timers.
+		step := c.opt.ProbeInterval / 4
+		if step < 50*time.Millisecond {
+			step = 50 * time.Millisecond
+		}
+		tick := time.NewTicker(step)
+		defer tick.Stop()
+		for {
+			select {
+			case <-c.done:
+				return
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				c.probeDue()
+			}
+		}
+	}()
+}
+
+// Stop ends probing. Idempotent.
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() { close(c.done) })
+	c.wg.Wait()
+}
+
+// probeDue probes every peer whose next-probe deadline has passed, in
+// parallel (a hung peer must not delay probes of the others).
+func (c *Cluster) probeDue() {
+	now := time.Now()
+	var wg sync.WaitGroup
+	for _, peer := range c.others {
+		st := c.states[peer]
+		st.mu.Lock()
+		due := !st.nextProbe.After(now)
+		if due {
+			st.nextProbe = now.Add(c.opt.ProbeInterval) // re-set on completion for down peers
+		}
+		st.mu.Unlock()
+		if !due {
+			continue
+		}
+		wg.Add(1)
+		go func(peer string, st *peerState) {
+			defer wg.Done()
+			err := c.probe(peer)
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			if err != nil {
+				c.ctrProbeFails.Add(1)
+				st.healthy = false
+				st.fails++
+				st.nextProbe = time.Now().Add(c.backoff(st.fails))
+				return
+			}
+			st.healthy = true
+			st.fails = 0
+			st.nextProbe = time.Now().Add(c.opt.ProbeInterval)
+		}(peer, st)
+	}
+	wg.Wait()
+}
+
+func (c *Cluster) probe(peer string) error {
+	c.ctrProbes.Add(1)
+	if faults.Fire(faults.ClusterProbe) {
+		return errors.New("cluster: injected probe fault")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.opt.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: probe %s: status %d", peer, resp.StatusCode)
+	}
+	return nil
+}
+
+// Forward sends one API request body to the owning peer and returns the
+// peer's response bytes. The loop-guard header makes the receiver
+// compute locally. A failure marks the peer down (passive detection)
+// and is reported so the caller can fall back to local compute.
+func (c *Cluster) Forward(ctx context.Context, peer, endpoint string, body []byte) ([]byte, error) {
+	if !c.Healthy(peer) {
+		c.ctrForwardErrs.Add(1)
+		return nil, ErrPeerDown
+	}
+	if faults.Fire(faults.ClusterForward) {
+		c.ctrForwardErrs.Add(1)
+		return nil, errors.New("cluster: injected forward fault")
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.opt.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+peer+endpoint, bytes.NewReader(body))
+	if err != nil {
+		c.ctrForwardErrs.Add(1)
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedHeader, c.self)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.ctrForwardErrs.Add(1)
+		c.MarkDown(peer)
+		return nil, fmt.Errorf("cluster: forward to %s: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody))
+	if err != nil {
+		c.ctrForwardErrs.Add(1)
+		return nil, fmt.Errorf("cluster: forward to %s: read: %w", peer, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		// The peer is alive but rejected the work (overload, drain, its
+		// own fault plan): fall back to local compute rather than
+		// propagating a peer-internal status to the client.
+		c.ctrForwardErrs.Add(1)
+		return nil, fmt.Errorf("cluster: forward to %s: status %d: %s", peer, resp.StatusCode, truncate(out, 200))
+	}
+	c.ctrForwards.Add(1)
+	return out, nil
+}
+
+// FetchStore asks peer for the raw result blob of hash via the internal
+// /v1/store/{hash} path. ErrNotFound reports a clean 404.
+func (c *Cluster) FetchStore(ctx context.Context, peer, hash string) ([]byte, error) {
+	c.ctrFetches.Add(1)
+	if !c.Healthy(peer) {
+		c.ctrFetchErrs.Add(1)
+		return nil, ErrPeerDown
+	}
+	if faults.Fire(faults.ClusterFetch) {
+		c.ctrFetchErrs.Add(1)
+		return nil, errors.New("cluster: injected fetch fault")
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.opt.ProbeTimeout*4)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+"/v1/store/"+hash, nil)
+	if err != nil {
+		c.ctrFetchErrs.Add(1)
+		return nil, err
+	}
+	req.Header.Set(ForwardedHeader, c.self)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.ctrFetchErrs.Add(1)
+		c.MarkDown(peer)
+		return nil, fmt.Errorf("cluster: fetch %s from %s: %w", hash, peer, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		out, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody))
+		if err != nil {
+			c.ctrFetchErrs.Add(1)
+			return nil, err
+		}
+		c.ctrFetchHits.Add(1)
+		return out, nil
+	case http.StatusNotFound:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		c.ctrFetchMisses.Add(1)
+		return nil, ErrNotFound
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		c.ctrFetchErrs.Add(1)
+		return nil, fmt.Errorf("cluster: fetch from %s: status %d", peer, resp.StatusCode)
+	}
+}
+
+// Stats snapshots the counters and health view.
+func (c *Cluster) Stats() Stats {
+	healthy := 0
+	for _, p := range c.others {
+		if c.Healthy(p) {
+			healthy++
+		}
+	}
+	return Stats{
+		Self:             c.self,
+		Peers:            c.ring.Peers(),
+		HealthyPeers:     healthy,
+		Forwards:         c.ctrForwards.Load(),
+		ForwardErrors:    c.ctrForwardErrs.Load(),
+		StoreFetches:     c.ctrFetches.Load(),
+		StoreFetchHits:   c.ctrFetchHits.Load(),
+		StoreFetchMisses: c.ctrFetchMisses.Load(),
+		StoreFetchErrors: c.ctrFetchErrs.Load(),
+		Probes:           c.ctrProbes.Load(),
+		ProbeFails:       c.ctrProbeFails.Load(),
+	}
+}
+
+const maxForwardBody = 32 << 20
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(b)
+}

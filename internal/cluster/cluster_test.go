@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lcn3d/internal/faults"
+)
+
+// testPeer starts an HTTP server on a real loopback port and returns
+// its host:port address.
+func testPeer(t *testing.T, h http.Handler) (string, *httptest.Server) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	u, err := net.ResolveTCPAddr("tcp", srv.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.String(), srv
+}
+
+func TestForwardSetsLoopGuardAndReturnsBody(t *testing.T) {
+	var gotHeader atomic.Value
+	addr, _ := testPeer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader.Store(r.Header.Get(ForwardedHeader))
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	c, err := New(Options{Self: "self:1", Peers: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Forward(context.Background(), addr, "/v1/evaluate", []byte(`{}`))
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if string(out) != `{"ok":true}` {
+		t.Fatalf("body = %q", out)
+	}
+	if gotHeader.Load() != "self:1" {
+		t.Fatalf("loop-guard header = %q, want self:1", gotHeader.Load())
+	}
+	if st := c.Stats(); st.Forwards != 1 || st.ForwardErrors != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestForwardFailureMarksPeerDown(t *testing.T) {
+	addr, srv := testPeer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // connection refused from now on
+	c, err := New(Options{Self: "self:1", Peers: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Healthy(addr) {
+		t.Fatal("peer should start healthy (optimistic)")
+	}
+	if _, err := c.Forward(context.Background(), addr, "/v1/evaluate", nil); err == nil {
+		t.Fatal("Forward to dead peer succeeded")
+	}
+	if c.Healthy(addr) {
+		t.Fatal("failed forward did not mark peer down")
+	}
+	// Down peer: subsequent forwards are refused without a dial.
+	if _, err := c.Forward(context.Background(), addr, "/v1/evaluate", nil); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("forward to down peer: %v, want ErrPeerDown", err)
+	}
+}
+
+func TestForwardNon200IsError(t *testing.T) {
+	addr, _ := testPeer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+	}))
+	c, err := New(Options{Self: "self:1", Peers: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Forward(context.Background(), addr, "/v1/evaluate", nil); err == nil {
+		t.Fatal("503 forward reported success")
+	}
+	if st := c.Stats(); st.ForwardErrors != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// A rejected request is not a dead peer.
+	if !c.Healthy(addr) {
+		t.Fatal("non-200 marked peer down")
+	}
+}
+
+func TestFetchStoreHitMissAndError(t *testing.T) {
+	addr, _ := testPeer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/store/cached":
+			w.Write([]byte("blob"))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	c, err := New(Options{Self: "self:1", Peers: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.FetchStore(context.Background(), addr, "cached")
+	if err != nil || string(out) != "blob" {
+		t.Fatalf("FetchStore hit: %q, %v", out, err)
+	}
+	if _, err := c.FetchStore(context.Background(), addr, "absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("FetchStore miss: %v, want ErrNotFound", err)
+	}
+	st := c.Stats()
+	if st.StoreFetchHits != 1 || st.StoreFetchMisses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestProbeLoopRecoversPeer(t *testing.T) {
+	var up atomic.Bool
+	addr, _ := testPeer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" && up.Load() {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	c, err := New(Options{
+		Self: "self:1", Peers: []string{addr},
+		ProbeInterval: 50 * time.Millisecond, ProbeTimeout: time.Second,
+		MaxBackoff: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c.Start(ctx)
+	defer c.Stop()
+
+	waitFor := func(want bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for c.Healthy(addr) != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("peer never became %s: %+v", what, c.Stats())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitFor(false, "down") // healthz 503s
+	up.Store(true)
+	waitFor(true, "healthy again") // probe recovers it despite backoff
+	if st := c.Stats(); st.Probes == 0 || st.ProbeFails == 0 {
+		t.Fatalf("probe counters empty: %+v", st)
+	}
+}
+
+func TestInjectedForwardAndFetchFaults(t *testing.T) {
+	addr, _ := testPeer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("fine"))
+	}))
+	c, err := New(Options{Self: "self:1", Peers: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faults.Arm("cluster.forward=always;cluster.fetch=always"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+	if _, err := c.Forward(context.Background(), addr, "/v1/evaluate", nil); err == nil {
+		t.Fatal("injected forward fault did not fire")
+	}
+	if _, err := c.FetchStore(context.Background(), addr, "h"); err == nil {
+		t.Fatal("injected fetch fault did not fire")
+	}
+	// Injected failures exercise the fallback path without marking the
+	// peer down — the fault is in the forwarding, not the peer.
+	if !c.Healthy(addr) {
+		t.Fatal("injected fault marked peer down")
+	}
+}
+
+func TestOwnerIsStableAcrossNodes(t *testing.T) {
+	peers := []string{"a:1", "b:2", "c:3"}
+	views := make([]*Cluster, len(peers))
+	for i, self := range peers {
+		c, err := New(Options{Self: self, Peers: peers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[i] = c
+	}
+	for i := 0; i < 100; i++ {
+		key := string(rune('a'+i%26)) + "0123456789abcdef0123456789abcdef"
+		owner, _ := views[0].Owner(key)
+		for _, v := range views[1:] {
+			if got, _ := v.Owner(key); got != owner {
+				t.Fatalf("key %q: %s vs %s", key, got, owner)
+			}
+		}
+		self := 0
+		for _, v := range views {
+			if _, s := v.Owner(key); s {
+				self++
+			}
+		}
+		if self != 1 {
+			t.Fatalf("key %q claimed by %d nodes", key, self)
+		}
+	}
+}

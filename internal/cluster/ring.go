@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over a static peer list. Each peer
+// contributes VirtualNodes points; a key is owned by the peer whose
+// first point clockwise of the key's hash position. The ring is
+// immutable after construction — membership is a deployment-time
+// decision (the -peers flag), and a down peer keeps its ownership so
+// keys do not migrate on transient failures (the service falls back to
+// local compute instead).
+type Ring struct {
+	points []ringPoint
+	peers  []string
+}
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// defaultVirtualNodes spreads ownership evenly: with 64 points per peer
+// the max/min load ratio across a handful of peers stays within a few
+// percent of 1.
+const defaultVirtualNodes = 64
+
+// NewRing builds a ring over peers (deduplicated, order-insensitive:
+// two nodes configured with the same set in any order agree on every
+// owner). virtualNodes <= 0 selects the default.
+func NewRing(peers []string, virtualNodes int) (*Ring, error) {
+	if virtualNodes <= 0 {
+		virtualNodes = defaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(peers))
+	uniq := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer address")
+		}
+		if !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: no peers")
+	}
+	sort.Strings(uniq)
+	r := &Ring{peers: uniq, points: make([]ringPoint, 0, len(uniq)*virtualNodes)}
+	for _, p := range uniq {
+		for v := 0; v < virtualNodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", p, v)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].peer < r.points[j].peer // deterministic on (absurdly unlikely) collisions
+	})
+	return r, nil
+}
+
+// Peers returns the ring membership, sorted.
+func (r *Ring) Peers() []string { return r.peers }
+
+// Owner returns the peer owning key.
+func (r *Ring) Owner(key string) string {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].peer
+}
+
+// hash64 is FNV-1a; key distribution comes from the keys themselves
+// (SHA-256 hex content addresses), so a fast non-cryptographic mix is
+// plenty for placement.
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndOrderInsensitive(t *testing.T) {
+	a, err := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3:3", "n1:1", "n2:2", "n1:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%064d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %d: owners differ across peer orderings: %s vs %s",
+				i, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingCoversAllPeersReasonablyEvenly(t *testing.T) {
+	peers := []string{"n1:1", "n2:2", "n3:3", "n4:4"}
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("%064d", i))]++
+	}
+	for _, p := range peers {
+		if counts[p] == 0 {
+			t.Fatalf("peer %s owns nothing: %v", p, counts)
+		}
+		frac := float64(counts[p]) / n
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("peer %s owns %.0f%% of keys, want roughly 25%%: %v", p, 100*frac, counts)
+		}
+	}
+}
+
+// TestRingStableUnderMembership: a key owned by a surviving peer keeps
+// its owner when the ring is REBUILT without an unrelated peer — the
+// consistent-hashing property that bounds re-sharding churn.
+func TestRingStableUnderMembership(t *testing.T) {
+	full, err := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"n1:1", "n2:2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("%064d", i)
+		was := full.Owner(key)
+		if was == "n3:3" {
+			continue // its keys must move somewhere, by definition
+		}
+		if reduced.Owner(key) != was {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d/%d keys of surviving peers moved when n3 left", moved, n)
+	}
+}
+
+func TestRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("NewRing(nil) succeeded")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Fatal("NewRing with empty address succeeded")
+	}
+}

@@ -72,6 +72,19 @@ const (
 	MGRestrict Point = "solver.mg.restrict"
 	// MGCoarse poisons the coarse-grid correction after the coarse solve.
 	MGCoarse Point = "solver.mg.coarse"
+	// StoreFlush makes the result store's next group commit emit a torn
+	// partial batch (no fsync) and fail, exercising crash recovery.
+	StoreFlush Point = "store.flush"
+	// StoreRead makes a result-store Get fail as if the segment bytes
+	// were unreadable, exercising the miss-and-recompute path.
+	StoreRead Point = "store.read"
+	// ClusterForward fails peer request forwarding, exercising the
+	// local-compute fallback.
+	ClusterForward Point = "cluster.forward"
+	// ClusterFetch fails the peer /v1/store/{hash} fetch path.
+	ClusterFetch Point = "cluster.fetch"
+	// ClusterProbe fails peer health probes, marking peers down.
+	ClusterProbe Point = "cluster.probe"
 )
 
 // Points lists every registered injection point.
@@ -79,6 +92,7 @@ var Points = []Point{
 	CGBreakdown, BiCGBreakdown, GMRESBreakdown, NotConverged,
 	ThermalNaN, ThermalSlow, FlowBreakdown, ServicePanic,
 	MGSmoother, MGRestrict, MGCoarse,
+	StoreFlush, StoreRead, ClusterForward, ClusterFetch, ClusterProbe,
 }
 
 // EnvVar is the environment variable ArmFromEnv reads the spec from.

@@ -1,0 +1,312 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"lcn3d/internal/cluster"
+	"lcn3d/internal/store"
+)
+
+// openStoreT opens a store with auto-flush effectively disabled, so a
+// test controls exactly when batches reach disk (Drain or Flush).
+func openStoreT(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{
+		FlushCount:    1 << 20,
+		FlushBytes:    1 << 30,
+		FlushInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	return st
+}
+
+func simReq(psys float64) SimulateRequest {
+	return SimulateRequest{
+		CaseRef:   CaseRef{Case: 1},
+		ModelSpec: ModelSpec{Model: "2rm", CoarseM: 4},
+		Network:   NetworkSpec{Generator: "straight"},
+		Psys:      psys,
+	}
+}
+
+// TestDrainFlushesStoreAndRestartServesFromDisk is satellite (2) plus
+// acceptance criterion (c): results computed before a SIGTERM drain are
+// flushed to disk by Drain itself, and a cold-restarted service answers
+// the same request from the store — store hit counter up, zero solver
+// runs — with bitwise-identical bytes.
+func TestDrainFlushesStoreAndRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+
+	st := openStoreT(t, dir)
+	s1 := testService(t, Config{Store: st})
+	want, err := s1.Simulate(context.Background(), simReq(8e3))
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if got := st.Stats().Pending; got == 0 {
+		t.Fatal("result not pending in the store batcher before drain")
+	}
+	s1.Drain() // must flush the pending batch (satellite 2)
+	if got := st.Stats().Pending; got != 0 {
+		t.Fatalf("drain left %d records pending", got)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("store.Close: %v", err)
+	}
+
+	// Cold restart: fresh service, fresh store handle, same directory.
+	st2 := openStoreT(t, dir)
+	defer st2.Close()
+	if got := st2.Stats().Records; got != 1 {
+		t.Fatalf("reopened store has %d records, want 1", got)
+	}
+	s2 := testService(t, Config{Store: st2})
+	got, err := s2.Simulate(context.Background(), simReq(8e3))
+	if err != nil {
+		t.Fatalf("Simulate after restart: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("restarted service returned different bytes")
+	}
+	m := s2.Metrics()
+	if m.StoreHits != 1 {
+		t.Errorf("store hits = %d, want 1", m.StoreHits)
+	}
+	if m.Evaluations != 0 {
+		t.Errorf("evaluations = %d, want 0 (must not re-run the solver)", m.Evaluations)
+	}
+	// Promoted into the memory LRU: a repeat is a tier-1 hit.
+	if _, err := s2.Simulate(context.Background(), simReq(8e3)); err != nil {
+		t.Fatalf("repeat: %v", err)
+	}
+	if m := s2.Metrics(); m.StoreHits != 1 || m.CacheHits != 1 {
+		t.Errorf("repeat: store hits %d cache hits %d, want 1 and 1", m.StoreHits, m.CacheHits)
+	}
+}
+
+// testFleet starts n services behind real HTTP listeners sharing one
+// peer list, each with its own store directory.
+func testFleet(t *testing.T, n int) ([]*Service, []*httptest.Server, []string) {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	svcs := make([]*Service, n)
+	servers := make([]*httptest.Server, n)
+	for i := range svcs {
+		cl, err := cluster.New(cluster.Options{Self: addrs[i], Peers: addrs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cl.Stop)
+		svcs[i] = testService(t, Config{
+			Store:   openStoreT(t, t.TempDir()),
+			Cluster: cl,
+		})
+		t.Cleanup(func() { svcs[i].cfg.Store.Close() })
+		srv := httptest.NewUnstartedServer(svcs[i].Handler())
+		srv.Listener.Close()
+		srv.Listener = listeners[i]
+		srv.Start()
+		t.Cleanup(srv.Close)
+		servers[i] = srv
+	}
+	return svcs, servers, addrs
+}
+
+func postSim(t *testing.T, url string, req SimulateRequest) []byte {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %d: %s", url, resp.StatusCode, buf.String())
+	}
+	return buf.Bytes()
+}
+
+// TestFleetForwardsToOwnerSingleCompute is acceptance criterion (d):
+// the same request sent to every node of a 3-node fleet runs the solver
+// exactly once fleet-wide — the owner computes, the other two answer
+// via the peer tier (store fetch or forwarded request) — and every node
+// returns bitwise-identical bytes.
+func TestFleetForwardsToOwnerSingleCompute(t *testing.T) {
+	svcs, servers, _ := testFleet(t, 3)
+
+	req := simReq(9e3)
+	var first []byte
+	for i, srv := range servers {
+		got := postSim(t, srv.URL, req)
+		if i == 0 {
+			first = got
+		} else if !bytes.Equal(got, first) {
+			t.Fatalf("node %d returned different bytes", i)
+		}
+	}
+
+	var evals, peerHits int64
+	for _, s := range svcs {
+		m := s.Metrics()
+		evals += m.Evaluations
+		peerHits += m.PeerHits
+	}
+	if evals != 1 {
+		t.Errorf("fleet-wide evaluations = %d, want exactly 1", evals)
+	}
+	// Whichever node owns the key answers locally; the other two reach
+	// it through the peer tier.
+	if peerHits != 2 {
+		t.Errorf("fleet-wide peer hits = %d, want 2", peerHits)
+	}
+}
+
+// TestDeadOwnerFallsBackToLocalCompute: when the owner of a key is
+// down, a surviving node computes locally instead of erroring.
+func TestDeadOwnerFallsBackToLocalCompute(t *testing.T) {
+	svcs, servers, addrs := testFleet(t, 3)
+
+	// Find a request owned by node 0 from the viewpoint of node 1.
+	other := svcs[1]
+	var req SimulateRequest
+	found := false
+	for psys := 5e3; psys < 5e3+100; psys++ {
+		r := simReq(psys)
+		p, err := other.prepare(r.CaseRef, r.ModelSpec, r.Network)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := cacheKey("simulate", p.ref, p.ms, p.netHash, r.Psys)
+		if owner, self := other.cfg.Cluster.Owner(key); !self && owner == addrs[0] {
+			req, found = r, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no probed key owned by node 0")
+	}
+
+	servers[0].Close() // kill the owner
+	got := postSim(t, servers[1].URL, req)
+	var resp SimulateResponse
+	if err := json.Unmarshal(got, &resp); err != nil {
+		t.Fatalf("bad response: %v", err)
+	}
+	m := svcs[1].Metrics()
+	if m.LocalFallbacks != 1 {
+		t.Errorf("local fallbacks = %d, want 1", m.LocalFallbacks)
+	}
+	if m.Evaluations != 1 {
+		t.Errorf("evaluations = %d, want 1 (computed locally)", m.Evaluations)
+	}
+}
+
+// TestForwardedRequestIsNotReforwarded: a request that already hopped
+// once (loop-guard header set) is answered locally even when its key is
+// owned elsewhere — forwarding is single-hop by construction.
+func TestForwardedRequestIsNotReforwarded(t *testing.T) {
+	// A 2-node view where the other node is unreachable; every key it
+	// owns would otherwise be forwarded (and fail into fallback).
+	cl, err := cluster.New(cluster.Options{Self: "self:1", Peers: []string{"self:1", "198.51.100.1:9"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	s := testService(t, Config{Cluster: cl})
+
+	// Find a key the dead peer owns.
+	var req SimulateRequest
+	found := false
+	for psys := 6e3; psys < 6e3+100; psys++ {
+		r := simReq(psys)
+		p, err := s.prepare(r.CaseRef, r.ModelSpec, r.Network)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := cacheKey("simulate", p.ref, p.ms, p.netHash, r.Psys)
+		if _, self := s.cfg.Cluster.Owner(key); !self {
+			req, found = r, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no probed key owned by the peer")
+	}
+
+	if _, err := s.Simulate(WithForwarded(context.Background()), req); err != nil {
+		t.Fatalf("forwarded request: %v", err)
+	}
+	m := s.Metrics()
+	if m.PeerHits != 0 || m.LocalFallbacks != 0 {
+		t.Errorf("forwarded request touched the peer tier: peer hits %d, fallbacks %d",
+			m.PeerHits, m.LocalFallbacks)
+	}
+	if m.Evaluations != 1 {
+		t.Errorf("evaluations = %d, want 1", m.Evaluations)
+	}
+}
+
+// TestStoreFetchEndpointServesAndCounts: GET /v1/store/{hash} returns
+// the cached bytes for a known key, 404 for an unknown one, and never
+// computes.
+func TestStoreFetchEndpointServesAndCounts(t *testing.T) {
+	s := testService(t, Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	want, err := s.Simulate(context.Background(), simReq(7e3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp SimulateResponse
+	if err := json.Unmarshal(want, &resp); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := http.Get(srv.URL + "/v1/store/" + resp.CacheKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(r.Body)
+	if r.StatusCode != http.StatusOK || !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("store fetch: %d, %q", r.StatusCode, buf.String())
+	}
+
+	if r, err = http.Get(srv.URL + "/v1/store/deadbeef"); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown hash: %d, want 404", r.StatusCode)
+	}
+
+	m := s.Metrics()
+	if m.StoreFetchServed != 1 {
+		t.Errorf("store fetch served = %d, want 1", m.StoreFetchServed)
+	}
+	if m.Evaluations != 1 {
+		t.Errorf("evaluations = %d, want 1 (fetches never compute)", m.Evaluations)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"lcn3d/internal/cluster"
 )
 
 // maxBodyBytes bounds uploaded request bodies (a full-scale network file
@@ -16,13 +18,20 @@ const maxBodyBytes = 8 << 20
 
 // Handler returns the HTTP API:
 //
-//	POST /v1/simulate   one flow+thermal probe at a fixed pressure
-//	POST /v1/evaluate   Algorithm 2/3 lowest-feasible-P_sys evaluation
-//	POST /v1/optimize   multi-chain SA optimization; single job or a
-//	                    {"jobs": [...]} batch fanned through the pool
-//	GET  /v1/metrics    counters, rates, latency quantiles, and live
-//	                    per-chain optimization progress as JSON
-//	GET  /healthz       "ok" (200) or "draining" (503)
+//	POST /v1/simulate     one flow+thermal probe at a fixed pressure
+//	POST /v1/evaluate     Algorithm 2/3 lowest-feasible-P_sys evaluation
+//	POST /v1/optimize     multi-chain SA optimization; single job or a
+//	                      {"jobs": [...]} batch fanned through the pool
+//	GET  /v1/store/{hash} raw cached response bytes by cache key — the
+//	                      cheap peer fetch path (404 when absent; never
+//	                      computes)
+//	GET  /v1/metrics      counters, rates, latency quantiles, and live
+//	                      per-chain optimization progress as JSON
+//	GET  /healthz         "ok" (200) or "draining" (503)
+//
+// Requests carrying the cluster loop-guard header (X-LCN-Forwarded) are
+// marked in their context so the service answers them locally instead of
+// forwarding again.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
@@ -64,6 +73,17 @@ func (s *Service) Handler() http.Handler {
 		buf, err := s.Optimize(r.Context(), req)
 		writeResult(w, buf, err)
 	})
+	mux.HandleFunc("GET /v1/store/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		blob, ok := s.storeLookup(r.PathValue("hash"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("not cached"))
+			return
+		}
+		s.met.storeFetchServed.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(blob)
+	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Metrics())
 	})
@@ -74,7 +94,31 @@ func (s *Service) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(cluster.ForwardedHeader) != "" {
+			r = r.WithContext(WithForwarded(r.Context()))
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// storeLookup answers a peer's store fetch from the local tiers only:
+// the memory LRU, then the disk store (promoting a hit). It never
+// computes and never forwards — a fetch is a question, not a request.
+func (s *Service) storeLookup(key string) ([]byte, bool) {
+	if key == "" {
+		return nil, false
+	}
+	if buf, ok := s.results.Get(key); ok {
+		return buf.([]byte), true
+	}
+	if s.cfg.Store != nil {
+		if blob, ok := s.cfg.Store.Get(key); ok {
+			s.results.Put(key, blob)
+			return blob, true
+		}
+	}
+	return nil, false
 }
 
 // strictUnmarshal decodes with unknown-field rejection, the same policy

@@ -6,7 +6,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lcn3d/internal/cluster"
 	"lcn3d/internal/faults"
+	"lcn3d/internal/store"
 )
 
 // metrics holds the service counters. Everything is atomics or a small
@@ -29,6 +31,15 @@ type metrics struct {
 	inFlight   atomic.Int64 // holding a worker slot
 
 	optimizeRuns atomic.Int64 // optimization jobs actually computed
+
+	// Read-path tier counters beyond the memory LRU: the persistent
+	// store (tier 2), the owning peer (tier 3), and the fallback when
+	// the owner could not answer.
+	storeHits        atomic.Int64 // served from the local disk store
+	storeMisses      atomic.Int64 // disk store consulted, absent
+	peerHits         atomic.Int64 // served by the owning peer (fetch or forward)
+	localFallbacks   atomic.Int64 // peer-owned key computed locally (owner unreachable)
+	storeFetchServed atomic.Int64 // /v1/store/{hash} requests this node answered
 
 	lat latencyRing
 }
@@ -86,6 +97,21 @@ type FactorSnapshot struct {
 	RetryGMRES   int `json:"retry_gmres"`
 	RetryDense   int `json:"retry_dense"`
 	Degraded     int `json:"degraded"`
+
+	Multigrid MultigridSnapshot `json:"multigrid"`
+}
+
+// MultigridSnapshot aggregates the two-level multigrid preconditioner
+// counters (solver.MGStats) of every cached model, plus the latch-off
+// count: models that permanently fell back to ILU preconditioning.
+type MultigridSnapshot struct {
+	VCycles        int64 `json:"v_cycles"`
+	SmootherSweeps int64 `json:"smoother_sweeps"`
+	SmootherBuilds int64 `json:"smoother_builds"`
+	CoarseSolves   int64 `json:"coarse_solves"`
+	CoarseIters    int64 `json:"coarse_iters"`
+	Updates        int64 `json:"updates"`
+	LatchOffs      int64 `json:"latch_offs"`
 }
 
 // MetricsSnapshot is the JSON document served by /v1/metrics.
@@ -115,6 +141,19 @@ type MetricsSnapshot struct {
 
 	ResultsCached int `json:"results_cached"`
 	ModelsCached  int `json:"models_cached"`
+
+	// Read-path tier counters beyond the memory LRU (zero when the node
+	// runs without a store or cluster).
+	StoreHits        int64 `json:"store_hits"`
+	StoreMisses      int64 `json:"store_misses"`
+	PeerHits         int64 `json:"peer_hits"`
+	LocalFallbacks   int64 `json:"local_fallbacks"`
+	StoreFetchServed int64 `json:"store_fetch_served"`
+
+	// Store and Cluster snapshot the persistent result store and the
+	// sharding fleet state; both are absent on a standalone node.
+	Store   *store.Stats   `json:"store,omitempty"`
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 
 	Factor FactorSnapshot `json:"factor"`
 

@@ -232,7 +232,9 @@ func (s *Service) Optimize(ctx context.Context, req OptimizeRequest) ([]byte, er
 	}
 	req.Scale = scale // pin the effective scale into the cache key
 	key := optimizeKey(req)
-	return s.do(ctx, key, req.TimeoutMS, func(ctx context.Context) (any, error) {
+	// req is already normalized (validate) and scale-pinned, so the
+	// forwarded copy derives the same key on the owning peer.
+	return s.do(ctx, key, "/v1/optimize", req, req.TimeoutMS, func(ctx context.Context) (any, error) {
 		s.met.optimizeRuns.Add(1)
 		defer s.opt.done(key)
 		in := b.Instance // copy: WpumpStar override must not leak across jobs

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"lcn3d/internal/cluster"
 	"lcn3d/internal/core"
 	"lcn3d/internal/faults"
 	"lcn3d/internal/grid"
@@ -37,6 +38,7 @@ import (
 	"lcn3d/internal/network"
 	"lcn3d/internal/rm2"
 	"lcn3d/internal/rm4"
+	"lcn3d/internal/store"
 	"lcn3d/internal/thermal"
 )
 
@@ -63,6 +65,16 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// Search overrides the pressure-search options (zero = defaults).
 	Search core.SearchOptions
+	// Store, when non-nil, is the persistent content-addressed result
+	// store: the second tier of the read path (memory LRU → Store →
+	// owning peer), filled asynchronously through its write batcher, and
+	// flushed by Drain. The caller owns its lifecycle (Close).
+	Store *store.Store
+	// Cluster, when non-nil, shards work across a fleet: cache keys
+	// whose consistent-hash owner is a peer are answered by fetching
+	// from that peer's store or forwarding the request single-hop, with
+	// local compute as the fallback when the owner is down.
+	Cluster *cluster.Cluster
 }
 
 func (c Config) withDefaults() Config {
@@ -231,7 +243,9 @@ func (s *Service) leave() {
 }
 
 // Drain stops accepting new requests and blocks until every in-flight
-// request has finished. It is idempotent.
+// request has finished, then pushes any batched store writes to disk so
+// results computed just before shutdown survive a restart. It is
+// idempotent.
 func (s *Service) Drain() {
 	s.drainMu.Lock()
 	s.draining = true
@@ -239,6 +253,11 @@ func (s *Service) Drain() {
 		s.drainCV.Wait()
 	}
 	s.drainMu.Unlock()
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.Flush(); err != nil {
+			log.Printf("service: drain store flush: %v", err)
+		}
+	}
 }
 
 // Draining reports whether Drain has been called.
@@ -248,11 +267,48 @@ func (s *Service) Draining() bool {
 	return s.draining
 }
 
-// do runs one request end to end: admission, deadline, result cache,
-// single-flight, worker pool, compute. It returns the marshaled response
+// forwardedKey marks request contexts that arrived with the cluster
+// loop-guard header: the request was already forwarded one hop, so this
+// node must answer it locally (serve or compute), never re-forward.
+type forwardedKey struct{}
+
+// WithForwarded marks ctx as carrying an already-forwarded request.
+// The HTTP layer applies it when the X-LCN-Forwarded header is present.
+func WithForwarded(ctx context.Context) context.Context {
+	return context.WithValue(ctx, forwardedKey{}, true)
+}
+
+func forwardedFrom(ctx context.Context) bool {
+	v, _ := ctx.Value(forwardedKey{}).(bool)
+	return v
+}
+
+// fromPeer answers key from its owning peer: first the cheap store
+// lookup (GET /v1/store/{hash} — no compute on the peer), then the full
+// forwarded request, which the peer serves from any of its tiers or
+// computes exactly once under its own single-flight.
+func (s *Service) fromPeer(ctx context.Context, owner, endpoint, key string, fwdReq any) ([]byte, error) {
+	if blob, err := s.cfg.Cluster.FetchStore(ctx, owner, key); err == nil {
+		return blob, nil
+	} else if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	body, err := json.Marshal(fwdReq)
+	if err != nil {
+		return nil, fmt.Errorf("service: marshal forward request: %w", err)
+	}
+	return s.cfg.Cluster.Forward(ctx, owner, endpoint, body)
+}
+
+// do runs one request end to end: admission, deadline, the three-tier
+// read path (memory LRU → local disk store → owning peer), single-
+// flight, worker pool, compute. It returns the marshaled response
 // bytes — cached responses are returned verbatim, so a repeat of a
-// cached request is bitwise identical.
-func (s *Service) do(ctx context.Context, key string, timeoutMS int, compute func(ctx context.Context) (any, error)) ([]byte, error) {
+// cached request is bitwise identical. endpoint and fwdReq describe the
+// request for peer forwarding (fwdReq must marshal to a body the peer's
+// HTTP handler accepts, with every normalized field pinned so the peer
+// derives the same key).
+func (s *Service) do(ctx context.Context, key, endpoint string, fwdReq any, timeoutMS int, compute func(ctx context.Context) (any, error)) ([]byte, error) {
 	if !s.enter() {
 		s.met.rejected.Add(1)
 		return nil, ErrDraining
@@ -276,6 +332,36 @@ func (s *Service) do(ctx context.Context, key string, timeoutMS int, compute fun
 	s.met.cacheMisses.Add(1)
 
 	buf, err, shared := s.flights.Do(ctx, key, func() ([]byte, error) {
+		// Tier 2: the local disk store. A hit is promoted into the memory
+		// LRU and served without touching a worker slot — a cold-restarted
+		// node answers previously solved topologies from disk without
+		// re-running the solver.
+		if s.cfg.Store != nil {
+			if blob, ok := s.cfg.Store.Get(key); ok {
+				s.met.storeHits.Add(1)
+				s.results.Put(key, blob)
+				return blob, nil
+			}
+			s.met.storeMisses.Add(1)
+		}
+		// Tier 3: the owning peer. Only for keys this node does not own,
+		// and never for requests that were already forwarded once (the
+		// X-LCN-Forwarded loop guard keeps forwarding single-hop). Any
+		// failure — owner down, fetch and forward both failing — falls
+		// back to computing locally so the fleet degrades to independent
+		// nodes rather than erroring.
+		if s.cfg.Cluster != nil && !forwardedFrom(ctx) {
+			if owner, self := s.cfg.Cluster.Owner(key); !self {
+				if blob, err := s.fromPeer(ctx, owner, endpoint, key, fwdReq); err == nil {
+					s.met.peerHits.Add(1)
+					s.results.Put(key, blob)
+					return blob, nil
+				} else if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				s.met.localFallbacks.Add(1)
+			}
+		}
 		// Leader: take a worker slot (bounded pool); queueing respects
 		// the deadline, so a request that times out waiting never
 		// occupies a slot.
@@ -308,6 +394,13 @@ func (s *Service) do(ctx context.Context, key string, timeoutMS int, compute fun
 			return nil, fmt.Errorf("service: marshal response: %w", err)
 		}
 		s.results.Put(key, out)
+		// Fill the persistent store asynchronously: Put enqueues into the
+		// write batcher (group fsync); Drain flushes what is pending.
+		if s.cfg.Store != nil {
+			if err := s.cfg.Store.Put(key, out); err != nil {
+				log.Printf("service: store fill %s: %v", key, err)
+			}
+		}
 		return out, nil
 	})
 	if shared {
@@ -391,7 +484,11 @@ func (s *Service) Simulate(ctx context.Context, req SimulateRequest) ([]byte, er
 		return nil, err
 	}
 	key := cacheKey("simulate", p.ref, p.ms, p.netHash, req.Psys)
-	return s.do(ctx, key, req.TimeoutMS, func(ctx context.Context) (any, error) {
+	// The forwarded copy carries the pinned scale and normalized model so
+	// a peer with different defaults derives the same cache key.
+	fwd := req
+	fwd.CaseRef, fwd.ModelSpec = p.ref, p.ms
+	return s.do(ctx, key, "/v1/simulate", fwd, req.TimeoutMS, func(ctx context.Context) (any, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -423,7 +520,9 @@ func (s *Service) Evaluate(ctx context.Context, req EvaluateRequest) ([]byte, er
 		return nil, err
 	}
 	key := cacheKey("evaluate", p.ref, p.ms, p.netHash, float64(problem), req.WpumpStar)
-	return s.do(ctx, key, req.TimeoutMS, func(ctx context.Context) (any, error) {
+	fwd := req
+	fwd.CaseRef, fwd.ModelSpec, fwd.Problem = p.ref, p.ms, problem
+	return s.do(ctx, key, "/v1/evaluate", fwd, req.TimeoutMS, func(ctx context.Context) (any, error) {
 		in := &p.bench.Instance
 		opt := s.cfg.Search
 		// An evaluation runs many probes; the degraded count of the
@@ -492,6 +591,20 @@ func (s *Service) Metrics() MetricsSnapshot {
 		LatencyP95Ms:  float64(qs[1]) / float64(time.Millisecond),
 		ResultsCached: s.results.Len(),
 		ModelsCached:  s.models.Len(),
+
+		StoreHits:        s.met.storeHits.Load(),
+		StoreMisses:      s.met.storeMisses.Load(),
+		PeerHits:         s.met.peerHits.Load(),
+		LocalFallbacks:   s.met.localFallbacks.Load(),
+		StoreFetchServed: s.met.storeFetchServed.Load(),
+	}
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		snap.Store = &st
+	}
+	if s.cfg.Cluster != nil {
+		st := s.cfg.Cluster.Stats()
+		snap.Cluster = &st
 	}
 	s.models.Each(func(_ string, v any) {
 		e := v.(*modelEntry)
@@ -507,6 +620,14 @@ func (s *Service) Metrics() MetricsSnapshot {
 		snap.Factor.RetryGMRES += st.RetryGMRES
 		snap.Factor.RetryDense += st.RetryDense
 		snap.Factor.Degraded += st.Degraded
+		mg := &snap.Factor.Multigrid
+		mg.VCycles += st.MG.VCycles
+		mg.SmootherSweeps += st.MG.SmootherSweeps
+		mg.SmootherBuilds += st.MG.SmootherBuilds
+		mg.CoarseSolves += st.MG.CoarseSolves
+		mg.CoarseIters += st.MG.CoarseIters
+		mg.Updates += st.MG.Updates
+		mg.LatchOffs += int64(st.MGLatchOffs)
 	})
 	if snap.Factor.Probes > 0 {
 		snap.Factor.WarmStartRate = float64(snap.Factor.WarmStarts) / float64(snap.Factor.Probes)

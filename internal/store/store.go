@@ -1,0 +1,688 @@
+// Package store is a disk-backed content-addressed result store: an
+// append-only segment log mapping network.CanonicalHash-derived cache
+// keys to opaque result blobs, built so a solved topology is never
+// solved again — not by this process after a restart, and (through the
+// cluster forwarding layer) not by any node of a fleet.
+//
+// Layout and durability model:
+//
+//   - Records are appended to numbered segment files (seg-00000001.log,
+//     ...). A record is [magic][crc32][keyLen][valLen][key][val]; the
+//     CRC covers everything after itself, so a torn write is detectable.
+//   - Writes go through a batcher: Put enqueues and returns; a flusher
+//     goroutine writes pending records with ONE write + ONE fsync when
+//     the batch reaches FlushCount records, FlushBytes bytes, or
+//     FlushInterval of age — group commit, so sustained put traffic
+//     costs ~1 fsync per batch rather than per record. Flush/Close force
+//     the pending batch out synchronously (the drain path uses this so
+//     a clean shutdown never loses acknowledged writes).
+//   - Open rebuilds the in-memory index by scanning every segment in
+//     order. A record that fails its CRC is skipped, not fatal; a torn
+//     tail (truncated header or body, or an implausible length field)
+//     ends that segment's scan. New writes always start a fresh
+//     segment, so recovered garbage is never appended to.
+//   - Keys are content addresses: a key maps to exactly one immutable
+//     value, so duplicate puts are dropped and compaction is pure
+//     garbage collection (rewrite live records, delete old segments).
+//
+// Everything is counted (puts, gets, hits, misses, flushes, recovered
+// and skipped records, compactions) and exported via Stats for the
+// /v1/metrics snapshot.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lcn3d/internal/faults"
+)
+
+const (
+	magic = 0x4C434E53 // "LCNS"
+
+	headerSize = 14 // magic(4) + crc(4) + keyLen(2) + valLen(4)
+
+	// maxKeyLen / maxValLen bound what a scan will believe: a length
+	// field beyond these marks the record (and the rest of the segment)
+	// as garbage rather than driving a huge allocation.
+	maxKeyLen = 1 << 10
+	maxValLen = 1 << 26 // 64 MB
+)
+
+// Options tunes a Store. The zero value is usable.
+type Options struct {
+	// FlushCount flushes the batch when this many records are pending
+	// (default 64).
+	FlushCount int
+	// FlushBytes flushes when the pending batch reaches this many
+	// encoded bytes (default 1 MB).
+	FlushBytes int64
+	// FlushInterval bounds how long an acknowledged put can sit
+	// unflushed (default 100ms).
+	FlushInterval time.Duration
+	// MaxSegmentBytes rotates the active segment beyond this size
+	// (default 64 MB).
+	MaxSegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.FlushCount <= 0 {
+		o.FlushCount = 64
+	}
+	if o.FlushBytes <= 0 {
+		o.FlushBytes = 1 << 20
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 100 * time.Millisecond
+	}
+	if o.MaxSegmentBytes <= 0 {
+		o.MaxSegmentBytes = 64 << 20
+	}
+	return o
+}
+
+// Stats snapshots the store counters.
+type Stats struct {
+	Puts     int64 `json:"puts"`
+	PutDups  int64 `json:"put_dups"` // dropped: key already stored or pending
+	Gets     int64 `json:"gets"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	HitBytes int64 `json:"hit_bytes"`
+
+	Flushes        int64 `json:"flushes"`
+	FlushFails     int64 `json:"flush_fails"`
+	FlushedRecords int64 `json:"flushed_records"`
+	FlushedBytes   int64 `json:"flushed_bytes"`
+	Pending        int   `json:"pending"` // records acknowledged, not yet flushed
+
+	Records   int   `json:"records"`  // live index entries
+	Segments  int   `json:"segments"` // segment files on disk
+	SizeBytes int64 `json:"size_bytes"`
+
+	// RecoveredRecords/SkippedRecords describe the Open scan: records
+	// admitted to the index vs records dropped (CRC mismatch, torn tail,
+	// implausible header).
+	RecoveredRecords int64 `json:"recovered_records"`
+	SkippedRecords   int64 `json:"skipped_records"`
+
+	Compactions int64 `json:"compactions"`
+	ReadErrors  int64 `json:"read_errors"` // Get-time CRC or I/O failures
+}
+
+// recLoc locates one record's value bytes inside a segment.
+type recLoc struct {
+	seg    int
+	off    int64 // offset of the value bytes
+	valLen int
+	keyLen int
+}
+
+type pendingRec struct {
+	key string
+	val []byte
+}
+
+// Store is a content-addressed segment-log store. All methods are safe
+// for concurrent use.
+type Store struct {
+	dir string
+	opt Options
+
+	mu        sync.Mutex
+	index     map[string]recLoc
+	pendIdx   map[string][]byte // acknowledged, unflushed (read-your-writes)
+	pending   []pendingRec
+	pendBytes int64
+	segs      map[int]*os.File
+	active    *os.File
+	activeSeq int
+	activeLen int64
+	sizeBytes int64
+	closed    bool
+
+	flushC chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	ctrPuts, ctrPutDups, ctrGets, ctrHits, ctrMisses, ctrHitBytes atomic.Int64
+	ctrFlushes, ctrFlushFails, ctrFlushedRecs, ctrFlushedBytes    atomic.Int64
+	ctrRecovered, ctrSkipped, ctrCompactions, ctrReadErrors       atomic.Int64
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+func segName(seq int) string { return fmt.Sprintf("seg-%08d.log", seq) }
+
+// Open opens (or creates) the store rooted at dir, scanning every
+// segment to rebuild the index. Corrupt or torn records are counted and
+// skipped; Open only fails on real I/O errors.
+func Open(dir string, opt Options) (*Store, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		opt:     opt,
+		index:   make(map[string]recLoc),
+		pendIdx: make(map[string][]byte),
+		segs:    make(map[int]*os.File),
+		flushC:  make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	if err := s.scan(); err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	s.wg.Add(1)
+	go s.flusher()
+	return s, nil
+}
+
+// scan reads every existing segment in sequence order, admitting valid
+// records to the index. It leaves the store positioned to write a fresh
+// segment (one past the highest existing sequence).
+func (s *Store) scan() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var seqs []int
+	for _, e := range entries {
+		var seq int
+		if n, _ := fmt.Sscanf(e.Name(), "seg-%d.log", &seq); n == 1 && !e.IsDir() {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+	maxSeq := 0
+	for _, seq := range seqs {
+		f, err := os.Open(filepath.Join(s.dir, segName(seq)))
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		size, err := s.scanSegment(seq, f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		s.segs[seq] = f
+		s.sizeBytes += size
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	s.activeSeq = maxSeq // next append rotates to maxSeq+1
+	s.active = nil
+	return nil
+}
+
+// scanSegment walks one segment's records. Records whose CRC fails are
+// skipped individually (their length fields are plausible, so the scan
+// can step over them); a truncated or implausible header ends the scan
+// — that is the torn tail of a crashed flush. It returns the file size.
+func (s *Store) scanSegment(seq int, f *os.File) (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	size := st.Size()
+	var hdr [headerSize]byte
+	var off int64
+	for off+headerSize <= size {
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			s.ctrSkipped.Add(1)
+			break
+		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != magic {
+			// Not a record boundary: garbage from here on.
+			s.ctrSkipped.Add(1)
+			break
+		}
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+		keyLen := int(binary.LittleEndian.Uint16(hdr[8:10]))
+		valLen := int(binary.LittleEndian.Uint32(hdr[10:14]))
+		if keyLen == 0 || keyLen > maxKeyLen || valLen > maxValLen {
+			s.ctrSkipped.Add(1)
+			break
+		}
+		recEnd := off + headerSize + int64(keyLen) + int64(valLen)
+		if recEnd > size {
+			// Torn tail: the flush died mid-record.
+			s.ctrSkipped.Add(1)
+			break
+		}
+		body := make([]byte, keyLen+valLen)
+		if _, err := f.ReadAt(body, off+headerSize); err != nil {
+			s.ctrSkipped.Add(1)
+			break
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(hdr[8:14])
+		crc.Write(body)
+		if crc.Sum32() != wantCRC {
+			// Bit rot or a torn write that happened to keep plausible
+			// lengths: skip this record, keep scanning.
+			s.ctrSkipped.Add(1)
+			off = recEnd
+			continue
+		}
+		key := string(body[:keyLen])
+		s.index[key] = recLoc{seg: seq, off: off + headerSize + int64(keyLen), valLen: valLen, keyLen: keyLen}
+		s.ctrRecovered.Add(1)
+		off = recEnd
+	}
+	return size, nil
+}
+
+// encode appends the record for (key, val) to buf and returns it.
+func encode(buf []byte, key string, val []byte) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	binary.LittleEndian.PutUint16(hdr[8:10], uint16(len(key)))
+	binary.LittleEndian.PutUint32(hdr[10:14], uint32(len(val)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[8:14])
+	crc.Write([]byte(key))
+	crc.Write(val)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc.Sum32())
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, key...)
+	buf = append(buf, val...)
+	return buf
+}
+
+func recordSize(key string, val []byte) int64 {
+	return headerSize + int64(len(key)) + int64(len(val))
+}
+
+// Put enqueues one record for asynchronous flushing and returns
+// immediately. The value is copied. Duplicate keys (already stored or
+// already pending) are dropped: keys are content addresses, so the
+// value cannot have changed.
+func (s *Store) Put(key string, val []byte) error {
+	if key == "" || len(key) > maxKeyLen || len(val) > maxValLen {
+		return fmt.Errorf("store: record out of bounds (key %d bytes, val %d bytes)", len(key), len(val))
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.ctrPuts.Add(1)
+	if _, dup := s.index[key]; dup {
+		s.ctrPutDups.Add(1)
+		s.mu.Unlock()
+		return nil
+	}
+	if _, dup := s.pendIdx[key]; dup {
+		s.ctrPutDups.Add(1)
+		s.mu.Unlock()
+		return nil
+	}
+	v := make([]byte, len(val))
+	copy(v, val)
+	s.pending = append(s.pending, pendingRec{key: key, val: v})
+	s.pendIdx[key] = v
+	s.pendBytes += recordSize(key, v)
+	trigger := len(s.pending) >= s.opt.FlushCount || s.pendBytes >= s.opt.FlushBytes
+	s.mu.Unlock()
+	if trigger {
+		select {
+		case s.flushC <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// Get returns the stored value for key. Pending (unflushed) records are
+// visible. A record that fails its CRC on read is treated as a miss.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.ctrGets.Add(1)
+	s.mu.Lock()
+	if v, ok := s.pendIdx[key]; ok {
+		out := make([]byte, len(v))
+		copy(out, v)
+		s.mu.Unlock()
+		s.ctrHits.Add(1)
+		s.ctrHitBytes.Add(int64(len(out)))
+		return out, true
+	}
+	loc, ok := s.index[key]
+	if !ok {
+		s.mu.Unlock()
+		s.ctrMisses.Add(1)
+		return nil, false
+	}
+	f := s.segs[loc.seg]
+	s.mu.Unlock()
+	if f == nil || faults.Fire(faults.StoreRead) {
+		s.ctrReadErrors.Add(1)
+		s.ctrMisses.Add(1)
+		return nil, false
+	}
+	// Re-read header + body and verify the CRC: a hit must never hand
+	// back silently corrupted result bytes.
+	hdrOff := loc.off - int64(loc.keyLen) - headerSize
+	buf := make([]byte, headerSize+loc.keyLen+loc.valLen)
+	if _, err := f.ReadAt(buf, hdrOff); err != nil {
+		s.ctrReadErrors.Add(1)
+		s.ctrMisses.Add(1)
+		return nil, false
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(buf[8:])
+	if crc.Sum32() != binary.LittleEndian.Uint32(buf[4:8]) {
+		s.ctrReadErrors.Add(1)
+		s.ctrMisses.Add(1)
+		return nil, false
+	}
+	val := buf[headerSize+loc.keyLen:]
+	s.ctrHits.Add(1)
+	s.ctrHitBytes.Add(int64(len(val)))
+	return val, true
+}
+
+// Len reports the number of live (flushed) index entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// flusher is the background group-commit loop: it flushes when
+// signalled (count/bytes threshold crossed) and on a ticker so no
+// acknowledged put waits longer than FlushInterval.
+func (s *Store) flusher() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.opt.FlushInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.flushC:
+		case <-tick.C:
+		}
+		s.mu.Lock()
+		if len(s.pending) > 0 {
+			s.flushLocked()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Flush synchronously writes and fsyncs every pending record. The drain
+// path calls this so acknowledged writes survive a clean shutdown.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(s.pending) == 0 {
+		return nil
+	}
+	return s.flushLocked()
+}
+
+// rotateLocked opens the next segment file for appending.
+func (s *Store) rotateLocked() error {
+	seq := s.activeSeq + 1
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: rotate: %w", err)
+	}
+	// Readers use a separate handle so ReadAt never races the appender's
+	// file offset semantics.
+	rf, err := os.Open(filepath.Join(s.dir, segName(seq)))
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: rotate: %w", err)
+	}
+	s.active = f
+	s.activeSeq = seq
+	s.activeLen = 0
+	s.segs[seq] = rf
+	return nil
+}
+
+// flushLocked performs one group commit: encode every pending record,
+// one Write, one fsync, then publish the index entries. On write
+// failure the batch is dropped (this is a cache of recomputable
+// results, not a WAL) and the segment is rotated so a torn tail is
+// never appended to. Callers hold s.mu.
+func (s *Store) flushLocked() error {
+	if s.active == nil || s.activeLen >= s.opt.MaxSegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			s.ctrFlushFails.Add(1)
+			return err
+		}
+	}
+	batch := s.pending
+	buf := make([]byte, 0, s.pendBytes)
+	locs := make([]recLoc, len(batch))
+	off := s.activeLen
+	for i, r := range batch {
+		locs[i] = recLoc{
+			seg:    s.activeSeq,
+			off:    off + int64(len(buf)) + headerSize + int64(len(r.key)),
+			valLen: len(r.val),
+			keyLen: len(r.key),
+		}
+		buf = encode(buf, r.key, r.val)
+	}
+	fail := func(err error) error {
+		// Drop the batch and abandon the segment: whatever bytes made it
+		// out are a torn tail the next Open will skip.
+		s.ctrFlushFails.Add(1)
+		s.pending = nil
+		s.pendBytes = 0
+		s.pendIdx = make(map[string][]byte)
+		s.active.Close()
+		s.active = nil
+		return err
+	}
+	if faults.Fire(faults.StoreFlush) {
+		// Injected torn write: emit a few bytes cut inside the batch's
+		// first record, with no fsync, then fail — the crash-recovery
+		// scan must skip exactly this tail.
+		cut := headerSize + 5
+		if cut > len(buf) {
+			cut = len(buf)
+		}
+		s.active.Write(buf[:cut])
+		s.activeLen += int64(cut)
+		s.sizeBytes += int64(cut)
+		return fail(errors.New("store: injected flush fault"))
+	}
+	if _, err := s.active.Write(buf); err != nil {
+		return fail(fmt.Errorf("store: flush write: %w", err))
+	}
+	if err := s.active.Sync(); err != nil {
+		return fail(fmt.Errorf("store: flush sync: %w", err))
+	}
+	s.activeLen += int64(len(buf))
+	s.sizeBytes += int64(len(buf))
+	for i, r := range batch {
+		s.index[r.key] = locs[i]
+		delete(s.pendIdx, r.key)
+	}
+	s.pending = nil
+	s.pendBytes = 0
+	s.ctrFlushes.Add(1)
+	s.ctrFlushedRecs.Add(int64(len(batch)))
+	s.ctrFlushedBytes.Add(int64(len(buf)))
+	return nil
+}
+
+// Compact rewrites every live record into fresh segments and deletes
+// the old ones, dropping skipped garbage and superseded duplicates. The
+// store stays readable throughout (the lock is held, so concurrent
+// operations briefly queue — compaction is an offline-ish maintenance
+// pass, not a hot-path one).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(s.pending) > 0 {
+		if err := s.flushLocked(); err != nil {
+			return err
+		}
+	}
+	oldSegs := make(map[int]*os.File, len(s.segs))
+	for seq, f := range s.segs {
+		oldSegs[seq] = f
+	}
+	oldIndex := s.index
+	oldSize := s.sizeBytes
+
+	// Live records are rewritten in deterministic key order into segments
+	// numbered past every existing one.
+	keys := make([]string, 0, len(oldIndex))
+	for k := range oldIndex {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if s.active != nil {
+		s.active.Close()
+		s.active = nil
+	}
+	newIndex := make(map[string]recLoc, len(keys))
+	newSegs := make(map[int]*os.File)
+	var newSize int64
+	undo := func(err error) error {
+		for _, f := range newSegs {
+			f.Close()
+		}
+		if s.active != nil {
+			s.active.Close()
+			s.active = nil
+		}
+		for seq := range newSegs {
+			os.Remove(filepath.Join(s.dir, segName(seq)))
+		}
+		// The old files are untouched; restore the old view.
+		s.index, s.segs, s.sizeBytes = oldIndex, oldSegs, oldSize
+		return err
+	}
+	for _, k := range keys {
+		loc := oldIndex[k]
+		f := oldSegs[loc.seg]
+		val := make([]byte, loc.valLen)
+		if f == nil {
+			continue
+		}
+		if _, err := f.ReadAt(val, loc.off); err != nil {
+			s.ctrReadErrors.Add(1)
+			continue // unreadable record: drop it, it is recomputable
+		}
+		if s.active == nil || s.activeLen >= s.opt.MaxSegmentBytes {
+			if err := s.rotateLocked(); err != nil {
+				return undo(err)
+			}
+			newSegs[s.activeSeq] = s.segs[s.activeSeq]
+		}
+		rec := encode(nil, k, val)
+		if _, err := s.active.Write(rec); err != nil {
+			return undo(fmt.Errorf("store: compact write: %w", err))
+		}
+		newIndex[k] = recLoc{seg: s.activeSeq, off: s.activeLen + headerSize + int64(len(k)), valLen: len(val), keyLen: len(k)}
+		s.activeLen += int64(len(rec))
+		newSize += int64(len(rec))
+	}
+	if s.active != nil {
+		if err := s.active.Sync(); err != nil {
+			return undo(fmt.Errorf("store: compact sync: %w", err))
+		}
+	}
+	// Publish the compacted view, then remove the old generation.
+	s.index = newIndex
+	s.sizeBytes = newSize
+	for seq, f := range oldSegs {
+		f.Close()
+		delete(s.segs, seq)
+		os.Remove(filepath.Join(s.dir, segName(seq)))
+	}
+	for seq, f := range newSegs {
+		s.segs[seq] = f
+	}
+	s.ctrCompactions.Add(1)
+	return nil
+}
+
+func (s *Store) closeFiles() {
+	for _, f := range s.segs {
+		f.Close()
+	}
+	if s.active != nil {
+		s.active.Close()
+		s.active = nil
+	}
+	s.segs = make(map[int]*os.File)
+}
+
+// Close flushes pending writes, stops the flusher, and closes every
+// file. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	var err error
+	if len(s.pending) > 0 {
+		err = s.flushLocked()
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+	s.mu.Lock()
+	s.closeFiles()
+	s.mu.Unlock()
+	return err
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	pending := len(s.pending)
+	records := len(s.index)
+	segments := len(s.segs)
+	size := s.sizeBytes
+	s.mu.Unlock()
+	return Stats{
+		Puts:             s.ctrPuts.Load(),
+		PutDups:          s.ctrPutDups.Load(),
+		Gets:             s.ctrGets.Load(),
+		Hits:             s.ctrHits.Load(),
+		Misses:           s.ctrMisses.Load(),
+		HitBytes:         s.ctrHitBytes.Load(),
+		Flushes:          s.ctrFlushes.Load(),
+		FlushFails:       s.ctrFlushFails.Load(),
+		FlushedRecords:   s.ctrFlushedRecs.Load(),
+		FlushedBytes:     s.ctrFlushedBytes.Load(),
+		Pending:          pending,
+		Records:          records,
+		Segments:         segments,
+		SizeBytes:        size,
+		RecoveredRecords: s.ctrRecovered.Load(),
+		SkippedRecords:   s.ctrSkipped.Load(),
+		Compactions:      s.ctrCompactions.Load(),
+		ReadErrors:       s.ctrReadErrors.Load(),
+	}
+}

@@ -1,0 +1,385 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"lcn3d/internal/faults"
+)
+
+// openT opens a store rooted in a fresh temp dir and closes it with the
+// test. Flush thresholds are set high so tests control flushing
+// explicitly unless they override.
+func openT(t *testing.T, opt Options) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s := reopenT(t, dir, opt)
+	return s, dir
+}
+
+func reopenT(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	if opt.FlushInterval == 0 {
+		opt.FlushInterval = time.Hour // tests flush explicitly
+	}
+	if opt.FlushCount == 0 {
+		opt.FlushCount = 1 << 20
+	}
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func key(i int) string { return fmt.Sprintf("%064d", i) }
+func val(i int) []byte { return []byte(fmt.Sprintf(`{"result":%d,"pad":"abcdefgh"}`, i)) }
+func put(t *testing.T, s *Store, i int) {
+	t.Helper()
+	if err := s.Put(key(i), val(i)); err != nil {
+		t.Fatalf("Put(%d): %v", i, err)
+	}
+}
+func wantGet(t *testing.T, s *Store, i int) {
+	t.Helper()
+	got, ok := s.Get(key(i))
+	if !ok {
+		t.Fatalf("Get(%d): miss, want hit", i)
+	}
+	if !bytes.Equal(got, val(i)) {
+		t.Fatalf("Get(%d) = %q, want %q", i, got, val(i))
+	}
+}
+
+func TestPutGetBeforeAndAfterFlush(t *testing.T) {
+	s, _ := openT(t, Options{})
+	put(t, s, 1)
+	wantGet(t, s, 1) // pending records are readable (read-your-writes)
+	if st := s.Stats(); st.Pending != 1 || st.Flushes != 0 {
+		t.Fatalf("pre-flush stats: %+v", st)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wantGet(t, s, 1)
+	st := s.Stats()
+	if st.Pending != 0 || st.Flushes != 1 || st.FlushedRecords != 1 || st.Records != 1 {
+		t.Fatalf("post-flush stats: %+v", st)
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("Get(absent) hit")
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+}
+
+func TestDuplicatePutsDropped(t *testing.T) {
+	s, _ := openT(t, Options{})
+	put(t, s, 1)
+	put(t, s, 1) // pending dup
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, 1) // stored dup
+	st := s.Stats()
+	if st.PutDups != 2 || st.FlushedRecords != 1 {
+		t.Fatalf("dup stats: %+v", st)
+	}
+}
+
+func TestReopenReadsBack(t *testing.T) {
+	s, dir := openT(t, Options{})
+	for i := 0; i < 20; i++ {
+		put(t, s, i)
+	}
+	if err := s.Close(); err != nil { // Close flushes
+		t.Fatal(err)
+	}
+	s2 := reopenT(t, dir, Options{})
+	for i := 0; i < 20; i++ {
+		wantGet(t, s2, i)
+	}
+	st := s2.Stats()
+	if st.RecoveredRecords != 20 || st.SkippedRecords != 0 {
+		t.Fatalf("recovery stats: %+v", st)
+	}
+}
+
+func TestCountThresholdTriggersBackgroundFlush(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{FlushCount: 4, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 4; i++ {
+		put(t, s, i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Flushes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("count threshold never flushed: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.Stats(); st.FlushedRecords != 4 || st.Pending != 0 {
+		t.Fatalf("stats after threshold flush: %+v", st)
+	}
+}
+
+func TestIntervalTriggersBackgroundFlush(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{FlushCount: 1 << 20, FlushInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	put(t, s, 1)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Flushes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("interval never flushed: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	s, dir := openT(t, Options{MaxSegmentBytes: 256})
+	for i := 0; i < 10; i++ {
+		put(t, s, i)
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("want rotation across segments, got %+v", st)
+	}
+	for i := 0; i < 10; i++ {
+		wantGet(t, s, i)
+	}
+	s.Close()
+	s2 := reopenT(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		wantGet(t, s2, i)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	s, dir := openT(t, Options{MaxSegmentBytes: 256})
+	for i := 0; i < 12; i++ {
+		put(t, s, i)
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Leave torn garbage on disk via an injected flush fault, so the
+	// compaction pass has something real to drop.
+	if err := faults.Arm(string(faults.StoreFlush) + "=once"); err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, 99)
+	if err := s.Flush(); err == nil {
+		t.Fatal("injected flush fault did not error")
+	}
+	faults.Disarm()
+	pre := s.Stats()
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	post := s.Stats()
+	if post.Compactions != 1 {
+		t.Fatalf("compactions = %d", post.Compactions)
+	}
+	if post.SizeBytes >= pre.SizeBytes {
+		t.Fatalf("size %d -> %d, want smaller (garbage dropped)", pre.SizeBytes, post.SizeBytes)
+	}
+	if post.Records != 12 {
+		t.Fatalf("records = %d, want 12", post.Records)
+	}
+	for i := 0; i < 12; i++ {
+		wantGet(t, s, i)
+	}
+	// Writes keep working after compaction, and the whole state survives
+	// a reopen.
+	put(t, s, 100)
+	s.Close()
+	s2 := reopenT(t, dir, Options{})
+	for i := 0; i < 12; i++ {
+		wantGet(t, s2, i)
+	}
+	wantGet(t, s2, 100)
+}
+
+// TestCrashRecoverySkipsTornTail is the satellite crash-recovery test:
+// a store.flush fault tears a group commit mid-batch (partial write, no
+// fsync, error). Reopening the directory must index every previously
+// fsynced record and skip the torn tail — a crash must never poison the
+// store. Run under -race in CI like everything else.
+func TestCrashRecoverySkipsTornTail(t *testing.T) {
+	s, dir := openT(t, Options{})
+	// Batch 1: flushed cleanly — these must survive.
+	for i := 0; i < 8; i++ {
+		put(t, s, i)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Batch 2: torn mid-record by the injected fault.
+	if err := faults.Arm(string(faults.StoreFlush) + "=once"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+	for i := 8; i < 16; i++ {
+		put(t, s, i)
+	}
+	if err := s.Flush(); err == nil {
+		t.Fatal("injected flush fault did not error")
+	}
+	if st := s.Stats(); st.FlushFails != 1 {
+		t.Fatalf("flush_fails = %d, want 1", st.FlushFails)
+	}
+	// Batch 3: the store stays usable after the failure; a later batch
+	// lands in a fresh segment and must also survive.
+	for i := 16; i < 20; i++ {
+		put(t, s, i)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash": abandon s without Close and reopen the directory.
+	s2 := reopenT(t, dir, Options{})
+	for i := 0; i < 8; i++ {
+		wantGet(t, s2, i) // batch 1 fsynced before the fault
+	}
+	for i := 16; i < 20; i++ {
+		wantGet(t, s2, i) // batch 3 fsynced after it
+	}
+	for i := 8; i < 16; i++ {
+		if _, ok := s2.Get(key(i)); ok {
+			t.Fatalf("torn record %d visible after reopen", i)
+		}
+	}
+	st := s2.Stats()
+	if st.RecoveredRecords != 12 {
+		t.Fatalf("recovered = %d, want 12 (%+v)", st.RecoveredRecords, st)
+	}
+	if st.SkippedRecords == 0 {
+		t.Fatalf("torn tail not counted as skipped: %+v", st)
+	}
+}
+
+// TestCorruptMidSegmentRecordSkipped flips bits inside one record of a
+// multi-record segment: the scan must skip exactly that record and keep
+// the rest.
+func TestCorruptMidSegmentRecordSkipped(t *testing.T) {
+	s, dir := openT(t, Options{})
+	for i := 0; i < 3; i++ {
+		put(t, s, i)
+	}
+	s.Close()
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the middle record's value bytes (record layout is fixed:
+	// all three records have identical sizes).
+	rec := len(data) / 3
+	data[rec+headerSize+70] ^= 0xFF
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := reopenT(t, dir, Options{})
+	wantGet(t, s2, 0)
+	wantGet(t, s2, 2)
+	if _, ok := s2.Get(key(1)); ok {
+		t.Fatal("corrupted record served")
+	}
+	st := s2.Stats()
+	if st.RecoveredRecords != 2 || st.SkippedRecords != 1 {
+		t.Fatalf("recovery stats: %+v", st)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{FlushCount: 8, FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	const workers, per = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				n := w*per + i
+				if err := s.Put(key(n), val(n)); err != nil {
+					t.Errorf("Put(%d): %v", n, err)
+					return
+				}
+				if got, ok := s.Get(key(n)); !ok || !bytes.Equal(got, val(n)) {
+					t.Errorf("Get(%d) after Put: ok=%v", n, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < workers*per; n++ {
+		wantGet(t, s, n)
+	}
+}
+
+func TestClosedStoreRejectsOperations(t *testing.T) {
+	s, _ := openT(t, Options{})
+	put(t, s, 1)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v")); err != ErrClosed {
+		t.Fatalf("Put after Close: %v", err)
+	}
+	if err := s.Flush(); err != ErrClosed {
+		t.Fatalf("Flush after Close: %v", err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestReadFaultIsMissNotFailure(t *testing.T) {
+	s, _ := openT(t, Options{})
+	put(t, s, 1)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := faults.Arm(string(faults.StoreRead) + "=once"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("faulted read served a hit")
+	}
+	if st := s.Stats(); st.ReadErrors != 1 {
+		t.Fatalf("read_errors = %d, want 1", st.ReadErrors)
+	}
+	wantGet(t, s, 1) // next read is clean
+}

@@ -77,6 +77,11 @@ type Factored struct {
 	ctrRetryGMRES   atomic.Int64
 	ctrRetryDense   atomic.Int64
 	ctrDegraded     atomic.Int64
+
+	// ctrMGLatchOffs counts multigrid latch-offs: V-cycle failures (or a
+	// hierarchy that cannot be built) that permanently routed this
+	// Factored back to the classic ILU(0) path.
+	ctrMGLatchOffs atomic.Int64
 }
 
 // defaultSolveTol is the relative residual the steady solves converge to.
@@ -231,6 +236,10 @@ type FactorStats struct {
 	RetryGMRES   int
 	RetryDense   int
 	Degraded     int
+
+	// MGLatchOffs counts multigrid latch-offs: failures that permanently
+	// routed this system back to the classic ILU(0) path (see mgDisabled).
+	MGLatchOffs int
 }
 
 // WarmStartRate reports the fraction of probes that were warm-started.
@@ -340,6 +349,7 @@ func (f *Factored) Stats() FactorStats {
 		RetryGMRES:     int(f.ctrRetryGMRES.Load()),
 		RetryDense:     int(f.ctrRetryDense.Load()),
 		Degraded:       int(f.ctrDegraded.Load()),
+		MGLatchOffs:    int(f.ctrMGLatchOffs.Load()),
 	}
 	if mg := f.mg.Load(); mg != nil {
 		st.MG = mg.Stats()
@@ -488,6 +498,7 @@ func (f *Factored) SolveAt(s, tGuess float64) ([]float64, solver.Result, ProbeSt
 		f.ctrRetryRebuild.Add(1)
 		if mgActive {
 			f.mgDisabled = true
+			f.ctrMGLatchOffs.Add(1)
 			f.usingMG = false
 			mgActive = false
 			opt.MaxIter = 40 * f.N()
@@ -593,6 +604,7 @@ func (f *Factored) routePrecond(s float64) bool {
 		g, err := solver.NewTwoLevel(f.pair, f.agg, f.nAgg, solver.MGOptions{})
 		if err != nil {
 			f.mgDisabled = true
+			f.ctrMGLatchOffs.Add(1)
 			return false
 		}
 		f.mg.Store(g)

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Integration smoke for cmd/lcn-serve, in two phases:
+# Integration smoke for cmd/lcn-serve, in four phases:
 #
 #  1. happy path — start the daemon at reduced scale, fire duplicate
 #     concurrent evaluations, assert the metrics show single-flight
@@ -10,7 +10,15 @@
 #     malformed probe gets a 400, the poisoned request a 500, the next
 #     request a degraded-but-correct 200, the escalation and panic
 #     counters appear in /v1/metrics, the daemon never restarts, and
-#     SIGTERM still drains cleanly.
+#     SIGTERM still drains cleanly;
+#  3. cluster — start a 3-node fleet sharing one peer list (each with a
+#     persistent store), solve a topology through node A, assert nodes
+#     B and C serve the same hash through the peer tier with exactly
+#     one solver run fleet-wide, then kill A and assert B and C still
+#     answer (local-compute fallback for A-owned keys);
+#  4. cluster chaos — 2 nodes with cluster.forward/cluster.fetch faults
+#     armed: peer-owned requests must fall back to local compute, still
+#     200, with the fallback and fault counters visible in metrics.
 set -euo pipefail
 
 ADDR="127.0.0.1:${LCN_SERVE_PORT:-18080}"
@@ -24,7 +32,9 @@ CHAOS_SCALE="${LCN_CHAOS_SCALE:-21}"
 CHAOS_FAULTS="${LCN_CHAOS_FAULTS:-service.panic=first:1;solver.mg.coarse=always;solver.bicgstab.breakdown=every:2}"
 BODY='{"case":1,"model":"2rm","coarse_m":4,"network":{"generator":"straight"}}'
 OUT="$(mktemp)"
-trap 'kill "$SRV" 2>/dev/null || true; rm -f "$OUT" /tmp/lcn-serve-smoke' EXIT
+STORES="$(mktemp -d)"
+SRV="" SRVA="" SRVB="" SRVC=""
+trap 'kill "$SRV" "$SRVA" "$SRVB" "$SRVC" 2>/dev/null || true; rm -rf "$OUT" "$STORES" /tmp/lcn-serve-smoke' EXIT
 
 go build -o /tmp/lcn-serve-smoke ./cmd/lcn-serve
 /tmp/lcn-serve-smoke -addr "$ADDR" -scale "$SCALE" >"$OUT" &
@@ -111,4 +121,121 @@ assert f.get("solver.bicgstab.breakdown", {}).get("fired", 0) >= 1, "breakdown i
 kill -0 "$SRV" || { echo "FAIL: chaos server died"; exit 1; }
 kill -TERM "$SRV"
 wait "$SRV" || { echo "FAIL: non-zero exit after SIGTERM (chaos)"; exit 1; }
+SRV=""
 echo "PASS: chaos — 400/500 contained, degraded ladder result, counters visible, clean drain"
+
+# ---- Phase 3: cluster -----------------------------------------------
+
+PORT_A="${LCN_CLUSTER_PORT_A:-18091}"
+PORT_B="${LCN_CLUSTER_PORT_B:-18092}"
+PORT_C="${LCN_CLUSTER_PORT_C:-18093}"
+A="127.0.0.1:$PORT_A"; B="127.0.0.1:$PORT_B"; C="127.0.0.1:$PORT_C"
+PEERS="$A,$B,$C"
+SIM_BODY='{"case":1,"model":"2rm","coarse_m":4,"network":{"generator":"straight"},"psys":9000}'
+
+/tmp/lcn-serve-smoke -addr "$A" -scale "$CHAOS_SCALE" -self "$A" -peers "$PEERS" -store "$STORES/a" >/dev/null &
+SRVA=$!
+/tmp/lcn-serve-smoke -addr "$B" -scale "$CHAOS_SCALE" -self "$B" -peers "$PEERS" -store "$STORES/b" >/dev/null &
+SRVB=$!
+/tmp/lcn-serve-smoke -addr "$C" -scale "$CHAOS_SCALE" -self "$C" -peers "$PEERS" -store "$STORES/c" >/dev/null &
+SRVC=$!
+
+for node in "$A" "$B" "$C"; do
+  for i in $(seq 1 50); do
+    curl -sf "http://$node/healthz" >/dev/null && break
+    [ "$i" = 50 ] && { echo "FAIL: cluster node $node never became healthy"; exit 1; }
+    sleep 0.2
+  done
+done
+
+# Solve a topology through node A, then ask B and C for the same hash:
+# whichever node the key's consistent-hash owner is computes once; the
+# other two answer through the peer tier (store fetch or forward).
+R_A="$(mktemp)"; R_B="$(mktemp)"; R_C="$(mktemp)"
+curl -sf -XPOST -d "$SIM_BODY" "http://$A/v1/simulate" >"$R_A"
+curl -sf -XPOST -d "$SIM_BODY" "http://$B/v1/simulate" >"$R_B"
+curl -sf -XPOST -d "$SIM_BODY" "http://$C/v1/simulate" >"$R_C"
+cmp -s "$R_A" "$R_B" && cmp -s "$R_A" "$R_C" \
+  || { echo "FAIL: nodes returned different bytes for the same hash"; exit 1; }
+rm -f "$R_A" "$R_B" "$R_C"
+
+{ curl -sf "http://$A/v1/metrics"; curl -sf "http://$B/v1/metrics"; curl -sf "http://$C/v1/metrics"; } \
+  | python3 -c '
+import json, sys
+nodes = [json.loads(l) for l in sys.stdin if l.strip()]
+evals = sum(m["evaluations"] for m in nodes)
+peer_hits = sum(m["peer_hits"] for m in nodes)
+print("cluster metrics:", [{k: m[k] for k in
+    ("evaluations", "peer_hits", "store_hits", "local_fallbacks")} for m in nodes])
+assert evals == 1, "want exactly 1 solver run fleet-wide, got %d" % evals
+assert peer_hits == 2, "want the 2 non-owners to answer via the peer tier, got %d" % peer_hits
+for m in nodes:
+    assert m["cluster"]["self"], "cluster stats missing"
+    assert m["store"] is not None, "store stats missing"
+'
+
+# Kill node A: survivors must still answer — keys A owned fall back to
+# local compute, everything else is unaffected.
+kill -TERM "$SRVA"
+wait "$SRVA" || { echo "FAIL: node A non-zero exit after SIGTERM"; exit 1; }
+SRVA=""
+NEW_BODY='{"case":1,"model":"2rm","coarse_m":4,"network":{"generator":"straight"},"psys":9100}'
+curl -sf -XPOST -d "$NEW_BODY" "http://$B/v1/simulate" >/dev/null \
+  || { echo "FAIL: node B cannot answer after A died"; exit 1; }
+curl -sf -XPOST -d "$NEW_BODY" "http://$C/v1/simulate" >/dev/null \
+  || { echo "FAIL: node C cannot answer after A died"; exit 1; }
+
+kill -TERM "$SRVB" "$SRVC"
+wait "$SRVB" || { echo "FAIL: node B non-zero exit after SIGTERM"; exit 1; }
+wait "$SRVC" || { echo "FAIL: node C non-zero exit after SIGTERM"; exit 1; }
+SRVB="" SRVC=""
+echo "PASS: cluster — single fleet-wide compute, peer-tier serving, survives node loss"
+
+# ---- Phase 4: cluster chaos -----------------------------------------
+
+# Forwarding and store fetch both fail by injection: every peer-owned
+# request must degrade to local compute, never to an error.
+LCN_FAULTS="cluster.forward=always;cluster.fetch=always" \
+  /tmp/lcn-serve-smoke -addr "$B" -scale "$CHAOS_SCALE" -self "$B" -peers "$B,$C" >/dev/null &
+SRVB=$!
+LCN_FAULTS="cluster.forward=always;cluster.fetch=always" \
+  /tmp/lcn-serve-smoke -addr "$C" -scale "$CHAOS_SCALE" -self "$C" -peers "$B,$C" >/dev/null &
+SRVC=$!
+
+for node in "$B" "$C"; do
+  for i in $(seq 1 50); do
+    curl -sf "http://$node/healthz" >/dev/null && break
+    [ "$i" = 50 ] && { echo "FAIL: chaos cluster node $node never became healthy"; exit 1; }
+    sleep 0.2
+  done
+done
+
+# Each key goes to BOTH nodes: exactly one of the two sees it as
+# remote-owned, so every pressure forces one fallback somewhere.
+for p in 9200 9300 9400 9500; do
+  for node in "$B" "$C"; do
+    curl -sf -XPOST -d "{\"case\":1,\"model\":\"2rm\",\"coarse_m\":4,\"network\":{\"generator\":\"straight\"},\"psys\":$p}" \
+      "http://$node/v1/simulate" >/dev/null \
+      || { echo "FAIL: request failed under forward faults (psys=$p via $node)"; exit 1; }
+  done
+done
+
+{ curl -sf "http://$B/v1/metrics"; curl -sf "http://$C/v1/metrics"; } | python3 -c '
+import json, sys
+nodes = [json.loads(l) for l in sys.stdin if l.strip()]
+print("cluster chaos metrics:", [{k: m[k] for k in
+    ("evaluations", "peer_hits", "local_fallbacks")} for m in nodes],
+    "faults:", [m.get("faults") for m in nodes])
+fallbacks = sum(m["local_fallbacks"] for m in nodes)
+assert fallbacks >= 4, "want every remote-owned request to fall back locally, got %d" % fallbacks
+assert all(m["peer_hits"] == 0 for m in nodes), "peer tier succeeded despite always-on faults"
+fired = sum(m.get("faults", {}).get(pt, {}).get("fired", 0)
+            for m in nodes for pt in ("cluster.forward", "cluster.fetch"))
+assert fired >= 1, "cluster fault injection not visible"
+'
+
+kill -TERM "$SRVB" "$SRVC"
+wait "$SRVB" || { echo "FAIL: chaos node B non-zero exit after SIGTERM"; exit 1; }
+wait "$SRVC" || { echo "FAIL: chaos node C non-zero exit after SIGTERM"; exit 1; }
+SRVB="" SRVC=""
+echo "PASS: cluster chaos — forward faults degrade to local compute, counters visible"
