@@ -383,9 +383,55 @@ const maxPrecondBuildsPerOp = 3.0
 // (the CI perf-smoke threshold: >20% regression).
 const itersRegressionFactor = 1.2
 
+// benchFileName names a report file. The short commit joins the date so
+// two same-day runs from different commits cannot overwrite each other;
+// outside a git checkout (commit "unknown") the name is the plain date.
+func benchFileName(report benchReport) string {
+	name := "BENCH_" + report.Date
+	if c := report.Commit; c != "" && c != "unknown" {
+		if len(c) > 7 {
+			c = c[:7]
+		}
+		name += "-" + c
+	}
+	return name + ".json"
+}
+
+// newestBenchFile resolves a directory baseline to its most recently
+// written BENCH_*.json (commit-suffixed names do not sort by recency,
+// so modification time decides).
+func newestBenchFile(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	newest, best := "", time.Time{}
+	for _, m := range matches {
+		fi, err := os.Stat(m)
+		if err != nil {
+			continue
+		}
+		if newest == "" || fi.ModTime().After(best) {
+			newest, best = m, fi.ModTime()
+		}
+	}
+	if newest == "" {
+		return "", fmt.Errorf("no BENCH_*.json in %s", dir)
+	}
+	return newest, nil
+}
+
 // checkBaseline compares the fresh report against a committed baseline
 // JSON and errors on a NetworkEvaluation iteration-count regression.
+// A directory path selects its newest BENCH_*.json.
 func checkBaseline(report benchReport, path string, logf func(string, ...any)) error {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		resolved, err := newestBenchFile(path)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		path = resolved
+	}
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -559,7 +605,7 @@ func runMicrobench(scale int, dir, baseline string, logf func(string, ...any)) e
 	if dir == "" {
 		dir = "."
 	}
-	path := filepath.Join(dir, "BENCH_"+report.Date+".json")
+	path := filepath.Join(dir, benchFileName(report))
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

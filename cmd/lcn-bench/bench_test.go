@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBenchFileName is satellite 1 of the jobs PR: two same-day runs
+// from different commits must write different files instead of
+// overwriting each other.
+func TestBenchFileName(t *testing.T) {
+	cases := []struct {
+		commit string
+		want   string
+	}{
+		{"0123456789abcdef0123456789abcdef01234567", "BENCH_2026-08-08-0123456.json"},
+		{"abc1234", "BENCH_2026-08-08-abc1234.json"},
+		{"unknown", "BENCH_2026-08-08.json"},
+		{"", "BENCH_2026-08-08.json"},
+	}
+	for _, c := range cases {
+		got := benchFileName(benchReport{Date: "2026-08-08", Commit: c.commit})
+		if got != c.want {
+			t.Errorf("commit %q: file %q, want %q", c.commit, got, c.want)
+		}
+	}
+	a := benchFileName(benchReport{Date: "2026-08-08", Commit: "aaaaaaaa"})
+	b := benchFileName(benchReport{Date: "2026-08-08", Commit: "bbbbbbbb"})
+	if a == b {
+		t.Fatalf("same-day reports from different commits collide on %q", a)
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, r benchReport, mod time.Time) string {
+	t.Helper()
+	buf, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, mod, mod); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCheckBaselineDirectoryResolvesNewest: a directory baseline picks
+// the most recently written BENCH_*.json — by modification time, since
+// commit-suffixed names do not sort chronologically.
+func TestCheckBaselineDirectoryResolvesNewest(t *testing.T) {
+	dir := t.TempDir()
+	entry := func(iters float64) []benchEntry {
+		return []benchEntry{{Name: "NetworkEvaluation", SolveItersPerOp: iters}}
+	}
+	now := time.Now()
+	// The older file would FAIL the check (tiny baseline, huge growth);
+	// the newer one passes. Resolution must pick the newer.
+	writeReport(t, dir, "BENCH_2026-08-07-zzzzzzz.json",
+		benchReport{Scale: 21, Results: entry(1)}, now.Add(-time.Hour))
+	writeReport(t, dir, "BENCH_2026-08-08-aaaaaaa.json",
+		benchReport{Scale: 21, Results: entry(100)}, now)
+
+	fresh := benchReport{Scale: 21, Results: entry(101)}
+	if err := checkBaseline(fresh, dir, t.Logf); err != nil {
+		t.Fatalf("directory baseline should resolve to the newest file: %v", err)
+	}
+
+	// Against the old file explicitly, the regression trips — proving the
+	// directory path really selected the newer baseline above.
+	if err := checkBaseline(fresh, filepath.Join(dir, "BENCH_2026-08-07-zzzzzzz.json"), t.Logf); err == nil {
+		t.Fatal("explicit old baseline should report a regression")
+	}
+
+	if err := checkBaseline(fresh, t.TempDir(), t.Logf); err == nil ||
+		!strings.Contains(err.Error(), "no BENCH_") {
+		t.Fatalf("empty directory: err = %v, want 'no BENCH_*.json'", err)
+	}
+}

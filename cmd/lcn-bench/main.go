@@ -29,7 +29,7 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale sweeps and SA schedules (slow)")
 	seed := flag.Int64("seed", 1, "SA seed")
 	dir := flag.String("dir", "", "directory for PPM image artifacts")
-	baseline := flag.String("baseline", "", "committed BENCH json to regression-check -exp bench against (>20% NetworkEvaluation solve_iters_per_op growth fails)")
+	baseline := flag.String("baseline", "", "committed BENCH json (or a directory: its newest BENCH_*.json) to regression-check -exp bench against (>20% NetworkEvaluation solve_iters_per_op growth fails)")
 	verbose := flag.Bool("v", false, "log progress")
 	flag.Parse()
 

@@ -10,10 +10,13 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"lcn3d"
@@ -36,7 +39,12 @@ func main() {
 	trees := flag.Int("trees", 0, "tree count (0 = auto)")
 	verbose := flag.Bool("v", false, "log SA progress")
 	save := flag.String("save", "", "write the optimized network to this file (lcn network format)")
+	checkpoint := flag.String("checkpoint", "", "periodically write a resumable SA checkpoint to this file (atomic rename; removed on success)")
+	resume := flag.Bool("resume", false, "resume from the -checkpoint file if it exists (requires identical case/problem/seed options)")
 	flag.Parse()
+	if *resume && *checkpoint == "" {
+		log.Fatal("-resume requires -checkpoint")
+	}
 
 	bench, err := lcn3d.LoadBenchmarkScaled(*caseID, *scale)
 	if err != nil {
@@ -78,15 +86,50 @@ func main() {
 	}
 	fmt.Printf("baseline (straight, best of 4 directions) in %v\n", time.Since(t0).Round(time.Millisecond))
 
+	if *checkpoint != "" {
+		opt.Checkpoint = func(cp *core.SolveCheckpoint) {
+			if err := writeCheckpoint(*checkpoint, cp); err != nil {
+				log.Printf("checkpoint %s: %v", *checkpoint, err)
+			}
+		}
+	}
+	if *resume {
+		cp, err := readCheckpoint(*checkpoint)
+		if err != nil {
+			log.Fatalf("-resume: %v", err)
+		}
+		if cp != nil {
+			fmt.Printf("resuming from %s (stage %d, %d evaluations done)\n",
+				*checkpoint, cp.Stage, cp.TotalEvals)
+			opt.Resume = cp
+		}
+	}
+
 	t0 = time.Now()
-	var sol *lcn3d.Solution
-	if *problem == 1 {
-		sol, err = lcn3d.OptimizePumpingPower(bench, opt)
-	} else {
-		sol, err = lcn3d.OptimizeThermalGradient(bench, opt)
+	runOnce := func() (*lcn3d.Solution, error) {
+		if *problem == 1 {
+			return lcn3d.OptimizePumpingPower(bench, opt)
+		}
+		return lcn3d.OptimizeThermalGradient(bench, opt)
+	}
+	sol, err := runOnce()
+	var mismatch *core.CheckpointMismatchError
+	if errors.As(err, &mismatch) {
+		// The checkpoint was written under different options; a silent
+		// divergent resume would be worse than redoing the work.
+		log.Printf("checkpoint incompatible (%s), restarting from scratch", mismatch.Reason)
+		opt.Resume = nil
+		sol, err = runOnce()
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *checkpoint != "" {
+		// The run is complete; a leftover checkpoint would make the next
+		// -resume replay a finished run.
+		if err := os.Remove(*checkpoint); err != nil && !os.IsNotExist(err) {
+			log.Printf("remove %s: %v", *checkpoint, err)
+		}
 	}
 	fmt.Printf("SA finished in %v (%d evaluations, orientation %v)\n",
 		time.Since(t0).Round(time.Millisecond), sol.Evals, sol.Orient)
@@ -134,6 +177,51 @@ func main() {
 				100*(1-sol.Eval.DeltaT/base.Eval.DeltaT))
 		}
 	}
+}
+
+// writeCheckpoint persists a checkpoint atomically: write to a temp
+// file in the same directory, fsync, rename. A crash mid-write leaves
+// the previous checkpoint intact instead of a torn file.
+func writeCheckpoint(path string, cp *core.SolveCheckpoint) error {
+	blob, err := json.Marshal(cp)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// readCheckpoint loads a checkpoint file; a missing file is not an
+// error (nil, nil) so -resume doubles as "resume if interrupted".
+func readCheckpoint(path string) (*core.SolveCheckpoint, error) {
+	blob, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var cp core.SolveCheckpoint
+	if err := json.Unmarshal(blob, &cp); err != nil {
+		return nil, fmt.Errorf("corrupt checkpoint: %w", err)
+	}
+	return &cp, nil
 }
 
 func evalTmax(ev core.EvalResult) float64 {

@@ -114,6 +114,11 @@ func main() {
 	}
 
 	svc := service.New(cfg)
+	// Resume-on-startup: jobs persisted by a previous process (drained or
+	// crashed) re-enter the queue from their newest readable checkpoint.
+	if n := svc.RecoverJobs(); n > 0 {
+		log.Printf("jobs: recovered %d persisted job(s) from the store", n)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -137,23 +142,28 @@ func main() {
 	stop()
 	log.Printf("signal received, draining")
 
-	// Stop accepting new connections; in-flight HTTP handlers get a
-	// grace period before the listener force-closes.
-	shutCtx, cancel := context.WithTimeout(context.Background(), *timeout+10*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("shutdown: %v", err)
-	}
-	// Then wait for every in-flight evaluation to finish; Drain also
-	// flushes pending store batches so they survive the restart (the
-	// deferred Close would flush too, but a metrics line after Drain
-	// must already reflect the flushed state).
-	svc.Drain()
-
-	final, err := json.Marshal(svc.Metrics())
+	final, err := shutdownSequence(srv, svc, *timeout+10*time.Second)
 	if err != nil {
 		log.Fatalf("final metrics: %v", err)
 	}
 	os.Stdout.Write(append(final, '\n'))
 	log.Printf("drained, exiting")
+}
+
+// shutdownSequence is the ordered SIGTERM path: stop accepting
+// connections (in-flight HTTP handlers get the grace period), then
+// drain the service — running jobs checkpoint to the store, in-flight
+// evaluations finish, and the pending store batch is flushed — and
+// finally snapshot metrics. The order matters: the metrics line must
+// reflect the flushed, checkpointed state a restart will recover.
+func shutdownSequence(srv *http.Server, svc *service.Service, grace time.Duration) ([]byte, error) {
+	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	svc.Drain()
+	js := svc.JobStats()
+	log.Printf("jobs at shutdown: %d checkpoint(s) written, states %v", js.Checkpoints, js.States)
+	return json.Marshal(svc.Metrics())
 }

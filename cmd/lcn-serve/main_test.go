@@ -1,0 +1,182 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"lcn3d/internal/faults"
+	"lcn3d/internal/jobs"
+	"lcn3d/internal/service"
+	"lcn3d/internal/store"
+)
+
+func optimizeReq() service.OptimizeRequest {
+	return service.OptimizeRequest{
+		CaseRef:       service.CaseRef{Case: 1, Scale: 15},
+		Seed:          7,
+		Chains:        2,
+		ExchangeEvery: 1,
+		NumTrees:      2,
+		Branch:        2,
+		CoarseM:       3,
+	}
+}
+
+// TestShutdownSequenceCheckpointsAndResumes is the satellite-3 ordered
+// shutdown test: SIGTERM's shutdownSequence must checkpoint running
+// jobs into the store BEFORE the final flush, so a restarted process
+// recovers the job and finishes it with the same solution as an
+// uninterrupted run.
+func TestShutdownSequenceCheckpointsAndResumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the SA optimizer")
+	}
+	dir := t.TempDir()
+	// Auto-flush disabled: every durable byte below must come from the
+	// drain-ordered flush inside shutdownSequence, not a timer.
+	st, err := store.Open(dir, store.Options{
+		FlushCount:    1 << 20,
+		FlushBytes:    1 << 30,
+		FlushInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Config{Store: st, Scale: 15})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(l)
+	base := "http://" + l.Addr().String()
+
+	// Pace probes so the job is mid-run when the shutdown lands.
+	if err := faults.Arm("thermal.slow=always;delay=3ms"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+
+	body, _ := json.Marshal(optimizeReq())
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec jobs.Record
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rec.ID == "" {
+		t.Fatalf("submit returned %+v", rec)
+	}
+
+	// Wait until at least one checkpoint exists, then shut down.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		r, err := http.Get(base + "/v1/jobs/" + rec.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur jobs.Record
+		if err := json.NewDecoder(r.Body).Decode(&cur); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if cur.CheckpointSeq >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never checkpointed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	final, err := shutdownSequence(srv, svc, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Disarm()
+	var snap service.MetricsSnapshot
+	if err := json.Unmarshal(final, &snap); err != nil {
+		t.Fatalf("final metrics line: %v", err)
+	}
+	if snap.Optimize.Checkpoints < 1 {
+		t.Fatalf("final metrics report %d checkpoints, want >= 1", snap.Optimize.Checkpoints)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The drained state must be durable: the newest record on disk says
+	// checkpointed, not running or lost.
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	prefix := "job/" + rec.ID + "/rec/"
+	var newest uint64
+	for _, k := range st2.Keys(prefix) {
+		if s, err := strconv.ParseUint(k[len(prefix):], 10, 64); err == nil && s > newest {
+			newest = s
+		}
+	}
+	if newest == 0 {
+		t.Fatal("no durable job records after drain")
+	}
+	blob, ok := st2.Get(prefix + strconv.FormatUint(newest, 10))
+	if !ok {
+		t.Fatalf("newest record %d unreadable", newest)
+	}
+	var durable jobs.Record
+	if err := json.Unmarshal(blob, &durable); err != nil {
+		t.Fatal(err)
+	}
+	if durable.State != jobs.StateCheckpointed || durable.CheckpointSeq < 1 {
+		t.Fatalf("durable record %+v, want checkpointed with a checkpoint", durable)
+	}
+
+	// A restarted process recovers and finishes the job...
+	svc2 := service.New(service.Config{Store: st2, Scale: 15})
+	if n := svc2.RecoverJobs(); n != 1 {
+		t.Fatalf("recovered %d jobs, want 1", n)
+	}
+	var done jobs.Record
+	deadline = time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		done, err = svc2.JobStatus(context.Background(), rec.ID)
+		if err == nil && done.State.Terminal() {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if done.State != jobs.StateDone || done.Resumes < 1 {
+		t.Fatalf("recovered job ended as %+v", done)
+	}
+
+	// ...with the same solution as an uninterrupted run.
+	straightSvc := service.New(service.Config{Scale: 15})
+	buf, err := straightSvc.Optimize(context.Background(), optimizeReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, want service.OptimizeResponse
+	if err := json.Unmarshal(done.Result, &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got.NetworkHash != want.NetworkHash || got.Psys != want.Psys ||
+		got.Wpump != want.Wpump || got.Evals != want.Evals ||
+		got.Exchanges != want.Exchanges {
+		t.Fatalf("resumed solution differs:\n got %+v\nwant %+v", got, want)
+	}
+}

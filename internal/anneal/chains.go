@@ -47,6 +47,12 @@ type Hooks[S any] struct {
 	// Progress is called from the single coordinator goroutine at every
 	// exchange barrier with one entry per chain, in chain order.
 	Progress func([]ChainProgress)
+	// Snapshot is called from the coordinator goroutine at every exchange
+	// barrier (after the best reduction and adoptions) with a checkpoint
+	// that resumes the run bitwise-identically via ResumeChains. The
+	// checkpoint's states alias live chain state: copy or serialize them
+	// before returning if S holds pointers or slices.
+	Snapshot func(*Checkpoint[S])
 }
 
 // chainSeed derives chain c's seed from the root seed via a splitmix64
@@ -61,6 +67,7 @@ func chainSeed(root int64, chain int) int64 {
 // chainState is one replica's mutable state between barriers.
 type chainState[S any] struct {
 	rng      *rand.Rand
+	src      *countingSource // the source behind rng, for checkpointing
 	cur      S
 	curCost  float64
 	best     S
@@ -81,6 +88,23 @@ type chainState[S any] struct {
 // state, cost and per-chain statistics are identical regardless of
 // cfg.Parallelism and GOMAXPROCS.
 func RunChains[S any](ctx context.Context, cfg Config, initial S,
+	move func(rng *rand.Rand, chain int, cur S) S,
+	cost func(chain int, s S) float64,
+	hooks Hooks[S]) (S, float64, ChainStats) {
+	return ResumeChains(ctx, cfg, nil, initial, move, cost, hooks)
+}
+
+// ResumeChains continues a RunChains execution from a checkpoint taken
+// by Hooks.Snapshot. cfg must match the original run (same Seed,
+// Chains, Iterations, Neighbors, CoolRate, ...); move and cost must be
+// the same pure functions, with any chain-local state they depend on
+// restored by the caller. A nil checkpoint starts a fresh run. The
+// resumed run's final state, cost and statistics are bitwise identical
+// to the uninterrupted run's.
+//
+// len(from.Chains) must equal the configured chain count; a mismatch
+// panics, since silently reseeding chains would corrupt determinism.
+func ResumeChains[S any](ctx context.Context, cfg Config, from *Checkpoint[S], initial S,
 	move func(rng *rand.Rand, chain int, cur S) S,
 	cost func(chain int, s S) float64,
 	hooks Hooks[S]) (S, float64, ChainStats) {
@@ -106,39 +130,55 @@ func RunChains[S any](ctx context.Context, cfg Config, initial S,
 	// than Parallelism evaluations at once.
 	sem := make(chan struct{}, cfg.Parallelism)
 
-	chains := make([]*chainState[S], K)
-	var init sync.WaitGroup
-	for c := 0; c < K; c++ {
-		init.Add(1)
-		go func(c int) {
-			defer init.Done()
-			sem <- struct{}{}
-			c0 := cost(c, initial)
-			<-sem
-			st := &chainState[S]{
-				rng: rand.New(rand.NewSource(chainSeed(cfg.Seed, c))),
-				cur: initial, curCost: c0,
-				best: initial, bestCost: c0,
-				stats: Stats{Evaluations: 1},
-			}
-			st.temp = cfg.InitTemp
-			if st.temp <= 0 {
-				st.temp = math.Abs(c0) / 10
-				if st.temp == 0 || math.IsInf(st.temp, 0) || math.IsNaN(st.temp) {
-					st.temp = 1
-				}
-			}
-			chains[c] = st
-		}(c)
-	}
-	init.Wait()
-
+	var chains []*chainState[S]
 	cstats := ChainStats{Chains: K}
-	globalBest := chains[0].best
-	globalBestCost := chains[0].bestCost
-	for _, st := range chains[1:] {
-		if st.bestCost < globalBestCost { // identical initial: stays chain 0
-			globalBest, globalBestCost = st.best, st.bestCost
+	var globalBest S
+	var globalBestCost float64
+	sinceImprove := 0
+	done := 0
+	if from != nil {
+		if len(from.Chains) != K {
+			panic("anneal: checkpoint chain count does not match config")
+		}
+		chains = restore(cfg, from)
+		globalBest, globalBestCost = from.GlobalBest, from.GlobalBestCost
+		cstats.Exchanges, cstats.Adoptions = from.Exchanges, from.Adoptions
+		done, sinceImprove = from.Done, from.SinceImprove
+	} else {
+		chains = make([]*chainState[S], K)
+		var init sync.WaitGroup
+		for c := 0; c < K; c++ {
+			init.Add(1)
+			go func(c int) {
+				defer init.Done()
+				sem <- struct{}{}
+				c0 := cost(c, initial)
+				<-sem
+				src := newCountingSource(chainSeed(cfg.Seed, c))
+				st := &chainState[S]{
+					rng: rand.New(src), src: src,
+					cur: initial, curCost: c0,
+					best: initial, bestCost: c0,
+					stats: Stats{Evaluations: 1},
+				}
+				st.temp = cfg.InitTemp
+				if st.temp <= 0 {
+					st.temp = math.Abs(c0) / 10
+					if st.temp == 0 || math.IsInf(st.temp, 0) || math.IsNaN(st.temp) {
+						st.temp = 1
+					}
+				}
+				chains[c] = st
+			}(c)
+		}
+		init.Wait()
+
+		globalBest = chains[0].best
+		globalBestCost = chains[0].bestCost
+		for _, st := range chains[1:] {
+			if st.bestCost < globalBestCost { // identical initial: stays chain 0
+				globalBest, globalBestCost = st.best, st.bestCost
+			}
 		}
 	}
 
@@ -205,8 +245,7 @@ func RunChains[S any](ctx context.Context, cfg Config, initial S,
 		}
 	}
 
-	sinceImprove := 0
-	for done := 0; done < cfg.Iterations; {
+	for done < cfg.Iterations {
 		span := min(exchange, cfg.Iterations-done)
 		var wg sync.WaitGroup
 		for c := 0; c < K; c++ {
@@ -217,6 +256,13 @@ func RunChains[S any](ctx context.Context, cfg Config, initial S,
 			}(c)
 		}
 		wg.Wait()
+		// A cancellation that lands mid-segment leaves chains at
+		// different iterations — not a consistent cut. Stop before the
+		// barrier bookkeeping so no snapshot of the partial span is ever
+		// taken; resume replays from the previous barrier bitwise.
+		if ctx.Err() != nil {
+			break
+		}
 		done += span
 		cstats.Exchanges++
 
@@ -255,6 +301,9 @@ func RunChains[S any](ctx context.Context, cfg Config, initial S,
 				}
 			}
 			hooks.Progress(prog)
+		}
+		if hooks.Snapshot != nil {
+			hooks.Snapshot(snapshot(chains, done, sinceImprove, globalBest, globalBestCost, cstats))
 		}
 		if ctx.Err() != nil {
 			break

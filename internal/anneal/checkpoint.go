@@ -1,0 +1,113 @@
+package anneal
+
+import "math/rand"
+
+// Checkpoint/resume for RunChains. A chain's RNG position is recorded
+// as (root seed, draw count): the stock math/rand generator advances
+// its internal state exactly one step per Int63 or Uint64 call, so a
+// fresh source fast-forwarded by the recorded number of draws lands on
+// the same state and the resumed run is bitwise identical to one that
+// was never interrupted. Snapshots are taken at exchange barriers only,
+// where every chain goroutine is parked, so the captured state is a
+// consistent cut of the whole ensemble.
+
+// countingSource wraps the stock math/rand source and counts draws.
+// Values pass through untouched, so the stream is identical to an
+// unwrapped rand.NewSource with the same seed.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.draws = 0
+}
+
+// skip advances a fresh source to draw position n.
+func (s *countingSource) skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.Uint64()
+	}
+	s.draws = n
+}
+
+// ChainCheckpoint is one chain's state at an exchange barrier. The Cur
+// and Best fields alias the live chain state at capture time: Snapshot
+// hooks must copy or serialize them before returning if S holds
+// pointers or slices.
+type ChainCheckpoint[S any] struct {
+	Draws    uint64 // RNG draws consumed since chain start
+	Cur      S
+	CurCost  float64
+	Best     S
+	BestCost float64
+	Temp     float64
+	Stats    Stats
+}
+
+// Checkpoint is the full RunChains state at an exchange barrier,
+// sufficient to resume via ResumeChains with the same Config.
+type Checkpoint[S any] struct {
+	Done           int // iterations completed
+	SinceImprove   int
+	GlobalBest     S
+	GlobalBestCost float64
+	Exchanges      int
+	Adoptions      int
+	Chains         []ChainCheckpoint[S]
+}
+
+// snapshot captures the ensemble state. Called at a barrier from the
+// coordinator goroutine while all chains are parked.
+func snapshot[S any](chains []*chainState[S], done, sinceImprove int,
+	globalBest S, globalBestCost float64, cstats ChainStats) *Checkpoint[S] {
+	cp := &Checkpoint[S]{
+		Done: done, SinceImprove: sinceImprove,
+		GlobalBest: globalBest, GlobalBestCost: globalBestCost,
+		Exchanges: cstats.Exchanges, Adoptions: cstats.Adoptions,
+		Chains: make([]ChainCheckpoint[S], len(chains)),
+	}
+	for c, st := range chains {
+		cp.Chains[c] = ChainCheckpoint[S]{
+			Draws: st.src.draws,
+			Cur:   st.cur, CurCost: st.curCost,
+			Best: st.best, BestCost: st.bestCost,
+			Temp: st.temp, Stats: st.stats,
+		}
+	}
+	return cp
+}
+
+// restore rebuilds per-chain state from a checkpoint: each chain's RNG
+// is recreated from the deterministic chain seed and fast-forwarded to
+// its recorded draw position. No cost evaluations run.
+func restore[S any](cfg Config, from *Checkpoint[S]) []*chainState[S] {
+	chains := make([]*chainState[S], len(from.Chains))
+	for c := range from.Chains {
+		cc := &from.Chains[c]
+		src := newCountingSource(chainSeed(cfg.Seed, c))
+		src.skip(cc.Draws)
+		chains[c] = &chainState[S]{
+			rng: rand.New(src), src: src,
+			cur: cc.Cur, curCost: cc.CurCost,
+			best: cc.Best, bestCost: cc.BestCost,
+			temp: cc.Temp, stats: cc.Stats,
+		}
+	}
+	return chains
+}

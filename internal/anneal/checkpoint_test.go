@@ -1,0 +1,145 @@
+package anneal
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestCountingSourceStream: the wrapper must pass the stock stream
+// through untouched and skip must land on the exact draw position.
+func TestCountingSourceStream(t *testing.T) {
+	plain := rand.New(rand.NewSource(42))
+	counted := rand.New(newCountingSource(42))
+	for i := 0; i < 500; i++ {
+		switch i % 4 {
+		case 0:
+			if a, b := plain.Uint64(), counted.Uint64(); a != b {
+				t.Fatalf("Uint64 diverged at %d: %d vs %d", i, a, b)
+			}
+		case 1:
+			if a, b := plain.Float64(), counted.Float64(); a != b {
+				t.Fatalf("Float64 diverged at %d: %v vs %v", i, a, b)
+			}
+		case 2:
+			if a, b := plain.Intn(1000), counted.Intn(1000); a != b {
+				t.Fatalf("Intn diverged at %d: %d vs %d", i, a, b)
+			}
+		case 3:
+			if a, b := plain.Int63(), counted.Int63(); a != b {
+				t.Fatalf("Int63 diverged at %d: %d vs %d", i, a, b)
+			}
+		}
+	}
+
+	// Fast-forward: draws draws then compare next values.
+	ref := newCountingSource(7)
+	r := rand.New(ref)
+	for i := 0; i < 137; i++ {
+		r.Float64()
+		r.Intn(10)
+	}
+	ff := newCountingSource(7)
+	ff.skip(ref.draws)
+	for i := 0; i < 50; i++ {
+		if a, b := ref.Uint64(), ff.Uint64(); a != b {
+			t.Fatalf("skip(%d) diverged at +%d: %d vs %d", ref.draws, i, a, b)
+		}
+	}
+}
+
+// toyProblem is a deterministic synthetic annealing target: minimize
+// |s - 1000| with moves that random-walk s. Infeasible states (negative)
+// cost +Inf to exercise the Inf paths through a checkpoint round trip.
+func toyMove(rng *rand.Rand, chain int, cur int) int {
+	step := rng.Intn(21) - 10
+	if rng.Float64() < 0.05 {
+		step *= 13
+	}
+	return cur + step
+}
+
+func toyCost(chain int, s int) float64 {
+	if s < 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(float64(s - 1000))
+}
+
+func toyCfg() Config {
+	return Config{
+		Iterations: 60, Neighbors: 4, CoolRate: 0.95, InitTemp: 50,
+		Seed: 99, Chains: 3, ExchangeEvery: 5, Parallelism: 4,
+	}
+}
+
+// TestResumeChainsBitwise resumes from every barrier checkpoint of a
+// straight run and requires the identical final state and statistics.
+func TestResumeChainsBitwise(t *testing.T) {
+	cfg := toyCfg()
+	var cps []*Checkpoint[int]
+	best, cost, stats := RunChains(context.Background(), cfg, 500, toyMove, toyCost,
+		Hooks[int]{Snapshot: func(cp *Checkpoint[int]) { cps = append(cps, cp) }})
+	if len(cps) == 0 {
+		t.Fatal("no checkpoints captured")
+	}
+
+	for i, cp := range cps {
+		rb, rc, rs := ResumeChains(context.Background(), cfg, cp, 0, toyMove, toyCost, Hooks[int]{})
+		if rb != best || rc != cost {
+			t.Fatalf("checkpoint %d (done=%d): resumed best/cost %d/%v, want %d/%v",
+				i, cp.Done, rb, rc, best, cost)
+		}
+		if !reflect.DeepEqual(rs, stats) {
+			t.Fatalf("checkpoint %d: resumed stats %+v, want %+v", i, rs, stats)
+		}
+	}
+}
+
+// TestResumeChainsAfterCancel cancels mid-run at a barrier, resumes
+// from the final checkpoint, and requires equality with an
+// uninterrupted run — the service drain/restart path in miniature.
+func TestResumeChainsAfterCancel(t *testing.T) {
+	cfg := toyCfg()
+	best, cost, stats := RunChains(context.Background(), cfg, 500, toyMove, toyCost, Hooks[int]{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var last *Checkpoint[int]
+	barriers := 0
+	RunChains(ctx, cfg, 500, toyMove, toyCost, Hooks[int]{
+		Snapshot: func(cp *Checkpoint[int]) {
+			last = cp
+			if barriers++; barriers == 4 {
+				cancel() // run stops at this barrier, checkpoint in hand
+			}
+		},
+	})
+	if last == nil || last.Done >= cfg.Iterations {
+		t.Fatalf("expected a mid-run checkpoint, got %+v", last)
+	}
+
+	rb, rc, rs := ResumeChains(context.Background(), cfg, last, 0, toyMove, toyCost, Hooks[int]{})
+	if rb != best || rc != cost || !reflect.DeepEqual(rs, stats) {
+		t.Fatalf("cancel+resume: got %d/%v %+v, want %d/%v %+v", rb, rc, rs, best, cost, stats)
+	}
+}
+
+// TestResumeChainsChainMismatch: resuming with the wrong chain count
+// must panic rather than silently corrupt determinism.
+func TestResumeChainsChainMismatch(t *testing.T) {
+	cfg := toyCfg()
+	var last *Checkpoint[int]
+	RunChains(context.Background(), cfg, 500, toyMove, toyCost,
+		Hooks[int]{Snapshot: func(cp *Checkpoint[int]) { last = cp }})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on chain-count mismatch")
+		}
+	}()
+	bad := cfg
+	bad.Chains = 5
+	ResumeChains(context.Background(), bad, last, 0, toyMove, toyCost, Hooks[int]{})
+}

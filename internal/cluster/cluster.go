@@ -105,6 +105,9 @@ type Stats struct {
 
 	Probes     int64 `json:"probes"`
 	ProbeFails int64 `json:"probe_fails"`
+
+	StorePushes     int64 `json:"store_pushes"` // job-state replication PUTs
+	StorePushErrors int64 `json:"store_push_errors"`
 }
 
 // Cluster is one node's view of the fleet.
@@ -123,6 +126,7 @@ type Cluster struct {
 	ctrForwards, ctrForwardErrs                            atomic.Int64
 	ctrFetches, ctrFetchHits, ctrFetchMisses, ctrFetchErrs atomic.Int64
 	ctrProbes, ctrProbeFails                               atomic.Int64
+	ctrPushes, ctrPushErrs                                 atomic.Int64
 }
 
 // New builds a cluster view. The ring covers Peers ∪ {Self}; probing
@@ -164,6 +168,25 @@ func (c *Cluster) Peers() []string { return c.ring.Peers() }
 func (c *Cluster) Owner(key string) (peer string, self bool) {
 	p := c.ring.Owner(key)
 	return p, p == c.self
+}
+
+// Owners returns the first n distinct peers clockwise of key (the owner
+// followed by its fallback successors).
+func (c *Cluster) Owners(key string, n int) []string {
+	return c.ring.Owners(key, n)
+}
+
+// ReplicaTarget returns the first ring successor of key that is not
+// this node — where this node replicates the key's job state so a
+// fallback peer can adopt the job if this node dies. ok is false in a
+// single-node fleet.
+func (c *Cluster) ReplicaTarget(key string) (peer string, ok bool) {
+	for _, p := range c.ring.Owners(key, len(c.ring.Peers())) {
+		if p != c.self {
+			return p, true
+		}
+	}
+	return "", false
 }
 
 // Healthy reports whether peer is currently believed up. Unknown peers
@@ -388,6 +411,73 @@ func (c *Cluster) FetchStore(ctx context.Context, peer, hash string) ([]byte, er
 	}
 }
 
+// PushStore writes one blob into peer's store via PUT /v1/store/{key}
+// (job-state replication). Best-effort: a failure marks the peer down
+// and is reported, but callers treat replication as advisory.
+func (c *Cluster) PushStore(ctx context.Context, peer, key string, val []byte) error {
+	c.ctrPushes.Add(1)
+	if !c.Healthy(peer) {
+		c.ctrPushErrs.Add(1)
+		return ErrPeerDown
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.opt.ProbeTimeout*4)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, "http://"+peer+"/v1/store/"+key, bytes.NewReader(val))
+	if err != nil {
+		c.ctrPushErrs.Add(1)
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(ForwardedHeader, c.self)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.ctrPushErrs.Add(1)
+		c.MarkDown(peer)
+		return fmt.Errorf("cluster: push %s to %s: %w", key, peer, err)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		c.ctrPushErrs.Add(1)
+		return fmt.Errorf("cluster: push to %s: status %d", peer, resp.StatusCode)
+	}
+	return nil
+}
+
+// ForwardGet proxies one GET (e.g. /v1/jobs/{id}) to peer and returns
+// the response bytes. ErrNotFound reports a clean 404; other non-200
+// statuses are errors. A transport failure marks the peer down.
+func (c *Cluster) ForwardGet(ctx context.Context, peer, path string) ([]byte, error) {
+	if !c.Healthy(peer) {
+		return nil, ErrPeerDown
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.opt.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(ForwardedHeader, c.self)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.MarkDown(peer)
+		return nil, fmt.Errorf("cluster: get %s from %s: %w", path, peer, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody))
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return out, nil
+	case http.StatusNotFound:
+		return nil, ErrNotFound
+	default:
+		return nil, fmt.Errorf("cluster: get %s from %s: status %d", path, peer, resp.StatusCode)
+	}
+}
+
 // Stats snapshots the counters and health view.
 func (c *Cluster) Stats() Stats {
 	healthy := 0
@@ -408,6 +498,8 @@ func (c *Cluster) Stats() Stats {
 		StoreFetchErrors: c.ctrFetchErrs.Load(),
 		Probes:           c.ctrProbes.Load(),
 		ProbeFails:       c.ctrProbeFails.Load(),
+		StorePushes:      c.ctrPushes.Load(),
+		StorePushErrors:  c.ctrPushErrs.Load(),
 	}
 }
 

@@ -77,6 +77,31 @@ func (r *Ring) Owner(key string) string {
 	return r.points[i].peer
 }
 
+// Owners returns the first n distinct peers clockwise of key: the owner
+// first, then its successors in ring order. Successors are the fallback
+// owners for job migration — the peers that adopt a job when the owner
+// dies. n is clamped to the peer count.
+func (r *Ring) Owners(key string, n int) []string {
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	if n <= 0 {
+		return nil
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for scanned := 0; scanned < len(r.points) && len(out) < n; scanned++ {
+		p := r.points[(i+scanned)%len(r.points)].peer
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // hash64 is FNV-1a; key distribution comes from the keys themselves
 // (SHA-256 hex content addresses), so a fast non-cryptographic mix is
 // plenty for placement.

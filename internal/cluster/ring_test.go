@@ -82,3 +82,32 @@ func TestRingRejectsEmpty(t *testing.T) {
 		t.Fatal("NewRing with empty address succeeded")
 	}
 }
+
+// TestRingOwners: the owner leads, successors are distinct, the list is
+// deterministic, and n clamps to the membership size.
+func TestRingOwners(t *testing.T) {
+	r, err := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("job:%064d", i)
+		owners := r.Owners(key, 2)
+		if len(owners) != 2 {
+			t.Fatalf("key %d: %d owners, want 2", i, len(owners))
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("key %d: Owners[0]=%s, Owner=%s", i, owners[0], r.Owner(key))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("key %d: duplicate successor %s", i, owners[0])
+		}
+		all := r.Owners(key, 99)
+		if len(all) != 3 {
+			t.Fatalf("key %d: Owners(99) returned %d peers, want 3", i, len(all))
+		}
+	}
+	if got := r.Owners("k", 0); got != nil {
+		t.Fatalf("Owners(0) = %v, want nil", got)
+	}
+}

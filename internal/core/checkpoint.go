@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lcn3d/internal/anneal"
+	"lcn3d/internal/network"
+)
+
+// SolveCheckpoint is a serializable snapshot of a solve() in flight,
+// captured at an exchange barrier of the current SA stage. Together
+// with the original Options it resumes the run bitwise-identically:
+// the structure/orientation sweep is skipped (its outcome is recorded
+// here), completed stages are not re-run, and the in-progress stage
+// continues from the embedded anneal checkpoint with every chain's RNG
+// fast-forwarded to its recorded draw position.
+//
+// All float64 fields are stored as IEEE-754 bit patterns: infeasible
+// costs are +Inf, which encoding/json cannot represent, and bitwise
+// resume cannot tolerate a decimal round trip.
+type SolveCheckpoint struct {
+	Version    int   `json:"version"`
+	Problem    int   `json:"problem"`
+	Seed       int64 `json:"seed"`
+	StageCount int   `json:"stage_count"`
+
+	// Structure sweep outcome and pre-stage progress.
+	Stage      int                 `json:"stage"` // in-progress stage index
+	Spec       network.TreeSpec    `json:"spec"`  // spec entering that stage
+	Orient     network.Orientation `json:"orient"`
+	TotalEvals int                 `json:"total_evals"` // through completed stages
+
+	// Solution aggregates from completed stages only; the in-progress
+	// stage re-adds its own (checkpoint-continued) stats on completion.
+	Chains      int   `json:"chains"`
+	Exchanges   int   `json:"exchanges"`
+	Adoptions   int   `json:"adoptions"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+
+	// GroupPsysBits is each chain's grouped optimal pressure (Problem 2),
+	// refreshed only at GroupSize boundaries — mid-group state that must
+	// survive the restart or resumed cost evaluations diverge.
+	GroupPsysBits []uint64 `json:"group_psys_bits,omitempty"`
+
+	Anneal *AnnealCheckpoint `json:"anneal"`
+}
+
+// AnnealCheckpoint mirrors anneal.Checkpoint[candidate] with JSON-safe
+// float encoding and TreeSpec states.
+type AnnealCheckpoint struct {
+	Done               int                     `json:"done"`
+	SinceImprove       int                     `json:"since_improve"`
+	GlobalBest         network.TreeSpec        `json:"global_best"`
+	GlobalBestCostBits uint64                  `json:"global_best_cost_bits"`
+	Exchanges          int                     `json:"exchanges"`
+	Adoptions          int                     `json:"adoptions"`
+	Chains             []AnnealChainCheckpoint `json:"chains"`
+}
+
+// AnnealChainCheckpoint is one chain's serialized barrier state.
+type AnnealChainCheckpoint struct {
+	Draws        uint64           `json:"draws"`
+	Cur          network.TreeSpec `json:"cur"`
+	CurCostBits  uint64           `json:"cur_cost_bits"`
+	Best         network.TreeSpec `json:"best"`
+	BestCostBits uint64           `json:"best_cost_bits"`
+	TempBits     uint64           `json:"temp_bits"`
+	Stats        anneal.Stats     `json:"stats"`
+}
+
+// CheckpointMismatchError reports a checkpoint that cannot resume the
+// requested run (different problem, seed, or stage schedule). Callers
+// typically discard the checkpoint and restart from scratch.
+type CheckpointMismatchError struct{ Reason string }
+
+func (e *CheckpointMismatchError) Error() string {
+	return "core: checkpoint mismatch: " + e.Reason
+}
+
+func (cp *SolveCheckpoint) check(opt Options, problem int) error {
+	mismatch := func(format string, args ...any) error {
+		return &CheckpointMismatchError{Reason: fmt.Sprintf(format, args...)}
+	}
+	switch {
+	case cp.Version != 1:
+		return mismatch("version %d, want 1", cp.Version)
+	case cp.Problem != problem:
+		return mismatch("problem %d, want %d", cp.Problem, problem)
+	case cp.Seed != opt.Seed:
+		return mismatch("seed %d, want %d", cp.Seed, opt.Seed)
+	case cp.StageCount != len(opt.Stages):
+		return mismatch("%d stages, want %d", cp.StageCount, len(opt.Stages))
+	case cp.Stage < 0 || cp.Stage >= len(opt.Stages):
+		return mismatch("stage %d out of range", cp.Stage)
+	case cp.Anneal == nil:
+		return mismatch("missing anneal state")
+	}
+	return nil
+}
+
+// encodeAnnealCP deep-copies a live barrier snapshot into the JSON-safe
+// form. Called synchronously from the Snapshot hook while chains are
+// parked, so cloning here is what makes later (async) marshaling safe.
+func encodeAnnealCP(cp *anneal.Checkpoint[candidate]) *AnnealCheckpoint {
+	out := &AnnealCheckpoint{
+		Done:               cp.Done,
+		SinceImprove:       cp.SinceImprove,
+		GlobalBest:         cp.GlobalBest.spec.Clone(),
+		GlobalBestCostBits: math.Float64bits(cp.GlobalBestCost),
+		Exchanges:          cp.Exchanges,
+		Adoptions:          cp.Adoptions,
+		Chains:             make([]AnnealChainCheckpoint, len(cp.Chains)),
+	}
+	for c := range cp.Chains {
+		cc := &cp.Chains[c]
+		out.Chains[c] = AnnealChainCheckpoint{
+			Draws:        cc.Draws,
+			Cur:          cc.Cur.spec.Clone(),
+			CurCostBits:  math.Float64bits(cc.CurCost),
+			Best:         cc.Best.spec.Clone(),
+			BestCostBits: math.Float64bits(cc.BestCost),
+			TempBits:     math.Float64bits(cc.Temp),
+			Stats:        cc.Stats,
+		}
+	}
+	return out
+}
+
+func decodeAnnealCP(a *AnnealCheckpoint) *anneal.Checkpoint[candidate] {
+	cp := &anneal.Checkpoint[candidate]{
+		Done:           a.Done,
+		SinceImprove:   a.SinceImprove,
+		GlobalBest:     candidate{spec: a.GlobalBest.Clone()},
+		GlobalBestCost: math.Float64frombits(a.GlobalBestCostBits),
+		Exchanges:      a.Exchanges,
+		Adoptions:      a.Adoptions,
+		Chains:         make([]anneal.ChainCheckpoint[candidate], len(a.Chains)),
+	}
+	for c := range a.Chains {
+		cc := &a.Chains[c]
+		cp.Chains[c] = anneal.ChainCheckpoint[candidate]{
+			Draws:    cc.Draws,
+			Cur:      candidate{spec: cc.Cur.Clone()},
+			CurCost:  math.Float64frombits(cc.CurCostBits),
+			Best:     candidate{spec: cc.Best.Clone()},
+			BestCost: math.Float64frombits(cc.BestCostBits),
+			Temp:     math.Float64frombits(cc.TempBits),
+			Stats:    cc.Stats,
+		}
+	}
+	return cp
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"lcn3d/internal/network"
+	"lcn3d/internal/thermal"
+)
+
+func resumeOptions(seed int64, problem int) Options {
+	opt := Options{
+		Seed:          seed,
+		Chains:        2,
+		CoarseM:       3,
+		NumTrees:      2,
+		BranchType:    network.Branch2,
+		ExchangeEvery: 2, // several barriers (checkpoints) per stage
+		Orientations:  []network.Orientation{{Rotations: 0}, {Rotations: 2}},
+	}
+	if problem == 1 {
+		opt.Stages = []Stage{
+			{Iterations: 4, Step: 4, FixedPsys: true},
+			{Iterations: 4, Step: 2},
+		}
+	} else {
+		opt.Stages = []Stage{
+			{Iterations: 4, Step: 4, GroupSize: 3},
+			{Iterations: 4, Step: 2, GroupSize: 3},
+		}
+	}
+	return opt
+}
+
+func runProblem(t *testing.T, in *Instance, ctx context.Context, opt Options, problem int) (*Solution, error) {
+	t.Helper()
+	if problem == 1 {
+		return in.SolveProblem1Ctx(ctx, opt)
+	}
+	return in.SolveProblem2Ctx(ctx, opt)
+}
+
+// TestSolveCheckpointResumeBitwise is the keystone: interrupt a solve at
+// a checkpoint, resume from the JSON round-tripped snapshot, and require
+// the final best network, cost, and evaluation count to be bitwise
+// identical to the uninterrupted run with the same seed. Problem 2's
+// grouped stages cover the mid-group optimal-pressure state.
+func TestSolveCheckpointResumeBitwise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SA run")
+	}
+	for _, problem := range []int{1, 2} {
+		in := testInstance(t, 10, 3)
+		opt := resumeOptions(11, problem)
+
+		straight, err := runProblem(t, in, context.Background(), opt, problem)
+		if err != nil {
+			t.Fatalf("problem %d straight run: %v", problem, err)
+		}
+
+		// Interrupted run: cancel from inside the Checkpoint hook after a
+		// few barriers — exactly how a drain stops a job mid-stage.
+		ctx, cancel := context.WithCancel(context.Background())
+		var blobs [][]byte
+		iopt := opt
+		iopt.Checkpoint = func(cp *SolveCheckpoint) {
+			blob, err := json.Marshal(cp)
+			if err != nil {
+				t.Errorf("marshal checkpoint: %v", err)
+			}
+			blobs = append(blobs, blob)
+			if len(blobs) == 3 {
+				cancel()
+			}
+		}
+		if _, err := runProblem(t, in, ctx, iopt, problem); !errors.Is(err, context.Canceled) {
+			t.Fatalf("problem %d interrupted run: err=%v, want context.Canceled", problem, err)
+		}
+		cancel()
+		if len(blobs) < 3 {
+			t.Fatalf("problem %d: only %d checkpoints captured", problem, len(blobs))
+		}
+
+		// Resume each captured checkpoint; all must converge on the
+		// straight run's answer.
+		for i, blob := range blobs {
+			var cp SolveCheckpoint
+			if err := json.Unmarshal(blob, &cp); err != nil {
+				t.Fatalf("unmarshal checkpoint %d: %v", i, err)
+			}
+			ropt := opt
+			ropt.Resume = &cp
+			resumed, err := runProblem(t, in, context.Background(), ropt, problem)
+			if err != nil {
+				t.Fatalf("problem %d resume from checkpoint %d: %v", problem, i, err)
+			}
+			if resumed.Net.CanonicalHash() != straight.Net.CanonicalHash() {
+				t.Fatalf("problem %d checkpoint %d: network hash %s, want %s",
+					problem, i, resumed.Net.CanonicalHash(), straight.Net.CanonicalHash())
+			}
+			re, se := resumed.Eval, straight.Eval
+			if re.Feasible != se.Feasible || re.Psys != se.Psys || re.Wpump != se.Wpump ||
+				re.DeltaT != se.DeltaT || re.Probes != se.Probes {
+				t.Fatalf("problem %d checkpoint %d: eval %+v, want %+v",
+					problem, i, re, se)
+			}
+			// The full thermal fields must match bitwise too; only solver
+			// amortization counters (warm-start history) may differ.
+			ro, so := *re.Out, *se.Out
+			ro.Probe, so.Probe = thermal.ProbeStats{}, thermal.ProbeStats{}
+			ro.SolveIters, so.SolveIters = 0, 0
+			if !reflect.DeepEqual(ro, so) {
+				t.Fatalf("problem %d checkpoint %d: outcome fields diverged", problem, i)
+			}
+			if resumed.Evals != straight.Evals {
+				t.Fatalf("problem %d checkpoint %d: %d evals, want %d",
+					problem, i, resumed.Evals, straight.Evals)
+			}
+			if resumed.Exchanges != straight.Exchanges || resumed.Adoptions != straight.Adoptions {
+				t.Fatalf("problem %d checkpoint %d: exchanges/adoptions %d/%d, want %d/%d",
+					problem, i, resumed.Exchanges, resumed.Adoptions,
+					straight.Exchanges, straight.Adoptions)
+			}
+		}
+	}
+}
+
+// TestSolveCheckpointMismatch: a checkpoint from another run must be
+// rejected with a typed error, not silently resumed.
+func TestSolveCheckpointMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SA run")
+	}
+	in := testInstance(t, 10, 3)
+	opt := resumeOptions(11, 1)
+	var cp *SolveCheckpoint
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	iopt := opt
+	iopt.Checkpoint = func(c *SolveCheckpoint) { cp = c; cancel() }
+	runProblem(t, in, ctx, iopt, 1) //nolint:errcheck // interrupted on purpose
+	if cp == nil {
+		t.Fatal("no checkpoint captured")
+	}
+
+	var cme *CheckpointMismatchError
+	bad := opt
+	bad.Seed = 99
+	bad.Resume = cp
+	if _, err := in.SolveProblem1Ctx(context.Background(), bad); !errors.As(err, &cme) {
+		t.Fatalf("seed mismatch: err=%v, want CheckpointMismatchError", err)
+	}
+	bad = opt
+	bad.Resume = cp
+	if _, err := in.SolveProblem2Ctx(context.Background(), bad); !errors.As(err, &cme) {
+		t.Fatalf("problem mismatch: err=%v, want CheckpointMismatchError", err)
+	}
+}

@@ -65,6 +65,17 @@ type Options struct {
 	// Progress, when non-nil, receives per-chain positions at every
 	// exchange barrier of every stage (from a single goroutine).
 	Progress func(stage int, chains []anneal.ChainProgress)
+	// Checkpoint, when non-nil, receives a serializable snapshot of the
+	// whole run at every exchange barrier (from a single goroutine). The
+	// snapshot is deep-copied: callers may marshal or persist it
+	// asynchronously. Resuming it via Resume with the same Options
+	// reproduces the uninterrupted run bitwise.
+	Checkpoint func(*SolveCheckpoint)
+	// Resume, when non-nil, restarts a run from a checkpoint instead of
+	// from scratch. The Options must match the checkpointed run (seed,
+	// stage schedule, problem); a mismatch returns a
+	// *CheckpointMismatchError.
+	Resume *SolveCheckpoint
 	// Verbose emits progress lines via Logf.
 	Logf func(format string, args ...any)
 }
@@ -187,6 +198,13 @@ func (in *Instance) SolveProblem2Ctx(ctx context.Context, opt Options) (*Solutio
 
 func (in *Instance) solve(ctx context.Context, opt Options, problem int) (*Solution, error) {
 	d := in.Stk.Dims
+	if opt.Resume != nil {
+		if err := opt.Resume.check(opt, problem); err != nil {
+			return nil, err
+		}
+		return in.solveStages(ctx, opt, problem,
+			opt.Resume.Spec.Clone(), opt.Resume.Orient, opt.Resume.TotalEvals)
+	}
 	totalEvals := 0
 
 	// Structure and global-flow-direction sweep: the paper attempts all
@@ -249,10 +267,30 @@ func (in *Instance) solve(ctx context.Context, opt Options, problem int) (*Solut
 	if math.IsInf(bestScore, 1) {
 		return nil, fmt.Errorf("core: no structure/orientation yields a legal simulable network")
 	}
+	return in.solveStages(ctx, opt, problem, initSpec, bestOrient, totalEvals)
+}
 
+// solveStages runs the SA stage schedule and final 4RM evaluation. On a
+// resumed run (opt.Resume non-nil) the caller passes the checkpointed
+// structure-sweep outcome and the loop fast-forwards to the in-progress
+// stage, restoring its grouped pressures and anneal state.
+func (in *Instance) solveStages(ctx context.Context, opt Options, problem int,
+	initSpec network.TreeSpec, bestOrient network.Orientation, totalEvals int) (*Solution, error) {
+
+	d := in.Stk.Dims
+	resume := opt.Resume
+	startStage := 0
 	sol := &Solution{Orient: bestOrient}
+	if resume != nil {
+		startStage = resume.Stage
+		sol.Chains = resume.Chains
+		sol.Exchanges = resume.Exchanges
+		sol.Adoptions = resume.Adoptions
+		sol.Cache = MemoStats{Hits: resume.CacheHits, Misses: resume.CacheMisses}
+	}
 	spec := initSpec
-	for si, st := range opt.Stages {
+	for si := startStage; si < len(opt.Stages); si++ {
+		st := opt.Stages[si]
 		chains := opt.Chains
 		if chains <= 0 {
 			chains = max(1, st.Rounds)
@@ -262,6 +300,19 @@ func (in *Instance) solve(ctx context.Context, opt Options, problem int) (*Solut
 		// iteration boundaries via the OnIteration hook, so the cost
 		// function stays pure between refreshes.
 		groupPsys := make([]float64, chains)
+		var annealFrom *anneal.Checkpoint[candidate]
+		if resume != nil && si == startStage {
+			if len(resume.Anneal.Chains) != chains {
+				return nil, &CheckpointMismatchError{Reason: fmt.Sprintf(
+					"stage %d has %d chains, checkpoint has %d", si, chains, len(resume.Anneal.Chains))}
+			}
+			annealFrom = decodeAnnealCP(resume.Anneal)
+			for c := range groupPsys {
+				if c < len(resume.GroupPsysBits) {
+					groupPsys[c] = math.Float64frombits(resume.GroupPsysBits[c])
+				}
+			}
+		}
 		cache := NewEvalCache()
 		cost := in.stageCost(ctx, opt, st, problem, bestOrient, cache, groupPsys)
 
@@ -291,6 +342,34 @@ func (in *Instance) solve(ctx context.Context, opt Options, problem int) (*Solut
 		if opt.Progress != nil {
 			hooks.Progress = func(cp []anneal.ChainProgress) { opt.Progress(si, cp) }
 		}
+		if opt.Checkpoint != nil {
+			// Close over the stage-entry state: the checkpoint records the
+			// spec and aggregates as they stood entering this stage, plus
+			// the live anneal state, which is everything a resumed run
+			// needs to replay the remainder bitwise.
+			entrySpec := spec.Clone()
+			entry := *sol
+			entryEvals := totalEvals
+			hooks.Snapshot = func(acp *anneal.Checkpoint[candidate]) {
+				scp := &SolveCheckpoint{
+					Version: 1, Problem: problem, Seed: opt.Seed,
+					StageCount: len(opt.Stages), Stage: si,
+					Spec: entrySpec.Clone(), Orient: bestOrient,
+					TotalEvals: entryEvals,
+					Chains:     entry.Chains, Exchanges: entry.Exchanges,
+					Adoptions: entry.Adoptions,
+					CacheHits: entry.Cache.Hits, CacheMisses: entry.Cache.Misses,
+					Anneal: encodeAnnealCP(acp),
+				}
+				if problem == 2 && st.GroupSize > 0 {
+					scp.GroupPsysBits = make([]uint64, len(groupPsys))
+					for c, p := range groupPsys {
+						scp.GroupPsysBits[c] = math.Float64bits(p)
+					}
+				}
+				opt.Checkpoint(scp)
+			}
+		}
 
 		cfg := anneal.Config{
 			Iterations:    st.Iterations,
@@ -301,7 +380,7 @@ func (in *Instance) solve(ctx context.Context, opt Options, problem int) (*Solut
 			ExchangeEvery: opt.ExchangeEvery,
 			Converge:      st.Iterations, // run full budget
 		}
-		best, bestCost, stats := anneal.RunChains(ctx, cfg, candidate{spec: spec}, move, cost, hooks)
+		best, bestCost, stats := anneal.ResumeChains(ctx, cfg, annealFrom, candidate{spec: spec}, move, cost, hooks)
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}

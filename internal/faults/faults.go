@@ -85,6 +85,9 @@ const (
 	ClusterFetch Point = "cluster.fetch"
 	// ClusterProbe fails peer health probes, marking peers down.
 	ClusterProbe Point = "cluster.probe"
+	// JobsCheckpoint tears a job checkpoint blob mid-write: the persisted
+	// bytes are truncated, so resume must fall back to the previous one.
+	JobsCheckpoint Point = "jobs.checkpoint"
 )
 
 // Points lists every registered injection point.
@@ -93,6 +96,7 @@ var Points = []Point{
 	ThermalNaN, ThermalSlow, FlowBreakdown, ServicePanic,
 	MGSmoother, MGRestrict, MGCoarse,
 	StoreFlush, StoreRead, ClusterForward, ClusterFetch, ClusterProbe,
+	JobsCheckpoint,
 }
 
 // EnvVar is the environment variable ArmFromEnv reads the spec from.

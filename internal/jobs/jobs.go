@@ -1,0 +1,864 @@
+// Package jobs owns long-running optimization jobs: records with a
+// priority and a state machine (pending → running → checkpointed →
+// done/failed), a bounded-concurrency scheduler, per-job event streams
+// for SSE, and durable persistence. Records and checkpoint blobs are
+// written into a content-addressed blob store under monotonically
+// increasing sequence keys (job/<id>/rec/<seq>, job/<id>/ckpt/<seq>),
+// so every version has a unique key — the store's duplicate-key drop
+// never applies — and startup recovery replays the highest readable
+// sequence. A torn checkpoint (crash or injected jobs.checkpoint
+// fault mid-write) is survived by falling back to the previous one.
+//
+// The package is deliberately ignorant of what a job computes: the
+// service supplies a Run function; jobs supplies durability, state,
+// scheduling, and observation.
+package jobs
+
+import (
+	"container/heap"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"lcn3d/internal/anneal"
+	"lcn3d/internal/faults"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StatePending      State = "pending"
+	StateRunning      State = "running"
+	StateCheckpointed State = "checkpointed" // stopped with resumable state
+	StateDone         State = "done"
+	StateFailed       State = "failed"
+)
+
+// Terminal reports whether s is an end state.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// ErrDraining rejects submissions while the manager drains.
+var ErrDraining = errors.New("jobs: draining")
+
+// ErrNotFound reports an unknown job id.
+var ErrNotFound = errors.New("jobs: not found")
+
+// Record is a job's externally visible state. It is the JSON shape of
+// GET /v1/jobs/{id} and of the persisted job/<id>/rec/<seq> blobs.
+type Record struct {
+	ID       string `json:"id"`
+	Priority int    `json:"priority"`
+	State    State  `json:"state"`
+	// Key is the content-addressed result cache key the job computes.
+	Key string `json:"key,omitempty"`
+	// Owner is the node that last ran the job (cluster migration trail).
+	Owner   string          `json:"owner,omitempty"`
+	Request json.RawMessage `json:"request,omitempty"`
+
+	CreatedUnixMS   int64 `json:"created_unix_ms"`
+	StartedUnixMS   int64 `json:"started_unix_ms,omitempty"`
+	CompletedUnixMS int64 `json:"completed_unix_ms,omitempty"`
+
+	// CheckpointSeq is the newest persisted checkpoint's sequence number
+	// (0 = none yet). Resume scans downward from it, skipping torn blobs.
+	CheckpointSeq uint64 `json:"checkpoint_seq,omitempty"`
+	// Resumes counts restarts from a checkpoint (including migrations).
+	Resumes int `json:"resumes,omitempty"`
+
+	// Stage and Chains mirror the live optimization progress (per-chain
+	// positions at the last exchange barrier).
+	Stage  int                    `json:"stage,omitempty"`
+	Chains []anneal.ChainProgress `json:"chains,omitempty"`
+
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// Event is one entry of a job's progress stream.
+type Event struct {
+	// Type is "state" (lifecycle transition), "progress" (per-chain
+	// positions), "checkpoint" (a checkpoint persisted), "result"
+	// (terminal, with the result attached), or "drain" (the node is
+	// shutting down; the stream ends).
+	Type string `json:"type"`
+	Job  Record `json:"job"`
+}
+
+// Blobs is the persistence surface the manager needs; *store.Store
+// satisfies it. A nil Blobs runs memory-only (no recovery).
+type Blobs interface {
+	Put(key string, val []byte) error
+	Get(key string) ([]byte, bool)
+	Keys(prefix string) []string
+}
+
+// RunFunc executes one job attempt. It must honor ctx (a drain cancels
+// it), persist resumable state via job.SaveCheckpoint, and return the
+// final result bytes. A ctx-cancellation error moves the job to
+// StateCheckpointed (resumable); any other error fails it.
+type RunFunc func(ctx context.Context, job *Job) (json.RawMessage, error)
+
+// Config configures a Manager.
+type Config struct {
+	Blobs Blobs
+	Run   RunFunc
+	// Concurrency bounds simultaneously running jobs (0 = 1).
+	Concurrency int
+	// TerminalRetain bounds the ring of terminal records kept visible
+	// for metrics after completion (0 = 64).
+	TerminalRetain int
+	// Owner stamps records with this node's identity.
+	Owner string
+	// Replicate, when non-nil, receives every persisted (key, blob) for
+	// best-effort copying to a fallback peer. Called asynchronously.
+	Replicate func(key string, val []byte)
+	Logf      func(format string, args ...any)
+}
+
+// Stats is the manager's counter snapshot for /v1/metrics.
+type Stats struct {
+	Submitted   int64          `json:"submitted"`
+	Completed   int64          `json:"completed"`
+	Failed      int64          `json:"failed"`
+	Checkpoints int64          `json:"checkpoints"`
+	Resumes     int64          `json:"resumes"`
+	Recovered   int64          `json:"recovered"`
+	Adopted     int64          `json:"adopted"`
+	States      map[string]int `json:"states"`
+}
+
+// Manager owns the job table, the scheduler, and persistence.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	queue    jobQueue
+	terminal []string // terminal job ids, oldest first, bounded ring
+	running  int
+	draining bool
+	killed   bool
+	seq      uint64 // submission tie-break for equal priorities
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	ctrSubmitted, ctrCompleted, ctrFailed                int64
+	ctrCheckpoints, ctrResumes, ctrRecovered, ctrAdopted int64
+}
+
+// NewManager builds a manager. Call Recover to load persisted jobs,
+// then the manager schedules work as submissions arrive.
+func NewManager(cfg Config) *Manager {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.TerminalRetain <= 0 {
+		cfg.TerminalRetain = 64
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		cfg:     cfg,
+		jobs:    make(map[string]*Job),
+		baseCtx: ctx,
+		cancel:  cancel,
+	}
+}
+
+// NewID returns a fresh random job id.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit registers a job and schedules it. id must be unique ("" draws
+// a fresh one); higher priority runs first. The returned record is the
+// pending snapshot.
+func (m *Manager) Submit(id string, request json.RawMessage, key string, priority int) (Record, error) {
+	if id == "" {
+		id = NewID()
+	}
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return Record{}, ErrDraining
+	}
+	if _, dup := m.jobs[id]; dup {
+		m.mu.Unlock()
+		return Record{}, fmt.Errorf("jobs: duplicate id %q", id)
+	}
+	j := &Job{
+		m: m,
+		rec: Record{
+			ID: id, Priority: priority, State: StatePending,
+			Key: key, Owner: m.cfg.Owner, Request: request,
+			CreatedUnixMS: time.Now().UnixMilli(),
+		},
+		subs: make(map[int]chan Event),
+	}
+	m.jobs[id] = j
+	m.seq++
+	heap.Push(&m.queue, queued{id: id, priority: priority, seq: m.seq})
+	m.ctrSubmitted++
+	m.mu.Unlock()
+
+	j.persist()
+	rec := j.Snapshot()
+	m.schedule()
+	return rec, nil
+}
+
+// ActiveByKey returns a non-terminal job computing key, if any — the
+// dedup hook for synchronous optimize calls.
+func (m *Manager) ActiveByKey(key string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		hit := j.rec.Key == key && !j.rec.State.Terminal()
+		j.mu.Unlock()
+		if hit {
+			return j, true
+		}
+	}
+	return nil, false
+}
+
+// Get returns a job's current record.
+func (m *Manager) Get(id string) (Record, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Record{}, false
+	}
+	return j.Snapshot(), true
+}
+
+// Job returns the live job handle (for Subscribe).
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns every known record: active jobs first (newest last),
+// then the terminal ring.
+func (m *Manager) List() []Record {
+	m.mu.Lock()
+	js := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		js = append(js, j)
+	}
+	m.mu.Unlock()
+	recs := make([]Record, 0, len(js))
+	for _, j := range js {
+		recs = append(recs, j.Snapshot())
+	}
+	sort.Slice(recs, func(i, k int) bool { return recs[i].CreatedUnixMS < recs[k].CreatedUnixMS })
+	return recs
+}
+
+// Stats snapshots counters and per-state counts.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	s := Stats{
+		Submitted: m.ctrSubmitted, Completed: m.ctrCompleted, Failed: m.ctrFailed,
+		Checkpoints: m.ctrCheckpoints, Resumes: m.ctrResumes,
+		Recovered: m.ctrRecovered, Adopted: m.ctrAdopted,
+		States: make(map[string]int),
+	}
+	js := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		js = append(js, j)
+	}
+	m.mu.Unlock()
+	for _, j := range js {
+		j.mu.Lock()
+		s.States[string(j.rec.State)]++
+		j.mu.Unlock()
+	}
+	return s
+}
+
+// schedule starts queued jobs while concurrency slots are free. Safe to
+// call from anywhere; scheduling decisions are made under the lock.
+func (m *Manager) schedule() {
+	for {
+		m.mu.Lock()
+		if m.draining || m.running >= m.cfg.Concurrency || m.queue.Len() == 0 {
+			m.mu.Unlock()
+			return
+		}
+		q := heap.Pop(&m.queue).(queued)
+		j, ok := m.jobs[q.id]
+		if !ok {
+			m.mu.Unlock()
+			continue
+		}
+		m.running++
+		m.wg.Add(1)
+		m.mu.Unlock()
+		go m.runJob(j)
+	}
+}
+
+// runJob executes one attempt and applies the outcome transition.
+func (m *Manager) runJob(j *Job) {
+	defer m.wg.Done()
+	ctx, cancel := context.WithCancel(m.baseCtx)
+
+	j.mu.Lock()
+	// A drain can beat the goroutine to the job; leave it pending (it is
+	// already persisted and will be recovered).
+	if j.rec.State.Terminal() {
+		j.mu.Unlock()
+		cancel()
+		m.release()
+		return
+	}
+	resumed := j.rec.CheckpointSeq > 0
+	j.cancel = cancel
+	j.rec.State = StateRunning
+	j.rec.Owner = m.cfg.Owner
+	if j.rec.StartedUnixMS == 0 {
+		j.rec.StartedUnixMS = time.Now().UnixMilli()
+	}
+	j.mu.Unlock()
+	if resumed {
+		m.mu.Lock()
+		m.ctrResumes++
+		m.mu.Unlock()
+	}
+	j.persist()
+	j.emit(Event{Type: "state"})
+
+	result, err := m.cfg.Run(ctx, j)
+	interrupted := ctx.Err() != nil // read before cancel() poisons it
+	cancel()
+
+	// Lock order is m.mu before j.mu everywhere (ActiveByKey, Stats), so
+	// read the kill flag and bump counters outside the j.mu section.
+	if m.isKilled() {
+		// Crash simulation (tests): drop the outcome on the floor, as a
+		// SIGKILL would — the persisted record must stay pre-terminal.
+		j.mu.Lock()
+		j.cancel = nil
+		j.mu.Unlock()
+		m.release()
+		return
+	}
+	j.mu.Lock()
+	j.cancel = nil
+	var completed, failed bool
+	switch {
+	case err == nil:
+		j.rec.State = StateDone
+		j.rec.Result = result
+		j.rec.Error = ""
+		j.rec.CompletedUnixMS = time.Now().UnixMilli()
+		completed = true
+	case interrupted:
+		// Stopped, not failed: the drain (or kill) interrupted it. The
+		// last checkpoint — persisted by the Run callback — resumes it.
+		j.rec.State = StateCheckpointed
+		j.rec.Error = ""
+	default:
+		j.rec.State = StateFailed
+		j.rec.Error = err.Error()
+		j.rec.CompletedUnixMS = time.Now().UnixMilli()
+		failed = true
+	}
+	state := j.rec.State
+	j.mu.Unlock()
+	if completed || failed {
+		m.mu.Lock()
+		if completed {
+			m.ctrCompleted++
+		} else {
+			m.ctrFailed++
+		}
+		m.mu.Unlock()
+	}
+
+	j.persist()
+	if state.Terminal() {
+		m.retireTerminal(j.ID())
+		j.emit(Event{Type: "result"})
+		j.closeSubs()
+	} else {
+		j.emit(Event{Type: "state"})
+	}
+	m.release()
+	m.schedule()
+}
+
+func (m *Manager) release() {
+	m.mu.Lock()
+	m.running--
+	m.mu.Unlock()
+}
+
+func (m *Manager) isKilled() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.killed
+}
+
+// retireTerminal moves a terminal job into the bounded ring, evicting
+// the oldest terminal records (and their in-memory jobs) beyond the
+// retention bound. Persisted blobs are untouched.
+func (m *Manager) retireTerminal(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.terminal = append(m.terminal, id)
+	for len(m.terminal) > m.cfg.TerminalRetain {
+		evict := m.terminal[0]
+		m.terminal = m.terminal[1:]
+		delete(m.jobs, evict)
+	}
+}
+
+// Terminal returns the retained terminal records, newest first.
+func (m *Manager) Terminal() []Record {
+	m.mu.Lock()
+	ids := make([]string, len(m.terminal))
+	copy(ids, m.terminal)
+	js := make([]*Job, 0, len(ids))
+	for i := len(ids) - 1; i >= 0; i-- {
+		if j, ok := m.jobs[ids[i]]; ok {
+			js = append(js, j)
+		}
+	}
+	m.mu.Unlock()
+	out := make([]Record, 0, len(js))
+	for _, j := range js {
+		out = append(out, j.Snapshot())
+	}
+	return out
+}
+
+// Drain stops scheduling, cancels running jobs (they checkpoint and
+// move to StateCheckpointed), and waits for the runners to finish
+// persisting. Queued jobs stay pending — also persisted, also
+// recoverable. Subscribers of every non-terminal job receive a final
+// "drain" event. Idempotent.
+func (m *Manager) Drain() {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.draining = true
+	js := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		js = append(js, j)
+	}
+	m.mu.Unlock()
+
+	for _, j := range js {
+		j.mu.Lock()
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+	m.wg.Wait()
+	for _, j := range js {
+		j.mu.Lock()
+		terminal := j.rec.State.Terminal()
+		j.mu.Unlock()
+		if !terminal {
+			j.emit(Event{Type: "drain"})
+			j.closeSubs()
+		}
+	}
+}
+
+// Kill simulates a crash for tests: runners are cancelled and their
+// outcomes discarded without any state transition or persistence, so
+// the durable state is exactly what a SIGKILL would leave behind.
+func (m *Manager) Kill() {
+	m.mu.Lock()
+	m.killed = true
+	m.draining = true
+	m.mu.Unlock()
+	m.cancel()
+	m.wg.Wait()
+}
+
+// Recover loads persisted job records from the blob store: terminal
+// jobs re-enter the retained ring, non-terminal jobs (pending, running
+// or checkpointed at crash/drain time) are re-queued to run — from
+// their newest readable checkpoint if one exists. adoptedFrom tags
+// jobs recovered from another node's replicated state (metrics only).
+func (m *Manager) Recover() int {
+	if m.cfg.Blobs == nil {
+		return 0
+	}
+	n := 0
+	for _, id := range m.persistedIDs() {
+		if m.recoverOne(id, false) {
+			n++
+		}
+	}
+	return n
+}
+
+// Adopt recovers one job from replicated state (the owning peer died;
+// this node is its ring successor). Idempotent: an already-known id is
+// a no-op returning its record.
+func (m *Manager) Adopt(id string) (Record, bool) {
+	if rec, ok := m.Get(id); ok {
+		return rec, true
+	}
+	if m.cfg.Blobs == nil {
+		return Record{}, false
+	}
+	if !m.recoverOne(id, true) {
+		return Record{}, false
+	}
+	return m.Get(id)
+}
+
+func (m *Manager) persistedIDs() []string {
+	seen := map[string]bool{}
+	var ids []string
+	for _, k := range m.cfg.Blobs.Keys("job/") {
+		parts := strings.Split(k, "/")
+		if len(parts) != 4 || parts[2] != "rec" {
+			continue
+		}
+		if !seen[parts[1]] {
+			seen[parts[1]] = true
+			ids = append(ids, parts[1])
+		}
+	}
+	return ids
+}
+
+// recoverOne loads the newest readable record of id and installs it.
+func (m *Manager) recoverOne(id string, adopted bool) bool {
+	rec, seq, ok := m.newestRecord(id)
+	if !ok {
+		return false
+	}
+	j := &Job{m: m, rec: rec, seq: seq, subs: make(map[int]chan Event)}
+	m.mu.Lock()
+	if _, dup := m.jobs[id]; dup || m.draining {
+		m.mu.Unlock()
+		return false
+	}
+	m.jobs[id] = j
+	if rec.State.Terminal() {
+		m.terminal = append(m.terminal, id)
+		for len(m.terminal) > m.cfg.TerminalRetain {
+			evict := m.terminal[0]
+			m.terminal = m.terminal[1:]
+			delete(m.jobs, evict)
+		}
+	} else {
+		// Interrupted mid-flight: back to the queue. The runner resumes
+		// from the newest readable checkpoint.
+		j.rec.State = StateCheckpointed
+		if j.rec.CheckpointSeq == 0 {
+			j.rec.State = StatePending
+		}
+		j.rec.Resumes++
+		m.seq++
+		heap.Push(&m.queue, queued{id: id, priority: rec.Priority, seq: m.seq})
+	}
+	m.ctrRecovered++
+	if adopted {
+		m.ctrAdopted++
+	}
+	m.mu.Unlock()
+	if !rec.State.Terminal() {
+		j.persist()
+		m.schedule()
+	}
+	m.cfg.Logf("jobs: recovered %s (state %s, checkpoint seq %d)", id, rec.State, rec.CheckpointSeq)
+	return true
+}
+
+// newestRecord scans job/<id>/rec/* downward for the newest blob that
+// decodes — the record analogue of the torn-checkpoint fallback.
+func (m *Manager) newestRecord(id string) (Record, uint64, bool) {
+	var seqs []uint64
+	prefix := "job/" + id + "/rec/"
+	for _, k := range m.cfg.Blobs.Keys(prefix) {
+		if s, err := strconv.ParseUint(k[len(prefix):], 10, 64); err == nil {
+			seqs = append(seqs, s)
+		}
+	}
+	sort.Slice(seqs, func(i, k int) bool { return seqs[i] > seqs[k] })
+	for _, s := range seqs {
+		blob, ok := m.cfg.Blobs.Get(prefix + strconv.FormatUint(s, 10))
+		if !ok {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(blob, &rec); err != nil || rec.ID != id {
+			continue
+		}
+		return rec, s, true
+	}
+	return Record{}, 0, false
+}
+
+// queued is one pending entry of the priority queue.
+type queued struct {
+	id       string
+	priority int
+	seq      uint64
+}
+
+// jobQueue is a max-heap on (priority, -submission order).
+type jobQueue []queued
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(i, k int) bool {
+	if q[i].priority != q[k].priority {
+		return q[i].priority > q[k].priority
+	}
+	return q[i].seq < q[k].seq
+}
+func (q jobQueue) Swap(i, k int) { q[i], q[k] = q[k], q[i] }
+func (q *jobQueue) Push(x any)   { *q = append(*q, x.(queued)) }
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Job is one live job. All exported methods are safe for concurrent
+// use; the runner (RunFunc) calls SaveCheckpoint/SetProgress, HTTP
+// handlers call Snapshot/Subscribe.
+type Job struct {
+	m *Manager
+
+	mu     sync.Mutex
+	rec    Record
+	seq    uint64 // persistence sequence (rec blobs)
+	cancel context.CancelFunc
+	subs   map[int]chan Event
+	subSeq int
+	closed bool
+}
+
+// ID returns the job id.
+func (j *Job) ID() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec.ID
+}
+
+// Key returns the result cache key.
+func (j *Job) Key() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec.Key
+}
+
+// Request returns the submitted request bytes.
+func (j *Job) Request() json.RawMessage {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec.Request
+}
+
+// Snapshot returns a copy of the record (progress slice cloned).
+func (j *Job) Snapshot() Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := j.rec
+	if rec.Chains != nil {
+		rec.Chains = append([]anneal.ChainProgress(nil), rec.Chains...)
+	}
+	return rec
+}
+
+// CheckpointSeq returns the newest persisted checkpoint sequence.
+func (j *Job) CheckpointSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec.CheckpointSeq
+}
+
+// CheckpointAt reads checkpoint blob seq (1-based) from the store.
+func (j *Job) CheckpointAt(seq uint64) ([]byte, bool) {
+	if j.m.cfg.Blobs == nil {
+		return nil, false
+	}
+	return j.m.cfg.Blobs.Get(j.ckptKey(seq))
+}
+
+func (j *Job) ckptKey(seq uint64) string {
+	return "job/" + j.ID() + "/ckpt/" + strconv.FormatUint(seq, 10)
+}
+
+// SaveCheckpoint persists one checkpoint blob under the next sequence
+// key and records it on the job. The jobs.checkpoint fault point tears
+// the blob mid-write (truncates it), modeling a crash during the write:
+// the sequence still advances, and resume must fall back.
+func (j *Job) SaveCheckpoint(blob []byte) error {
+	j.mu.Lock()
+	seq := j.rec.CheckpointSeq + 1
+	j.rec.CheckpointSeq = seq
+	j.mu.Unlock()
+
+	if faults.Fire(faults.JobsCheckpoint) && len(blob) > 0 {
+		blob = blob[:len(blob)/3] // torn mid-write
+	}
+	if j.m.cfg.Blobs != nil {
+		if err := j.m.cfg.Blobs.Put(j.ckptKey(seq), blob); err != nil {
+			return err
+		}
+		j.m.replicate(j.ckptKey(seq), blob)
+	}
+	j.m.mu.Lock()
+	j.m.ctrCheckpoints++
+	j.m.mu.Unlock()
+	j.persist()
+	j.emit(Event{Type: "checkpoint"})
+	return nil
+}
+
+// SetProgress updates the live per-chain progress and notifies
+// subscribers. Not persisted on its own (checkpoints carry the durable
+// state); the next record write includes it.
+func (j *Job) SetProgress(stage int, chains []anneal.ChainProgress) {
+	j.mu.Lock()
+	j.rec.Stage = stage
+	j.rec.Chains = append([]anneal.ChainProgress(nil), chains...)
+	j.mu.Unlock()
+	j.emit(Event{Type: "progress"})
+}
+
+// persist writes the current record under the next job/<id>/rec/<seq>
+// key. Every version gets a fresh key: the store drops duplicate keys
+// silently (content-addressing), so reusing one would lose updates.
+func (j *Job) persist() {
+	if j.m.cfg.Blobs == nil {
+		return
+	}
+	j.mu.Lock()
+	j.seq++
+	key := "job/" + j.rec.ID + "/rec/" + strconv.FormatUint(j.seq, 10)
+	blob, err := json.Marshal(j.rec)
+	j.mu.Unlock()
+	if err != nil {
+		j.m.cfg.Logf("jobs: marshal record: %v", err)
+		return
+	}
+	if err := j.m.cfg.Blobs.Put(key, blob); err != nil {
+		j.m.cfg.Logf("jobs: persist %s: %v", key, err)
+		return
+	}
+	j.m.replicate(key, blob)
+}
+
+// replicate hands a persisted blob to the replication hook, async so a
+// slow peer never blocks the barrier that produced the checkpoint.
+func (m *Manager) replicate(key string, blob []byte) {
+	if m.cfg.Replicate == nil {
+		return
+	}
+	cp := make([]byte, len(blob))
+	copy(cp, blob)
+	go m.cfg.Replicate(key, cp)
+}
+
+// Subscribe attaches an event channel. The caller receives subsequent
+// events (coalesced under backpressure: progress events may drop, the
+// terminal event never does) and must call the returned cancel.
+func (j *Job) Subscribe() (<-chan Event, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		ch := make(chan Event, 1)
+		close(ch)
+		return ch, func() {}
+	}
+	j.subSeq++
+	id := j.subSeq
+	ch := make(chan Event, 16)
+	j.subs[id] = ch
+	return ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+		}
+	}
+}
+
+// emit fans one event out to subscribers. The record snapshot is taken
+// once. When a subscriber's buffer is full: progress events are
+// dropped, anything else evicts the oldest buffered event — a terminal
+// event must always land.
+func (j *Job) emit(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.subs) == 0 {
+		return
+	}
+	rec := j.rec
+	if rec.Chains != nil {
+		rec.Chains = append([]anneal.ChainProgress(nil), rec.Chains...)
+	}
+	ev.Job = rec
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+			continue
+		default:
+		}
+		if ev.Type == "progress" {
+			continue // lossy under backpressure
+		}
+		select {
+		case <-ch: // evict oldest
+		default:
+		}
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// closeSubs ends every subscription after the terminal/drain event.
+func (j *Job) closeSubs() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.closed = true
+	for id, ch := range j.subs {
+		close(ch)
+		delete(j.subs, id)
+	}
+}

@@ -1,0 +1,534 @@
+package jobs_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lcn3d/internal/faults"
+	"lcn3d/internal/jobs"
+)
+
+// memBlobs is an in-memory Blobs with store-like semantics for tests.
+type memBlobs struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newMemBlobs() *memBlobs { return &memBlobs{m: make(map[string][]byte)} }
+
+func (b *memBlobs) Put(key string, val []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	b.m[key] = cp
+	return nil
+}
+
+func (b *memBlobs) Get(key string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.m[key]
+	return v, ok
+}
+
+func (b *memBlobs) Keys(prefix string) []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for k := range b.m {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// testReq steers the test RunFunc via the job's request bytes.
+type testReq struct {
+	Steps int    `json:"steps"` // checkpoints to write before finishing
+	Fail  string `json:"fail"`  // non-empty: fail with this message
+	Block bool   `json:"block"` // park until ctx cancel (drain/kill tests)
+}
+
+// testRun checkpoints Steps times (resuming from the persisted step
+// counter when one exists), then returns the step count as the result.
+func testRun(ctx context.Context, j *jobs.Job) (json.RawMessage, error) {
+	var req testReq
+	if err := json.Unmarshal(j.Request(), &req); err != nil {
+		return nil, err
+	}
+	if req.Fail != "" {
+		return nil, errors.New(req.Fail)
+	}
+	start := 0
+	if seq := j.CheckpointSeq(); seq > 0 {
+		if blob, ok := j.CheckpointAt(seq); ok {
+			fmt.Sscanf(string(blob), "step=%d", &start)
+		}
+	}
+	for i := start; i < req.Steps; i++ {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+		if err := j.SaveCheckpoint([]byte(fmt.Sprintf("step=%d", i+1))); err != nil {
+			return nil, err
+		}
+	}
+	if req.Block {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return json.RawMessage(fmt.Sprintf(`{"steps":%d}`, req.Steps)), nil
+}
+
+func mustJSON(t *testing.T, v any) json.RawMessage {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func waitState(t *testing.T, m *jobs.Manager, id string, want jobs.State) jobs.Record {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		rec, ok := m.Get(id)
+		if ok && rec.State == want {
+			return rec
+		}
+		if ok && rec.State.Terminal() && rec.State != want {
+			t.Fatalf("job %s reached terminal state %s (error %q), want %s", id, rec.State, rec.Error, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	rec, _ := m.Get(id)
+	t.Fatalf("job %s stuck in state %s, want %s", id, rec.State, want)
+	return jobs.Record{}
+}
+
+func TestJobLifecycleAndResult(t *testing.T) {
+	m := jobs.NewManager(jobs.Config{Blobs: newMemBlobs(), Run: testRun})
+	rec, err := m.Submit("", mustJSON(t, testReq{Steps: 3}), "key-a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != jobs.StatePending || rec.ID == "" {
+		t.Fatalf("submit record = %+v, want pending with id", rec)
+	}
+	done := waitState(t, m, rec.ID, jobs.StateDone)
+	if done.CheckpointSeq != 3 {
+		t.Fatalf("checkpoint seq = %d, want 3", done.CheckpointSeq)
+	}
+	if done.CompletedUnixMS == 0 || done.StartedUnixMS == 0 {
+		t.Fatalf("timestamps not stamped: %+v", done)
+	}
+	var res struct{ Steps int }
+	if err := json.Unmarshal(done.Result, &res); err != nil || res.Steps != 3 {
+		t.Fatalf("result = %s (err %v), want steps 3", done.Result, err)
+	}
+	st := m.Stats()
+	if st.Submitted != 1 || st.Completed != 1 || st.Checkpoints != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestJobFailure(t *testing.T) {
+	m := jobs.NewManager(jobs.Config{Run: testRun})
+	rec, err := m.Submit("f1", mustJSON(t, testReq{Fail: "solver exploded"}), "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, m, rec.ID, jobs.StateFailed)
+	if got.Error != "solver exploded" || got.CompletedUnixMS == 0 {
+		t.Fatalf("failed record = %+v", got)
+	}
+}
+
+// TestPriorityOrder blocks the single worker slot, enqueues three jobs
+// with mixed priorities, and asserts they start high-priority-first
+// with submission order as the tie-break.
+func TestPriorityOrder(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	gate := make(chan struct{})
+	run := func(ctx context.Context, j *jobs.Job) (json.RawMessage, error) {
+		mu.Lock()
+		order = append(order, j.ID())
+		first := len(order) == 1
+		mu.Unlock()
+		if first {
+			<-gate // hold the slot until the queue is fully loaded
+		}
+		return json.RawMessage(`{}`), nil
+	}
+	m := jobs.NewManager(jobs.Config{Run: run, Concurrency: 1})
+	if _, err := m.Submit("hold", mustJSON(t, testReq{}), "", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the holder occupies the slot so the rest truly queue.
+	waitState(t, m, "hold", jobs.StateRunning)
+	for _, s := range []struct {
+		id  string
+		pri int
+	}{{"low", 1}, {"high", 9}, {"mid", 5}, {"high2", 9}} {
+		if _, err := m.Submit(s.id, mustJSON(t, testReq{}), "", s.pri); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate)
+	for _, id := range []string{"hold", "low", "high", "mid", "high2"} {
+		waitState(t, m, id, jobs.StateDone)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"hold", "high", "high2", "mid", "low"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("execution order = %v, want %v", order, want)
+	}
+}
+
+func TestDuplicateIDRejected(t *testing.T) {
+	m := jobs.NewManager(jobs.Config{Run: testRun})
+	if _, err := m.Submit("dup", mustJSON(t, testReq{Steps: 1}), "", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit("dup", mustJSON(t, testReq{Steps: 1}), "", 0); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}
+
+func TestActiveByKey(t *testing.T) {
+	gate := make(chan struct{})
+	run := func(ctx context.Context, j *jobs.Job) (json.RawMessage, error) {
+		<-gate
+		return json.RawMessage(`{}`), nil
+	}
+	m := jobs.NewManager(jobs.Config{Run: run})
+	if _, err := m.Submit("k1", mustJSON(t, testReq{}), "shared-key", 0); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, "k1", jobs.StateRunning)
+	j, ok := m.ActiveByKey("shared-key")
+	if !ok || j.ID() != "k1" {
+		t.Fatalf("ActiveByKey(shared-key) = %v, %v", j, ok)
+	}
+	if _, ok := m.ActiveByKey("other-key"); ok {
+		t.Fatal("ActiveByKey matched a key no job has")
+	}
+	close(gate)
+	waitState(t, m, "k1", jobs.StateDone)
+	if _, ok := m.ActiveByKey("shared-key"); ok {
+		t.Fatal("ActiveByKey matched a terminal job")
+	}
+}
+
+// TestDrainCheckpointsRunning drains a blocked job and verifies it
+// lands in StateCheckpointed with its last checkpoint persisted, the
+// subscriber stream ends with a drain event, and the persisted record
+// is recoverable by a fresh manager that completes the job.
+func TestDrainCheckpointsRunning(t *testing.T) {
+	blobs := newMemBlobs()
+	m := jobs.NewManager(jobs.Config{Blobs: blobs, Run: testRun})
+	if _, err := m.Submit("d1", mustJSON(t, testReq{Steps: 1000, Block: true}), "", 0); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, "d1", jobs.StateRunning)
+	j, _ := m.Job("d1")
+	ch, cancelSub := j.Subscribe()
+	defer cancelSub()
+
+	// Let it make some progress first.
+	deadline := time.Now().Add(10 * time.Second)
+	for j.CheckpointSeq() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if j.CheckpointSeq() < 2 {
+		t.Fatal("job made no checkpoints")
+	}
+	m.Drain()
+
+	rec, _ := m.Get("d1")
+	if rec.State != jobs.StateCheckpointed {
+		t.Fatalf("state after drain = %s, want checkpointed", rec.State)
+	}
+	if _, err := m.Submit("late", mustJSON(t, testReq{}), "", 0); !errors.Is(err, jobs.ErrDraining) {
+		t.Fatalf("submit while draining: err = %v, want ErrDraining", err)
+	}
+	// The stream must end, and a drain event must be visible on it.
+	sawDrain := false
+	for ev := range ch {
+		if ev.Type == "drain" {
+			sawDrain = true
+		}
+	}
+	if !sawDrain {
+		t.Fatal("subscriber never saw the drain event")
+	}
+
+	// A fresh manager over the same blobs recovers the job and finishes
+	// it from its newest checkpoint.
+	m3 := jobs.NewManager(jobs.Config{Blobs: blobs, Run: runIgnoreBlock})
+	if n := m3.Recover(); n != 1 {
+		t.Fatalf("recovered %d jobs, want 1", n)
+	}
+	got := waitState(t, m3, "d1", jobs.StateDone)
+	if got.Resumes < 1 {
+		t.Fatalf("resumes = %d, want >= 1", got.Resumes)
+	}
+	if got.CheckpointSeq < rec.CheckpointSeq {
+		t.Fatalf("checkpoint seq went backwards: %d -> %d", rec.CheckpointSeq, got.CheckpointSeq)
+	}
+}
+
+// runIgnoreBlock is testRun minus the Block parking — the "resumed
+// binary" equivalent whose job definition finishes.
+func runIgnoreBlock(ctx context.Context, j *jobs.Job) (json.RawMessage, error) {
+	var req testReq
+	if err := json.Unmarshal(j.Request(), &req); err != nil {
+		return nil, err
+	}
+	req.Block = false
+	req.Steps = 5
+	start := 0
+	if seq := j.CheckpointSeq(); seq > 0 {
+		if blob, ok := j.CheckpointAt(seq); ok {
+			fmt.Sscanf(string(blob), "step=%d", &start)
+		}
+	}
+	for i := start; i < req.Steps; i++ {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+		if err := j.SaveCheckpoint([]byte(fmt.Sprintf("step=%d", i+1))); err != nil {
+			return nil, err
+		}
+	}
+	return json.RawMessage(fmt.Sprintf(`{"steps":%d}`, req.Steps)), nil
+}
+
+// TestKillRecovery simulates a crash: Kill discards in-flight outcomes
+// without persisting a transition, so the durable record still says
+// "running"; a fresh manager must recover it, resume from the newest
+// checkpoint, and finish.
+func TestKillRecovery(t *testing.T) {
+	blobs := newMemBlobs()
+	m := jobs.NewManager(jobs.Config{Blobs: blobs, Run: testRun})
+	if _, err := m.Submit("c1", mustJSON(t, testReq{Steps: 1000, Block: true}), "", 0); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, "c1", jobs.StateRunning)
+	j, _ := m.Job("c1")
+	deadline := time.Now().Add(10 * time.Second)
+	for j.CheckpointSeq() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	seqAtKill := j.CheckpointSeq()
+	if seqAtKill < 3 {
+		t.Fatal("job made no checkpoints before kill")
+	}
+	m.Kill()
+
+	// The persisted record must be pre-terminal (crash left it running).
+	m2 := jobs.NewManager(jobs.Config{Blobs: blobs, Run: runIgnoreBlock})
+	if n := m2.Recover(); n != 1 {
+		t.Fatalf("recovered %d jobs, want 1", n)
+	}
+	rec, _ := m2.Get("c1")
+	if rec.Resumes != 1 {
+		t.Fatalf("resumes after recovery = %d, want 1", rec.Resumes)
+	}
+	got := waitState(t, m2, "c1", jobs.StateDone)
+	if got.CheckpointSeq < seqAtKill {
+		t.Fatalf("checkpoint seq regressed across crash: %d -> %d", seqAtKill, got.CheckpointSeq)
+	}
+	if st := m2.Stats(); st.Recovered != 1 || st.Resumes != 1 {
+		t.Fatalf("stats after recovery = %+v", st)
+	}
+}
+
+// TestTornCheckpointFallback arms the jobs.checkpoint fault so the
+// final checkpoint blob is truncated mid-write, then verifies the torn
+// blob is detectable and the previous sequence still decodes — the
+// fallback contract resume relies on.
+func TestTornCheckpointFallback(t *testing.T) {
+	blobs := newMemBlobs()
+	m := jobs.NewManager(jobs.Config{Blobs: blobs, Run: testRun})
+	if _, err := m.Submit("t1", mustJSON(t, testReq{Steps: 1000, Block: true}), "", 0); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, "t1", jobs.StateRunning)
+	j, _ := m.Job("t1")
+	deadline := time.Now().Add(10 * time.Second)
+	for j.CheckpointSeq() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Tear every checkpoint written from here on.
+	if err := faults.Arm(string(faults.JobsCheckpoint) + "=always"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+	before := j.CheckpointSeq()
+	for j.CheckpointSeq() < before+2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	m.Kill()
+	faults.Disarm()
+
+	last := j.CheckpointSeq()
+	if last < before+2 {
+		t.Fatal("no checkpoints written while the fault was armed")
+	}
+	// The newest blobs are torn: truncated, so the step marker parses
+	// wrong or not at all. Walk down to the newest intact one — it must
+	// exist and be a full "step=N" record.
+	intact := uint64(0)
+	for seq := last; seq >= 1; seq-- {
+		blob, ok := j.CheckpointAt(seq)
+		if !ok {
+			continue
+		}
+		var step int
+		if n, _ := fmt.Sscanf(string(blob), "step=%d", &step); n == 1 && strings.HasPrefix(string(blob), "step=") && len(blob) >= len("step=1") {
+			// A torn blob is a strict prefix; "step=" alone or "st" fails
+			// the Sscanf, so reaching here means the blob decodes.
+			intact = seq
+			break
+		}
+	}
+	if intact == 0 {
+		t.Fatal("no intact checkpoint found below the torn ones")
+	}
+	if intact > last-2 {
+		t.Fatalf("newest intact checkpoint %d should be below the torn tail (last %d)", intact, last)
+	}
+	topBlob, ok := j.CheckpointAt(last)
+	if ok {
+		var step int
+		if n, _ := fmt.Sscanf(string(topBlob), "step=%d", &step); n == 1 {
+			t.Fatalf("newest checkpoint %q decoded despite the tear", topBlob)
+		}
+	}
+}
+
+// TestTerminalRingBounded checks the terminal retention ring evicts
+// oldest-first at the configured bound while keeping persisted blobs.
+func TestTerminalRingBounded(t *testing.T) {
+	blobs := newMemBlobs()
+	m := jobs.NewManager(jobs.Config{Blobs: blobs, Run: testRun, TerminalRetain: 2, Concurrency: 1})
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("r%d", i)
+		if _, err := m.Submit(id, mustJSON(t, testReq{}), "", 0); err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, m, id, jobs.StateDone)
+	}
+	term := m.Terminal()
+	if len(term) != 2 {
+		t.Fatalf("terminal ring holds %d records, want 2", len(term))
+	}
+	if term[0].ID != "r3" || term[1].ID != "r2" {
+		t.Fatalf("terminal ring = [%s %s], want [r3 r2] (newest first)", term[0].ID, term[1].ID)
+	}
+	if _, ok := m.Get("r0"); ok {
+		t.Fatal("evicted job r0 still visible in memory")
+	}
+	// Durable history survives eviction.
+	if keys := blobs.Keys("job/r0/rec/"); len(keys) == 0 {
+		t.Fatal("evicted job r0 lost its persisted records")
+	}
+}
+
+// TestSubscribeEventFlow watches a full lifecycle on the event stream:
+// state(running) ... checkpoint* ... result(done), then channel close.
+func TestSubscribeEventFlow(t *testing.T) {
+	gate := make(chan struct{})
+	m := jobs.NewManager(jobs.Config{Blobs: newMemBlobs(), Run: func(ctx context.Context, j *jobs.Job) (json.RawMessage, error) {
+		<-gate
+		return testRun(ctx, j)
+	}})
+	if _, err := m.Submit("s1", mustJSON(t, testReq{Steps: 2}), "", 0); err != nil {
+		t.Fatal(err)
+	}
+	j, ok := m.Job("s1")
+	if !ok {
+		t.Fatal("job not found")
+	}
+	ch, cancelSub := j.Subscribe()
+	defer cancelSub()
+	close(gate)
+
+	var types []string
+	var final jobs.Record
+	for ev := range ch {
+		types = append(types, ev.Type)
+		final = ev.Job
+	}
+	joined := strings.Join(types, ",")
+	if !strings.HasSuffix(joined, "result") {
+		t.Fatalf("event stream %v must end with the result event", types)
+	}
+	if !strings.Contains(joined, "checkpoint") {
+		t.Fatalf("event stream %v missing checkpoint events", types)
+	}
+	if final.State != jobs.StateDone || final.Result == nil {
+		t.Fatalf("final event record = %+v, want done with result", final)
+	}
+	// Subscribing after close yields an already-closed channel.
+	ch2, cancel2 := j.Subscribe()
+	defer cancel2()
+	if _, open := <-ch2; open {
+		t.Fatal("subscription on a finished job should be closed immediately")
+	}
+}
+
+// TestRecoverTerminal re-opens a store holding only finished jobs and
+// verifies they land in the terminal ring, not the run queue.
+func TestRecoverTerminal(t *testing.T) {
+	blobs := newMemBlobs()
+	m := jobs.NewManager(jobs.Config{Blobs: blobs, Run: testRun})
+	if _, err := m.Submit("fin", mustJSON(t, testReq{Steps: 1}), "", 0); err != nil {
+		t.Fatal(err)
+	}
+	want := waitState(t, m, "fin", jobs.StateDone)
+	m.Drain()
+
+	ran := make(chan string, 1)
+	m2 := jobs.NewManager(jobs.Config{Blobs: blobs, Run: func(ctx context.Context, j *jobs.Job) (json.RawMessage, error) {
+		ran <- j.ID()
+		return nil, errors.New("terminal jobs must not rerun")
+	}})
+	if n := m2.Recover(); n != 1 {
+		t.Fatalf("recovered %d, want 1", n)
+	}
+	rec, ok := m2.Get("fin")
+	if !ok || rec.State != jobs.StateDone {
+		t.Fatalf("recovered record = %+v, want done", rec)
+	}
+	if string(rec.Result) != string(want.Result) {
+		t.Fatalf("recovered result %s != original %s", rec.Result, want.Result)
+	}
+	select {
+	case id := <-ran:
+		t.Fatalf("terminal job %s was rescheduled", id)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if got := m2.Terminal(); len(got) != 1 || got[0].ID != "fin" {
+		t.Fatalf("terminal ring after recovery = %+v", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 
 	"lcn3d/internal/cluster"
+	"lcn3d/internal/jobs"
 )
 
 // maxBodyBytes bounds uploaded request bodies (a full-scale network file
@@ -22,9 +23,18 @@ const maxBodyBytes = 8 << 20
 //	POST /v1/evaluate     Algorithm 2/3 lowest-feasible-P_sys evaluation
 //	POST /v1/optimize     multi-chain SA optimization; single job or a
 //	                      {"jobs": [...]} batch fanned through the pool
+//	POST /v1/jobs         submit an optimization job asynchronously;
+//	                      returns the pending record (with id) at once
+//	GET  /v1/jobs/{id}    job record: state, per-chain progress,
+//	                      checkpoint sequence, result when done
+//	GET  /v1/jobs/{id}/events  Server-Sent Events stream of the job's
+//	                      state/progress/checkpoint/result events
 //	GET  /v1/store/{hash} raw cached response bytes by cache key — the
 //	                      cheap peer fetch path (404 when absent; never
 //	                      computes)
+//	PUT  /v1/store/{key}  store a blob under key — the peer replication
+//	                      sink for job records and checkpoints (the key
+//	                      segment may contain slashes)
 //	GET  /v1/metrics      counters, rates, latency quantiles, and live
 //	                      per-chain optimization progress as JSON
 //	GET  /healthz         "ok" (200) or "draining" (503)
@@ -73,6 +83,55 @@ func (s *Service) Handler() http.Handler {
 		buf, err := s.Optimize(r.Context(), req)
 		writeResult(w, buf, err)
 	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req JobSubmitRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		rec, err := s.SubmitJob(r.Context(), req)
+		if err != nil {
+			writeResult(w, nil, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		rec, err := s.JobStatus(r.Context(), r.PathValue("id"))
+		if err != nil {
+			if errors.Is(err, ErrJobNotFound) {
+				writeError(w, http.StatusNotFound, err)
+				return
+			}
+			writeResult(w, nil, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	// The rest-of-path wildcard is required: job blob keys contain
+	// slashes (job/<id>/rec/<seq>), unlike the single-segment cache
+	// hashes of the GET route.
+	mux.HandleFunc("PUT /v1/store/{key...}", func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Store == nil {
+			writeError(w, http.StatusServiceUnavailable, errors.New("no store on this node"))
+			return
+		}
+		key := r.PathValue("key")
+		if key == "" {
+			writeError(w, http.StatusBadRequest, errors.New("empty key"))
+			return
+		}
+		val, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		if err := s.cfg.Store.Put(key, val); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
 	mux.HandleFunc("GET /v1/store/{hash}", func(w http.ResponseWriter, r *http.Request) {
 		blob, ok := s.storeLookup(r.PathValue("hash"))
 		if !ok {
@@ -100,6 +159,68 @@ func (s *Service) Handler() http.Handler {
 		}
 		mux.ServeHTTP(w, r)
 	})
+}
+
+// handleJobEvents streams one job's lifecycle as Server-Sent Events:
+// an initial "state" event with the current record, then every
+// state/progress/checkpoint event as it happens, ending with the
+// terminal "result" (or shutdown "drain") event. Progress events may be
+// dropped under backpressure; terminal events never are.
+func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrJobNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	// Subscribe before the initial snapshot so no event between snapshot
+	// and subscription is lost; the worst case is one duplicate.
+	ch, cancel := j.Subscribe()
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	rec := j.Snapshot()
+	initial := "state"
+	if rec.State.Terminal() {
+		initial = "result"
+	}
+	writeSSE(w, initial, rec)
+	fl.Flush()
+	if rec.State.Terminal() {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			writeSSE(w, ev.Type, ev.Job)
+			fl.Flush()
+			if ev.Type == "result" || ev.Type == "drain" {
+				return
+			}
+		}
+	}
+}
+
+func writeSSE(w io.Writer, event string, rec jobs.Record) {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
 }
 
 // storeLookup answers a peer's store fetch from the local tiers only:

@@ -1,0 +1,374 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"strings"
+	"time"
+
+	"lcn3d/internal/anneal"
+	"lcn3d/internal/cluster"
+	"lcn3d/internal/core"
+	"lcn3d/internal/jobs"
+	"lcn3d/internal/network"
+)
+
+// ErrJobNotFound reports a job id unknown to this node, its cluster
+// owner, and the local replica store.
+var ErrJobNotFound = errors.New("service: job not found")
+
+// JobSubmitRequest is the body of POST /v1/jobs: an optimization job
+// plus scheduling fields. ID pins the job identity (cluster forwarding
+// pins it so the submitting node and the owner agree); empty draws a
+// fresh one. Higher Priority runs first.
+type JobSubmitRequest struct {
+	OptimizeRequest
+	ID       string `json:"id,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+}
+
+// SubmitJob validates, normalizes, and registers an optimization job,
+// returning its pending record immediately — the result arrives later
+// via GET /v1/jobs/{id} or the SSE stream. With a cluster configured,
+// the job is placed on the consistent-hash owner of "job:"+id (single
+// hop, same loop guard as result forwarding); if the owner is down or
+// unreachable the job runs locally so submission never depends on
+// fleet health.
+func (s *Service) SubmitJob(ctx context.Context, req JobSubmitRequest) (jobs.Record, error) {
+	opt, err := req.OptimizeRequest.validate()
+	if err != nil {
+		s.met.errors.Add(1)
+		return jobs.Record{}, err
+	}
+	_, scale, err := s.bench(opt.CaseRef)
+	if err != nil {
+		s.met.errors.Add(1)
+		return jobs.Record{}, err
+	}
+	opt.Scale = scale // pin so every node derives the same cache key
+	req.OptimizeRequest = opt
+	if req.ID == "" {
+		req.ID = jobs.NewID()
+	}
+	if s.cfg.Cluster != nil && !forwardedFrom(ctx) {
+		if owner, self := s.cfg.Cluster.Owner(jobRingKey(req.ID)); !self && s.cfg.Cluster.Healthy(owner) {
+			body, err := json.Marshal(req)
+			if err != nil {
+				return jobs.Record{}, fmt.Errorf("service: marshal job submit: %w", err)
+			}
+			if blob, err := s.cfg.Cluster.Forward(ctx, owner, "/v1/jobs", body); err == nil {
+				var rec jobs.Record
+				if json.Unmarshal(blob, &rec) == nil && rec.ID == req.ID {
+					return rec, nil
+				}
+			}
+			// Fall through: owner did not take it, run locally.
+		}
+	}
+	return s.submitJobLocal(req)
+}
+
+func (s *Service) submitJobLocal(req JobSubmitRequest) (jobs.Record, error) {
+	raw, err := json.Marshal(req.OptimizeRequest)
+	if err != nil {
+		return jobs.Record{}, fmt.Errorf("service: marshal job request: %w", err)
+	}
+	rec, err := s.jobs.Submit(req.ID, raw, optimizeKey(req.OptimizeRequest), req.Priority)
+	if errors.Is(err, jobs.ErrDraining) {
+		s.met.rejected.Add(1)
+		return jobs.Record{}, ErrDraining
+	}
+	return rec, err
+}
+
+// jobRingKey places job ownership on the cluster ring. The prefix keeps
+// job placement independent of the result-key space.
+func jobRingKey(id string) string { return "job:" + id }
+
+// JobStatus returns a job's record: from the local manager, else from
+// the job's cluster owner (single-hop proxy), else adopted from the
+// replicated records in the local store — the migration path when the
+// owner is dead and this node is its ring successor. Adoption re-queues
+// a non-terminal job, so the first status poll after an owner failure
+// is also what restarts the work from its last checkpoint.
+func (s *Service) JobStatus(ctx context.Context, id string) (jobs.Record, error) {
+	if rec, ok := s.jobs.Get(id); ok {
+		return rec, nil
+	}
+	if s.cfg.Cluster != nil && !forwardedFrom(ctx) {
+		if owner, self := s.cfg.Cluster.Owner(jobRingKey(id)); !self && s.cfg.Cluster.Healthy(owner) {
+			blob, err := s.cfg.Cluster.ForwardGet(ctx, owner, "/v1/jobs/"+id)
+			if err == nil {
+				var rec jobs.Record
+				if json.Unmarshal(blob, &rec) == nil && rec.ID == id {
+					return rec, nil
+				}
+			}
+			if errors.Is(err, cluster.ErrNotFound) {
+				return jobs.Record{}, ErrJobNotFound
+			}
+			// Owner unreachable: fall through to the replica path.
+		}
+	}
+	if rec, ok := s.jobs.Adopt(id); ok {
+		return rec, nil
+	}
+	return jobs.Record{}, ErrJobNotFound
+}
+
+// RecoverJobs reloads persisted jobs from the store on startup:
+// terminal records become visible history, interrupted ones re-enter
+// the queue and resume from their newest readable checkpoint.
+func (s *Service) RecoverJobs() int { return s.jobs.Recover() }
+
+// JobStats exposes the manager's counters (for lcn-serve's drain log).
+func (s *Service) JobStats() jobs.Stats { return s.jobs.Stats() }
+
+// replicateJobBlob copies a persisted job blob to the job's fallback
+// owner (first ring successor), so that node can adopt the job if this
+// one dies. Best effort: replication failures only cost redundancy.
+func (s *Service) replicateJobBlob(key string, val []byte) {
+	parts := strings.SplitN(key, "/", 3)
+	if len(parts) < 3 {
+		return
+	}
+	peer, ok := s.cfg.Cluster.ReplicaTarget(jobRingKey(parts[1]))
+	if !ok || !s.cfg.Cluster.Healthy(peer) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.cfg.Cluster.PushStore(ctx, peer, key, val); err != nil {
+		log.Printf("service: job replicate %s -> %s: %v", key, peer, err)
+	}
+}
+
+// runOptimizeJob is the jobs.RunFunc: it executes one optimization job
+// attempt inside the manager's pool. Cached results short-circuit; a
+// fresh run checkpoints at every exchange barrier via the job, resumes
+// from the newest readable checkpoint, and falls back to a scratch run
+// when the checkpoint does not match the request (schedule drift).
+func (s *Service) runOptimizeJob(ctx context.Context, j *jobs.Job) (json.RawMessage, error) {
+	var req OptimizeRequest
+	if err := json.Unmarshal(j.Request(), &req); err != nil {
+		return nil, fmt.Errorf("service: job request: %w", err)
+	}
+	key := j.Key()
+	if buf, ok := s.results.Get(key); ok {
+		s.met.cacheHits.Add(1)
+		return json.RawMessage(buf.([]byte)), nil
+	}
+	if s.cfg.Store != nil {
+		if blob, ok := s.cfg.Store.Get(key); ok {
+			s.met.storeHits.Add(1)
+			s.results.Put(key, blob)
+			return json.RawMessage(blob), nil
+		}
+	}
+	resume := s.loadJobCheckpoint(j)
+	out, err := s.solveOptimizeContained(ctx, req, key, resume, j)
+	var mm *core.CheckpointMismatchError
+	if errors.As(err, &mm) {
+		log.Printf("service: job %s checkpoint rejected (%v), restarting from scratch", j.ID(), err)
+		out, err = s.solveOptimizeContained(ctx, req, key, nil, j)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.results.Put(key, []byte(out))
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.Put(key, out); err != nil {
+			log.Printf("service: store fill %s: %v", key, err)
+		}
+	}
+	return out, nil
+}
+
+// loadJobCheckpoint walks the job's checkpoint sequence downward and
+// returns the newest blob that decodes. A torn blob — crash or injected
+// jobs.checkpoint fault mid-write — fails json.Unmarshal and is
+// skipped, so resume falls back to the previous consistent cut.
+func (s *Service) loadJobCheckpoint(j *jobs.Job) *core.SolveCheckpoint {
+	for seq := j.CheckpointSeq(); seq >= 1; seq-- {
+		blob, ok := j.CheckpointAt(seq)
+		if !ok {
+			continue
+		}
+		var cp core.SolveCheckpoint
+		if err := json.Unmarshal(blob, &cp); err != nil {
+			log.Printf("service: job %s checkpoint %d unreadable (%v), falling back", j.ID(), seq, err)
+			continue
+		}
+		return &cp
+	}
+	return nil
+}
+
+// solveOptimizeContained wraps the solver in the service's panic
+// containment so a poisoned job fails its record instead of killing
+// the daemon.
+func (s *Service) solveOptimizeContained(ctx context.Context, req OptimizeRequest, key string, resume *core.SolveCheckpoint, j *jobs.Job) (json.RawMessage, error) {
+	resp, err := s.protect(ctx, func(ctx context.Context) (any, error) {
+		return s.solveOptimize(ctx, req, key, resume, j)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.(json.RawMessage), nil
+}
+
+// solveOptimize runs the SA solver for one optimization job and returns
+// the marshaled OptimizeResponse. req must be validated and
+// scale-pinned. The job carries progress and checkpoints; resume
+// restarts the solver from a prior barrier (bitwise-identical to the
+// uninterrupted run).
+func (s *Service) solveOptimize(ctx context.Context, req OptimizeRequest, key string, resume *core.SolveCheckpoint, j *jobs.Job) (json.RawMessage, error) {
+	b, _, err := s.bench(req.CaseRef)
+	if err != nil {
+		return nil, err
+	}
+	s.met.optimizeRuns.Add(1)
+	in := b.Instance // copy: WpumpStar override must not leak across jobs
+	if req.Problem == 2 && req.WpumpStar > 0 {
+		in.WpumpStar = req.WpumpStar
+	}
+	opt := core.Options{
+		Stages:        req.stages(),
+		NumTrees:      req.NumTrees,
+		BranchType:    req.branchType(),
+		CoarseM:       req.CoarseM,
+		Seed:          req.Seed,
+		Chains:        req.Chains,
+		ExchangeEvery: req.ExchangeEvery,
+		Search:        s.cfg.Search,
+		Resume:        resume,
+	}
+	if j != nil {
+		opt.Progress = func(stage int, chains []anneal.ChainProgress) {
+			j.SetProgress(stage, chains)
+		}
+		// The hook runs at exchange barriers with all chains parked, so
+		// marshaling synchronously here is a consistent cut; SaveCheckpoint
+		// persists it under the next sequence key before the SA resumes.
+		opt.Checkpoint = func(cp *core.SolveCheckpoint) {
+			blob, err := json.Marshal(cp)
+			if err != nil {
+				log.Printf("service: job %s marshal checkpoint: %v", j.ID(), err)
+				return
+			}
+			if err := j.SaveCheckpoint(blob); err != nil {
+				log.Printf("service: job %s save checkpoint: %v", j.ID(), err)
+			}
+		}
+	}
+	if req.Upwind {
+		opt.Scheme = ModelSpec{Upwind: true}.scheme()
+	}
+	var sol *core.Solution
+	var solveErr error
+	if req.Problem == 1 {
+		sol, solveErr = in.SolveProblem1Ctx(ctx, opt)
+	} else {
+		sol, solveErr = in.SolveProblem2Ctx(ctx, opt)
+	}
+	if solveErr != nil {
+		return nil, solveErr
+	}
+	var file strings.Builder
+	if err := network.Write(&file, sol.Net); err != nil {
+		return nil, fmt.Errorf("service: encode optimized network: %w", err)
+	}
+	resp := &OptimizeResponse{
+		CacheKey: key, Problem: req.Problem, Feasible: sol.Eval.Feasible,
+		Psys: sol.Eval.Psys, DeltaT: sol.Eval.DeltaT,
+		Evals: sol.Evals, Chains: sol.Chains,
+		Exchanges: sol.Exchanges, Adoptions: sol.Adoptions,
+		CacheHits: sol.Cache.Hits, CacheMisses: sol.Cache.Misses,
+		CacheHitRate: sol.Cache.HitRate(),
+		NetworkHash:  sol.Net.CanonicalHash(), NetworkFile: file.String(),
+	}
+	if !math.IsInf(sol.Eval.Wpump, 0) && !math.IsNaN(sol.Eval.Wpump) {
+		resp.Wpump = sol.Eval.Wpump
+	}
+	if sol.Eval.Out != nil {
+		resp.Tmax = sol.Eval.Out.Tmax
+	}
+	out, err := json.Marshal(resp)
+	if err != nil {
+		return nil, fmt.Errorf("service: marshal optimize response: %w", err)
+	}
+	return json.RawMessage(out), nil
+}
+
+// computeViaJob is the sync /v1/optimize compute path: it attaches to
+// an already-running job with the same cache key or submits a fresh
+// one, then blocks until the job reaches a terminal event. A drain
+// unblocks the wait with ErrDraining while the job's checkpointed state
+// persists for the restart.
+func (s *Service) computeViaJob(ctx context.Context, req OptimizeRequest, key string) (json.RawMessage, error) {
+	j, ok := s.jobs.ActiveByKey(key)
+	if !ok {
+		raw, err := json.Marshal(req)
+		if err != nil {
+			return nil, fmt.Errorf("service: marshal job request: %w", err)
+		}
+		rec, err := s.jobs.Submit("", raw, key, 0)
+		if err != nil {
+			if errors.Is(err, jobs.ErrDraining) {
+				return nil, ErrDraining
+			}
+			return nil, err
+		}
+		if j, ok = s.jobs.Job(rec.ID); !ok {
+			return nil, fmt.Errorf("service: submitted job %s vanished", rec.ID)
+		}
+	}
+	return s.waitJob(ctx, j)
+}
+
+// waitJob blocks until the job is terminal (returning its result or
+// error), the service drains, or ctx expires. On ctx expiry the job
+// keeps running in the background — its record and SSE stream stay
+// live, and the result lands in the caches for a retry to find.
+func (s *Service) waitJob(ctx context.Context, j *jobs.Job) (json.RawMessage, error) {
+	ch, cancel := j.Subscribe()
+	defer cancel()
+	if rec := j.Snapshot(); rec.State.Terminal() {
+		return jobOutcome(rec)
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case ev, open := <-ch:
+			if !open {
+				// Stream ended without a terminal event reaching us (late
+				// subscription); the record has the outcome.
+				return jobOutcome(j.Snapshot())
+			}
+			switch ev.Type {
+			case "result":
+				return jobOutcome(ev.Job)
+			case "drain":
+				return nil, ErrDraining
+			}
+		}
+	}
+}
+
+// jobOutcome converts a settled record into the sync call's return.
+func jobOutcome(rec jobs.Record) (json.RawMessage, error) {
+	switch rec.State {
+	case jobs.StateDone:
+		return rec.Result, nil
+	case jobs.StateFailed:
+		return nil, errors.New(rec.Error)
+	default:
+		// Non-terminal after the stream ended: the node is shutting down.
+		return nil, ErrDraining
+	}
+}

@@ -1,0 +1,457 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lcn3d/internal/core"
+	"lcn3d/internal/faults"
+	"lcn3d/internal/jobs"
+)
+
+// jobReq is the async twin of optReq: a small deterministic job with a
+// barrier every SA iteration, so checkpoints are dense enough for the
+// interrupt-and-resume tests to cut anywhere.
+func jobReq() OptimizeRequest {
+	r := optReq()
+	r.ExchangeEvery = 1
+	return r
+}
+
+// straightRun computes the uninterrupted reference solution for
+// jobReq() once per test binary (every job test compares against the
+// same run, and the SA is deterministic).
+var (
+	straightOnce sync.Once
+	straightRes  OptimizeResponse
+	straightErr  error
+)
+
+func straightRun(t *testing.T) OptimizeResponse {
+	t.Helper()
+	straightOnce.Do(func() {
+		s := testService(t, Config{})
+		buf, err := s.Optimize(context.Background(), jobReq())
+		if err != nil {
+			straightErr = err
+			return
+		}
+		straightRes = decodeOpt(t, buf)
+	})
+	if straightErr != nil {
+		t.Fatalf("straight run: %v", straightErr)
+	}
+	return straightRes
+}
+
+// sameSolution asserts the paper-level keystone: the final best network
+// and cost of two runs are bitwise identical. Cache amortization
+// counters (topo_cache_*) legitimately differ on a resumed run — the
+// eval cache restarts empty — so they are excluded.
+func sameSolution(t *testing.T, tag string, got, want OptimizeResponse) {
+	t.Helper()
+	if got.NetworkHash != want.NetworkHash || got.NetworkFile != want.NetworkFile {
+		t.Fatalf("%s: network differs: %s vs %s", tag, got.NetworkHash, want.NetworkHash)
+	}
+	if got.Feasible != want.Feasible ||
+		floatBits(got.Psys) != floatBits(want.Psys) ||
+		floatBits(got.Wpump) != floatBits(want.Wpump) ||
+		floatBits(got.DeltaT) != floatBits(want.DeltaT) ||
+		floatBits(got.Tmax) != floatBits(want.Tmax) {
+		t.Fatalf("%s: cost differs:\n got %+v\nwant %+v", tag, got, want)
+	}
+	if got.Evals != want.Evals || got.Chains != want.Chains ||
+		got.Exchanges != want.Exchanges || got.Adoptions != want.Adoptions {
+		t.Fatalf("%s: SA trajectory differs:\n got %+v\nwant %+v", tag, got, want)
+	}
+}
+
+// waitJobState polls JobStatus until the job reaches want (fatal on a
+// different terminal state).
+func waitJobState(t *testing.T, s *Service, id string, want jobs.State) jobs.Record {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		rec, err := s.JobStatus(context.Background(), id)
+		if err == nil {
+			if rec.State == want {
+				return rec
+			}
+			if rec.State.Terminal() && rec.State != want {
+				t.Fatalf("job %s reached %s (error %q), want %s", id, rec.State, rec.Error, want)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return jobs.Record{}
+}
+
+// waitCheckpoints blocks until the job has persisted at least n
+// checkpoints (under thermal.slow pacing this is long before it
+// finishes).
+func waitCheckpoints(t *testing.T, j *jobs.Job, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for j.CheckpointSeq() < n && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if j.CheckpointSeq() < n {
+		t.Fatalf("job made %d checkpoints, want >= %d", j.CheckpointSeq(), n)
+	}
+}
+
+// slowPace arms the thermal.slow fault so every probe sleeps a little:
+// the job is paced far below completion speed, making interrupt windows
+// deterministic without touching the result (a sleep changes wall
+// clock, not physics).
+func slowPace(t *testing.T) {
+	t.Helper()
+	if err := faults.Arm("thermal.slow=always;delay=3ms"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faults.Disarm)
+}
+
+// TestJobSubmitStatusAndEvents drives the async API end to end over
+// HTTP: submit returns a pending record immediately, the SSE stream
+// carries checkpoint events and ends with the result event, and the
+// status endpoint reports the terminal record with checkpoint
+// bookkeeping.
+func TestJobSubmitStatusAndEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the SA optimizer")
+	}
+	want := straightRun(t)
+	s := testService(t, Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Pace the run so the SSE stream reliably attaches before the first
+	// checkpoint; the pacing is dropped as soon as the stream sees one.
+	slowPace(t)
+
+	body, _ := json.Marshal(JobSubmitRequest{OptimizeRequest: jobReq(), Priority: 3})
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec jobs.Record
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rec.ID == "" {
+		t.Fatalf("submit: status %d record %+v", resp.StatusCode, rec)
+	}
+	if rec.State.Terminal() {
+		t.Fatalf("submit returned a terminal record: %+v", rec)
+	}
+
+	// Stream events until the terminal one.
+	es, err := http.Get(srv.URL + "/v1/jobs/" + rec.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Body.Close()
+	if ct := es.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type = %q", ct)
+	}
+	seen := map[string]int{}
+	var final jobs.Record
+	sc := bufio.NewScanner(es.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			event = strings.TrimPrefix(line, "event: ")
+			seen[event]++
+			if event == "checkpoint" {
+				faults.Disarm() // pacing no longer needed; finish fast
+			}
+		}
+		if strings.HasPrefix(line, "data: ") && event == "result" {
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &final); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if seen["result"] != 1 {
+		t.Fatalf("event counts %v: want exactly one result event", seen)
+	}
+	if seen["checkpoint"] == 0 {
+		t.Fatalf("event counts %v: no checkpoint events streamed", seen)
+	}
+	if final.State != jobs.StateDone || final.Result == nil {
+		t.Fatalf("final event record: %+v", final)
+	}
+
+	// The status endpoint agrees with the stream.
+	st, err := http.Get(srv.URL + "/v1/jobs/" + rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	var got jobs.Record
+	if err := json.NewDecoder(st.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.State != jobs.StateDone || got.CheckpointSeq < 1 || got.CompletedUnixMS == 0 {
+		t.Fatalf("status record: %+v", got)
+	}
+	sameSolution(t, "async vs sync", decodeOpt(t, got.Result), want)
+
+	// Unknown ids are clean 404s on both endpoints.
+	for _, path := range []string{"/v1/jobs/ffffffffffffffff", "/v1/jobs/ffffffffffffffff/events"} {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s = %d, want 404", path, r.StatusCode)
+		}
+	}
+}
+
+// TestJobDrainRestartResumeBitwise is the tentpole keystone: a job
+// interrupted by Drain, recovered by a cold-restarted service over the
+// same store directory, finishes with the final best network and cost
+// bitwise identical to the uninterrupted run with the same seed.
+func TestJobDrainRestartResumeBitwise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the SA optimizer")
+	}
+	want := straightRun(t)
+
+	dir := t.TempDir()
+	st := openStoreT(t, dir)
+	s1 := testService(t, Config{Store: st})
+
+	slowPace(t)
+	rec, err := s1.SubmitJob(context.Background(), JobSubmitRequest{OptimizeRequest: jobReq()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := s1.jobs.Job(rec.ID)
+	if !ok {
+		t.Fatal("job not registered locally")
+	}
+	waitCheckpoints(t, j, 2)
+	s1.Drain() // checkpoint running jobs, then flush the store
+	faults.Disarm()
+
+	cut, err := s1.JobStatus(context.Background(), rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.State != jobs.StateCheckpointed || cut.CheckpointSeq < 2 {
+		t.Fatalf("state after drain: %+v, want checkpointed with >= 2 checkpoints", cut)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold restart over the same directory: recovery re-queues the job,
+	// which resumes from its newest checkpoint and completes.
+	st2 := openStoreT(t, dir)
+	defer st2.Close()
+	s2 := testService(t, Config{Store: st2})
+	if n := s2.RecoverJobs(); n != 1 {
+		t.Fatalf("recovered %d jobs, want 1", n)
+	}
+	got := waitJobState(t, s2, rec.ID, jobs.StateDone)
+	if got.Resumes < 1 {
+		t.Fatalf("resumes = %d, want >= 1", got.Resumes)
+	}
+	if got.CheckpointSeq < cut.CheckpointSeq {
+		t.Fatalf("checkpoint seq regressed: %d -> %d", cut.CheckpointSeq, got.CheckpointSeq)
+	}
+	sameSolution(t, "resumed vs straight", decodeOpt(t, got.Result), want)
+
+	m := s2.Metrics()
+	if m.Optimize.Resumes < 1 || m.Optimize.Recovered != 1 {
+		t.Fatalf("metrics: %+v", m.Optimize)
+	}
+}
+
+// TestJobTornCheckpointFallsBack crashes a node while the
+// jobs.checkpoint fault tears every new checkpoint blob, then verifies
+// recovery skips the torn tail, resumes from the newest intact
+// checkpoint, and still reproduces the straight run exactly.
+func TestJobTornCheckpointFallsBack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the SA optimizer")
+	}
+	want := straightRun(t)
+
+	st := openStoreT(t, t.TempDir())
+	defer st.Close()
+	s1 := testService(t, Config{Store: st})
+
+	slowPace(t)
+	rec, err := s1.SubmitJob(context.Background(), JobSubmitRequest{OptimizeRequest: jobReq()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := s1.jobs.Job(rec.ID)
+	if !ok {
+		t.Fatal("job not registered locally")
+	}
+	waitCheckpoints(t, j, 2)
+	// From here on every new checkpoint blob is truncated mid-write. Any
+	// checkpoint at or below armedAt predates the tear and is intact.
+	if err := faults.Arm("thermal.slow=always;delay=3ms;jobs.checkpoint=always"); err != nil {
+		t.Fatal(err)
+	}
+	armedAt := j.CheckpointSeq()
+	waitCheckpoints(t, j, armedAt+2)
+	s1.jobs.Kill() // crash: no terminal transition is persisted
+	faults.Disarm()
+
+	// Prove the torn tail is really torn and an intact prefix exists.
+	last := j.CheckpointSeq()
+	if blob, ok := j.CheckpointAt(last); ok {
+		var cp core.SolveCheckpoint
+		if json.Unmarshal(blob, &cp) == nil {
+			t.Fatalf("newest checkpoint %d decoded despite the tear", last)
+		}
+	}
+	var cp core.SolveCheckpoint
+	blob, ok := j.CheckpointAt(armedAt)
+	if !ok || json.Unmarshal(blob, &cp) != nil {
+		t.Fatalf("intact checkpoint %d unreadable", armedAt)
+	}
+
+	// A new service over the same (still-open) store adopts the crashed
+	// state: the newest readable checkpoint is below the torn tail, and
+	// the resumed run must land on the straight-run solution anyway.
+	s2 := testService(t, Config{Store: st})
+	if n := s2.RecoverJobs(); n != 1 {
+		t.Fatalf("recovered %d jobs, want 1", n)
+	}
+	got := waitJobState(t, s2, rec.ID, jobs.StateDone)
+	if got.Resumes < 1 {
+		t.Fatalf("resumes = %d, want >= 1", got.Resumes)
+	}
+	sameSolution(t, "torn-fallback vs straight", decodeOpt(t, got.Result), want)
+}
+
+// TestJobMigratesAcrossFleet is the cluster half of the tentpole: a job
+// owned by a node that dies is adopted by a surviving peer from the
+// replicated records and checkpoints, restarted from the last
+// checkpoint, and completes with the straight-run solution.
+func TestJobMigratesAcrossFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the SA optimizer")
+	}
+	want := straightRun(t)
+
+	svcs, servers, addrs := testFleet(t, 2)
+	slowPace(t)
+
+	const id = "migrate-test-job"
+	body, _ := json.Marshal(JobSubmitRequest{OptimizeRequest: jobReq(), ID: id})
+	resp, err := http.Post(servers[0].URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec jobs.Record
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rec.ID != id {
+		t.Fatalf("submit: status %d record %+v", resp.StatusCode, rec)
+	}
+
+	// Locate the owner (submission may have been forwarded) and its
+	// survivor.
+	ownerIdx := -1
+	for i, a := range addrs {
+		if a == rec.Owner {
+			ownerIdx = i
+		}
+	}
+	if ownerIdx < 0 {
+		t.Fatalf("record owner %q not in fleet %v", rec.Owner, addrs)
+	}
+	survIdx := 1 - ownerIdx
+	j, ok := svcs[ownerIdx].jobs.Job(id)
+	if !ok {
+		t.Fatalf("job not registered on owner %s", rec.Owner)
+	}
+	waitCheckpoints(t, j, 1)
+
+	// Replication is asynchronous: wait until the survivor's store holds
+	// both a record and a checkpoint replica before killing the owner.
+	survStore := svcs[survIdx].cfg.Store
+	deadline := time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) {
+		if len(survStore.Keys("job/"+id+"/rec/")) > 0 && len(survStore.Keys("job/"+id+"/ckpt/")) > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(survStore.Keys("job/"+id+"/ckpt/")) == 0 {
+		t.Fatal("no checkpoint replica reached the survivor")
+	}
+
+	svcs[ownerIdx].jobs.Kill() // crash the owner
+	servers[ownerIdx].Close()
+	faults.Disarm()
+
+	// A status poll on the survivor finds the owner dead, adopts the job
+	// from the replicas, and restarts it from the last checkpoint.
+	fetch := func() jobs.Record {
+		t.Helper()
+		r, err := http.Get(servers[survIdx].URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var rec jobs.Record
+		if err := json.NewDecoder(r.Body).Decode(&rec); err != nil || r.StatusCode != http.StatusOK {
+			t.Fatalf("survivor status: %d (%v)", r.StatusCode, err)
+		}
+		return rec
+	}
+	adopted := fetch()
+	if adopted.ID != id {
+		t.Fatalf("survivor returned %+v", adopted)
+	}
+	var got jobs.Record
+	deadline = time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		got = fetch()
+		if got.State == jobs.StateDone {
+			break
+		}
+		if got.State == jobs.StateFailed {
+			t.Fatalf("migrated job failed: %q", got.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got.State != jobs.StateDone {
+		t.Fatalf("migrated job never finished: %+v", got)
+	}
+	if got.Resumes < 1 {
+		t.Fatalf("resumes = %d, want >= 1", got.Resumes)
+	}
+	if got.Owner != addrs[survIdx] {
+		t.Fatalf("finished on %q, want survivor %q", got.Owner, addrs[survIdx])
+	}
+	sameSolution(t, "migrated vs straight", decodeOpt(t, got.Result), want)
+	if st := svcs[survIdx].jobs.Stats(); st.Adopted != 1 {
+		t.Fatalf("survivor adoption stats: %+v", st)
+	}
+}

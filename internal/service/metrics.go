@@ -165,13 +165,22 @@ type MetricsSnapshot struct {
 	Faults map[string]faults.Stat `json:"faults,omitempty"`
 }
 
-// OptimizeSnapshot reports optimization activity: total jobs computed
-// (cache hits excluded) and the live per-chain SA positions of every
-// job currently running.
+// OptimizeSnapshot reports optimization activity: total solver runs
+// (cache hits excluded), live per-chain SA positions of running jobs,
+// retained terminal job records with completion timestamps, and the
+// checkpoint/resume counters of the jobs subsystem.
 type OptimizeSnapshot struct {
-	Runs   int64              `json:"runs"`
-	Active int                `json:"active"`
+	Runs   int64 `json:"runs"`
+	Active int   `json:"active"` // jobs currently running
+	Queued int   `json:"queued"` // pending or checkpointed, awaiting a slot
+	// Jobs lists every retained record: running jobs with live progress
+	// and terminal ones with CompletedUnixMS set.
 	Jobs   []OptimizeProgress `json:"jobs,omitempty"`
+	States map[string]int     `json:"states,omitempty"`
+
+	Checkpoints int64 `json:"checkpoints"`
+	Resumes     int64 `json:"resumes"`
+	Recovered   int64 `json:"recovered"`
 }
 
 func ratio(num, den int64) float64 {

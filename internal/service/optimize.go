@@ -7,8 +7,6 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"math"
-	"strings"
 	"sync"
 
 	"lcn3d/internal/anneal"
@@ -172,60 +170,38 @@ func optimizeKey(r OptimizeRequest) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// OptimizeProgress is one running job's per-chain SA position, exported
-// under /v1/metrics while the job computes.
+// OptimizeProgress is one job's position as exported under
+// /v1/metrics: live per-chain SA progress while it runs, and the
+// completion timestamp once it is terminal (terminal entries stay
+// visible in the bounded retention ring instead of vanishing at
+// completion).
 type OptimizeProgress struct {
+	ID     string                 `json:"id"`
 	Key    string                 `json:"key"`
+	State  string                 `json:"state"`
 	Stage  int                    `json:"stage"`
-	Chains []anneal.ChainProgress `json:"chains"`
+	Chains []anneal.ChainProgress `json:"chains,omitempty"`
+
+	CheckpointSeq   uint64 `json:"checkpoint_seq,omitempty"`
+	Resumes         int    `json:"resumes,omitempty"`
+	CompletedUnixMS int64  `json:"completed_unix_ms,omitempty"`
 }
 
-// optTracker holds live per-job progress. Jobs are keyed by cache key,
-// so deduplicated identical jobs share one entry.
-type optTracker struct {
-	mu   sync.Mutex
-	jobs map[string]*OptimizeProgress
-}
-
-func (t *optTracker) update(key string, stage int, chains []anneal.ChainProgress) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.jobs == nil {
-		t.jobs = make(map[string]*OptimizeProgress)
-	}
-	cp := make([]anneal.ChainProgress, len(chains))
-	copy(cp, chains)
-	t.jobs[key] = &OptimizeProgress{Key: key, Stage: stage, Chains: cp}
-}
-
-func (t *optTracker) done(key string) {
-	t.mu.Lock()
-	delete(t.jobs, key)
-	t.mu.Unlock()
-}
-
-func (t *optTracker) snapshot() []OptimizeProgress {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]OptimizeProgress, 0, len(t.jobs))
-	for _, j := range t.jobs {
-		out = append(out, *j)
-	}
-	return out
-}
-
-// Optimize runs (or serves from cache) one optimization job. Identical
-// jobs — same case, problem, seed, chain count, schedule — are answered
-// from the result cache bitwise identically; the SA itself is
-// deterministic for a fixed (seed, chains), so a cache hit and a rerun
-// agree.
+// Optimize runs (or serves from cache) one optimization job
+// synchronously. Identical jobs — same case, problem, seed, chain
+// count, schedule — are answered from the result cache bitwise
+// identically; the SA itself is deterministic for a fixed (seed,
+// chains), so a cache hit and a rerun agree. Internally the compute
+// rides the jobs subsystem: the call submits (or attaches to) a
+// checkpointable job and waits for its terminal event, so a drain
+// mid-run checkpoints the work instead of discarding it.
 func (s *Service) Optimize(ctx context.Context, req OptimizeRequest) ([]byte, error) {
 	req, err := req.validate()
 	if err != nil {
 		s.met.errors.Add(1)
 		return nil, err
 	}
-	b, scale, err := s.bench(req.CaseRef)
+	_, scale, err := s.bench(req.CaseRef)
 	if err != nil {
 		s.met.errors.Add(1)
 		return nil, err
@@ -235,58 +211,7 @@ func (s *Service) Optimize(ctx context.Context, req OptimizeRequest) ([]byte, er
 	// req is already normalized (validate) and scale-pinned, so the
 	// forwarded copy derives the same key on the owning peer.
 	return s.do(ctx, key, "/v1/optimize", req, req.TimeoutMS, func(ctx context.Context) (any, error) {
-		s.met.optimizeRuns.Add(1)
-		defer s.opt.done(key)
-		in := b.Instance // copy: WpumpStar override must not leak across jobs
-		if req.Problem == 2 && req.WpumpStar > 0 {
-			in.WpumpStar = req.WpumpStar
-		}
-		opt := core.Options{
-			Stages:        req.stages(),
-			NumTrees:      req.NumTrees,
-			BranchType:    req.branchType(),
-			CoarseM:       req.CoarseM,
-			Seed:          req.Seed,
-			Chains:        req.Chains,
-			ExchangeEvery: req.ExchangeEvery,
-			Search:        s.cfg.Search,
-			Progress: func(stage int, chains []anneal.ChainProgress) {
-				s.opt.update(key, stage, chains)
-			},
-		}
-		if req.Upwind {
-			opt.Scheme = ModelSpec{Upwind: true}.scheme()
-		}
-		var sol *core.Solution
-		var solveErr error
-		if req.Problem == 1 {
-			sol, solveErr = in.SolveProblem1Ctx(ctx, opt)
-		} else {
-			sol, solveErr = in.SolveProblem2Ctx(ctx, opt)
-		}
-		if solveErr != nil {
-			return nil, solveErr
-		}
-		var file strings.Builder
-		if err := network.Write(&file, sol.Net); err != nil {
-			return nil, fmt.Errorf("service: encode optimized network: %w", err)
-		}
-		resp := &OptimizeResponse{
-			CacheKey: key, Problem: req.Problem, Feasible: sol.Eval.Feasible,
-			Psys: sol.Eval.Psys, DeltaT: sol.Eval.DeltaT,
-			Evals: sol.Evals, Chains: sol.Chains,
-			Exchanges: sol.Exchanges, Adoptions: sol.Adoptions,
-			CacheHits: sol.Cache.Hits, CacheMisses: sol.Cache.Misses,
-			CacheHitRate: sol.Cache.HitRate(),
-			NetworkHash:  sol.Net.CanonicalHash(), NetworkFile: file.String(),
-		}
-		if !math.IsInf(sol.Eval.Wpump, 0) && !math.IsNaN(sol.Eval.Wpump) {
-			resp.Wpump = sol.Eval.Wpump
-		}
-		if sol.Eval.Out != nil {
-			resp.Tmax = sol.Eval.Out.Tmax
-		}
-		return resp, nil
+		return s.computeViaJob(ctx, req, key)
 	})
 }
 

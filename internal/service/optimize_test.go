@@ -192,13 +192,26 @@ func TestOptimizeHTTP(t *testing.T) {
 		t.Fatalf("unknown field: status %d body %s", code, body)
 	}
 
-	// Progress entries are transient: after completion the metrics
-	// snapshot must report no active optimization jobs.
+	// Terminal jobs stay visible: after completion the snapshot must
+	// report no running jobs but retain the finished records, each with
+	// a completion timestamp (the pre-jobs tracker deleted entries at
+	// completion, which made finished work invisible to metrics).
 	m := s.Metrics()
-	if m.Optimize.Active != 0 || len(m.Optimize.Jobs) != 0 {
-		t.Fatalf("stale progress entries: %+v", m.Optimize)
+	if m.Optimize.Active != 0 || m.Optimize.Queued != 0 {
+		t.Fatalf("jobs still live after completion: %+v", m.Optimize)
+	}
+	if len(m.Optimize.Jobs) == 0 {
+		t.Fatalf("terminal job records were dropped from metrics: %+v", m.Optimize)
+	}
+	for _, j := range m.Optimize.Jobs {
+		if j.State != "done" || j.CompletedUnixMS == 0 {
+			t.Fatalf("terminal entry missing completion data: %+v", j)
+		}
 	}
 	if m.Optimize.Runs < 1 {
 		t.Fatal("optimize runs not counted")
+	}
+	if m.Optimize.Checkpoints < 1 {
+		t.Fatal("no checkpoints recorded for a completed run")
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"lcn3d/internal/faults"
 	"lcn3d/internal/grid"
 	"lcn3d/internal/iccad"
+	"lcn3d/internal/jobs"
 	"lcn3d/internal/network"
 	"lcn3d/internal/rm2"
 	"lcn3d/internal/rm4"
@@ -108,8 +109,13 @@ type Service struct {
 
 	sem chan struct{} // worker slots
 
+	// jobs owns checkpointable optimization jobs: its own concurrency
+	// pool (separate from sem, so a sync optimize waiting on its job
+	// never deadlocks the slot the job needs), durable records in Store,
+	// and the SSE event streams.
+	jobs *jobs.Manager
+
 	met metrics
-	opt optTracker // live per-job SA progress for /v1/metrics
 
 	drainMu  sync.Mutex
 	drainCV  *sync.Cond
@@ -134,6 +140,19 @@ func New(cfg Config) *Service {
 	}
 	s.drainCV = sync.NewCond(&s.drainMu)
 	s.met.start = time.Now()
+	jcfg := jobs.Config{
+		Run:         s.runOptimizeJob,
+		Concurrency: cfg.Workers,
+		Logf:        log.Printf,
+	}
+	if cfg.Store != nil {
+		jcfg.Blobs = cfg.Store
+	}
+	if cfg.Cluster != nil {
+		jcfg.Owner = cfg.Cluster.Self()
+		jcfg.Replicate = s.replicateJobBlob
+	}
+	s.jobs = jobs.NewManager(jcfg)
 	return s
 }
 
@@ -242,13 +261,21 @@ func (s *Service) leave() {
 	s.drainMu.Unlock()
 }
 
-// Drain stops accepting new requests and blocks until every in-flight
-// request has finished, then pushes any batched store writes to disk so
-// results computed just before shutdown survive a restart. It is
-// idempotent.
+// Drain stops accepting new requests, checkpoints running jobs, blocks
+// until every in-flight request has finished, then pushes any batched
+// store writes to disk so results — and job records and checkpoints —
+// computed just before shutdown survive a restart. The order matters:
+// the admission gate closes first, then the job drain cancels runners
+// at their next barrier (their checkpoint persists and sync waiters
+// unblock with ErrDraining, which is what lets active reach zero), and
+// the store flush runs last so it captures the final job records. It
+// is idempotent.
 func (s *Service) Drain() {
 	s.drainMu.Lock()
 	s.draining = true
+	s.drainMu.Unlock()
+	s.jobs.Drain()
+	s.drainMu.Lock()
 	for s.active > 0 {
 		s.drainCV.Wait()
 	}
@@ -632,9 +659,27 @@ func (s *Service) Metrics() MetricsSnapshot {
 	if snap.Factor.Probes > 0 {
 		snap.Factor.WarmStartRate = float64(snap.Factor.WarmStarts) / float64(snap.Factor.Probes)
 	}
+	js := s.jobs.Stats()
 	snap.Optimize.Runs = s.met.optimizeRuns.Load()
-	snap.Optimize.Jobs = s.opt.snapshot()
-	snap.Optimize.Active = len(snap.Optimize.Jobs)
+	snap.Optimize.Checkpoints = js.Checkpoints
+	snap.Optimize.Resumes = js.Resumes
+	snap.Optimize.Recovered = js.Recovered
+	snap.Optimize.States = js.States
+	for _, rec := range s.jobs.List() {
+		p := OptimizeProgress{
+			ID: rec.ID, Key: rec.Key, State: string(rec.State),
+			Stage: rec.Stage, Chains: rec.Chains,
+			CheckpointSeq: rec.CheckpointSeq, Resumes: rec.Resumes,
+			CompletedUnixMS: rec.CompletedUnixMS,
+		}
+		snap.Optimize.Jobs = append(snap.Optimize.Jobs, p)
+		switch rec.State {
+		case jobs.StateRunning:
+			snap.Optimize.Active++
+		case jobs.StatePending, jobs.StateCheckpointed:
+			snap.Optimize.Queued++
+		}
+	}
 	snap.Faults = faults.Snapshot()
 	return snap
 }

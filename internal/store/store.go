@@ -38,6 +38,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -348,50 +349,97 @@ func (s *Store) Put(key string, val []byte) error {
 
 // Get returns the stored value for key. Pending (unflushed) records are
 // visible. A record that fails its CRC on read is treated as a miss.
+//
+// Segment reads are optimistic (outside the lock), so a concurrent
+// Compact can close the segment mid-read; a failed attempt re-resolves
+// the record's location under the lock — waiting any in-flight
+// compaction out — and the final attempt reads while still holding it,
+// so a live key is never reported missing because of compaction.
 func (s *Store) Get(key string) ([]byte, bool) {
 	s.ctrGets.Add(1)
-	s.mu.Lock()
-	if v, ok := s.pendIdx[key]; ok {
-		out := make([]byte, len(v))
-		copy(out, v)
-		s.mu.Unlock()
-		s.ctrHits.Add(1)
-		s.ctrHitBytes.Add(int64(len(out)))
-		return out, true
-	}
-	loc, ok := s.index[key]
-	if !ok {
-		s.mu.Unlock()
-		s.ctrMisses.Add(1)
-		return nil, false
-	}
-	f := s.segs[loc.seg]
-	s.mu.Unlock()
-	if f == nil || faults.Fire(faults.StoreRead) {
+	if faults.Fire(faults.StoreRead) {
 		s.ctrReadErrors.Add(1)
 		s.ctrMisses.Add(1)
 		return nil, false
 	}
-	// Re-read header + body and verify the CRC: a hit must never hand
-	// back silently corrupted result bytes.
+	const attempts = 3
+	for attempt := 0; ; attempt++ {
+		locked := attempt == attempts-1
+		s.mu.Lock()
+		if v, ok := s.pendIdx[key]; ok {
+			out := make([]byte, len(v))
+			copy(out, v)
+			s.mu.Unlock()
+			s.ctrHits.Add(1)
+			s.ctrHitBytes.Add(int64(len(out)))
+			return out, true
+		}
+		loc, ok := s.index[key]
+		if !ok {
+			s.mu.Unlock()
+			s.ctrMisses.Add(1)
+			return nil, false
+		}
+		f := s.segs[loc.seg]
+		if !locked {
+			s.mu.Unlock()
+		}
+		// Re-read header + body and verify the CRC: a hit must never hand
+		// back silently corrupted result bytes.
+		val, ok := readRecord(f, loc)
+		if locked {
+			s.mu.Unlock()
+		}
+		if ok {
+			s.ctrHits.Add(1)
+			s.ctrHitBytes.Add(int64(len(val)))
+			return val, true
+		}
+		if locked { // genuine IO error or corruption, not a compaction race
+			s.ctrReadErrors.Add(1)
+			s.ctrMisses.Add(1)
+			return nil, false
+		}
+	}
+}
+
+// readRecord reads and CRC-verifies one record at loc.
+func readRecord(f *os.File, loc recLoc) ([]byte, bool) {
+	if f == nil {
+		return nil, false
+	}
 	hdrOff := loc.off - int64(loc.keyLen) - headerSize
 	buf := make([]byte, headerSize+loc.keyLen+loc.valLen)
 	if _, err := f.ReadAt(buf, hdrOff); err != nil {
-		s.ctrReadErrors.Add(1)
-		s.ctrMisses.Add(1)
 		return nil, false
 	}
 	crc := crc32.NewIEEE()
 	crc.Write(buf[8:])
 	if crc.Sum32() != binary.LittleEndian.Uint32(buf[4:8]) {
-		s.ctrReadErrors.Add(1)
-		s.ctrMisses.Add(1)
 		return nil, false
 	}
-	val := buf[headerSize+loc.keyLen:]
-	s.ctrHits.Add(1)
-	s.ctrHitBytes.Add(int64(len(val)))
-	return val, true
+	return buf[headerSize+loc.keyLen:], true
+}
+
+// Keys returns every key with the given prefix, flushed or pending,
+// in sorted order. Used by the jobs subsystem to enumerate persisted
+// job records and checkpoints on startup recovery.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for k := range s.index {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	for k := range s.pendIdx {
+		if _, dup := s.index[k]; !dup && strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Len reports the number of live (flushed) index entries.

@@ -18,7 +18,11 @@
 #     answer (local-compute fallback for A-owned keys);
 #  4. cluster chaos — 2 nodes with cluster.forward/cluster.fetch faults
 #     armed: peer-owned requests must fall back to local compute, still
-#     200, with the fallback and fault counters visible in metrics.
+#     200, with the fallback and fault counters visible in metrics;
+#  5. kill-and-resume — start a node with a store, submit an async
+#     optimization job, SIGKILL the process after its first checkpoint,
+#     restart on the same store, and assert the job is recovered and
+#     completes from the checkpoint (resumes >= 1).
 set -euo pipefail
 
 ADDR="127.0.0.1:${LCN_SERVE_PORT:-18080}"
@@ -34,7 +38,7 @@ BODY='{"case":1,"model":"2rm","coarse_m":4,"network":{"generator":"straight"}}'
 OUT="$(mktemp)"
 STORES="$(mktemp -d)"
 SRV="" SRVA="" SRVB="" SRVC=""
-trap 'kill "$SRV" "$SRVA" "$SRVB" "$SRVC" 2>/dev/null || true; rm -rf "$OUT" "$STORES" /tmp/lcn-serve-smoke' EXIT
+trap 'kill "$SRV" "$SRVA" "$SRVB" "$SRVC" 2>/dev/null || true; rm -rf "$OUT" "$OUT.err" "$STORES" /tmp/lcn-serve-smoke' EXIT
 
 go build -o /tmp/lcn-serve-smoke ./cmd/lcn-serve
 /tmp/lcn-serve-smoke -addr "$ADDR" -scale "$SCALE" >"$OUT" &
@@ -239,3 +243,73 @@ wait "$SRVB" || { echo "FAIL: chaos node B non-zero exit after SIGTERM"; exit 1;
 wait "$SRVC" || { echo "FAIL: chaos node C non-zero exit after SIGTERM"; exit 1; }
 SRVB="" SRVC=""
 echo "PASS: cluster chaos — forward faults degrade to local compute, counters visible"
+
+# ---- Phase 5: kill-and-resume ---------------------------------------
+
+# The thermal.slow pacing keeps the job mid-run while we wait for its
+# first checkpoint; SIGKILL then models a crash (no drain, no flush
+# beyond the store's periodic batcher).
+JOB_BODY='{"case":1,"scale":15,"seed":7,"chains":2,"exchange_every":1,"num_trees":2,"branch":2,"coarse_m":3}'
+LCN_FAULTS="thermal.slow=always;delay=3ms" \
+  /tmp/lcn-serve-smoke -addr "$ADDR" -scale "$CHAOS_SCALE" -store "$STORES/jobs" >/dev/null &
+SRV=$!
+
+for i in $(seq 1 50); do
+  curl -sf "http://$ADDR/healthz" >/dev/null && break
+  [ "$i" = 50 ] && { echo "FAIL: jobs server never became healthy"; exit 1; }
+  sleep 0.2
+done
+
+JOB_ID="$(curl -sf -XPOST -d "$JOB_BODY" "http://$ADDR/v1/jobs" \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')"
+[ -n "$JOB_ID" ] || { echo "FAIL: job submission returned no id"; exit 1; }
+
+for i in $(seq 1 200); do
+  SEQ="$(curl -sf "http://$ADDR/v1/jobs/$JOB_ID" \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin).get("checkpoint_seq", 0))')"
+  [ "$SEQ" -ge 1 ] && break
+  [ "$i" = 200 ] && { echo "FAIL: job never checkpointed"; exit 1; }
+  sleep 0.1
+done
+# Give the store's periodic flusher (100ms) a beat to make the
+# checkpoint durable, then crash the process hard.
+sleep 0.5
+kill -9 "$SRV"
+wait "$SRV" 2>/dev/null || true
+SRV=""
+
+# Restart over the same store, unpaced: recovery must re-queue the job
+# and finish it from the checkpoint.
+/tmp/lcn-serve-smoke -addr "$ADDR" -scale "$CHAOS_SCALE" -store "$STORES/jobs" >"$OUT" 2>"$OUT.err" &
+SRV=$!
+for i in $(seq 1 50); do
+  curl -sf "http://$ADDR/healthz" >/dev/null && break
+  [ "$i" = 50 ] && { echo "FAIL: restarted jobs server never became healthy"; exit 1; }
+  sleep 0.2
+done
+grep -q "jobs: recovered" "$OUT.err" || { echo "FAIL: restart did not report job recovery"; exit 1; }
+
+for i in $(seq 1 300); do
+  STATE="$(curl -sf "http://$ADDR/v1/jobs/$JOB_ID" \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin).get("state", ""))')"
+  [ "$STATE" = done ] && break
+  [ "$STATE" = failed ] && { echo "FAIL: recovered job failed"; exit 1; }
+  [ "$i" = 300 ] && { echo "FAIL: recovered job never finished (state=$STATE)"; exit 1; }
+  sleep 0.1
+done
+
+curl -sf "http://$ADDR/v1/jobs/$JOB_ID" | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+print("resumed job:", {k: r.get(k) for k in
+    ("state", "checkpoint_seq", "resumes")})
+assert r["state"] == "done", "job not done: %r" % r["state"]
+assert r.get("resumes", 0) >= 1, "job did not resume from a checkpoint"
+assert r.get("checkpoint_seq", 0) >= 1, "no checkpoints recorded"
+assert r.get("result"), "no result on the finished job"
+'
+
+kill -TERM "$SRV"
+wait "$SRV" || { echo "FAIL: non-zero exit after SIGTERM (jobs)"; exit 1; }
+SRV=""
+echo "PASS: kill-and-resume — SIGKILL mid-job, restart recovers and completes from checkpoint"
