@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,21 @@ import (
 // node's address on every forwarded request, so the receiver computes
 // locally instead of forwarding again (single-hop).
 const ForwardedHeader = "X-LCN-Forwarded"
+
+// DeadlineHeader carries the caller's remaining deadline budget, in
+// integer milliseconds, on forwarded requests. The receiving node
+// applies it to the request context so work on the peer never outlives
+// the budget of the client that asked for it.
+const DeadlineHeader = "X-LCN-Deadline"
+
+// minForwardBudget is the smallest remaining budget worth spending a
+// network round trip on; below it a forward fails fast locally.
+const minForwardBudget = 5 * time.Millisecond
+
+// ErrBudgetExhausted reports a forward refused locally because the
+// caller's remaining deadline budget is too small to be worth a
+// network attempt.
+var ErrBudgetExhausted = errors.New("cluster: remaining deadline budget exhausted")
 
 // ErrNotFound reports a peer store fetch that answered 404.
 var ErrNotFound = errors.New("cluster: hash not in peer store")
@@ -319,10 +335,30 @@ func (c *Cluster) probe(peer string) error {
 	return nil
 }
 
+// forwardBudget resolves the timeout of one outbound peer call: the
+// configured ceiling clamped to the caller's remaining context budget,
+// so a 5 s request can never hold a 2-minute forward. The returned
+// duration is also what DeadlineHeader advertises to the peer.
+func (c *Cluster) forwardBudget(ctx context.Context, ceiling time.Duration) (time.Duration, error) {
+	budget := ceiling
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < budget {
+			budget = rem
+		}
+	}
+	if budget < minForwardBudget {
+		return 0, ErrBudgetExhausted
+	}
+	return budget, nil
+}
+
 // Forward sends one API request body to the owning peer and returns the
 // peer's response bytes. The loop-guard header makes the receiver
-// compute locally. A failure marks the peer down (passive detection)
-// and is reported so the caller can fall back to local compute.
+// compute locally; the deadline header propagates the caller's
+// remaining budget (the forward's timeout is the configured ceiling
+// clamped to that budget). A failure marks the peer down (passive
+// detection) and is reported so the caller can fall back to local
+// compute.
 func (c *Cluster) Forward(ctx context.Context, peer, endpoint string, body []byte) ([]byte, error) {
 	if !c.Healthy(peer) {
 		c.ctrForwardErrs.Add(1)
@@ -332,7 +368,12 @@ func (c *Cluster) Forward(ctx context.Context, peer, endpoint string, body []byt
 		c.ctrForwardErrs.Add(1)
 		return nil, errors.New("cluster: injected forward fault")
 	}
-	ctx, cancel := context.WithTimeout(ctx, c.opt.ForwardTimeout)
+	budget, err := c.forwardBudget(ctx, c.opt.ForwardTimeout)
+	if err != nil {
+		c.ctrForwardErrs.Add(1)
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, budget)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+peer+endpoint, bytes.NewReader(body))
 	if err != nil {
@@ -341,6 +382,7 @@ func (c *Cluster) Forward(ctx context.Context, peer, endpoint string, body []byt
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardedHeader, c.self)
+	req.Header.Set(DeadlineHeader, strconv.FormatInt(budget.Milliseconds(), 10))
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.ctrForwardErrs.Add(1)
@@ -451,13 +493,18 @@ func (c *Cluster) ForwardGet(ctx context.Context, peer, path string) ([]byte, er
 	if !c.Healthy(peer) {
 		return nil, ErrPeerDown
 	}
-	ctx, cancel := context.WithTimeout(ctx, c.opt.ForwardTimeout)
+	budget, err := c.forwardBudget(ctx, c.opt.ForwardTimeout)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, budget)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+path, nil)
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set(ForwardedHeader, c.self)
+	req.Header.Set(DeadlineHeader, strconv.FormatInt(budget.Milliseconds(), 10))
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.MarkDown(peer)

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -181,6 +182,66 @@ func TestInjectedForwardAndFetchFaults(t *testing.T) {
 	// peer down — the fault is in the forwarding, not the peer.
 	if !c.Healthy(addr) {
 		t.Fatal("injected fault marked peer down")
+	}
+}
+
+// TestForwardClampsToRemainingDeadline: a caller with 150 ms of budget
+// left must never hold a forward for the 2-minute ceiling — the forward
+// times out with the caller, and the peer is told the clamped budget
+// via the deadline header.
+func TestForwardClampsToRemainingDeadline(t *testing.T) {
+	var gotBudget atomic.Int64
+	release := make(chan struct{})
+	defer close(release)
+	addr, _ := testPeer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ms, err := strconv.ParseInt(r.Header.Get(DeadlineHeader), 10, 64); err == nil {
+			gotBudget.Store(ms)
+		}
+		select { // hold the forward until the caller's budget expires
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	c, err := New(Options{Self: "self:1", Peers: []string{addr}, ForwardTimeout: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	if _, err := c.Forward(ctx, addr, "/v1/evaluate", nil); err == nil {
+		t.Fatal("forward outlived the caller's deadline")
+	}
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Fatalf("forward held for %v despite a 150ms budget", elapsed)
+	}
+	if b := gotBudget.Load(); b <= 0 || b > 150 {
+		t.Fatalf("propagated budget = %dms, want in (0, 150]", b)
+	}
+}
+
+// TestForwardRefusesExhaustedBudget: with (almost) no budget left the
+// forward fails fast locally instead of spending a network round trip.
+func TestForwardRefusesExhaustedBudget(t *testing.T) {
+	var dialed atomic.Bool
+	addr, _ := testPeer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		dialed.Store(true)
+	}))
+	c, err := New(Options{Self: "self:1", Peers: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	time.Sleep(2 * time.Millisecond) // budget now below minForwardBudget
+	if _, err := c.Forward(ctx, addr, "/v1/evaluate", nil); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("forward with exhausted budget: %v, want ErrBudgetExhausted", err)
+	}
+	if _, err := c.ForwardGet(ctx, addr, "/v1/jobs/x"); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("get with exhausted budget: %v, want ErrBudgetExhausted", err)
+	}
+	if dialed.Load() {
+		t.Fatal("exhausted-budget forward reached the network")
 	}
 }
 

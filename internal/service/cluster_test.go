@@ -266,6 +266,36 @@ func TestForwardedRequestIsNotReforwarded(t *testing.T) {
 	}
 }
 
+// TestPropagatedDeadlineCapsPeerWork: a request arriving with the
+// cluster deadline header is bounded by that budget on this node — the
+// forwarded work 504s with the caller's deadline instead of running for
+// the service default.
+func TestPropagatedDeadlineCapsPeerWork(t *testing.T) {
+	s := testService(t, Config{Workers: 1})
+	s.computeHook = func() { time.Sleep(300 * time.Millisecond) }
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(simReq(4242))
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/simulate", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(cluster.DeadlineHeader, "50")
+	t0 := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (propagated deadline ignored)", resp.StatusCode)
+	}
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Fatalf("request held for %v despite a 50ms propagated budget", elapsed)
+	}
+}
+
 // TestStoreFetchEndpointServesAndCounts: GET /v1/store/{hash} returns
 // the cached bytes for a known key, 404 for an unknown one, and never
 // computes.

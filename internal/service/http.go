@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"lcn3d/internal/cluster"
 	"lcn3d/internal/jobs"
@@ -156,6 +158,17 @@ func (s *Service) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Header.Get(cluster.ForwardedHeader) != "" {
 			r = r.WithContext(WithForwarded(r.Context()))
+		}
+		// A propagated deadline budget (milliseconds) caps the request
+		// context: work on this node never outlives the remaining budget
+		// of the caller that forwarded it. context.WithTimeout keeps the
+		// earlier of this and any per-request timeout applied later.
+		if v := r.Header.Get(cluster.DeadlineHeader); v != "" {
+			if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
 		}
 		mux.ServeHTTP(w, r)
 	})
