@@ -38,6 +38,7 @@ import (
 
 	"lcn3d/internal/cluster"
 	"lcn3d/internal/faults"
+	"lcn3d/internal/overload"
 	"lcn3d/internal/service"
 	"lcn3d/internal/store"
 )
@@ -56,6 +57,12 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated host:port fleet members incl. this node (overrides LCN_PEERS; empty = standalone)")
 	self := flag.String("self", "", "this node's host:port as it appears in -peers (required with -peers)")
 	faultSpec := flag.String("faults", "", "fault-injection plan, e.g. 'solver.bicgstab.breakdown=always;service.panic=first:1' (overrides "+faults.EnvVar+")")
+	latencyTarget := flag.Duration("latency-target", 5*time.Second, "admission AIMD latency target; sustained misses cut the concurrency limit")
+	maxQueue := flag.Int("max-queue", 0, "max requests waiting for admission before shedding (0 = 4x workers)")
+	hedgeAfter := flag.Duration("hedge-after", overload.DefaultHedgeAfter, "delay before hedging a peer store read with local compute (negative = never hedge)")
+	breakerOpenFor := flag.Duration("breaker-open-for", 10*time.Second, "how long a tripped per-peer circuit breaker refuses before probing")
+	retryRatio := flag.Float64("retry-ratio", 0.1, "retry budget earned per successful forward (negative = no retries)")
+	brownoutHold := flag.Duration("brownout-hold", 3*time.Second, "minimum dwell at a brownout level before de-escalating")
 	flag.Parse()
 
 	// Fault injection for chaos drills: the flag wins over the LCN_FAULTS
@@ -77,6 +84,14 @@ func main() {
 		ResultCacheSize: *resultCache,
 		ModelCacheSize:  *modelCache,
 		DefaultTimeout:  *timeout,
+		Overload: overload.Options{
+			Admission: overload.AdmissionConfig{
+				LatencyTarget: *latencyTarget,
+				MaxQueue:      *maxQueue,
+			},
+			HedgeAfter: *hedgeAfter,
+			Brownout:   overload.BrownoutConfig{Hold: *brownoutHold},
+		},
 	}
 
 	if *storeDir != "" {
@@ -103,6 +118,8 @@ func main() {
 			Self:           *self,
 			Peers:          strings.Split(peerList, ","),
 			ForwardTimeout: *timeout,
+			Breaker:        overload.BreakerConfig{OpenFor: *breakerOpenFor},
+			RetryRatio:     *retryRatio,
 		})
 		if err != nil {
 			log.Fatalf("cluster: %v", err)

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"lcn3d/internal/faults"
+	"lcn3d/internal/overload"
 )
 
 // ForwardedHeader is the loop-guard header: set to the forwarding
@@ -50,6 +51,17 @@ var ErrNotFound = errors.New("cluster: hash not in peer store")
 // ErrPeerDown reports a peer currently marked unhealthy.
 var ErrPeerDown = errors.New("cluster: peer marked down")
 
+// maxForwardRetries bounds the extra attempts one Forward/FetchStore
+// makes after its first failure; each also costs a retry-budget token.
+const maxForwardRetries = 2
+
+// retryBackoffBase and retryBackoffCeil bound the jittered exponential
+// delay between retry attempts.
+const (
+	retryBackoffBase = 25 * time.Millisecond
+	retryBackoffCeil = 250 * time.Millisecond
+)
+
 // Options configures a Cluster.
 type Options struct {
 	// Self is this node's own address as it appears in Peers.
@@ -69,6 +81,12 @@ type Options struct {
 	// ForwardTimeout bounds one forwarded request (0 = 2m; forwarded
 	// evaluations run a full solve on the owner).
 	ForwardTimeout time.Duration
+	// Breaker configures the per-peer circuit breaker (zero value =
+	// overload package defaults).
+	Breaker overload.BreakerConfig
+	// RetryRatio is the retry-budget earn rate per successful peer call
+	// (0 = 0.1 token per success; negative disables retries entirely).
+	RetryRatio float64
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
 }
@@ -105,11 +123,23 @@ type peerState struct {
 	nextProbe time.Time
 }
 
+// PeerHealth is one peer's health row for /v1/metrics: liveness from
+// the prober, plus the circuit-breaker view of the forwarding path.
+type PeerHealth struct {
+	Peer             string `json:"peer"`
+	Healthy          bool   `json:"healthy"`
+	Breaker          string `json:"breaker"`
+	ConsecutiveFails int    `json:"consecutive_fails"`
+	NextProbeUnixMS  int64  `json:"next_probe_unix_ms"`
+	BreakerTrips     int64  `json:"breaker_trips"`
+}
+
 // Stats snapshots the cluster counters for /v1/metrics.
 type Stats struct {
-	Self         string   `json:"self"`
-	Peers        []string `json:"peers"`
-	HealthyPeers int      `json:"healthy_peers"`
+	Self         string       `json:"self"`
+	Peers        []string     `json:"peers"`
+	HealthyPeers int          `json:"healthy_peers"`
+	PeerHealth   []PeerHealth `json:"peer_health,omitempty"`
 
 	Forwards      int64 `json:"forwards"`       // requests answered by the owning peer
 	ForwardErrors int64 `json:"forward_errors"` // forward attempts that failed
@@ -124,16 +154,23 @@ type Stats struct {
 
 	StorePushes     int64 `json:"store_pushes"` // job-state replication PUTs
 	StorePushErrors int64 `json:"store_push_errors"`
+
+	Retries           int64                         `json:"retries"`             // extra peer-call attempts
+	RetryBudgetDenied int64                         `json:"retry_budget_denied"` // retries refused by the budget
+	BreakerRefusals   int64                         `json:"breaker_refusals"`    // calls refused locally by an open breaker
+	RetryBudget       *overload.RetryBudgetSnapshot `json:"retry_budget,omitempty"`
 }
 
 // Cluster is one node's view of the fleet.
 type Cluster struct {
-	opt    Options
-	self   string
-	ring   *Ring
-	others []string // peers minus self
-	states map[string]*peerState
-	client *http.Client
+	opt      Options
+	self     string
+	ring     *Ring
+	others   []string // peers minus self
+	states   map[string]*peerState
+	breakers map[string]*overload.Breaker
+	retry    *overload.RetryBudget
+	client   *http.Client
 
 	stopOnce sync.Once
 	done     chan struct{}
@@ -143,6 +180,7 @@ type Cluster struct {
 	ctrFetches, ctrFetchHits, ctrFetchMisses, ctrFetchErrs atomic.Int64
 	ctrProbes, ctrProbeFails                               atomic.Int64
 	ctrPushes, ctrPushErrs                                 atomic.Int64
+	ctrRetries, ctrRetryDenied, ctrBreakerRefusals         atomic.Int64
 }
 
 // New builds a cluster view. The ring covers Peers ∪ {Self}; probing
@@ -158,17 +196,20 @@ func New(opt Options) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		opt:    opt,
-		self:   opt.Self,
-		ring:   ring,
-		states: make(map[string]*peerState),
-		client: opt.Client,
-		done:   make(chan struct{}),
+		opt:      opt,
+		self:     opt.Self,
+		ring:     ring,
+		states:   make(map[string]*peerState),
+		breakers: make(map[string]*overload.Breaker),
+		retry:    overload.NewRetryBudget(opt.RetryRatio, 0),
+		client:   opt.Client,
+		done:     make(chan struct{}),
 	}
 	for _, p := range ring.Peers() {
 		if p != c.self {
 			c.others = append(c.others, p)
 			c.states[p] = &peerState{healthy: true}
+			c.breakers[p] = overload.NewBreaker(opt.Breaker)
 		}
 	}
 	return c, nil
@@ -229,6 +270,49 @@ func (c *Cluster) MarkDown(peer string) {
 	st.fails++
 	st.nextProbe = time.Now().Add(c.backoff(st.fails))
 	st.mu.Unlock()
+}
+
+// breakerAllow asks peer's circuit breaker for permission to make one
+// network attempt. The overload.breaker fault point trips the breaker
+// first, so open-breaker behaviour is reachable deterministically.
+func (c *Cluster) breakerAllow(peer string) error {
+	b, ok := c.breakers[peer]
+	if !ok {
+		return nil
+	}
+	if faults.Fire(faults.OverloadBreaker) {
+		b.Trip()
+	}
+	if err := b.Allow(); err != nil {
+		c.ctrBreakerRefusals.Add(1)
+		return fmt.Errorf("cluster: %s: %w", peer, err)
+	}
+	return nil
+}
+
+// breakerRecord feeds one attempt outcome to peer's breaker.
+func (c *Cluster) breakerRecord(peer string, ok bool) {
+	if b := c.breakers[peer]; b != nil {
+		b.Record(ok)
+	}
+}
+
+// retrySleep waits out one jittered backoff delay, bailing early if the
+// caller's context dies or its remaining budget could not cover another
+// network attempt after the sleep.
+func (c *Cluster) retrySleep(ctx context.Context, attempt int) error {
+	delay := c.retry.Backoff(attempt, retryBackoffBase, retryBackoffCeil)
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) < delay+minForwardBudget {
+		return ErrBudgetExhausted
+	}
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 func (c *Cluster) backoff(fails int) time.Duration {
@@ -356,9 +440,12 @@ func (c *Cluster) forwardBudget(ctx context.Context, ceiling time.Duration) (tim
 // peer's response bytes. The loop-guard header makes the receiver
 // compute locally; the deadline header propagates the caller's
 // remaining budget (the forward's timeout is the configured ceiling
-// clamped to that budget). A failure marks the peer down (passive
-// detection) and is reported so the caller can fall back to local
-// compute.
+// clamped to that budget). The peer's circuit breaker is consulted
+// before any network attempt — a forward to an open breaker is refused
+// locally without dialing. Transport-level failures mark the peer down
+// and are retried with jittered backoff while the retry budget and the
+// remaining deadline allow; peer-returned statuses are not retried (the
+// peer is alive; the caller falls back to local compute).
 func (c *Cluster) Forward(ctx context.Context, peer, endpoint string, body []byte) ([]byte, error) {
 	if !c.Healthy(peer) {
 		c.ctrForwardErrs.Add(1)
@@ -368,46 +455,88 @@ func (c *Cluster) Forward(ctx context.Context, peer, endpoint string, body []byt
 		c.ctrForwardErrs.Add(1)
 		return nil, errors.New("cluster: injected forward fault")
 	}
-	budget, err := c.forwardBudget(ctx, c.opt.ForwardTimeout)
-	if err != nil {
+	if _, err := c.forwardBudget(ctx, c.opt.ForwardTimeout); err != nil {
+		// Deadline-starved before any network attempt: not the peer's
+		// fault, so the breaker never hears about it.
 		c.ctrForwardErrs.Add(1)
 		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := c.breakerAllow(peer); err != nil {
+			c.ctrForwardErrs.Add(1)
+			return nil, err
+		}
+		out, status, err := c.forwardOnce(ctx, peer, endpoint, body)
+		// Failure, for the breaker, means the peer looks sick: transport
+		// errors, 5xx, or 429 shedding. Budget exhaustion and other 4xx
+		// are this node's (or the request's) problem, not the peer's.
+		c.breakerRecord(peer, err == nil || errors.Is(err, ErrBudgetExhausted) ||
+			(status >= 400 && status < 500 && status != http.StatusTooManyRequests))
+		if err == nil {
+			c.retry.Earn()
+			c.ctrForwards.Add(1)
+			return out, nil
+		}
+		c.ctrForwardErrs.Add(1)
+		lastErr = err
+		// Only transport-level failures (status 0) are worth retrying,
+		// and only while the budget holds.
+		if status != 0 || errors.Is(err, ErrBudgetExhausted) || attempt >= maxForwardRetries {
+			return nil, lastErr
+		}
+		if !c.retry.Spend() {
+			c.ctrRetryDenied.Add(1)
+			return nil, lastErr
+		}
+		if err := c.retrySleep(ctx, attempt); err != nil {
+			return nil, lastErr
+		}
+		c.ctrRetries.Add(1)
+	}
+}
+
+// forwardOnce makes one network attempt. status is 0 for failures that
+// never got an HTTP response (budget exhausted, dial/transport errors —
+// these mark the peer down); otherwise it is the peer's status code.
+func (c *Cluster) forwardOnce(ctx context.Context, peer, endpoint string, body []byte) ([]byte, int, error) {
+	budget, err := c.forwardBudget(ctx, c.opt.ForwardTimeout)
+	if err != nil {
+		return nil, 0, err
 	}
 	ctx, cancel := context.WithTimeout(ctx, budget)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+peer+endpoint, bytes.NewReader(body))
 	if err != nil {
-		c.ctrForwardErrs.Add(1)
-		return nil, err
+		return nil, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardedHeader, c.self)
 	req.Header.Set(DeadlineHeader, strconv.FormatInt(budget.Milliseconds(), 10))
 	resp, err := c.client.Do(req)
 	if err != nil {
-		c.ctrForwardErrs.Add(1)
 		c.MarkDown(peer)
-		return nil, fmt.Errorf("cluster: forward to %s: %w", peer, err)
+		return nil, 0, fmt.Errorf("cluster: forward to %s: %w", peer, err)
 	}
 	defer resp.Body.Close()
 	out, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody))
 	if err != nil {
-		c.ctrForwardErrs.Add(1)
-		return nil, fmt.Errorf("cluster: forward to %s: read: %w", peer, err)
+		return nil, resp.StatusCode, fmt.Errorf("cluster: forward to %s: read: %w", peer, err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		// The peer is alive but rejected the work (overload, drain, its
 		// own fault plan): fall back to local compute rather than
 		// propagating a peer-internal status to the client.
-		c.ctrForwardErrs.Add(1)
-		return nil, fmt.Errorf("cluster: forward to %s: status %d: %s", peer, resp.StatusCode, truncate(out, 200))
+		return nil, resp.StatusCode, fmt.Errorf("cluster: forward to %s: status %d: %s", peer, resp.StatusCode, truncate(out, 200))
 	}
-	c.ctrForwards.Add(1)
-	return out, nil
+	return out, resp.StatusCode, nil
 }
 
 // FetchStore asks peer for the raw result blob of hash via the internal
-// /v1/store/{hash} path. ErrNotFound reports a clean 404.
+// /v1/store/{hash} path. ErrNotFound reports a clean 404 (a responsive
+// peer — the breaker counts it a success and it is never retried).
+// Transport failures mark the peer down and are retried within the
+// shared retry budget.
 func (c *Cluster) FetchStore(ctx context.Context, peer, hash string) ([]byte, error) {
 	c.ctrFetches.Add(1)
 	if !c.Healthy(peer) {
@@ -418,38 +547,69 @@ func (c *Cluster) FetchStore(ctx context.Context, peer, hash string) ([]byte, er
 		c.ctrFetchErrs.Add(1)
 		return nil, errors.New("cluster: injected fetch fault")
 	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := c.breakerAllow(peer); err != nil {
+			c.ctrFetchErrs.Add(1)
+			return nil, err
+		}
+		out, status, err := c.fetchOnce(ctx, peer, hash)
+		c.breakerRecord(peer, err == nil || errors.Is(err, ErrNotFound) ||
+			(status >= 400 && status < 500 && status != http.StatusTooManyRequests))
+		if err == nil {
+			c.retry.Earn()
+			c.ctrFetchHits.Add(1)
+			return out, nil
+		}
+		if errors.Is(err, ErrNotFound) {
+			c.ctrFetchMisses.Add(1)
+			return nil, err
+		}
+		c.ctrFetchErrs.Add(1)
+		lastErr = err
+		if status != 0 || attempt >= maxForwardRetries {
+			return nil, lastErr
+		}
+		if !c.retry.Spend() {
+			c.ctrRetryDenied.Add(1)
+			return nil, lastErr
+		}
+		if err := c.retrySleep(ctx, attempt); err != nil {
+			return nil, lastErr
+		}
+		c.ctrRetries.Add(1)
+	}
+}
+
+// fetchOnce makes one store-fetch attempt; status 0 means no HTTP
+// response arrived (transport failure — marks the peer down).
+func (c *Cluster) fetchOnce(ctx context.Context, peer, hash string) ([]byte, int, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.opt.ProbeTimeout*4)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+"/v1/store/"+hash, nil)
 	if err != nil {
-		c.ctrFetchErrs.Add(1)
-		return nil, err
+		return nil, 0, err
 	}
 	req.Header.Set(ForwardedHeader, c.self)
 	resp, err := c.client.Do(req)
 	if err != nil {
-		c.ctrFetchErrs.Add(1)
 		c.MarkDown(peer)
-		return nil, fmt.Errorf("cluster: fetch %s from %s: %w", hash, peer, err)
+		return nil, 0, fmt.Errorf("cluster: fetch %s from %s: %w", hash, peer, err)
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
 		out, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody))
 		if err != nil {
-			c.ctrFetchErrs.Add(1)
-			return nil, err
+			return nil, resp.StatusCode, err
 		}
-		c.ctrFetchHits.Add(1)
-		return out, nil
+		return out, resp.StatusCode, nil
 	case http.StatusNotFound:
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
-		c.ctrFetchMisses.Add(1)
-		return nil, ErrNotFound
+		return nil, resp.StatusCode, ErrNotFound
 	default:
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
-		c.ctrFetchErrs.Add(1)
-		return nil, fmt.Errorf("cluster: fetch from %s: status %d", peer, resp.StatusCode)
+		return nil, resp.StatusCode, fmt.Errorf("cluster: fetch from %s: status %d", peer, resp.StatusCode)
 	}
 }
 
@@ -497,6 +657,9 @@ func (c *Cluster) ForwardGet(ctx context.Context, peer, path string) ([]byte, er
 	if err != nil {
 		return nil, err
 	}
+	if err := c.breakerAllow(peer); err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithTimeout(ctx, budget)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+path, nil)
@@ -508,13 +671,17 @@ func (c *Cluster) ForwardGet(ctx context.Context, peer, path string) ([]byte, er
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.MarkDown(peer)
+		c.breakerRecord(peer, false)
 		return nil, fmt.Errorf("cluster: get %s from %s: %w", path, peer, err)
 	}
 	defer resp.Body.Close()
 	out, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody))
 	if err != nil {
+		c.breakerRecord(peer, false)
 		return nil, err
 	}
+	// Any HTTP response except 5xx/429 means the peer is responsive.
+	c.breakerRecord(peer, resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests)
 	switch resp.StatusCode {
 	case http.StatusOK:
 		return out, nil
@@ -528,25 +695,49 @@ func (c *Cluster) ForwardGet(ctx context.Context, peer, path string) ([]byte, er
 // Stats snapshots the counters and health view.
 func (c *Cluster) Stats() Stats {
 	healthy := 0
+	var rows []PeerHealth
 	for _, p := range c.others {
-		if c.Healthy(p) {
+		st := c.states[p]
+		st.mu.Lock()
+		row := PeerHealth{
+			Peer:             p,
+			Healthy:          st.healthy,
+			ConsecutiveFails: st.fails,
+		}
+		if !st.nextProbe.IsZero() {
+			row.NextProbeUnixMS = st.nextProbe.UnixMilli()
+		}
+		st.mu.Unlock()
+		if row.Healthy {
 			healthy++
 		}
+		if b := c.breakers[p]; b != nil {
+			bs := b.Snapshot()
+			row.Breaker = bs.State
+			row.BreakerTrips = bs.Trips
+		}
+		rows = append(rows, row)
 	}
+	rb := c.retry.Snapshot()
 	return Stats{
-		Self:             c.self,
-		Peers:            c.ring.Peers(),
-		HealthyPeers:     healthy,
-		Forwards:         c.ctrForwards.Load(),
-		ForwardErrors:    c.ctrForwardErrs.Load(),
-		StoreFetches:     c.ctrFetches.Load(),
-		StoreFetchHits:   c.ctrFetchHits.Load(),
-		StoreFetchMisses: c.ctrFetchMisses.Load(),
-		StoreFetchErrors: c.ctrFetchErrs.Load(),
-		Probes:           c.ctrProbes.Load(),
-		ProbeFails:       c.ctrProbeFails.Load(),
-		StorePushes:      c.ctrPushes.Load(),
-		StorePushErrors:  c.ctrPushErrs.Load(),
+		Self:              c.self,
+		Peers:             c.ring.Peers(),
+		HealthyPeers:      healthy,
+		PeerHealth:        rows,
+		Forwards:          c.ctrForwards.Load(),
+		ForwardErrors:     c.ctrForwardErrs.Load(),
+		StoreFetches:      c.ctrFetches.Load(),
+		StoreFetchHits:    c.ctrFetchHits.Load(),
+		StoreFetchMisses:  c.ctrFetchMisses.Load(),
+		StoreFetchErrors:  c.ctrFetchErrs.Load(),
+		Probes:            c.ctrProbes.Load(),
+		ProbeFails:        c.ctrProbeFails.Load(),
+		StorePushes:       c.ctrPushes.Load(),
+		StorePushErrors:   c.ctrPushErrs.Load(),
+		Retries:           c.ctrRetries.Load(),
+		RetryBudgetDenied: c.ctrRetryDenied.Load(),
+		BreakerRefusals:   c.ctrBreakerRefusals.Load(),
+		RetryBudget:       &rb,
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"lcn3d/internal/faults"
+	"lcn3d/internal/overload"
 )
 
 // testPeer starts an HTTP server on a real loopback port and returns
@@ -272,5 +273,122 @@ func TestOwnerIsStableAcrossNodes(t *testing.T) {
 		if self != 1 {
 			t.Fatalf("key %q claimed by %d nodes", key, self)
 		}
+	}
+}
+
+// TestBreakerOpensAfterRepeatedServerErrors: a peer answering 5xx feeds
+// its circuit breaker until it opens; from then on forwards are refused
+// locally — no further requests reach the peer until OpenFor elapses.
+func TestBreakerOpensAfterRepeatedServerErrors(t *testing.T) {
+	var hits atomic.Int64
+	addr, _ := testPeer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	c, err := New(Options{Self: "self:1", Peers: []string{addr},
+		Breaker: overload.BreakerConfig{MinSamples: 3, OpenFor: time.Hour}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Forward(context.Background(), addr, "/v1/evaluate", nil); err == nil {
+			t.Fatal("503 forward succeeded")
+		}
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("peer hits before open = %d, want 3", got)
+	}
+	if _, err := c.Forward(context.Background(), addr, "/v1/evaluate", nil); !errors.Is(err, overload.ErrBreakerOpen) {
+		t.Fatalf("forward after trip: %v, want ErrBreakerOpen", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("open breaker still reached the peer (%d hits)", got)
+	}
+	st := c.Stats()
+	if st.BreakerRefusals == 0 {
+		t.Fatalf("breaker refusals = 0: %+v", st)
+	}
+	if len(st.PeerHealth) != 1 || st.PeerHealth[0].Breaker != "open" || st.PeerHealth[0].BreakerTrips != 1 {
+		t.Fatalf("peer health rows: %+v", st.PeerHealth)
+	}
+	// A 503 means the peer answered: breaker state is orthogonal to the
+	// liveness prober, which only cares about transport reachability.
+	if !c.Healthy(addr) {
+		t.Fatal("5xx responses marked a reachable peer down")
+	}
+}
+
+// TestInjectedBreakerFaultRefusesLocally is the acceptance criterion:
+// with the overload.breaker fault armed, a forward to a perfectly
+// healthy peer is refused locally with ErrBreakerOpen and zero network
+// attempts — breaker transitions are reachable deterministically.
+func TestInjectedBreakerFaultRefusesLocally(t *testing.T) {
+	var dialed atomic.Bool
+	addr, _ := testPeer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		dialed.Store(true)
+	}))
+	c, err := New(Options{Self: "self:1", Peers: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faults.Arm("overload.breaker=always"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+	if _, err := c.Forward(context.Background(), addr, "/v1/evaluate", nil); !errors.Is(err, overload.ErrBreakerOpen) {
+		t.Fatalf("forward = %v, want ErrBreakerOpen", err)
+	}
+	if _, err := c.FetchStore(context.Background(), addr, "h"); !errors.Is(err, overload.ErrBreakerOpen) {
+		t.Fatalf("fetch = %v, want ErrBreakerOpen", err)
+	}
+	if dialed.Load() {
+		t.Fatal("open-breaker call reached the network")
+	}
+	if st := c.Stats(); len(st.PeerHealth) != 1 || st.PeerHealth[0].Breaker != "open" {
+		t.Fatalf("peer health rows: %+v", st.PeerHealth)
+	}
+}
+
+// TestForwardRetriesTransportError: a connection torn down mid-request
+// (status 0, no HTTP response) is retried within the budget and the
+// retry succeeds; a disabled retry budget surfaces the error instead.
+func TestForwardRetriesTransportError(t *testing.T) {
+	var calls atomic.Int64
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			panic(http.ErrAbortHandler) // close the conn without a response
+		}
+		w.Write([]byte("ok"))
+	})
+	addr, _ := testPeer(t, handler)
+	c, err := New(Options{Self: "self:1", Peers: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Forward(context.Background(), addr, "/v1/evaluate", nil)
+	if err != nil {
+		t.Fatalf("forward with one transport failure: %v", err)
+	}
+	if string(out) != "ok" {
+		t.Fatalf("body = %q", out)
+	}
+	st := c.Stats()
+	if st.Retries != 1 || st.Forwards != 1 {
+		t.Fatalf("retries = %d forwards = %d, want 1/1: %+v", st.Retries, st.Forwards, st)
+	}
+
+	// Same failure shape with retries disabled: the error surfaces and
+	// the denial is counted.
+	calls.Store(0)
+	addr2, _ := testPeer(t, handler)
+	c2, err := New(Options{Self: "self:1", Peers: []string{addr2}, RetryRatio: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Forward(context.Background(), addr2, "/v1/evaluate", nil); err == nil {
+		t.Fatal("forward succeeded without a retry budget")
+	}
+	if st := c2.Stats(); st.RetryBudgetDenied != 1 || st.Retries != 0 {
+		t.Fatalf("denied = %d retries = %d, want 1/0", st.RetryBudgetDenied, st.Retries)
 	}
 }

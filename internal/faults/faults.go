@@ -88,6 +88,19 @@ const (
 	// JobsCheckpoint tears a job checkpoint blob mid-write: the persisted
 	// bytes are truncated, so resume must fall back to the previous one.
 	JobsCheckpoint Point = "jobs.checkpoint"
+	// OverloadShed makes the admission controller shed the request as if
+	// the queue were full, exercising the 429 path without real load.
+	OverloadShed Point = "overload.shed"
+	// OverloadPressure makes the brownout controller observe an
+	// over-pressure sample, driving the degradation ladder
+	// deterministically.
+	OverloadPressure Point = "overload.pressure"
+	// OverloadBreaker trips the peer circuit breaker open before the
+	// call, so the forward is refused locally without a network attempt.
+	OverloadBreaker Point = "overload.breaker"
+	// OverloadHedge elides the hedge delay, so the secondary (local
+	// compute) launches immediately alongside the peer read.
+	OverloadHedge Point = "overload.hedge"
 )
 
 // Points lists every registered injection point.
@@ -97,6 +110,7 @@ var Points = []Point{
 	MGSmoother, MGRestrict, MGCoarse,
 	StoreFlush, StoreRead, ClusterForward, ClusterFetch, ClusterProbe,
 	JobsCheckpoint,
+	OverloadShed, OverloadPressure, OverloadBreaker, OverloadHedge,
 }
 
 // EnvVar is the environment variable ArmFromEnv reads the spec from.

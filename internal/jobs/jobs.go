@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lcn3d/internal/anneal"
@@ -91,6 +92,10 @@ type Event struct {
 	// shutting down; the stream ends).
 	Type string `json:"type"`
 	Job  Record `json:"job"`
+	// Dropped counts events this subscriber lost to backpressure since
+	// its previous delivered event, so a slow SSE client can tell its
+	// view is gappy instead of silently missing progress.
+	Dropped int64 `json:"dropped,omitempty"`
 }
 
 // Blobs is the persistence surface the manager needs; *store.Store
@@ -121,19 +126,25 @@ type Config struct {
 	// Replicate, when non-nil, receives every persisted (key, blob) for
 	// best-effort copying to a fallback peer. Called asynchronously.
 	Replicate func(key string, val []byte)
-	Logf      func(format string, args ...any)
+	// Gate, when non-nil, is consulted before every submission; a non-nil
+	// error rejects the job (the service sheds batch admissions during a
+	// brownout pause through this hook).
+	Gate func() error
+	Logf func(format string, args ...any)
 }
 
 // Stats is the manager's counter snapshot for /v1/metrics.
 type Stats struct {
-	Submitted   int64          `json:"submitted"`
-	Completed   int64          `json:"completed"`
-	Failed      int64          `json:"failed"`
-	Checkpoints int64          `json:"checkpoints"`
-	Resumes     int64          `json:"resumes"`
-	Recovered   int64          `json:"recovered"`
-	Adopted     int64          `json:"adopted"`
-	States      map[string]int `json:"states"`
+	Submitted     int64          `json:"submitted"`
+	Completed     int64          `json:"completed"`
+	Failed        int64          `json:"failed"`
+	Checkpoints   int64          `json:"checkpoints"`
+	Resumes       int64          `json:"resumes"`
+	Recovered     int64          `json:"recovered"`
+	Adopted       int64          `json:"adopted"`
+	Shed          int64          `json:"shed"`           // submissions refused by the Gate
+	EventsDropped int64          `json:"events_dropped"` // subscriber events lost to backpressure
+	States        map[string]int `json:"states"`
 }
 
 // Manager owns the job table, the scheduler, and persistence.
@@ -155,6 +166,11 @@ type Manager struct {
 
 	ctrSubmitted, ctrCompleted, ctrFailed                int64
 	ctrCheckpoints, ctrResumes, ctrRecovered, ctrAdopted int64
+	ctrShed                                              int64
+
+	// ctrEventsDropped is atomic, not under mu: emit holds j.mu, and the
+	// lock order everywhere else is m.mu before j.mu.
+	ctrEventsDropped atomic.Int64
 }
 
 // NewManager builds a manager. Call Recover to load persisted jobs,
@@ -194,6 +210,14 @@ func (m *Manager) Submit(id string, request json.RawMessage, key string, priorit
 	if id == "" {
 		id = NewID()
 	}
+	if m.cfg.Gate != nil {
+		if err := m.cfg.Gate(); err != nil {
+			m.mu.Lock()
+			m.ctrShed++
+			m.mu.Unlock()
+			return Record{}, err
+		}
+	}
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()
@@ -210,7 +234,7 @@ func (m *Manager) Submit(id string, request json.RawMessage, key string, priorit
 			Key: key, Owner: m.cfg.Owner, Request: request,
 			CreatedUnixMS: time.Now().UnixMilli(),
 		},
-		subs: make(map[int]chan Event),
+		subs: make(map[int]*subscriber),
 	}
 	m.jobs[id] = j
 	m.seq++
@@ -283,7 +307,9 @@ func (m *Manager) Stats() Stats {
 		Submitted: m.ctrSubmitted, Completed: m.ctrCompleted, Failed: m.ctrFailed,
 		Checkpoints: m.ctrCheckpoints, Resumes: m.ctrResumes,
 		Recovered: m.ctrRecovered, Adopted: m.ctrAdopted,
-		States: make(map[string]int),
+		Shed:          m.ctrShed,
+		EventsDropped: m.ctrEventsDropped.Load(),
+		States:        make(map[string]int),
 	}
 	js := make([]*Job, 0, len(m.jobs))
 	for _, j := range m.jobs {
@@ -562,7 +588,7 @@ func (m *Manager) recoverOne(id string, adopted bool) bool {
 	if !ok {
 		return false
 	}
-	j := &Job{m: m, rec: rec, seq: seq, subs: make(map[int]chan Event)}
+	j := &Job{m: m, rec: rec, seq: seq, subs: make(map[int]*subscriber)}
 	m.mu.Lock()
 	if _, dup := m.jobs[id]; dup || m.draining {
 		m.mu.Unlock()
@@ -662,9 +688,16 @@ type Job struct {
 	rec    Record
 	seq    uint64 // persistence sequence (rec blobs)
 	cancel context.CancelFunc
-	subs   map[int]chan Event
+	subs   map[int]*subscriber
 	subSeq int
 	closed bool
+}
+
+// subscriber is one attached event channel plus the count of events it
+// has lost to backpressure since its last delivered event.
+type subscriber struct {
+	ch      chan Event
+	dropped int64
 }
 
 // ID returns the job id.
@@ -804,7 +837,7 @@ func (j *Job) Subscribe() (<-chan Event, func()) {
 	j.subSeq++
 	id := j.subSeq
 	ch := make(chan Event, 16)
-	j.subs[id] = ch
+	j.subs[id] = &subscriber{ch: ch}
 	return ch, func() {
 		j.mu.Lock()
 		defer j.mu.Unlock()
@@ -817,7 +850,9 @@ func (j *Job) Subscribe() (<-chan Event, func()) {
 // emit fans one event out to subscribers. The record snapshot is taken
 // once. When a subscriber's buffer is full: progress events are
 // dropped, anything else evicts the oldest buffered event — a terminal
-// event must always land.
+// event must always land. Every loss is counted per subscriber and the
+// accumulated count rides on that subscriber's next delivered event
+// (Event.Dropped), so a slow client knows its stream is gappy.
 func (j *Job) emit(ev Event) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -829,23 +864,37 @@ func (j *Job) emit(ev Event) {
 		rec.Chains = append([]anneal.ChainProgress(nil), rec.Chains...)
 	}
 	ev.Job = rec
-	for _, ch := range j.subs {
+	var lost int64
+	for _, sub := range j.subs {
+		ev.Dropped = sub.dropped
 		select {
-		case ch <- ev:
+		case sub.ch <- ev:
+			sub.dropped = 0
 			continue
 		default:
 		}
 		if ev.Type == "progress" {
+			sub.dropped++
+			lost++
 			continue // lossy under backpressure
 		}
 		select {
-		case <-ch: // evict oldest
+		case <-sub.ch: // evict oldest
+			sub.dropped++
+			lost++
 		default:
 		}
+		ev.Dropped = sub.dropped
 		select {
-		case ch <- ev:
+		case sub.ch <- ev:
+			sub.dropped = 0
 		default:
+			sub.dropped++
+			lost++
 		}
+	}
+	if lost > 0 {
+		j.m.ctrEventsDropped.Add(lost)
 	}
 }
 
@@ -857,8 +906,8 @@ func (j *Job) closeSubs() {
 		return
 	}
 	j.closed = true
-	for id, ch := range j.subs {
-		close(ch)
+	for id, sub := range j.subs {
+		close(sub.ch)
 		delete(j.subs, id)
 	}
 }

@@ -532,3 +532,83 @@ func TestRecoverTerminal(t *testing.T) {
 		t.Fatalf("terminal ring after recovery = %+v", got)
 	}
 }
+
+// TestSlowSubscriberDropsProgressAndCounts: a subscriber that never
+// drains its buffer loses progress events (never terminal ones); the
+// accumulated loss count rides on the next delivered event and the
+// manager-wide counter matches.
+func TestSlowSubscriberDropsProgressAndCounts(t *testing.T) {
+	const bursts = 64 // well past the 16-slot subscriber buffer
+	start := make(chan struct{})
+	emitted := make(chan struct{})
+	release := make(chan struct{})
+	run := func(ctx context.Context, j *jobs.Job) (json.RawMessage, error) {
+		<-start
+		for i := 0; i < bursts; i++ {
+			j.SetProgress(i, nil)
+		}
+		close(emitted)
+		<-release
+		return json.RawMessage(`{"done":true}`), nil
+	}
+	m := jobs.NewManager(jobs.Config{Blobs: newMemBlobs(), Run: run})
+	rec, err := m.Submit("", json.RawMessage(`{}`), "key-drop", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := m.Job(rec.ID)
+	if !ok {
+		t.Fatal("job not found")
+	}
+	ch, cancel := j.Subscribe()
+	defer cancel()
+	close(start) // progress burst begins only after the subscription
+	<-emitted
+	close(release)
+	waitState(t, m, rec.ID, jobs.StateDone)
+
+	var last jobs.Event
+	gotResult := false
+	for ev := range ch {
+		last = ev
+		if ev.Type == "result" {
+			gotResult = true
+			break
+		}
+	}
+	if !gotResult {
+		t.Fatalf("terminal event was dropped; last = %+v", last)
+	}
+	if last.Dropped == 0 {
+		t.Fatal("result event carries dropped = 0 after an undrained burst")
+	}
+	if got := m.Stats().EventsDropped; got != last.Dropped {
+		t.Fatalf("manager events_dropped = %d, subscriber saw %d", got, last.Dropped)
+	}
+}
+
+// TestGateShedsSubmissions: a failing admission gate refuses Submit
+// before any state is created and counts the shed.
+func TestGateShedsSubmissions(t *testing.T) {
+	gateErr := errors.New("paused")
+	gated := true
+	m := jobs.NewManager(jobs.Config{Blobs: newMemBlobs(), Run: testRun,
+		Gate: func() error {
+			if gated {
+				return gateErr
+			}
+			return nil
+		}})
+	if _, err := m.Submit("", mustJSON(t, testReq{Steps: 1}), "key-gate", 0); !errors.Is(err, gateErr) {
+		t.Fatalf("gated submit = %v, want gate error", err)
+	}
+	if st := m.Stats(); st.Shed != 1 {
+		t.Fatalf("shed = %d, want 1", st.Shed)
+	}
+	gated = false
+	rec, err := m.Submit("", mustJSON(t, testReq{Steps: 1}), "key-gate", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, rec.ID, jobs.StateDone)
+}

@@ -1,0 +1,357 @@
+// Package overload is the admission-control and degradation layer of
+// the serving path: an adaptive-concurrency admission controller with
+// priority classes and early shedding, per-peer circuit breakers, a
+// token-bucket retry budget, hedged reads, and a brownout ladder that
+// trades result fidelity for availability under sustained pressure.
+//
+// The pieces are deliberately independent — each is a small state
+// machine with its own snapshot — and the service composes them:
+// admission gates the worker pool, breakers and the retry budget gate
+// peer traffic, the hedge races a peer read against local compute, and
+// the brownout level selects which degradations are active. Every
+// transition is observable via snapshots (served under /v1/metrics) and
+// reachable deterministically through the overload.* points of
+// internal/faults.
+package overload
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"lcn3d/internal/faults"
+)
+
+// Class is a request priority class. Interactive work (simulate,
+// evaluate — a human or a tight loop is waiting) is admitted ahead of
+// batch work (optimize, job submission) whenever slots are scarce.
+type Class int
+
+const (
+	Interactive Class = iota
+	Batch
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case Interactive:
+		return "interactive"
+	case Batch:
+		return "batch"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// ShedError reports a request rejected by admission control (or by the
+// brownout ladder's job-admission pause). The HTTP layer maps it to
+// 429 with a Retry-After header.
+type ShedError struct {
+	Class      Class
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("overload: %s request shed, retry after %v", e.Class, e.RetryAfter)
+}
+
+// AdmissionConfig tunes the Admission controller. The zero value gets
+// usable defaults from NewAdmission.
+type AdmissionConfig struct {
+	// MaxConcurrency is the hard concurrency cap — the worker pool size.
+	MaxConcurrency int
+	// MinConcurrency is the AIMD floor (default 1).
+	MinConcurrency int
+	// LatencyTarget is the AIMD reference: completions slower than this
+	// multiplicatively decrease the concurrency limit, faster ones
+	// additively increase it. 0 disables adaptation (the limit stays
+	// pinned at MaxConcurrency).
+	LatencyTarget time.Duration
+	// MaxQueue bounds waiters across both classes; an arrival beyond it
+	// is shed immediately (default 4*MaxConcurrency).
+	MaxQueue int
+	// MinDeadline sheds arrivals whose remaining context budget is
+	// already below this — queueing them only manufactures timeouts
+	// (default 5ms).
+	MinDeadline time.Duration
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxConcurrency <= 0 {
+		c.MaxConcurrency = 1
+	}
+	if c.MinConcurrency <= 0 {
+		c.MinConcurrency = 1
+	}
+	if c.MinConcurrency > c.MaxConcurrency {
+		c.MinConcurrency = c.MaxConcurrency
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxConcurrency
+	}
+	if c.MinDeadline <= 0 {
+		c.MinDeadline = 5 * time.Millisecond
+	}
+	return c
+}
+
+type waiter struct {
+	class Class
+	ch    chan struct{} // closed on grant, under mu
+}
+
+// classCounters are one class's lifetime admission outcomes. They
+// reconcile exactly: offered = admitted + shed + abandoned + waiting.
+type classCounters struct {
+	offered, admitted, shed, abandoned int64
+}
+
+// ClassSnapshot is one class's admission counters for /v1/metrics.
+type ClassSnapshot struct {
+	Offered   int64 `json:"offered"`
+	Admitted  int64 `json:"admitted"`
+	Shed      int64 `json:"shed"`
+	Abandoned int64 `json:"abandoned"` // context expired while queued
+	Waiting   int   `json:"waiting"`
+}
+
+// AdmissionSnapshot is the controller state for /v1/metrics.
+type AdmissionSnapshot struct {
+	Limit          float64       `json:"limit"` // current AIMD concurrency limit
+	MaxConcurrency int           `json:"max_concurrency"`
+	InFlight       int           `json:"in_flight"`
+	Waiting        int           `json:"waiting"`
+	Interactive    ClassSnapshot `json:"interactive"`
+	Batch          ClassSnapshot `json:"batch"`
+}
+
+// Admission is a bounded, deadline-aware admission queue with priority
+// classes in front of a worker pool, plus an AIMD adaptive concurrency
+// limit: each completion's latency is compared against LatencyTarget,
+// additively raising the limit when under it and multiplicatively
+// cutting it (at most once per target interval) when over, clamped to
+// [MinConcurrency, MaxConcurrency]. Requests beyond the limit queue —
+// interactive ahead of batch — and arrivals beyond the queue bound or
+// without enough remaining deadline are shed with a *ShedError carrying
+// a Retry-After estimate.
+type Admission struct {
+	cfg AdmissionConfig
+	now func() time.Time
+
+	mu           sync.Mutex
+	limit        float64
+	inFlight     int
+	queues       [numClasses][]*waiter // FIFO per class
+	waiting      int
+	lastDecrease time.Time
+	lastShed     time.Time
+	counters     [numClasses]classCounters
+}
+
+// NewAdmission builds a controller; the limit starts at MaxConcurrency
+// (optimistic — real latencies walk it down).
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	cfg = cfg.withDefaults()
+	return &Admission{
+		cfg:   cfg,
+		now:   time.Now,
+		limit: float64(cfg.MaxConcurrency),
+	}
+}
+
+// deadliner is the subset of context.Context Acquire needs; taking the
+// interface keeps the hot path free of context plumbing in tests.
+type deadliner interface {
+	Deadline() (time.Time, bool)
+	Done() <-chan struct{}
+	Err() error
+}
+
+// Acquire admits one request of class, blocking in the class queue when
+// the pool is saturated. On success it returns a release function that
+// MUST be called exactly once with the observed latency (which feeds
+// the AIMD limit). Failures are *ShedError (queue full, deadline too
+// small to survive queueing, or injected overload.shed fault) or the
+// context's error if it expired while queued.
+func (a *Admission) Acquire(ctx deadliner, class Class) (release func(latency time.Duration), err error) {
+	a.mu.Lock()
+	a.counters[class].offered++
+	if faults.Fire(faults.OverloadShed) {
+		return nil, a.shedLocked(class)
+	}
+	if a.inFlight < a.limitNow() && a.waiting == 0 {
+		a.inFlight++
+		a.counters[class].admitted++
+		a.mu.Unlock()
+		return a.release, nil
+	}
+	// The pool is saturated, so this request would queue: shed it up
+	// front when its remaining budget cannot survive even a short wait —
+	// queueing it only manufactures a timeout. An idle pool admits tiny
+	// deadlines (the compute itself decides whether it can finish).
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) < a.cfg.MinDeadline {
+		return nil, a.shedLocked(class)
+	}
+	if a.waiting >= a.cfg.MaxQueue {
+		return nil, a.shedLocked(class)
+	}
+	w := &waiter{class: class, ch: make(chan struct{})}
+	a.queues[class] = append(a.queues[class], w)
+	a.waiting++
+	a.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		// Granted: the granter already moved us to inFlight.
+		return a.release, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if a.removeLocked(w) {
+			a.counters[class].abandoned++
+			a.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		// The grant raced the expiry: we own a slot nobody will use.
+		a.counters[class].admitted-- // net it out as abandoned, not admitted
+		a.counters[class].abandoned++
+		a.inFlight--
+		a.wakeLocked()
+		a.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// shedLocked records one shed and builds its error. Callers hold mu;
+// it unlocks.
+func (a *Admission) shedLocked(class Class) error {
+	a.counters[class].shed++
+	a.lastShed = a.now()
+	retry := a.retryAfterLocked()
+	a.mu.Unlock()
+	return &ShedError{Class: class, RetryAfter: retry}
+}
+
+// retryAfterLocked estimates how long the backlog needs to clear:
+// roughly one target interval per queued-requests-per-slot, clamped to
+// [1s, 30s].
+func (a *Admission) retryAfterLocked() time.Duration {
+	per := a.cfg.LatencyTarget
+	if per <= 0 {
+		per = time.Second
+	}
+	d := time.Duration(1+a.waiting/a.limitNow()) * per
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+func (a *Admission) limitNow() int {
+	n := int(a.limit)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// release returns one slot, feeds the AIMD limit, and wakes queued
+// waiters that now fit under it.
+func (a *Admission) release(latency time.Duration) {
+	a.mu.Lock()
+	a.inFlight--
+	a.observeLocked(latency)
+	a.wakeLocked()
+	a.mu.Unlock()
+}
+
+// observeLocked is the AIMD step. The multiplicative decrease is
+// rate-limited to once per target interval so one burst of slow
+// completions cuts the limit once, not once per completion.
+func (a *Admission) observeLocked(latency time.Duration) {
+	if a.cfg.LatencyTarget <= 0 || latency <= 0 {
+		return
+	}
+	if latency > a.cfg.LatencyTarget {
+		if now := a.now(); now.Sub(a.lastDecrease) >= a.cfg.LatencyTarget {
+			a.limit = math.Max(float64(a.cfg.MinConcurrency), a.limit*0.9)
+			a.lastDecrease = now
+		}
+		return
+	}
+	a.limit = math.Min(float64(a.cfg.MaxConcurrency), a.limit+1/math.Max(1, a.limit))
+}
+
+// wakeLocked grants freed slots to waiters, interactive queue first.
+func (a *Admission) wakeLocked() {
+	for a.inFlight < a.limitNow() {
+		var w *waiter
+		for class := Interactive; class < numClasses; class++ {
+			if q := a.queues[class]; len(q) > 0 {
+				w = q[0]
+				a.queues[class] = q[1:]
+				break
+			}
+		}
+		if w == nil {
+			return
+		}
+		a.waiting--
+		a.inFlight++
+		a.counters[w.class].admitted++
+		close(w.ch)
+	}
+}
+
+// removeLocked unlinks a still-queued waiter; false means it was
+// already granted.
+func (a *Admission) removeLocked(w *waiter) bool {
+	q := a.queues[w.class]
+	for i, v := range q {
+		if v == w {
+			a.queues[w.class] = append(q[:i:i], q[i+1:]...)
+			a.waiting--
+			return true
+		}
+	}
+	return false
+}
+
+// Pressure reports whether the controller is currently saturated:
+// requests are queued, or something was shed within the last target
+// interval. The brownout ladder samples this per completed request.
+func (a *Admission) Pressure() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	window := a.cfg.LatencyTarget
+	if window <= 0 {
+		window = time.Second
+	}
+	return a.waiting > 0 || (!a.lastShed.IsZero() && a.now().Sub(a.lastShed) < window)
+}
+
+// Snapshot returns the controller state for /v1/metrics.
+func (a *Admission) Snapshot() AdmissionSnapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cs := func(c Class) ClassSnapshot {
+		return ClassSnapshot{
+			Offered:   a.counters[c].offered,
+			Admitted:  a.counters[c].admitted,
+			Shed:      a.counters[c].shed,
+			Abandoned: a.counters[c].abandoned,
+			Waiting:   len(a.queues[c]),
+		}
+	}
+	return AdmissionSnapshot{
+		Limit:          a.limit,
+		MaxConcurrency: a.cfg.MaxConcurrency,
+		InFlight:       a.inFlight,
+		Waiting:        a.waiting,
+		Interactive:    cs(Interactive),
+		Batch:          cs(Batch),
+	}
+}

@@ -1,0 +1,212 @@
+package overload
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen reports a call refused locally because the target's
+// circuit breaker is open — no network attempt was made.
+var ErrBreakerOpen = errors.New("overload: circuit breaker open")
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a Breaker. The zero value gets defaults from
+// NewBreaker.
+type BreakerConfig struct {
+	// Window is the failure-rate observation window; counts reset when
+	// it rolls over (default 10s).
+	Window time.Duration
+	// MinSamples is the minimum observations within a window before the
+	// failure ratio can trip the breaker (default 5).
+	MinSamples int
+	// FailureRatio trips the breaker when fails/(fails+successes)
+	// reaches it with MinSamples observed (default 0.5).
+	FailureRatio float64
+	// OpenFor holds the breaker open before allowing half-open probes
+	// (default 10s).
+	OpenFor time.Duration
+	// HalfOpenProbes bounds concurrent trial calls while half-open
+	// (default 1).
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 5
+	}
+	if c.FailureRatio <= 0 || c.FailureRatio > 1 {
+		c.FailureRatio = 0.5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 10 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	return c
+}
+
+// BreakerSnapshot is one breaker's state for /v1/metrics.
+type BreakerSnapshot struct {
+	State            string `json:"state"`
+	ConsecutiveFails int    `json:"consecutive_fails"`
+	Trips            int64  `json:"trips"`
+	// NextProbeUnixMS is when an open breaker will admit a half-open
+	// probe (0 unless open).
+	NextProbeUnixMS int64 `json:"next_probe_unix_ms,omitempty"`
+}
+
+// Breaker is a windowed failure-rate circuit breaker: closed → open
+// when the failure ratio over the window reaches the threshold, open →
+// half-open after the hold, and half-open → closed (probe succeeded) or
+// back to open (probe failed). Allow gates calls; every allowed call
+// must Record its outcome exactly once.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu          sync.Mutex
+	state       BreakerState
+	windowStart time.Time
+	succ, fail  int
+	consecFails int
+	openedAt    time.Time
+	probes      int // in-flight half-open trial calls
+	trips       int64
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// Allow reports whether a call may proceed. Open returns
+// ErrBreakerOpen without any side effect; half-open admits up to
+// HalfOpenProbes concurrent trials. A nil return obliges the caller to
+// Record the call's outcome.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if b.state == BreakerOpen && now.Sub(b.openedAt) >= b.cfg.OpenFor {
+		b.state = BreakerHalfOpen
+		b.probes = 0
+	}
+	switch b.state {
+	case BreakerOpen:
+		return ErrBreakerOpen
+	case BreakerHalfOpen:
+		if b.probes >= b.cfg.HalfOpenProbes {
+			return ErrBreakerOpen
+		}
+		b.probes++
+		return nil
+	}
+	if now.Sub(b.windowStart) > b.cfg.Window {
+		b.windowStart, b.succ, b.fail = now, 0, 0
+	}
+	return nil
+}
+
+// Record feeds one allowed call's outcome into the state machine.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.consecFails = 0
+	} else {
+		b.consecFails++
+	}
+	if b.state == BreakerHalfOpen {
+		if b.probes > 0 {
+			b.probes--
+		}
+		if ok {
+			b.state = BreakerClosed
+			b.windowStart, b.succ, b.fail = b.now(), 0, 0
+		} else {
+			b.tripLocked()
+		}
+		return
+	}
+	if b.state != BreakerClosed {
+		return
+	}
+	if ok {
+		b.succ++
+		return
+	}
+	b.fail++
+	total := b.succ + b.fail
+	if total >= b.cfg.MinSamples && float64(b.fail)/float64(total) >= b.cfg.FailureRatio {
+		b.tripLocked()
+	}
+}
+
+// Trip forces the breaker open (the overload.breaker fault hook and
+// tests). Idempotent while already open.
+func (b *Breaker) Trip() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		b.tripLocked()
+	}
+}
+
+func (b *Breaker) tripLocked() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.trips++
+	b.succ, b.fail = 0, 0
+}
+
+// State returns the current position (rolling open → half-open if the
+// hold has elapsed, so observers see what Allow would).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.OpenFor {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Snapshot reports the breaker for /v1/metrics.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	state := b.State()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := BreakerSnapshot{
+		State:            state.String(),
+		ConsecutiveFails: b.consecFails,
+		Trips:            b.trips,
+	}
+	if b.state == BreakerOpen {
+		s.NextProbeUnixMS = b.openedAt.Add(b.cfg.OpenFor).UnixMilli()
+	}
+	return s
+}

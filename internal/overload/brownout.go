@@ -1,0 +1,157 @@
+package overload
+
+import (
+	"sync"
+	"time"
+
+	"lcn3d/internal/faults"
+)
+
+// Level is a brownout ladder rung. Each rung keeps every degradation
+// of the rungs below it active.
+type Level int
+
+const (
+	// LevelHealthy serves normally.
+	LevelHealthy Level = iota
+	// LevelStale serves from the local tiers only: the peer read tier is
+	// skipped, so no request waits on a fleet round trip.
+	LevelStale
+	// LevelDowngrade substitutes the cheap 2RM model for new 4RM
+	// computations; responses are flagged Degraded and never cached
+	// under the full-fidelity key.
+	LevelDowngrade
+	// LevelPause additionally pauses background store fills and sheds
+	// new job admissions.
+	LevelPause
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelHealthy:
+		return "healthy"
+	case LevelStale:
+		return "stale-serve"
+	case LevelDowngrade:
+		return "downgrade"
+	case LevelPause:
+		return "pause"
+	}
+	return "unknown"
+}
+
+// BrownoutConfig tunes the ladder. The zero value gets defaults from
+// NewBrownout.
+type BrownoutConfig struct {
+	// EscalateAfter is the consecutive over-pressure observations that
+	// climb one rung (default 3).
+	EscalateAfter int
+	// DeescalateAfter is the consecutive calm observations that step
+	// down one rung (default 8).
+	DeescalateAfter int
+	// Hold is the minimum dwell at a rung before de-escalating, so the
+	// ladder does not flap around the pressure threshold (default 3s).
+	Hold time.Duration
+}
+
+func (c BrownoutConfig) withDefaults() BrownoutConfig {
+	if c.EscalateAfter <= 0 {
+		c.EscalateAfter = 3
+	}
+	if c.DeescalateAfter <= 0 {
+		c.DeescalateAfter = 8
+	}
+	if c.Hold <= 0 {
+		c.Hold = 3 * time.Second
+	}
+	return c
+}
+
+// BrownoutSnapshot is the ladder state for /v1/metrics.
+type BrownoutSnapshot struct {
+	Level       int     `json:"level"`
+	LevelName   string  `json:"level_name"`
+	Transitions int64   `json:"transitions"`
+	OverStreak  int     `json:"over_streak"`
+	CalmStreak  int     `json:"calm_streak"`
+	AtLevelSec  float64 `json:"at_level_sec"`
+}
+
+// Brownout is the degradation ladder: it observes one pressure sample
+// per completed request, climbs a rung after EscalateAfter consecutive
+// over-pressure samples, and steps down after DeescalateAfter calm
+// samples once the Hold dwell has passed. The overload.pressure fault
+// point forces samples over, so every rung is reachable
+// deterministically.
+type Brownout struct {
+	cfg BrownoutConfig
+	now func() time.Time
+
+	mu          sync.Mutex
+	level       Level
+	overStreak  int
+	calmStreak  int
+	lastChange  time.Time
+	transitions int64
+}
+
+// NewBrownout builds a healthy ladder.
+func NewBrownout(cfg BrownoutConfig) *Brownout {
+	b := &Brownout{cfg: cfg.withDefaults(), now: time.Now}
+	b.lastChange = b.now()
+	return b
+}
+
+// Observe feeds one pressure sample and returns the (possibly updated)
+// level. Escalation needs only the streak — shedding load promptly
+// matters more than stability; de-escalation additionally waits out the
+// Hold dwell.
+func (b *Brownout) Observe(over bool) Level {
+	if faults.Fire(faults.OverloadPressure) {
+		over = true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if over {
+		b.overStreak++
+		b.calmStreak = 0
+		if b.overStreak >= b.cfg.EscalateAfter && b.level < LevelPause {
+			b.level++
+			b.transitions++
+			b.lastChange = b.now()
+			b.overStreak = 0
+		}
+		return b.level
+	}
+	b.calmStreak++
+	b.overStreak = 0
+	if b.calmStreak >= b.cfg.DeescalateAfter && b.level > LevelHealthy &&
+		b.now().Sub(b.lastChange) >= b.cfg.Hold {
+		b.level--
+		b.transitions++
+		b.lastChange = b.now()
+		b.calmStreak = 0
+	}
+	return b.level
+}
+
+// Level returns the current rung.
+func (b *Brownout) Level() Level {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.level
+}
+
+// Snapshot reports the ladder for /v1/metrics.
+func (b *Brownout) Snapshot() BrownoutSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BrownoutSnapshot{
+		Level:       int(b.level),
+		LevelName:   b.level.String(),
+		Transitions: b.transitions,
+		OverStreak:  b.overStreak,
+		CalmStreak:  b.calmStreak,
+		AtLevelSec:  b.now().Sub(b.lastChange).Seconds(),
+	}
+}

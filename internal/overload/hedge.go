@@ -1,0 +1,92 @@
+package overload
+
+import (
+	"context"
+	"time"
+
+	"lcn3d/internal/faults"
+)
+
+// HedgeOutcome reports how a hedged call resolved.
+type HedgeOutcome struct {
+	// SecondaryWon is true when the secondary (hedge) arm produced the
+	// returned value.
+	SecondaryWon bool
+	// SecondaryStarted is true when the hedge fired at all. On error the
+	// caller must NOT re-run the secondary's work — it already ran.
+	SecondaryStarted bool
+	// PrimaryErr is the primary arm's failure, set only when it completed
+	// with an error before the race resolved. It lets callers distinguish
+	// a secondary win over a dead primary (a fallback) from a win over a
+	// merely slow one (a latency hedge).
+	PrimaryErr error
+}
+
+type hedgeResult struct {
+	buf       []byte
+	err       error
+	secondary bool
+}
+
+// Hedge races primary against a delayed secondary: primary starts
+// immediately; if it has not answered within delay (or it fails early),
+// secondary launches, and the first success wins — the loser's context
+// is cancelled. The overload.hedge fault point elides the delay so the
+// race is deterministic in chaos runs. If both arms fail, the
+// secondary's error is returned when it ran (it is the fallback the
+// caller would have surfaced), else the primary's.
+func Hedge(ctx context.Context, delay time.Duration, primary, secondary func(context.Context) ([]byte, error)) ([]byte, HedgeOutcome, error) {
+	if faults.Fire(faults.OverloadHedge) {
+		delay = 0
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan hedgeResult, 2)
+	launch := func(fn func(context.Context) ([]byte, error), sec bool) {
+		go func() {
+			buf, err := fn(ctx)
+			results <- hedgeResult{buf: buf, err: err, secondary: sec}
+		}()
+	}
+	launch(primary, false)
+
+	var out HedgeOutcome
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var secErr error
+	priDone, secDone := false, false
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, out, ctx.Err()
+		case <-timer.C:
+			if !out.SecondaryStarted {
+				out.SecondaryStarted = true
+				launch(secondary, true)
+			}
+		case r := <-results:
+			if r.err == nil {
+				out.SecondaryWon = r.secondary
+				return r.buf, out, nil
+			}
+			if r.secondary {
+				secDone, secErr = true, r.err
+			} else {
+				priDone = true
+				out.PrimaryErr = r.err
+				if !out.SecondaryStarted {
+					// The primary failed before the hedge fired: launch the
+					// secondary immediately instead of waiting out the delay.
+					out.SecondaryStarted = true
+					launch(secondary, true)
+				}
+			}
+			if priDone && secDone {
+				// Both arms failed; the secondary's error is the one the
+				// non-hedged fallback path would have surfaced.
+				return nil, out, secErr
+			}
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package overload
+
+import "time"
+
+// DefaultHedgeAfter is the peer-read hedge delay when none is
+// configured: long enough that a healthy peer answers first, short
+// enough that a sick one costs little extra latency.
+const DefaultHedgeAfter = 250 * time.Millisecond
+
+// Options bundles the service-side overload knobs (the cluster holds
+// its own breaker and retry-budget configuration).
+type Options struct {
+	Admission AdmissionConfig
+	// HedgeAfter is the delay before a peer read is hedged with local
+	// compute (0 = DefaultHedgeAfter; negative disables hedging).
+	HedgeAfter time.Duration
+	Brownout   BrownoutConfig
+}

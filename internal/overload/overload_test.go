@@ -1,0 +1,471 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lcn3d/internal/faults"
+)
+
+// fakeClock steps time manually so AIMD/breaker/brownout transitions
+// are deterministic.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestAdmissionAdmitsUpToLimitAndQueues(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrency: 2, MaxQueue: 8})
+	ctx := context.Background()
+	r1, err := a.Acquire(ctx, Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(ctx, Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Third caller queues; releasing one slot grants it.
+	granted := make(chan struct{})
+	go func() {
+		r3, err := a.Acquire(ctx, Batch)
+		if err != nil {
+			t.Errorf("queued acquire: %v", err)
+		} else {
+			r3(time.Millisecond)
+		}
+		close(granted)
+	}()
+	waitSnapshot(t, a, func(s AdmissionSnapshot) bool { return s.Waiting == 1 })
+	r1(time.Millisecond)
+	select {
+	case <-granted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued waiter never granted")
+	}
+	r2(time.Millisecond)
+	s := a.Snapshot()
+	if s.InFlight != 0 || s.Waiting != 0 {
+		t.Fatalf("not drained: %+v", s)
+	}
+	if got := s.Interactive.Admitted + s.Batch.Admitted; got != 3 {
+		t.Fatalf("admitted = %d, want 3", got)
+	}
+}
+
+func TestAdmissionShedsWhenQueueFull(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrency: 1, MaxQueue: 1})
+	ctx := context.Background()
+	release, err := a.Acquire(ctx, Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release(time.Millisecond)
+	// One waiter fills the queue.
+	qctx, qcancel := context.WithCancel(ctx)
+	defer qcancel()
+	go a.Acquire(qctx, Interactive) //nolint:errcheck
+	waitSnapshot(t, a, func(s AdmissionSnapshot) bool { return s.Waiting == 1 })
+	// The next arrival is shed with a Retry-After.
+	_, err = a.Acquire(ctx, Batch)
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("err = %v, want *ShedError", err)
+	}
+	if shed.Class != Batch || shed.RetryAfter < time.Second {
+		t.Fatalf("shed = %+v", shed)
+	}
+	if s := a.Snapshot(); s.Batch.Shed != 1 || !a.Pressure() {
+		t.Fatalf("snapshot after shed: %+v pressure=%v", s, a.Pressure())
+	}
+}
+
+func TestAdmissionShedsExhaustedDeadline(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrency: 1, MinDeadline: 50 * time.Millisecond})
+
+	// An idle pool admits even a starved deadline: the compute itself
+	// decides whether it can finish in time.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	release, err := a.Acquire(ctx, Interactive)
+	if err != nil {
+		t.Fatalf("idle pool refused a tiny deadline: %v", err)
+	}
+
+	// A saturated pool sheds it up front: queueing a request that cannot
+	// survive the wait only manufactures a timeout.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel2()
+	_, err = a.Acquire(ctx2, Interactive)
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("err = %v, want *ShedError (deadline below MinDeadline while saturated)", err)
+	}
+	release(time.Millisecond)
+}
+
+func TestAdmissionAbandonsExpiredWaiters(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrency: 1})
+	release, err := a.Acquire(context.Background(), Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := a.Acquire(ctx, Interactive); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired waiter: %v, want DeadlineExceeded", err)
+	}
+	release(time.Millisecond)
+	s := a.Snapshot()
+	if s.Interactive.Abandoned != 1 || s.Waiting != 0 || s.InFlight != 0 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+	// offered = admitted + shed + abandoned once idle.
+	if s.Interactive.Offered != s.Interactive.Admitted+s.Interactive.Shed+s.Interactive.Abandoned {
+		t.Fatalf("counters do not reconcile: %+v", s.Interactive)
+	}
+}
+
+func TestAdmissionPrefersInteractiveWaiters(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrency: 1, MaxQueue: 4})
+	release, err := a.Acquire(context.Background(), Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enqueue batch first, then interactive; the interactive waiter must
+	// be granted first when the slot frees.
+	done := make(chan Class, 2)
+	go func() {
+		r, err := a.Acquire(context.Background(), Batch)
+		if err == nil {
+			done <- Batch
+			r(time.Millisecond)
+		}
+	}()
+	waitSnapshot(t, a, func(s AdmissionSnapshot) bool { return s.Batch.Waiting == 1 })
+	go func() {
+		r, err := a.Acquire(context.Background(), Interactive)
+		if err == nil {
+			done <- Interactive
+			r(time.Millisecond)
+		}
+	}()
+	waitSnapshot(t, a, func(s AdmissionSnapshot) bool { return s.Interactive.Waiting == 1 })
+	release(time.Millisecond)
+	first := <-done
+	second := <-done
+	if first != Interactive || second != Batch {
+		t.Fatalf("grant order = %v, %v; want interactive first", first, second)
+	}
+}
+
+func TestAdmissionAIMD(t *testing.T) {
+	clk := newClock()
+	a := NewAdmission(AdmissionConfig{MaxConcurrency: 10, LatencyTarget: 100 * time.Millisecond})
+	a.now = clk.now
+	slot := func(lat time.Duration) {
+		r, err := a.Acquire(context.Background(), Interactive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r(lat)
+	}
+	// Over-target completions cut the limit multiplicatively, at most
+	// once per target interval.
+	slot(time.Second)
+	if got := a.Snapshot().Limit; got >= 10 {
+		t.Fatalf("limit after slow completion = %v, want < 10", got)
+	}
+	l1 := a.Snapshot().Limit
+	slot(time.Second) // same interval: no second cut
+	if got := a.Snapshot().Limit; got != l1 {
+		t.Fatalf("limit cut twice in one interval: %v -> %v", l1, got)
+	}
+	clk.advance(time.Second)
+	slot(time.Second)
+	if got := a.Snapshot().Limit; got >= l1 {
+		t.Fatalf("limit not cut after interval: %v", got)
+	}
+	// Fast completions walk it back up, clamped at the max.
+	for i := 0; i < 200; i++ {
+		slot(time.Millisecond)
+	}
+	if got := a.Snapshot().Limit; got != 10 {
+		t.Fatalf("limit after recovery = %v, want 10", got)
+	}
+}
+
+func TestAdmissionShedFault(t *testing.T) {
+	if err := faults.Arm("overload.shed=always"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+	a := NewAdmission(AdmissionConfig{MaxConcurrency: 4})
+	_, err := a.Acquire(context.Background(), Interactive)
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("err = %v, want injected *ShedError", err)
+	}
+}
+
+func waitSnapshot(t *testing.T, a *Admission, ok func(AdmissionSnapshot) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !ok(a.Snapshot()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition never reached: %+v", a.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := newClock()
+	b := NewBreaker(BreakerConfig{Window: 10 * time.Second, MinSamples: 4, FailureRatio: 0.5, OpenFor: 5 * time.Second})
+	b.now = clk.now
+	// Below MinSamples nothing trips.
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v before MinSamples", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(false) // 4 fails / 4 samples >= 0.5: trips
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed a call: %v", err)
+	}
+	// After the hold: half-open admits one probe, refuses the second.
+	clk.advance(5 * time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open refused the probe: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("half-open allowed a second concurrent probe: %v", err)
+	}
+	// Probe failure re-opens; probe success closes.
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	clk.advance(5 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after good probe = %v, want closed", b.State())
+	}
+	if s := b.Snapshot(); s.Trips != 2 {
+		t.Fatalf("trips = %d, want 2", s.Trips)
+	}
+}
+
+func TestBreakerTripForcesOpen(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	b.Trip()
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("tripped breaker allowed a call: %v", err)
+	}
+	if s := b.Snapshot(); s.State != "open" || s.Trips != 1 || s.NextProbeUnixMS == 0 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+}
+
+func TestRetryBudgetDrainsAndEarns(t *testing.T) {
+	b := NewRetryBudget(0.5, 2)
+	if !b.Spend() || !b.Spend() {
+		t.Fatal("full bucket refused a retry")
+	}
+	if b.Spend() {
+		t.Fatal("empty bucket allowed a retry")
+	}
+	b.Earn()
+	b.Earn() // 2 * 0.5 = 1 token
+	if !b.Spend() {
+		t.Fatal("earned token refused")
+	}
+	s := b.Snapshot()
+	if s.Spent != 3 || s.Denied != 1 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+	off := NewRetryBudget(-1, 4)
+	if off.Spend() {
+		t.Fatal("disabled budget allowed a retry")
+	}
+}
+
+func TestRetryBackoffBounded(t *testing.T) {
+	b := NewRetryBudget(0.1, 10)
+	for attempt := 0; attempt < 8; attempt++ {
+		d := b.Backoff(attempt, 10*time.Millisecond, 200*time.Millisecond)
+		if d < 0 || d > 200*time.Millisecond {
+			t.Fatalf("attempt %d: backoff %v out of bounds", attempt, d)
+		}
+	}
+}
+
+func TestHedgePrimaryWinsWithoutHedge(t *testing.T) {
+	var secondaries atomic.Int64
+	buf, out, err := Hedge(context.Background(), time.Second,
+		func(context.Context) ([]byte, error) { return []byte("peer"), nil },
+		func(context.Context) ([]byte, error) { secondaries.Add(1); return []byte("local"), nil })
+	if err != nil || string(buf) != "peer" || out.SecondaryStarted || out.SecondaryWon {
+		t.Fatalf("buf=%q out=%+v err=%v", buf, out, err)
+	}
+	if secondaries.Load() != 0 {
+		t.Fatal("secondary ran despite a fast primary")
+	}
+}
+
+func TestHedgeSecondaryWinsOverSlowPrimary(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	buf, out, err := Hedge(context.Background(), 5*time.Millisecond,
+		func(ctx context.Context) ([]byte, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return nil, errors.New("slow peer")
+		},
+		func(context.Context) ([]byte, error) { return []byte("local"), nil })
+	if err != nil || string(buf) != "local" || !out.SecondaryStarted || !out.SecondaryWon {
+		t.Fatalf("buf=%q out=%+v err=%v", buf, out, err)
+	}
+}
+
+func TestHedgeLaunchesSecondaryOnEarlyPrimaryFailure(t *testing.T) {
+	t0 := time.Now()
+	buf, out, err := Hedge(context.Background(), 10*time.Second,
+		func(context.Context) ([]byte, error) { return nil, errors.New("refused") },
+		func(context.Context) ([]byte, error) { return []byte("local"), nil })
+	if err != nil || string(buf) != "local" || !out.SecondaryStarted {
+		t.Fatalf("buf=%q out=%+v err=%v", buf, out, err)
+	}
+	if time.Since(t0) > 5*time.Second {
+		t.Fatal("hedge waited out the delay despite an early primary failure")
+	}
+}
+
+func TestHedgeBothFailReturnsSecondaryError(t *testing.T) {
+	secErr := errors.New("local compute failed")
+	_, out, err := Hedge(context.Background(), time.Millisecond,
+		func(context.Context) ([]byte, error) { return nil, errors.New("peer failed") },
+		func(context.Context) ([]byte, error) { return nil, secErr })
+	if !errors.Is(err, secErr) || !out.SecondaryStarted {
+		t.Fatalf("out=%+v err=%v, want secondary error", out, err)
+	}
+}
+
+func TestHedgeFaultElidesDelay(t *testing.T) {
+	if err := faults.Arm("overload.hedge=always"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+	block := make(chan struct{})
+	defer close(block)
+	t0 := time.Now()
+	buf, out, err := Hedge(context.Background(), time.Hour,
+		func(ctx context.Context) ([]byte, error) { <-ctx.Done(); return nil, ctx.Err() },
+		func(context.Context) ([]byte, error) { return []byte("local"), nil })
+	if err != nil || string(buf) != "local" || !out.SecondaryWon {
+		t.Fatalf("buf=%q out=%+v err=%v", buf, out, err)
+	}
+	if time.Since(t0) > 5*time.Second {
+		t.Fatal("hedge fault did not elide the delay")
+	}
+}
+
+func TestBrownoutLadderDeterministic(t *testing.T) {
+	clk := newClock()
+	b := NewBrownout(BrownoutConfig{EscalateAfter: 3, DeescalateAfter: 2, Hold: time.Second})
+	b.now = clk.now
+	b.lastChange = clk.now()
+	// 3 over-pressure samples per rung, all the way to pause.
+	for want := LevelStale; want <= LevelPause; want++ {
+		for i := 0; i < 3; i++ {
+			b.Observe(true)
+		}
+		if got := b.Level(); got != want {
+			t.Fatalf("level = %v, want %v", got, want)
+		}
+	}
+	// Still pause: the ladder is clamped.
+	for i := 0; i < 6; i++ {
+		b.Observe(true)
+	}
+	if b.Level() != LevelPause {
+		t.Fatalf("level above pause: %v", b.Level())
+	}
+	// Calm samples inside the hold do not de-escalate...
+	b.Observe(false)
+	b.Observe(false)
+	if b.Level() != LevelPause {
+		t.Fatalf("de-escalated inside hold: %v", b.Level())
+	}
+	// ...after the hold they do, one rung per streak.
+	for want := LevelDowngrade; want >= LevelHealthy; want-- {
+		clk.advance(time.Second)
+		b.Observe(false)
+		b.Observe(false)
+		if got := b.Level(); got != want {
+			t.Fatalf("level = %v, want %v", got, want)
+		}
+	}
+	if s := b.Snapshot(); s.Transitions != 6 || s.LevelName != "healthy" {
+		t.Fatalf("snapshot: %+v", s)
+	}
+}
+
+func TestBrownoutPressureFault(t *testing.T) {
+	if err := faults.Arm("overload.pressure=first:6"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+	b := NewBrownout(BrownoutConfig{EscalateAfter: 3, DeescalateAfter: 2, Hold: time.Nanosecond})
+	// Calm observations are forced over by the fault: 6 samples climb
+	// exactly two rungs, then the plan exhausts and calm resumes.
+	for i := 0; i < 6; i++ {
+		b.Observe(false)
+	}
+	if b.Level() != LevelDowngrade {
+		t.Fatalf("level = %v, want downgrade after 6 injected samples", b.Level())
+	}
+	for i := 0; i < 4; i++ {
+		time.Sleep(time.Millisecond)
+		b.Observe(false)
+	}
+	if b.Level() != LevelHealthy {
+		t.Fatalf("level = %v, want healthy after calm", b.Level())
+	}
+}

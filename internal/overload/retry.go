@@ -1,0 +1,93 @@
+package overload
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryBudget is a token bucket tying retries to a fraction of normal
+// traffic: every successful call earns Ratio tokens (capped at Max),
+// and every retry spends one. Under a full outage the budget drains in
+// Max retries and stays empty — retries stop amplifying the load —
+// while isolated transient failures always have a token available.
+type RetryBudget struct {
+	mu            sync.Mutex
+	tokens        float64
+	max           float64
+	ratio         float64
+	rng           *rand.Rand
+	spent, denied int64
+}
+
+// RetryBudgetSnapshot is the budget state for /v1/metrics.
+type RetryBudgetSnapshot struct {
+	Tokens float64 `json:"tokens"`
+	Spent  int64   `json:"spent"`
+	Denied int64   `json:"denied"`
+}
+
+// NewRetryBudget builds a budget earning ratio tokens per success with
+// a bucket of max (defaults 0.1 and 10; a negative ratio disables
+// retries — Spend always refuses). The bucket starts full so a cold
+// process can retry immediately.
+func NewRetryBudget(ratio, max float64) *RetryBudget {
+	if max <= 0 {
+		max = 10
+	}
+	b := &RetryBudget{ratio: ratio, max: max, rng: rand.New(rand.NewSource(1))}
+	if ratio == 0 {
+		b.ratio = 0.1
+	}
+	if b.ratio > 0 {
+		b.tokens = max
+	}
+	return b
+}
+
+// Earn credits one successful call.
+func (b *RetryBudget) Earn() {
+	b.mu.Lock()
+	if b.ratio > 0 && b.tokens < b.max {
+		b.tokens += b.ratio
+		if b.tokens > b.max {
+			b.tokens = b.max
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Spend takes one retry token, reporting whether the retry may proceed.
+func (b *RetryBudget) Spend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.ratio <= 0 || b.tokens < 1 {
+		b.denied++
+		return false
+	}
+	b.tokens--
+	b.spent++
+	return true
+}
+
+// Backoff returns the jittered exponential delay before retry attempt
+// (0-based): uniform in (0, base<<attempt], capped at ceil — full
+// jitter, so synchronized clients spread out instead of retrying in
+// lockstep.
+func (b *RetryBudget) Backoff(attempt int, base, ceil time.Duration) time.Duration {
+	d := base << uint(attempt)
+	if d <= 0 || d > ceil {
+		d = ceil
+	}
+	b.mu.Lock()
+	f := b.rng.Float64()
+	b.mu.Unlock()
+	return time.Duration(f * float64(d))
+}
+
+// Snapshot reports the budget for /v1/metrics.
+func (b *RetryBudget) Snapshot() RetryBudgetSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return RetryBudgetSnapshot{Tokens: b.tokens, Spent: b.spent, Denied: b.denied}
+}

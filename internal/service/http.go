@@ -7,12 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
 
 	"lcn3d/internal/cluster"
 	"lcn3d/internal/jobs"
+	"lcn3d/internal/overload"
 )
 
 // maxBodyBytes bounds uploaded request bodies (a full-scale network file
@@ -206,7 +208,7 @@ func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	if rec.State.Terminal() {
 		initial = "result"
 	}
-	writeSSE(w, initial, rec)
+	writeSSE(w, initial, rec, 0)
 	fl.Flush()
 	if rec.State.Terminal() {
 		return
@@ -219,7 +221,7 @@ func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			if !open {
 				return
 			}
-			writeSSE(w, ev.Type, ev.Job)
+			writeSSE(w, ev.Type, ev.Job, ev.Dropped)
 			fl.Flush()
 			if ev.Type == "result" || ev.Type == "drain" {
 				return
@@ -228,8 +230,15 @@ func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func writeSSE(w io.Writer, event string, rec jobs.Record) {
-	data, err := json.Marshal(rec)
+// writeSSE emits one event. The record's fields stay top-level;
+// dropped (the count of progress events this subscriber lost to
+// backpressure since its last delivery) is an additive field so
+// existing consumers are unaffected.
+func writeSSE(w io.Writer, event string, rec jobs.Record, dropped int64) {
+	data, err := json.Marshal(struct {
+		jobs.Record
+		Dropped int64 `json:"dropped,omitempty"`
+	}{rec, dropped})
 	if err != nil {
 		return
 	}
@@ -274,10 +283,12 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 // writeResult maps service errors onto HTTP statuses: malformed requests
-// to 400, deadline/cancellation to 504, drain rejection to 503, anything
-// else to 500. Successful responses are the service's cached bytes,
-// written verbatim so repeats are bitwise identical.
+// to 400, deadline/cancellation to 504, drain rejection to 503, overload
+// sheds to 429 with a Retry-After header, anything else to 500.
+// Successful responses are the service's cached bytes, written verbatim
+// so repeats are bitwise identical.
 func writeResult(w http.ResponseWriter, buf []byte, err error) {
+	var shed *overload.ShedError
 	switch {
 	case err == nil:
 		w.Header().Set("Content-Type", "application/json")
@@ -285,6 +296,13 @@ func writeResult(w http.ResponseWriter, buf []byte, err error) {
 		w.Write(buf)
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.As(err, &shed):
+		secs := int64(math.Ceil(shed.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		writeError(w, http.StatusGatewayTimeout, err)
 	default:

@@ -8,6 +8,7 @@ import (
 
 	"lcn3d/internal/cluster"
 	"lcn3d/internal/faults"
+	"lcn3d/internal/overload"
 	"lcn3d/internal/store"
 )
 
@@ -40,6 +41,15 @@ type metrics struct {
 	peerHits         atomic.Int64 // served by the owning peer (fetch or forward)
 	localFallbacks   atomic.Int64 // peer-owned key computed locally (owner unreachable)
 	storeFetchServed atomic.Int64 // /v1/store/{hash} requests this node answered
+
+	// Overload-control counters: admission sheds, peer-read hedges, and
+	// the brownout ladder's degradations.
+	shed             atomic.Int64 // requests rejected by admission (429)
+	hedges           atomic.Int64 // peer reads whose local hedge fired
+	hedgeLocalWins   atomic.Int64 // hedged reads won by local compute
+	downgradedServed atomic.Int64 // responses served from the 2RM substitute
+	fillsPaused      atomic.Int64 // store fills skipped at LevelPause
+	peerTierSkips    atomic.Int64 // peer tier skipped at LevelStale+
 
 	lat latencyRing
 }
@@ -155,6 +165,10 @@ type MetricsSnapshot struct {
 	Store   *store.Stats   `json:"store,omitempty"`
 	Cluster *cluster.Stats `json:"cluster,omitempty"`
 
+	// Overload reports the admission controller, brownout ladder, and
+	// degradation counters.
+	Overload OverloadSnapshot `json:"overload"`
+
 	Factor FactorSnapshot `json:"factor"`
 
 	Optimize OptimizeSnapshot `json:"optimize"`
@@ -163,6 +177,22 @@ type MetricsSnapshot struct {
 	// is armed (absent otherwise), so chaos runs can assert their plan
 	// actually fired.
 	Faults map[string]faults.Stat `json:"faults,omitempty"`
+}
+
+// OverloadSnapshot reports the overload-control state: the admission
+// controller (AIMD limit, per-class counters), the brownout ladder, and
+// every degradation the ladder has applied.
+type OverloadSnapshot struct {
+	Admission overload.AdmissionSnapshot `json:"admission"`
+	Brownout  overload.BrownoutSnapshot  `json:"brownout"`
+
+	Shed             int64 `json:"shed"`              // requests rejected with 429
+	Hedges           int64 `json:"hedges"`            // peer reads whose local hedge fired
+	HedgeLocalWins   int64 `json:"hedge_local_wins"`  // hedged reads won by local compute
+	DowngradedServed int64 `json:"downgraded_served"` // 2RM-substituted responses served
+	FillsPaused      int64 `json:"fills_paused"`      // store fills skipped at pause
+	PeerTierSkips    int64 `json:"peer_tier_skips"`   // peer tier skipped at stale-serve+
+	JobsShed         int64 `json:"jobs_shed"`         // job submissions refused at pause
 }
 
 // OptimizeSnapshot reports optimization activity: total solver runs
@@ -181,6 +211,10 @@ type OptimizeSnapshot struct {
 	Checkpoints int64 `json:"checkpoints"`
 	Resumes     int64 `json:"resumes"`
 	Recovered   int64 `json:"recovered"`
+	// EventsDropped counts SSE subscriber events lost to backpressure
+	// across all jobs (each subscriber also sees its own count on the
+	// next delivered event).
+	EventsDropped int64 `json:"events_dropped"`
 }
 
 func ratio(num, den int64) float64 {

@@ -12,6 +12,7 @@ import (
 	"lcn3d/internal/anneal"
 	"lcn3d/internal/core"
 	"lcn3d/internal/network"
+	"lcn3d/internal/overload"
 )
 
 // OptimizeRequest runs the multi-chain SA optimizer (Algorithm 1) on a
@@ -209,8 +210,10 @@ func (s *Service) Optimize(ctx context.Context, req OptimizeRequest) ([]byte, er
 	req.Scale = scale // pin the effective scale into the cache key
 	key := optimizeKey(req)
 	// req is already normalized (validate) and scale-pinned, so the
-	// forwarded copy derives the same key on the owning peer.
-	return s.do(ctx, key, "/v1/optimize", req, req.TimeoutMS, func(ctx context.Context) (any, error) {
+	// forwarded copy derives the same key on the owning peer. Optimize
+	// is batch class: under pressure it queues (and sheds) behind
+	// interactive simulate/evaluate traffic.
+	return s.do(ctx, key, "/v1/optimize", req, req.TimeoutMS, overload.Batch, func(ctx context.Context) (any, error) {
 		return s.computeViaJob(ctx, req, key)
 	})
 }

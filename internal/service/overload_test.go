@@ -1,0 +1,223 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"lcn3d/internal/faults"
+	"lcn3d/internal/overload"
+)
+
+// TestSustainedOverloadShedsAndRecovers is the overload chaos drill:
+// a flood at ~4x the pool's capacity must resolve promptly — admitted
+// requests succeed, the surplus is shed with 429 + Retry-After instead
+// of queueing unboundedly — the admission counters must reconcile
+// exactly, and the service must be fully usable the moment the burst
+// ends.
+func TestSustainedOverloadShedsAndRecovers(t *testing.T) {
+	s := testService(t, Config{
+		Workers: 1,
+		Overload: overload.Options{
+			Admission:  overload.AdmissionConfig{MaxQueue: 2},
+			HedgeAfter: -1,
+		},
+	})
+	s.computeHook = func() { time.Sleep(20 * time.Millisecond) }
+	h := s.Handler()
+	baseline := runtime.NumGoroutine()
+
+	const flood = 12 // 1 running + 2 queued admitted; the rest shed
+	codes := make([]int, flood)
+	retryAfter := make([]string, flood)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(simReq(6000 + float64(i))) // distinct keys: no dedup
+			rec := post(h, "/v1/simulate", string(body))
+			codes[i] = rec.Code
+			retryAfter[i] = rec.Header().Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(t0); elapsed > 20*time.Second {
+		t.Fatalf("flood took %v; shed latency is not bounded", elapsed)
+	}
+
+	oks, sheds := 0, 0
+	for i, code := range codes {
+		switch code {
+		case http.StatusOK:
+			oks++
+		case http.StatusTooManyRequests:
+			sheds++
+			if secs, err := strconv.Atoi(retryAfter[i]); err != nil || secs < 1 {
+				t.Fatalf("429 without a usable Retry-After header: %q", retryAfter[i])
+			}
+		default:
+			t.Fatalf("request %d: status %d, want 200 or 429", i, code)
+		}
+	}
+	if oks == 0 || sheds == 0 {
+		t.Fatalf("flood resolved %d OK / %d shed; want both nonzero", oks, sheds)
+	}
+
+	m := s.Metrics()
+	adm := m.Overload.Admission.Interactive
+	if adm.Offered != adm.Admitted+adm.Shed+adm.Abandoned {
+		t.Fatalf("admission counters do not reconcile: offered=%d admitted=%d shed=%d abandoned=%d",
+			adm.Offered, adm.Admitted, adm.Shed, adm.Abandoned)
+	}
+	if m.Overload.Shed != int64(sheds) {
+		t.Fatalf("metrics shed = %d, HTTP saw %d", m.Overload.Shed, sheds)
+	}
+	if m.InFlight != 0 || m.QueueDepth != 0 {
+		t.Fatalf("leaked slots after the flood: in_flight=%d queue_depth=%d", m.InFlight, m.QueueDepth)
+	}
+
+	// Goroutine recovery: everything the flood spawned must wind down.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not return to baseline: %d, started at %d",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Recovery: the very next request must be served normally.
+	s.computeHook = nil
+	body, _ := json.Marshal(simReq(7777))
+	if rec := post(h, "/v1/simulate", string(body)); rec.Code != http.StatusOK {
+		t.Fatalf("service unusable after the flood: status %d body %s", rec.Code, rec.Body)
+	}
+}
+
+// TestBrownoutDowngradeIsServedButNeverCached: at the downgrade rung a
+// 4RM request is answered by the cheap 2RM substitute, flagged
+// Degraded — and NOT cached under the full-fidelity key, so the first
+// request after the brownout clears recomputes the real answer.
+func TestBrownoutDowngradeIsServedButNeverCached(t *testing.T) {
+	s := testService(t, Config{
+		Workers: 1,
+		Overload: overload.Options{
+			Brownout:   overload.BrownoutConfig{EscalateAfter: 1, DeescalateAfter: 1, Hold: time.Millisecond},
+			HedgeAfter: -1,
+		},
+	})
+	if err := faults.Arm("overload.pressure=first:2"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+
+	// Two forced-over pressure samples climb two rungs: healthy ->
+	// stale-serve -> downgrade. Deterministic: the fault decides the
+	// samples, not actual load.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Simulate(ctxBG(), simReq(5000+float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if name := s.Metrics().Overload.Brownout.LevelName; name != "downgrade" {
+		t.Fatalf("level after 2 forced samples = %q, want downgrade", name)
+	}
+
+	req := simReq(8000)
+	req.ModelSpec = ModelSpec{Model: "4rm"}
+	buf, err := s.Simulate(ctxBG(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var degraded SimulateResponse
+	if err := json.Unmarshal(buf, &degraded); err != nil {
+		t.Fatal(err)
+	}
+	if !degraded.Degraded {
+		t.Fatal("downgraded response not flagged Degraded")
+	}
+	m := s.Metrics()
+	if m.Overload.DowngradedServed != 1 {
+		t.Fatalf("downgraded_served = %d, want 1", m.Overload.DowngradedServed)
+	}
+	// Pump calm pressure samples (cache hits feed Observe too) until
+	// the Hold dwell passes and the ladder steps below the downgrade
+	// rung; the identical request must then recompute at full fidelity —
+	// a cache hit would mean the degraded bytes poisoned the
+	// full-fidelity key.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Metrics().Overload.Brownout.Level >= int(overload.LevelDowngrade) {
+		if time.Now().After(deadline) {
+			t.Fatalf("ladder never de-escalated: %+v", s.Metrics().Overload.Brownout)
+		}
+		if _, err := s.Simulate(ctxBG(), simReq(5000)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	evalsBefore := s.Metrics().Evaluations
+	buf2, err := s.Simulate(ctxBG(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full SimulateResponse
+	if err := json.Unmarshal(buf2, &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.Degraded {
+		t.Fatal("request after brownout cleared still served degraded")
+	}
+	if got := s.Metrics().Evaluations; got != evalsBefore+1 {
+		t.Fatalf("evaluations = %d, want %d (degraded result must not be cached)", got, evalsBefore+1)
+	}
+}
+
+// TestBrownoutPauseShedsJobSubmissions: at the top rung new job
+// admissions are refused with 429, while interactive traffic still
+// flows (degraded).
+func TestBrownoutPauseShedsJobSubmissions(t *testing.T) {
+	s := testService(t, Config{
+		Workers: 1,
+		Overload: overload.Options{
+			Brownout:   overload.BrownoutConfig{EscalateAfter: 1},
+			HedgeAfter: -1,
+		},
+	})
+	if err := faults.Arm("overload.pressure=always"); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+	h := s.Handler()
+
+	for i := 0; i < 3; i++ { // healthy -> stale -> downgrade -> pause
+		if _, err := s.Simulate(ctxBG(), simReq(5100+float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if name := s.Metrics().Overload.Brownout.LevelName; name != "pause" {
+		t.Fatalf("level = %q, want pause", name)
+	}
+	rec := post(h, "/v1/jobs", `{"case": 1}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("job submit at pause: status %d body %s, want 429", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("job shed without a Retry-After header")
+	}
+	if got := s.Metrics().Overload.JobsShed; got != 1 {
+		t.Fatalf("jobs_shed = %d, want 1", got)
+	}
+	// Interactive traffic still answered (degraded is fine, refused is not).
+	if _, err := s.Simulate(ctxBG(), simReq(5200)); err != nil {
+		t.Fatalf("interactive request refused at pause: %v", err)
+	}
+}
+
+func ctxBG() context.Context { return context.Background() }

@@ -37,6 +37,7 @@ import (
 	"lcn3d/internal/iccad"
 	"lcn3d/internal/jobs"
 	"lcn3d/internal/network"
+	"lcn3d/internal/overload"
 	"lcn3d/internal/rm2"
 	"lcn3d/internal/rm4"
 	"lcn3d/internal/store"
@@ -76,6 +77,10 @@ type Config struct {
 	// from that peer's store or forwarding the request single-hop, with
 	// local compute as the fallback when the owner is down.
 	Cluster *cluster.Cluster
+	// Overload tunes the admission controller, the peer-read hedge, and
+	// the brownout ladder. The zero value gets defaults (admission capped
+	// at Workers).
+	Overload overload.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -107,7 +112,16 @@ type Service struct {
 	results *lruCache // cacheKey -> []byte (marshaled response)
 	flights flightGroup
 
-	sem chan struct{} // worker slots
+	// adm replaces a plain worker semaphore: a bounded, deadline-aware
+	// admission queue with priority classes and an AIMD concurrency
+	// limit, shedding early with 429 instead of queueing unboundedly.
+	adm *overload.Admission
+	// brown is the degradation ladder; do() feeds it one pressure sample
+	// per completed request.
+	brown *overload.Brownout
+	// hedgeAfter is the resolved peer-read hedge delay (negative =
+	// hedging disabled).
+	hedgeAfter time.Duration
 
 	// jobs owns checkpointable optimization jobs: its own concurrency
 	// pool (separate from sem, so a sync optimize waiting on its job
@@ -136,7 +150,20 @@ func New(cfg Config) *Service {
 		benches: make(map[[2]int]*iccad.Benchmark),
 		models:  newLRU(cfg.ModelCacheSize),
 		results: newLRU(cfg.ResultCacheSize),
-		sem:     make(chan struct{}, cfg.Workers),
+	}
+	acfg := cfg.Overload.Admission
+	if acfg.MaxConcurrency <= 0 {
+		acfg.MaxConcurrency = cfg.Workers
+	}
+	s.adm = overload.NewAdmission(acfg)
+	s.brown = overload.NewBrownout(cfg.Overload.Brownout)
+	switch {
+	case cfg.Overload.HedgeAfter < 0:
+		s.hedgeAfter = -1
+	case cfg.Overload.HedgeAfter == 0:
+		s.hedgeAfter = overload.DefaultHedgeAfter
+	default:
+		s.hedgeAfter = cfg.Overload.HedgeAfter
 	}
 	s.drainCV = sync.NewCond(&s.drainMu)
 	s.met.start = time.Now()
@@ -144,6 +171,15 @@ func New(cfg Config) *Service {
 		Run:         s.runOptimizeJob,
 		Concurrency: cfg.Workers,
 		Logf:        log.Printf,
+		// At the top brownout rung new jobs are shed: running work keeps
+		// its checkpoints, but the queue stops growing until pressure
+		// clears.
+		Gate: func() error {
+			if s.brown.Level() >= overload.LevelPause {
+				return &overload.ShedError{Class: overload.Batch, RetryAfter: 5 * time.Second}
+			}
+			return nil
+		},
 	}
 	if cfg.Store != nil {
 		jcfg.Blobs = cfg.Store
@@ -327,6 +363,13 @@ func (s *Service) fromPeer(ctx context.Context, owner, endpoint, key string, fwd
 	return s.cfg.Cluster.Forward(ctx, owner, endpoint, body)
 }
 
+// downgradedResponse wraps a response whose compute substituted the
+// cheap 2RM model under brownout: do() serves it (flagged Degraded by
+// the compute closure) but never caches it under the full-fidelity key,
+// so the first healthy request recomputes the real answer instead of
+// inheriting the degraded one.
+type downgradedResponse struct{ resp any }
+
 // do runs one request end to end: admission, deadline, the three-tier
 // read path (memory LRU → local disk store → owning peer), single-
 // flight, worker pool, compute. It returns the marshaled response
@@ -334,8 +377,9 @@ func (s *Service) fromPeer(ctx context.Context, owner, endpoint, key string, fwd
 // cached request is bitwise identical. endpoint and fwdReq describe the
 // request for peer forwarding (fwdReq must marshal to a body the peer's
 // HTTP handler accepts, with every normalized field pinned so the peer
-// derives the same key).
-func (s *Service) do(ctx context.Context, key, endpoint string, fwdReq any, timeoutMS int, compute func(ctx context.Context) (any, error)) ([]byte, error) {
+// derives the same key). class selects the admission priority; every
+// completion feeds one pressure sample to the brownout ladder.
+func (s *Service) do(ctx context.Context, key, endpoint string, fwdReq any, timeoutMS int, class overload.Class, compute func(ctx context.Context) (any, error)) ([]byte, error) {
 	if !s.enter() {
 		s.met.rejected.Add(1)
 		return nil, ErrDraining
@@ -344,6 +388,7 @@ func (s *Service) do(ctx context.Context, key, endpoint string, fwdReq any, time
 	s.met.requests.Add(1)
 	t0 := time.Now()
 	defer func() { s.met.lat.observe(time.Since(t0)) }()
+	defer func() { s.brown.Observe(s.adm.Pressure()) }()
 
 	timeout := s.cfg.DefaultTimeout
 	if timeoutMS > 0 {
@@ -371,72 +416,133 @@ func (s *Service) do(ctx context.Context, key, endpoint string, fwdReq any, time
 			}
 			s.met.storeMisses.Add(1)
 		}
+		// localCompute is the leader path: admission (queue, priority,
+		// AIMD limit, early shedding), then the computation under panic
+		// containment. It is also the hedge's secondary arm.
+		localCompute := func(ctx context.Context) ([]byte, error) {
+			s.met.queueDepth.Add(1)
+			release, aerr := s.adm.Acquire(ctx, class)
+			s.met.queueDepth.Add(-1)
+			if aerr != nil {
+				var shed *overload.ShedError
+				if errors.As(aerr, &shed) {
+					s.met.shed.Add(1)
+				}
+				return nil, aerr
+			}
+			tAdm := time.Now()
+			s.met.inFlight.Add(1)
+			defer func() {
+				s.met.inFlight.Add(-1)
+				release(time.Since(tAdm))
+			}()
+			if s.computeHook != nil {
+				s.computeHook()
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			s.met.evaluations.Add(1)
+			resp, err := s.protect(ctx, compute)
+			if err != nil {
+				return nil, err
+			}
+			downgraded := false
+			if dg, ok := resp.(*downgradedResponse); ok {
+				downgraded, resp = true, dg.resp
+			}
+			out, err := json.Marshal(resp)
+			if err != nil {
+				return nil, fmt.Errorf("service: marshal response: %w", err)
+			}
+			if downgraded {
+				// Serve it, never cache it: the key promises full fidelity.
+				s.met.downgradedServed.Add(1)
+				return out, nil
+			}
+			s.results.Put(key, out)
+			// Fill the persistent store asynchronously: Put enqueues into the
+			// write batcher (group fsync); Drain flushes what is pending. The
+			// top brownout rung pauses fills — fsync bandwidth goes to
+			// checkpoints and live traffic until pressure clears.
+			if s.cfg.Store != nil {
+				if s.brown.Level() >= overload.LevelPause {
+					s.met.fillsPaused.Add(1)
+				} else if err := s.cfg.Store.Put(key, out); err != nil {
+					log.Printf("service: store fill %s: %v", key, err)
+				}
+			}
+			return out, nil
+		}
 		// Tier 3: the owning peer. Only for keys this node does not own,
 		// and never for requests that were already forwarded once (the
-		// X-LCN-Forwarded loop guard keeps forwarding single-hop). Any
-		// failure — owner down, fetch and forward both failing — falls
-		// back to computing locally so the fleet degrades to independent
-		// nodes rather than erroring.
+		// X-LCN-Forwarded loop guard keeps forwarding single-hop). From
+		// LevelStale up the tier is skipped entirely — local answers only.
+		// Otherwise the peer read is hedged: if the owner has not answered
+		// within hedgeAfter (or fails early), local compute launches and
+		// the first success wins.
 		if s.cfg.Cluster != nil && !forwardedFrom(ctx) {
 			if owner, self := s.cfg.Cluster.Owner(key); !self {
-				if blob, err := s.fromPeer(ctx, owner, endpoint, key, fwdReq); err == nil {
-					s.met.peerHits.Add(1)
-					s.results.Put(key, blob)
-					return blob, nil
-				} else if ctx.Err() != nil {
-					return nil, ctx.Err()
+				if s.brown.Level() >= overload.LevelStale {
+					s.met.peerTierSkips.Add(1)
+				} else if s.hedgeAfter < 0 {
+					if blob, err := s.fromPeer(ctx, owner, endpoint, key, fwdReq); err == nil {
+						s.met.peerHits.Add(1)
+						s.results.Put(key, blob)
+						return blob, nil
+					} else if ctx.Err() != nil {
+						return nil, ctx.Err()
+					}
+					s.met.localFallbacks.Add(1)
+				} else {
+					blob, outcome, err := overload.Hedge(ctx, s.hedgeAfter,
+						func(ctx context.Context) ([]byte, error) {
+							return s.fromPeer(ctx, owner, endpoint, key, fwdReq)
+						}, localCompute)
+					if outcome.SecondaryStarted {
+						s.met.hedges.Add(1)
+					}
+					if err == nil {
+						if outcome.SecondaryWon {
+							// localCompute cached it (unless downgraded). A win
+							// over a dead owner is the classic local fallback; a
+							// win over a merely slow one is a latency hedge.
+							if outcome.PrimaryErr != nil {
+								s.met.localFallbacks.Add(1)
+							} else {
+								s.met.hedgeLocalWins.Add(1)
+							}
+						} else {
+							s.met.peerHits.Add(1)
+							s.results.Put(key, blob)
+						}
+						return blob, nil
+					}
+					if ctx.Err() != nil {
+						return nil, ctx.Err()
+					}
+					if outcome.SecondaryStarted {
+						// Local compute already ran (and failed) inside the
+						// hedge; running it again would double the work.
+						return nil, err
+					}
+					s.met.localFallbacks.Add(1)
 				}
-				s.met.localFallbacks.Add(1)
 			}
 		}
-		// Leader: take a worker slot (bounded pool); queueing respects
-		// the deadline, so a request that times out waiting never
-		// occupies a slot.
-		s.met.queueDepth.Add(1)
-		select {
-		case s.sem <- struct{}{}:
-			s.met.queueDepth.Add(-1)
-		case <-ctx.Done():
-			s.met.queueDepth.Add(-1)
-			return nil, ctx.Err()
-		}
-		s.met.inFlight.Add(1)
-		defer func() {
-			s.met.inFlight.Add(-1)
-			<-s.sem
-		}()
-		if s.computeHook != nil {
-			s.computeHook()
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		s.met.evaluations.Add(1)
-		resp, err := s.protect(ctx, compute)
-		if err != nil {
-			return nil, err
-		}
-		out, err := json.Marshal(resp)
-		if err != nil {
-			return nil, fmt.Errorf("service: marshal response: %w", err)
-		}
-		s.results.Put(key, out)
-		// Fill the persistent store asynchronously: Put enqueues into the
-		// write batcher (group fsync); Drain flushes what is pending.
-		if s.cfg.Store != nil {
-			if err := s.cfg.Store.Put(key, out); err != nil {
-				log.Printf("service: store fill %s: %v", key, err)
-			}
-		}
-		return out, nil
+		return localCompute(ctx)
 	})
 	if shared {
 		s.met.dedupHits.Add(1)
 	}
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		var shed *overload.ShedError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 			s.met.timeouts.Add(1)
-		} else {
+		case errors.As(err, &shed):
+			// Counted at the shed site; not an internal error.
+		default:
 			s.met.errors.Add(1)
 		}
 		return nil, err
@@ -465,13 +571,35 @@ func (s *Service) protect(ctx context.Context, compute func(ctx context.Context)
 	return compute(ctx)
 }
 
-// prepared is the common front half of both request kinds.
+// prepared is the common front half of both request kinds. The resolved
+// network is retained so a brownout downgrade can bind a substitute 2RM
+// model against the same topology.
 type prepared struct {
 	bench   *iccad.Benchmark
 	entry   *modelEntry
 	ref     CaseRef
 	ms      ModelSpec
+	net     *network.Network
 	netHash string
+}
+
+// downgradeEntry returns the model entry a brownout downgrade should
+// compute with: the cheap 2RM binding of the same (case, network) when
+// the ladder is at LevelDowngrade+ and the request asked for the full
+// 4RM model. ok reports that a substitution happened — the response
+// must be flagged Degraded and must not be cached.
+func (s *Service) downgradeEntry(p *prepared) (*modelEntry, bool) {
+	if s.brown.Level() < overload.LevelDowngrade || p.ms.Model == "2rm" {
+		return p.entry, false
+	}
+	sub := ModelSpec{Model: "2rm", CoarseM: 4, Upwind: p.ms.Upwind}
+	e, err := s.model(p.ref, sub, p.bench, p.net, p.netHash)
+	if err != nil {
+		// The substitute failed to build; serve full fidelity rather than
+		// failing the request over an optimization.
+		return p.entry, false
+	}
+	return e, true
 }
 
 func (s *Service) prepare(ref CaseRef, ms ModelSpec, ns NetworkSpec) (*prepared, error) {
@@ -496,7 +624,7 @@ func (s *Service) prepare(ref CaseRef, ms ModelSpec, ns NetworkSpec) (*prepared,
 	if err != nil {
 		return nil, err
 	}
-	return &prepared{bench: b, entry: entry, ref: ref, ms: ms, netHash: netHash}, nil
+	return &prepared{bench: b, entry: entry, ref: ref, ms: ms, net: n, netHash: netHash}, nil
 }
 
 // Simulate runs (or serves from cache) one steady probe at req.Psys.
@@ -515,19 +643,24 @@ func (s *Service) Simulate(ctx context.Context, req SimulateRequest) ([]byte, er
 	// a peer with different defaults derives the same cache key.
 	fwd := req
 	fwd.CaseRef, fwd.ModelSpec = p.ref, p.ms
-	return s.do(ctx, key, "/v1/simulate", fwd, req.TimeoutMS, func(ctx context.Context) (any, error) {
+	return s.do(ctx, key, "/v1/simulate", fwd, req.TimeoutMS, overload.Interactive, func(ctx context.Context) (any, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		out, err := p.entry.sim(req.Psys)
+		entry, subbed := s.downgradeEntry(p)
+		out, err := entry.sim(req.Psys)
 		if err != nil {
 			return nil, err
 		}
-		return &SimulateResponse{
+		resp := &SimulateResponse{
 			CacheKey: key, Psys: out.Psys, DeltaT: out.DeltaT, Tmax: out.Tmax,
 			Wpump: out.Wpump, Qsys: out.Qsys, Rsys: out.Rsys, SolveIters: out.SolveIters,
-			Degraded: out.Probe.Degraded,
-		}, nil
+			Degraded: out.Probe.Degraded || subbed,
+		}
+		if subbed {
+			return &downgradedResponse{resp: resp}, nil
+		}
+		return resp, nil
 	})
 }
 
@@ -549,17 +682,18 @@ func (s *Service) Evaluate(ctx context.Context, req EvaluateRequest) ([]byte, er
 	key := cacheKey("evaluate", p.ref, p.ms, p.netHash, float64(problem), req.WpumpStar)
 	fwd := req
 	fwd.CaseRef, fwd.ModelSpec, fwd.Problem = p.ref, p.ms, problem
-	return s.do(ctx, key, "/v1/evaluate", fwd, req.TimeoutMS, func(ctx context.Context) (any, error) {
+	return s.do(ctx, key, "/v1/evaluate", fwd, req.TimeoutMS, overload.Interactive, func(ctx context.Context) (any, error) {
 		in := &p.bench.Instance
 		opt := s.cfg.Search
+		entry, subbed := s.downgradeEntry(p)
 		// An evaluation runs many probes; the degraded count of the
 		// entry's factored system advancing during this computation means
 		// at least one of them needed a fallback rung.
-		deg0 := p.entry.stats().Degraded
+		deg0 := entry.stats().Degraded
 		var r core.EvalResult
 		var err error
 		if problem == 1 {
-			r, err = core.EvaluatePumpMin(ctx, p.entry.sim, in.DeltaTStar, in.TmaxStar, opt)
+			r, err = core.EvaluatePumpMin(ctx, entry.sim, in.DeltaTStar, in.TmaxStar, opt)
 		} else {
 			wstar := req.WpumpStar
 			if wstar <= 0 {
@@ -572,10 +706,10 @@ func (s *Service) Evaluate(ctx context.Context, req EvaluateRequest) ([]byte, er
 			// Any probe yields R_sys, which converts the pumping budget
 			// into the pressure budget of Eq. (10).
 			var out *thermal.Outcome
-			out, err = p.entry.sim(pinit)
+			out, err = entry.sim(pinit)
 			if err == nil {
 				budget := core.PressureBudget(wstar, out.Rsys)
-				r, err = core.EvaluateGradMin(ctx, p.entry.sim, in.TmaxStar, budget, opt)
+				r, err = core.EvaluateGradMin(ctx, entry.sim, in.TmaxStar, budget, opt)
 			}
 		}
 		if err != nil {
@@ -584,11 +718,14 @@ func (s *Service) Evaluate(ctx context.Context, req EvaluateRequest) ([]byte, er
 		resp := &EvaluateResponse{
 			CacheKey: key, Problem: problem, Feasible: r.Feasible,
 			Psys: r.Psys, Wpump: r.Wpump, DeltaT: r.DeltaT, Probes: r.Probes,
-			Degraded: p.entry.stats().Degraded > deg0,
+			Degraded: entry.stats().Degraded > deg0 || subbed,
 		}
 		if r.Out != nil {
 			resp.Tmax = r.Out.Tmax
 			resp.Degraded = resp.Degraded || r.Out.Probe.Degraded
+		}
+		if subbed {
+			return &downgradedResponse{resp: resp}, nil
 		}
 		return resp, nil
 	})
@@ -633,6 +770,16 @@ func (s *Service) Metrics() MetricsSnapshot {
 		st := s.cfg.Cluster.Stats()
 		snap.Cluster = &st
 	}
+	snap.Overload = OverloadSnapshot{
+		Admission:        s.adm.Snapshot(),
+		Brownout:         s.brown.Snapshot(),
+		Shed:             s.met.shed.Load(),
+		Hedges:           s.met.hedges.Load(),
+		HedgeLocalWins:   s.met.hedgeLocalWins.Load(),
+		DowngradedServed: s.met.downgradedServed.Load(),
+		FillsPaused:      s.met.fillsPaused.Load(),
+		PeerTierSkips:    s.met.peerTierSkips.Load(),
+	}
 	s.models.Each(func(_ string, v any) {
 		e := v.(*modelEntry)
 		if e.stats == nil {
@@ -665,6 +812,8 @@ func (s *Service) Metrics() MetricsSnapshot {
 	snap.Optimize.Resumes = js.Resumes
 	snap.Optimize.Recovered = js.Recovered
 	snap.Optimize.States = js.States
+	snap.Optimize.EventsDropped = js.EventsDropped
+	snap.Overload.JobsShed = js.Shed
 	for _, rec := range s.jobs.List() {
 		p := OptimizeProgress{
 			ID: rec.ID, Key: rec.Key, State: string(rec.State),

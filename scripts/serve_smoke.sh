@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Integration smoke for cmd/lcn-serve, in four phases:
+# Integration smoke for cmd/lcn-serve, in six phases:
 #
 #  1. happy path — start the daemon at reduced scale, fire duplicate
 #     concurrent evaluations, assert the metrics show single-flight
@@ -22,7 +22,15 @@
 #  5. kill-and-resume — start a node with a store, submit an async
 #     optimization job, SIGKILL the process after its first checkpoint,
 #     restart on the same store, and assert the job is recovered and
-#     completes from the checkpoint (resumes >= 1).
+#     completes from the checkpoint (resumes >= 1);
+#  6. overload & brownout — (a) a 12-way burst against a 2-worker,
+#     tiny-queue daemon with fault-paced computes: admitted requests
+#     succeed, the surplus gets 429 + Retry-After, the admission
+#     counters reconcile, and the next request is a plain 200; (b) a
+#     2-node fleet with overload.breaker=always armed: every peer call
+#     is refused locally by an open circuit breaker, remote-owned
+#     requests fall back to local compute, and the per-peer health rows
+#     in /v1/metrics show the open breakers.
 set -euo pipefail
 
 ADDR="127.0.0.1:${LCN_SERVE_PORT:-18080}"
@@ -313,3 +321,123 @@ kill -TERM "$SRV"
 wait "$SRV" || { echo "FAIL: non-zero exit after SIGTERM (jobs)"; exit 1; }
 SRV=""
 echo "PASS: kill-and-resume — SIGKILL mid-job, restart recovers and completes from checkpoint"
+
+# ---- Phase 6: overload & brownout -----------------------------------
+
+# 6a. Overload burst: a 2-worker daemon with a tiny admission queue and
+# fault-paced (slow) computes takes a 12-way burst of distinct requests:
+# the admitted ones succeed, the surplus is shed promptly with 429 +
+# Retry-After, the admission counters reconcile exactly, and the daemon
+# serves normally the moment the burst ends.
+LCN_FAULTS="thermal.slow=always;delay=250ms" \
+  /tmp/lcn-serve-smoke -addr "$ADDR" -scale "$CHAOS_SCALE" -workers 2 -max-queue 2 >"$OUT" &
+SRV=$!
+
+for i in $(seq 1 50); do
+  curl -sf "http://$ADDR/healthz" >/dev/null && break
+  [ "$i" = 50 ] && { echo "FAIL: overload server never became healthy"; exit 1; }
+  sleep 0.2
+done
+
+BURST="$(mktemp -d)"
+pids=()
+for i in $(seq 1 12); do
+  curl -s -o /dev/null -D "$BURST/$i.hdr" -w '%{http_code}' -XPOST \
+    -d "{\"case\":1,\"model\":\"2rm\",\"coarse_m\":4,\"network\":{\"generator\":\"straight\"},\"psys\":$((9600 + i))}" \
+    "http://$ADDR/v1/simulate" >"$BURST/$i.code" &
+  pids+=($!)
+done
+for p in "${pids[@]}"; do wait "$p"; done
+
+oks=0; sheds=0
+for i in $(seq 1 12); do
+  got="$(cat "$BURST/$i.code")"
+  case "$got" in
+    200) oks=$((oks + 1)) ;;
+    429)
+      sheds=$((sheds + 1))
+      grep -qi '^retry-after:' "$BURST/$i.hdr" \
+        || { echo "FAIL: 429 without Retry-After header"; exit 1; }
+      ;;
+    *) echo "FAIL: burst request $i got $got, want 200 or 429"; exit 1 ;;
+  esac
+done
+rm -rf "$BURST"
+[ "$oks" -ge 1 ] && [ "$sheds" -ge 1 ] \
+  || { echo "FAIL: burst resolved $oks OK / $sheds shed, want both nonzero"; exit 1; }
+
+curl -sf "http://$ADDR/v1/metrics" | python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+o = m["overload"]
+a = o["admission"]["interactive"]
+print("overload metrics:", {"shed": o["shed"], "admission": a,
+    "brownout": o["brownout"]["level_name"], "limit": o["admission"]["limit"]})
+assert o["shed"] >= 1, "no admission sheds counted"
+assert a["offered"] == a["admitted"] + a["shed"] + a["abandoned"] + a["waiting"], \
+    "admission counters do not reconcile: %r" % a
+assert m["in_flight"] == 0 and m["queue_depth"] == 0, "leaked worker slots"
+'
+
+# The burst is over: the very next request must be a plain 200.
+got="$(curl -s -o /dev/null -w '%{http_code}' -XPOST \
+  -d '{"case":1,"model":"2rm","coarse_m":4,"network":{"generator":"straight"},"psys":9999}' \
+  "http://$ADDR/v1/simulate")"
+[ "$got" = 200 ] || { echo "FAIL: post-burst request got $got, want 200"; exit 1; }
+
+kill -TERM "$SRV"
+wait "$SRV" || { echo "FAIL: non-zero exit after SIGTERM (overload)"; exit 1; }
+SRV=""
+echo "PASS: overload — burst shed with 429 + Retry-After, counters reconcile, prompt recovery"
+
+# 6b. Breaker chaos: with overload.breaker=always armed, every peer call
+# is refused locally by a tripped circuit breaker — no network attempt —
+# and remote-owned requests degrade to local compute, never to an error.
+# The per-peer health rows must show the open breaker.
+LCN_FAULTS="overload.breaker=always" \
+  /tmp/lcn-serve-smoke -addr "$B" -scale "$CHAOS_SCALE" -self "$B" -peers "$B,$C" >/dev/null &
+SRVB=$!
+LCN_FAULTS="overload.breaker=always" \
+  /tmp/lcn-serve-smoke -addr "$C" -scale "$CHAOS_SCALE" -self "$C" -peers "$B,$C" >/dev/null &
+SRVC=$!
+
+for node in "$B" "$C"; do
+  for i in $(seq 1 50); do
+    curl -sf "http://$node/healthz" >/dev/null && break
+    [ "$i" = 50 ] && { echo "FAIL: breaker chaos node $node never became healthy"; exit 1; }
+    sleep 0.2
+  done
+done
+
+# Each key goes to BOTH nodes: exactly one of the two sees it as
+# remote-owned and must take the breaker-refusal fallback path.
+for p in 9700 9710 9720 9730; do
+  for node in "$B" "$C"; do
+    curl -sf -XPOST -d "{\"case\":1,\"model\":\"2rm\",\"coarse_m\":4,\"network\":{\"generator\":\"straight\"},\"psys\":$p}" \
+      "http://$node/v1/simulate" >/dev/null \
+      || { echo "FAIL: request failed under open breakers (psys=$p via $node)"; exit 1; }
+  done
+done
+
+{ curl -sf "http://$B/v1/metrics"; curl -sf "http://$C/v1/metrics"; } | python3 -c '
+import json, sys
+nodes = [json.loads(l) for l in sys.stdin if l.strip()]
+print("breaker chaos metrics:", [{
+    "local_fallbacks": m["local_fallbacks"], "peer_hits": m["peer_hits"],
+    "breaker_refusals": m["cluster"]["breaker_refusals"],
+    "peer_health": m["cluster"].get("peer_health")} for m in nodes])
+assert sum(m["local_fallbacks"] for m in nodes) >= 4, \
+    "remote-owned requests did not fall back locally"
+assert all(m["peer_hits"] == 0 for m in nodes), "peer tier succeeded despite open breakers"
+assert sum(m["cluster"]["breaker_refusals"] for m in nodes) >= 1, "no breaker refusals counted"
+rows = [r for m in nodes for r in (m["cluster"].get("peer_health") or [])]
+assert any(r["breaker"] == "open" for r in rows), "no open breaker in peer health rows: %r" % rows
+fired = sum(m.get("faults", {}).get("overload.breaker", {}).get("fired", 0) for m in nodes)
+assert fired >= 1, "overload.breaker injection not visible"
+'
+
+kill -TERM "$SRVB" "$SRVC"
+wait "$SRVB" || { echo "FAIL: breaker chaos node B non-zero exit after SIGTERM"; exit 1; }
+wait "$SRVC" || { echo "FAIL: breaker chaos node C non-zero exit after SIGTERM"; exit 1; }
+SRVB="" SRVC=""
+echo "PASS: breaker chaos — open breakers refuse locally, fallback serves, health rows visible"
