@@ -25,6 +25,7 @@ import (
 	"lcn3d/internal/network"
 	"lcn3d/internal/rm2"
 	"lcn3d/internal/rm4"
+	"lcn3d/internal/scenario"
 	"lcn3d/internal/service"
 	"lcn3d/internal/store"
 	"lcn3d/internal/thermal"
@@ -61,12 +62,26 @@ type mgCounters struct {
 
 // benchReport is the BENCH_<date>.json schema.
 type benchReport struct {
-	Date     string        `json:"date"`
-	Commit   string        `json:"commit"`
-	Scale    int           `json:"scale"`
-	Results  []benchEntry  `json:"benchmarks"`
-	Service  serviceBench  `json:"service"`
-	Optimize optimizeBench `json:"optimize"`
+	Date      string         `json:"date"`
+	Commit    string         `json:"commit"`
+	Scale     int            `json:"scale"`
+	Results   []benchEntry   `json:"benchmarks"`
+	Service   serviceBench   `json:"service"`
+	Optimize  optimizeBench  `json:"optimize"`
+	Transient transientBench `json:"transient"`
+}
+
+// transientBench times one implicit-Euler trace with a DVFS step and a
+// pump ramp (three (dt, s) segments' worth of events): the headline is
+// steps/s and the factorization count, which must stay at one per
+// segment for the amortization to hold.
+type transientBench struct {
+	Steps          int     `json:"steps"`
+	Segments       int     `json:"segments"`
+	Factorizations int     `json:"factorizations"`
+	StepsPerSec    float64 `json:"steps_per_sec"`
+	NsPerStep      int64   `json:"ns_per_step"`
+	SolveIters     int     `json:"solve_iters"`
 }
 
 // optimizeBench compares one serial SolveProblem1 run against the same
@@ -316,6 +331,39 @@ func optimizeComparison() (optimizeBench, error) {
 			(float64(multiNs) / float64(multi.Evals))
 	}
 	return ob, nil
+}
+
+// transientTiming runs one 200-step transient trace on a fresh 2RM
+// model: a DVFS power step at t=0.1 s and a pump-failure window at
+// t=[0.2, 0.3) s, so the trace crosses three pump-pressure segments and
+// the factorization count proves (or disproves) one-per-segment reuse.
+func transientTiming(bench *iccad.Benchmark, nets []*network.Network) (transientBench, error) {
+	mod, err := rm2.New(bench.Stk, nets, 4, thermal.Central)
+	if err != nil {
+		return transientBench{}, err
+	}
+	spec := &scenario.Spec{
+		Dt: 2e-3, Steps: 200, Psys: 10e3,
+		Power: []scenario.PowerEvent{{Kind: "dvfs", Layer: -1, T0: 0.1, Factor: 2}},
+		Pump:  []scenario.PumpEvent{{Kind: "fail", T0: 0.2, T1: 0.3, Frac: 0.5}},
+	}
+	t0 := time.Now()
+	res, err := scenario.Run(context.Background(), mod, spec, nil)
+	if err != nil {
+		return transientBench{}, err
+	}
+	elapsed := time.Since(t0)
+	tb := transientBench{
+		Steps:          res.Stats.Steps,
+		Segments:       res.Stats.Segments,
+		Factorizations: res.Stats.PrecondBuilds,
+		NsPerStep:      elapsed.Nanoseconds() / int64(max(res.Stats.Steps, 1)),
+		SolveIters:     res.Stats.SolveIters,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		tb.StepsPerSec = float64(res.Stats.Steps) / s
+	}
+	return tb, nil
 }
 
 // benchProbes mirrors the probe cycle of the root bench_test.go warm
@@ -579,6 +627,16 @@ func runMicrobench(scale int, dir, baseline string, logf func(string, ...any)) e
 			return fmt.Errorf("NetworkEvaluation/%v: %w", strat, err)
 		}
 		add(fmt.Sprintf("NetworkEvaluation/%v", strat), ops, ns, st)
+	}
+
+	report.Transient, err = transientTiming(bench, nets)
+	if err != nil {
+		return fmt.Errorf("transient timing: %w", err)
+	}
+	if logf != nil {
+		logf("transient: %d steps in %d segments, %d factorizations, %.0f steps/s",
+			report.Transient.Steps, report.Transient.Segments,
+			report.Transient.Factorizations, report.Transient.StepsPerSec)
 	}
 
 	report.Optimize, err = optimizeComparison()

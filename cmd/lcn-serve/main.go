@@ -14,6 +14,7 @@
 //
 //	POST /v1/simulate     one flow+thermal probe at a fixed pressure
 //	POST /v1/evaluate     Algorithm 2/3 lowest-feasible-P_sys evaluation
+//	POST /v1/transient    streamed transient trace (SSE step + result events)
 //	POST /v1/optimize     multi-chain SA optimization (single or batch)
 //	GET  /v1/store/{hash} cached response bytes by cache key (peer fetch)
 //	GET  /v1/metrics      counters, rates, and latency quantiles

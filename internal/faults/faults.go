@@ -101,6 +101,15 @@ const (
 	// OverloadHedge elides the hedge delay, so the secondary (local
 	// compute) launches immediately alongside the peer read.
 	OverloadHedge Point = "overload.hedge"
+	// TransientPump halves the effective pump pressure for the transient
+	// step it fires on, a chaos stand-in for pump stutter on top of any
+	// scheduled pump events.
+	TransientPump Point = "thermal.transient.pump"
+	// TransientNaN poisons the stepped temperature field with a NaN
+	// after the solve, exercising the transient post-step field guard.
+	TransientNaN Point = "thermal.transient.nan"
+	// TransientSlow sleeps for Delay() inside TransientSystem.Step.
+	TransientSlow Point = "thermal.transient.slow"
 )
 
 // Points lists every registered injection point.
@@ -111,6 +120,7 @@ var Points = []Point{
 	StoreFlush, StoreRead, ClusterForward, ClusterFetch, ClusterProbe,
 	JobsCheckpoint,
 	OverloadShed, OverloadPressure, OverloadBreaker, OverloadHedge,
+	TransientPump, TransientNaN, TransientSlow,
 }
 
 // EnvVar is the environment variable ArmFromEnv reads the spec from.

@@ -1,0 +1,227 @@
+package iccad
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/network"
+	"lcn3d/internal/rm2"
+	"lcn3d/internal/rm4"
+	"lcn3d/internal/scenario"
+	"lcn3d/internal/thermal"
+)
+
+// goldenTrace is the persisted summary of one transient trace. Solver
+// counters are deliberately excluded (they are implementation detail);
+// the corpus pins the physics of the trace.
+type goldenTrace struct {
+	Peak       float64 `json:"peak"`
+	PeakTime   float64 `json:"peak_time"`
+	Final      float64 `json:"final"`
+	FinalDT    float64 `json:"final_delta_t"`
+	Overshoot  float64 `json:"overshoot"`
+	SteadyTime float64 `json:"steady_time"`
+	PumpEnergy float64 `json:"pump_energy"`
+}
+
+type goldenTransient struct {
+	Name        string      `json:"name"`
+	Case        int         `json:"case"`
+	NetworkHash string      `json:"network_hash"`
+	RM2         goldenTrace `json:"rm2"`
+	RM4         goldenTrace `json:"rm4"`
+}
+
+func toGoldenTrace(r *scenario.Result) goldenTrace {
+	return goldenTrace{
+		Peak: r.Peak, PeakTime: r.PeakTime,
+		Final: r.Final, FinalDT: r.FinalDT,
+		Overshoot: r.Overshoot, SteadyTime: r.SteadyTime,
+		PumpEnergy: r.PumpEnergy,
+	}
+}
+
+// transientCases: one DVFS power step and one partial pump failure, each
+// on a different benchmark power map, both run through both models.
+var transientCases = []struct {
+	name   string
+	caseID int
+	spec   scenario.Spec
+}{
+	{
+		name:   "case1_dvfs_step",
+		caseID: 1,
+		spec: scenario.Spec{
+			Dt: 2e-3, Steps: 60, Psys: 10e3,
+			Power: []scenario.PowerEvent{
+				{Kind: "dvfs", Layer: -1, T0: 0.04, Factor: 2.5},
+			},
+		},
+	},
+	{
+		name:   "case2_pump_fail",
+		caseID: 2,
+		spec: scenario.Spec{
+			Dt: 2e-3, Steps: 60, Psys: 10e3,
+			Pump: []scenario.PumpEvent{
+				{Kind: "fail", T0: 0.04, Frac: 0.3},
+			},
+		},
+	},
+}
+
+// transientModels builds both thermal models for a benchmark on the
+// straight-west network at golden scale.
+func transientModels(t *testing.T, caseID int) (*network.Network, *rm2.Model, *rm4.Model) {
+	t.Helper()
+	b, err := LoadScaled(caseID, goldenDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := network.Straight(b.Stk.Dims, grid.SideWest, 1)
+	b.ApplyKeepout(n)
+	nets := make([]*network.Network, len(b.Stk.ChannelLayers()))
+	for i := range nets {
+		nets[i] = n
+	}
+	m2, err := rm2.New(b.Stk, nets, goldenCoarseM, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := rm4.New(b.Stk, nets, thermal.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, m2, m4
+}
+
+func checkTrace(t *testing.T, fixture, model string, got, want goldenTrace) {
+	t.Helper()
+	const tol = 1e-6
+	fields := []struct {
+		name      string
+		got, want float64
+	}{
+		{"peak", got.Peak, want.Peak},
+		{"peak_time", got.PeakTime, want.PeakTime},
+		{"final", got.Final, want.Final},
+		{"final_delta_t", got.FinalDT, want.FinalDT},
+		{"overshoot", got.Overshoot, want.Overshoot},
+		{"steady_time", got.SteadyTime, want.SteadyTime},
+		{"pump_energy", got.PumpEnergy, want.PumpEnergy},
+	}
+	for _, f := range fields {
+		if d := relDiff(f.got, f.want); d > tol {
+			t.Errorf("%s %s: %s = %.12g, golden %.12g (rel diff %.3g > %g)",
+				fixture, model, f.name, f.got, f.want, d, tol)
+		}
+	}
+}
+
+// TestGoldenTransientCorpus recomputes every transient fixture with both
+// thermal models and compares against the committed goldens. Run with
+// -update to rewrite them after an intentional physics change.
+func TestGoldenTransientCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 2RM and 4RM transient traces")
+	}
+	for _, tc := range transientCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			n, m2, m4 := transientModels(t, tc.caseID)
+			ctx := context.Background()
+			r2, err := scenario.Run(ctx, m2, &tc.spec, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r4, err := scenario.Run(ctx, m4, &tc.spec, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := goldenTransient{
+				Name: tc.name, Case: tc.caseID, NetworkHash: n.CanonicalHash(),
+				RM2: toGoldenTrace(r2), RM4: toGoldenTrace(r4),
+			}
+			// Trace-shape sanity holds regardless of golden freshness.
+			for model, r := range map[string]*scenario.Result{"2rm": r2, "4rm": r4} {
+				if r.Peak < 300 || math.IsNaN(r.Peak) {
+					t.Fatalf("%s: unphysical peak %g", model, r.Peak)
+				}
+				if r.Overshoot < 0 {
+					t.Fatalf("%s: negative overshoot %g", model, r.Overshoot)
+				}
+				if r.Stats.Steps != tc.spec.Steps {
+					t.Fatalf("%s: %d steps recorded, want %d", model, r.Stats.Steps, tc.spec.Steps)
+				}
+			}
+
+			path := goldenPath(tc.name)
+			if *updateGolden {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", path)
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			var want goldenTransient
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatal(err)
+			}
+			if got.NetworkHash != want.NetworkHash {
+				t.Fatalf("%s: fixture network hash %s, golden %s — the fixture generator changed",
+					tc.name, got.NetworkHash, want.NetworkHash)
+			}
+			checkTrace(t, tc.name, "2rm", got.RM2, want.RM2)
+			checkTrace(t, tc.name, "4rm", got.RM4, want.RM4)
+		})
+	}
+}
+
+// TestGoldenTransientModelAgreement is the transient differential check:
+// the coarse 2RM trace must track the 4RM trace. The peak temperature
+// rise above the 300 K inlet and the time axis must agree within
+// empirical bounds (looser than the steady corpus — coarsening smooths
+// transients); pump energy is model-independent physics and agrees
+// tightly.
+func TestGoldenTransientModelAgreement(t *testing.T) {
+	const tin = 300.0
+	for _, tc := range transientCases {
+		data, err := os.ReadFile(goldenPath(tc.name))
+		if err != nil {
+			t.Fatalf("missing golden (run TestGoldenTransientCorpus with -update): %v", err)
+		}
+		var fx goldenTransient
+		if err := json.Unmarshal(data, &fx); err != nil {
+			t.Fatal(err)
+		}
+		type bound struct {
+			name     string
+			rm2, rm4 float64
+			maxRel   float64
+		}
+		for _, b := range []bound{
+			{"peak rise", fx.RM2.Peak - tin, fx.RM4.Peak - tin, 0.30},
+			{"final rise", fx.RM2.Final - tin, fx.RM4.Final - tin, 0.30},
+			{"steady_time", fx.RM2.SteadyTime, fx.RM4.SteadyTime, 0.60},
+			{"pump_energy", fx.RM2.PumpEnergy, fx.RM4.PumpEnergy, 0.05},
+		} {
+			if d := relDiff(b.rm2, b.rm4); d > b.maxRel {
+				t.Errorf("%s: 2RM-vs-4RM %s diverges: %.6g vs %.6g (rel %.3g > %.2g)",
+					fx.Name, b.name, b.rm2, b.rm4, d, b.maxRel)
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package rm2
+
+// Transient-scenario surface of the 2RM model, mirroring rm4's: power
+// schedules arrive on the fine grid and are aggregated onto the coarse
+// thermal cells, so the same scenario drives both models and their
+// traces stay comparable.
+
+import (
+	"fmt"
+
+	"lcn3d/internal/power"
+	"lcn3d/internal/thermal"
+)
+
+// Transient compiles an implicit-Euler stepper at pump pressure psys and
+// time step dt, sharing the model's compiled thermal system. The stepper
+// owns a private copy, so steady probes on the model stay unaffected.
+func (m *Model) Transient(psys, dt float64) (*thermal.TransientSystem, error) {
+	if err := m.checkFlow(psys); err != nil {
+		return nil, err
+	}
+	fact, err := m.factored()
+	if err != nil {
+		return nil, err
+	}
+	return fact.Transient(m.caps, dt, psys)
+}
+
+// Tin returns the coolant inlet temperature, K.
+func (m *Model) Tin() float64 { return m.Stk.TinK }
+
+// BasePowers returns clones of the source layers' power maps (fine grid,
+// bottom to top) — schedules mutate these; the model aggregates the
+// result onto its coarse cells in PowerDelta.
+func (m *Model) BasePowers() []*power.Map {
+	var out []*power.Map
+	for _, l := range m.Stk.SourceLayers() {
+		out = append(out, m.Stk.Layers[l].Power.Clone())
+	}
+	return out
+}
+
+// PowerDelta converts replacement fine-grid source-layer power maps into
+// the RHS delta of the coarse system: each coarse solid cell receives
+// the summed fine-cell difference against the assembled base powers.
+func (m *Model) PowerDelta(maps []*power.Map) ([]float64, error) {
+	src := m.Stk.SourceLayers()
+	if len(maps) != len(src) {
+		return nil, fmt.Errorf("rm2: %d power maps for %d source layers", len(maps), len(src))
+	}
+	d := m.Stk.Dims
+	cd := m.til.Coarse
+	delta := make([]float64, m.NumNodes())
+	for k, l := range src {
+		if maps[k].Dims != d {
+			return nil, fmt.Errorf("rm2: power map %d is %dx%d, want %dx%d",
+				k, maps[k].Dims.NX, maps[k].Dims.NY, d.NX, d.NY)
+		}
+		base := m.Stk.Layers[l].Power
+		for cy := 0; cy < cd.NY; cy++ {
+			for cx := 0; cx < cd.NX; cx++ {
+				sn := m.solidNode[l][cd.Index(cx, cy)]
+				if sn < 0 {
+					continue
+				}
+				var dq float64
+				m.til.EachFine(cx, cy, func(x, y int) {
+					i := d.Index(x, y)
+					dq += maps[k].W[i] - base.W[i]
+				})
+				delta[sn] += dq
+			}
+		}
+	}
+	return delta, nil
+}
+
+// PeakDelta derives the per-step scalar metrics (peak source temperature
+// and max per-layer spread) from a full transient field.
+func (m *Model) PeakDelta(field []float64) (tmax, deltaT float64) {
+	cd := m.til.Coarse
+	var layers [][]float64
+	for _, l := range m.Stk.SourceLayers() {
+		vals := make([]float64, 0, cd.N())
+		for _, sn := range m.solidNode[l] {
+			if sn >= 0 {
+				vals = append(vals, field[sn])
+			}
+		}
+		layers = append(layers, vals)
+	}
+	met := thermal.ComputeMetrics(layers)
+	return met.Tmax, met.DeltaT
+}
+
+// PumpWork returns the total coolant throughput (m³/s) and pumping power
+// (W) at pressure psys; both are linear in the pressure.
+func (m *Model) PumpWork(psys float64) (qsys, wpump float64) {
+	for _, ref := range m.refFlows {
+		qsys += ref.Qsys * psys
+	}
+	return qsys, psys * qsys
+}

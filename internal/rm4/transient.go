@@ -1,0 +1,84 @@
+package rm4
+
+// Transient-scenario surface of the 4RM model: the implicit-Euler
+// stepper shares the model's factored steady system (affine static/flow
+// split, coarse map, escalation ladder), and power schedules are applied
+// as RHS deltas so a workload change never costs a refactorization.
+
+import (
+	"fmt"
+
+	"lcn3d/internal/power"
+	"lcn3d/internal/thermal"
+)
+
+// Transient compiles an implicit-Euler stepper at pump pressure psys and
+// time step dt, sharing the model's compiled thermal system. The stepper
+// owns a private copy, so steady probes on the model stay unaffected.
+func (m *Model) Transient(psys, dt float64) (*thermal.TransientSystem, error) {
+	if err := m.checkFlow(psys); err != nil {
+		return nil, err
+	}
+	fact, err := m.factored()
+	if err != nil {
+		return nil, err
+	}
+	return fact.Transient(m.caps, dt, psys)
+}
+
+// Tin returns the coolant inlet temperature, K.
+func (m *Model) Tin() float64 { return m.Stk.TinK }
+
+// BasePowers returns clones of the source layers' power maps (fine grid,
+// bottom to top) — the state a transient schedule mutates per step.
+func (m *Model) BasePowers() []*power.Map {
+	var out []*power.Map
+	for _, l := range m.Stk.SourceLayers() {
+		out = append(out, m.Stk.Layers[l].Power.Clone())
+	}
+	return out
+}
+
+// PowerDelta converts replacement source-layer power maps (fine grid,
+// same order as BasePowers) into the RHS delta the transient stepper
+// applies on top of the compiled b(s): delta[node] = new − assembled.
+func (m *Model) PowerDelta(maps []*power.Map) ([]float64, error) {
+	src := m.Stk.SourceLayers()
+	if len(maps) != len(src) {
+		return nil, fmt.Errorf("rm4: %d power maps for %d source layers", len(maps), len(src))
+	}
+	n := m.Stk.Dims.N()
+	delta := make([]float64, m.NumNodes())
+	for k, l := range src {
+		if maps[k].Dims != m.Stk.Dims {
+			return nil, fmt.Errorf("rm4: power map %d is %dx%d, want %dx%d",
+				k, maps[k].Dims.NX, maps[k].Dims.NY, m.Stk.Dims.NX, m.Stk.Dims.NY)
+		}
+		base := m.Stk.Layers[l].Power
+		for i := 0; i < n; i++ {
+			delta[m.node(l, i)] = maps[k].W[i] - base.W[i]
+		}
+	}
+	return delta, nil
+}
+
+// PeakDelta derives the per-step scalar metrics (peak source temperature
+// and max per-layer spread) from a full transient field.
+func (m *Model) PeakDelta(field []float64) (tmax, deltaT float64) {
+	n := m.Stk.Dims.N()
+	var layers [][]float64
+	for _, l := range m.Stk.SourceLayers() {
+		layers = append(layers, field[l*n:(l+1)*n])
+	}
+	met := thermal.ComputeMetrics(layers)
+	return met.Tmax, met.DeltaT
+}
+
+// PumpWork returns the total coolant throughput (m³/s) and pumping power
+// (W) at pressure psys; both are linear in the pressure.
+func (m *Model) PumpWork(psys float64) (qsys, wpump float64) {
+	for _, ref := range m.refFlows {
+		qsys += ref.Qsys * psys
+	}
+	return qsys, psys * qsys
+}

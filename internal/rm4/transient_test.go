@@ -1,0 +1,142 @@
+package rm4
+
+import (
+	"context"
+	"testing"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/network"
+	"lcn3d/internal/scenario"
+	"lcn3d/internal/thermal"
+)
+
+var _ scenario.Model = (*Model)(nil)
+
+// TestTransientOneFactorizationPerSegment is the amortization acceptance
+// bar: a >=200-step trace spanning three (dt, s) segments must build
+// exactly three preconditioners — one per segment — while every step
+// runs as a warm-started solve. The segment boundaries are chosen to
+// defeat reuse: the pressure jump exceeds the ILU drift window
+// (|log(8e4/2e4)| = 1.39 > 0.5) and SetDt invalidates unconditionally.
+func TestTransientOneFactorizationPerSegment(t *testing.T) {
+	prev := thermal.GetPrecondStrategy()
+	thermal.SetPrecondStrategy(thermal.PrecondILU)
+	t.Cleanup(func() { thermal.SetPrecondStrategy(prev) })
+
+	s := smallStack(t, 1.5, 7)
+	m := model(t, s, network.Straight(d21, grid.SideWest, 1))
+	ts, err := m.Transient(2e4, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := make([]float64, m.NumNodes())
+	for i := range field {
+		field[i] = m.Tin()
+	}
+	if err := ts.Run(field, 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.SetScale(8e4); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Run(field, 60, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.SetDt(5e-4); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Run(field, 60, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	st := ts.Stats()
+	if st.Steps != 220 {
+		t.Fatalf("steps = %d, want 220", st.Steps)
+	}
+	if st.Segments != 3 {
+		t.Fatalf("segments = %d, want 3", st.Segments)
+	}
+	if st.Probes != 220 {
+		t.Fatalf("probes = %d, want one per step", st.Probes)
+	}
+	if st.WarmStarts != 220 {
+		t.Fatalf("warm starts = %d, want one per step", st.WarmStarts)
+	}
+	if st.PrecondBuilds != st.Segments {
+		t.Fatalf("preconditioner builds = %d over %d segments, want exactly one per (dt, s) segment",
+			st.PrecondBuilds, st.Segments)
+	}
+	if st.RetryRebuild != 0 || st.RetryGMRES != 0 || st.RetryDense != 0 {
+		t.Fatalf("healthy trace escalated: %+v", st.FactorStats)
+	}
+	for _, v := range field {
+		if v < m.Tin()-1e-6 {
+			t.Fatalf("temperature %g below inlet after trace", v)
+		}
+	}
+}
+
+// TestScenarioRunOnModel drives the full scenario layer on the real 4RM
+// model: a DVFS step must raise the trace peak above the no-event trace,
+// and the stepped trace must report sane per-step records.
+func TestScenarioRunOnModel(t *testing.T) {
+	mk := func() *Model {
+		return model(t, smallStack(t, 1.0, 9), network.Straight(d21, grid.SideWest, 1))
+	}
+	plain := &scenario.Spec{Dt: 2e-3, Steps: 30, Psys: 1e4}
+	resPlain, err := scenario.Run(context.Background(), mk(), plain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted := &scenario.Spec{Dt: 2e-3, Steps: 30, Psys: 1e4,
+		Power: []scenario.PowerEvent{{Kind: "dvfs", Layer: -1, T0: 0, Factor: 3}}}
+	var last scenario.StepRecord
+	resBoost, err := scenario.Run(context.Background(), mk(), boosted, func(r scenario.StepRecord) error {
+		last = r
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resBoost.Peak <= resPlain.Peak {
+		t.Fatalf("tripled power did not raise the peak: %g vs %g", resBoost.Peak, resPlain.Peak)
+	}
+	if last.Step != 30 || last.Tpeak != resBoost.Final {
+		t.Fatalf("last record inconsistent with result: %+v vs final %g", last, resBoost.Final)
+	}
+	if last.PumpW <= 0 || last.Psys != 1e4 {
+		t.Fatalf("pump record wrong: %+v", last)
+	}
+	if resBoost.Stats.Steps != 30 {
+		t.Fatalf("stats steps = %d", resBoost.Stats.Steps)
+	}
+}
+
+// TestScenarioPumpFailureHeatsUp checks the pump-event path end to end:
+// losing most of the pump pressure mid-trace must leave the die hotter
+// than the healthy trace at the same step.
+func TestScenarioPumpFailureHeatsUp(t *testing.T) {
+	mk := func() *Model {
+		return model(t, smallStack(t, 1.5, 11), network.Straight(d21, grid.SideWest, 1))
+	}
+	healthy := &scenario.Spec{Dt: 5e-3, Steps: 40, Psys: 2e4}
+	resH, err := scenario.Run(context.Background(), mk(), healthy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := &scenario.Spec{Dt: 5e-3, Steps: 40, Psys: 2e4,
+		Pump: []scenario.PumpEvent{{Kind: "fail", T0: 0.05, Frac: 0.05}}}
+	resF, err := scenario.Run(context.Background(), mk(), failed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resF.Final <= resH.Final {
+		t.Fatalf("pump failure did not heat the die: %g vs %g", resF.Final, resH.Final)
+	}
+	if resF.Stats.Segments < 2 {
+		t.Fatalf("pump failure should open a new (dt, s) segment, got %d", resF.Stats.Segments)
+	}
+	if resF.PumpEnergy >= resH.PumpEnergy {
+		t.Fatalf("failed pump spent more energy: %g vs %g", resF.PumpEnergy, resH.PumpEnergy)
+	}
+}

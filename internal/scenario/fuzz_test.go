@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/power"
+)
+
+// FuzzScheduleLoad feeds arbitrary bytes through the Spec decoder and, for
+// every spec that survives validation, exercises the evaluation surface:
+// PsysAt must stay finite and non-negative, PowersAt on a small uniform map
+// must stay finite, and the spec must survive a JSON round-trip. The
+// package bounds (MaxSteps, MaxEvents, MaxSpecBytes, ...) are what keep a
+// hostile spec from turning into unbounded solver work, mirroring the
+// network codec's MaxEncodedDim policy.
+func FuzzScheduleLoad(f *testing.F) {
+	f.Add([]byte(`{"dt":1e-3,"steps":10,"psys":2e4}`))
+	f.Add([]byte(`{"dt":1e-3,"steps":50,"psys":2e4,` +
+		`"power":[{"kind":"dvfs","layer":-1,"t0":0.01,"factor":2.5}],` +
+		`"pump":[{"kind":"fail","t0":0.02,"t1":0.04,"frac":0.3}]}`))
+	f.Add([]byte(`{"dt":5e-4,"steps":40,"psys":1e4,` +
+		`"power":[{"kind":"hotspot","layer":0,"t0":0,"t1":0.02,` +
+		`"x0":0.1,"y0":0.5,"x1":0.9,"y1":0.5,"sigma":0.08,"watts":3}]}`))
+	f.Add([]byte(`{"dt":1e-3,"steps":30,"psys":3e4,` +
+		`"power":[{"kind":"duty","layer":0,"factor":4,"period":0.01,"duty":0.25,` +
+		`"x0":0,"y0":0,"x1":0.5,"y1":0.5}],` +
+		`"pump":[{"kind":"ramp","t0":0,"t1":0.01,"frac":0.1}]}`))
+
+	d := grid.Dims{NX: 8, NY: 8}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: nothing more to check
+		}
+		horizon := spec.Dt * float64(spec.Steps)
+		for _, frac := range []float64{0, 0.25, 0.5, 0.99} {
+			p := spec.PsysAt(frac * horizon)
+			if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+				t.Fatalf("PsysAt(%g) = %g from valid spec %s", frac*horizon, p, data)
+			}
+		}
+		base := []*power.Map{power.New(d), power.New(d)}
+		base[0].AddUniform(1)
+		base[1].AddUniform(2)
+		for _, frac := range []float64{0, 0.5, 0.99} {
+			maps, err := spec.PowersAt(frac*horizon, base)
+			if err != nil {
+				return // layer out of range for this 2-layer base: valid rejection
+			}
+			for li, m := range maps {
+				for i, w := range m.W {
+					if math.IsNaN(w) || math.IsInf(w, 0) {
+						t.Fatalf("PowersAt layer %d cell %d = %g from valid spec %s", li, i, w, data)
+					}
+				}
+			}
+		}
+		// A validated spec must survive a marshal/Load round-trip.
+		enc, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshal valid spec: %v", err)
+		}
+		if _, err := Load(bytes.NewReader(enc)); err != nil {
+			t.Fatalf("round-trip rejected: %v\nspec: %s", err, enc)
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"lcn3d/internal/faults"
+	"lcn3d/internal/power"
+	"lcn3d/internal/thermal"
+)
+
+// Model is the simulator surface a scenario drives. Both rm4.Model and
+// rm2.Model implement it: schedules are expressed on the fine grid and
+// each model maps them onto its own unknowns.
+type Model interface {
+	Name() string
+	NumNodes() int
+	Tin() float64
+	// Transient compiles the implicit-Euler stepper at the base pressure.
+	Transient(psys, dt float64) (*thermal.TransientSystem, error)
+	// BasePowers returns clones of the source-layer power maps.
+	BasePowers() []*power.Map
+	// PowerDelta converts replacement maps into an RHS delta vector.
+	PowerDelta(maps []*power.Map) ([]float64, error)
+	// PeakDelta reduces a full field to (peak T, max layer spread).
+	PeakDelta(field []float64) (tmax, deltaT float64)
+	// PumpWork returns (throughput, pumping power) at a pressure.
+	PumpWork(psys float64) (qsys, wpump float64)
+}
+
+// StepRecord is one step's observation — the payload streamed per step
+// by /v1/transient.
+type StepRecord struct {
+	Step   int     `json:"step"`
+	T      float64 `json:"t"`       // elapsed simulated time, s
+	Psys   float64 `json:"psys"`    // effective pump pressure this step, Pa
+	Tpeak  float64 `json:"t_peak"`  // peak source-layer temperature, K
+	DeltaT float64 `json:"delta_t"` // max per-layer spread, K
+	PumpW  float64 `json:"pump_w"`  // pumping power this step, W
+}
+
+// Result summarizes a completed trace.
+type Result struct {
+	Peak       float64 `json:"peak"`      // highest Tpeak over the trace, K
+	PeakTime   float64 `json:"peak_time"` // when it occurred, s
+	Final      float64 `json:"final"`     // Tpeak at the last step, K
+	FinalDT    float64 `json:"final_delta_t"`
+	Overshoot  float64 `json:"overshoot"`   // Peak − Final, K
+	SteadyTime float64 `json:"steady_time"` // first time Tpeak enters (and stays in) the steady band, s
+	Steps      int     `json:"steps"`
+	PumpEnergy float64 `json:"pump_energy"` // ∫ pump_W dt, J
+
+	Stats thermal.TransientStats `json:"stats"`
+}
+
+// steadyBandFrac defines "steady": the trailing window where Tpeak stays
+// within this fraction of the final rise above the inlet temperature.
+const steadyBandFrac = 0.005
+
+// Run integrates the scenario on the model, invoking observe (if
+// non-nil) after every step; an observe error aborts the trace. The
+// context is checked between steps so streamed runs stop promptly when
+// the client goes away. Pump pressure and power maps are evaluated at
+// the start of each step; the thermal.transient.pump fault point, when
+// armed, halves the effective pressure on the steps it fires.
+func Run(ctx context.Context, m Model, spec *Spec, observe func(StepRecord) error) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	ts, err := m.Transient(spec.Psys, spec.Dt)
+	if err != nil {
+		return nil, err
+	}
+	base := m.BasePowers()
+	// Surface bad event layers before stepping, not at the first active
+	// window mid-trace.
+	if _, err := spec.PowersAt(0, base); err != nil {
+		return nil, err
+	}
+	field := make([]float64, m.NumNodes())
+	for i := range field {
+		field[i] = m.Tin()
+	}
+
+	res := &Result{Steps: spec.Steps}
+	tpeaks := make([]float64, 0, spec.Steps)
+	lastScale := spec.Psys
+	for k := 1; k <= spec.Steps; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		tEval := float64(k-1) * spec.Dt // inputs held over [t_eval, t_eval+dt)
+		s := spec.PsysAt(tEval)
+		if faults.Fire(faults.TransientPump) {
+			s *= 0.5
+		}
+		if s != lastScale {
+			if err := ts.SetScale(s); err != nil {
+				return nil, err
+			}
+			lastScale = s
+		}
+		if spec.HasPowerEvents() {
+			maps, err := spec.PowersAt(tEval, base)
+			if err != nil {
+				return nil, err
+			}
+			delta, err := m.PowerDelta(maps)
+			if err != nil {
+				return nil, err
+			}
+			if err := ts.SetSourceDelta(delta); err != nil {
+				return nil, err
+			}
+		}
+		if err := ts.Step(field); err != nil {
+			return nil, fmt.Errorf("scenario: step %d: %w", k, err)
+		}
+		tmax, dT := m.PeakDelta(field)
+		_, wpump := m.PumpWork(s)
+		t := float64(k) * spec.Dt
+		rec := StepRecord{Step: k, T: t, Psys: s, Tpeak: tmax, DeltaT: dT, PumpW: wpump}
+		tpeaks = append(tpeaks, tmax)
+		res.PumpEnergy += wpump * spec.Dt
+		if tmax > res.Peak {
+			res.Peak, res.PeakTime = tmax, t
+		}
+		res.Final, res.FinalDT = tmax, dT
+		if observe != nil {
+			if err := observe(rec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.Overshoot = res.Peak - res.Final
+	res.SteadyTime = steadyTime(tpeaks, spec.Dt, m.Tin())
+	res.Stats = ts.Stats()
+	return res, nil
+}
+
+// steadyTime returns the time of the first step from which every later
+// Tpeak stays within the steady band around the final value, or the full
+// trace time when the trace never settles.
+func steadyTime(tpeaks []float64, dt, tin float64) float64 {
+	if len(tpeaks) == 0 {
+		return 0
+	}
+	final := tpeaks[len(tpeaks)-1]
+	band := math.Max(steadyBandFrac*math.Abs(final-tin), 1e-3)
+	k := len(tpeaks) - 1
+	for k > 0 && math.Abs(tpeaks[k-1]-final) <= band {
+		k--
+	}
+	return float64(k+1) * dt
+}

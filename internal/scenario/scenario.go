@@ -1,0 +1,322 @@
+// Package scenario describes and executes transient workloads: time-varying
+// power schedules built from power.Map primitives (DVFS steps, duty-cycled
+// blocks, migrating Gaussian hotspots) and time-varying pump events (spin-up
+// ramps, partial or total pump failure). A Spec is the wire format of the
+// /v1/transient endpoint and the -transient mode of lcn-sim; Run drives a
+// model's implicit-Euler stepper through it.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"lcn3d/internal/power"
+)
+
+// Decoder bounds, mirroring the network codec's MaxEncodedDim policy: a
+// hostile or fuzzed spec must be rejected by cheap validation before any
+// solver work happens.
+const (
+	// MaxSteps bounds a single trace (100k steps at 1 ms is 100 s of
+	// simulated time — beyond that, run segments).
+	MaxSteps = 100_000
+	// MaxEvents bounds the combined power+pump event count.
+	MaxEvents = 64
+	// MaxSpecBytes bounds the encoded spec size.
+	MaxSpecBytes = 1 << 20
+	// MaxDt bounds the time step (s).
+	MaxDt = 3600.0
+	// MaxPsys bounds the base pump pressure (Pa).
+	MaxPsys = 1e9
+	// MaxFactor bounds power multipliers.
+	MaxFactor = 1e3
+	// MaxWatts bounds added hotspot power (W).
+	MaxWatts = 1e6
+)
+
+// Spec is one transient scenario: a base operating point plus the events
+// that perturb it over the trace.
+type Spec struct {
+	Dt    float64 `json:"dt"`    // time step, s
+	Steps int     `json:"steps"` // number of implicit-Euler steps
+	Psys  float64 `json:"psys"`  // base pump pressure, Pa
+
+	Power []PowerEvent `json:"power,omitempty"`
+	Pump  []PumpEvent  `json:"pump,omitempty"`
+}
+
+// PowerEvent perturbs the source-layer power maps over a time window.
+// Times are in seconds from trace start; T1 == 0 means "until the end".
+type PowerEvent struct {
+	// Kind is "dvfs" (scale a layer's map by Factor), "duty" (scale a
+	// rectangular block by Factor during the high phase of a square wave),
+	// or "hotspot" (add a Gaussian blob migrating from (X0,Y0) to (X1,Y1)
+	// across the window).
+	Kind string `json:"kind"`
+	// Layer selects the source layer (0-based, in BasePowers order);
+	// -1 applies to every source layer.
+	Layer  int     `json:"layer"`
+	T0     float64 `json:"t0"`
+	T1     float64 `json:"t1,omitempty"`
+	Factor float64 `json:"factor,omitempty"`
+	// Period and Duty shape the "duty" square wave: within each Period
+	// the first Duty fraction is the high phase.
+	Period float64 `json:"period,omitempty"`
+	Duty   float64 `json:"duty,omitempty"`
+	// X0..Y1 are fractional grid coordinates in [0, 1]: the block corners
+	// for "duty", the start and end hotspot centers for "hotspot".
+	X0 float64 `json:"x0,omitempty"`
+	Y0 float64 `json:"y0,omitempty"`
+	X1 float64 `json:"x1,omitempty"`
+	Y1 float64 `json:"y1,omitempty"`
+	// Sigma is the hotspot radius as a fraction of the grid width.
+	Sigma float64 `json:"sigma,omitempty"`
+	// Watts is the hotspot's added total power.
+	Watts float64 `json:"watts,omitempty"`
+}
+
+// PumpEvent perturbs the pump pressure over a time window. Kind is
+// "ramp" (spin-up: the pressure factor climbs linearly from Frac to 1
+// across [T0, T1]) or "fail" (the factor drops to Frac inside the
+// window; Frac 0 is total pump failure, T1 == 0 means permanent).
+type PumpEvent struct {
+	Kind string  `json:"kind"`
+	T0   float64 `json:"t0"`
+	T1   float64 `json:"t1,omitempty"`
+	Frac float64 `json:"frac,omitempty"`
+}
+
+// Load decodes and validates a spec from JSON, rejecting unknown fields
+// and enforcing the package bounds. It never reads more than
+// MaxSpecBytes.
+func Load(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(io.LimitReader(r, MaxSpecBytes))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate bounds-checks the spec. Every field a hostile encoder controls
+// is range-checked here, so Run and PsysAt can assume a sane spec.
+func (s *Spec) Validate() error {
+	if !(s.Dt > 0 && s.Dt <= MaxDt) {
+		return fmt.Errorf("scenario: dt %g outside (0, %g]", s.Dt, MaxDt)
+	}
+	if s.Steps < 1 || s.Steps > MaxSteps {
+		return fmt.Errorf("scenario: steps %d outside [1, %d]", s.Steps, MaxSteps)
+	}
+	if !(s.Psys > 0 && s.Psys <= MaxPsys) {
+		return fmt.Errorf("scenario: psys %g outside (0, %g]", s.Psys, MaxPsys)
+	}
+	if len(s.Power)+len(s.Pump) > MaxEvents {
+		return fmt.Errorf("scenario: %d events exceed the %d-event bound", len(s.Power)+len(s.Pump), MaxEvents)
+	}
+	for i := range s.Power {
+		if err := s.Power[i].validate(); err != nil {
+			return fmt.Errorf("scenario: power[%d]: %w", i, err)
+		}
+	}
+	for i := range s.Pump {
+		if err := s.Pump[i].validate(); err != nil {
+			return fmt.Errorf("scenario: pump[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func validWindow(t0, t1 float64) error {
+	if !finite(t0, t1) || t0 < 0 || t1 < 0 {
+		return fmt.Errorf("bad window [%g, %g]", t0, t1)
+	}
+	if t1 != 0 && t1 <= t0 {
+		return fmt.Errorf("window end %g not after start %g", t1, t0)
+	}
+	return nil
+}
+
+func (e *PowerEvent) validate() error {
+	if err := validWindow(e.T0, e.T1); err != nil {
+		return err
+	}
+	if e.Layer < -1 || e.Layer > 63 {
+		return fmt.Errorf("layer %d outside [-1, 63]", e.Layer)
+	}
+	frac01 := func(vs ...float64) bool {
+		for _, v := range vs {
+			if !finite(v) || v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	switch e.Kind {
+	case "dvfs":
+		if !finite(e.Factor) || e.Factor < 0 || e.Factor > MaxFactor {
+			return fmt.Errorf("factor %g outside [0, %g]", e.Factor, MaxFactor)
+		}
+	case "duty":
+		if !finite(e.Factor) || e.Factor < 0 || e.Factor > MaxFactor {
+			return fmt.Errorf("factor %g outside [0, %g]", e.Factor, MaxFactor)
+		}
+		if !(e.Period > 0) || !finite(e.Period) || e.Period > MaxDt {
+			return fmt.Errorf("period %g outside (0, %g]", e.Period, MaxDt)
+		}
+		if !(e.Duty > 0 && e.Duty < 1) || !finite(e.Duty) {
+			return fmt.Errorf("duty %g outside (0, 1)", e.Duty)
+		}
+		if !frac01(e.X0, e.Y0, e.X1, e.Y1) || e.X1 <= e.X0 || e.Y1 <= e.Y0 {
+			return fmt.Errorf("bad block [%g,%g]x[%g,%g]", e.X0, e.X1, e.Y0, e.Y1)
+		}
+	case "hotspot":
+		if !frac01(e.X0, e.Y0, e.X1, e.Y1) {
+			return fmt.Errorf("bad path (%g,%g)->(%g,%g)", e.X0, e.Y0, e.X1, e.Y1)
+		}
+		if !(e.Sigma > 0 && e.Sigma <= 1) || !finite(e.Sigma) {
+			return fmt.Errorf("sigma %g outside (0, 1]", e.Sigma)
+		}
+		if !finite(e.Watts) || e.Watts < 0 || e.Watts > MaxWatts {
+			return fmt.Errorf("watts %g outside [0, %g]", e.Watts, MaxWatts)
+		}
+	default:
+		return fmt.Errorf("unknown kind %q (want dvfs, duty, or hotspot)", e.Kind)
+	}
+	return nil
+}
+
+func (e *PumpEvent) validate() error {
+	if err := validWindow(e.T0, e.T1); err != nil {
+		return err
+	}
+	if !finite(e.Frac) || e.Frac < 0 || e.Frac > 1 {
+		return fmt.Errorf("frac %g outside [0, 1]", e.Frac)
+	}
+	switch e.Kind {
+	case "ramp":
+		if e.T1 == 0 {
+			return fmt.Errorf("ramp needs an explicit end time")
+		}
+	case "fail":
+	default:
+		return fmt.Errorf("unknown kind %q (want ramp or fail)", e.Kind)
+	}
+	return nil
+}
+
+// active reports whether time t falls in [T0, T1), with T1 == 0 meaning
+// "until the end of the trace".
+func activeAt(t, t0, t1 float64) bool {
+	return t >= t0 && (t1 == 0 || t < t1)
+}
+
+// PsysAt evaluates the pump pressure at time t: the base Psys times the
+// factor of every active pump event. The result of a validated spec is
+// always finite and non-negative.
+func (s *Spec) PsysAt(t float64) float64 {
+	p := s.Psys
+	for i := range s.Pump {
+		e := &s.Pump[i]
+		switch e.Kind {
+		case "ramp":
+			if t < e.T0 {
+				continue
+			}
+			if t >= e.T1 {
+				continue // ramp complete, factor 1
+			}
+			p *= e.Frac + (1-e.Frac)*(t-e.T0)/(e.T1-e.T0)
+		case "fail":
+			if activeAt(t, e.T0, e.T1) {
+				p *= e.Frac
+			}
+		}
+	}
+	return p
+}
+
+// HasPowerEvents reports whether any power event exists (a trace without
+// them never rebuilds the RHS).
+func (s *Spec) HasPowerEvents() bool { return len(s.Power) > 0 }
+
+// PowersAt materializes the source-layer power maps at time t by cloning
+// the base maps and applying every active power event. Layers beyond the
+// model's source count are reported as an error (the spec cannot know
+// the stack at validation time).
+func (s *Spec) PowersAt(t float64, base []*power.Map) ([]*power.Map, error) {
+	maps := make([]*power.Map, len(base))
+	for i, b := range base {
+		maps[i] = b.Clone()
+	}
+	for i := range s.Power {
+		e := &s.Power[i]
+		if e.Layer >= len(maps) {
+			return nil, fmt.Errorf("scenario: power[%d] targets layer %d of %d", i, e.Layer, len(maps))
+		}
+		if !activeAt(t, e.T0, e.T1) {
+			continue
+		}
+		targets := maps
+		if e.Layer >= 0 {
+			targets = maps[e.Layer : e.Layer+1]
+		}
+		for _, m := range targets {
+			e.apply(t, m)
+		}
+	}
+	return maps, nil
+}
+
+// apply mutates one layer map for an active event at time t.
+func (e *PowerEvent) apply(t float64, m *power.Map) {
+	d := m.Dims
+	switch e.Kind {
+	case "dvfs":
+		for i := range m.W {
+			m.W[i] *= e.Factor
+		}
+	case "duty":
+		if math.Mod(t-e.T0, e.Period) >= e.Duty*e.Period {
+			return // low phase: base power
+		}
+		x0 := int(e.X0 * float64(d.NX))
+		x1 := int(math.Ceil(e.X1 * float64(d.NX)))
+		y0 := int(e.Y0 * float64(d.NY))
+		y1 := int(math.Ceil(e.Y1 * float64(d.NY)))
+		for y := max(y0, 0); y < min(y1, d.NY); y++ {
+			for x := max(x0, 0); x < min(x1, d.NX); x++ {
+				m.W[d.Index(x, y)] *= e.Factor
+			}
+		}
+	case "hotspot":
+		// Migrate linearly from (X0, Y0) to (X1, Y1) across the window;
+		// an open-ended window (T1 == 0) keeps the spot at its start.
+		frac := 0.0
+		if e.T1 > e.T0 {
+			frac = (t - e.T0) / (e.T1 - e.T0)
+			frac = math.Min(math.Max(frac, 0), 1)
+		}
+		cx := (e.X0 + frac*(e.X1-e.X0)) * float64(d.NX-1)
+		cy := (e.Y0 + frac*(e.Y1-e.Y0)) * float64(d.NY-1)
+		sigma := e.Sigma * float64(d.NX)
+		if sigma <= 0 {
+			sigma = 1
+		}
+		m.AddGaussian(cx, cy, sigma, e.Watts)
+	}
+}

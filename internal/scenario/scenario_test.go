@@ -1,0 +1,459 @@
+package scenario
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"lcn3d/internal/grid"
+	"lcn3d/internal/power"
+	"lcn3d/internal/sparse"
+	"lcn3d/internal/thermal"
+)
+
+func validSpec() *Spec {
+	return &Spec{Dt: 1e-3, Steps: 10, Psys: 2e4}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"zero dt", func(s *Spec) { s.Dt = 0 }, "dt"},
+		{"huge dt", func(s *Spec) { s.Dt = MaxDt * 2 }, "dt"},
+		{"nan dt", func(s *Spec) { s.Dt = math.NaN() }, "dt"},
+		{"zero steps", func(s *Spec) { s.Steps = 0 }, "steps"},
+		{"too many steps", func(s *Spec) { s.Steps = MaxSteps + 1 }, "steps"},
+		{"zero psys", func(s *Spec) { s.Psys = 0 }, "psys"},
+		{"inf psys", func(s *Spec) { s.Psys = math.Inf(1) }, "psys"},
+		{"too many events", func(s *Spec) {
+			for i := 0; i <= MaxEvents; i++ {
+				s.Pump = append(s.Pump, PumpEvent{Kind: "fail", Frac: 0.5})
+			}
+		}, "event"},
+		{"unknown power kind", func(s *Spec) {
+			s.Power = []PowerEvent{{Kind: "warp"}}
+		}, "kind"},
+		{"dvfs bad factor", func(s *Spec) {
+			s.Power = []PowerEvent{{Kind: "dvfs", Factor: -1}}
+		}, "factor"},
+		{"dvfs bad layer", func(s *Spec) {
+			s.Power = []PowerEvent{{Kind: "dvfs", Layer: -2, Factor: 1}}
+		}, "layer"},
+		{"bad window", func(s *Spec) {
+			s.Power = []PowerEvent{{Kind: "dvfs", Factor: 1, T0: 5, T1: 2}}
+		}, "window"},
+		{"duty without period", func(s *Spec) {
+			s.Power = []PowerEvent{{Kind: "duty", Factor: 2, Duty: 0.5, X1: 1, Y1: 1}}
+		}, "period"},
+		{"duty bad duty", func(s *Spec) {
+			s.Power = []PowerEvent{{Kind: "duty", Factor: 2, Period: 1, Duty: 1.5, X1: 1, Y1: 1}}
+		}, "duty"},
+		{"duty empty block", func(s *Spec) {
+			s.Power = []PowerEvent{{Kind: "duty", Factor: 2, Period: 1, Duty: 0.5, X0: 0.5, X1: 0.5, Y1: 1}}
+		}, "block"},
+		{"hotspot bad sigma", func(s *Spec) {
+			s.Power = []PowerEvent{{Kind: "hotspot", Sigma: 0, Watts: 1}}
+		}, "sigma"},
+		{"hotspot bad watts", func(s *Spec) {
+			s.Power = []PowerEvent{{Kind: "hotspot", Sigma: 0.1, Watts: -1}}
+		}, "watts"},
+		{"ramp without end", func(s *Spec) {
+			s.Pump = []PumpEvent{{Kind: "ramp", Frac: 0.2}}
+		}, "ramp"},
+		{"pump bad frac", func(s *Spec) {
+			s.Pump = []PumpEvent{{Kind: "fail", Frac: 1.5}}
+		}, "frac"},
+		{"unknown pump kind", func(s *Spec) {
+			s.Pump = []PumpEvent{{Kind: "stall", Frac: 0.5}}
+		}, "kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mut(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"dt":1e-3,"steps":5,"psys":1e4,"bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	s, err := Load(strings.NewReader(`{"dt":1e-3,"steps":5,"psys":1e4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Steps != 5 {
+		t.Fatalf("steps = %d", s.Steps)
+	}
+}
+
+func TestPsysAtRampAndFail(t *testing.T) {
+	s := &Spec{Dt: 1e-3, Steps: 10, Psys: 1000,
+		Pump: []PumpEvent{{Kind: "ramp", T0: 1, T1: 3, Frac: 0.2}}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PsysAt(0.5); got != 1000 {
+		t.Fatalf("before ramp: %g", got)
+	}
+	if got := s.PsysAt(1); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("ramp start: %g want 200", got)
+	}
+	if got := s.PsysAt(2); math.Abs(got-600) > 1e-9 {
+		t.Fatalf("ramp midpoint: %g want 600", got)
+	}
+	if got := s.PsysAt(3); got != 1000 {
+		t.Fatalf("after ramp: %g", got)
+	}
+
+	s.Pump = []PumpEvent{{Kind: "fail", T0: 1, T1: 2, Frac: 0.5}, {Kind: "fail", T0: 4, Frac: 0}}
+	if got := s.PsysAt(1.5); got != 500 {
+		t.Fatalf("during fail: %g", got)
+	}
+	if got := s.PsysAt(2); got != 1000 {
+		t.Fatalf("after bounded fail: %g", got)
+	}
+	if got := s.PsysAt(100); got != 0 {
+		t.Fatalf("permanent total failure: %g", got)
+	}
+}
+
+func uniformBase(d grid.Dims, w float64) []*power.Map {
+	m := power.New(d)
+	m.AddUniform(w)
+	return []*power.Map{m}
+}
+
+func TestPowersAtDVFS(t *testing.T) {
+	d := grid.Dims{NX: 8, NY: 8}
+	base := uniformBase(d, 1)
+	s := &Spec{Dt: 1e-3, Steps: 10, Psys: 1e4,
+		Power: []PowerEvent{{Kind: "dvfs", Layer: 0, T0: 1, T1: 2, Factor: 2}}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.PowersAt(0.5, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := before[0].Total(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("inactive dvfs changed power: %g", got)
+	}
+	during, err := s.PowersAt(1.5, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := during[0].Total(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("active dvfs total %g want 2", got)
+	}
+	if math.Abs(base[0].Total()-1) > 1e-12 {
+		t.Fatal("PowersAt mutated the base maps")
+	}
+}
+
+func TestPowersAtAllLayersAndBadLayer(t *testing.T) {
+	d := grid.Dims{NX: 4, NY: 4}
+	base := []*power.Map{power.New(d), power.New(d)}
+	base[0].AddUniform(1)
+	base[1].AddUniform(2)
+	s := &Spec{Dt: 1e-3, Steps: 10, Psys: 1e4,
+		Power: []PowerEvent{{Kind: "dvfs", Layer: -1, Factor: 3}}}
+	maps, err := s.PowersAt(0, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(maps[0].Total()-3) > 1e-9 || math.Abs(maps[1].Total()-6) > 1e-9 {
+		t.Fatalf("layer -1 totals: %g %g", maps[0].Total(), maps[1].Total())
+	}
+
+	s.Power[0].Layer = 2
+	s.Power[0].T0 = 1e9 // inactive — the layer check must still fire
+	if _, err := s.PowersAt(0, base); err == nil {
+		t.Fatal("out-of-range layer accepted")
+	}
+}
+
+func TestPowersAtDuty(t *testing.T) {
+	d := grid.Dims{NX: 8, NY: 8}
+	base := uniformBase(d, 1)
+	s := &Spec{Dt: 1e-3, Steps: 10, Psys: 1e4,
+		Power: []PowerEvent{{Kind: "duty", Layer: 0, Factor: 4,
+			Period: 1, Duty: 0.5, X0: 0, Y0: 0, X1: 0.5, Y1: 0.5}}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The base spreads 1 W over 64 cells (1/64 W each). At t=0.25, the
+	// high phase quadruples the 4x4 block: 16 cells gain 3/64 W each.
+	per := 1.0 / 64
+	hi, err := s.PowersAt(0.25, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hi[0].Total(); math.Abs(got-(1+16*3*per)) > 1e-9 {
+		t.Fatalf("high phase total %g want %g", got, 1+16*3*per)
+	}
+	if math.Abs(hi[0].At(0, 0)-4*per) > 1e-12 || math.Abs(hi[0].At(7, 7)-per) > 1e-12 {
+		t.Fatalf("block scaling wrong: corner %g, outside %g", hi[0].At(0, 0), hi[0].At(7, 7))
+	}
+	// t=0.75 is in the low phase: base power.
+	lo, err := s.PowersAt(0.75, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lo[0].Total(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("low phase total %g want 1", got)
+	}
+}
+
+func TestPowersAtHotspotMigrates(t *testing.T) {
+	d := grid.Dims{NX: 16, NY: 16}
+	base := uniformBase(d, 0)
+	s := &Spec{Dt: 1e-3, Steps: 10, Psys: 1e4,
+		Power: []PowerEvent{{Kind: "hotspot", Layer: 0, T0: 0, T1: 1,
+			X0: 0, Y0: 0.5, X1: 1, Y1: 0.5, Sigma: 0.05, Watts: 5}}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	argmax := func(m *power.Map) (int, int) {
+		bi, bv := 0, math.Inf(-1)
+		for i, v := range m.W {
+			if v > bv {
+				bi, bv = i, v
+			}
+		}
+		return bi % d.NX, bi / d.NX
+	}
+	start, err := s.PowersAt(0, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, err := s.PowersAt(0.999, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := start[0].Total(); math.Abs(got-5) > 1e-6 {
+		t.Fatalf("hotspot total %g want 5", got)
+	}
+	sx, _ := argmax(start[0])
+	ex, _ := argmax(end[0])
+	if sx >= ex {
+		t.Fatalf("hotspot did not migrate: peak x %d -> %d", sx, ex)
+	}
+}
+
+func TestSteadyTime(t *testing.T) {
+	flat := []float64{350, 350, 350, 350}
+	if got := steadyTime(flat, 0.5, 300); got != 0.5 {
+		t.Fatalf("flat trace steady at %g, want 0.5", got)
+	}
+	rising := []float64{310, 320, 330, 340}
+	if got := steadyTime(rising, 0.5, 300); got != 2.0 {
+		t.Fatalf("rising trace steady at %g, want 2.0", got)
+	}
+	settle := []float64{340, 350, 350.01, 350.02}
+	if got := steadyTime(settle, 1, 300); got != 2 {
+		t.Fatalf("settling trace steady at %g, want 2", got)
+	}
+}
+
+// fakeModel wraps a tiny diagonal RC system (each grid cell couples only
+// to the ambient at Tin) so Run's orchestration can be tested without a
+// full 3D-IC model: T' = (P + g(Tin - T)) / C per cell.
+type fakeModel struct {
+	d    grid.Dims
+	tin  float64
+	g, c float64
+	base *power.Map
+	b    []float64 // live RHS, aliased into the stepper
+}
+
+func newFakeModel(d grid.Dims, watts float64) *fakeModel {
+	m := &fakeModel{d: d, tin: 300, g: 0.5, c: 1e-2, base: power.New(d)}
+	m.base.AddUniform(watts) // total, spread uniformly: watts/N per cell
+	return m
+}
+
+func (m *fakeModel) Name() string  { return "fake" }
+func (m *fakeModel) NumNodes() int { return m.d.N() }
+func (m *fakeModel) Tin() float64  { return m.tin }
+func (m *fakeModel) BasePowers() []*power.Map {
+	return []*power.Map{m.base.Clone()}
+}
+
+func (m *fakeModel) Transient(psys, dt float64) (*thermal.TransientSystem, error) {
+	n := m.d.N()
+	b := sparse.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, m.g)
+	}
+	a := b.Build()
+	rhs := make([]float64, n)
+	caps := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rhs[i] = m.g*m.tin + m.base.W[i]
+		caps[i] = m.c
+	}
+	ts, err := thermal.NewTransientSystem(a, rhs, caps, dt)
+	if err != nil {
+		return nil, err
+	}
+	m.b = ts.B
+	return ts, nil
+}
+
+func (m *fakeModel) PowerDelta(maps []*power.Map) ([]float64, error) {
+	delta := make([]float64, m.d.N())
+	for i := range delta {
+		delta[i] = maps[0].W[i] - m.base.W[i]
+	}
+	return delta, nil
+}
+
+func (m *fakeModel) PeakDelta(field []float64) (tmax, deltaT float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range field {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	return hi, hi - lo
+}
+
+func (m *fakeModel) PumpWork(psys float64) (qsys, wpump float64) {
+	return psys * 1e-9, psys * psys * 1e-9
+}
+
+func TestRunConstantPowerSettles(t *testing.T) {
+	m := newFakeModel(grid.Dims{NX: 4, NY: 4}, 1.6)
+	spec := &Spec{Dt: 5e-3, Steps: 80, Psys: 1e4}
+	var seen int
+	res, err := Run(context.Background(), m, spec, func(r StepRecord) error {
+		seen++
+		if r.Step != seen {
+			t.Fatalf("step %d out of order (want %d)", r.Step, seen)
+		}
+		if r.Psys != 1e4 {
+			t.Fatalf("psys %g", r.Psys)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != spec.Steps || res.Steps != spec.Steps {
+		t.Fatalf("observed %d steps, result says %d, want %d", seen, res.Steps, spec.Steps)
+	}
+	// Steady state of the RC cell: Tin + P/g = 300 + 0.1/0.5 = 300.2 K.
+	want := m.tin + m.base.W[0]/m.g
+	if math.Abs(res.Final-want) > 1e-3 {
+		t.Fatalf("final %g, want %g", res.Final, want)
+	}
+	if res.Peak < res.Final {
+		t.Fatalf("peak %g below final %g", res.Peak, res.Final)
+	}
+	if res.SteadyTime <= 0 || res.SteadyTime > float64(spec.Steps)*spec.Dt {
+		t.Fatalf("steady time %g outside trace", res.SteadyTime)
+	}
+	if res.Stats.Steps != spec.Steps || res.Stats.Segments != 1 {
+		t.Fatalf("stats: %+v", res.Stats)
+	}
+	wantEnergy := 1e4 * 1e4 * 1e-9 * spec.Dt * float64(spec.Steps)
+	if math.Abs(res.PumpEnergy-wantEnergy) > 1e-9*wantEnergy {
+		t.Fatalf("pump energy %g want %g", res.PumpEnergy, wantEnergy)
+	}
+}
+
+func TestRunDVFSStepRaisesPeak(t *testing.T) {
+	m := newFakeModel(grid.Dims{NX: 4, NY: 4}, 1.6)
+	plain := &Spec{Dt: 5e-3, Steps: 60, Psys: 1e4}
+	resPlain, err := Run(context.Background(), m, plain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepped := &Spec{Dt: 5e-3, Steps: 60, Psys: 1e4,
+		Power: []PowerEvent{{Kind: "dvfs", Layer: 0, T0: 0.15, Factor: 3}}}
+	resStep, err := Run(context.Background(), newFakeModel(grid.Dims{NX: 4, NY: 4}, 1.6), stepped, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resStep.Peak <= resPlain.Peak {
+		t.Fatalf("dvfs x3 did not raise the peak: %g vs %g", resStep.Peak, resPlain.Peak)
+	}
+	// After the step the RC cell heads to Tin + 3P/g.
+	want := m.tin + 3*m.base.W[0]/m.g
+	if math.Abs(resStep.Final-want) > 5e-3 {
+		t.Fatalf("stepped final %g, want %g", resStep.Final, want)
+	}
+}
+
+func TestRunPumpEventChangesPsys(t *testing.T) {
+	m := newFakeModel(grid.Dims{NX: 4, NY: 4}, 0.16)
+	spec := &Spec{Dt: 1e-2, Steps: 10, Psys: 1e4,
+		Pump: []PumpEvent{{Kind: "fail", T0: 0.05, Frac: 0.5}}}
+	var early, late float64
+	res, err := Run(context.Background(), m, spec, func(r StepRecord) error {
+		if r.Step == 3 {
+			early = r.Psys
+		}
+		if r.Step == 9 {
+			late = r.Psys
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early != 1e4 || late != 5e3 {
+		t.Fatalf("psys before/after failure: %g / %g", early, late)
+	}
+	if res.Stats.Segments < 2 {
+		t.Fatalf("pressure change should open a new segment, got %d", res.Stats.Segments)
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	m := newFakeModel(grid.Dims{NX: 4, NY: 4}, 0.16)
+	ctx, cancel := context.WithCancel(context.Background())
+	spec := &Spec{Dt: 1e-3, Steps: 1000, Psys: 1e4}
+	_, err := Run(ctx, m, spec, func(r StepRecord) error {
+		if r.Step == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+}
+
+func TestRunObserveErrorAborts(t *testing.T) {
+	m := newFakeModel(grid.Dims{NX: 4, NY: 4}, 0.16)
+	spec := &Spec{Dt: 1e-3, Steps: 100, Psys: 1e4}
+	calls := 0
+	_, err := Run(context.Background(), m, spec, func(r StepRecord) error {
+		calls++
+		if calls == 3 {
+			return context.Canceled
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("observe error did not abort")
+	}
+	if calls != 3 {
+		t.Fatalf("observe called %d times after abort", calls)
+	}
+}

@@ -25,6 +25,9 @@ const maxBodyBytes = 8 << 20
 //
 //	POST /v1/simulate     one flow+thermal probe at a fixed pressure
 //	POST /v1/evaluate     Algorithm 2/3 lowest-feasible-P_sys evaluation
+//	POST /v1/transient    streamed transient trace: implicit-Euler steps
+//	                      over a power/pump schedule, one "step" SSE per
+//	                      selected step plus a terminal "result" event
 //	POST /v1/optimize     multi-chain SA optimization; single job or a
 //	                      {"jobs": [...]} batch fanned through the pool
 //	POST /v1/jobs         submit an optimization job asynchronously;
@@ -64,6 +67,7 @@ func (s *Service) Handler() http.Handler {
 		buf, err := s.Evaluate(r.Context(), req)
 		writeResult(w, buf, err)
 	})
+	mux.HandleFunc("POST /v1/transient", s.handleTransient)
 	mux.HandleFunc("POST /v1/optimize", func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 		if err != nil {
@@ -174,6 +178,49 @@ func (s *Service) Handler() http.Handler {
 		}
 		mux.ServeHTTP(w, r)
 	})
+}
+
+// handleTransient streams a transient trace as Server-Sent Events. The
+// SSE headers are written lazily on the first event, so failures before
+// any step ran (bad schedule, unknown case, admission shed, drain) still
+// map to proper HTTP statuses; a failure mid-stream becomes a terminal
+// "error" event instead.
+func (s *Service) handleTransient(w http.ResponseWriter, r *http.Request) {
+	var req TransientRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	started := false
+	emit := func(event string, data any) error {
+		payload, err := json.Marshal(data)
+		if err != nil {
+			return err
+		}
+		if !started {
+			w.Header().Set("Content-Type", "text/event-stream")
+			w.Header().Set("Cache-Control", "no-cache")
+			w.Header().Set("Connection", "keep-alive")
+			w.WriteHeader(http.StatusOK)
+			started = true
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, payload); err != nil {
+			return err
+		}
+		fl.Flush()
+		return nil
+	}
+	if err := s.Transient(r.Context(), req, emit); err != nil {
+		if !started {
+			writeResult(w, nil, err)
+			return
+		}
+		emit("error", map[string]string{"error": err.Error()})
+	}
 }
 
 // handleJobEvents streams one job's lifecycle as Server-Sent Events:

@@ -33,6 +33,13 @@ type metrics struct {
 
 	optimizeRuns atomic.Int64 // optimization jobs actually computed
 
+	// Transient-trace counters: accepted /v1/transient runs, total
+	// implicit-Euler steps executed, and the matrix factorizations those
+	// steps cost (one per (dt, s) segment when amortization holds).
+	transientRuns           atomic.Int64
+	transientSteps          atomic.Int64
+	transientFactorizations atomic.Int64
+
 	// Read-path tier counters beyond the memory LRU: the persistent
 	// store (tier 2), the owning peer (tier 3), and the fallback when
 	// the owner could not answer.
@@ -173,6 +180,8 @@ type MetricsSnapshot struct {
 
 	Optimize OptimizeSnapshot `json:"optimize"`
 
+	Transient TransientSnapshot `json:"transient"`
+
 	// Faults reports per-point fault-injection counters when injection
 	// is armed (absent otherwise), so chaos runs can assert their plan
 	// actually fired.
@@ -215,6 +224,17 @@ type OptimizeSnapshot struct {
 	// across all jobs (each subscriber also sees its own count on the
 	// next delivered event).
 	EventsDropped int64 `json:"events_dropped"`
+}
+
+// TransientSnapshot reports /v1/transient activity. StepsPerFactorization
+// is the amortization headline: how many implicit-Euler solves rode on
+// each matrix factorization (one factorization per (dt, s) segment when
+// the transient engine's reuse holds).
+type TransientSnapshot struct {
+	Runs                  int64   `json:"runs"`
+	Steps                 int64   `json:"steps"`
+	Factorizations        int64   `json:"factorizations"`
+	StepsPerFactorization float64 `json:"steps_per_factorization"`
 }
 
 func ratio(num, den int64) float64 {

@@ -10,6 +10,7 @@ import (
 	"lcn3d/internal/core"
 	"lcn3d/internal/grid"
 	"lcn3d/internal/network"
+	"lcn3d/internal/scenario"
 	"lcn3d/internal/thermal"
 )
 
@@ -191,6 +192,24 @@ type SimulateResponse struct {
 	// solver escalation ladder (see solver.Rung): still within
 	// tolerance, but outside the normal operating envelope.
 	Degraded bool `json:"degraded,omitempty"`
+}
+
+// TransientRequest asks for a streamed transient trace: the schedule's
+// implicit-Euler steps run on the bound model and every step's summary
+// is emitted as a Server-Sent Event. Transient traces are admitted in
+// the batch class (they hold a worker slot for the whole trace) and are
+// never cached — the response is a stream, not a document.
+type TransientRequest struct {
+	CaseRef
+	ModelSpec
+	Network NetworkSpec `json:"network"`
+	// Schedule is the transient scenario: dt, step count, base pump
+	// pressure, and the power/pump events that perturb them.
+	Schedule scenario.Spec `json:"schedule"`
+	// Every thins the stream: one "step" event per Every steps (default
+	// 1 = every step). The final step is always emitted.
+	Every     int `json:"every,omitempty"`
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // EvaluateRequest asks for the Algorithm 2/3 network evaluation: the

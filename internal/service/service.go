@@ -40,6 +40,7 @@ import (
 	"lcn3d/internal/overload"
 	"lcn3d/internal/rm2"
 	"lcn3d/internal/rm4"
+	"lcn3d/internal/scenario"
 	"lcn3d/internal/store"
 	"lcn3d/internal/thermal"
 )
@@ -227,7 +228,11 @@ type modelEntry struct {
 	once  sync.Once
 	sim   core.SimFunc // memoized
 	stats func() thermal.FactorStats
-	err   error
+	// tmodel is the scenario-facing surface of the same bound model,
+	// used by the /v1/transient stream (each trace compiles its own
+	// stepper, so concurrent traces on one entry are safe).
+	tmodel scenario.Model
+	err    error
 }
 
 func (s *Service) model(ref CaseRef, ms ModelSpec, b *iccad.Benchmark, n *network.Network, netHash string) (*modelEntry, error) {
@@ -257,6 +262,7 @@ func (s *Service) model(ref CaseRef, ms ModelSpec, b *iccad.Benchmark, n *networ
 			}
 			e.sim = core.Memo(m.Simulate)
 			e.stats = m.FactorStats
+			e.tmodel = m
 		default:
 			m, err := rm4.New(b.Stk, nets, ms.scheme())
 			if err != nil {
@@ -265,6 +271,7 @@ func (s *Service) model(ref CaseRef, ms ModelSpec, b *iccad.Benchmark, n *networ
 			}
 			e.sim = core.Memo(m.Simulate)
 			e.stats = m.FactorStats
+			e.tmodel = m
 		}
 	})
 	if e.err != nil {
@@ -805,6 +812,15 @@ func (s *Service) Metrics() MetricsSnapshot {
 	})
 	if snap.Factor.Probes > 0 {
 		snap.Factor.WarmStartRate = float64(snap.Factor.WarmStarts) / float64(snap.Factor.Probes)
+	}
+	snap.Transient = TransientSnapshot{
+		Runs:           s.met.transientRuns.Load(),
+		Steps:          s.met.transientSteps.Load(),
+		Factorizations: s.met.transientFactorizations.Load(),
+	}
+	if snap.Transient.Factorizations > 0 {
+		snap.Transient.StepsPerFactorization =
+			float64(snap.Transient.Steps) / float64(snap.Transient.Factorizations)
 	}
 	js := s.jobs.Stats()
 	snap.Optimize.Runs = s.met.optimizeRuns.Load()

@@ -1,0 +1,99 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"time"
+
+	"lcn3d/internal/overload"
+	"lcn3d/internal/scenario"
+)
+
+// Transient runs one streamed transient trace end to end: schedule
+// validation, model binding, admission in the batch class (a trace holds
+// a worker slot for its whole duration, so it must not starve
+// interactive probes), then scenario.Run with every selected step pushed
+// through emit as a "step" event and the trace summary as the final
+// "result" event. Streams bypass the result cache and the cluster tiers:
+// the response is a sequence of events, not a cacheable document.
+func (s *Service) Transient(ctx context.Context, req TransientRequest, emit func(event string, data any) error) error {
+	if err := req.Schedule.Validate(); err != nil {
+		s.met.errors.Add(1)
+		return badRequest("%v", err)
+	}
+	every := req.Every
+	if every <= 0 {
+		every = 1
+	}
+	p, err := s.prepare(req.CaseRef, req.ModelSpec, req.Network)
+	if err != nil {
+		s.met.errors.Add(1)
+		return err
+	}
+	if !s.enter() {
+		s.met.rejected.Add(1)
+		return ErrDraining
+	}
+	defer s.leave()
+	s.met.requests.Add(1)
+	s.met.transientRuns.Add(1)
+	t0 := time.Now()
+	defer func() { s.met.lat.observe(time.Since(t0)) }()
+	defer func() { s.brown.Observe(s.adm.Pressure()) }()
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	s.met.queueDepth.Add(1)
+	release, aerr := s.adm.Acquire(ctx, overload.Batch)
+	s.met.queueDepth.Add(-1)
+	if aerr != nil {
+		var shed *overload.ShedError
+		if errors.As(aerr, &shed) {
+			s.met.shed.Add(1)
+		} else if errors.Is(aerr, context.DeadlineExceeded) || errors.Is(aerr, context.Canceled) {
+			s.met.timeouts.Add(1)
+		}
+		return aerr
+	}
+	tAdm := time.Now()
+	s.met.inFlight.Add(1)
+	defer func() {
+		s.met.inFlight.Add(-1)
+		release(time.Since(tAdm))
+	}()
+	s.met.evaluations.Add(1)
+
+	v, err := s.protect(ctx, func(ctx context.Context) (any, error) {
+		return scenario.Run(ctx, p.entry.tmodel, &req.Schedule, func(rec scenario.StepRecord) error {
+			s.met.transientSteps.Add(1)
+			if rec.Step%every != 0 && rec.Step != req.Schedule.Steps {
+				return nil
+			}
+			return emit("step", rec)
+		})
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			s.met.timeouts.Add(1)
+		default:
+			s.met.errors.Add(1)
+			// The scenario layer's own rejections (a bad event layer, an
+			// infeasible stepper input) are the client's fault, not a
+			// server failure.
+			if strings.HasPrefix(err.Error(), "scenario:") {
+				return badRequest("%v", err)
+			}
+		}
+		return err
+	}
+	res := v.(*scenario.Result)
+	s.met.transientFactorizations.Add(int64(res.Stats.PrecondBuilds))
+	return emit("result", res)
+}

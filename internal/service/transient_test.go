@@ -1,0 +1,164 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lcn3d/internal/scenario"
+)
+
+func transientReq() TransientRequest {
+	return TransientRequest{
+		CaseRef:   CaseRef{Case: 1, Scale: 15},
+		ModelSpec: ModelSpec{Model: "2rm", CoarseM: 3},
+		Network:   NetworkSpec{Generator: "straight"},
+		Schedule:  scenario.Spec{Dt: 2e-3, Steps: 10, Psys: 1e4},
+		Every:     2,
+	}
+}
+
+// sseEvent is one parsed Server-Sent Event frame.
+type sseEvent struct {
+	event string
+	data  []byte
+}
+
+func parseSSE(t *testing.T, body []byte) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" || cur.data != nil {
+				out = append(out, cur)
+				cur = sseEvent{}
+			}
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = []byte(strings.TrimPrefix(line, "data: "))
+		}
+	}
+	if cur.event != "" || cur.data != nil {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// TestTransientEndpointStreams drives POST /v1/transient end to end: the
+// body must be a well-formed SSE stream with one "step" event per Every
+// steps plus the terminal "result" summary, and the transient metrics
+// counters must reflect the trace.
+func TestTransientEndpointStreams(t *testing.T) {
+	s := testService(t, Config{Scale: 15})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	buf, _ := json.Marshal(transientReq())
+	resp, err := http.Post(srv.URL+"/v1/transient", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q, want text/event-stream", ct)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	events := parseSSE(t, body.Bytes())
+	if len(events) != 6 {
+		t.Fatalf("got %d events, want 5 steps + 1 result:\n%s", len(events), body.String())
+	}
+	wantSteps := []int{2, 4, 6, 8, 10}
+	for i, want := range wantSteps {
+		if events[i].event != "step" {
+			t.Fatalf("event %d = %q, want step", i, events[i].event)
+		}
+		var rec scenario.StepRecord
+		if err := json.Unmarshal(events[i].data, &rec); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if rec.Step != want {
+			t.Errorf("event %d step = %d, want %d", i, rec.Step, want)
+		}
+		if rec.Tpeak < 300 || rec.PumpW <= 0 {
+			t.Errorf("step %d implausible: Tpeak=%v PumpW=%v", rec.Step, rec.Tpeak, rec.PumpW)
+		}
+	}
+	last := events[len(events)-1]
+	if last.event != "result" {
+		t.Fatalf("terminal event = %q, want result", last.event)
+	}
+	var res scenario.Result
+	if err := json.Unmarshal(last.data, &res); err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if res.Steps != 10 {
+		t.Errorf("result steps = %d, want 10", res.Steps)
+	}
+	if res.Stats.FactorStats.PrecondBuilds != 1 {
+		t.Errorf("factorizations = %d, want 1 (single (dt, psys) segment)",
+			res.Stats.FactorStats.PrecondBuilds)
+	}
+
+	m := s.Metrics()
+	if m.Transient.Runs != 1 || m.Transient.Steps != 10 || m.Transient.Factorizations != 1 {
+		t.Errorf("transient metrics = %+v, want runs=1 steps=10 factorizations=1", m.Transient)
+	}
+	if got, want := m.Transient.StepsPerFactorization, 10.0; got != want {
+		t.Errorf("steps_per_factorization = %v, want %v", got, want)
+	}
+}
+
+// TestTransientEndpointBadSchedule asserts pre-stream failures keep the
+// plain HTTP error path: no SSE headers, a 400 with the validation text.
+func TestTransientEndpointBadSchedule(t *testing.T) {
+	s := testService(t, Config{Scale: 15})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	req := transientReq()
+	req.Schedule.Dt = -1
+	buf, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+"/v1/transient", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct == "text/event-stream" {
+		t.Fatal("pre-stream failure must not switch to SSE")
+	}
+}
+
+// TestTransientDirectRejectsBadLayer exercises the mid-schedule
+// rejection path: a structurally valid schedule whose event targets a
+// layer the model does not have maps to a RequestError, not a 500-class
+// failure.
+func TestTransientDirectRejectsBadLayer(t *testing.T) {
+	s := testService(t, Config{Scale: 15})
+	req := transientReq()
+	req.Schedule.Power = []scenario.PowerEvent{{Kind: "dvfs", Layer: 99, Factor: 2}}
+	err := s.Transient(context.Background(), req, func(string, any) error { return nil })
+	var rerr *RequestError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("err = %v, want RequestError", err)
+	}
+}

@@ -114,6 +114,18 @@ func (p *AffinePair) SetShift(s float64) {
 	p.shift = s
 }
 
+// SetBaseAt overwrites base (S) entries at the given value-array indices
+// of the union pattern and refreshes the materialized matrix values under
+// the current shift, all in place. The transient stepper uses it to fold
+// a new C/dt capacity term into the diagonal when only the time step
+// changes — no pattern work, no re-merge, no allocation.
+func (p *AffinePair) SetBaseAt(idx []int, vals []float64) {
+	for j, k := range idx {
+		p.base[k] = vals[j]
+		p.mat.Vals[k] = vals[j] + p.shift*p.slope[k]
+	}
+}
+
 // MatrixCopy materializes an independent CSR at shift s, sharing nothing
 // with the pair's in-place matrix. Used where callers retain the system
 // beyond the next SetShift (e.g. the transient stepper).

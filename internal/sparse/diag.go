@@ -1,0 +1,77 @@
+package sparse
+
+import "fmt"
+
+// findInRow locates column j in the sorted row i, returning the
+// value-array index or -1 when the entry is not stored.
+func (c *CSR) findInRow(i, j int) int {
+	lo, hi := c.RowPtr[i], c.RowPtr[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case c.Cols[mid] == j:
+			return mid
+		case c.Cols[mid] < j:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return -1
+}
+
+// DiagIndices returns, for each row i, the value-array index of the
+// stored (i, i) entry. It errors when a row has no diagonal slot; callers
+// that need one in every row should pass the matrix through WithDiagonal
+// first.
+func (c *CSR) DiagIndices() ([]int, error) {
+	idx := make([]int, c.N)
+	for i := 0; i < c.N; i++ {
+		k := c.findInRow(i, i)
+		if k < 0 {
+			return nil, fmt.Errorf("sparse: row %d has no stored diagonal entry", i)
+		}
+		idx[i] = k
+	}
+	return idx, nil
+}
+
+// WithDiagonal returns the matrix itself when every row already stores a
+// diagonal entry, or an independent copy with explicit zero-valued (i, i)
+// slots inserted where missing. Builder.Add cannot create such slots (it
+// drops exact zeros), and the transient stepper needs an addressable
+// diagonal in every row to fold the C/dt capacity term into.
+func WithDiagonal(c *CSR) *CSR {
+	missing := 0
+	for i := 0; i < c.N; i++ {
+		if c.findInRow(i, i) < 0 {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return c
+	}
+	out := &CSR{N: c.N, RowPtr: make([]int, c.N+1),
+		Cols: make([]int, 0, len(c.Cols)+missing),
+		Vals: make([]float64, 0, len(c.Vals)+missing)}
+	for i := 0; i < c.N; i++ {
+		placed := false
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			if !placed && c.Cols[k] >= i {
+				if c.Cols[k] > i {
+					out.Cols = append(out.Cols, i)
+					out.Vals = append(out.Vals, 0)
+				}
+				placed = true
+			}
+			out.Cols = append(out.Cols, c.Cols[k])
+			out.Vals = append(out.Vals, c.Vals[k])
+		}
+		if !placed {
+			out.Cols = append(out.Cols, i)
+			out.Vals = append(out.Vals, 0)
+		}
+		out.RowPtr[i+1] = len(out.Cols)
+	}
+	return out
+}

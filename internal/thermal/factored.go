@@ -464,83 +464,8 @@ func (f *Factored) SolveAt(s, tGuess float64) ([]float64, solver.Result, ProbeSt
 			t[i] = tGuess
 		}
 	}
-	// check rejects solves whose reported residual or field is not
-	// finite — a converged-looking solve on a poisoned system must
-	// escalate, not propagate NaN temperatures into the searches.
-	check := func(res solver.Result, err error) error {
-		if err != nil {
-			return err
-		}
-		if notFinite(res.Residual) || !finiteField(t) {
-			return fmt.Errorf("thermal: non-finite temperature field: %w", solver.ErrBreakdown)
-		}
-		return nil
-	}
-
-	// Rung 0: BiCGSTAB, warm start, current preconditioner.
-	rung := solver.RungPrimary
-	res, err := solver.BiCGSTAB(mat, f.rhs, t, opt)
-	if err == nil && faults.Fire(faults.ThermalNaN) {
-		t[0] = math.NaN()
-	}
-	err = check(res, err)
-	totalIters := res.Iterations
-
-	// Rung 1: a preconditioner built at a distant scale can stall the
-	// solve; rebuild at the current matrix and retry from a cold start.
-	// With multigrid active this is the multigrid → ILU(0) fallback: a
-	// V-cycle failure (breakdown, injected fault, a coarse grid that
-	// cannot represent the system) latches multigrid off for this
-	// Factored and retries on the classic path. Skipped only when an
-	// already-fresh ILU factorization just failed.
-	if err != nil && (!freshPre || mgActive) {
-		rung = solver.RungRetry
-		f.ctrRetryRebuild.Add(1)
-		if mgActive {
-			f.mgDisabled = true
-			f.ctrMGLatchOffs.Add(1)
-			f.usingMG = false
-			mgActive = false
-			opt.MaxIter = 40 * f.N()
-		}
-		f.buildPrecond(mat, s)
-		opt.Precond = f.pre
-		coldStart()
-		res, err = solver.BiCGSTAB(mat, f.rhs, t, opt)
-		err = check(res, err)
-		totalIters += res.Iterations
-	}
-
-	// Rung 2: GMRES, cold start. More robust on the strongly non-normal
-	// matrices the central convection stencil produces at high flow.
-	if err != nil {
-		rung = solver.RungGMRES
-		f.ctrRetryGMRES.Add(1)
-		coldStart()
-		res, err = solver.GMRES(mat, f.rhs, t, opt)
-		err = check(res, err)
-		totalIters += res.Iterations
-	}
-
-	// Rung 3: dense LU for small systems — slow but method-independent.
-	if err != nil && f.N() <= solver.DenseFallbackMax {
-		rung = solver.RungDense
-		f.ctrRetryDense.Add(1)
-		if x, derr := solver.DenseSolve(mat, f.rhs); derr == nil {
-			copy(t, x)
-			res = solver.Result{Residual: solver.RelResidual(mat, f.rhs, t)}
-			if finiteField(t) && res.Residual <= math.Sqrt(tol) {
-				err = nil
-			} else {
-				err = fmt.Errorf("thermal: dense fallback residual %.3g: %w", res.Residual, solver.ErrBreakdown)
-			}
-		} else {
-			err = fmt.Errorf("thermal: dense fallback: %w", derr)
-		}
-	}
-
-	res.Iterations = totalIters
-	f.ctrSolveIters.Add(int64(totalIters))
+	res, rung, err := f.escalate(mat, f.rhs, t, s, opt, freshPre, mgActive, coldStart)
+	f.ctrSolveIters.Add(int64(res.Iterations))
 	probe.PrecondBuilds = int(f.ctrPrecondBuilds.Load() - builds0)
 	probe.Rung = rung
 	if err != nil {
@@ -571,6 +496,96 @@ func (f *Factored) SolveAt(s, tGuess float64) ([]float64, solver.Result, ProbeSt
 		t = out
 	}
 	return t, res, probe, nil
+}
+
+// escalate climbs the solve ladder for the materialized matrix at scale
+// s: BiCGSTAB with the current preconditioner, a rebuilt-preconditioner
+// cold retry (latching multigrid off on the way down), GMRES, then dense
+// LU for small systems. rhs is the right-hand side and t the initial
+// guess, advanced in place; cold() must reset t to the cold-start state
+// before a retry. The returned Result carries the total iteration count
+// across rungs. Callers hold f.mu; both SolveAt and the transient
+// stepper's Step route through this one ladder.
+func (f *Factored) escalate(mat *sparse.CSR, rhs, t []float64, s float64,
+	opt solver.Options, freshPre, mgActive bool, cold func()) (solver.Result, solver.Rung, error) {
+	tol := opt.Tol
+	// check rejects solves whose reported residual or field is not
+	// finite — a converged-looking solve on a poisoned system must
+	// escalate, not propagate NaN temperatures into the searches.
+	check := func(res solver.Result, err error) error {
+		if err != nil {
+			return err
+		}
+		if notFinite(res.Residual) || !finiteField(t) {
+			return fmt.Errorf("thermal: non-finite temperature field: %w", solver.ErrBreakdown)
+		}
+		return nil
+	}
+
+	// Rung 0: BiCGSTAB, warm start, current preconditioner.
+	rung := solver.RungPrimary
+	res, err := solver.BiCGSTAB(mat, rhs, t, opt)
+	if err == nil && faults.Fire(faults.ThermalNaN) {
+		t[0] = math.NaN()
+	}
+	err = check(res, err)
+	totalIters := res.Iterations
+
+	// Rung 1: a preconditioner built at a distant scale can stall the
+	// solve; rebuild at the current matrix and retry from a cold start.
+	// With multigrid active this is the multigrid → ILU(0) fallback: a
+	// V-cycle failure (breakdown, injected fault, a coarse grid that
+	// cannot represent the system) latches multigrid off for this
+	// Factored and retries on the classic path. Skipped only when an
+	// already-fresh ILU factorization just failed.
+	if err != nil && (!freshPre || mgActive) {
+		rung = solver.RungRetry
+		f.ctrRetryRebuild.Add(1)
+		if mgActive {
+			f.mgDisabled = true
+			f.ctrMGLatchOffs.Add(1)
+			f.usingMG = false
+			mgActive = false
+			opt.MaxIter = 40 * f.N()
+		}
+		f.buildPrecond(mat, s)
+		opt.Precond = f.pre
+		cold()
+		res, err = solver.BiCGSTAB(mat, rhs, t, opt)
+		err = check(res, err)
+		totalIters += res.Iterations
+	}
+
+	// Rung 2: GMRES, cold start. More robust on the strongly non-normal
+	// matrices the central convection stencil produces at high flow.
+	if err != nil {
+		rung = solver.RungGMRES
+		f.ctrRetryGMRES.Add(1)
+		cold()
+		res, err = solver.GMRES(mat, rhs, t, opt)
+		err = check(res, err)
+		totalIters += res.Iterations
+	}
+
+	// Rung 3: dense LU for small systems — slow but method-independent.
+	if err != nil && f.N() <= solver.DenseFallbackMax {
+		rung = solver.RungDense
+		f.ctrRetryDense.Add(1)
+		if x, derr := solver.DenseSolve(mat, rhs); derr == nil {
+			copy(t, x)
+			res = solver.Result{Residual: solver.RelResidual(mat, rhs, t)}
+			if finiteField(t) && res.Residual <= math.Sqrt(tol) {
+				err = nil
+			} else {
+				err = fmt.Errorf("thermal: dense fallback residual %.3g: %w", res.Residual, solver.ErrBreakdown)
+			}
+		} else {
+			err = fmt.Errorf("thermal: dense fallback: %w", derr)
+		}
+	}
+
+	res.Iterations = totalIters
+	return res, rung, err
 }
 
 // mgEligible reports whether this probe should route through the

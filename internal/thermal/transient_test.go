@@ -1,0 +1,375 @@
+package thermal
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"lcn3d/internal/sparse"
+)
+
+// rodTransient builds an n-node conduction rod with a bath at each end
+// and a source in every node, returning the raw system for the legacy
+// constructor path.
+func rodTransient(tb testing.TB, n int) (*sparse.CSR, []float64, []float64) {
+	tb.Helper()
+	a := NewAssembler(n, Central)
+	for i := 0; i+1 < n; i++ {
+		a.Conductance(i, i+1, 1)
+	}
+	a.Dirichlet(0, 10, 300)
+	a.Dirichlet(n-1, 10, 300)
+	for i := 0; i < n; i++ {
+		a.Source(i, 0.5)
+	}
+	mat, rhs := a.Build()
+	caps := make([]float64, n)
+	for i := range caps {
+		caps[i] = 0.2 + 0.01*float64(i%7)
+	}
+	return mat, rhs, caps
+}
+
+func norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// TestTransientEnergyBalancePerStep checks the discrete backward-Euler
+// energy balance after every step: C(T_{n+1}-T_n)/dt + A·T_{n+1} - b
+// must vanish to solver accuracy, i.e. the relative residual against the
+// step's right-hand side stays within 1e-9.
+func TestTransientEnergyBalancePerStep(t *testing.T) {
+	const n, dt = 50, 0.05
+	mat, rhs, caps := rodTransient(t, n)
+	ts, err := NewTransientSystem(mat, rhs, caps, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := make([]float64, n)
+	for i := range temps {
+		temps[i] = 300
+	}
+	prev := make([]float64, n)
+	at := make([]float64, n)
+	r := make([]float64, n)
+	for step := 0; step < 100; step++ {
+		copy(prev, temps)
+		if err := ts.Step(temps); err != nil {
+			t.Fatal(err)
+		}
+		mat.MulVec(at, temps)
+		var scale float64
+		for i := 0; i < n; i++ {
+			r[i] = caps[i]*(temps[i]-prev[i])/dt + at[i] - rhs[i]
+			d := rhs[i] + caps[i]/dt*prev[i]
+			scale += d * d
+		}
+		rel := norm2(r) / math.Sqrt(scale)
+		if rel > 1e-9 {
+			t.Fatalf("step %d: relative energy residual %g > 1e-9", step+1, rel)
+		}
+	}
+	st := ts.Stats()
+	if st.Steps != 100 || st.Segments != 1 {
+		t.Fatalf("stats after trace: %+v", st)
+	}
+}
+
+// TestTransientFirstOrderConvergence checks backward Euler's O(dt)
+// accuracy on the 1-node RC circuit C T' = q - g(T - Tamb), whose exact
+// solution is known: halving dt must halve the error at a fixed horizon.
+func TestTransientFirstOrderConvergence(t *testing.T) {
+	const (
+		g, c, q  = 1.0, 1.0, 5.0
+		tAmb     = 300.0
+		horizon  = 1.0
+		tSteady  = tAmb + q/g             // 305
+		exactEnd = tSteady - (q/g)*math.E // irrelevant; computed below instead
+	)
+	_ = exactEnd
+	exact := tSteady - (q/g)*math.Exp(-horizon*g/c)
+	errAt := func(dt float64) float64 {
+		a := NewAssembler(1, Central)
+		a.Dirichlet(0, g, tAmb)
+		a.Source(0, q)
+		mat, rhs := a.Build()
+		ts, err := NewTransientSystem(mat, rhs, []float64{c}, dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		temps := []float64{tAmb}
+		if err := ts.Run(temps, int(math.Round(horizon/dt)), nil); err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(temps[0] - exact)
+	}
+	coarse := errAt(0.05)
+	fine := errAt(0.025)
+	ratio := coarse / fine
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("dt-refinement error ratio %g (errors %g, %g), want ~2 (first order)", ratio, coarse, fine)
+	}
+}
+
+// TestFactoredTransientMatchesSteady drives the Factored-path stepper (a
+// system with a genuine affine flow slope) to equilibrium and checks it
+// lands on the steady solve at the same pressure.
+func TestFactoredTransientMatchesSteady(t *testing.T) {
+	const n, scale = 48, 2.0
+	f := raceFactored(t, n)
+	steady, _, _, err := f.SolveAt(scale, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := make([]float64, n)
+	for i := range caps {
+		caps[i] = 0.05
+	}
+	ts, err := f.Transient(caps, 0.5, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := make([]float64, n)
+	for i := range temps {
+		temps[i] = 300
+	}
+	if err := ts.Run(temps, 400, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(temps, steady); d > 1e-6 {
+		t.Fatalf("transient equilibrium differs from steady solve by %g", d)
+	}
+}
+
+// TestFactoredTransientSetScale re-targets the stepper to a new pump
+// pressure mid-trace and checks it re-equilibrates onto the steady
+// solution of the new pressure — the affine shift path, not a rebuild.
+func TestFactoredTransientSetScale(t *testing.T) {
+	const n = 48
+	f := raceFactored(t, n)
+	steadyHi, _, _, err := f.SolveAt(8.0, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := make([]float64, n)
+	for i := range caps {
+		caps[i] = 0.05
+	}
+	ts, err := f.Transient(caps, 0.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := make([]float64, n)
+	for i := range temps {
+		temps[i] = 300
+	}
+	if err := ts.Run(temps, 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.SetScale(8.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Run(temps, 400, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(temps, steadyHi); d > 1e-6 {
+		t.Fatalf("post-SetScale equilibrium differs from steady solve by %g", d)
+	}
+	st := ts.Stats()
+	if st.Segments != 2 {
+		t.Fatalf("segments = %d, want 2", st.Segments)
+	}
+	if st.Steps != 500 {
+		t.Fatalf("steps = %d, want 500", st.Steps)
+	}
+}
+
+// TestSetDtMatchesFreshSystem advances a trace, changes the time step in
+// place, and checks the next step is bitwise identical to a freshly
+// constructed stepper at the new dt started from the same field: the
+// in-place C/dt diagonal refresh plus preconditioner invalidation must
+// be indistinguishable from a rebuild.
+func TestSetDtMatchesFreshSystem(t *testing.T) {
+	const n = 50
+	mat, rhs, caps := rodTransient(t, n)
+	ts, err := NewTransientSystem(mat, rhs, caps, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := make([]float64, n)
+	for i := range temps {
+		temps[i] = 300
+	}
+	if err := ts.Run(temps, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewTransientSystem(mat, rhs, caps, 0.025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshTemps := append([]float64(nil), temps...)
+
+	if err := ts.SetDt(0.025); err != nil {
+		t.Fatal(err)
+	}
+	if got := ts.Dt(); got != 0.025 {
+		t.Fatalf("Dt() = %g after SetDt", got)
+	}
+	for s := 0; s < 3; s++ {
+		if err := ts.Step(temps); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Step(freshTemps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range temps {
+		if temps[i] != freshTemps[i] {
+			t.Fatalf("node %d: in-place SetDt %v vs fresh system %v", i, temps[i], freshTemps[i])
+		}
+	}
+	if st := ts.Stats(); st.Segments != 2 {
+		t.Fatalf("segments = %d, want 2", st.Segments)
+	}
+	// No-op SetDt must not open a new segment.
+	if err := ts.SetDt(0.025); err != nil {
+		t.Fatal(err)
+	}
+	if st := ts.Stats(); st.Segments != 2 {
+		t.Fatalf("no-op SetDt opened a segment: %d", st.Segments)
+	}
+}
+
+// TestSetSourceDelta applies a runtime power delta on top of the
+// compiled RHS and checks the equilibrium shifts exactly as the added
+// power predicts, then clears it and checks the system relaxes back.
+func TestSetSourceDelta(t *testing.T) {
+	a := NewAssembler(1, Central)
+	a.Dirichlet(0, 1, 300)
+	a.Source(0, 5)
+	mat, rhs := a.Build()
+	ts, err := NewTransientSystem(mat, rhs, []float64{0.5}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := []float64{300}
+	if err := ts.Run(temps, 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(temps[0]-305) > 1e-6 {
+		t.Fatalf("base equilibrium %g, want 305", temps[0])
+	}
+	if err := ts.SetSourceDelta([]float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Run(temps, 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(temps[0]-310) > 1e-6 {
+		t.Fatalf("delta equilibrium %g, want 310", temps[0])
+	}
+	if err := ts.SetSourceDelta(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Run(temps, 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(temps[0]-305) > 1e-6 {
+		t.Fatalf("cleared equilibrium %g, want 305", temps[0])
+	}
+	if err := ts.SetSourceDelta([]float64{1, 2}); err == nil {
+		t.Fatal("length-mismatched delta accepted")
+	}
+}
+
+// TestTransientRejects covers the stepper's input guards.
+func TestTransientRejects(t *testing.T) {
+	const n = 10
+	mat, rhs, caps := rodTransient(t, n)
+	ts, err := NewTransientSystem(mat, rhs, caps, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.SetDt(0); err == nil {
+		t.Error("SetDt(0) accepted")
+	}
+	if err := ts.SetDt(math.NaN()); err == nil {
+		t.Error("SetDt(NaN) accepted")
+	}
+	if err := ts.SetScale(-1); err == nil {
+		t.Error("SetScale(-1) accepted")
+	}
+	if err := ts.SetScale(math.Inf(1)); err == nil {
+		t.Error("SetScale(Inf) accepted")
+	}
+	if err := ts.Step(make([]float64, n-1)); err == nil {
+		t.Error("short field accepted")
+	}
+	bad := make([]float64, n)
+	bad[3] = math.NaN()
+	if err := ts.Step(bad); err == nil {
+		t.Error("NaN field accepted")
+	}
+	f := raceFactored(t, 16)
+	if _, err := f.Transient(make([]float64, 5), 0.1, 1); err == nil {
+		t.Error("caps length mismatch accepted")
+	}
+	if _, err := f.Transient(make([]float64, 16), 0.1, -2); err == nil {
+		t.Error("negative pressure accepted")
+	}
+	if _, err := f.Transient(make([]float64, 16), -0.1, 1); err == nil {
+		t.Error("negative dt accepted")
+	}
+}
+
+// TestTransientBitwiseDeterministic runs the same trace on a system
+// large enough for the parallel SpMV path across different GOMAXPROCS
+// and worker settings, and checks the final field is bitwise identical.
+// Run under -race (CI does) this also proves Step has no data races.
+func TestTransientBitwiseDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steps a >20k-unknown system several times")
+	}
+	const n, steps = 21000, 15
+	trace := func() []float64 {
+		f := raceFactored(t, n)
+		caps := make([]float64, n)
+		for i := range caps {
+			caps[i] = 0.05
+		}
+		ts, err := f.Transient(caps, 0.2, 2.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		temps := make([]float64, n)
+		for i := range temps {
+			temps[i] = 300
+		}
+		if err := ts.Run(temps, steps, nil); err != nil {
+			t.Fatal(err)
+		}
+		return temps
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	ref := trace()
+	for _, cfg := range []struct {
+		procs, workers int
+	}{
+		{2, 3}, {4, 7},
+	} {
+		runtime.GOMAXPROCS(cfg.procs)
+		sparse.SetSpMVWorkers(cfg.workers)
+		got := trace()
+		sparse.SetSpMVWorkers(0)
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("procs=%d workers=%d: node %d differs: %v vs %v",
+					cfg.procs, cfg.workers, i, got[i], ref[i])
+			}
+		}
+	}
+}

@@ -215,21 +215,19 @@ func BestStraightBaseline(b *Benchmark, problem int) (*core.BaselineResult, erro
 
 // Transient builds a transient stepper for the benchmark/network at a
 // fixed pressure and time step, starting from the inlet temperature.
-// Returned fields: the stepper, the initial field, and the node count.
+// The stepper rides the factored warm-start machinery, so mid-trace
+// SetScale/SetDt calls refactor once per segment instead of rebuilding
+// the model. Returned fields: the stepper and the initial field.
 func Transient(b *Benchmark, n *Network, psys, dt float64) (*thermal.TransientSystem, []float64, error) {
 	mod, err := rm4.New(b.Stk, replicate(n, len(b.Stk.ChannelLayers())), thermal.Central)
 	if err != nil {
 		return nil, nil, err
 	}
-	sys, err := mod.System(psys)
+	ts, err := mod.Transient(psys, dt)
 	if err != nil {
 		return nil, nil, err
 	}
-	ts, err := thermal.NewTransientSystem(sys.A, sys.B, sys.Cap, dt)
-	if err != nil {
-		return nil, nil, err
-	}
-	field := make([]float64, len(sys.Cap))
+	field := make([]float64, mod.NumNodes())
 	for i := range field {
 		field[i] = b.Stk.TinK
 	}

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Integration smoke for cmd/lcn-serve, in six phases:
+# Integration smoke for cmd/lcn-serve, in seven phases:
 #
 #  1. happy path — start the daemon at reduced scale, fire duplicate
 #     concurrent evaluations, assert the metrics show single-flight
@@ -30,7 +30,13 @@
 #     2-node fleet with overload.breaker=always armed: every peer call
 #     is refused locally by an open circuit breaker, remote-owned
 #     requests fall back to local compute, and the per-peer health rows
-#     in /v1/metrics show the open breakers.
+#     in /v1/metrics show the open breakers;
+#  7. transient chaos — a daemon with the thermal.transient.* fault
+#     points armed (pump glitches every 3rd step, paced steps) streams a
+#     /v1/transient trace with a DVFS event: the SSE stream must carry
+#     the thinned step events plus the terminal result, a malformed
+#     schedule must 400 before any SSE bytes, and the transient + fault
+#     counters must appear in /v1/metrics.
 set -euo pipefail
 
 ADDR="127.0.0.1:${LCN_SERVE_PORT:-18080}"
@@ -441,3 +447,70 @@ wait "$SRVB" || { echo "FAIL: breaker chaos node B non-zero exit after SIGTERM";
 wait "$SRVC" || { echo "FAIL: breaker chaos node C non-zero exit after SIGTERM"; exit 1; }
 SRVB="" SRVC=""
 echo "PASS: breaker chaos — open breakers refuse locally, fallback serves, health rows visible"
+
+# ---- Phase 7: transient chaos ---------------------------------------
+
+# Pump glitches every 3rd step (halved pressure) and the first two steps
+# are paced: the stream must still deliver every thinned step plus the
+# terminal result, and the injections must be visible in /v1/metrics.
+TRANSIENT_BODY='{"case":1,"model":"2rm","coarse_m":4,"network":{"generator":"straight"},
+  "schedule":{"dt":0.002,"steps":30,"psys":10000,
+    "power":[{"kind":"dvfs","layer":-1,"t0":0.02,"factor":2.0}]},
+  "every":5}'
+LCN_FAULTS="thermal.transient.pump=every:3;thermal.transient.slow=first:2;delay=5ms" \
+  /tmp/lcn-serve-smoke -addr "$ADDR" -scale "$CHAOS_SCALE" >"$OUT" &
+SRV=$!
+
+for i in $(seq 1 50); do
+  curl -sf "http://$ADDR/healthz" >/dev/null && break
+  [ "$i" = 50 ] && { echo "FAIL: transient server never became healthy"; exit 1; }
+  sleep 0.2
+done
+
+# A malformed schedule must fail as a plain 400 before any SSE bytes.
+got="$(curl -s -o /dev/null -w '%{http_code}' -XPOST \
+  -d '{"case":1,"network":{"generator":"straight"},"schedule":{"dt":-1,"steps":10,"psys":10000}}' \
+  "http://$ADDR/v1/transient")"
+[ "$got" = 400 ] || { echo "FAIL: bad schedule got $got, want 400"; exit 1; }
+
+curl -sfN -XPOST -d "$TRANSIENT_BODY" "http://$ADDR/v1/transient" | python3 -c '
+import json, sys
+events = []
+name, data = None, None
+for line in sys.stdin:
+    line = line.rstrip("\n")
+    if line.startswith("event: "):
+        name = line[len("event: "):]
+    elif line.startswith("data: "):
+        data = json.loads(line[len("data: "):])
+    elif not line and name is not None:
+        events.append((name, data)); name, data = None, None
+steps = [d for n, d in events if n == "step"]
+print("transient stream:", [n for n, _ in events])
+assert [s["step"] for s in steps] == [5, 10, 15, 20, 25, 30], \
+    "thinned steps wrong: %r" % [s["step"] for s in steps]
+assert all(s["t_peak"] > 300 and s["pump_w"] > 0 for s in steps), "implausible step records"
+assert events[-1][0] == "result", "no terminal result event: %r" % [n for n, _ in events]
+res = events[-1][1]
+assert res["steps"] == 30, "result steps %r" % res["steps"]
+assert res["peak"] >= res["final"] and res["pump_energy"] > 0, "implausible trace summary"
+assert res["stats"]["Segments"] >= 2, "pump glitches produced no extra segments"
+'
+
+curl -sf "http://$ADDR/v1/metrics" | python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+t = m["transient"]
+print("transient metrics:", t, "faults:", m.get("faults"))
+assert t["runs"] == 1, "want 1 transient run, got %r" % t
+assert t["steps"] == 30, "want 30 transient steps, got %r" % t
+assert t["factorizations"] >= 1, "no factorizations counted"
+f = m.get("faults") or {}
+assert f.get("thermal.transient.pump", {}).get("fired", 0) >= 1, "pump injection not visible: %r" % f
+assert f.get("thermal.transient.slow", {}).get("fired", 0) == 2, "pacing injection not visible: %r" % f
+'
+
+kill -TERM "$SRV"
+wait "$SRV" || { echo "FAIL: non-zero exit after SIGTERM (transient)"; exit 1; }
+SRV=""
+echo "PASS: transient chaos — streamed trace under pump glitches, 400 pre-stream, counters visible"
